@@ -1,0 +1,63 @@
+"""Figure 1 + the Section 3 report: the complex plotter, before/after.
+
+The paper plots 795x600 = 477,000 pixels and reports
+
+    Compare @ main.cpp:24 ... 231878 incorrect values of 477000
+
+with the extracted fragment ``(- (sqrt (+ (* x x) (* y y))) x)``.  We
+plot a scaled-down grid (the interpreter is ~10^4x slower than native
+code), assert the same extraction, and report the incorrect-pixel
+fraction before and after the Herbie-derived csqrt repair.
+"""
+
+from __future__ import annotations
+
+from repro.apps.plotter import run_plotter
+from repro.core import AnalysisConfig
+from repro.fpcore.printer import format_expr
+
+from conftest import write_result
+
+WIDTH, HEIGHT = 44, 33  # 1452 pixels; paper: 795x600
+
+
+def test_fig1_plotter_before_after(benchmark):
+    config = AnalysisConfig(shadow_precision=256, max_expression_depth=4)
+
+    def experiment():
+        naive = run_plotter(width=WIDTH, height=HEIGHT, config=config)
+        fixed = run_plotter(
+            width=WIDTH, height=HEIGHT, fixed=True, config=config
+        )
+        return naive, fixed
+
+    naive, fixed = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    causes = naive.analysis.reported_root_causes()
+    fragments = [format_expr(c.symbolic_expression) for c in causes]
+    headline = [
+        f for f in fragments if f.startswith("(- (sqrt (+ (*")
+    ]
+    lines = [
+        "Figure 1 / Section 3 — complex plotter case study",
+        f"grid: {WIDTH}x{HEIGHT} = {naive.total_pixels} pixels"
+        " (paper: 795x600 = 477000)",
+        "",
+        f"naive csqrt:  {naive.incorrect_pixels} incorrect values of"
+        f" {naive.total_pixels}"
+        f" ({naive.incorrect_pixels / naive.total_pixels:.0%};"
+        " paper: 231878/477000 = 49%)",
+        f"fixed csqrt:  {fixed.incorrect_pixels} incorrect values of"
+        f" {fixed.total_pixels}"
+        f" ({fixed.incorrect_pixels / fixed.total_pixels:.0%})",
+        "",
+        "extracted root-cause fragment (paper: (- (sqrt (+ (* x x) (* y y))) x)):",
+        f"  {headline[0] if headline else fragments[:1]}",
+    ]
+    write_result("fig1_plotter", "\n".join(lines))
+
+    benchmark.extra_info["incorrect_before"] = naive.incorrect_pixels
+    benchmark.extra_info["incorrect_after"] = fixed.incorrect_pixels
+    assert naive.incorrect_pixels > 0
+    assert fixed.incorrect_pixels < naive.incorrect_pixels
+    assert headline, fragments

@@ -1,0 +1,52 @@
+"""Figure 5a: number of computations flagged vs local-error threshold.
+
+The paper sweeps the Tℓ threshold of the influences system and counts
+how many computations are marked "significantly erroneous".  Higher
+thresholds flag fewer computations (monotone decreasing curve); users
+pick the threshold to trade thoroughness against report volume.
+"""
+
+from __future__ import annotations
+
+from repro.core import analyze_fpcore
+
+from conftest import SWEEP_CONFIG, write_result
+
+THRESHOLDS = [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0]
+
+
+def test_fig5a_threshold_sweep(benchmark, sweep_corpus):
+    def experiment():
+        flagged_by_threshold = {}
+        for threshold in THRESHOLDS:
+            config = SWEEP_CONFIG.with_(local_error_threshold=threshold)
+            total_flagged = 0
+            total_reported = 0
+            for core in sweep_corpus:
+                analysis = analyze_fpcore(
+                    core, config=config, num_points=8, seed=5
+                )
+                total_flagged += len(analysis.candidate_records())
+                total_reported += len(analysis.reported_root_causes())
+            flagged_by_threshold[threshold] = (total_flagged, total_reported)
+        return flagged_by_threshold
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    lines = [
+        "Figure 5a — computations flagged vs local-error threshold",
+        f"({len(sweep_corpus)} benchmarks x 8 points)",
+        "",
+        f"{'threshold (bits)':>16} {'flagged ops':>12} {'reported':>9}",
+    ]
+    for threshold in THRESHOLDS:
+        flagged, reported = results[threshold]
+        lines.append(f"{threshold:>16.1f} {flagged:>12} {reported:>9}")
+    lines.append("")
+    lines.append("(monotone decreasing, as in the paper's Figure 5a)")
+    write_result("fig5a_thresholds", "\n".join(lines))
+
+    counts = [results[t][0] for t in THRESHOLDS]
+    benchmark.extra_info["flagged_counts"] = counts
+    assert counts == sorted(counts, reverse=True)
+    assert counts[0] > counts[-1]

@@ -1,0 +1,76 @@
+"""Section 8.1: the improvability evaluation over the 86-benchmark suite.
+
+Paper's numbers (different corpus instantiation, so shape not absolute
+values is the target):
+
+* oracle finds 30 of 86 with significant error (> 5 bits);
+* Herbgrind detects significant error for 29 of those (96%);
+* Herbgrind produces candidate root causes for 29;
+* Herbie finds the candidates improvable for 25 (86% / 83% end-to-end).
+
+Shape target: Herbgrind detects (nearly) everything the oracle flags,
+reports candidates for almost all of them, and a large majority are
+improvable end to end.
+"""
+
+from __future__ import annotations
+
+from repro.eval import evaluate_suite
+
+from conftest import SWEEP_CONFIG, SWEEP_SETTINGS, write_result
+
+
+def test_sec81_improvability(benchmark, corpus):
+    def experiment():
+        return evaluate_suite(
+            corpus, config=SWEEP_CONFIG, num_points=12, settings=SWEEP_SETTINGS
+        )
+
+    summary = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    lines = [
+        "Section 8.1 — improvability over the benchmark suite",
+        "",
+        f"{'quantity':<42}{'ours':>6}{'paper':>8}",
+        f"{'benchmarks':<42}{summary.total:>6}{86:>8}",
+        f"{'oracle: significant error (>5 bits)':<42}"
+        f"{summary.oracle_erroneous:>6}{30:>8}",
+        f"{'oracle: improvable':<42}{summary.oracle_improvable:>6}{30:>8}",
+        f"{'herbgrind: detected (of erroneous)':<42}"
+        f"{summary.herbgrind_detected:>6}{29:>8}",
+        f"{'herbgrind: candidates reported':<42}"
+        f"{summary.herbgrind_reported:>6}{29:>8}",
+        f"{'herbgrind: improvable end-to-end':<42}"
+        f"{summary.herbgrind_improvable:>6}{25:>8}",
+        "",
+        f"end-to-end success rate: {summary.end_to_end_rate():.0%}"
+        f" (paper: 83%)",
+        "",
+        "per-benchmark outcomes (erroneous only):",
+    ]
+    for outcome in summary.outcomes:
+        if not outcome.oracle.has_significant_error:
+            continue
+        improvement = outcome.best_improvement
+        delta = (
+            f"{improvement.initial_error:5.1f} -> {improvement.best_error:5.1f}"
+            if improvement is not None else "    -"
+        )
+        lines.append(
+            f"  {outcome.name:<28} detected={str(outcome.herbgrind_detected):<5}"
+            f" causes={outcome.reported_count:<3} {delta}"
+        )
+    write_result("sec81_improvability", "\n".join(lines))
+
+    benchmark.extra_info.update(
+        {
+            "oracle_erroneous": summary.oracle_erroneous,
+            "herbgrind_detected": summary.herbgrind_detected,
+            "herbgrind_improvable": summary.herbgrind_improvable,
+        }
+    )
+    # Shape assertions.
+    assert summary.oracle_erroneous >= 20
+    assert summary.herbgrind_detected >= 0.9 * summary.oracle_erroneous
+    assert summary.herbgrind_reported >= 0.85 * summary.oracle_erroneous
+    assert summary.herbgrind_improvable >= 0.6 * summary.oracle_erroneous

@@ -1,0 +1,99 @@
+"""Section 8.2: the library-wrapping ablation.
+
+With wrapping *on*, math calls are atomic: extracted expressions are
+small (the paper's largest is 9 operations).  With wrapping *off*, the
+analysis sees the software libm's internals: expressions balloon (to 31
+ops in the paper, 133 expressions above 9 ops, 848 flagged in total,
+"mostly false positives in the internals of the math library"), and the
+magic round-to-int constant 6.755399e15 shows up inside them — the
+paper prints
+
+    (x − 0.6931472 (y − 6.755399e15) + 2.576980e10) − 2.576980e10
+
+as what you get instead of e^x - 1.
+"""
+
+from __future__ import annotations
+
+from repro.core import analyze_fpcore
+from repro.fpcore import corpus_by_name, expression_size
+from repro.fpcore.printer import format_expr
+from repro.machine import build_libm
+
+from conftest import SWEEP_CONFIG, write_result
+
+#: Library-heavy benchmarks (exp/log/trig/pow users).
+WORKLOAD = [
+    "nmse-ex-3-7", "nmse-ex-3-4", "nmse-ex-3-9", "nmse-ex-3-10",
+    "nmse-ex-3-11", "nmse-p-3-4-3", "nmse-p-3-4-4", "expq2",
+    "logit", "softplus", "difference-quotient", "cosh-minus-one",
+]
+
+
+def _collect(wrap: bool):
+    corpus = corpus_by_name()
+    libm = None if wrap else build_libm()
+    config = SWEEP_CONFIG.with_(max_expression_depth=40)
+    sizes = []
+    flagged = 0
+    texts = []
+    for name in WORKLOAD:
+        analysis = analyze_fpcore(
+            corpus[name], config=config, num_points=6, seed=9,
+            wrap_libraries=wrap, libm=libm,
+        )
+        for record in analysis.candidate_records():
+            flagged += 1
+            if record.symbolic_expression is not None:
+                sizes.append(expression_size(record.symbolic_expression))
+                texts.append(format_expr(record.symbolic_expression))
+    return sizes, flagged, texts
+
+
+def test_sec82_library_wrapping(benchmark):
+    def experiment():
+        return _collect(wrap=True), _collect(wrap=False)
+
+    (wrapped_sizes, wrapped_flagged, __), (
+        unwrapped_sizes, unwrapped_flagged, unwrapped_texts
+    ) = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    wrapped_max = max(wrapped_sizes, default=0)
+    unwrapped_max = max(unwrapped_sizes, default=0)
+    wrapped_big = sum(1 for s in wrapped_sizes if s > 9)
+    unwrapped_big = sum(1 for s in unwrapped_sizes if s > 9)
+    magic_hits = sum("6755399441055744" in t for t in unwrapped_texts)
+
+    lines = [
+        "Section 8.2 — library wrapping ablation",
+        f"({len(WORKLOAD)} libm-heavy benchmarks x 6 points)",
+        "",
+        f"{'metric':<38}{'wrapped':>9}{'unwrapped':>11}{'paper':>22}",
+        f"{'largest expression (ops)':<38}{wrapped_max:>9}"
+        f"{unwrapped_max:>11}{'9 vs 31':>22}",
+        f"{'expressions over 9 ops':<38}{wrapped_big:>9}"
+        f"{unwrapped_big:>11}{'0 vs 133':>22}",
+        f"{'flagged expressions':<38}{wrapped_flagged:>9}"
+        f"{unwrapped_flagged:>11}{'vs 848 (mostly FP)':>22}",
+        f"{'magic 6.755399e15 in expressions':<38}{0:>9}"
+        f"{magic_hits:>11}{'(paper shows one)':>22}",
+    ]
+    sample = next(
+        (t for t in unwrapped_texts if "6755399441055744" in t), None
+    )
+    if sample:
+        lines += ["", "sample unwrapped extraction (cf. the paper's e^x - 1):",
+                  f"  {sample[:140]}..."]
+    write_result("sec82_wrapping", "\n".join(lines))
+
+    benchmark.extra_info.update(
+        {
+            "wrapped_max_ops": wrapped_max,
+            "unwrapped_max_ops": unwrapped_max,
+            "unwrapped_flagged": unwrapped_flagged,
+        }
+    )
+    assert unwrapped_max > wrapped_max
+    assert unwrapped_flagged > wrapped_flagged
+    assert magic_hits > 0
+    assert unwrapped_big > wrapped_big

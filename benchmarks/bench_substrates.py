@@ -1,0 +1,59 @@
+"""Micro-benchmarks of the substrates (proper multi-round timings).
+
+Not a paper table, but the numbers behind the overhead story: cost of
+1000-bit shadow arithmetic, of the interpreter, and of one fully
+analysed operation.
+"""
+
+from __future__ import annotations
+
+from repro.bigfloat import BigFloat, Context, apply
+from repro.core import AnalysisConfig, analyze_program
+from repro.fpcore import parse_fpcore
+from repro.machine import Interpreter, compile_fpcore
+
+PAPER_CONTEXT = Context(precision=1000)
+X = BigFloat.from_float(1.2345678901234567)
+Y = BigFloat.from_float(9.876543210987654)
+
+PROGRAM = compile_fpcore(
+    parse_fpcore("(FPCore (x) (- (sqrt (+ x 1)) (sqrt x)))")
+)
+
+
+def bench_bigfloat_mul_1000_bits(benchmark):
+    benchmark(apply, "*", [X, Y], PAPER_CONTEXT)
+
+
+def bench_bigfloat_div_1000_bits(benchmark):
+    benchmark(apply, "/", [X, Y], PAPER_CONTEXT)
+
+
+def bench_bigfloat_exp_1000_bits(benchmark):
+    benchmark(apply, "exp", [X], PAPER_CONTEXT)
+
+
+def bench_bigfloat_sin_1000_bits(benchmark):
+    benchmark(apply, "sin", [X], PAPER_CONTEXT)
+
+
+def bench_interpreter_native_run(benchmark):
+    benchmark(lambda: Interpreter(PROGRAM).run([2.5]))
+
+
+def bench_full_analysis_run(benchmark):
+    config = AnalysisConfig(shadow_precision=256)
+
+    def run():
+        analyze_program(PROGRAM, [[2.5]], config=config)
+
+    benchmark(run)
+
+
+def bench_full_analysis_run_paper_precision(benchmark):
+    config = AnalysisConfig(shadow_precision=1000)
+
+    def run():
+        analyze_program(PROGRAM, [[2.5]], config=config)
+
+    benchmark(run)

@@ -1,0 +1,65 @@
+"""Shared fixtures and helpers for the experiment benchmarks.
+
+Every module in this directory regenerates one table or figure of the
+paper (see DESIGN.md's experiment index).  Conventions:
+
+* heavy experiment drivers run once via ``benchmark.pedantic(rounds=1)``,
+* every experiment prints its table AND writes it to
+  ``benchmarks/results/<name>.txt`` so the artifacts survive pytest's
+  output capture,
+* headline numbers are attached to ``benchmark.extra_info``.
+
+Scale note: the paper ran on native binaries; this reproduction runs a
+Python interpreter over an IR, so workloads are scaled down (fewer
+sample points, smaller grids).  The *shape* of each result is the
+reproduction target, not absolute magnitudes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+import pytest
+
+from repro.core import AnalysisConfig
+from repro.fpcore import load_corpus
+from repro.improve import SearchSettings
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Analysis configuration for experiment sweeps: 256-bit shadows keep
+#: the metric exact for doubles while staying fast in pure Python.
+SWEEP_CONFIG = AnalysisConfig(shadow_precision=256)
+
+#: Reduced improver budget for sweeps.
+SWEEP_SETTINGS = SearchSettings(
+    beam_width=4, generations=3, max_candidates_per_generation=1500
+)
+
+#: Benchmarks per sweep point for the Figure 5 ablations (the full
+#: corpus is used for the headline Section 8.1 run).
+SWEEP_CORPUS_SIZE = 30
+
+
+def write_result(name: str, text: str) -> None:
+    """Print an experiment table and persist it under results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print()
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """The full 86-benchmark corpus."""
+    return load_corpus()
+
+
+@pytest.fixture(scope="session")
+def sweep_corpus(corpus) -> List:
+    """A smaller corpus slice for the multi-configuration sweeps:
+    every 3rd benchmark, preserving family diversity."""
+    return corpus[::3][:SWEEP_CORPUS_SIZE]

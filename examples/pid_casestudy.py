@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""The Section 7 PID-controller case study.
+
+The controller's loop runs ``while (t < N)`` with ``t += 0.2``; for
+N = 10 the drift of the binary 0.2 makes the loop run 51 times instead
+of 50.  The analysis catches the branch divergence and traces it to the
+increment — the same family of bug as the 1992 Patriot missile failure.
+
+Run:  python examples/pid_casestudy.py
+"""
+
+from repro.apps.pid import run_pid, sweep_bounds
+from repro.fpcore.printer import format_expr
+
+
+def main() -> None:
+    print("bound  iterations  exact  divergences")
+    for result in sweep_bounds([2.0, 4.0, 6.0, 8.0, 10.0]):
+        print(
+            f"{result.bound:5.1f}  {result.iterations:10d}"
+            f"  {result.expected_iterations:5d}"
+            f"  {result.branch_divergences:11d}"
+        )
+
+    print("\nroot cause for N = 10:")
+    result = run_pid(10.0)
+    for cause in result.analysis.reported_root_causes()[:1]:
+        print(f"  {format_expr(cause.symbolic_expression)} at {cause.loc}")
+
+    fixed = run_pid(10.0, fixed=True)
+    print(
+        f"\nrepaired loop (integer counter, i*0.2 < N):"
+        f" {fixed.iterations} iterations,"
+        f" {fixed.branch_divergences} divergences"
+    )
+
+
+if __name__ == "__main__":
+    main()

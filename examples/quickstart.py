@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: find the root cause of error in a small program.
+
+We analyse the paper's Section 2.1 example — a program computing
+``((x+y) - (x+z)) * x`` across a function boundary — and print the
+Herbgrind-style report, then ask the mini-Herbie for a repair.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import AnalysisConfig, analyze_fpcore, generate_report
+from repro.eval import sample_points_for_record
+from repro.fpcore import parse_fpcore
+from repro.fpcore.printer import format_expr
+from repro.improve import improve_expression
+
+SOURCE = """
+(FPCore (x y z)
+  :name "paper-foo-bar"
+  :pre (and (<= 1e12 x 1e16) (<= 0 y 1) (<= 0 z 1))
+  (* (- (+ x y) (+ x z)) x))
+"""
+
+
+def main() -> None:
+    core = parse_fpcore(SOURCE)
+
+    # 1. Run the dynamic analysis on sampled inputs.
+    config = AnalysisConfig(shadow_precision=256)
+    analysis = analyze_fpcore(core, config=config, num_points=16)
+
+    # 2. Print the report: spots, root causes, input characteristics.
+    report = generate_report(analysis)
+    print(report.format())
+
+    # 3. Feed the extracted root cause to the improver.
+    causes = analysis.reported_root_causes()
+    if not causes:
+        print("nothing to improve")
+        return
+    record = causes[0]
+    variables, points = sample_points_for_record(record, count=16)
+    result = improve_expression(record.symbolic_expression, variables, points)
+    print("Improvement:")
+    print(f"  before: {format_expr(result.original)}"
+          f"  ({result.initial_error:.1f} bits of error)")
+    print(f"  after:  {format_expr(result.best)}"
+          f"  ({result.best_error:.1f} bits of error)")
+
+
+if __name__ == "__main__":
+    main()

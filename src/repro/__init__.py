@@ -1,0 +1,26 @@
+"""Reproduction of "Finding Root Causes of Floating Point Error" (PLDI 2018).
+
+This package reimplements Herbgrind — a dynamic analysis that finds
+*candidate root causes* of floating-point error — on top of from-scratch
+Python substrates:
+
+* :mod:`repro.ieee` — IEEE-754 double/single bit manipulation and the
+  bits-of-error metric.
+* :mod:`repro.bigfloat` — an arbitrary-precision binary floating-point
+  library (the paper's MPFR substitute) used for shadow-real execution.
+* :mod:`repro.fpcore` — an FPCore (FPBench) frontend and benchmark corpus.
+* :mod:`repro.machine` — a low-level IR virtual machine standing in for
+  Valgrind/VEX, including a software libm written in the IR itself.
+* :mod:`repro.core` — the Herbgrind analysis: shadow reals, influence
+  tracking, symbolic expressions via anti-unification, input
+  characteristics, compensation detection and library wrapping.
+* :mod:`repro.improve` — a mini-Herbie rewrite search used to judge
+  improvability of reported root causes.
+* :mod:`repro.apps` — the paper's case studies (complex plotter,
+  Gram-Schmidt, PID controller, Gromacs dihedral kernel, Triangle).
+* :mod:`repro.comparisons` — FpDebug / Verrou / BZ baseline analyses.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

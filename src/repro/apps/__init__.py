@@ -1,0 +1,12 @@
+"""The paper's case studies (Section 3 and Section 7), as IR programs.
+
+* :mod:`repro.apps.plotter` — the complex function plotter (Figure 1),
+* :mod:`repro.apps.gramschmidt` — Polybench Gram-Schmidt (zero column),
+* :mod:`repro.apps.pid` — the PID controller (t += 0.2 loop overrun),
+* :mod:`repro.apps.dihedral` — the Gromacs dihedral-angle kernel,
+* :mod:`repro.apps.triangle` — Shewchuk's compensated predicates (8.3).
+"""
+
+from repro.apps import dihedral, gramschmidt, pid, plotter, triangle
+
+__all__ = ["dihedral", "gramschmidt", "pid", "plotter", "triangle"]

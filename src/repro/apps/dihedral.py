@@ -1,0 +1,196 @@
+"""The Gromacs dihedral-angle case study (paper Section 7).
+
+Gromacs computes the dihedral angle between the planes spanned by four
+bonded atoms.  The SPEC CPU 2006 version derives the angle through
+``acos`` of a normalized dot product — and for near-flat configurations
+(four nearly colinear atoms, common in triple-bonded organic compounds)
+the normal vectors are tiny and the normalization cancels
+catastrophically; ``acos`` near ±1 then amplifies the damage.
+
+The repaired routine uses the numerically stable two-argument form
+``atan2(|b2| * b1.n, m.n)`` from the meshing literature (the paper
+cites TetGen [33]); its conditioning is uniform in the angle.
+
+Both versions are built in machine IR, with the atom coordinates
+threaded through the heap and the vector helpers as real IR functions,
+so the extracted expressions span function and data-structure
+boundaries like the original's C/Fortran mix.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core import AnalysisConfig, HerbgrindAnalysis, analyze_program
+from repro.machine import FunctionBuilder, Interpreter, Program
+
+Vec3 = Tuple[float, float, float]
+
+#: Heap layout: 4 atoms x 3 coordinates starting here.
+ATOMS_BASE = 100
+#: Cross products m = b1 x b2 and n = b2 x b3 are exchanged here.
+M_BASE = 200
+N_BASE = 210
+
+
+def _load_vector(fn: FunctionBuilder, base: int):
+    return tuple(fn.load(fn.const_int(base + axis)) for axis in range(3))
+
+
+def _store_vector(fn: FunctionBuilder, base: int, regs) -> None:
+    for axis, reg in enumerate(regs):
+        fn.store(fn.const_int(base + axis), reg)
+
+
+def _emit_cross(fn: FunctionBuilder, a, b, loc: str):
+    fn.at(loc)
+    return (
+        fn.op("-", fn.op("*", a[1], b[2]), fn.op("*", a[2], b[1])),
+        fn.op("-", fn.op("*", a[2], b[0]), fn.op("*", a[0], b[2])),
+        fn.op("-", fn.op("*", a[0], b[1]), fn.op("*", a[1], b[0])),
+    )
+
+
+def _emit_dot(fn: FunctionBuilder, a, b, loc: str):
+    fn.at(loc)
+    return fn.op(
+        "+",
+        fn.op("+", fn.op("*", a[0], b[0]), fn.op("*", a[1], b[1])),
+        fn.op("*", a[2], b[2]),
+    )
+
+
+def _emit_sub(fn: FunctionBuilder, a, b, loc: str):
+    fn.at(loc)
+    return tuple(fn.op("-", a[i], b[i]) for i in range(3))
+
+
+def build_dihedral_program(fixed: bool = False) -> Program:
+    """Reads 12 coordinates (4 atoms), outputs the dihedral angle."""
+    fn = FunctionBuilder("main")
+    fn.at("dihedral.f:5")
+    for index in range(12):
+        fn.store(fn.const_int(ATOMS_BASE + index), fn.read())
+    atoms = [
+        _load_vector(fn, ATOMS_BASE + 3 * atom) for atom in range(4)
+    ]
+    b1 = _emit_sub(fn, atoms[1], atoms[0], "dihedral.f:9")
+    b2 = _emit_sub(fn, atoms[2], atoms[1], "dihedral.f:10")
+    b3 = _emit_sub(fn, atoms[3], atoms[2], "dihedral.f:11")
+    m = _emit_cross(fn, b1, b2, "dihedral.f:13")
+    n = _emit_cross(fn, b2, b3, "dihedral.f:14")
+    _store_vector(fn, M_BASE, m)
+    _store_vector(fn, N_BASE, n)
+    m = _load_vector(fn, M_BASE)
+    n = _load_vector(fn, N_BASE)
+    if not fixed:
+        # SPEC-style: phi = acos(m.n / (|m| |n|)).
+        dot_mn = _emit_dot(fn, m, n, "dihedral.f:17")
+        norm_m = fn.op("sqrt", _emit_dot(fn, m, m, "dihedral.f:18"))
+        norm_n = fn.op("sqrt", _emit_dot(fn, n, n, "dihedral.f:19"))
+        fn.at("dihedral.f:20")
+        cos_phi = fn.op("/", dot_mn, fn.op("*", norm_m, norm_n))
+        angle = fn.call("acos", cos_phi, loc="dihedral.f:21")
+    else:
+        # Stable form: phi = atan2(|b2| * (b1 . n), m . n).
+        dot_mn = _emit_dot(fn, m, n, "dihedral.f:27")
+        norm_b2 = fn.op("sqrt", _emit_dot(fn, b2, b2, "dihedral.f:28"))
+        b1_dot_n = _emit_dot(fn, b1, n, "dihedral.f:29")
+        fn.at("dihedral.f:30")
+        y = fn.op("*", norm_b2, b1_dot_n)
+        angle = fn.call("atan2", y, dot_mn, loc="dihedral.f:31")
+        angle = fn.op("fabs", angle)  # match acos's [0, pi] range
+    fn.out(angle, loc="dihedral.f:33")
+    fn.halt()
+    program = Program()
+    program.add(fn.build())
+    return program
+
+
+def near_flat_configuration(
+    rng: random.Random, bend: float = 1e-7, out_of_plane: float = 1e-6
+) -> List[float]:
+    """Four nearly colinear atoms whose dihedral angle is nearly flat.
+
+    The chain runs along x with in-plane (y) wiggles of ~``bend`` and
+    out-of-plane (z) wiggles another factor ``out_of_plane`` smaller, so
+    the torsion angle is within ~1e-6 of 0 or π — the degenerate
+    geometry of triple-bonded compounds (alkynes) the paper highlights,
+    where ``acos`` of the normalized determinant is catastrophically
+    ill-conditioned.
+    """
+    atoms: List[Vec3] = [(0.0, 0.0, 0.0)]
+    position = (0.0, 0.0, 0.0)
+    for __ in range(3):
+        position = (
+            position[0] + rng.uniform(0.9, 1.1),
+            position[1] + rng.uniform(-bend, bend),
+            position[2] + rng.uniform(-bend, bend) * out_of_plane,
+        )
+        atoms.append(position)
+    return [coordinate for atom in atoms for coordinate in atom]
+
+
+def generic_configuration(rng: random.Random) -> List[float]:
+    """A well-bent configuration (benign for both formulas)."""
+    return [rng.uniform(-2.0, 2.0) for __ in range(12)]
+
+
+def reference_angle(coordinates: Sequence[float]) -> float:
+    """The dihedral angle computed in numpy-free double precision with
+    the stable formula (used as a sanity oracle in tests)."""
+    atoms = [tuple(coordinates[3 * i : 3 * i + 3]) for i in range(4)]
+
+    def sub(a, b):
+        return tuple(x - y for x, y in zip(a, b))
+
+    def cross(a, b):
+        return (
+            a[1] * b[2] - a[2] * b[1],
+            a[2] * b[0] - a[0] * b[2],
+            a[0] * b[1] - a[1] * b[0],
+        )
+
+    def dot(a, b):
+        return sum(x * y for x, y in zip(a, b))
+
+    b1 = sub(atoms[1], atoms[0])
+    b2 = sub(atoms[2], atoms[1])
+    b3 = sub(atoms[3], atoms[2])
+    m = cross(b1, b2)
+    n = cross(b2, b3)
+    return abs(math.atan2(math.sqrt(dot(b2, b2)) * dot(b1, n), dot(m, n)))
+
+
+@dataclass
+class DihedralResult:
+    angles: List[float]
+    analysis: Optional[HerbgrindAnalysis]
+
+    @property
+    def erroneous_angles(self) -> int:
+        if self.analysis is None:
+            return 0
+        return sum(
+            spot.erroneous
+            for spot in self.analysis.spot_records.values()
+            if spot.kind == "output"
+        )
+
+
+def run_dihedral(
+    configurations: Sequence[Sequence[float]],
+    fixed: bool = False,
+    config: Optional[AnalysisConfig] = None,
+) -> DihedralResult:
+    """Analyse the routine over the given atom configurations."""
+    program = build_dihedral_program(fixed=fixed)
+    if config is None:
+        config = AnalysisConfig(shadow_precision=256)
+    analysis, outputs = analyze_program(
+        program, [list(c) for c in configurations], config=config
+    )
+    return DihedralResult([o[0] for o in outputs], analysis)

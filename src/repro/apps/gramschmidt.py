@@ -1,0 +1,209 @@
+"""The Gram-Schmidt case study (paper Section 7).
+
+The Polybench 3.2.1 ``gramschmidt`` kernel initializes its input matrix
+as ``A[i][j] = (i*j) / ni`` — making column 0 all zeros, so the first
+column norm is 0, the normalization divides by zero, and NaNs flood the
+output.  Herbgrind reports the NaN as 64 bits of error and its input
+characteristics hand the developer the zero-vector problematic input.
+Polybench 4.2.0 fixed the *initializer* (``((i*j) % ni)/ni * 100 + 10``),
+not the kernel — the bug was the interaction, exactly the non-local
+story the paper tells.
+
+The kernel is built in machine IR with the matrices living in the heap
+(base + i*cols + j addressing), so the analysis tracks error through
+memory traffic just as the binary tool does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core import AnalysisConfig, HerbgrindAnalysis, analyze_program
+from repro.machine import FunctionBuilder, Interpreter, Program
+
+#: Heap bases for the matrices (row-major, stride = columns).
+A_BASE = 10_000
+R_BASE = 20_000
+Q_BASE = 30_000
+
+#: Initializer styles.
+INIT_POLYBENCH_3_2_1 = "polybench-3.2.1"
+INIT_POLYBENCH_4_2_0 = "polybench-4.2.0"
+
+
+def _address(fn: FunctionBuilder, base: int, row, col, cols: int):
+    """base + row*cols + col with integer ops (heap addressing)."""
+    stride = fn.const_int(cols)
+    offset = fn.int_op("iadd", fn.int_op("imul", row, stride), col)
+    return fn.int_op("iadd", fn.const_int(base), offset)
+
+
+def build_gramschmidt_program(
+    rows: int, cols: int, initializer: str = INIT_POLYBENCH_3_2_1
+) -> Program:
+    """The full init + kernel + output program."""
+    fn = FunctionBuilder("main")
+    one_i = fn.const_int(1)
+    rows_i = fn.const_int(rows)
+    cols_i = fn.const_int(cols)
+
+    # ------------------------------------------------------------------
+    # init_array (the culprit in 3.2.1)
+    # ------------------------------------------------------------------
+    fn.at("gramschmidt.c:init")
+    i = fn.mov(fn.const_int(0))
+    init_outer = fn.label("init_outer")
+    init_outer_done = fn.fresh_label("init_outer_done")
+    fn.int_branch("ge", i, rows_i, init_outer_done)
+    j = fn.mov(fn.const_int(0))
+    init_inner = fn.label("init_inner")
+    init_inner_done = fn.fresh_label("init_inner_done")
+    fn.int_branch("ge", j, cols_i, init_inner_done)
+    product = fn.int_op("imul", i, j)
+    if initializer == INIT_POLYBENCH_3_2_1:
+        # A[i][j] = ((double)i*j) / ni  -> column j=0 is all zeros.
+        value = fn.op(
+            "/", fn.int_to_float(product), fn.int_to_float(rows_i)
+        )
+    elif initializer == INIT_POLYBENCH_4_2_0:
+        # A[i][j] = ((i*j) % ni) / ni * 100 + 10.
+        reduced = fn.int_op("imod", product, rows_i)
+        ratio = fn.op("/", fn.int_to_float(reduced), fn.int_to_float(rows_i))
+        value = fn.op("+", fn.op("*", ratio, fn.const(100.0)), fn.const(10.0))
+    else:
+        raise ValueError(f"unknown initializer {initializer!r}")
+    fn.store(_address(fn, A_BASE, i, j, cols), value)
+    fn.mov_to(j, fn.int_op("iadd", j, one_i))
+    fn.jump(init_inner)
+    fn.label(init_inner_done)
+    fn.mov_to(i, fn.int_op("iadd", i, one_i))
+    fn.jump(init_outer)
+    fn.label(init_outer_done)
+
+    # ------------------------------------------------------------------
+    # The gramschmidt kernel (Polybench's loop structure)
+    # ------------------------------------------------------------------
+    k = fn.mov(fn.const_int(0))
+    k_loop = fn.label("k_loop")
+    k_done = fn.fresh_label("k_done")
+    fn.int_branch("ge", k, cols_i, k_done)
+
+    # nrm = sum_i A[i][k]^2
+    fn.at("gramschmidt.c:12")
+    nrm = fn.mov(fn.const(0.0))
+    i2 = fn.mov(fn.const_int(0))
+    nrm_loop = fn.label(fn.fresh_label("nrm"))
+    nrm_done = fn.fresh_label("nrm_done")
+    fn.int_branch("ge", i2, rows_i, nrm_done)
+    a_ik = fn.load(_address(fn, A_BASE, i2, k, cols))
+    fn.mov_to(nrm, fn.op("+", nrm, fn.op("*", a_ik, a_ik), loc="gramschmidt.c:13"))
+    fn.mov_to(i2, fn.int_op("iadd", i2, one_i))
+    fn.jump(nrm_loop)
+    fn.label(nrm_done)
+
+    # R[k][k] = sqrt(nrm)
+    fn.at("gramschmidt.c:15")
+    r_kk = fn.op("sqrt", nrm, loc="gramschmidt.c:15")
+    fn.store(_address(fn, R_BASE, k, k, cols), r_kk)
+
+    # Q[i][k] = A[i][k] / R[k][k]   <- division by zero on a zero column
+    i3 = fn.mov(fn.const_int(0))
+    q_loop = fn.label(fn.fresh_label("q"))
+    q_done = fn.fresh_label("q_done")
+    fn.int_branch("ge", i3, rows_i, q_done)
+    a_ik3 = fn.load(_address(fn, A_BASE, i3, k, cols))
+    q_ik = fn.op("/", a_ik3, r_kk, loc="gramschmidt.c:17")
+    fn.store(_address(fn, Q_BASE, i3, k, cols), q_ik)
+    fn.mov_to(i3, fn.int_op("iadd", i3, one_i))
+    fn.jump(q_loop)
+    fn.label(q_done)
+
+    # for j in k+1..cols: R[k][j] = Q[:,k] . A[:,j]; A[:,j] -= Q[:,k]*R[k][j]
+    j2 = fn.mov(fn.int_op("iadd", k, one_i))
+    j_loop = fn.label(fn.fresh_label("j"))
+    j_done = fn.fresh_label("j_done")
+    fn.int_branch("ge", j2, cols_i, j_done)
+    r_kj = fn.mov(fn.const(0.0))
+    i4 = fn.mov(fn.const_int(0))
+    dot_loop = fn.label(fn.fresh_label("dot"))
+    dot_done = fn.fresh_label("dot_done")
+    fn.int_branch("ge", i4, rows_i, dot_done)
+    q_ik4 = fn.load(_address(fn, Q_BASE, i4, k, cols))
+    a_ij4 = fn.load(_address(fn, A_BASE, i4, j2, cols))
+    fn.mov_to(r_kj, fn.op("+", r_kj, fn.op("*", q_ik4, a_ij4), loc="gramschmidt.c:22"))
+    fn.mov_to(i4, fn.int_op("iadd", i4, one_i))
+    fn.jump(dot_loop)
+    fn.label(dot_done)
+    fn.store(_address(fn, R_BASE, k, j2, cols), r_kj)
+    i5 = fn.mov(fn.const_int(0))
+    update_loop = fn.label(fn.fresh_label("upd"))
+    update_done = fn.fresh_label("upd_done")
+    fn.int_branch("ge", i5, rows_i, update_done)
+    address = _address(fn, A_BASE, i5, j2, cols)
+    a_ij5 = fn.load(address)
+    q_ik5 = fn.load(_address(fn, Q_BASE, i5, k, cols))
+    updated = fn.op("-", a_ij5, fn.op("*", q_ik5, r_kj), loc="gramschmidt.c:25")
+    fn.store(address, updated)
+    fn.mov_to(i5, fn.int_op("iadd", i5, one_i))
+    fn.jump(update_loop)
+    fn.label(update_done)
+    fn.mov_to(j2, fn.int_op("iadd", j2, one_i))
+    fn.jump(j_loop)
+    fn.label(j_done)
+
+    fn.mov_to(k, fn.int_op("iadd", k, one_i))
+    fn.jump(k_loop)
+    fn.label(k_done)
+
+    # ------------------------------------------------------------------
+    # Output the observable state: all of Q, and the written (upper-
+    # triangular) part of R.  Unrolled at build time — the dimensions
+    # are compile-time constants, as in the Polybench benchmark.
+    # ------------------------------------------------------------------
+    fn.at("gramschmidt.c:out")
+    for row in range(rows):
+        for col in range(cols):
+            address = fn.const_int(Q_BASE + row * cols + col)
+            fn.out(fn.load(address))
+    for row in range(cols):
+        for col in range(row, cols):
+            address = fn.const_int(R_BASE + row * cols + col)
+            fn.out(fn.load(address))
+    fn.halt()
+
+    program = Program()
+    program.add(fn.build())
+    return program
+
+
+@dataclass
+class GramSchmidtResult:
+    rows: int
+    cols: int
+    outputs: List[float]
+    analysis: Optional[HerbgrindAnalysis]
+
+    @property
+    def nan_outputs(self) -> int:
+        import math
+
+        return sum(1 for v in self.outputs if math.isnan(v))
+
+
+def run_gramschmidt(
+    rows: int = 6,
+    cols: int = 4,
+    initializer: str = INIT_POLYBENCH_3_2_1,
+    analyse: bool = True,
+    config: Optional[AnalysisConfig] = None,
+) -> GramSchmidtResult:
+    """Run the kernel; with the 3.2.1 initializer NaNs appear."""
+    program = build_gramschmidt_program(rows, cols, initializer)
+    if analyse:
+        if config is None:
+            config = AnalysisConfig(shadow_precision=256)
+        analysis, outputs = analyze_program(program, [[]], config=config)
+        return GramSchmidtResult(rows, cols, outputs[0], analysis)
+    outputs = Interpreter(program).run([])
+    return GramSchmidtResult(rows, cols, outputs, None)

@@ -1,0 +1,231 @@
+"""The complex function plotter of paper Section 3 / Figure 1.
+
+Plots arg(f(x + iy)) over a region, where
+
+    f(z) = 1 / (sqrt(Re z) - csqrt(Re z + i * exp(-20 z)))
+
+using the textbook complex square root
+
+    csqrt(x + iy) = sqrt((m + x)/2) + i * sign(y) * sqrt((m - x)/2),
+    m = sqrt(x^2 + y^2).
+
+The imaginary component's ``m - x`` cancels catastrophically when y is
+tiny and x > 0 — the root cause Herbgrind extracts as
+``(- (sqrt (+ (* x x) (* y y))) x)``.  The *fixed* plotter uses the
+Herbie-improved branch form from the paper's Section 3:
+
+    x <= 0:  (|y| / s  + i * sign(y) * s) / sqrt(2),  s = sqrt(m - x)
+    x >  0:  (t + i * sign(y) * |y| / t) / sqrt(2),   t = sqrt(m + x)
+
+The program is built in machine IR: csqrt is a real IR function that
+returns its two components through the heap, so the analysis must track
+error across a call boundary and through memory to find the fragment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core import AnalysisConfig, HerbgrindAnalysis, analyze_program
+from repro.machine import FunctionBuilder, Interpreter, Program
+
+#: Heap addresses csqrt uses to return its two components.
+CSQRT_RE_ADDR = 900
+CSQRT_IM_ADDR = 901
+
+#: The paper's plotting region R = [0, 1/4] x [-3, 3].
+PAPER_REGION = (0.0, 0.25, -3.0, 3.0)
+
+
+def _emit_csqrt_naive() -> FunctionBuilder:
+    fn = FunctionBuilder("csqrt", params=("x", "y"))
+    fn.at("csqrt.cpp:7")
+    xx = fn.op("*", "x", "x")
+    yy = fn.op("*", "y", "y")
+    m = fn.op("sqrt", fn.op("+", xx, yy))
+    half = fn.const(0.5)
+    fn.at("csqrt.cpp:9")
+    re = fn.op("sqrt", fn.op("*", fn.op("+", m, "x"), half))
+    fn.at("csqrt.cpp:10")
+    im_magnitude = fn.op("sqrt", fn.op("*", fn.op("-", m, "x"), half))
+    im = fn.op("copysign", im_magnitude, "y")
+    fn.store(fn.const_int(CSQRT_RE_ADDR), re)
+    fn.store(fn.const_int(CSQRT_IM_ADDR), im)
+    fn.ret(fn.const(0.0))
+    return fn
+
+
+def _emit_csqrt_fixed() -> FunctionBuilder:
+    fn = FunctionBuilder("csqrt", params=("x", "y"))
+    fn.at("csqrt_fixed.cpp:7")
+    xx = fn.op("*", "x", "x")
+    yy = fn.op("*", "y", "y")
+    m = fn.op("sqrt", fn.op("+", xx, yy))
+    inv_sqrt2 = fn.const(1.0 / math.sqrt(2.0))
+    abs_y = fn.op("fabs", "y")
+    positive = fn.fresh_label("xpos")
+    fn.branch("gt", "x", fn.const(0.0), positive)
+    # x <= 0: sqrt(m - x) is safe (no cancellation).
+    s = fn.op("sqrt", fn.op("-", m, "x"), loc="csqrt_fixed.cpp:11")
+    re = fn.op("*", fn.op("/", abs_y, s), inv_sqrt2)
+    im = fn.op("copysign", fn.op("*", s, inv_sqrt2), "y")
+    fn.store(fn.const_int(CSQRT_RE_ADDR), re)
+    fn.store(fn.const_int(CSQRT_IM_ADDR), im)
+    fn.ret(fn.const(0.0))
+    fn.label(positive)
+    # x > 0: sqrt(m + x) is safe.
+    t = fn.op("sqrt", fn.op("+", m, "x"), loc="csqrt_fixed.cpp:16")
+    re = fn.op("*", t, inv_sqrt2)
+    im = fn.op("copysign", fn.op("*", fn.op("/", abs_y, t), inv_sqrt2), "y")
+    fn.store(fn.const_int(CSQRT_RE_ADDR), re)
+    fn.store(fn.const_int(CSQRT_IM_ADDR), im)
+    fn.ret(fn.const(0.0))
+    return fn
+
+
+def build_plotter_program(
+    width: int, height: int, fixed: bool = False
+) -> Program:
+    """The plotter: reads x0 x1 y0 y1, outputs arg(f) per pixel.
+
+    The pixel loops are integer loops; pixel centers are produced by
+    int→float conversions, so the per-pixel coordinates reach the
+    analysis as opaque-ish values that anti-unification generalizes.
+    """
+    program = Program()
+    program.add((_emit_csqrt_fixed() if fixed else _emit_csqrt_naive()).build())
+
+    fn = FunctionBuilder("main")
+    fn.at("main.cpp:14")
+    x0 = fn.read()
+    x1 = fn.read()
+    y0 = fn.read()
+    y1 = fn.read()
+    width_f = fn.const(float(width))
+    height_f = fn.const(float(height))
+    dx = fn.op("/", fn.op("-", x1, x0), width_f)
+    dy = fn.op("/", fn.op("-", y1, y0), height_f)
+    half = fn.const(0.5)
+    twenty = fn.const(20.0)
+
+    i = fn.mov(fn.const_int(0))
+    width_i = fn.const_int(width)
+    height_i = fn.const_int(height)
+    one_i = fn.const_int(1)
+
+    outer = fn.label("outer")
+    outer_done = fn.fresh_label("outer_done")
+    fn.int_branch("ge", i, width_i, outer_done)
+    j = fn.mov(fn.const_int(0))
+    inner = fn.label("inner")
+    inner_done = fn.fresh_label("inner_done")
+    fn.int_branch("ge", j, height_i, inner_done)
+
+    fn.at("main.cpp:20")
+    # Pixel center: x = x0 + (i + 0.5) dx, y = y0 + (j + 0.5) dy.
+    x = fn.op("+", x0, fn.op("*", fn.op("+", fn.int_to_float(i), half), dx))
+    y = fn.op("+", y0, fn.op("*", fn.op("+", fn.int_to_float(j), half), dy))
+
+    fn.at("main.cpp:22")
+    # w = x + i*exp(-20 z): exp(-20z) = e^{-20x} (cos 20y - i sin 20y),
+    # so w_re = x + e^{-20x} sin 20y, w_im = e^{-20x} cos 20y.
+    scale = fn.call("exp", fn.op("neg", fn.op("*", twenty, x)))
+    angle = fn.op("*", twenty, y)
+    w_re = fn.op("+", x, fn.op("*", scale, fn.call("sin", angle)))
+    w_im = fn.op("*", scale, fn.call("cos", angle))
+
+    fn.at("main.cpp:23")
+    fn.call("csqrt", w_re, w_im)
+    c_re = fn.load(fn.const_int(CSQRT_RE_ADDR))
+    c_im = fn.load(fn.const_int(CSQRT_IM_ADDR))
+
+    # d = sqrt(x) - csqrt(w); f = 1/d; colour = arg(f).
+    sqrt_x = fn.op("sqrt", x)
+    d_re = fn.op("-", sqrt_x, c_re)
+    d_im = fn.op("neg", c_im)
+    denominator = fn.op("+", fn.op("*", d_re, d_re), fn.op("*", d_im, d_im))
+    f_re = fn.op("/", d_re, denominator)
+    f_im = fn.op("neg", fn.op("/", d_im, denominator))
+    fn.at("main.cpp:24")
+    colour = fn.call("atan2", f_im, f_re)
+    fn.out(colour, loc="main.cpp:24")
+
+    fn.mov_to(j, fn.int_op("iadd", j, one_i))
+    fn.jump(inner)
+    fn.label(inner_done)
+    fn.mov_to(i, fn.int_op("iadd", i, one_i))
+    fn.jump(outer)
+    fn.label(outer_done)
+    fn.halt()
+    program.add(fn.build())
+    return program
+
+
+@dataclass
+class PlotterResult:
+    """One plotter run: pixel values + (optionally) the analysis."""
+
+    width: int
+    height: int
+    values: List[float]
+    analysis: Optional[HerbgrindAnalysis] = None
+
+    @property
+    def total_pixels(self) -> int:
+        return self.width * self.height
+
+    @property
+    def incorrect_pixels(self) -> int:
+        """Pixels whose arg() was erroneous, per the output spot."""
+        if self.analysis is None:
+            raise ValueError("run with analyse=True to count errors")
+        outputs = [
+            s for s in self.analysis.spot_records.values() if s.kind == "output"
+        ]
+        return sum(s.erroneous for s in outputs)
+
+
+def run_plotter(
+    width: int = 64,
+    height: int = 48,
+    region: Tuple[float, float, float, float] = PAPER_REGION,
+    fixed: bool = False,
+    analyse: bool = True,
+    config: Optional[AnalysisConfig] = None,
+) -> PlotterResult:
+    """Plot the region; with ``analyse`` the Herbgrind tracer rides along."""
+    program = build_plotter_program(width, height, fixed=fixed)
+    inputs = list(region)
+    if analyse:
+        if config is None:
+            config = AnalysisConfig(shadow_precision=256)
+        analysis, outputs = analyze_program(
+            program, [inputs], config=config, max_steps=500_000_000
+        )
+        return PlotterResult(width, height, outputs[0], analysis)
+    outputs = Interpreter(program, max_steps=500_000_000).run(inputs)
+    return PlotterResult(width, height, outputs)
+
+
+def render_pgm(result: PlotterResult, path: str) -> None:
+    """Write the plot as a portable graymap (Figure 1 rendering)."""
+    span = 2.0 * math.pi
+    pixels = []
+    for value in result.values:
+        if math.isnan(value):
+            level = 0
+        else:
+            level = int((value + math.pi) / span * 255.0)
+            level = min(255, max(0, level))
+        pixels.append(level)
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(f"P2\n{result.width} {result.height}\n255\n")
+        # Values were produced column-major (x outer, y inner).
+        for row in range(result.height):
+            line = [
+                str(pixels[column * result.height + row])
+                for column in range(result.width)
+            ]
+            handle.write(" ".join(line) + "\n")

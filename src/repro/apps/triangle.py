@@ -1,0 +1,240 @@
+"""The Triangle compensation study (paper Section 8.3).
+
+Jonathan Shewchuk's Triangle computes geometric predicates with *exact*
+compensated arithmetic: ``two_diff``/``split``/``two_product`` produce
+(result, error-term) pairs whose error terms are exactly zero in the
+reals.  Every operation computing such a term has huge local error, so
+a naive analysis would flag all of them; Herbgrind's compensation
+detection (Section 5.3) recognizes the terms being *added back* and
+does not propagate their influence.
+
+The paper reports 225 compensating terms handled and 14 missed — the
+misses being terms that feed *control flow* (the adaptive predicate's
+error-bound test), where the real-number execution takes the branch
+"the wrong way".  This module reproduces the mechanism with Shewchuk's
+``orient2d`` adaptive predicate: a fast determinant, an error-bound
+branch, and an exact second stage built from two_diff/two_product.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core import AnalysisConfig, HerbgrindAnalysis, SPOT_BRANCH, analyze_program
+from repro.machine import FunctionBuilder, Program
+
+#: Shewchuk's splitter for 53-bit doubles: 2^27 + 1.
+SPLITTER = 134217729.0
+
+#: Shewchuk's error bound coefficient for the orient2d A-stage test.
+CCW_ERRBOUND_A = 3.3306690738754716e-16
+
+#: Heap slots for (result, error) pairs returned by the helpers.
+RESULT_SLOT = 400
+ERROR_SLOT = 401
+
+
+def _emit_two_diff(fn: FunctionBuilder, a, b, loc: str):
+    """Knuth's two_diff: returns (x, y) with a - b = x + y exactly.
+
+    y's computation chain consists of compensating operations whose
+    real-number value is exactly zero.
+    """
+    fn.at(loc)
+    x = fn.op("-", a, b)
+    b_virtual = fn.op("-", a, x)
+    a_virtual = fn.op("+", x, b_virtual)
+    b_round = fn.op("-", b_virtual, b)
+    a_round = fn.op("-", a, a_virtual)
+    y = fn.op("+", a_round, b_round)
+    return x, y
+
+
+def _emit_split(fn: FunctionBuilder, a, loc: str):
+    """Dekker's split via the 2^27+1 multiplier."""
+    fn.at(loc)
+    c = fn.op("*", fn.const(SPLITTER), a)
+    a_big = fn.op("-", c, a)
+    a_high = fn.op("-", c, a_big)
+    a_low = fn.op("-", a, a_high)
+    return a_high, a_low
+
+
+def _emit_two_product(fn: FunctionBuilder, a, b, loc: str):
+    """Dekker/Veltkamp exact product: a*b = x + y."""
+    fn.at(loc)
+    x = fn.op("*", a, b)
+    a_high, a_low = _emit_split(fn, a, loc)
+    b_high, b_low = _emit_split(fn, b, loc)
+    error1 = fn.op("-", x, fn.op("*", a_high, b_high))
+    error2 = fn.op("-", error1, fn.op("*", a_low, b_high))
+    error3 = fn.op("-", error2, fn.op("*", a_high, b_low))
+    y = fn.op("-", fn.op("*", a_low, b_low), error3)
+    return x, y
+
+
+def build_orient2d_program() -> Program:
+    """orient2d with Shewchuk's A/B adaptive structure.
+
+    Reads 6 coordinates; outputs the signed area sign value.  The fast
+    path returns the naive determinant when the error-bound test says
+    it is safe; otherwise the exact stage combines two_product
+    expansions with two_diff compensation.
+    """
+    fn = FunctionBuilder("main")
+    fn.at("predicates.c:orient2d")
+    ax, ay = fn.read(), fn.read()
+    bx, by = fn.read(), fn.read()
+    cx, cy = fn.read(), fn.read()
+
+    acx = fn.op("-", ax, cx, loc="predicates.c:833")
+    bcx = fn.op("-", bx, cx, loc="predicates.c:834")
+    acy = fn.op("-", ay, cy, loc="predicates.c:835")
+    bcy = fn.op("-", by, cy, loc="predicates.c:836")
+    det_left = fn.op("*", acx, bcy, loc="predicates.c:838")
+    det_right = fn.op("*", acy, bcx, loc="predicates.c:839")
+    det = fn.op("-", det_left, det_right, loc="predicates.c:840")
+
+    # Error-bound test: |det| >= errbound * (|detleft| + |detright|).
+    fn.at("predicates.c:845")
+    det_sum = fn.op("+", fn.op("fabs", det_left), fn.op("fabs", det_right))
+    errbound = fn.op("*", fn.const(CCW_ERRBOUND_A), det_sum)
+    adapt = fn.fresh_label("adapt")
+    magnitude = fn.op("fabs", det)
+    fn.branch("lt", magnitude, errbound, adapt, loc="predicates.c:847")
+    fn.out(det, loc="predicates.c:848")
+    fn.halt()
+
+    # ------------------------------------------------------------------
+    # Exact stage (B): expansion arithmetic with compensated terms.
+    # ------------------------------------------------------------------
+    fn.label(adapt)
+    left_hi, left_lo = _emit_two_product(fn, acx, bcy, "predicates.c:860")
+    right_hi, right_lo = _emit_two_product(fn, acy, bcx, "predicates.c:861")
+    # B = (left_hi + left_lo) - (right_hi + right_lo), combined from
+    # most-significant down with compensated corrections added back.
+    fn.at("predicates.c:863")
+    main_diff, main_err = _emit_two_diff(fn, left_hi, right_hi, "predicates.c:863")
+    low_diff, low_err = _emit_two_diff(fn, left_lo, right_lo, "predicates.c:864")
+    fn.at("predicates.c:866")
+    correction = fn.op("+", fn.op("+", main_err, low_diff), low_err)
+    estimate = fn.op("+", main_diff, correction, loc="predicates.c:867")
+
+    # ------------------------------------------------------------------
+    # Stage C: Shewchuk refines with the *tails* of the coordinate
+    # differences.  The tails are compensating terms (exactly zero in
+    # the reals), and the `tail == 0` early exits branch on them — the
+    # control-flow dependence Herbgrind's detector cannot neutralize
+    # (the paper's 14 missed compensations).
+    # ------------------------------------------------------------------
+    __, acx_tail = _emit_two_diff(fn, ax, cx, "predicates.c:875")
+    __, bcx_tail = _emit_two_diff(fn, bx, cx, "predicates.c:876")
+    __, acy_tail = _emit_two_diff(fn, ay, cy, "predicates.c:877")
+    __, bcy_tail = _emit_two_diff(fn, by, cy, "predicates.c:878")
+    zero = fn.const(0.0)
+    refine = fn.fresh_label("refine")
+    fn.branch("ne", acx_tail, zero, refine, loc="predicates.c:880")
+    fn.branch("ne", bcx_tail, zero, refine, loc="predicates.c:881")
+    fn.branch("ne", acy_tail, zero, refine, loc="predicates.c:882")
+    fn.branch("ne", bcy_tail, zero, refine, loc="predicates.c:883")
+    fn.out(estimate, loc="predicates.c:884")
+    fn.halt()
+    fn.label(refine)
+    fn.at("predicates.c:887")
+    positive = fn.op(
+        "+", fn.op("*", acx, bcy_tail), fn.op("*", bcy, acx_tail)
+    )
+    negative = fn.op(
+        "+", fn.op("*", acy, bcx_tail), fn.op("*", bcx, acy_tail)
+    )
+    refined = fn.op(
+        "+", estimate, fn.op("-", positive, negative), loc="predicates.c:889"
+    )
+    fn.out(refined, loc="predicates.c:890")
+    fn.halt()
+
+    program = Program()
+    program.add(fn.build())
+    return program
+
+
+def random_triangle(rng: random.Random) -> List[float]:
+    """A generic (well-conditioned) input triangle."""
+    return [rng.uniform(-10.0, 10.0) for __ in range(6)]
+
+
+def near_degenerate_triangle(rng: random.Random) -> List[float]:
+    """Three nearly colinear points: the fast determinant cancels and
+    the adaptive stage (with its compensating terms) runs."""
+    ax, ay = rng.uniform(-1, 1), rng.uniform(-1, 1)
+    dx, dy = rng.uniform(-1, 1), rng.uniform(-1, 1)
+    t1, t2 = rng.uniform(0.1, 0.9), rng.uniform(1.1, 1.9)
+    wobble = rng.uniform(-1e-18, 1e-18)
+    return [
+        ax, ay,
+        ax + t1 * dx, ay + t1 * dy + wobble,
+        ax + t2 * dx, ay + t2 * dy,
+    ]
+
+
+@dataclass
+class TriangleStudy:
+    """Compensation statistics over a batch of orient2d calls."""
+
+    analysis: HerbgrindAnalysis
+    outputs: List[float]
+
+    @property
+    def compensating_sites(self) -> int:
+        """Operation sites where compensation was detected at least once."""
+        return sum(
+            1 for r in self.analysis.op_records.values()
+            if r.compensations_detected > 0
+        )
+
+    @property
+    def compensations_detected(self) -> int:
+        """Total compensating-term additions handled."""
+        return sum(
+            r.compensations_detected for r in self.analysis.op_records.values()
+        )
+
+    @property
+    def control_flow_misses(self) -> int:
+        """Branch divergences: compensating terms that reached control
+        flow, where the real execution goes the 'wrong way' (the
+        paper's 14 undetectable cases)."""
+        return sum(
+            spot.erroneous
+            for spot in self.analysis.spot_records.values()
+            if spot.kind == SPOT_BRANCH
+        )
+
+    @property
+    def false_positive_reports(self) -> int:
+        """Spots blaming compensating code despite accurate outputs."""
+        report_worthy = [
+            s for s in self.analysis.erroneous_spots() if s.kind == "output"
+        ]
+        return len(report_worthy)
+
+
+def run_triangle_study(
+    num_generic: int = 12,
+    num_degenerate: int = 12,
+    seed: int = 0,
+    config: Optional[AnalysisConfig] = None,
+    detect_compensation: bool = True,
+) -> TriangleStudy:
+    """Run orient2d over generic + near-degenerate triangles."""
+    rng = random.Random(seed)
+    inputs: List[List[float]] = [random_triangle(rng) for __ in range(num_generic)]
+    inputs += [near_degenerate_triangle(rng) for __ in range(num_degenerate)]
+    if config is None:
+        config = AnalysisConfig(shadow_precision=256)
+    config = config.with_(detect_compensation=detect_compensation)
+    program = build_orient2d_program()
+    analysis, outputs = analyze_program(program, inputs, config=config)
+    return TriangleStudy(analysis, [o[0] for o in outputs])

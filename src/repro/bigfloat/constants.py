@@ -1,0 +1,84 @@
+"""High-precision mathematical constants, computed from scratch.
+
+π comes from Machin's formula (16·atan(1/5) − 4·atan(1/239)); ln 2 from
+the fast artanh series 2·atanh(1/3).  Results are cached per working
+precision since the transcendental kernels request the same precisions
+repeatedly during shadow execution.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.bigfloat.bigfloat import BigFloat
+from repro.bigfloat.context import Context
+from repro.bigfloat.fixedpoint import from_fixed, tdiv
+
+_GUARD = 16
+
+
+def _atan_reciprocal_fixed(k: int, wp: int) -> int:
+    """atan(1/k) * 2^wp for integer k >= 2, by the Gregory series."""
+    power = (1 << wp) // k
+    total = power
+    k_squared = k * k
+    n = 3
+    sign = -1
+    while power:
+        power //= k_squared
+        total += sign * tdiv(power, n)
+        sign = -sign
+        n += 2
+    return total
+
+
+@lru_cache(maxsize=64)
+def pi_fixed(wp: int) -> int:
+    """π * 2^wp, via Machin: π = 16 atan(1/5) − 4 atan(1/239)."""
+    inner = wp + _GUARD
+    value = 16 * _atan_reciprocal_fixed(5, inner) - 4 * _atan_reciprocal_fixed(239, inner)
+    return value >> _GUARD
+
+
+@lru_cache(maxsize=64)
+def ln2_fixed(wp: int) -> int:
+    """ln(2) * 2^wp, via ln 2 = 2 atanh(1/3) = 2 Σ (1/3)^(2i+1)/(2i+1)."""
+    inner = wp + _GUARD
+    power = (1 << inner) // 3
+    total = power
+    n = 3
+    while power:
+        power //= 9
+        total += tdiv(power, n)
+        n += 2
+    return (total << 1) >> _GUARD
+
+
+def pi(context: Context) -> BigFloat:
+    """π rounded to the context precision."""
+    wp = context.precision + _GUARD
+    return from_fixed(pi_fixed(wp), wp).round_to(context.precision, context.rounding)
+
+
+def pi_over_2(context: Context) -> BigFloat:
+    """π/2 rounded to the context precision."""
+    wp = context.precision + _GUARD
+    return from_fixed(pi_fixed(wp), wp + 1).round_to(context.precision, context.rounding)
+
+
+def ln2(context: Context) -> BigFloat:
+    """ln 2 rounded to the context precision."""
+    wp = context.precision + _GUARD
+    return from_fixed(ln2_fixed(wp), wp).round_to(context.precision, context.rounding)
+
+
+def euler_e(context: Context) -> BigFloat:
+    """Euler's number e rounded to the context precision."""
+    from repro.bigfloat.fixedpoint import exp_series
+
+    wp = context.precision + _GUARD
+    half = 1 << (wp - 1)
+    # e = (e^(1/2))^2 keeps the series argument within exp_series' range.
+    root = exp_series(half, wp)
+    value = (root * root) >> wp
+    return from_fixed(value, wp).round_to(context.precision, context.rounding)

@@ -1,0 +1,81 @@
+"""Precision/rounding contexts for the bigfloat library.
+
+The paper shadows every double with a high-precision value ("1000-bit
+mantissa" by default, Section 5.1); :class:`Context` carries that
+precision plus the rounding mode.  A module-level default context can be
+swapped or temporarily overridden with :func:`local_context`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.bigfloat.rounding import ALL_MODES, ROUND_NEAREST_EVEN
+
+#: The paper's default shadow precision (Section 5.1, footnote 10).
+DEFAULT_PRECISION = 1000
+
+
+@dataclass(frozen=True)
+class Context:
+    """An immutable arithmetic context: precision in bits + rounding mode."""
+
+    precision: int = DEFAULT_PRECISION
+    rounding: str = ROUND_NEAREST_EVEN
+
+    def __post_init__(self) -> None:
+        if self.precision < 2:
+            raise ValueError(f"precision must be >= 2, got {self.precision}")
+        if self.rounding not in ALL_MODES:
+            raise ValueError(f"unknown rounding mode: {self.rounding!r}")
+
+    def with_precision(self, precision: int) -> "Context":
+        """A copy of this context at a different precision."""
+        return Context(precision=precision, rounding=self.rounding)
+
+    def with_rounding(self, rounding: str) -> "Context":
+        """A copy of this context with a different rounding mode."""
+        return Context(precision=self.precision, rounding=rounding)
+
+    def widened(self, extra_bits: int) -> "Context":
+        """A copy with ``extra_bits`` guard bits added to the precision."""
+        return Context(precision=self.precision + extra_bits, rounding=self.rounding)
+
+
+#: The binary64 context: rounding any exact result through it models one
+#: hardware operation.
+DOUBLE_CONTEXT = Context(precision=53)
+
+#: The binary32 context.
+SINGLE_CONTEXT = Context(precision=24)
+
+_default_context = Context()
+
+
+def getcontext() -> Context:
+    """The current module-level default context."""
+    return _default_context
+
+
+def setcontext(context: Context) -> None:
+    """Replace the module-level default context."""
+    global _default_context
+    _default_context = context
+
+
+@contextlib.contextmanager
+def local_context(context: Context) -> Iterator[Context]:
+    """Temporarily install ``context`` as the default.
+
+    >>> with local_context(Context(precision=200)):
+    ...     ...
+    """
+    global _default_context
+    saved = _default_context
+    _default_context = context
+    try:
+        yield context
+    finally:
+        _default_context = saved

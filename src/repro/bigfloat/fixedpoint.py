@@ -1,0 +1,212 @@
+"""Integer fixed-point helpers for the transcendental kernels.
+
+The transcendental functions (exp, log, sin, ...) are evaluated as power
+series over *fixed-point integers*: an integer ``v`` at working precision
+``wp`` represents the real ``v / 2**wp``.  All helpers truncate toward
+zero so that alternating series terms reliably decay to zero (floor
+division would let negative terms get stuck at -1).
+
+Accuracy contract: each helper is exact or within 1 fixed-point ulp
+(2**-wp); kernels run with ~32 guard bits over the target precision, so
+series evaluation with a few hundred terms still delivers a faithfully
+rounded result at the context precision.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.bigfloat.bigfloat import BigFloat, K_FINITE
+
+
+def tdiv(a: int, b: int) -> int:
+    """Truncating integer division (rounds toward zero, unlike //)."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def tshift(a: int, shift: int) -> int:
+    """Truncating right shift (rounds toward zero, unlike >>)."""
+    if shift <= 0:
+        return a << -shift
+    if a >= 0:
+        return a >> shift
+    return -((-a) >> shift)
+
+
+def fmul(a: int, b: int, wp: int) -> int:
+    """Fixed-point multiply: (a/2^wp) * (b/2^wp) at scale 2^wp."""
+    return tshift(a * b, wp)
+
+
+def fdiv(a: int, b: int, wp: int) -> int:
+    """Fixed-point divide: (a/2^wp) / (b/2^wp) at scale 2^wp."""
+    return tdiv(a << wp, b)
+
+
+def fsqrt(a: int, wp: int) -> int:
+    """Fixed-point square root of a non-negative value."""
+    if a < 0:
+        raise ValueError("fsqrt of negative fixed-point value")
+    import math
+
+    return math.isqrt(a << wp)
+
+
+def to_fixed(value: BigFloat, wp: int) -> int:
+    """Convert a finite BigFloat to fixed point at scale 2^wp (truncating)."""
+    if value.kind != K_FINITE:
+        raise ValueError(f"cannot convert {value!r} to fixed point")
+    if value.man == 0:
+        return 0
+    magnitude = tshift(value.man, -(value.exp + wp))
+    return -magnitude if value.sign else magnitude
+
+
+def from_fixed(value: int, wp: int) -> BigFloat:
+    """Convert a fixed-point integer at scale 2^wp to an exact BigFloat."""
+    if value == 0:
+        return BigFloat.zero(0)
+    sign = 1 if value < 0 else 0
+    return BigFloat(sign, abs(value), -wp)
+
+
+def exp_series(x: int, wp: int) -> int:
+    """e**x for |x| <= ~0.36 (post-reduction), via halving + Taylor.
+
+    The argument is scaled down by 2**HALVINGS so the Taylor series
+    converges in a handful of terms, then the result is squared back up.
+    """
+    halvings = 16
+    reduced = tshift(x, halvings)
+    term = 1 << wp
+    total = term
+    k = 1
+    while term:
+        term = tdiv(fmul(term, reduced, wp), k)
+        total += term
+        k += 1
+    for __ in range(halvings):
+        total = fmul(total, total, wp)
+    return total
+
+
+def expm1_factor_series(x: int, wp: int) -> int:
+    """(e**x - 1)/x = 1 + x/2! + x^2/3! + ... for small |x|.
+
+    The caller multiplies the (near-1, hence fully accurate) factor by the
+    full-precision argument, so tiny arguments do not lose their leading
+    bits to cancellation against 1.
+    """
+    term = 1 << wp
+    factor = term
+    k = 2
+    while term:
+        term = tdiv(fmul(term, x, wp), k)
+        factor += term
+        k += 1
+    return factor
+
+
+def atan_factor_series(x_squared: int, wp: int) -> int:
+    """atan(x)/x = 1 - x^2/3 + x^4/5 - ... for small |x| (as factor)."""
+    one = 1 << wp
+    total = one
+    power = one
+    n = 3
+    sign = -1
+    while power:
+        power = fmul(power, x_squared, wp)
+        total += sign * tdiv(power, n)
+        sign = -sign
+        n += 2
+    return total
+
+
+def log_series(m: int, wp: int) -> int:
+    """ln(m) for m in [1, 2), via the atanh expansion.
+
+    ln(m) = 2 * atanh(t) with t = (m-1)/(m+1) in [0, 1/3]; each term
+    contributes at least log2(9) ~ 3.17 bits.
+    """
+    one = 1 << wp
+    t = fdiv(m - one, m + one, wp)
+    t_squared = fmul(t, t, wp)
+    power = t
+    total = t
+    n = 3
+    while power:
+        power = fmul(power, t_squared, wp)
+        total += tdiv(power, n)
+        n += 2
+    return total << 1
+
+
+def log1p_over_x_series(x: int, wp: int) -> int:
+    """ln(1+x)/x for |x| <= 1/4, for full-relative-precision log1p.
+
+    Series: 1 - x/2 + x^2/3 - x^3/4 + ... (at least 2 bits per term).
+    """
+    one = 1 << wp
+    total = one
+    power = one
+    n = 2
+    sign = -1
+    while power:
+        power = fmul(power, x, wp)
+        total += sign * tdiv(power, n)
+        sign = -sign
+        n += 1
+    return total
+
+
+def sin_cos_series(r: int, wp: int) -> Tuple[int, int]:
+    """(sin r, cos r) for |r| <= ~0.8 (after pi/2 reduction), via Taylor."""
+    r_squared = fmul(r, r, wp)
+    # sin
+    term = r
+    sin_total = r
+    k = 1
+    while term:
+        term = tdiv(fmul(term, r_squared, wp), (2 * k) * (2 * k + 1))
+        term = -term
+        sin_total += term
+        k += 1
+    # cos
+    term = 1 << wp
+    cos_total = term
+    k = 1
+    while term:
+        term = tdiv(fmul(term, r_squared, wp), (2 * k - 1) * (2 * k))
+        term = -term
+        cos_total += term
+        k += 1
+    return sin_total, cos_total
+
+
+def atan_series(t: int, wp: int) -> int:
+    """atan(t) for |t| <= ~2**-8 (after halving reduction), via Taylor."""
+    t_squared = fmul(t, t, wp)
+    power = t
+    total = t
+    n = 3
+    sign = -1
+    while power:
+        power = fmul(power, t_squared, wp)
+        total += sign * tdiv(power, n)
+        sign = -sign
+        n += 2
+    return total
+
+
+def sinh_factor_series(x_squared: int, wp: int) -> int:
+    """sinh(x)/x = 1 + x^2/3! + x^4/5! + ... for small |x| (as factor)."""
+    one = 1 << wp
+    term = one
+    total = one
+    k = 1
+    while term:
+        term = tdiv(fmul(term, x_squared, wp), (2 * k) * (2 * k + 1))
+        total += term
+        k += 1
+    return total

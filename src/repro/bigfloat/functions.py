@@ -1,0 +1,313 @@
+"""Uniform name-based dispatch over all BigFloat operations.
+
+The shadow-real executor, the FPCore evaluator and the mini-Herbie all
+apply operations by *name* ("+", "sqrt", "atan2", ...); this module owns
+that name → implementation mapping so the three agree exactly on real
+semantics.  Names follow FPCore/C99 conventions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.bigfloat import arith, transcendental
+from repro.bigfloat.bigfloat import BigFloat
+from repro.bigfloat.context import Context, getcontext
+
+_UNARY: Dict[str, Callable[[BigFloat, Optional[Context]], BigFloat]] = {
+    "neg": lambda x, ctx: x.neg(),
+    "fabs": lambda x, ctx: x.abs(),
+    "sqrt": arith.sqrt,
+    "cbrt": arith.cbrt,
+    "exp": transcendental.exp,
+    "exp2": transcendental.exp2,
+    "expm1": transcendental.expm1,
+    "log": transcendental.log,
+    "log2": transcendental.log2,
+    "log10": transcendental.log10,
+    "log1p": transcendental.log1p,
+    "sin": transcendental.sin,
+    "cos": transcendental.cos,
+    "tan": transcendental.tan,
+    "asin": transcendental.asin,
+    "acos": transcendental.acos,
+    "atan": transcendental.atan,
+    "sinh": transcendental.sinh,
+    "cosh": transcendental.cosh,
+    "tanh": transcendental.tanh,
+    "asinh": transcendental.asinh,
+    "acosh": transcendental.acosh,
+    "atanh": transcendental.atanh,
+    "trunc": arith.trunc,
+    "floor": arith.floor,
+    "ceil": arith.ceil,
+    "round": arith.round_half_away,
+    "nearbyint": arith.round_half_even,
+}
+
+_BINARY: Dict[str, Callable[[BigFloat, BigFloat, Optional[Context]], BigFloat]] = {
+    "+": arith.add,
+    "-": arith.sub,
+    "*": arith.mul,
+    "/": arith.div,
+    "pow": transcendental.pow_,
+    "hypot": arith.hypot,
+    "atan2": transcendental.atan2,
+    "fmin": arith.fmin,
+    "fmax": arith.fmax,
+    "fmod": arith.fmod,
+    "remainder": arith.remainder,
+    "fdim": arith.fdim,
+    "copysign": lambda a, b, ctx: a.copysign(b),
+}
+
+_TERNARY: Dict[str, Callable[..., BigFloat]] = {
+    "fma": arith.fma,
+}
+
+#: Every operation name the real-number engine understands.
+ALL_OPERATIONS = frozenset(_UNARY) | frozenset(_BINARY) | frozenset(_TERNARY)
+
+#: Operations implemented by math *libraries* rather than single hardware
+#: instructions — these are what Herbgrind's library wrapping intercepts
+#: (paper Section 5.3).  sqrt is hardware on modern ISAs, so excluded.
+LIBRARY_OPERATIONS = frozenset(
+    {
+        "cbrt", "exp", "exp2", "expm1", "log", "log2", "log10", "log1p",
+        "sin", "cos", "tan", "asin", "acos", "atan", "sinh", "cosh",
+        "tanh", "asinh", "acosh", "atanh", "pow", "hypot", "atan2",
+        "fmod", "remainder",
+    }
+)
+
+
+def arity(operation: str) -> int:
+    """Number of operands of ``operation`` (raises KeyError if unknown)."""
+    if operation in _UNARY:
+        return 1
+    if operation in _BINARY:
+        return 2
+    if operation in _TERNARY:
+        return 3
+    raise KeyError(f"unknown operation: {operation!r}")
+
+
+def apply(
+    operation: str,
+    args: Sequence[BigFloat],
+    context: Optional[Context] = None,
+) -> BigFloat:
+    """Apply a named operation to BigFloat operands in the real numbers.
+
+    This is the single entry point the analysis uses for its shadow-real
+    execution (paper Figure 4, the ⟦f⟧_R semantics).
+    """
+    context = context if context is not None else getcontext()
+    if operation in _UNARY:
+        (x,) = args
+        return _UNARY[operation](x, context)
+    if operation in _BINARY:
+        x, y = args
+        return _BINARY[operation](x, y, context)
+    if operation in _TERNARY:
+        x, y, z = args
+        return _TERNARY[operation](x, y, z, context)
+    raise KeyError(f"unknown operation: {operation!r}")
+
+
+def apply_double(operation: str, args: Sequence[float]) -> float:
+    """Apply a named operation in hardware double precision.
+
+    This is the ⟦f⟧_F semantics: the exact behaviour the client program's
+    floats exhibit, routed through Python's libm/IEEE arithmetic.  Used
+    both by the machine interpreter and local-error computation.
+    """
+    import math
+
+    if operation == "+":
+        return args[0] + args[1]
+    if operation == "-":
+        return args[0] - args[1]
+    if operation == "*":
+        return args[0] * args[1]
+    if operation == "/":
+        try:
+            return args[0] / args[1]
+        except ZeroDivisionError:
+            if args[0] == 0.0 or math.isnan(args[0]):
+                return math.nan
+            return math.copysign(math.inf, args[0]) * math.copysign(1.0, args[1])
+    if operation == "neg":
+        return -args[0]
+    if operation == "fabs":
+        return abs(args[0])
+    if operation == "fma":
+        # Python 3.13 has math.fma; emulate exactly with BigFloat otherwise.
+        from repro.bigfloat.context import DOUBLE_CONTEXT
+
+        result = arith.fma(
+            BigFloat.from_float(args[0]),
+            BigFloat.from_float(args[1]),
+            BigFloat.from_float(args[2]),
+            DOUBLE_CONTEXT,
+        )
+        return result.to_float()
+    if operation == "copysign":
+        return math.copysign(args[0], args[1])
+    if operation == "fmin":
+        return _double_fmin(args[0], args[1])
+    if operation == "fmax":
+        return _double_fmax(args[0], args[1])
+    if operation == "fdim":
+        if math.isnan(args[0]) or math.isnan(args[1]):
+            return math.nan
+        return args[0] - args[1] if args[0] > args[1] else 0.0
+    handler = _DOUBLE_MATH.get(operation)
+    if handler is None:
+        raise KeyError(f"unknown operation: {operation!r}")
+    try:
+        return handler(*args)
+    except ValueError:  # math domain error -> NaN, as hardware would
+        return math.nan
+    except OverflowError:  # math range error -> ±inf
+        sign = 1.0
+        if operation in ("exp", "exp2", "expm1", "cosh"):
+            sign = 1.0
+        elif args and args[0] < 0:
+            sign = -1.0
+        return math.copysign(math.inf, sign)
+
+
+def _double_fmin(a: float, b: float) -> float:
+    import math
+
+    if math.isnan(a):
+        return b
+    if math.isnan(b):
+        return a
+    if a == b == 0.0:
+        return a if math.copysign(1.0, a) < math.copysign(1.0, b) else b
+    return min(a, b)
+
+
+def _double_fmax(a: float, b: float) -> float:
+    import math
+
+    if math.isnan(a):
+        return b
+    if math.isnan(b):
+        return a
+    if a == b == 0.0:
+        return a if math.copysign(1.0, a) > math.copysign(1.0, b) else b
+    return max(a, b)
+
+
+def _build_double_math() -> Dict[str, Callable[..., float]]:
+    import math
+
+    def log_with_zero(x: float) -> float:
+        if x == 0.0:
+            return -math.inf
+        return math.log(x)
+
+    def log2_with_zero(x: float) -> float:
+        if x == 0.0:
+            return -math.inf
+        return math.log2(x)
+
+    def log10_with_zero(x: float) -> float:
+        if x == 0.0:
+            return -math.inf
+        return math.log10(x)
+
+    def log1p_with_pole(x: float) -> float:
+        if x == -1.0:
+            return -math.inf
+        return math.log1p(x)
+
+    def atanh_with_pole(x: float) -> float:
+        if abs(x) == 1.0:
+            return math.copysign(math.inf, x)
+        return math.atanh(x)
+
+    def exp2_double(x: float) -> float:
+        try:
+            return math.exp2(x)  # Python >= 3.11
+        except AttributeError:  # pragma: no cover
+            return 2.0 ** x
+
+    def cbrt_double(x: float) -> float:
+        try:
+            return math.cbrt(x)  # Python >= 3.11
+        except AttributeError:  # pragma: no cover
+            return math.copysign(abs(x) ** (1.0 / 3.0), x)
+
+    def pow_double(x: float, y: float) -> float:
+        try:
+            return math.pow(x, y)
+        except ValueError:
+            if x < 0 and not math.isnan(y):
+                return math.nan
+            raise
+
+    def round_double(x: float) -> float:
+        if math.isnan(x) or math.isinf(x):
+            return x
+        return float(math.floor(x + 0.5)) if x >= 0 else float(math.ceil(x - 0.5))
+
+    def nearbyint_double(x: float) -> float:
+        if math.isnan(x) or math.isinf(x):
+            return x
+        return float(round(x))  # Python round is half-to-even
+
+    def trunc_double(x: float) -> float:
+        if math.isnan(x) or math.isinf(x):
+            return x
+        return float(math.trunc(x))
+
+    def floor_double(x: float) -> float:
+        if math.isnan(x) or math.isinf(x):
+            return x
+        return float(math.floor(x))
+
+    def ceil_double(x: float) -> float:
+        if math.isnan(x) or math.isinf(x):
+            return x
+        return float(math.ceil(x))
+
+    return {
+        "sqrt": math.sqrt,
+        "cbrt": cbrt_double,
+        "exp": math.exp,
+        "exp2": exp2_double,
+        "expm1": math.expm1,
+        "log": log_with_zero,
+        "log2": log2_with_zero,
+        "log10": log10_with_zero,
+        "log1p": log1p_with_pole,
+        "pow": pow_double,
+        "hypot": math.hypot,
+        "sin": math.sin,
+        "cos": math.cos,
+        "tan": math.tan,
+        "asin": math.asin,
+        "acos": math.acos,
+        "atan": math.atan,
+        "atan2": math.atan2,
+        "sinh": math.sinh,
+        "cosh": math.cosh,
+        "tanh": math.tanh,
+        "asinh": math.asinh,
+        "acosh": math.acosh,
+        "atanh": atanh_with_pole,
+        "fmod": math.fmod,
+        "remainder": math.remainder,
+        "trunc": trunc_double,
+        "floor": floor_double,
+        "ceil": ceil_double,
+        "round": round_double,
+        "nearbyint": nearbyint_double,
+    }
+
+
+_DOUBLE_MATH = _build_double_math()

@@ -1,0 +1,92 @@
+"""Rounding modes and the core mantissa-rounding routine.
+
+Every arithmetic operation in :mod:`repro.bigfloat` is *exact-then-round*:
+it computes an exact (or sticky-augmented) integer significand and then
+rounds it to the context precision here.  This mirrors MPFR's semantics
+and is what makes the shadow-real execution trustworthy.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: Round to nearest, ties to even (IEEE default; MPFR's MPFR_RNDN).
+ROUND_NEAREST_EVEN = "RNE"
+#: Round to nearest, ties away from zero.
+ROUND_NEAREST_AWAY = "RNA"
+#: Round toward zero (truncate).
+ROUND_TOWARD_ZERO = "RTZ"
+#: Round toward +infinity.
+ROUND_UP = "RUP"
+#: Round toward -infinity.
+ROUND_DOWN = "RDN"
+
+ALL_MODES = (
+    ROUND_NEAREST_EVEN,
+    ROUND_NEAREST_AWAY,
+    ROUND_TOWARD_ZERO,
+    ROUND_UP,
+    ROUND_DOWN,
+)
+
+
+def round_mantissa(
+    sign: int, man: int, exp: int, precision: int, mode: str = ROUND_NEAREST_EVEN
+) -> Tuple[int, int, bool]:
+    """Round ``(-1)**sign * man * 2**exp`` to at most ``precision`` bits.
+
+    ``man`` must be positive.  Returns ``(man', exp', inexact)`` where the
+    rounded value is ``(-1)**sign * man' * 2**exp'`` and ``inexact`` is
+    True when rounding discarded nonzero bits.
+
+    The sticky-bit convention used throughout the package: callers that
+    computed a truncated significand with a nonzero remainder append one
+    extra LSB (``man = (q << 1) | 1``) before calling; that bit makes the
+    value strictly between representable neighbours, which is all any
+    rounding mode needs to know.
+    """
+    if man <= 0:
+        raise ValueError("round_mantissa requires a positive mantissa")
+    if precision < 1:
+        raise ValueError(f"precision must be >= 1, got {precision}")
+    bit_length = man.bit_length()
+    if bit_length <= precision:
+        return man, exp, False
+    shift = bit_length - precision
+    kept = man >> shift
+    remainder = man - (kept << shift)
+    exp += shift
+    if remainder == 0:
+        return kept, exp, False
+    half = 1 << (shift - 1)
+    if mode == ROUND_NEAREST_EVEN:
+        round_up = remainder > half or (remainder == half and kept & 1)
+    elif mode == ROUND_NEAREST_AWAY:
+        round_up = remainder >= half
+    elif mode == ROUND_TOWARD_ZERO:
+        round_up = False
+    elif mode == ROUND_UP:
+        round_up = sign == 0
+    elif mode == ROUND_DOWN:
+        round_up = sign == 1
+    else:
+        raise ValueError(f"unknown rounding mode: {mode!r}")
+    if round_up:
+        kept += 1
+        if kept.bit_length() > precision:
+            # 0b111..1 + 1 carried out; renormalize (kept is a power of two).
+            kept >>= 1
+            exp += 1
+    return kept, exp, True
+
+
+def fold_sticky(quotient: int, exp: int, inexact: bool) -> Tuple[int, int]:
+    """Fold an inexactness flag into the significand as an extra LSB.
+
+    Used by division, square roots and the transcendental kernels, whose
+    exact results do not terminate: the extra bit records "there is more
+    below", which round_mantissa then interprets correctly.
+    """
+    if inexact:
+        return (quotient << 1) | 1, exp - 1
+    return quotient, exp

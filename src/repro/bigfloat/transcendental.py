@@ -1,0 +1,654 @@
+"""Transcendental functions on :class:`BigFloat` values.
+
+These are *faithful* implementations: results carry ~32 guard bits over
+the context precision before the final rounding, so the error at the
+context precision is well under one ulp.  (The paper's MPFR shadow runs
+at 1000 bits to measure 53-bit doubles — dozens of guard bits of slack
+is far more than the metric can observe.)
+
+Each function handles IEEE special values the way the C math library
+does, so shadow-real execution of `log(-1.0)`, `atan2(0, -0)` etc.
+mirrors what the client program's libm would produce in the reals.
+
+Argument-reduction precision is chosen per call: reducing x modulo π/2
+or ln 2 needs roughly ``precision + |binary exponent of x|`` working
+bits, and a Ziv-style retry widens the reduction when x lands
+pathologically close to a reduction point.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.bigfloat import arith
+from repro.bigfloat.bigfloat import BigFloat, HALF, K_FINITE, K_INF, K_NAN, ONE, TWO
+from repro.bigfloat.constants import ln2_fixed, pi_fixed
+from repro.bigfloat.context import Context, getcontext
+from repro.bigfloat.fixedpoint import (
+    atan_factor_series,
+    atan_series,
+    exp_series,
+    expm1_factor_series,
+    fdiv,
+    fmul,
+    from_fixed,
+    fsqrt,
+    log1p_over_x_series,
+    log_series,
+    sin_cos_series,
+    sinh_factor_series,
+    to_fixed,
+    tshift,
+)
+
+_GUARD = 32
+
+#: |x| above 2**EXP_OVERFLOW_BITS overflows exp() to inf / underflows to 0.
+#: (The exact result would need a 2**40-bit exponent — far beyond anything
+#: a double-precision client program can observe.)
+_EXP_OVERFLOW_BITS = 40
+
+
+def _ctx(context: Optional[Context]) -> Context:
+    return context if context is not None else getcontext()
+
+
+def _round_result(value: BigFloat, context: Context) -> BigFloat:
+    return value.round_to(context.precision, context.rounding)
+
+
+def _msb(x: BigFloat) -> int:
+    return x.msb_exponent
+
+
+# ----------------------------------------------------------------------
+# Exponentials
+# ----------------------------------------------------------------------
+
+def exp(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """e**x, faithfully rounded."""
+    context = _ctx(context)
+    if x.kind == K_NAN:
+        return BigFloat.nan()
+    if x.kind == K_INF:
+        return BigFloat.zero(0) if x.sign else BigFloat.inf(0)
+    if x.is_zero():
+        return ONE
+    msb = _msb(x)
+    if msb > _EXP_OVERFLOW_BITS:
+        return BigFloat.zero(0) if x.sign else BigFloat.inf(0)
+    if msb < -(context.precision + 8):
+        # exp(x) = 1 + x + O(x^2); the quadratic term is below the target.
+        return arith.add(ONE, x, context)
+    wp = context.precision + _GUARD
+    reduction_precision = wp + max(0, msb) + 8
+    fixed = to_fixed(x, reduction_precision)
+    ln2_value = ln2_fixed(reduction_precision)
+    count = (2 * fixed + ln2_value) // (2 * ln2_value)
+    remainder = fixed - count * ln2_value
+    remainder = tshift(remainder, reduction_precision - wp)
+    grown = exp_series(remainder, wp)
+    result = BigFloat(0, grown, count - wp)
+    return _round_result(result, context)
+
+
+def exp2(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """2**x, faithfully rounded."""
+    context = _ctx(context)
+    if x.kind == K_NAN:
+        return BigFloat.nan()
+    if x.kind == K_INF:
+        return BigFloat.zero(0) if x.sign else BigFloat.inf(0)
+    if x.is_zero():
+        return ONE
+    msb = _msb(x)
+    if msb > _EXP_OVERFLOW_BITS:
+        return BigFloat.zero(0) if x.sign else BigFloat.inf(0)
+    if x.is_integer():
+        count = int(x.to_fraction())
+        return BigFloat(0, 1, count)
+    # 2**x = e**(x ln 2); reuse exp's reduction via multiplication.
+    wide = context.widened(16)
+    ln2_value = from_fixed(ln2_fixed(wide.precision + 16), wide.precision + 16)
+    return exp(arith.mul(x, ln2_value, wide), context)
+
+
+def expm1(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """e**x - 1 with full relative accuracy near zero."""
+    context = _ctx(context)
+    if x.kind == K_NAN:
+        return BigFloat.nan()
+    if x.kind == K_INF:
+        return ONE.neg() if x.sign else BigFloat.inf(0)
+    if x.is_zero():
+        return x
+    msb = _msb(x)
+    if msb < -(context.precision + 8):
+        return _round_result(x, context)
+    if msb >= -2:
+        wide = context.widened(16)
+        return arith.sub(exp(x, wide), ONE, context)
+    # Small path: expm1(x) = x * ((e^x - 1)/x); the factor is near 1 so
+    # its absolute fixed-point accuracy is also its relative accuracy.
+    wp = context.precision + _GUARD
+    factor = expm1_factor_series(to_fixed(x, wp), wp)
+    return arith.mul(x, from_fixed(factor, wp), context)
+
+
+# ----------------------------------------------------------------------
+# Logarithms
+# ----------------------------------------------------------------------
+
+def log(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """Natural logarithm; log(±0) = -inf, log(x<0) = NaN."""
+    context = _ctx(context)
+    if x.kind == K_NAN:
+        return BigFloat.nan()
+    if x.is_zero():
+        return BigFloat.inf(1)
+    if x.sign == 1:
+        return BigFloat.nan()
+    if x.kind == K_INF:
+        return BigFloat.inf(0)
+    if x.man == 1 and x.exp == 0:
+        return BigFloat.zero(0)
+    # Near 1, switch to log1p on the exact difference to keep relative
+    # accuracy through the cancellation.
+    three_quarters = BigFloat(0, 3, -2)
+    three_halves = BigFloat(0, 3, -1)
+    if three_quarters < x < three_halves:
+        delta = arith.sub_exact(x, ONE)
+        if delta.is_zero():
+            return BigFloat.zero(0)
+        if _msb(delta) < -2:
+            return _log1p_core(delta, context)
+    return _log_general(x, context)
+
+
+def _log_general(x: BigFloat, context: Context) -> BigFloat:
+    """ln(x) via exponent split: ln(m·2^e) = e·ln2 + ln(m), m in [1,2).
+
+    Safe whenever |ln x| is not tiny (callers divert the near-1 region to
+    the log1p path first)."""
+    wp = context.precision + _GUARD
+    exponent = x.msb_exponent
+    reduction_precision = wp + max(8, abs(exponent).bit_length() + 4)
+    mantissa_fixed = tshift(x.man, x.man.bit_length() - 1 - reduction_precision)
+    ln_mantissa = log_series(mantissa_fixed, reduction_precision)
+    total = exponent * ln2_fixed(reduction_precision) + ln_mantissa
+    return _round_result(from_fixed(total, reduction_precision), context)
+
+
+def _log1p_core(delta: BigFloat, context: Context) -> BigFloat:
+    """ln(1 + delta) for |delta| < 1/4, via delta * (ln(1+d)/d)."""
+    if delta.is_zero():
+        return BigFloat.zero(delta.sign)
+    if _msb(delta) < -(context.precision + 8):
+        return _round_result(delta, context)
+    if _msb(delta) >= -2:
+        raise ValueError("_log1p_core requires |delta| < 1/4")
+    wp = context.precision + _GUARD
+    factor = log1p_over_x_series(to_fixed(delta, wp), wp)
+    return arith.mul(delta, from_fixed(factor, wp), context)
+
+
+def log1p(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """ln(1 + x) with full relative accuracy near zero."""
+    context = _ctx(context)
+    if x.kind == K_NAN:
+        return BigFloat.nan()
+    if x.kind == K_INF:
+        return BigFloat.inf(0) if x.sign == 0 else BigFloat.nan()
+    if x.is_zero():
+        return x
+    minus_one = ONE.neg()
+    if x == minus_one:
+        return BigFloat.inf(1)
+    if x < minus_one:
+        return BigFloat.nan()
+    if _msb(x) < -2:
+        return _log1p_core(x, context)
+    return log(arith.add_exact(ONE, x), context)
+
+
+def log2(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """Base-2 logarithm (exact on powers of two)."""
+    context = _ctx(context)
+    if x.kind == K_FINITE and x.man == 1 and x.sign == 0:
+        return BigFloat.from_int(x.exp)
+    wide = context.widened(16)
+    numerator = log(x, wide)
+    if numerator.kind != K_FINITE:
+        return numerator
+    ln2_value = from_fixed(ln2_fixed(wide.precision + 16), wide.precision + 16)
+    return arith.div(numerator, ln2_value, context)
+
+
+def log10(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """Base-10 logarithm."""
+    context = _ctx(context)
+    wide = context.widened(16)
+    numerator = log(x, wide)
+    if numerator.kind != K_FINITE:
+        return numerator
+    return arith.div(numerator, log(BigFloat.from_int(10), wide), context)
+
+
+# ----------------------------------------------------------------------
+# Trigonometry
+# ----------------------------------------------------------------------
+
+#: Give up on trig argument reduction past this many exponent bits; a
+#: client double can never get here, only pathological shadow values.
+_TRIG_EXPONENT_LIMIT = 1 << 20
+
+
+def _reduce_pi_over_2(x: BigFloat, context: Context) -> Tuple[int, int, int]:
+    """Reduce x to (quadrant, remainder_fixed, wp) with |r| <= ~pi/4.
+
+    Uses a Ziv loop: when x is so close to a multiple of pi/2 that the
+    remainder loses relative precision, redo the reduction wider.
+    """
+    msb = _msb(x)
+    if msb > _TRIG_EXPONENT_LIMIT:
+        raise OverflowError("trig argument exponent too large to reduce")
+    wp = context.precision + _GUARD
+    extra = 0
+    while True:
+        reduction_precision = wp + max(0, msb) + 8 + extra
+        fixed = to_fixed(x, reduction_precision)
+        half_pi = pi_fixed(reduction_precision) >> 1
+        quadrant = (2 * fixed + half_pi) // (2 * half_pi)
+        remainder = fixed - quadrant * half_pi
+        if quadrant == 0:
+            return 0, remainder, reduction_precision
+        # Relative-accuracy check: the remainder's error is about
+        # 2**(msb - reduction_precision), so it must keep enough bits.
+        needed = max(0, msb) + context.precision + 9
+        if remainder == 0 or abs(remainder).bit_length() >= needed:
+            return int(quadrant), remainder, reduction_precision
+        if extra >= 4 * (context.precision + max(0, msb)):
+            # x is indistinguishable from a multiple of pi/2 at any
+            # reasonable precision; accept the tiny remainder.
+            return int(quadrant), remainder, reduction_precision
+        extra += context.precision + 16
+
+
+def _sin_cos(x: BigFloat, context: Context) -> Tuple[BigFloat, BigFloat]:
+    quadrant, remainder, wp = _reduce_pi_over_2(x, context)
+    sin_fixed, cos_fixed = sin_cos_series(remainder, wp)
+    table = {
+        0: (sin_fixed, cos_fixed),
+        1: (cos_fixed, -sin_fixed),
+        2: (-sin_fixed, -cos_fixed),
+        3: (-cos_fixed, sin_fixed),
+    }
+    sin_value, cos_value = table[quadrant % 4]
+    return from_fixed(sin_value, wp), from_fixed(cos_value, wp)
+
+
+def sin(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """Sine; sin(±0) = ±0, sin(±inf) = NaN."""
+    context = _ctx(context)
+    if x.kind != K_FINITE:
+        return BigFloat.nan()
+    if x.is_zero():
+        return x
+    if _msb(x) < -(context.precision // 2 + 8):
+        return _round_result(x, context)  # sin x = x - x^3/6 + ...
+    sin_value, __ = _sin_cos(x, context)
+    return _round_result(sin_value, context)
+
+
+def cos(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """Cosine; cos(±inf) = NaN."""
+    context = _ctx(context)
+    if x.kind != K_FINITE:
+        return BigFloat.nan()
+    if x.is_zero():
+        return ONE
+    if _msb(x) < -(context.precision // 2 + 8):
+        return ONE  # cos x = 1 - x^2/2; the x^2 term is below target.
+    __, cos_value = _sin_cos(x, context)
+    return _round_result(cos_value, context)
+
+
+def tan(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """Tangent; tan(±inf) = NaN."""
+    context = _ctx(context)
+    if x.kind != K_FINITE:
+        return BigFloat.nan()
+    if x.is_zero():
+        return x
+    if _msb(x) < -(context.precision // 2 + 8):
+        return _round_result(x, context)
+    sin_value, cos_value = _sin_cos(x, context)
+    return arith.div(sin_value, cos_value, context)
+
+
+# ----------------------------------------------------------------------
+# Inverse trigonometry
+# ----------------------------------------------------------------------
+
+def _half_pi(context: Context) -> BigFloat:
+    wp = context.precision + _GUARD
+    return from_fixed(pi_fixed(wp) >> 1, wp)
+
+
+def _pi(context: Context) -> BigFloat:
+    wp = context.precision + _GUARD
+    return from_fixed(pi_fixed(wp), wp)
+
+
+def atan(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """Arctangent; atan(±inf) = ±pi/2."""
+    context = _ctx(context)
+    if x.kind == K_NAN:
+        return BigFloat.nan()
+    if x.kind == K_INF:
+        return _round_result(
+            _half_pi(context).copysign(x), context
+        )
+    if x.is_zero():
+        return x
+    msb = _msb(x)
+    if msb < -(context.precision // 2 + 8):
+        return _round_result(x, context)
+    wp = context.precision + _GUARD
+    if msb < -8:
+        # Small path: atan(x) = x * (1 - x^2/3 + ...); the factor is near
+        # 1 so fixed-point absolute accuracy is relative accuracy.
+        wide = context.widened(16)
+        squared = arith.mul(x, x, wide)
+        factor = atan_factor_series(to_fixed(squared, wp), wp)
+        return arith.mul(x, from_fixed(factor, wp), context)
+    magnitude = x.abs()
+    if magnitude > ONE:
+        # atan(x) = sign * (pi/2 - atan(1/|x|)).
+        wide = context.widened(16)
+        reciprocal = arith.div(ONE, magnitude, wide)
+        inner = atan(reciprocal, wide)
+        result = arith.sub(_half_pi(wide), inner, context)
+        return result.copysign(x)
+    # |x| in [2^-8, 1]: halve the argument until the Taylor series is fast.
+    one = 1 << wp
+    t = to_fixed(magnitude, wp)
+    halvings = 0
+    threshold = one >> 8
+    while abs(t) > threshold:
+        root = fsqrt(one + fmul(t, t, wp), wp)
+        t = fdiv(t, one + root, wp)
+        halvings += 1
+    total = atan_series(t, wp) << halvings
+    result = from_fixed(total, wp)
+    return _round_result(result.copysign(x), context)
+
+
+def asin(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """Arcsine; NaN outside [-1, 1]."""
+    context = _ctx(context)
+    if x.kind == K_NAN:
+        return BigFloat.nan()
+    magnitude = x.abs()
+    if magnitude > ONE or x.kind == K_INF:
+        return BigFloat.nan()
+    if magnitude == ONE:
+        return _round_result(_half_pi(context).copysign(x), context)
+    if x.is_zero():
+        return x
+    wide = context.widened(16)
+    # 1 - x^2 as (1-x)(1+x): both factors are exact, so no cancellation.
+    one_minus = arith.sub_exact(ONE, magnitude)
+    one_plus = arith.add_exact(ONE, magnitude)
+    denominator = arith.sqrt(arith.mul(one_minus, one_plus, wide), wide)
+    return atan(arith.div(x, denominator, wide), context)
+
+
+def acos(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """Arccosine; NaN outside [-1, 1]."""
+    context = _ctx(context)
+    if x.kind == K_NAN:
+        return BigFloat.nan()
+    magnitude = x.abs()
+    if magnitude > ONE or x.kind == K_INF:
+        return BigFloat.nan()
+    if x == ONE:
+        return BigFloat.zero(0)
+    wide = context.widened(16)
+    if x == ONE.neg():
+        return _round_result(_pi(context), context)
+    one_minus = arith.sub_exact(ONE, magnitude)
+    one_plus = arith.add_exact(ONE, magnitude)
+    numerator = arith.sqrt(arith.mul(one_minus, one_plus, wide), wide)
+    return atan2(numerator, x, context)
+
+
+def atan2(y: BigFloat, x: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """Two-argument arctangent with full C99 special-case semantics.
+
+    This is the `arg` function of the complex-plotter case study; the
+    signed-zero and infinity cases matter there because pixels sit on
+    the branch cut.
+    """
+    context = _ctx(context)
+    if y.kind == K_NAN or x.kind == K_NAN:
+        return BigFloat.nan()
+    if y.is_zero():
+        if x.sign == 0:  # +0 or positive x
+            return BigFloat.zero(y.sign)
+        return _round_result(_pi(context), context).copysign(y)
+    if x.is_zero():
+        return _round_result(_half_pi(context).copysign(y), context)
+    if x.kind == K_INF:
+        if y.kind == K_INF:
+            quarter_pi = arith.mul(_half_pi(context), HALF, context.widened(8))
+            if x.sign == 0:
+                return _round_result(quarter_pi.copysign(y), context)
+            three_quarter = arith.mul(
+                quarter_pi, BigFloat.from_int(3), context.widened(8)
+            )
+            return _round_result(three_quarter.copysign(y), context)
+        if x.sign == 0:
+            return BigFloat.zero(y.sign)
+        return _round_result(_pi(context), context).copysign(y)
+    if y.kind == K_INF:
+        return _round_result(_half_pi(context).copysign(y), context)
+    wide = context.widened(16)
+    base = atan(arith.div(y.abs(), x.abs(), wide), wide)
+    if x.sign == 0:
+        return _round_result(base, context).copysign(y)
+    result = arith.sub(_pi(wide), base, context)
+    return result.copysign(y)
+
+
+# ----------------------------------------------------------------------
+# Hyperbolics
+# ----------------------------------------------------------------------
+
+def sinh(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """Hyperbolic sine."""
+    context = _ctx(context)
+    if x.kind != K_FINITE:
+        return x  # NaN stays NaN; ±inf stays ±inf
+    if x.is_zero():
+        return x
+    msb = _msb(x)
+    if msb < -(context.precision // 2 + 8):
+        return _round_result(x, context)
+    if msb >= -2:
+        wide = context.widened(16)
+        grown = exp(x, wide)
+        shrunk = arith.div(ONE, grown, wide)
+        return arith.mul(arith.sub(grown, shrunk, wide), HALF, context)
+    wp = context.precision + _GUARD
+    wide = context.widened(16)
+    squared = arith.mul(x, x, wide)
+    factor = sinh_factor_series(to_fixed(squared, wp), wp)
+    return arith.mul(x, from_fixed(factor, wp), context)
+
+
+def cosh(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """Hyperbolic cosine."""
+    context = _ctx(context)
+    if x.kind == K_NAN:
+        return BigFloat.nan()
+    if x.kind == K_INF:
+        return BigFloat.inf(0)
+    if x.is_zero():
+        return ONE
+    if _msb(x) < -(context.precision // 2 + 8):
+        return ONE
+    wide = context.widened(16)
+    grown = exp(x, wide)
+    shrunk = arith.div(ONE, grown, wide)
+    return arith.mul(arith.add(grown, shrunk, wide), HALF, context)
+
+
+def tanh(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """Hyperbolic tangent."""
+    context = _ctx(context)
+    if x.kind == K_NAN:
+        return BigFloat.nan()
+    if x.kind == K_INF:
+        return ONE.copysign(x)
+    if x.is_zero():
+        return x
+    msb = _msb(x)
+    if msb < -(context.precision // 2 + 8):
+        return _round_result(x, context)
+    # Saturation: once 1 - tanh < 2^-(precision+1), the rounded answer is ±1.
+    if msb >= 0 and x.abs() > BigFloat.from_int(context.precision + 2):
+        return ONE.copysign(x)
+    wide = context.widened(16)
+    if msb >= -2:
+        grown = exp(arith.mul(x, TWO, wide), wide)
+        numerator = arith.sub(grown, ONE, wide)
+        denominator = arith.add(grown, ONE, wide)
+        return arith.div(numerator, denominator, context)
+    sinh_value = sinh(x, wide)
+    cosh_value = cosh(x, wide)
+    return arith.div(sinh_value, cosh_value, context)
+
+
+def asinh(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """Inverse hyperbolic sine (stable for small and large arguments)."""
+    context = _ctx(context)
+    if x.kind != K_FINITE or x.is_zero():
+        return x
+    if _msb(x) < -(context.precision // 2 + 8):
+        return _round_result(x, context)
+    wide = context.widened(16)
+    magnitude = x.abs()
+    squared = arith.mul(magnitude, magnitude, wide)
+    root = arith.sqrt(arith.add(squared, ONE, wide), wide)
+    # asinh(|x|) = log1p(|x| + x^2/(1 + sqrt(x^2+1))): cancellation-free.
+    correction = arith.div(squared, arith.add(ONE, root, wide), wide)
+    result = log1p(arith.add(magnitude, correction, wide), context)
+    return result.copysign(x)
+
+
+def acosh(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """Inverse hyperbolic cosine; NaN below 1."""
+    context = _ctx(context)
+    if x.kind == K_NAN or x < ONE:
+        return BigFloat.nan()
+    if x.kind == K_INF:
+        return BigFloat.inf(0)
+    if x == ONE:
+        return BigFloat.zero(0)
+    wide = context.widened(16)
+    minus = arith.sub_exact(x, ONE)
+    plus = arith.add_exact(x, ONE)
+    root = arith.sqrt(arith.mul(minus, plus, wide), wide)
+    return log(arith.add(x, root, wide), context)
+
+
+def atanh(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """Inverse hyperbolic tangent; ±inf at ±1, NaN beyond."""
+    context = _ctx(context)
+    if x.kind == K_NAN or x.kind == K_INF:
+        return BigFloat.nan()
+    if x.is_zero():
+        return x
+    magnitude = x.abs()
+    if magnitude > ONE:
+        return BigFloat.nan()
+    if magnitude == ONE:
+        return BigFloat.inf(x.sign)
+    if _msb(x) < -(context.precision // 2 + 8):
+        return _round_result(x, context)
+    wide = context.widened(16)
+    # atanh(x) = log1p(2x / (1-x)) / 2, stable across the whole domain.
+    numerator = arith.mul(x, TWO, wide)
+    denominator = arith.sub_exact(ONE, x)
+    result = log1p(arith.div(numerator, denominator, wide), wide)
+    return arith.mul(result, HALF, context)
+
+
+# ----------------------------------------------------------------------
+# Powers
+# ----------------------------------------------------------------------
+
+#: Integer exponents up to this magnitude use exact binary powering.
+_POW_INT_LIMIT = 1 << 20
+
+
+def pow_(x: BigFloat, y: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """x**y following the C99 pow special-case table."""
+    context = _ctx(context)
+    if y.is_zero() and y.kind == K_FINITE:
+        return ONE  # pow(anything, ±0) = 1, even NaN
+    if x.kind == K_FINITE and x.man == 1 and x.exp == 0 and x.sign == 0:
+        return ONE  # pow(+1, anything) = 1, even NaN
+    if x.kind == K_NAN or y.kind == K_NAN:
+        return BigFloat.nan()
+    y_is_integer = y.is_integer()
+    y_is_odd = y_is_integer and y.kind == K_FINITE and y.exp == 0 and y.man & 1
+    if x.is_zero():
+        if y.sign == 0:  # positive exponent
+            return BigFloat.zero(x.sign if y_is_odd else 0)
+        return BigFloat.inf(x.sign if y_is_odd else 0)
+    if y.kind == K_INF:
+        magnitude_cmp = x.abs()._compare(ONE)
+        if magnitude_cmp == 0:
+            return ONE  # pow(-1, ±inf) = 1 per C99
+        growing = (magnitude_cmp == 1) == (y.sign == 0)
+        return BigFloat.inf(0) if growing else BigFloat.zero(0)
+    if x.kind == K_INF:
+        if x.sign == 0:
+            return BigFloat.inf(0) if y.sign == 0 else BigFloat.zero(0)
+        sign = 1 if y_is_odd else 0
+        return BigFloat.inf(sign) if y.sign == 0 else BigFloat.zero(sign)
+    if x.sign == 1 and not y_is_integer:
+        return BigFloat.nan()
+    result_sign = 1 if (x.sign == 1 and y_is_odd) else 0
+    magnitude = x.abs()
+    if y_is_integer and y.abs() <= BigFloat.from_int(_POW_INT_LIMIT):
+        count = int(y.to_fraction())
+        result = _integer_power(magnitude, abs(count), context)
+        if count < 0:
+            result = arith.div(ONE, result, context)
+        else:
+            result = _round_result(result, context)
+        return result.neg() if result_sign else result
+    # General case: exp(y * ln x) with widening for the product's magnitude.
+    wide = context.widened(_GUARD)
+    log_x = log(magnitude, wide)
+    product = arith.mul(y, log_x, wide)
+    result = exp(product, context)
+    return result.neg() if result_sign else result
+
+
+def _integer_power(base: BigFloat, exponent: int, context: Context) -> BigFloat:
+    """base**exponent (exponent >= 0) by binary powering with guard bits."""
+    wide = context.widened(_GUARD)
+    result = ONE
+    factor = base
+    remaining = exponent
+    while remaining:
+        if remaining & 1:
+            result = arith.mul(result, factor, wide)
+        remaining >>= 1
+        if remaining:
+            factor = arith.mul(factor, factor, wide)
+    return result

@@ -1,0 +1,141 @@
+"""Command-line front end: ``herbgrind-py``.
+
+Sub-commands:
+
+* ``analyze <fpcore-or-file>`` — run the analysis on sampled inputs and
+  print the Herbgrind-style report.
+* ``improve <expr>`` — run the mini-Herbie on a bare expression.
+* ``corpus`` — list or analyse the bundled 86-benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.core import AnalysisConfig, analyze_fpcore, generate_report
+from repro.fpcore import load_corpus, parse_expr, parse_fpcore
+from repro.fpcore.ast import free_variables
+from repro.fpcore.printer import format_expr
+from repro.improve import improve_expression
+
+
+def _read_source(argument: str) -> str:
+    if os.path.exists(argument):
+        with open(argument, "r", encoding="utf-8") as handle:
+            return handle.read()
+    return argument
+
+
+def _command_analyze(args: argparse.Namespace) -> int:
+    source = _read_source(args.source)
+    core = parse_fpcore(source)
+    config = AnalysisConfig(
+        shadow_precision=args.precision,
+        local_error_threshold=args.threshold,
+        max_expression_depth=args.depth,
+    )
+    analysis = analyze_fpcore(
+        core, config=config, num_points=args.points, seed=args.seed
+    )
+    print(generate_report(analysis).format())
+    return 0
+
+
+def _command_improve(args: argparse.Namespace) -> int:
+    expression = parse_expr(_read_source(args.expression))
+    variables = args.var or list(free_variables(expression))
+    if not variables:
+        print("expression has no variables", file=sys.stderr)
+        return 1
+    low, high = args.range
+    import random
+
+    rng = random.Random(args.seed)
+    import math
+
+    points: List[List[float]] = []
+    for __ in range(args.points):
+        point = []
+        for __v in variables:
+            if low > 0 and high / low > 1e3:
+                point.append(math.exp(rng.uniform(math.log(low), math.log(high))))
+            else:
+                point.append(rng.uniform(low, high))
+        points.append(point)
+    result = improve_expression(expression, variables, points)
+    print(f"before: {format_expr(result.original)}  ({result.initial_error:.1f} bits)")
+    print(f"after:  {format_expr(result.best)}  ({result.best_error:.1f} bits)")
+    return 0
+
+
+def _command_corpus(args: argparse.Namespace) -> int:
+    corpus = load_corpus()
+    if args.list:
+        for core in corpus:
+            family = core.properties.get("herbgrind-family", "?")
+            print(f"{core.name:<28} [{family}] args={','.join(core.arguments)}")
+        return 0
+    config = AnalysisConfig(shadow_precision=args.precision)
+    selected = [c for c in corpus if args.name is None or c.name == args.name]
+    if not selected:
+        print(f"no benchmark named {args.name!r}", file=sys.stderr)
+        return 1
+    for core in selected:
+        analysis = analyze_fpcore(core, config=config, num_points=args.points)
+        causes = analysis.reported_root_causes()
+        error = analysis.max_output_error()
+        print(f"{core.name:<28} max-error={error:5.1f} bits"
+              f"  root-causes={len(causes)}")
+        if args.name is not None:
+            print(generate_report(analysis).format())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="herbgrind-py",
+        description="Find root causes of floating-point error (PLDI 2018 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="analyse an FPCore program")
+    analyze.add_argument("source", help="FPCore text or path to a .fpcore file")
+    analyze.add_argument("--points", type=int, default=16)
+    analyze.add_argument("--seed", type=int, default=0)
+    analyze.add_argument("--precision", type=int, default=256)
+    analyze.add_argument("--threshold", type=float, default=5.0,
+                         help="local-error threshold Tℓ in bits")
+    analyze.add_argument("--depth", type=int, default=20,
+                         help="max expression depth")
+    analyze.set_defaults(func=_command_analyze)
+
+    improve = sub.add_parser("improve", help="improve a bare expression")
+    improve.add_argument("expression")
+    improve.add_argument("--var", action="append",
+                         help="variable order (repeatable)")
+    improve.add_argument("--range", nargs=2, type=float,
+                         default=(1e-3, 1e3), metavar=("LO", "HI"))
+    improve.add_argument("--points", type=int, default=16)
+    improve.add_argument("--seed", type=int, default=0)
+    improve.set_defaults(func=_command_improve)
+
+    corpus = sub.add_parser("corpus", help="the 86-benchmark suite")
+    corpus.add_argument("--list", action="store_true")
+    corpus.add_argument("--name", help="analyse one benchmark in detail")
+    corpus.add_argument("--points", type=int, default=8)
+    corpus.add_argument("--precision", type=int, default=256)
+    corpus.set_defaults(func=_command_corpus)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""Reimplementations of the Table 1 comparison tools' strategies.
+
+Each tool is a machine tracer, so all four analyses (these three plus
+Herbgrind itself) run on identical programs — which is what makes the
+Table 1 feature/overhead comparison meaningful.
+"""
+
+from repro.comparisons.bz import BZAnalysis, DiscreteFactorReport, run_bz
+from repro.comparisons.fpdebug import FpDebugAnalysis, OpErrorRecord, run_fpdebug
+from repro.comparisons.verrou import RandomRoundingTracer, VerrouReport, run_verrou
+
+__all__ = [
+    "BZAnalysis",
+    "DiscreteFactorReport",
+    "FpDebugAnalysis",
+    "OpErrorRecord",
+    "RandomRoundingTracer",
+    "VerrouReport",
+    "run_bz",
+    "run_fpdebug",
+    "run_verrou",
+]

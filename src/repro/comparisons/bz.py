@@ -1,0 +1,132 @@
+"""A Bao-Zhang-style analysis (OOPSLA 2013).
+
+BZ detects *possible* instability cheaply: a one-bit taint is set by a
+heuristic cancellation detector (an addition/subtraction whose result
+exponent drops far below its operands') and propagated; the tool
+reports when tainted values reach "discrete factors" — branches, int
+conversions, outputs.  The design goal is a cheap filter for deciding
+when to re-run in high precision, so a high false-positive rate
+(80-90% in their paper) is acceptable; Table 1's comparison points are
+that it detects control divergence but offers no localization, no
+shadow reals, and no input characterization.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.ieee import double_exponent
+from repro.machine import isa
+from repro.machine.interpreter import Interpreter, Tracer
+from repro.machine.values import FloatBox
+
+
+@dataclass
+class DiscreteFactorReport:
+    """A tainted value reaching a discrete factor."""
+
+    kind: str  # "branch" | "conversion" | "output"
+    loc: Optional[str]
+    hits: int = 0
+
+
+class BZAnalysis(Tracer):
+    """Cancellation heuristic + one-bit taint to discrete factors."""
+
+    def __init__(self, cancellation_bits: int = 30) -> None:
+        self.cancellation_bits = cancellation_bits
+        self.suspect_ops: Set[int] = set()
+        self.factor_reports: Dict[int, DiscreteFactorReport] = {}
+        self.cancellations = 0
+        self._instructions: Dict[int, isa.Instr] = {}
+
+    # taint rides in box.shadow as a plain bool
+
+    @staticmethod
+    def _tainted(box: FloatBox) -> bool:
+        return box.shadow is True
+
+    def on_const(self, instr, box):
+        box.shadow = False
+
+    def on_read(self, instr, box, index):
+        box.shadow = False
+
+    def on_op(self, instr, op, args, result):
+        taint = any(self._tainted(a) for a in args)
+        if op in ("+", "-") and not taint:
+            taint = self._cancelled(instr, [a.value for a in args], result.value)
+        result.shadow = taint
+        return None
+
+    def on_library(self, instr, name, args, result):
+        result.shadow = any(self._tainted(a) for a in args)
+        return None
+
+    def on_bitop(self, instr, box, result):
+        result.shadow = self._tainted(box)
+
+    def on_int_to_float(self, instr, value, box):
+        box.shadow = False
+
+    def _cancelled(self, instr, values: List[float], result: float) -> bool:
+        """Exponent-drop heuristic: |result| lost >= N bits vs operands."""
+        finite = [v for v in values if v != 0.0 and math.isfinite(v)]
+        if not finite:
+            return False
+        if result == 0.0:
+            # Exact cancellation of nonzero operands.
+            drop = self.cancellation_bits
+        elif not math.isfinite(result):
+            return False
+        else:
+            drop = max(double_exponent(v) for v in finite) - double_exponent(result)
+        if drop >= self.cancellation_bits:
+            self.cancellations += 1
+            self.suspect_ops.add(id(instr))
+            self._instructions[id(instr)] = instr
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Discrete factors
+    # ------------------------------------------------------------------
+
+    def _report(self, instr, kind: str) -> None:
+        record = self.factor_reports.get(id(instr))
+        if record is None:
+            record = DiscreteFactorReport(kind=kind, loc=getattr(instr, "loc", None))
+            self.factor_reports[id(instr)] = record
+            self._instructions[id(instr)] = instr
+        record.hits += 1
+
+    def on_branch(self, instr, lhs, rhs, taken):
+        if self._tainted(lhs) or self._tainted(rhs):
+            self._report(instr, "branch")
+
+    def on_float_to_int(self, instr, box, result):
+        if self._tainted(box):
+            self._report(instr, "conversion")
+
+    def on_out(self, instr, box):
+        if self._tainted(box):
+            self._report(instr, "output")
+
+    # ------------------------------------------------------------------
+
+    def reported_factors(self) -> List[DiscreteFactorReport]:
+        return sorted(self.factor_reports.values(), key=lambda r: -r.hits)
+
+
+def run_bz(
+    program: isa.Program,
+    input_sets: Sequence[Sequence[float]],
+    cancellation_bits: int = 30,
+) -> BZAnalysis:
+    """Run the BZ-style analysis over several input sets."""
+    analysis = BZAnalysis(cancellation_bits=cancellation_bits)
+    for inputs in input_sets:
+        Interpreter(program, tracer=analysis).run(inputs)
+    return analysis

@@ -1,0 +1,111 @@
+"""An FpDebug-style analysis (Benz, Hildebrandt, Hack — PLDI 2012).
+
+FpDebug shadows every value with an MPFR high-precision counterpart and
+reports, per *operation address*, the error of the computed value
+against its shadow.  Compared with Herbgrind (paper Table 1):
+
+* it measures **total** error per op, not local error, so it blames
+  innocent operations fed by erroneous operands;
+* it has no influence tracking — its reports are not output-sensitive;
+* no symbolic expressions — localization is an opcode address;
+* no input characterization, no library wrapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.bigfloat import BigFloat, Context, apply
+from repro.core.localerror import total_error
+from repro.machine import isa
+from repro.machine.interpreter import Interpreter, Tracer
+from repro.machine.values import FloatBox
+
+
+@dataclass
+class OpErrorRecord:
+    """Per-instruction error statistics, FpDebug style."""
+
+    loc: Optional[str]
+    op: str
+    executions: int = 0
+    max_error: float = 0.0
+    sum_error: float = 0.0
+
+    @property
+    def average_error(self) -> float:
+        return self.sum_error / self.executions if self.executions else 0.0
+
+
+class FpDebugAnalysis(Tracer):
+    """Shadow-real per-op error measurement without root-cause analysis."""
+
+    def __init__(self, precision: int = 120) -> None:
+        self.context = Context(precision=precision)
+        self.records: Dict[int, OpErrorRecord] = {}
+        self._instructions: Dict[int, isa.Instr] = {}
+
+    def _shadow(self, box: FloatBox) -> BigFloat:
+        if box.shadow is None:
+            box.shadow = BigFloat.from_float(box.value)
+        return box.shadow
+
+    def on_const(self, instr, box):
+        box.shadow = BigFloat.from_float(box.value)
+
+    def on_read(self, instr, box, index):
+        box.shadow = BigFloat.from_float(box.value)
+
+    def on_op(self, instr, op, args, result):
+        shadows = [self._shadow(a) for a in args]
+        try:
+            real = apply(op, shadows, self.context)
+        except KeyError:
+            result.shadow = BigFloat.from_float(result.value)
+            return None
+        result.shadow = real
+        record = self.records.get(id(instr))
+        if record is None:
+            self._instructions[id(instr)] = instr
+            record = OpErrorRecord(loc=getattr(instr, "loc", None), op=op)
+            self.records[id(instr)] = record
+        error = total_error(result.value, real)
+        record.executions += 1
+        record.sum_error += error
+        if error > record.max_error:
+            record.max_error = error
+        return None
+
+    def on_library(self, instr, name, args, result):
+        return self.on_op(instr, name, args, result)
+
+    def on_bitop(self, instr, box, result):
+        result.shadow = BigFloat.from_float(result.value)
+
+    def on_int_to_float(self, instr, value, box):
+        box.shadow = BigFloat.from_int(value)
+
+    # ------------------------------------------------------------------
+
+    def erroneous_operations(self, threshold: float = 5.0) -> List[OpErrorRecord]:
+        """Operations whose max error exceeded the threshold, worst first.
+
+        Note this includes every op *downstream* of an error — the
+        false positives Herbgrind's local-error criterion avoids.
+        """
+        flagged = [r for r in self.records.values() if r.max_error > threshold]
+        flagged.sort(key=lambda r: -r.max_error)
+        return flagged
+
+
+def run_fpdebug(
+    program: isa.Program,
+    input_sets: Sequence[Sequence[float]],
+    precision: int = 120,
+) -> FpDebugAnalysis:
+    """Run the FpDebug-style analysis over several input sets."""
+    analysis = FpDebugAnalysis(precision=precision)
+    for inputs in input_sets:
+        Interpreter(program, tracer=analysis).run(inputs)
+    return analysis

@@ -1,0 +1,99 @@
+"""A Verrou-style analysis (Févotte & Lathuilière, 2016).
+
+Verrou perturbs the rounding of every floating-point operation (random
+rounding / Monte-Carlo arithmetic) and re-runs the program; digits that
+stay stable across runs are trustworthy, digits that wobble are not.
+It needs no shadow values — hence its low overhead in the paper's
+Table 1 — but it can only say *that* something is unstable, not where
+(localization "None" in the table).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.bigfloat import BigFloat, Context, ROUND_DOWN, ROUND_UP, apply
+from repro.machine import isa
+from repro.machine.interpreter import Interpreter, Tracer
+
+
+class RandomRoundingTracer(Tracer):
+    """Overrides each operation's result with a randomly-directed
+    correctly-rounded value (the Monte-Carlo arithmetic kernel)."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+        self._up = Context(precision=53, rounding=ROUND_UP)
+        self._down = Context(precision=53, rounding=ROUND_DOWN)
+
+    def _perturbed(self, op: str, values: Sequence[float]) -> Optional[float]:
+        context = self._up if self.rng.random() < 0.5 else self._down
+        try:
+            result = apply(op, [BigFloat.from_float(v) for v in values], context)
+        except KeyError:
+            return None
+        return result.to_float()
+
+    def on_op(self, instr, op, args, result):
+        return self._perturbed(op, [a.value for a in args])
+
+    def on_library(self, instr, name, args, result):
+        return self._perturbed(name, [a.value for a in args])
+
+
+@dataclass
+class VerrouReport:
+    """Stability statistics for each program output."""
+
+    means: List[float]
+    spreads: List[float]  # max - min across perturbed runs
+    reference: List[float]
+
+    def significant_digits(self, index: int) -> float:
+        """Estimated stable significant (decimal) digits of output i."""
+        mean = self.means[index]
+        spread = self.spreads[index]
+        if spread == 0.0:
+            return 17.0
+        if mean == 0.0 or math.isnan(mean) or math.isnan(spread):
+            return 0.0
+        ratio = abs(spread / mean)
+        if ratio == 0.0:
+            return 17.0
+        return max(0.0, -math.log10(ratio))
+
+    def unstable_outputs(self, digit_threshold: float = 5.0) -> List[int]:
+        """Outputs with fewer stable digits than the threshold."""
+        return [
+            i for i in range(len(self.means))
+            if self.significant_digits(i) < digit_threshold
+        ]
+
+
+def run_verrou(
+    program: isa.Program,
+    inputs: Sequence[float],
+    runs: int = 8,
+    seed: int = 0,
+) -> VerrouReport:
+    """Run the program ``runs`` times under random rounding."""
+    reference = Interpreter(program).run(list(inputs))
+    samples: List[List[float]] = []
+    for run in range(runs):
+        tracer = RandomRoundingTracer(random.Random(seed * 1000 + run))
+        samples.append(Interpreter(program, tracer=tracer).run(list(inputs)))
+    means = []
+    spreads = []
+    for position in range(len(reference)):
+        values = [s[position] for s in samples]
+        finite = [v for v in values if not math.isnan(v)]
+        if not finite:
+            means.append(math.nan)
+            spreads.append(math.nan)
+            continue
+        means.append(sum(finite) / len(finite))
+        spreads.append(max(finite) - min(finite))
+    return VerrouReport(means=means, spreads=spreads, reference=reference)

@@ -1,0 +1,64 @@
+"""The Herbgrind analysis — the paper's primary contribution.
+
+Subsystems, mirroring Section 4:
+
+* spots-and-influences (``analysis``, ``records``, ``localerror``) —
+  which operations influence which outputs/branches/conversions,
+* symbolic expressions (``trace``, ``antiunify``) — abstracting the
+  erroneous computation across function and heap boundaries,
+* input characteristics (``inputs``) — on which inputs the computation
+  is erroneous,
+plus compensation detection and library wrapping (Section 5.3), and
+the configuration knobs every Section 8 experiment sweeps (``config``).
+"""
+
+from repro.core.analysis import HerbgrindAnalysis, analyze_program
+from repro.core.config import (
+    ALL_CHARACTERISTICS,
+    AnalysisConfig,
+    CHARACTERISTICS_NONE,
+    CHARACTERISTICS_RANGE,
+    CHARACTERISTICS_REPRESENTATIVE,
+    CHARACTERISTICS_SIGN_SPLIT,
+)
+from repro.core.driver import analyze_fpcore, precondition_box, sample_inputs
+from repro.core.records import (
+    OpRecord,
+    SpotRecord,
+    SPOT_BRANCH,
+    SPOT_CONVERSION,
+    SPOT_OUTPUT,
+)
+from repro.core.report import (
+    AnalysisReport,
+    RootCauseReport,
+    SpotReport,
+    generate_report,
+    root_cause_report,
+)
+from repro.core.shadow import ShadowValue
+
+__all__ = [
+    "ALL_CHARACTERISTICS",
+    "AnalysisConfig",
+    "AnalysisReport",
+    "CHARACTERISTICS_NONE",
+    "CHARACTERISTICS_RANGE",
+    "CHARACTERISTICS_REPRESENTATIVE",
+    "CHARACTERISTICS_SIGN_SPLIT",
+    "HerbgrindAnalysis",
+    "OpRecord",
+    "RootCauseReport",
+    "SPOT_BRANCH",
+    "SPOT_CONVERSION",
+    "SPOT_OUTPUT",
+    "ShadowValue",
+    "SpotRecord",
+    "SpotReport",
+    "analyze_fpcore",
+    "analyze_program",
+    "generate_report",
+    "precondition_box",
+    "root_cause_report",
+    "sample_inputs",
+]

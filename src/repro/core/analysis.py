@@ -1,0 +1,397 @@
+"""The Herbgrind analysis as a machine tracer (paper Figures 3 and 4).
+
+For every executed floating-point operation the tracer:
+
+1. computes the shadow-real result (⟦f⟧_R on the shadow arguments),
+2. measures the operation's *local error* and marks it a candidate
+   root cause when that exceeds Tℓ,
+3. extends the concrete-expression trace and anti-unifies it into the
+   site's symbolic expression,
+4. updates the site's input characteristics (total, and problematic
+   when the local error was high),
+5. propagates influence taint — the union of the arguments' influences
+   plus the site itself when it is a candidate — with compensating
+   additions/subtractions (Section 5.3) blocked from propagating their
+   compensating term's taint.
+
+At spots (outputs, float branches, float→int conversions) it measures
+error against the real execution and records which candidates
+influenced the spot.
+
+One note versus the paper's Figure 4: the figure's branch/conversion
+case unions influences when the real and float paths *agree*; we take
+that for a typo and record influences on *divergence* (as the PID case
+study's prose describes).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bigfloat import BigFloat, Context, apply
+from repro.bigfloat import arith
+from repro.core.antiunify import collect_variable_values
+from repro.core.config import AnalysisConfig
+from repro.core.localerror import local_error, total_error
+from repro.core.records import (
+    OpRecord,
+    SpotRecord,
+    SPOT_BRANCH,
+    SPOT_CONVERSION,
+    SPOT_OUTPUT,
+)
+from repro.core.shadow import EMPTY_INFLUENCES, ShadowValue
+from repro.core import trace as trace_mod
+from repro.machine import isa
+from repro.machine.interpreter import Interpreter, Tracer
+from repro.machine.values import FloatBox
+
+
+class HerbgrindAnalysis(Tracer):
+    """The full analysis; attach to an Interpreter as its tracer."""
+
+    def __init__(self, config: Optional[AnalysisConfig] = None) -> None:
+        self.config = config if config is not None else AnalysisConfig()
+        self.context = Context(precision=self.config.shadow_precision)
+        self.op_records: Dict[int, OpRecord] = {}
+        self.spot_records: Dict[int, SpotRecord] = {}
+        self._sites: Dict[int, isa.Instr] = {}  # keeps instr ids stable
+        self._site_counter = 0
+        self.runs = 0
+
+    # ------------------------------------------------------------------
+    # Record lookup
+    # ------------------------------------------------------------------
+
+    def _op_record(self, instr: isa.Instr, op: str) -> OpRecord:
+        key = id(instr)
+        record = self.op_records.get(key)
+        if record is None:
+            self._sites[key] = instr
+            self._site_counter += 1
+            record = OpRecord(
+                site_id=self._site_counter,
+                op=op,
+                loc=getattr(instr, "loc", None),
+                config=self.config,
+            )
+            self.op_records[key] = record
+        return record
+
+    def _spot_record(self, instr: isa.Instr, kind: str) -> SpotRecord:
+        key = id(instr)
+        record = self.spot_records.get(key)
+        if record is None:
+            self._sites[key] = instr
+            self._site_counter += 1
+            record = SpotRecord(
+                site_id=self._site_counter,
+                kind=kind,
+                loc=getattr(instr, "loc", None),
+            )
+            self.spot_records[key] = record
+        return record
+
+    # ------------------------------------------------------------------
+    # Shadow access (lazy creation, paper Section 6)
+    # ------------------------------------------------------------------
+
+    def _shadow(self, box: FloatBox) -> ShadowValue:
+        shadow = box.shadow
+        if shadow is None:
+            shadow = ShadowValue(
+                BigFloat.from_float(box.value),
+                trace_mod.opaque_leaf(box.value),
+                EMPTY_INFLUENCES,
+            )
+            box.shadow = shadow
+        return shadow
+
+    # ------------------------------------------------------------------
+    # Value-producing events
+    # ------------------------------------------------------------------
+
+    def on_start(self, interpreter: Interpreter) -> None:
+        self.runs += 1
+
+    def on_const(self, instr: isa.Instr, box: FloatBox) -> None:
+        box.shadow = ShadowValue(
+            BigFloat.from_float(box.value),
+            trace_mod.const_leaf(box.value, getattr(instr, "loc", None)),
+            EMPTY_INFLUENCES,
+        )
+
+    def on_read(self, instr: isa.Read, box: FloatBox, index: int) -> None:
+        box.shadow = ShadowValue(
+            BigFloat.from_float(box.value),
+            trace_mod.input_leaf(box.value, index, instr.loc),
+            EMPTY_INFLUENCES,
+        )
+
+    def on_int_to_float(self, instr: isa.IntToFloat, value: int, box: FloatBox) -> None:
+        # Integers are exact; the trace sees a constant of that value.
+        box.shadow = ShadowValue(
+            BigFloat.from_int(value),
+            trace_mod.const_leaf(box.value, instr.loc),
+            EMPTY_INFLUENCES,
+        )
+
+    def on_op(
+        self, instr: isa.Instr, op: str, args: Sequence[FloatBox], result: FloatBox
+    ) -> Optional[float]:
+        self._analyse_operation(instr, op, args, result)
+        return None
+
+    def on_library(
+        self, instr: isa.Call, name: str, args: Sequence[FloatBox], result: FloatBox
+    ) -> Optional[float]:
+        # Wrapped library call: analysed as one atomic operation, so the
+        # trace records `tan`, not tan's instruction stream (Section 5.3).
+        self._analyse_operation(instr, name, args, result)
+        return None
+
+    def on_bitop(self, instr: isa.FloatBitOp, box: FloatBox, result: FloatBox) -> None:
+        # Recognize compiler bit tricks (Section 5.3): sign-flip XOR is
+        # negation, sign-clear AND is fabs.  Anything else is opaque.
+        if instr.op == "xor" and instr.mask == isa.SIGN_BIT_MASK:
+            self._analyse_operation(instr, "neg", [box], result)
+            return
+        if instr.op == "and" and instr.mask == isa.ABS_MASK:
+            self._analyse_operation(instr, "fabs", [box], result)
+            return
+        shadow = self._shadow(box)
+        result.shadow = ShadowValue(
+            BigFloat.from_float(result.value),
+            trace_mod.opaque_leaf(result.value, instr.loc),
+            shadow.influences,
+        )
+
+    # ------------------------------------------------------------------
+    # The core per-operation analysis
+    # ------------------------------------------------------------------
+
+    def _analyse_operation(
+        self, instr: isa.Instr, op: str, args: Sequence[FloatBox], result: FloatBox
+    ) -> None:
+        config = self.config
+        shadows = [self._shadow(a) for a in args]
+        real_args = [s.real for s in shadows]
+        try:
+            real_result = apply(op, real_args, self.context)
+        except KeyError:
+            # Operation outside the real engine: treat the result as an
+            # opaque float source.
+            result.shadow = ShadowValue(
+                BigFloat.from_float(result.value),
+                trace_mod.opaque_leaf(result.value, getattr(instr, "loc", None)),
+                frozenset().union(*[s.influences for s in shadows])
+                if shadows else EMPTY_INFLUENCES,
+            )
+            return
+        record = self._op_record(instr, op)
+        error_bits = local_error(op, real_args, real_result, self.context)
+        record.record_execution(error_bits)
+        is_candidate = error_bits > config.local_error_threshold
+
+        # --- Influence propagation, with compensation detection -------
+        passthrough = None
+        if config.detect_compensation and op in ("+", "-") and len(shadows) == 2:
+            passthrough = self._compensation_passthrough(
+                op, shadows, real_args, real_result, args, result
+            )
+        if passthrough is not None:
+            record.compensations_detected += 1
+            influences = shadows[passthrough].influences
+        else:
+            influences = EMPTY_INFLUENCES
+            for shadow in shadows:
+                if shadow.influences:
+                    influences = influences | shadow.influences
+            if is_candidate and config.track_influences:
+                influences = influences | {record}
+
+        # --- Trace and symbolic expression ----------------------------
+        node = trace_mod.op_node(
+            op,
+            tuple(s.trace for s in shadows),
+            result.value,
+            getattr(instr, "loc", None),
+        )
+        symbolic = record.generalization.update(node)
+        record.last_trace = node
+
+        # --- Input characteristics -------------------------------------
+        bindings: Dict[str, float] = {}
+        collect_variable_values(symbolic, node, bindings)
+        for variable, value in bindings.items():
+            record.total_inputs.record(variable, value)
+        if is_candidate and passthrough is None:
+            for variable, value in bindings.items():
+                record.problematic_inputs.record(variable, value)
+            if record.example_problematic is None and bindings:
+                record.example_problematic = dict(bindings)
+            record.candidate_executions += 1
+
+        result.shadow = ShadowValue(real_result, node, influences)
+
+    def _compensation_passthrough(
+        self,
+        op: str,
+        shadows: List[ShadowValue],
+        real_args: List[BigFloat],
+        real_result: BigFloat,
+        args: Sequence[FloatBox],
+        result: FloatBox,
+    ) -> Optional[int]:
+        """Index of the passed-through argument of a compensating op.
+
+        Paper Section 5.3: an addition/subtraction is compensating when
+        (a) in the reals it returns one of its arguments, and (b) the
+        output has *less* error than that passed-through argument —
+        i.e. the other term corrected accumulated rounding error.
+        """
+        if not real_result.is_finite():
+            return None
+        for index in (0, 1):
+            candidate = real_args[index]
+            if index == 1 and op == "-":
+                candidate = candidate.neg()
+            if not candidate.is_finite():
+                continue
+            if not (candidate == real_result):
+                continue
+            arg_error = total_error(args[index].value, real_args[index])
+            out_error = total_error(result.value, real_result)
+            if out_error < arg_error:
+                return index
+        return None
+
+    # ------------------------------------------------------------------
+    # Spots
+    # ------------------------------------------------------------------
+
+    def on_branch(
+        self, instr: isa.Branch, lhs: FloatBox, rhs: FloatBox, taken: bool
+    ) -> None:
+        record = self._spot_record(instr, SPOT_BRANCH)
+        left = self._shadow(lhs)
+        right = self._shadow(rhs)
+        real_taken = _real_predicate(instr.pred, left.real, right.real)
+        diverged = real_taken != taken
+        record.record(1.0 if diverged else 0.0, diverged)
+        if diverged and self.config.track_influences:
+            record.influences |= left.influences | right.influences
+
+    def on_float_to_int(
+        self, instr: isa.FloatToInt, box: FloatBox, result: int
+    ) -> None:
+        record = self._spot_record(instr, SPOT_CONVERSION)
+        shadow = self._shadow(box)
+        real = shadow.real
+        if real.is_nan():
+            diverged = True
+        elif real.is_inf():
+            diverged = True
+        else:
+            real_int = int(arith.trunc(real).to_fraction())
+            diverged = real_int != result
+        record.record(1.0 if diverged else 0.0, diverged)
+        if diverged and self.config.track_influences:
+            record.influences |= shadow.influences
+
+    def on_out(self, instr: isa.Out, box: FloatBox) -> None:
+        record = self._spot_record(instr, SPOT_OUTPUT)
+        shadow = self._shadow(box)
+        error_bits = total_error(box.value, shadow.real)
+        erroneous = error_bits > self.config.output_error_threshold
+        record.record(error_bits, erroneous)
+        if erroneous and self.config.track_influences:
+            record.influences |= shadow.influences
+
+    # ------------------------------------------------------------------
+    # Result queries
+    # ------------------------------------------------------------------
+
+    def candidate_records(self) -> List[OpRecord]:
+        """Operation sites flagged as candidate root causes, worst first."""
+        flagged = [
+            record for record in self.op_records.values()
+            if record.candidate_executions > 0
+        ]
+        flagged.sort(key=lambda r: (-r.max_local_error, r.site_id))
+        return flagged
+
+    def erroneous_spots(self) -> List[SpotRecord]:
+        """Spots that registered error or divergence, worst first."""
+        spots = [
+            record for record in self.spot_records.values() if record.erroneous > 0
+        ]
+        spots.sort(key=lambda r: (-r.max_error, -r.erroneous, r.site_id))
+        return spots
+
+    def reported_root_causes(self) -> List[OpRecord]:
+        """Candidates whose influence reached at least one spot.
+
+        The paper reports only sources of error that flow into spots
+        (Section 4.2, footnote 7), avoiding false positives from
+        erroneous intermediates that never matter.
+        """
+        reached = set()
+        for spot in self.erroneous_spots():
+            reached |= spot.influences
+        result = [r for r in self.candidate_records() if r in reached]
+        return result
+
+    def max_output_error(self) -> float:
+        """Worst bits-of-error observed at any output spot."""
+        outputs = [
+            r for r in self.spot_records.values() if r.kind == SPOT_OUTPUT
+        ]
+        return max((r.max_error for r in outputs), default=0.0)
+
+
+def _real_predicate(pred: str, lhs: BigFloat, rhs: BigFloat) -> bool:
+    """Branch predicate under the real semantics (NaN-aware)."""
+    if lhs.is_nan() or rhs.is_nan():
+        return pred == "ne"
+    if pred == "lt":
+        return lhs < rhs
+    if pred == "le":
+        return lhs <= rhs
+    if pred == "gt":
+        return lhs > rhs
+    if pred == "ge":
+        return lhs >= rhs
+    if pred == "eq":
+        return lhs == rhs
+    if pred == "ne":
+        return lhs != rhs
+    raise ValueError(f"unknown predicate {pred!r}")
+
+
+def analyze_program(
+    program: isa.Program,
+    input_sets: Sequence[Sequence[float]],
+    config: Optional[AnalysisConfig] = None,
+    wrap_libraries: bool = True,
+    libm: Optional[Dict[str, isa.Function]] = None,
+    max_steps: int = 50_000_000,
+) -> Tuple[HerbgrindAnalysis, List[List[float]]]:
+    """Run the analysis over a program on several input sets.
+
+    Returns the analysis (records aggregated across runs, as Herbgrind
+    aggregates across a whole execution) plus each run's outputs.
+    """
+    analysis = HerbgrindAnalysis(config)
+    outputs = []
+    for inputs in input_sets:
+        interpreter = Interpreter(
+            program,
+            tracer=analysis,
+            wrap_libraries=wrap_libraries,
+            libm=libm,
+            max_steps=max_steps,
+        )
+        outputs.append(interpreter.run(inputs))
+    return analysis, outputs

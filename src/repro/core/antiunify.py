@@ -1,0 +1,241 @@
+"""Anti-unification of concrete traces into symbolic expressions.
+
+Herbgrind generalizes the concrete expression recorded at each
+operation site into a *symbolic expression*: the most-specific
+generalization (Plotkin [30]) of every concrete expression seen there.
+Sub-trees that differ between executions become variables; sub-trees
+that are equivalent get the *same* variable, which is what lets input
+characteristics speak about "the x in sqrt(x+1) - sqrt(x)".
+
+Three refinements the implementation needs (paper Sections 4.3/6/6.1):
+
+* **Incrementality** — the site keeps one symbolic expression and
+  anti-unifies each new concrete trace into it (associative, so this
+  equals batch generalization).
+* **Depth bounding** — only ``max_depth`` operator levels survive;
+  anything deeper becomes a variable.  Truncation is decided per trace
+  *node* (maximum depth over all of its DAG occurrences), so a shared
+  sub-computation that appears both shallow and deep — like the pixel
+  coordinate in the plotter's ``sqrt(x^2+y^2) - x`` — collapses to the
+  *same* variable at every occurrence.  That is how the paper's compact
+  Section 3 fragment arises.
+* **Bounded equivalence** — sub-tree equivalence is compared only to
+  ``equivalence_depth`` levels (Section 6.1), a sound approximation.
+
+Variable names persist across updates: a position that was variable
+``v3`` keeps the name as long as each update brings one consistent
+sub-tree to it, so input characteristics accumulate per variable; when
+one old variable faces two different new sub-trees, it splits.
+
+Symbolic expressions reuse the FPCore AST (Num/Var/Op), which is also
+how they are reported and fed to the improver.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro.core.trace import (
+    KIND_CONST,
+    KIND_INPUT,
+    KIND_OP,
+    TraceNode,
+    structural_key,
+)
+from repro.fpcore.ast import Expr, Num, Op, Var, num
+
+
+class _UpdateState:
+    """Book-keeping for one update() call."""
+
+    __slots__ = ("truncated", "var_bindings", "node_vars", "memo")
+
+    def __init__(self) -> None:
+        #: idents of op nodes beyond the depth bound (by max occurrence).
+        self.truncated: Set[int] = set()
+        #: old variable name -> the trace key it stands for this update.
+        self.var_bindings: Dict[str, tuple] = {}
+        #: trace key -> variable name chosen this update (consistency of
+        #: fresh variables across positions).
+        self.node_vars: Dict[tuple, str] = {}
+        #: merge memo keyed by (id(sym), trace ident).
+        self.memo: Dict[tuple, Expr] = {}
+
+
+@dataclass
+class Generalization:
+    """The evolving symbolic expression of one operation site."""
+
+    equivalence_depth: int = 5
+    #: Operator levels kept in the symbolic expression (Figures 5c/5d's
+    #: axis; at 1 only the operation itself survives — the FpDebug-like
+    #: configuration of Section 8.2).
+    max_depth: int = 20
+    expression: Expr = None  # None until the first trace arrives
+    _fresh: itertools.count = field(default_factory=itertools.count)
+
+    # ------------------------------------------------------------------
+
+    def update(self, trace: TraceNode) -> Expr:
+        """Anti-unify ``trace`` into the current symbolic expression."""
+        state = _UpdateState()
+        self._mark_deep_nodes(trace, state)
+        if self.expression is None:
+            self.expression = self._initial(trace, state)
+        else:
+            self.expression = self._merge(self.expression, trace, state)
+        return self.expression
+
+    # ------------------------------------------------------------------
+    # Depth marking: a node is truncated when ANY occurrence lies beyond
+    # the depth bound; being a DAG walk over (node, depth) pairs, the
+    # cost is bounded by (visible nodes) x (max_depth).
+    # ------------------------------------------------------------------
+
+    def _mark_deep_nodes(self, trace: TraceNode, state: _UpdateState) -> None:
+        seen: Set[Tuple[int, int]] = set()
+        stack = [(trace, 1)]
+        while stack:
+            node, depth = stack.pop()
+            if node.kind != KIND_OP:
+                continue
+            key = (node.ident, depth)
+            if key in seen:
+                continue
+            seen.add(key)
+            if depth > self.max_depth:
+                state.truncated.add(node.ident)
+                continue  # children are invisible anyway
+            for child in node.args:
+                stack.append((child, depth + 1))
+
+    # ------------------------------------------------------------------
+    # Variable management
+    # ------------------------------------------------------------------
+
+    def _trace_key(self, node: TraceNode) -> tuple:
+        return structural_key(node, self.equivalence_depth)
+
+    def _fresh_name(self) -> str:
+        return f"v{next(self._fresh)}"
+
+    def _variable_at(
+        self, symbolic: Optional[Expr], trace: TraceNode, state: _UpdateState
+    ) -> Var:
+        """The variable generalizing (symbolic, trace) at this position.
+
+        Keeps old variable names stable when each update binds them to
+        one consistent sub-tree; assigns the same fresh name to
+        equivalent new sub-trees within an update.
+        """
+        trace_key = self._trace_key(trace)
+        if isinstance(symbolic, Var):
+            bound = state.var_bindings.get(symbolic.name)
+            if bound is None:
+                state.var_bindings[symbolic.name] = trace_key
+                state.node_vars.setdefault(trace_key, symbolic.name)
+                return symbolic
+            if bound == trace_key:
+                return symbolic
+            # The old variable faces a second, different sub-tree: split.
+        name = state.node_vars.get(trace_key)
+        if name is None:
+            name = self._fresh_name()
+            state.node_vars[trace_key] = name
+        return Var(name)
+
+    # ------------------------------------------------------------------
+    # First trace: concrete -> symbolic, sharing-aware, depth-bounded
+    # ------------------------------------------------------------------
+
+    def _initial(self, trace: TraceNode, state: _UpdateState) -> Expr:
+        memo: Dict[int, Expr] = {}
+
+        def convert(node: TraceNode) -> Expr:
+            cached = memo.get(node.ident)
+            if cached is not None:
+                return cached
+            if node.kind == KIND_OP:
+                if node.ident in state.truncated:
+                    result = self._variable_at(None, node, state)
+                else:
+                    result = Op(node.op, tuple(convert(a) for a in node.args))
+            elif node.kind == KIND_INPUT:
+                result = Var(node.op)
+            elif node.kind == KIND_CONST and math.isfinite(node.value):
+                result = num(node.value)
+            else:
+                result = self._variable_at(None, node, state)
+            memo[node.ident] = result
+            return result
+
+        return convert(trace)
+
+    # ------------------------------------------------------------------
+    # Subsequent traces: pairwise lgg
+    # ------------------------------------------------------------------
+
+    def _merge(self, symbolic: Expr, trace: TraceNode, state: _UpdateState) -> Expr:
+        key = (id(symbolic), trace.ident)
+        cached = state.memo.get(key)
+        if cached is not None:
+            return cached
+        result = self._merge_uncached(symbolic, trace, state)
+        state.memo[key] = result
+        return result
+
+    def _merge_uncached(
+        self, symbolic: Expr, trace: TraceNode, state: _UpdateState
+    ) -> Expr:
+        if trace.kind == KIND_OP and trace.ident in state.truncated:
+            return self._variable_at(symbolic, trace, state)
+        if isinstance(symbolic, Op) and trace.kind == KIND_OP \
+                and symbolic.op == trace.op \
+                and len(symbolic.args) == len(trace.args):
+            return Op(
+                symbolic.op,
+                tuple(
+                    self._merge(s, t, state)
+                    for s, t in zip(symbolic.args, trace.args)
+                ),
+            )
+        if isinstance(symbolic, Num) and trace.kind == KIND_CONST \
+                and float(symbolic.value) == trace.value:
+            return symbolic
+        if isinstance(symbolic, Var) and trace.kind == KIND_INPUT \
+                and symbolic.name == trace.op:
+            return symbolic
+        return self._variable_at(symbolic, trace, state)
+
+
+def collect_variable_values(
+    symbolic: Expr, trace: TraceNode, out: Dict[str, float]
+) -> None:
+    """Record, for each variable of ``symbolic``, the value the matching
+    sub-tree of ``trace`` took in this execution.
+
+    Called right after :meth:`Generalization.update`, so ``symbolic``
+    generalizes ``trace`` position-wise.  When the same variable appears
+    at several positions the values agree by construction (up to the
+    bounded-depth approximation); the last one wins.  The walk is
+    memoized on node identity because traces are DAGs.
+    """
+    seen = set()
+
+    def walk(sym: Expr, node: TraceNode) -> None:
+        key = (id(sym), node.ident)
+        if key in seen:
+            return
+        seen.add(key)
+        if isinstance(sym, Var):
+            out[sym.name] = node.value
+            return
+        if isinstance(sym, Op) and node.kind == KIND_OP \
+                and sym.op == node.op and len(sym.args) == len(node.args):
+            for sym_arg, trace_arg in zip(sym.args, node.args):
+                walk(sym_arg, trace_arg)
+
+    walk(symbolic, trace)

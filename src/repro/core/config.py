@@ -1,0 +1,83 @@
+"""Configuration of the Herbgrind analysis.
+
+Every tunable the paper discusses is explicit here so the Section 8
+experiments can sweep them:
+
+* ``local_error_threshold`` — Tℓ, Figure 5a's sweep axis,
+* ``max_expression_depth`` — Figures 5c/5d's sweep axis,
+* ``input_characteristics`` — Figure 5b's three configurations,
+* ``equivalence_depth`` — the Section 6.1 anti-unification bound,
+* ``detect_compensation`` — the Section 8.3 subsystem,
+* ``track_influences`` — disabling yields an FpDebug-like analysis,
+* ``shadow_precision`` — Section 5.1's MPFR precision (1000 default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+#: Input-characteristic configurations (paper Section 4.4: the system is
+#: modular and ships three implementations).
+CHARACTERISTICS_NONE = "none"
+CHARACTERISTICS_REPRESENTATIVE = "representative"
+CHARACTERISTICS_RANGE = "range"
+CHARACTERISTICS_SIGN_SPLIT = "sign_split"
+
+ALL_CHARACTERISTICS = (
+    CHARACTERISTICS_NONE,
+    CHARACTERISTICS_REPRESENTATIVE,
+    CHARACTERISTICS_RANGE,
+    CHARACTERISTICS_SIGN_SPLIT,
+)
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """All knobs of the analysis, with the paper's defaults."""
+
+    #: Shadow-real precision in bits (paper Section 5.1, footnote 10).
+    shadow_precision: int = 1000
+
+    #: Tℓ: bits of *local* error above which an operation becomes a
+    #: candidate root cause (Figure 5a sweeps this).
+    local_error_threshold: float = 5.0
+
+    #: Tm: bits of output error above which an output spot records its
+    #: influences (Section 8.1 uses 5 bits of significance).
+    output_error_threshold: float = 5.0
+
+    #: Maximum depth of concrete trace expressions; deeper sub-trees are
+    #: truncated to opaque leaves (Figures 5c/5d sweep this; depth 1
+    #: effectively disables symbolic expressions, like FpDebug).
+    max_expression_depth: int = 20
+
+    #: Depth to which anti-unification compares sub-trees for
+    #: equivalence (Section 6.1; 5 by default).
+    equivalence_depth: int = 5
+
+    #: Which input-characteristics implementation to run (Figure 5b).
+    input_characteristics: str = CHARACTERISTICS_SIGN_SPLIT
+
+    #: Detect compensating terms and stop their influence propagation
+    #: (Section 5.3 / 8.3).
+    detect_compensation: bool = True
+
+    #: Track influence taint from candidate root causes to spots.
+    #: Turning this off reduces Herbgrind to per-op error detection.
+    track_influences: bool = True
+
+    def __post_init__(self) -> None:
+        if self.shadow_precision < 24:
+            raise ValueError("shadow precision below single precision")
+        if self.max_expression_depth < 1:
+            raise ValueError("max expression depth must be >= 1")
+        if self.equivalence_depth < 1:
+            raise ValueError("equivalence depth must be >= 1")
+        if self.input_characteristics not in ALL_CHARACTERISTICS:
+            raise ValueError(
+                f"unknown characteristics kind: {self.input_characteristics!r}"
+            )
+
+    def with_(self, **changes) -> "AnalysisConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)

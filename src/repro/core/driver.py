@@ -1,0 +1,122 @@
+"""Convenience drivers: analyse an FPCore benchmark end to end.
+
+This is the pipeline of the paper's Section 8.1 methodology: compile a
+benchmark to native form, run it under the analysis on sampled inputs,
+and collect the report — minus Herbie, which lives in
+:mod:`repro.improve`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.analysis import HerbgrindAnalysis, analyze_program
+from repro.core.config import AnalysisConfig
+from repro.fpcore.ast import FPCore, Num, Op, Var
+from repro.fpcore.evaluator import eval_double
+from repro.machine.compiler import compile_fpcore
+
+
+def precondition_box(core: FPCore) -> Dict[str, Tuple[float, float]]:
+    """Extract per-argument sampling ranges from the :pre conjunction.
+
+    Non-range clauses are ignored here (they are rejection-tested by
+    the sampler); arguments without a range default to [-1e9, 1e9].
+    """
+    box: Dict[str, Tuple[float, float]] = {}
+
+    def visit(expr) -> None:
+        if isinstance(expr, Op) and expr.op == "and":
+            for arg in expr.args:
+                visit(arg)
+        elif (
+            isinstance(expr, Op)
+            and expr.op == "<="
+            and len(expr.args) == 3
+            and isinstance(expr.args[0], Num)
+            and isinstance(expr.args[1], Var)
+            and isinstance(expr.args[2], Num)
+        ):
+            low, variable, high = expr.args
+            box[variable.name] = (float(low.value), float(high.value))
+
+    if core.pre is not None:
+        visit(core.pre)
+    for argument in core.arguments:
+        box.setdefault(argument, (-1e9, 1e9))
+    return box
+
+
+def _sample_range(rng: random.Random, low: float, high: float) -> float:
+    """Sample a range, log-uniformly when it spans many binades.
+
+    Linear sampling of [1e-12, 1] would essentially never produce a
+    value below 1e-3; benchmarks whose interesting inputs are tiny
+    (most cancellation problems) need log-scale sampling, which is also
+    what Herbie does.
+    """
+    if low > 0 and high / low > 1e3:
+        import math
+
+        return math.exp(rng.uniform(math.log(low), math.log(high)))
+    if high < 0 and low / high > 1e3:
+        import math
+
+        return -math.exp(rng.uniform(math.log(-high), math.log(-low)))
+    return rng.uniform(low, high)
+
+
+def sample_inputs(
+    core: FPCore,
+    count: int,
+    seed: int = 0,
+    max_rejections: int = 1000,
+) -> List[List[float]]:
+    """Sample ``count`` input tuples satisfying the :pre."""
+    rng = random.Random(seed)
+    box = precondition_box(core)
+    points: List[List[float]] = []
+    rejections = 0
+    while len(points) < count:
+        point = [
+            _sample_range(rng, *box[argument]) for argument in core.arguments
+        ]
+        if core.pre is not None:
+            env = dict(zip(core.arguments, point))
+            try:
+                acceptable = bool(eval_double(core.pre, env))
+            except Exception:
+                acceptable = False
+            if not acceptable:
+                rejections += 1
+                if rejections > max_rejections:
+                    raise ValueError(
+                        f"{core.name}: cannot satisfy precondition"
+                    )
+                continue
+        points.append(point)
+    return points
+
+
+def analyze_fpcore(
+    core: FPCore,
+    points: Optional[Sequence[Sequence[float]]] = None,
+    config: Optional[AnalysisConfig] = None,
+    num_points: int = 16,
+    seed: int = 0,
+    wrap_libraries: bool = True,
+    libm=None,
+) -> HerbgrindAnalysis:
+    """Compile and analyse one benchmark on sampled (or given) inputs."""
+    program = compile_fpcore(core)
+    if points is None:
+        points = sample_inputs(core, num_points, seed=seed)
+    analysis, __ = analyze_program(
+        program,
+        points,
+        config=config,
+        wrap_libraries=wrap_libraries,
+        libm=libm,
+    )
+    return analysis

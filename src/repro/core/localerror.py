@@ -1,0 +1,42 @@
+"""Local error (paper Section 4.2, following Herbie [29]).
+
+Local error measures the error an operation's output would have *even
+if its inputs were accurately computed and then rounded to native
+floats*:
+
+    local-error(f, v⃗) = E( F(⟦f⟧_R(v⃗)),  ⟦f⟧_F(F(v⃗)) )
+
+Judging an operation this way avoids blaming innocent operations for
+already-erroneous operands — the heart of Herbgrind's candidate
+selection (operations whose local error exceeds Tℓ).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bigfloat import BigFloat, Context, apply_double
+from repro.ieee import bits_of_error
+
+
+def local_error(
+    op: str,
+    shadow_args: Sequence[BigFloat],
+    real_result: BigFloat,
+    context: Context,
+) -> float:
+    """Bits of local error of one operation execution.
+
+    ``real_result`` must be ⟦op⟧_R applied to ``shadow_args`` (the
+    caller computes it anyway for shadow propagation, so it is passed
+    in rather than recomputed).
+    """
+    rounded_args = [argument.to_float() for argument in shadow_args]
+    float_result = apply_double(op, rounded_args)
+    exact_rounded = real_result.to_float()
+    return bits_of_error(float_result, exact_rounded)
+
+
+def total_error(float_value: float, shadow_real: BigFloat) -> float:
+    """Bits of error of a program value against its shadow real."""
+    return bits_of_error(float_value, shadow_real.to_float())

@@ -1,0 +1,80 @@
+"""Per-node source locations for extracted expressions.
+
+The paper's footnote 5: automating repair insertion is future work,
+"but Herbgrind can provide source locations for each node in the
+extracted expression".  This module computes that mapping: for a
+symbolic expression and the concrete trace it generalizes, every
+operator position is annotated with the source location of the
+instruction that produced it — letting a developer navigate from the
+abstract fragment back into the (possibly multi-file, multi-language)
+program.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.trace import KIND_OP, TraceNode
+from repro.fpcore.ast import Expr, Op, Var
+
+Path = Tuple[int, ...]
+
+
+def map_node_locations(
+    symbolic: Expr, trace: TraceNode
+) -> Dict[Path, Optional[str]]:
+    """Source location for every operator position of ``symbolic``.
+
+    ``trace`` must be a concrete trace the expression generalizes (the
+    most recent one); the walk mirrors anti-unification's alignment and
+    is memoized because traces are DAGs.  Positions are child-index
+    paths from the root, as in :mod:`repro.improve.patterns`.
+    """
+    locations: Dict[Path, Optional[str]] = {}
+    seen = set()
+
+    def walk(sym: Expr, node: TraceNode, path: Path) -> None:
+        key = (id(sym), node.ident, path)
+        if key in seen:
+            return
+        seen.add(key)
+        if isinstance(sym, Op) and node.kind == KIND_OP \
+                and sym.op == node.op and len(sym.args) == len(node.args):
+            locations[path] = node.loc
+            for index, (sym_arg, trace_arg) in enumerate(
+                zip(sym.args, node.args)
+            ):
+                walk(sym_arg, trace_arg, path + (index,))
+
+    walk(symbolic, trace, ())
+    return locations
+
+
+def format_located_expression(
+    symbolic: Expr, locations: Dict[Path, Optional[str]]
+) -> str:
+    """Render the expression with one line per operator node.
+
+    Example output::
+
+        (- ...)          csqrt.cpp:10
+          (sqrt ...)     csqrt.cpp:7
+            (+ ...)      csqrt.cpp:7
+    """
+    from repro.fpcore.printer import format_expr
+
+    lines = []
+
+    def walk(sym: Expr, path: Path, depth: int) -> None:
+        if not isinstance(sym, Op):
+            return
+        location = locations.get(path) or "<unknown>"
+        compact = f"({sym.op} ...)" if sym.args else f"({sym.op})"
+        lines.append(f"{'  ' * depth}{compact:<{max(4, 28 - 2 * depth)}} {location}")
+        for index, argument in enumerate(sym.args):
+            walk(argument, path + (index,), depth + 1)
+
+    walk(symbolic, (), 0)
+    if not lines:
+        return format_expr(symbolic)
+    return "\n".join(lines)

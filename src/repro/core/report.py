@@ -1,0 +1,178 @@
+"""Report generation: the analysis' user-facing output.
+
+Format follows the paper's Section 3 example::
+
+    Compare @ main.cpp:24 in run(int, int)
+    231878 incorrect values of 477000
+    Influenced by erroneous expressions:
+
+    (FPCore (x y)
+      :pre (and (<= -2.061152e-9 x 2.497500e-1)
+                (<= -2.619433e-9 y 2.645912e-9))
+      (- (sqrt (+ (* x x) (* y y))) x))
+    Example problematic input: (2.061152e-9, -2.480955e-12)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.analysis import HerbgrindAnalysis
+from repro.core.records import OpRecord, SpotRecord, SPOT_BRANCH, SPOT_CONVERSION
+from repro.fpcore.ast import Expr, free_variables
+from repro.fpcore.printer import format_expr
+
+
+@dataclass
+class RootCauseReport:
+    """One candidate root cause, rendered for the user."""
+
+    loc: Optional[str]
+    op: str
+    expression: Optional[Expr]
+    variables: List[str]
+    precondition_clauses: List[str]
+    problematic_clauses: List[str]
+    example_problematic: Optional[Dict[str, float]]
+    executions: int
+    candidate_executions: int
+    max_local_error: float
+    average_local_error: float
+
+    def fpcore_text(self) -> str:
+        """The report's (FPCore ...) form with observed-input :pre."""
+        if self.expression is None:
+            return f"({self.op} <no expression>)"
+        arguments = " ".join(self.variables)
+        clauses = self.precondition_clauses
+        if not clauses:
+            pre = ""
+        elif len(clauses) == 1:
+            pre = f"\n  :pre {clauses[0]}"
+        else:
+            joined = "\n            ".join(clauses)
+            pre = f"\n  :pre (and {joined})"
+        body = format_expr(self.expression)
+        return f"(FPCore ({arguments}){pre}\n  {body})"
+
+    def example_text(self) -> Optional[str]:
+        if not self.example_problematic:
+            return None
+        ordered = [self.example_problematic.get(v) for v in self.variables]
+        rendered = ", ".join("?" if v is None else repr(v) for v in ordered)
+        return f"({rendered})"
+
+
+@dataclass
+class SpotReport:
+    """One erroneous spot and the root causes that influenced it."""
+
+    loc: Optional[str]
+    kind: str
+    executions: int
+    erroneous: int
+    max_error: float
+    average_error: float
+    root_causes: List[RootCauseReport] = field(default_factory=list)
+
+    def heading(self) -> str:
+        kind_name = {
+            SPOT_BRANCH: "Compare",
+            SPOT_CONVERSION: "Convert",
+        }.get(self.kind, "Output")
+        where = self.loc or "<unknown>"
+        return f"{kind_name} @ {where}"
+
+    def summary_line(self) -> str:
+        if self.kind == "output":
+            return (
+                f"{self.erroneous} erroneous values of {self.executions}"
+                f" (max {self.max_error:.1f} bits)"
+            )
+        return f"{self.erroneous} incorrect values of {self.executions}"
+
+
+@dataclass
+class AnalysisReport:
+    """The full report for one analysed execution."""
+
+    spots: List[SpotReport]
+    flagged_operations: int
+    reported_root_causes: int
+
+    def format(self) -> str:
+        if not self.spots:
+            return "No erroneous spots detected.\n"
+        blocks = []
+        for spot in self.spots:
+            lines = [spot.heading(), spot.summary_line()]
+            if spot.root_causes:
+                lines.append("Influenced by erroneous expressions:")
+                for cause in spot.root_causes:
+                    lines.append("")
+                    lines.append(cause.fpcore_text())
+                    example = cause.example_text()
+                    if example:
+                        lines.append(f"Example problematic input: {example}")
+                    if cause.loc:
+                        lines.append(f"Operation at {cause.loc}")
+            blocks.append("\n".join(lines))
+        return "\n\n".join(blocks) + "\n"
+
+
+def root_cause_report(record: OpRecord) -> RootCauseReport:
+    """Render one operation record."""
+    expression = record.symbolic_expression
+    if expression is not None:
+        variables = list(free_variables(expression))
+    else:
+        variables = []
+    precondition = []
+    problematic = []
+    for variable in variables:
+        summary = record.total_inputs.by_variable.get(variable)
+        if summary is not None:
+            precondition.extend(summary.clauses(variable))
+        bad_summary = record.problematic_inputs.by_variable.get(variable)
+        if bad_summary is not None:
+            problematic.extend(bad_summary.clauses(variable))
+    return RootCauseReport(
+        loc=record.loc,
+        op=record.op,
+        expression=expression,
+        variables=variables,
+        precondition_clauses=precondition,
+        problematic_clauses=problematic,
+        example_problematic=record.example_problematic,
+        executions=record.executions,
+        candidate_executions=record.candidate_executions,
+        max_local_error=record.max_local_error,
+        average_local_error=record.average_local_error,
+    )
+
+
+def generate_report(analysis: HerbgrindAnalysis) -> AnalysisReport:
+    """Build the user-facing report from a finished analysis."""
+    spot_reports = []
+    for spot in analysis.erroneous_spots():
+        causes = sorted(
+            spot.influences,
+            key=lambda r: (-r.max_local_error, r.site_id),
+        )
+        spot_reports.append(
+            SpotReport(
+                loc=spot.loc,
+                kind=spot.kind,
+                executions=spot.executions,
+                erroneous=spot.erroneous,
+                max_error=spot.max_error,
+                average_error=spot.average_error,
+                root_causes=[root_cause_report(r) for r in causes],
+            )
+        )
+    return AnalysisReport(
+        spots=spot_reports,
+        flagged_operations=len(analysis.candidate_records()),
+        reported_root_causes=len(analysis.reported_root_causes()),
+    )

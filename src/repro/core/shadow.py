@@ -1,0 +1,47 @@
+"""Shadow values: the per-value state of the analysis.
+
+Each program float is shadowed by (paper Figure 3):
+
+* ``real`` — its value under exact real-number execution (M_R),
+* ``trace`` — the concrete expression that produced it (M_E),
+* ``influences`` — the candidate root causes that taint it (M_I).
+
+A shadow is attached to the interpreter's :class:`FloatBox`, so copies
+of the value automatically share it (Section 6's sharing optimization).
+Shadows are created *lazily*: a value that existed before the analysis
+could observe its creation (or that came from integer/bit-level code)
+gets an opaque shadow the first time an instrumented operation touches
+it (Section 6's laziness).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.bigfloat import BigFloat
+from repro.core.records import OpRecord
+from repro.core.trace import TraceNode
+
+EMPTY_INFLUENCES: FrozenSet[OpRecord] = frozenset()
+
+
+class ShadowValue:
+    """The analysis state shadowing one float value."""
+
+    __slots__ = ("real", "trace", "influences")
+
+    def __init__(
+        self,
+        real: BigFloat,
+        trace: TraceNode,
+        influences: FrozenSet[OpRecord] = EMPTY_INFLUENCES,
+    ) -> None:
+        self.real = real
+        self.trace = trace
+        self.influences = influences
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShadowValue real={self.real!s}"
+            f" influences={len(self.influences)}>"
+        )

@@ -1,0 +1,128 @@
+"""Concrete-expression trace nodes (paper Section 4.3, Section 6).
+
+Every shadowed float value carries a :class:`TraceNode` recording the
+floating-point computation that produced it.  Copies through registers,
+the heap, and function boundaries *share* nodes (the DAG mirrors the
+sharing of shadow values), so a single trace can span multiple
+functions and data structures — that is what makes the extracted
+expressions non-local.
+
+Function boundaries, loads and stores are deliberately *not* recorded:
+a trace contains only floating-point operations, constants, program
+inputs, and opaque leaves (values whose float origin the analysis
+cannot see: integer conversions, unrecognized bit manipulations,
+truncation at the depth bound).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Tuple
+
+#: Node kinds.
+KIND_OP = "op"
+KIND_INPUT = "input"
+KIND_CONST = "const"
+KIND_OPAQUE = "opaque"
+
+_leaf_counter = itertools.count()
+
+
+class TraceNode:
+    """An immutable node of the concrete-expression DAG."""
+
+    __slots__ = ("kind", "op", "args", "value", "loc", "depth", "ident")
+
+    def __init__(
+        self,
+        kind: str,
+        value: float,
+        op: Optional[str] = None,
+        args: Tuple["TraceNode", ...] = (),
+        loc: Optional[str] = None,
+    ) -> None:
+        self.kind = kind
+        self.op = op
+        self.args = args
+        self.value = value
+        self.loc = loc
+        self.depth = 1 + max((a.depth for a in args), default=0)
+        self.ident = next(_leaf_counter)
+
+    def __repr__(self) -> str:
+        if self.kind == KIND_OP:
+            return f"<{self.op} depth={self.depth} value={self.value!r}>"
+        return f"<{self.kind} value={self.value!r}>"
+
+
+def input_leaf(value: float, index: int, loc: Optional[str] = None) -> TraceNode:
+    """A program-input leaf; ``op`` holds the canonical input name."""
+    return TraceNode(KIND_INPUT, value, op=f"x{index}", loc=loc)
+
+
+def const_leaf(value: float, loc: Optional[str] = None) -> TraceNode:
+    """A literal constant leaf."""
+    return TraceNode(KIND_CONST, value, loc=loc)
+
+
+def opaque_leaf(value: float, loc: Optional[str] = None) -> TraceNode:
+    """A leaf for values of unknown floating-point provenance."""
+    return TraceNode(KIND_OPAQUE, value, loc=loc)
+
+
+def op_node(
+    op: str,
+    args: Tuple[TraceNode, ...],
+    value: float,
+    loc: Optional[str] = None,
+) -> TraceNode:
+    """An operation node over existing children (a DAG link, no copying).
+
+    The expression-depth bound (Figures 5c/5d) is applied when traces
+    are *generalized*, not here: each operation site's symbolic
+    expression keeps only its top ``max_expression_depth`` levels, with
+    deeper sub-trees becoming variables.  Keeping the full DAG here is
+    cheap (one node per executed operation) and lets every site see its
+    own most-recent levels.
+    """
+    return TraceNode(KIND_OP, value, op=op, args=args, loc=loc)
+
+
+def structural_key(node: TraceNode, depth: int) -> tuple:
+    """A hashable key identifying ``node`` up to ``depth`` levels.
+
+    This is the Section 6.1 approximation: equivalence of sub-trees is
+    computed exactly only to a bounded depth, so keys of two nodes are
+    equal iff the nodes agree structurally (ops, leaf kinds, values) to
+    that depth.
+    """
+    if node.kind == KIND_INPUT:
+        return (KIND_INPUT, node.op)
+    if node.kind == KIND_CONST:
+        return (KIND_CONST, node.value)
+    if node.kind == KIND_OPAQUE:
+        # Opaque leaves are only equivalent when they are the *same*
+        # shared leaf (same box copied around) — compare by identity.
+        return (KIND_OPAQUE, node.ident)
+    if depth <= 1:
+        return (KIND_OP, node.op, node.value)
+    return (
+        KIND_OP,
+        node.op,
+        tuple(structural_key(a, depth - 1) for a in node.args),
+    )
+
+
+def node_count(node: TraceNode) -> int:
+    """Number of distinct operation nodes in the trace DAG."""
+    seen = set()
+
+    def walk(current: TraceNode) -> None:
+        if current.ident in seen or current.kind != KIND_OP:
+            return
+        seen.add(current.ident)
+        for argument in current.args:
+            walk(argument)
+
+    walk(node)
+    return len(seen)

@@ -1,0 +1,21 @@
+"""The Section 8.1 evaluation machinery: oracle + end-to-end pipeline."""
+
+from repro.eval.oracle import SIGNIFICANT_BITS, OracleVerdict, oracle_judge
+from repro.eval.pipeline import (
+    BenchmarkOutcome,
+    SuiteSummary,
+    evaluate_benchmark,
+    evaluate_suite,
+    sample_points_for_record,
+)
+
+__all__ = [
+    "BenchmarkOutcome",
+    "OracleVerdict",
+    "SIGNIFICANT_BITS",
+    "SuiteSummary",
+    "evaluate_benchmark",
+    "evaluate_suite",
+    "oracle_judge",
+    "sample_points_for_record",
+]

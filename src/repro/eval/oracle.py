@@ -1,0 +1,88 @@
+"""The Section 8.1 oracle: ground truth for the improvability study.
+
+The paper compares Herbgrind against "an 'oracle' which directly
+extracts the relevant symbolic expression from the source benchmark":
+since FPBench benchmarks *are* expressions, the oracle skips analysis
+entirely and hands the source expression (with its :pre sampling box)
+straight to Herbie.  Herbgrind is then judged by how often its
+*extracted* root causes are improvable wherever the oracle's are.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.driver import sample_inputs
+from repro.fpcore.ast import FPCore, While, free_variables
+from repro.improve import (
+    ErrorEvaluator,
+    ImprovementResult,
+    Improver,
+    SearchSettings,
+)
+
+#: Section 8.1's significance threshold: > 5 bits of error.
+SIGNIFICANT_BITS = 5.0
+
+
+def _contains_loop(core: FPCore) -> bool:
+    from repro.fpcore.ast import If, Let, Op
+
+    def walk(expr) -> bool:
+        if isinstance(expr, While):
+            return True
+        if isinstance(expr, Op):
+            children = list(expr.args)
+        elif isinstance(expr, If):
+            children = [expr.cond, expr.then, expr.orelse]
+        elif isinstance(expr, Let):
+            children = [value for __, value in expr.bindings] + [expr.body]
+        else:
+            children = []
+        return any(walk(c) for c in children)
+
+    return walk(core.body)
+
+
+@dataclass
+class OracleVerdict:
+    """The oracle's judgment of one benchmark."""
+
+    name: str
+    max_error: float
+    average_error: float
+    has_significant_error: bool
+    improvement: Optional[ImprovementResult]
+
+    @property
+    def improvable(self) -> bool:
+        return self.improvement is not None and self.improvement.improved()
+
+
+def oracle_judge(
+    core: FPCore,
+    num_points: int = 16,
+    seed: int = 0,
+    settings: Optional[SearchSettings] = None,
+) -> OracleVerdict:
+    """Measure the benchmark's error and, if significant, try to
+    improve the source expression directly."""
+    points = sample_inputs(core, num_points, seed=seed)
+    evaluator = ErrorEvaluator(core.body, list(core.arguments), points)
+    errors = evaluator.errors(core.body)
+    max_error = max(errors, default=0.0)
+    average = sum(errors) / len(errors) if errors else 0.0
+    significant = max_error > SIGNIFICANT_BITS
+    improvement = None
+    if significant and not _contains_loop(core):
+        improver = Improver(evaluator, settings=settings)
+        improvement = improver.improve()
+    return OracleVerdict(
+        name=core.name or "<anonymous>",
+        max_error=max_error,
+        average_error=average,
+        has_significant_error=significant,
+        improvement=improvement,
+    )

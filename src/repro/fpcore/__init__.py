@@ -1,0 +1,72 @@
+"""FPCore (FPBench) frontend: AST, parser, printer, evaluators, corpus.
+
+FPCore plays three roles in the reproduction, mirroring its roles around
+Herbgrind: it is the benchmark format of the evaluation suite (Section
+8), the report format for extracted root causes (Section 3), and the
+input format of the Herbie-style improver.
+"""
+
+from repro.fpcore.ast import (
+    BOOLEAN_OPS,
+    COMPARISON_OPS,
+    CONSTANTS,
+    Const,
+    Expr,
+    FPCore,
+    If,
+    Let,
+    Num,
+    Op,
+    Var,
+    While,
+    expression_depth,
+    expression_size,
+    free_variables,
+    num,
+    substitute,
+)
+from repro.fpcore.evaluator import (
+    EvaluationError,
+    eval_double,
+    eval_real,
+)
+from repro.fpcore.parser import (
+    FPCoreSyntaxError,
+    parse_expr,
+    parse_fpcore,
+    parse_fpcores,
+)
+from repro.fpcore.printer import format_expr, format_fpcore
+from repro.fpcore.corpus import corpus_by_name, families, load_corpus
+
+__all__ = [
+    "BOOLEAN_OPS",
+    "COMPARISON_OPS",
+    "CONSTANTS",
+    "Const",
+    "EvaluationError",
+    "Expr",
+    "FPCore",
+    "FPCoreSyntaxError",
+    "If",
+    "Let",
+    "Num",
+    "Op",
+    "Var",
+    "While",
+    "corpus_by_name",
+    "eval_double",
+    "eval_real",
+    "expression_depth",
+    "expression_size",
+    "families",
+    "format_expr",
+    "format_fpcore",
+    "free_variables",
+    "load_corpus",
+    "num",
+    "parse_expr",
+    "parse_fpcore",
+    "parse_fpcores",
+    "substitute",
+]

@@ -1,0 +1,565 @@
+"""The benchmark corpus: 86 FPCore programs in the FPBench style.
+
+The paper's evaluation (Section 8.1) runs Herbgrind over the 86-program
+FPBench suite.  FPBench itself is re-authored here from its published
+benchmark families:
+
+* ``paper``     — the worked examples from the paper itself (Sections 2-3).
+* ``hamming``   — the NMSE cancellation problems from Hamming's
+                  *Numerical Methods* chapter 3 (Herbie's original suite).
+* ``quadratic`` — quadratic-formula variants.
+* ``fptaylor``  — the FPTaylor/Rosa verification kernels (doppler,
+                  turbine, kepler, jet engine, rigid body, ...).
+* ``misc``      — classic one-liner accuracy traps (log1p, midpoint,
+                  Heron's formula, Wilkinson polynomial, ...), including
+                  deliberately *stable* versions as negative controls.
+* ``loops``     — small while-loop kernels (accumulation drift).
+
+Each benchmark carries a :pre giving the sampling box used by the
+evaluation harness.  Families are recorded in the :herbgrind-family
+property.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.fpcore.ast import FPCore
+from repro.fpcore.parser import parse_fpcores
+
+_PAPER = r"""
+(FPCore (x y z) :name "paper-foo-bar"
+  :description "Sections 2.1: error across function boundaries and structs"
+  :herbgrind-family paper
+  :pre (and (<= 1e12 x 1e16) (<= 0 y 1) (<= 0 z 1))
+  (* (- (+ x y) (+ x z)) x))
+
+(FPCore (x) :name "paper-baz"
+  :description "Section 2.1: non-uniform error around x = 113"
+  :herbgrind-family paper
+  :pre (<= 100 x 200)
+  (- (+ (/ 1 (- x 113)) PI) (/ 1 (- x 113))))
+
+(FPCore (x y) :name "paper-csqrt-imag"
+  :description "Section 3: the complex-sqrt fragment Herbgrind extracts"
+  :herbgrind-family paper
+  :pre (and (<= -2.1e-9 x 0.25) (<= -2.7e-9 y 2.7e-9))
+  (- (sqrt (+ (* x x) (* y y))) x))
+
+(FPCore (x) :name "paper-x-plus-1-minus-x"
+  :description "Section 2.1: (x+1)-x evaluates to 0 near 1e16"
+  :herbgrind-family paper
+  :pre (<= 1e14 x 1e17)
+  (- (+ x 1) x))
+"""
+
+_HAMMING = r"""
+(FPCore (x) :name "nmse-ex-3-1"
+  :herbgrind-family hamming
+  :pre (<= 0.001 x 1e9)
+  (- (sqrt (+ x 1)) (sqrt x)))
+
+(FPCore (x) :name "nmse-ex-3-3"
+  :herbgrind-family hamming
+  :pre (<= 0.01 x 1e9)
+  (- (/ 1 (+ x 1)) (/ 1 x)))
+
+(FPCore (x) :name "nmse-ex-3-4"
+  :herbgrind-family hamming
+  :pre (<= 1e-9 x 1)
+  (/ (- 1 (cos x)) (sin x)))
+
+(FPCore (N) :name "nmse-ex-3-5"
+  :herbgrind-family hamming
+  :pre (<= 1 N 1e8)
+  (- (atan (+ N 1)) (atan N)))
+
+(FPCore (x) :name "nmse-ex-3-6"
+  :herbgrind-family hamming
+  :pre (<= 0.1 x 1e9)
+  (- (/ 1 (sqrt x)) (/ 1 (sqrt (+ x 1)))))
+
+(FPCore (x) :name "nmse-ex-3-7"
+  :herbgrind-family hamming
+  :pre (<= 1e-12 x 1e-6)
+  (- (exp x) 1))
+
+(FPCore (N) :name "nmse-ex-3-8"
+  :herbgrind-family hamming
+  :pre (<= 1 N 1e8)
+  (- (- (* (+ N 1) (log (+ N 1))) (* N (log N))) 1))
+
+(FPCore (x) :name "nmse-ex-3-9"
+  :herbgrind-family hamming
+  :pre (<= 1e-6 x 1)
+  (- (/ 1 x) (/ 1 (tan x))))
+
+(FPCore (x) :name "nmse-ex-3-10"
+  :herbgrind-family hamming
+  :pre (<= 1e-12 x 0.1)
+  (/ (log (- 1 x)) (log (+ 1 x))))
+
+(FPCore (x) :name "nmse-ex-3-11"
+  :herbgrind-family hamming
+  :pre (<= 1e-12 x 1)
+  (/ (exp x) (- (exp x) 1)))
+
+(FPCore (x) :name "nmse-p-3-3-1"
+  :herbgrind-family hamming
+  :pre (<= 100 x 1e8)
+  (+ (- (/ 1 (+ x 1)) (/ 2 x)) (/ 1 (- x 1))))
+
+(FPCore (x eps) :name "nmse-p-3-3-2"
+  :herbgrind-family hamming
+  :pre (and (<= 0 x 6.28) (<= 1e-12 eps 1e-8))
+  (- (sin (+ x eps)) (sin x)))
+
+(FPCore (x eps) :name "nmse-p-3-3-3"
+  :herbgrind-family hamming
+  :pre (and (<= 0.1 x 1.4) (<= 1e-12 eps 1e-8))
+  (- (tan (+ x eps)) (tan x)))
+
+(FPCore (x eps) :name "nmse-p-3-3-5"
+  :herbgrind-family hamming
+  :pre (and (<= 0 x 6.28) (<= 1e-12 eps 1e-8))
+  (- (cos (+ x eps)) (cos x)))
+
+(FPCore (N) :name "nmse-p-3-3-6"
+  :herbgrind-family hamming
+  :pre (<= 10 N 1e10)
+  (- (log (+ N 1)) (log N)))
+
+(FPCore (x) :name "nmse-p-3-3-7"
+  :herbgrind-family hamming
+  :pre (<= 1e-8 x 1e-5)
+  (+ (- (exp x) 2) (exp (- x))))
+
+(FPCore (x) :name "nmse-p-3-4-1"
+  :herbgrind-family hamming
+  :pre (<= 1e-8 x 1)
+  (/ (- 1 (cos x)) (* x x)))
+
+(FPCore (a b eps) :name "nmse-p-3-4-2"
+  :herbgrind-family hamming
+  :pre (and (<= 1 a 10) (<= 1 b 10) (<= 1e-12 eps 1e-7))
+  (/ (* eps (- (exp (* (+ a b) eps)) 1))
+     (* (- (exp (* a eps)) 1) (- (exp (* b eps)) 1))))
+
+(FPCore (eps) :name "nmse-p-3-4-3"
+  :herbgrind-family hamming
+  :pre (<= 1e-10 eps 0.5)
+  (log (/ (- 1 eps) (+ 1 eps))))
+
+(FPCore (x) :name "nmse-p-3-4-4"
+  :herbgrind-family hamming
+  :pre (<= 1e-8 x 1)
+  (sqrt (/ (- (exp (* 2 x)) 1) (- (exp x) 1))))
+
+(FPCore (x) :name "nmse-p-3-4-5"
+  :herbgrind-family hamming
+  :pre (<= 1e-6 x 1)
+  (/ (- x (sin x)) (- x (tan x))))
+
+(FPCore (x n) :name "nmse-p-3-4-6"
+  :herbgrind-family hamming
+  :pre (and (<= 1 x 1e8) (<= 2 n 10))
+  (- (pow (+ x 1) (/ 1 n)) (pow x (/ 1 n))))
+
+(FPCore (a x) :name "nmse-section-3-5"
+  :herbgrind-family hamming
+  :pre (and (<= -1 a 1) (<= 1e-10 x 1e-6))
+  (- (exp (* a x)) 1))
+
+(FPCore (x) :name "expq2"
+  :herbgrind-family hamming
+  :pre (<= 1e-12 x 1)
+  (/ x (- (exp x) 1)))
+"""
+
+_QUADRATIC = r"""
+(FPCore (a b c) :name "quadp"
+  :herbgrind-family quadratic
+  :pre (and (<= 0.001 a 10) (<= 100 b 1e7) (<= 0.001 c 10))
+  (/ (+ (- b) (sqrt (- (* b b) (* 4 (* a c))))) (* 2 a)))
+
+(FPCore (a b c) :name "quadm"
+  :herbgrind-family quadratic
+  :pre (and (<= 0.001 a 10) (<= 100 b 1e7) (<= 0.001 c 10))
+  (/ (- (- b) (sqrt (- (* b b) (* 4 (* a c))))) (* 2 a)))
+
+(FPCore (a b c) :name "quad2p"
+  :herbgrind-family quadratic
+  :pre (and (<= 0.001 a 10) (<= 100 b 1e7) (<= 0.001 c 10))
+  (/ (* 2 c) (- (- b) (sqrt (- (* b b) (* 4 (* a c)))))))
+
+(FPCore (a b c) :name "quad2m"
+  :herbgrind-family quadratic
+  :pre (and (<= 0.001 a 10) (<= 100 b 1e7) (<= 0.001 c 10))
+  (/ (* 2 c) (+ (- b) (sqrt (- (* b b) (* 4 (* a c)))))))
+
+(FPCore (a b c) :name "quad-discriminant"
+  :herbgrind-family quadratic
+  :pre (and (<= 1 a 2) (<= 1.9 b 2.1) (<= 0.5 c 1.5))
+  (- (* b b) (* 4 (* a c))))
+
+(FPCore (a b c) :name "quad-root-sum"
+  :herbgrind-family quadratic
+  :pre (and (<= 0.001 a 10) (<= 100 b 1e6) (<= 0.001 c 10))
+  (+ (/ (+ (- b) (sqrt (- (* b b) (* 4 (* a c))))) (* 2 a))
+     (/ (- (- b) (sqrt (- (* b b) (* 4 (* a c))))) (* 2 a))))
+"""
+
+_FPTAYLOR = r"""
+(FPCore (u v T) :name "doppler1"
+  :herbgrind-family fptaylor
+  :pre (and (<= -100 u 100) (<= 20 v 20000) (<= -30 T 50))
+  (let ([t1 (+ 331.4 (* 0.6 T))])
+    (/ (* (- t1) v) (* (+ t1 u) (+ t1 u)))))
+
+(FPCore (u v T) :name "doppler2"
+  :herbgrind-family fptaylor
+  :pre (and (<= -125 u 125) (<= 15 v 25000) (<= -40 T 60))
+  (let ([t1 (+ 331.4 (* 0.6 T))])
+    (/ (* (- t1) v) (* (+ t1 u) (+ t1 u)))))
+
+(FPCore (u v T) :name "doppler3"
+  :herbgrind-family fptaylor
+  :pre (and (<= -30 u 120) (<= 320 v 20300) (<= -50 T 30))
+  (let ([t1 (+ 331.4 (* 0.6 T))])
+    (/ (* (- t1) v) (* (+ t1 u) (+ t1 u)))))
+
+(FPCore (x1 x2 x3) :name "rigidbody1"
+  :herbgrind-family fptaylor
+  :pre (and (<= -15 x1 15) (<= -15 x2 15) (<= -15 x3 15))
+  (- (- (- (* (- x1) x2) (* 2 (* x2 x3))) x1) x3))
+
+(FPCore (x1 x2 x3) :name "rigidbody2"
+  :herbgrind-family fptaylor
+  :pre (and (<= -15 x1 15) (<= -15 x2 15) (<= -15 x3 15))
+  (- (+ (- (+ (* 2 (* x1 (* x2 x3))) (* 3 (* x3 x3)))
+           (* (* (* x2 x1) x2) x3))
+        (* 3 (* x3 x3)))
+     x2))
+
+(FPCore (v w r) :name "turbine1"
+  :herbgrind-family fptaylor
+  :pre (and (<= -4.5 v -0.3) (<= 0.4 w 0.9) (<= 3.8 r 7.8))
+  (- (- (+ 3 (/ 2 (* r r)))
+        (/ (* (* 0.125 (- 3 (* 2 v))) (* (* w w) (* r r))) (- 1 v)))
+     4.5))
+
+(FPCore (v w r) :name "turbine2"
+  :herbgrind-family fptaylor
+  :pre (and (<= -4.5 v -0.3) (<= 0.4 w 0.9) (<= 3.8 r 7.8))
+  (- (- (* 6 v) (/ (* (* 0.5 v) (* (* w w) (* r r))) (- 1 v))) 2.5))
+
+(FPCore (v w r) :name "turbine3"
+  :herbgrind-family fptaylor
+  :pre (and (<= -4.5 v -0.3) (<= 0.4 w 0.9) (<= 3.8 r 7.8))
+  (- (- (- 3 (/ 2 (* r r)))
+        (/ (* (* 0.125 (+ 1 (* 2 v))) (* (* w w) (* r r))) (- 1 v)))
+     0.5))
+
+(FPCore (x) :name "verhulst"
+  :herbgrind-family fptaylor
+  :pre (<= 0.1 x 0.3)
+  (/ (* 4 x) (+ 1 (/ x 1.11))))
+
+(FPCore (x) :name "predator-prey"
+  :herbgrind-family fptaylor
+  :pre (<= 0.1 x 0.3)
+  (/ (* 4 (* x x)) (+ 1 (* (/ x 1.11) (/ x 1.11)))))
+
+(FPCore (v) :name "carbon-gas"
+  :herbgrind-family fptaylor
+  :pre (<= 0.1 v 0.5)
+  (- (* (+ 3.5e7 (* 0.401 (* (/ 1000 v) (/ 1000 v))))
+        (- v (* 1000 42.7e-6)))
+     (* 1.3806503e-23 (* 1000 300))))
+
+(FPCore (x1 x2) :name "jet-engine"
+  :herbgrind-family fptaylor
+  :pre (and (<= -5 x1 5) (<= -20 x2 5))
+  (let ([t (/ (+ (- (* 3 (* x1 x1)) x1) (* 2 x2)) (+ (* x1 x1) 1))])
+    (+ (+ (+ x1
+             (* (+ (* (* 2 x1) (* t (- t 3)))
+                   (* (* x1 x1) (- (* 4 t) 6)))
+                (+ (* x1 x1) 1)))
+          (* (* 3 (* x1 x1)) t))
+       (+ (* (* x1 x1) x1) (+ x1 (* 3 t))))))
+
+(FPCore (x1 x2 x3 x4 x5 x6) :name "kepler0"
+  :herbgrind-family fptaylor
+  :pre (and (<= 4 x1 6.36) (<= 4 x2 6.36) (<= 4 x3 6.36)
+            (<= 4 x4 6.36) (<= 4 x5 6.36) (<= 4 x6 6.36))
+  (+ (- (- (+ (* x2 x5) (* x3 x6)) (* x2 x3)) (* x5 x6))
+     (* x1 (+ (+ (+ (- (- x1) x2) x3) (- x4 x5)) x6))))
+
+(FPCore (x1 x2 x3 x4) :name "kepler1"
+  :herbgrind-family fptaylor
+  :pre (and (<= 4 x1 6.36) (<= 4 x2 6.36) (<= 4 x3 6.36) (<= 4 x4 6.36))
+  (- (- (- (+ (+ (* (* x1 x4) (+ (+ (- (- x1) x2) x3) x4))
+                 (* x2 (+ (+ (- x1 x2) x3) x4)))
+              (* x3 (+ (- (+ x1 x2) x3) x4)))
+           (* (* (* x2 x3) x4) 1))
+        (* x1 x3))
+     (+ (* x1 x2) x4)))
+
+(FPCore (x1 x2 x3 x4 x5 x6) :name "kepler2"
+  :herbgrind-family fptaylor
+  :pre (and (<= 4 x1 6.36) (<= 4 x2 6.36) (<= 4 x3 6.36)
+            (<= 4 x4 6.36) (<= 4 x5 6.36) (<= 4 x6 6.36))
+  (- (- (- (+ (+ (* (* x1 x4) (+ (+ (+ (- (- x1) x2) x3) (- x4 x5)) x6))
+                 (* (* x2 x5) (+ (+ (- (- x1 x2) x3) (+ x4 x5)) (- x6))))
+              (* (* x3 x6) (+ (- (+ (+ x1 x2) (- x3)) x4) (- x5 x6))))
+           (* (* x2 x3) x4))
+        (* (* x1 x3) x5))
+     (+ (* (* x1 x2) x6) (* (* x4 x5) x6))))
+
+(FPCore (x) :name "sine-taylor"
+  :herbgrind-family fptaylor
+  :pre (<= -1.57 x 1.57)
+  (+ (- (+ (- x (/ (* (* x x) x) 6))
+           (/ (* (* (* (* x x) x) x) x) 120))
+        (/ (* (* (* (* (* (* x x) x) x) x) x) x) 5040))
+     0))
+
+(FPCore (x) :name "sine-order3"
+  :herbgrind-family fptaylor
+  :pre (<= -2 x 2)
+  (- (* 0.954929658551372 x) (* 0.12900613773279798 (* (* x x) x))))
+
+(FPCore (x) :name "sqroot-poly"
+  :herbgrind-family fptaylor
+  :pre (<= 0 x 1)
+  (- (+ (- (+ 1 (* 0.5 x)) (* 0.125 (* x x)))
+        (* 0.0625 (* (* x x) x)))
+     (* 0.0390625 (* (* (* x x) x) x))))
+
+(FPCore (t) :name "intro-example"
+  :herbgrind-family fptaylor
+  :pre (<= 0 t 999)
+  (/ t (+ t 1)))
+
+(FPCore (x y) :name "sec4-example"
+  :herbgrind-family fptaylor
+  :pre (and (<= 1.001 x 2) (<= 1.001 y 2))
+  (let ([t (* x y)])
+    (/ (- t 1) (- (* t t) 1))))
+"""
+
+_MISC = r"""
+(FPCore (a b) :name "midpoint-naive"
+  :herbgrind-family misc
+  :pre (and (<= 1e304 a 1.7e308) (<= 1e304 b 1.7e308))
+  (/ (+ a b) 2))
+
+(FPCore (a b) :name "midpoint-stable"
+  :herbgrind-family misc
+  :pre (and (<= 1e304 a 1.7e308) (<= 1e304 b 1.7e308))
+  (+ a (/ (- b a) 2)))
+
+(FPCore (x y) :name "hypot-naive"
+  :herbgrind-family misc
+  :pre (and (<= 1e160 x 1e170) (<= 1e160 y 1e170))
+  (sqrt (+ (* x x) (* y y))))
+
+(FPCore (x y) :name "logsumexp2"
+  :herbgrind-family misc
+  :pre (and (<= 500 x 800) (<= 500 y 800))
+  (log (+ (exp x) (exp y))))
+
+(FPCore (x) :name "sigmoid"
+  :herbgrind-family misc
+  :pre (<= -40 x 40)
+  (/ 1 (+ 1 (exp (- x)))))
+
+(FPCore (x) :name "softplus"
+  :herbgrind-family misc
+  :pre (<= -50 x 50)
+  (log (+ 1 (exp x))))
+
+(FPCore (x) :name "logit"
+  :herbgrind-family misc
+  :pre (<= 1e-10 x 0.9999)
+  (log (/ x (- 1 x))))
+
+(FPCore (x) :name "pythagorean-identity"
+  :herbgrind-family misc
+  :pre (<= 0.1 x 6)
+  (- (- 1 (* (cos x) (cos x))) (* (sin x) (sin x))))
+
+(FPCore (x y) :name "diff-squares-naive"
+  :herbgrind-family misc
+  :pre (and (<= 1e7 x 1e8) (<= 1e7 y 1e8))
+  (- (* x x) (* y y)))
+
+(FPCore (x y) :name "diff-squares-stable"
+  :herbgrind-family misc
+  :pre (and (<= 1e7 x 1e8) (<= 1e7 y 1e8))
+  (* (- x y) (+ x y)))
+
+(FPCore (a b c) :name "heron-area"
+  :herbgrind-family misc
+  :pre (and (<= 1 a 1.001) (<= 1 b 1.001) (<= 1e-4 c 1e-3))
+  (let ([s (/ (+ (+ a b) c) 2)])
+    (sqrt (* s (* (- s a) (* (- s b) (- s c)))))))
+
+(FPCore (r n) :name "compound-interest"
+  :herbgrind-family misc
+  :pre (and (<= 0.01 r 0.1) (<= 1e6 n 1e9))
+  (pow (+ 1 (/ r n)) n))
+
+(FPCore (x) :name "log-diff-scaled"
+  :herbgrind-family misc
+  :pre (<= 1e8 x 1e15)
+  (* x (- (log (+ x 1)) (log x))))
+
+(FPCore (sx2 sx n) :name "naive-variance"
+  :herbgrind-family misc
+  :pre (and (<= 9.9e9 sx2 1e10) (<= 9.9e4 sx 1.005e5) (<= 1000 n 10000))
+  (/ (- sx2 (* (/ sx n) sx)) (- n 1)))
+
+(FPCore (x y z) :name "norm3d-overflow"
+  :herbgrind-family misc
+  :pre (and (<= 1e150 x 1e160) (<= 1e150 y 1e160) (<= 1e150 z 1e160))
+  (sqrt (+ (+ (* x x) (* y y)) (* z z))))
+
+(FPCore (x y) :name "unit-vector-x"
+  :herbgrind-family misc
+  :pre (and (<= 1e160 x 1e170) (<= 1e160 y 1e170))
+  (/ x (sqrt (+ (* x x) (* y y)))))
+
+(FPCore (x) :name "asin-near-one"
+  :herbgrind-family misc
+  :pre (<= 1e-16 x 1e-8)
+  (asin (- 1 x)))
+
+(FPCore (x) :name "acos-near-one"
+  :herbgrind-family misc
+  :pre (<= 1e-16 x 1e-8)
+  (acos (- 1 x)))
+
+(FPCore (x) :name "atanh-near-one"
+  :herbgrind-family misc
+  :pre (<= 1e-16 x 1e-8)
+  (atanh (- 1 x)))
+
+(FPCore (x) :name "log1p-naive"
+  :herbgrind-family misc
+  :pre (<= 1e-17 x 1e-14)
+  (log (+ 1 x)))
+
+(FPCore (x) :name "cosh-minus-one"
+  :herbgrind-family misc
+  :pre (<= 1e-9 x 1e-6)
+  (- (cosh x) 1))
+
+(FPCore (x) :name "tan-near-pole"
+  :herbgrind-family misc
+  :pre (<= 1.57079 x 1.5708)
+  (tan x))
+
+(FPCore (a b c) :name "mul-add-cancel"
+  :herbgrind-family misc
+  :pre (and (<= 1e7 a 1e8) (<= 1e7 b 1e8) (<= -1e16 c -9.9e15))
+  (+ (* a b) c))
+
+(FPCore (a b c d) :name "sum4-cancel"
+  :herbgrind-family misc
+  :pre (and (<= 1e15 a 1e16) (<= -1e16 b -1e15)
+            (<= 1e15 c 1e16) (<= -1e16 d -1e15))
+  (+ (+ a b) (+ c d)))
+
+(FPCore (x) :name "log-exp-roundtrip"
+  :herbgrind-family misc
+  :pre (<= 600 x 800)
+  (log (exp x)))
+
+(FPCore (x) :name "wilkinson-monomial"
+  :herbgrind-family misc
+  :pre (<= 0.9 x 5.1)
+  (- (+ (* 274 x)
+        (- (+ (* 85 (* (* x x) x))
+              (* (* (* (* x x) x) x) x))
+           (+ (* 15 (* (* (* x x) x) x))
+              (* 225 (* x x)))))
+     120))
+
+(FPCore (x) :name "wilkinson-horner"
+  :herbgrind-family misc
+  :pre (<= 0.9 x 5.1)
+  (+ (* (+ (* (+ (* (+ (* (+ x -15) x) 85) x) -225) x) 274) x) -120))
+
+(FPCore (x h) :name "difference-quotient"
+  :herbgrind-family misc
+  :pre (and (<= 0 x 6) (<= 1e-12 h 1e-8))
+  (/ (- (sin (+ x h)) (sin x)) h))
+
+(FPCore (x) :name "expm1-over-x"
+  :herbgrind-family misc
+  :pre (<= 1e-14 x 1e-8)
+  (/ (- (exp x) 1) x))
+"""
+
+_LOOPS = r"""
+(FPCore (n) :name "loop-tenth-accumulate"
+  :herbgrind-family loops
+  :pre (<= 100 n 5000)
+  (while* (< i n)
+    ([i 0 (+ i 1)]
+     [acc 0 (+ acc 0.1)])
+    acc))
+
+(FPCore (n) :name "loop-geometric"
+  :herbgrind-family loops
+  :pre (<= 10 n 60)
+  (while* (< i n)
+    ([i 0 (+ i 1)]
+     [acc 0 (+ acc (pow 0.5 i))])
+    acc))
+
+(FPCore (n) :name "loop-harmonic"
+  :herbgrind-family loops
+  :pre (<= 10 n 2000)
+  (while* (< i n)
+    ([i 1 (+ i 1)]
+     [acc 0 (+ acc (/ 1 i))])
+    acc))
+"""
+
+_SOURCES = {
+    "paper": _PAPER,
+    "hamming": _HAMMING,
+    "quadratic": _QUADRATIC,
+    "fptaylor": _FPTAYLOR,
+    "misc": _MISC,
+    "loops": _LOOPS,
+}
+
+
+def load_corpus() -> List[FPCore]:
+    """Parse and return every benchmark, in family order."""
+    benchmarks: List[FPCore] = []
+    for source in _SOURCES.values():
+        benchmarks.extend(parse_fpcores(source))
+    return benchmarks
+
+
+def corpus_by_name() -> Dict[str, FPCore]:
+    """The corpus indexed by benchmark name."""
+    result = {}
+    for core in load_corpus():
+        if core.name in result:
+            raise ValueError(f"duplicate benchmark name: {core.name}")
+        result[core.name] = core
+    return result
+
+
+def families() -> Dict[str, List[FPCore]]:
+    """Benchmarks grouped by :herbgrind-family."""
+    result: Dict[str, List[FPCore]] = {}
+    for core in load_corpus():
+        family = str(core.properties.get("herbgrind-family", "misc"))
+        result.setdefault(family, []).append(core)
+    return result

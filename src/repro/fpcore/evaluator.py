@@ -1,0 +1,306 @@
+"""Evaluation of FPCore expressions in doubles and in shadow reals.
+
+Two semantics, mirroring Figure 4 of the paper:
+
+* :func:`eval_double` — ⟦·⟧_F: IEEE double precision, via the same
+  `apply_double` dispatch the machine interpreter uses.
+* :func:`eval_real` — ⟦·⟧_R: arbitrary-precision BigFloat arithmetic.
+
+The pair is what the Section 8.1 "oracle" uses to decide which corpus
+benchmarks actually exhibit error, and what the mini-Herbie uses as its
+ground truth.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Dict, Mapping, Optional, Union
+
+from repro.bigfloat import (
+    BigFloat,
+    Context,
+    apply,
+    apply_double,
+    constants,
+    getcontext,
+)
+from repro.fpcore.ast import (
+    BOOLEAN_OPS,
+    CLASSIFICATION_OPS,
+    COMPARISON_OPS,
+    Const,
+    Expr,
+    If,
+    Let,
+    Num,
+    Op,
+    Var,
+    While,
+)
+
+
+class EvaluationError(ValueError):
+    """Raised for unknown variables/operators or runaway while loops."""
+
+
+#: Safety cap on while-loop iterations during evaluation.
+MAX_LOOP_ITERATIONS = 1_000_000
+
+DoubleValue = Union[float, bool]
+RealValue = Union[BigFloat, bool]
+
+
+def _double_constant(name: str) -> DoubleValue:
+    table = {
+        "E": math.e,
+        "LOG2E": math.log2(math.e),
+        "LOG10E": math.log10(math.e),
+        "LN2": math.log(2.0),
+        "LN10": math.log(10.0),
+        "PI": math.pi,
+        "PI_2": math.pi / 2,
+        "PI_4": math.pi / 4,
+        "M_1_PI": 1.0 / math.pi,
+        "M_2_PI": 2.0 / math.pi,
+        "M_2_SQRTPI": 2.0 / math.sqrt(math.pi),
+        "SQRT2": math.sqrt(2.0),
+        "SQRT1_2": math.sqrt(0.5),
+        "INFINITY": math.inf,
+        "NAN": math.nan,
+        "TRUE": True,
+        "FALSE": False,
+    }
+    return table[name]
+
+
+def _real_constant(name: str, context: Context) -> RealValue:
+    from repro.bigfloat import arith, transcendental
+
+    wide = context.widened(16)
+    if name == "TRUE":
+        return True
+    if name == "FALSE":
+        return False
+    if name == "INFINITY":
+        return BigFloat.inf(0)
+    if name == "NAN":
+        return BigFloat.nan()
+    if name == "PI":
+        return constants.pi(context)
+    if name == "PI_2":
+        return constants.pi_over_2(context)
+    if name == "PI_4":
+        return arith.mul(constants.pi(wide), BigFloat(0, 1, -2), context)
+    if name == "E":
+        return constants.euler_e(context)
+    if name == "LN2":
+        return constants.ln2(context)
+    if name == "LN10":
+        return transcendental.log(BigFloat.from_int(10), context)
+    if name == "LOG2E":
+        return arith.div(BigFloat.from_int(1), constants.ln2(wide), context)
+    if name == "LOG10E":
+        return arith.div(
+            BigFloat.from_int(1), transcendental.log(BigFloat.from_int(10), wide),
+            context,
+        )
+    if name == "SQRT2":
+        return arith.sqrt(BigFloat.from_int(2), context)
+    if name == "SQRT1_2":
+        return arith.sqrt(BigFloat(0, 1, -1), context)
+    if name == "M_1_PI":
+        return arith.div(BigFloat.from_int(1), constants.pi(wide), context)
+    if name == "M_2_PI":
+        return arith.div(BigFloat.from_int(2), constants.pi(wide), context)
+    if name == "M_2_SQRTPI":
+        return arith.div(
+            BigFloat.from_int(2), arith.sqrt(constants.pi(wide), wide), context
+        )
+    raise EvaluationError(f"unknown constant: {name}")
+
+
+def _compare_chain(op: str, values: list, is_real: bool) -> bool:
+    """FPCore comparisons are n-ary: (< a b c) means a < b < c."""
+    if op == "!=":
+        # != is pairwise-distinct.
+        for i, left in enumerate(values):
+            for right in values[i + 1 :]:
+                if not _compare_once("!=", left, right, is_real):
+                    return False
+        return True
+    for left, right in zip(values, values[1:]):
+        if not _compare_once(op, left, right, is_real):
+            return False
+    return True
+
+
+def _compare_once(op: str, left, right, is_real: bool) -> bool:
+    if is_real:
+        table = {
+            "<": lambda: left < right,
+            ">": lambda: left > right,
+            "<=": lambda: left <= right,
+            ">=": lambda: left >= right,
+            "==": lambda: left == right,
+            "!=": lambda: left != right,
+        }
+        return table[op]()
+    if op == "<":
+        return left < right
+    if op == ">":
+        return left > right
+    if op == "<=":
+        return left <= right
+    if op == ">=":
+        return left >= right
+    if op == "==":
+        return left == right
+    return left != right
+
+
+def eval_double(expr: Expr, env: Mapping[str, DoubleValue]) -> DoubleValue:
+    """Evaluate in IEEE double precision (the ⟦·⟧_F semantics)."""
+    if isinstance(expr, Num):
+        return float(Fraction(expr.value))
+    if isinstance(expr, Const):
+        return _double_constant(expr.name)
+    if isinstance(expr, Var):
+        try:
+            return env[expr.name]
+        except KeyError:
+            raise EvaluationError(f"unbound variable: {expr.name}") from None
+    if isinstance(expr, If):
+        branch = expr.then if eval_double(expr.cond, env) else expr.orelse
+        return eval_double(branch, env)
+    if isinstance(expr, Let):
+        scope = dict(env)
+        if expr.sequential:
+            for name, value in expr.bindings:
+                scope[name] = eval_double(value, scope)
+        else:
+            evaluated = [(name, eval_double(value, env)) for name, value in expr.bindings]
+            scope.update(evaluated)
+        return eval_double(expr.body, scope)
+    if isinstance(expr, While):
+        return _eval_while(expr, env, eval_double)
+    if isinstance(expr, Op):
+        if expr.op in COMPARISON_OPS:
+            values = [eval_double(a, env) for a in expr.args]
+            return _compare_chain(expr.op, values, is_real=False)
+        if expr.op in BOOLEAN_OPS:
+            if expr.op == "not":
+                return not eval_double(expr.args[0], env)
+            if expr.op == "and":
+                return all(eval_double(a, env) for a in expr.args)
+            return any(eval_double(a, env) for a in expr.args)
+        if expr.op in CLASSIFICATION_OPS:
+            value = eval_double(expr.args[0], env)
+            return _classify_double(expr.op, value)
+        values = [eval_double(a, env) for a in expr.args]
+        try:
+            return apply_double(expr.op, values)
+        except KeyError:
+            raise EvaluationError(f"unknown operator: {expr.op}") from None
+    raise EvaluationError(f"cannot evaluate {type(expr).__name__}")
+
+
+def _classify_double(op: str, value: float) -> bool:
+    if op == "isnan":
+        return math.isnan(value)
+    if op == "isinf":
+        return math.isinf(value)
+    if op == "isfinite":
+        return math.isfinite(value)
+    if op == "isnormal":
+        return math.isfinite(value) and value != 0.0 and abs(value) >= 2.0 ** -1022
+    return math.copysign(1.0, value) < 0  # signbit
+
+
+def eval_real(
+    expr: Expr,
+    env: Mapping[str, RealValue],
+    context: Optional[Context] = None,
+) -> RealValue:
+    """Evaluate in the reals (the ⟦·⟧_R semantics) at ``context``."""
+    context = context if context is not None else getcontext()
+    if isinstance(expr, Num):
+        return BigFloat.from_fraction(expr.value, context.precision, context.rounding)
+    if isinstance(expr, Const):
+        return _real_constant(expr.name, context)
+    if isinstance(expr, Var):
+        try:
+            return env[expr.name]
+        except KeyError:
+            raise EvaluationError(f"unbound variable: {expr.name}") from None
+    if isinstance(expr, If):
+        branch = expr.then if eval_real(expr.cond, env, context) else expr.orelse
+        return eval_real(branch, env, context)
+    if isinstance(expr, Let):
+        scope = dict(env)
+        if expr.sequential:
+            for name, value in expr.bindings:
+                scope[name] = eval_real(value, scope, context)
+        else:
+            evaluated = [
+                (name, eval_real(value, env, context)) for name, value in expr.bindings
+            ]
+            scope.update(evaluated)
+        return eval_real(expr.body, scope)
+    if isinstance(expr, While):
+        return _eval_while(expr, env, lambda e, s: eval_real(e, s, context))
+    if isinstance(expr, Op):
+        if expr.op in COMPARISON_OPS:
+            values = [eval_real(a, env, context) for a in expr.args]
+            return _compare_chain(expr.op, values, is_real=True)
+        if expr.op in BOOLEAN_OPS:
+            if expr.op == "not":
+                return not eval_real(expr.args[0], env, context)
+            if expr.op == "and":
+                return all(eval_real(a, env, context) for a in expr.args)
+            return any(eval_real(a, env, context) for a in expr.args)
+        if expr.op in CLASSIFICATION_OPS:
+            value = eval_real(expr.args[0], env, context)
+            return _classify_real(expr.op, value)
+        values = [eval_real(a, env, context) for a in expr.args]
+        try:
+            return apply(expr.op, values, context)
+        except KeyError:
+            raise EvaluationError(f"unknown operator: {expr.op}") from None
+    raise EvaluationError(f"cannot evaluate {type(expr).__name__}")
+
+
+def _classify_real(op: str, value: BigFloat) -> bool:
+    if op == "isnan":
+        return value.is_nan()
+    if op == "isinf":
+        return value.is_inf()
+    if op == "isfinite":
+        return value.is_finite()
+    if op == "isnormal":
+        return value.is_finite() and not value.is_zero()
+    return value.is_negative()  # signbit
+
+
+def _eval_while(expr: While, env: Mapping, evaluate) -> object:
+    scope: Dict[str, object] = dict(env)
+    if expr.sequential:
+        for name, init, __ in expr.bindings:
+            scope[name] = evaluate(init, scope)
+    else:
+        initial = [(name, evaluate(init, env)) for name, init, __ in expr.bindings]
+        scope.update(initial)
+    iterations = 0
+    while evaluate(expr.cond, scope):
+        iterations += 1
+        if iterations > MAX_LOOP_ITERATIONS:
+            raise EvaluationError("while loop exceeded the iteration cap")
+        if expr.sequential:
+            for name, __, update in expr.bindings:
+                scope[name] = evaluate(update, scope)
+        else:
+            updated = [
+                (name, evaluate(update, scope)) for name, __, update in expr.bindings
+            ]
+            scope.update(updated)
+    return evaluate(expr.body, scope)

@@ -1,0 +1,63 @@
+"""IEEE-754 bit-level utilities and the bits-of-error metric.
+
+The Herbgrind analysis measures floating-point error as a *bits of error*
+quantity: the base-2 logarithm of the ulp distance between the computed
+double and the correctly rounded shadow-real result (the metric used by
+Herbie and by the paper's evaluation, capped at 64 bits).
+"""
+
+from repro.ieee.float64 import (
+    DOUBLE_MAX,
+    DOUBLE_MIN_NORMAL,
+    DOUBLE_MIN_SUBNORMAL,
+    bits_to_double,
+    copysign_bit,
+    double_exponent,
+    double_to_bits,
+    is_negative_zero,
+    next_double,
+    ordered_int,
+    prev_double,
+    ulp,
+    ulps_between,
+)
+from repro.ieee.float32 import (
+    FLOAT32_MAX,
+    bits_to_single,
+    double_fits_single,
+    single_to_bits,
+    to_single,
+    ulps_between_single,
+)
+from repro.ieee.error import (
+    MAX_ERROR_BITS,
+    bits_of_error,
+    bits_of_error_single,
+    significant_error,
+)
+
+__all__ = [
+    "DOUBLE_MAX",
+    "DOUBLE_MIN_NORMAL",
+    "DOUBLE_MIN_SUBNORMAL",
+    "FLOAT32_MAX",
+    "MAX_ERROR_BITS",
+    "bits_of_error",
+    "bits_of_error_single",
+    "bits_to_double",
+    "bits_to_single",
+    "copysign_bit",
+    "double_exponent",
+    "double_fits_single",
+    "double_to_bits",
+    "is_negative_zero",
+    "next_double",
+    "ordered_int",
+    "prev_double",
+    "significant_error",
+    "single_to_bits",
+    "to_single",
+    "ulp",
+    "ulps_between",
+    "ulps_between_single",
+]

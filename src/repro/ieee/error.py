@@ -1,0 +1,59 @@
+"""The bits-of-error metric used throughout the analysis.
+
+Herbgrind (following Herbie) measures the error of a computed double
+``approx`` against the correctly rounded shadow-real result ``exact`` as
+
+    log2(1 + ulps(approx, exact))
+
+capped at :data:`MAX_ERROR_BITS` (64).  The paper's Gram-Schmidt case
+study reports NaN results as *maximal* error, so any NaN involvement
+yields the cap.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.ieee.float32 import ulps_between_single
+from repro.ieee.float64 import ulps_between
+
+#: Error assigned to NaNs and the metric's cap: one bit per bit of a double.
+MAX_ERROR_BITS = 64.0
+
+#: Cap used when measuring single-precision results.
+MAX_ERROR_BITS_SINGLE = 32.0
+
+
+def bits_of_error(approx: float, exact: float) -> float:
+    """Bits of error of ``approx`` relative to ``exact`` (both doubles).
+
+    ``exact`` should already be the shadow-real result rounded to double
+    (see :meth:`repro.bigfloat.BigFloat.to_float`).  Returns a value in
+    [0, 64]; NaN anywhere yields 64, matching the paper's treatment of
+    invalid results as maximal error.
+    """
+    if math.isnan(approx) or math.isnan(exact):
+        return MAX_ERROR_BITS
+    distance = ulps_between(approx, exact)
+    if distance == 0:
+        return 0.0
+    return min(MAX_ERROR_BITS, math.log2(1 + distance))
+
+
+def bits_of_error_single(approx: float, exact: float) -> float:
+    """Bits of error measured in the binary32 lattice (capped at 32)."""
+    if math.isnan(approx) or math.isnan(exact):
+        return MAX_ERROR_BITS_SINGLE
+    distance = ulps_between_single(approx, exact)
+    if distance == 0:
+        return 0.0
+    return min(MAX_ERROR_BITS_SINGLE, math.log2(1 + distance))
+
+
+def significant_error(bits: float, threshold: float = 5.0) -> bool:
+    """The paper's significance test: more than ``threshold`` bits of error.
+
+    Section 8.1 uses 5 bits as the cut-off between noise and significant
+    inaccuracy; the threshold is exposed because Figure 5a sweeps it.
+    """
+    return bits > threshold

@@ -1,0 +1,124 @@
+"""Bit-level manipulation of IEEE-754 double-precision values.
+
+These helpers form the lowest layer of the reproduction: everything above
+(the bigfloat shadow reals, the machine interpreter, the error metric)
+speaks in terms of raw 64-bit patterns and ulp distances defined here.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+#: Largest finite double, 0x7FEF...F.
+DOUBLE_MAX = struct.unpack("<d", struct.pack("<Q", 0x7FEFFFFFFFFFFFFF))[0]
+
+#: Smallest positive normal double, 2**-1022.
+DOUBLE_MIN_NORMAL = 2.0 ** -1022
+
+#: Smallest positive subnormal double, 2**-1074.
+DOUBLE_MIN_SUBNORMAL = 2.0 ** -1074
+
+_SIGN_BIT = 1 << 63
+_EXP_MASK = 0x7FF0000000000000
+_MAN_MASK = 0x000FFFFFFFFFFFFF
+
+
+def double_to_bits(value: float) -> int:
+    """Return the raw 64-bit pattern of ``value`` as an unsigned integer."""
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+def bits_to_double(bits: int) -> float:
+    """Return the double whose raw pattern is the unsigned 64-bit ``bits``."""
+    if not 0 <= bits < (1 << 64):
+        raise ValueError(f"bit pattern out of range: {bits:#x}")
+    return struct.unpack("<d", struct.pack("<Q", bits))[0]
+
+
+def is_negative_zero(value: float) -> bool:
+    """True exactly for ``-0.0`` (which compares equal to ``0.0``)."""
+    return value == 0.0 and math.copysign(1.0, value) < 0.0
+
+
+def copysign_bit(value: float) -> int:
+    """Return the sign bit of ``value``: 0 for positive, 1 for negative.
+
+    Unlike comparisons this distinguishes -0.0 from +0.0 and gives the
+    sign bit of NaNs, mirroring what a binary tool sees.
+    """
+    return double_to_bits(value) >> 63
+
+
+def double_exponent(value: float) -> int:
+    """The unbiased binary exponent of a nonzero finite double.
+
+    For subnormals the stored exponent field is zero; we report the
+    mathematical exponent (``floor(log2(|value|))``).
+    """
+    if value == 0.0 or math.isinf(value) or math.isnan(value):
+        raise ValueError(f"no exponent for {value!r}")
+    __, exp = math.frexp(value)
+    return exp - 1
+
+
+def ordered_int(value: float) -> int:
+    """Map a double to an integer whose ordering matches float ordering.
+
+    Non-negative doubles map to their bit pattern; negative doubles map
+    to the negation of their magnitude pattern.  Consecutive doubles map
+    to consecutive integers, so ulp distances are integer differences.
+    NaNs are rejected — callers must handle them first.
+    """
+    if math.isnan(value):
+        raise ValueError("ordered_int is undefined for NaN")
+    bits = double_to_bits(value)
+    if bits & _SIGN_BIT:
+        return -(bits ^ _SIGN_BIT)
+    return bits
+
+
+def ulps_between(a: float, b: float) -> int:
+    """The number of representable doubles strictly between ``a`` and ``b``,
+    plus one if they differ (i.e. the ulp distance in the ordered-int space).
+
+    ``+0.0`` and ``-0.0`` are treated as the same point (distance 0).
+    """
+    return abs(ordered_int(a) - ordered_int(b))
+
+
+def next_double(value: float) -> float:
+    """The next representable double above ``value``."""
+    if math.isnan(value):
+        return value
+    if value == math.inf:
+        return value
+    ordered = ordered_int(value) + 1
+    return _from_ordered(ordered)
+
+
+def prev_double(value: float) -> float:
+    """The next representable double below ``value``."""
+    if math.isnan(value):
+        return value
+    if value == -math.inf:
+        return value
+    ordered = ordered_int(value) - 1
+    return _from_ordered(ordered)
+
+
+def _from_ordered(ordered: int) -> float:
+    if ordered < 0:
+        bits = (-ordered) | _SIGN_BIT
+    else:
+        bits = ordered
+    return bits_to_double(bits)
+
+
+def ulp(value: float) -> float:
+    """The gap between ``value`` and the next double away from zero."""
+    if math.isnan(value) or math.isinf(value):
+        raise ValueError(f"no ulp for {value!r}")
+    if value >= 0.0:
+        return next_double(value) - value
+    return value - prev_double(value)

@@ -1,0 +1,42 @@
+"""The mini-Herbie improver (the paper's improvability judge, Section 8.1).
+
+Architecture mirrors Herbie [29]: sampled inputs, a high-precision
+ground truth, a rewrite-rule database searched by beam search, a
+simplification pass, and regime inference for branch synthesis.
+"""
+
+from repro.improve.evaluate import ErrorEvaluator
+from repro.improve.patterns import (
+    instantiate,
+    match,
+    positions,
+    replace_at,
+    rewrite_everywhere,
+)
+from repro.improve.rules import Rule, all_rules, rules_by_name
+from repro.improve.search import (
+    ImprovementResult,
+    Improver,
+    SearchSettings,
+    improve_expression,
+    judge_improvable,
+)
+from repro.improve.simplify import simplify
+
+__all__ = [
+    "ErrorEvaluator",
+    "ImprovementResult",
+    "Improver",
+    "Rule",
+    "SearchSettings",
+    "all_rules",
+    "improve_expression",
+    "instantiate",
+    "judge_improvable",
+    "match",
+    "positions",
+    "replace_at",
+    "rewrite_everywhere",
+    "rules_by_name",
+    "simplify",
+]

@@ -1,0 +1,86 @@
+"""The sampled-error objective for the improvement search.
+
+Following Herbie, the ground truth for a candidate rewriting is the
+*original* expression evaluated in high-precision reals on each sample
+point — computed once and cached; every candidate is then scored with
+cheap double-precision evaluation against that cached truth.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.bigfloat import BigFloat, Context
+from repro.fpcore.ast import Expr
+from repro.fpcore.evaluator import EvaluationError, eval_double, eval_real
+from repro.ieee import MAX_ERROR_BITS, bits_of_error
+
+
+class ErrorEvaluator:
+    """Scores candidate expressions against a fixed spec + sample set."""
+
+    def __init__(
+        self,
+        spec: Expr,
+        variables: Sequence[str],
+        points: Sequence[Sequence[float]],
+        context: Optional[Context] = None,
+    ) -> None:
+        self.spec = spec
+        self.variables = list(variables)
+        self.points = [list(p) for p in points]
+        self.context = context if context is not None else Context(precision=192)
+        self.truth: List[float] = []
+        for point in self.points:
+            env = {
+                name: BigFloat.from_float(value)
+                for name, value in zip(self.variables, point)
+            }
+            try:
+                real = eval_real(spec, env, self.context)
+                self.truth.append(
+                    real.to_float() if isinstance(real, BigFloat) else math.nan
+                )
+            except (EvaluationError, OverflowError, ZeroDivisionError):
+                self.truth.append(math.nan)
+
+    # ------------------------------------------------------------------
+
+    def errors(self, candidate: Expr) -> List[float]:
+        """Per-point bits of error of ``candidate``."""
+        result = []
+        for point, truth in zip(self.points, self.truth):
+            env: Dict[str, float] = dict(zip(self.variables, point))
+            try:
+                value = eval_double(candidate, env)
+            except (EvaluationError, OverflowError, ZeroDivisionError):
+                result.append(MAX_ERROR_BITS)
+                continue
+            if isinstance(value, bool):
+                result.append(MAX_ERROR_BITS)
+            elif math.isnan(truth):
+                # Spec itself is undefined here (e.g. a real pole):
+                # score 0 if the candidate is also NaN, full otherwise.
+                result.append(0.0 if math.isnan(value) else MAX_ERROR_BITS)
+            else:
+                result.append(bits_of_error(value, truth))
+        return result
+
+    def average_error(self, candidate: Expr) -> float:
+        """Mean bits of error over the sample points."""
+        errors = self.errors(candidate)
+        if not errors:
+            return 0.0
+        return sum(errors) / len(errors)
+
+    def subset(self, indices: Sequence[int]) -> "ErrorEvaluator":
+        """An evaluator restricted to a subset of the points (for
+        regime inference); reuses the cached ground truth."""
+        clone = object.__new__(ErrorEvaluator)
+        clone.spec = self.spec
+        clone.variables = self.variables
+        clone.context = self.context
+        clone.points = [self.points[i] for i in indices]
+        clone.truth = [self.truth[i] for i in indices]
+        return clone

@@ -1,0 +1,112 @@
+"""Pattern matching and substitution over FPCore expressions.
+
+The improver's rewrite rules are expressed as pattern pairs; a pattern
+is an ordinary FPCore expression whose variables are pattern variables.
+Linear and non-linear patterns both work (a repeated variable must
+match equal sub-expressions).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.fpcore.ast import Expr, If, Num, Op, Var
+
+
+def match(pattern: Expr, expr: Expr) -> Optional[Dict[str, Expr]]:
+    """Match ``expr`` against ``pattern``; returns bindings or None."""
+    bindings: Dict[str, Expr] = {}
+    return bindings if _match_into(pattern, expr, bindings) else None
+
+
+def _match_into(pattern: Expr, expr: Expr, bindings: Dict[str, Expr]) -> bool:
+    if isinstance(pattern, Var):
+        bound = bindings.get(pattern.name)
+        if bound is None:
+            bindings[pattern.name] = expr
+            return True
+        return bound == expr
+    if isinstance(pattern, Num):
+        return isinstance(expr, Num) and pattern.value == expr.value
+    if isinstance(pattern, Op):
+        if not (isinstance(expr, Op) and expr.op == pattern.op
+                and len(expr.args) == len(pattern.args)):
+            return False
+        return all(
+            _match_into(p, e, bindings)
+            for p, e in zip(pattern.args, expr.args)
+        )
+    if isinstance(pattern, If):
+        if not isinstance(expr, If):
+            return False
+        return (
+            _match_into(pattern.cond, expr.cond, bindings)
+            and _match_into(pattern.then, expr.then, bindings)
+            and _match_into(pattern.orelse, expr.orelse, bindings)
+        )
+    return pattern == expr
+
+
+def instantiate(pattern: Expr, bindings: Dict[str, Expr]) -> Expr:
+    """Fill a pattern's variables from ``bindings``."""
+    if isinstance(pattern, Var):
+        try:
+            return bindings[pattern.name]
+        except KeyError:
+            raise KeyError(f"unbound pattern variable {pattern.name}") from None
+    if isinstance(pattern, Op):
+        return Op(pattern.op, tuple(instantiate(a, bindings) for a in pattern.args))
+    if isinstance(pattern, If):
+        return If(
+            instantiate(pattern.cond, bindings),
+            instantiate(pattern.then, bindings),
+            instantiate(pattern.orelse, bindings),
+        )
+    return pattern
+
+
+Path = Tuple[int, ...]
+
+
+def positions(expr: Expr) -> Iterator[Tuple[Path, Expr]]:
+    """All sub-expression positions, root first (If branches included)."""
+    yield (), expr
+    if isinstance(expr, Op):
+        for index, argument in enumerate(expr.args):
+            for path, sub in positions(argument):
+                yield (index,) + path, sub
+    elif isinstance(expr, If):
+        parts = (expr.cond, expr.then, expr.orelse)
+        for index, part in enumerate(parts):
+            for path, sub in positions(part):
+                yield (index,) + path, sub
+
+
+def replace_at(expr: Expr, path: Path, replacement: Expr) -> Expr:
+    """A copy of ``expr`` with the sub-expression at ``path`` replaced."""
+    if not path:
+        return replacement
+    head, rest = path[0], path[1:]
+    if isinstance(expr, Op):
+        new_args = list(expr.args)
+        new_args[head] = replace_at(new_args[head], rest, replacement)
+        return Op(expr.op, tuple(new_args))
+    if isinstance(expr, If):
+        parts = [expr.cond, expr.then, expr.orelse]
+        parts[head] = replace_at(parts[head], rest, replacement)
+        return If(*parts)
+    raise IndexError(f"path {path} does not exist in {expr}")
+
+
+def rewrite_everywhere(expr: Expr, lhs: Expr, rhs: Expr) -> List[Expr]:
+    """Every single-position application of the rule lhs -> rhs."""
+    results = []
+    for path, sub in positions(expr):
+        bindings = match(lhs, sub)
+        if bindings is not None:
+            try:
+                built = instantiate(rhs, bindings)
+            except KeyError:
+                continue
+            results.append(replace_at(expr, path, built))
+    return results

@@ -1,0 +1,170 @@
+"""The rewrite-rule database of the mini-Herbie.
+
+Rules are mathematical identities over the reals; like Herbie, the
+search applies them without soundness side-conditions and lets the
+sampled-error objective decide what helps (a rewrite that divides by a
+quantity that can be zero simply scores badly on those samples).
+
+The selection covers the families Herbie's paper highlights: conjugate
+tricks for cancellation, fraction arithmetic, exp/log and trig
+identities, compensation-friendly regroupings, and the specialised
+library functions (expm1, log1p, hypot, fma).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.fpcore.ast import Expr
+from repro.fpcore.parser import parse_expr
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A named left-to-right rewrite."""
+
+    name: str
+    lhs: Expr
+    rhs: Expr
+
+
+def _rule(name: str, lhs: str, rhs: str) -> Rule:
+    return Rule(name, parse_expr(lhs), parse_expr(rhs))
+
+
+def _bidirectional(name: str, left: str, right: str) -> Tuple[Rule, Rule]:
+    return (
+        _rule(name, left, right),
+        _rule(name + "-rev", right, left),
+    )
+
+
+_RULES: List[Rule] = [
+    # --- commutativity / associativity / regrouping -------------------
+    _rule("add-commute", "(+ a b)", "(+ b a)"),
+    _rule("mul-commute", "(* a b)", "(* b a)"),
+    *_bidirectional("add-assoc", "(+ (+ a b) c)", "(+ a (+ b c))"),
+    *_bidirectional("mul-assoc", "(* (* a b) c)", "(* a (* b c))"),
+    *_bidirectional("sub-chain", "(- (- a b) c)", "(- a (+ b c))"),
+    *_bidirectional("add-sub-swap", "(- (+ a b) c)", "(+ a (- b c))"),
+    _rule("sub-commute-neg", "(- a b)", "(- (- b a))"),  # parsed as neg
+    # --- identities ----------------------------------------------------
+    _rule("add-zero", "(+ a 0)", "a"),
+    _rule("sub-zero", "(- a 0)", "a"),
+    _rule("mul-one", "(* a 1)", "a"),
+    _rule("div-one", "(/ a 1)", "a"),
+    _rule("sub-self", "(- a a)", "0"),
+    _rule("div-self", "(/ a a)", "1"),
+    _rule("add-self", "(+ a a)", "(* 2 a)"),
+    *_bidirectional("neg-sub", "(- a)", "(- 0 a)"),
+    _rule("neg-of-diff", "(- (- a b))", "(- b a)"),
+    # --- cancellation shortcuts -----------------------------------------
+    _rule("cancel-add-left", "(- (+ a b) a)", "b"),
+    _rule("cancel-add-right", "(- (+ a b) b)", "a"),
+    _rule("cancel-sub", "(+ (- a b) b)", "a"),
+    # --- fractions -------------------------------------------------------
+    *_bidirectional(
+        "frac-sub", "(- (/ 1 a) (/ 1 b))", "(/ (- b a) (* a b))"
+    ),
+    *_bidirectional(
+        "frac-common", "(- (/ a c) (/ b c))", "(/ (- a b) c)"
+    ),
+    *_bidirectional("div-mul", "(/ (/ a b) c)", "(/ a (* b c))"),
+    *_bidirectional("mul-div", "(* a (/ b c))", "(/ (* a b) c)"),
+    _rule("div-flip", "(/ a (/ b c))", "(/ (* a c) b)"),
+    *_bidirectional("div-split", "(/ (+ a b) c)", "(+ (/ a c) (/ b c))"),
+    *_bidirectional("div-split-sub", "(/ (- a b) c)", "(- (/ a c) (/ b c))"),
+    # --- distribution ----------------------------------------------------
+    *_bidirectional("distribute", "(* a (+ b c))", "(+ (* a b) (* a c))"),
+    *_bidirectional("distribute-sub", "(* a (- b c))", "(- (* a b) (* a c))"),
+    *_bidirectional(
+        "difference-of-squares", "(- (* a a) (* b b))", "(* (- a b) (+ a b))"
+    ),
+    # --- conjugates (the cancellation killers) ---------------------------
+    _rule(
+        "sqrt-conjugate",
+        "(- (sqrt a) (sqrt b))",
+        "(/ (- a b) (+ (sqrt a) (sqrt b)))",
+    ),
+    _rule(
+        "sqrt-conjugate-sum",
+        "(+ (sqrt a) (sqrt b))",
+        "(/ (- a b) (- (sqrt a) (sqrt b)))",
+    ),
+    _rule(
+        "flip-sub",
+        "(- a b)",
+        "(/ (- (* a a) (* b b)) (+ a b))",
+    ),
+    _rule(
+        "sqrt-sub-var",
+        "(- (sqrt a) b)",
+        "(/ (- a (* b b)) (+ (sqrt a) b))",
+    ),
+    # --- squares ----------------------------------------------------------
+    *_bidirectional("sqr-sqrt", "(* (sqrt a) (sqrt a))", "a"),
+    _rule("sqrt-of-square", "(sqrt (* a a))", "(fabs a)"),
+    *_bidirectional("sqrt-prod", "(sqrt (* a b))", "(* (sqrt a) (sqrt b))"),
+    *_bidirectional("hypot-def", "(sqrt (+ (* a a) (* b b)))", "(hypot a b)"),
+    # --- exp / log ---------------------------------------------------------
+    _rule("expm1-def", "(- (exp a) 1)", "(expm1 a)"),
+    _rule("expm1-def-flip", "(- 1 (exp a))", "(- (expm1 a))"),
+    _rule("log1p-def", "(log (+ 1 a))", "(log1p a)"),
+    _rule("log1p-def-comm", "(log (+ a 1))", "(log1p a)"),
+    *_bidirectional("exp-sum", "(exp (+ a b))", "(* (exp a) (exp b))"),
+    *_bidirectional("exp-diff", "(exp (- a b))", "(/ (exp a) (exp b))"),
+    _rule("exp-log", "(exp (log a))", "a"),
+    _rule("log-exp", "(log (exp a))", "a"),
+    *_bidirectional("log-prod", "(log (* a b))", "(+ (log a) (log b))"),
+    *_bidirectional("log-div", "(log (/ a b))", "(- (log a) (log b))"),
+    *_bidirectional("pow-def", "(pow a b)", "(exp (* b (log a)))"),
+    _rule("pow-half", "(pow a 1/2)", "(sqrt a)"),
+    _rule("log1p-expm1", "(log1p (expm1 a))", "a"),
+    _rule("expm1-log1p", "(expm1 (log1p a))", "a"),
+    # --- trigonometry --------------------------------------------------------
+    _rule("sin-over-cos", "(/ (sin a) (cos a))", "(tan a)"),
+    *_bidirectional(
+        "one-minus-cos", "(- 1 (cos a))",
+        "(* 2 (* (sin (/ a 2)) (sin (/ a 2))))",
+    ),
+    _rule(
+        "half-angle-tan", "(/ (- 1 (cos a)) (sin a))", "(tan (/ a 2))"
+    ),
+    _rule(
+        "pythagorean-sin", "(- 1 (* (cos a) (cos a)))", "(* (sin a) (sin a))"
+    ),
+    _rule(
+        "pythagorean-cos", "(- 1 (* (sin a) (sin a)))", "(* (cos a) (cos a))"
+    ),
+    *_bidirectional(
+        "sin-diff", "(- (sin (+ a b)) (sin a))",
+        "(+ (* (sin a) (- (cos b) 1)) (* (cos a) (sin b)))",
+    ),
+    *_bidirectional(
+        "cos-diff", "(- (cos (+ a b)) (cos a))",
+        "(- (* (cos a) (- (cos b) 1)) (* (sin a) (sin b)))",
+    ),
+    # --- hyperbolics -----------------------------------------------------------
+    _rule("sinh-def", "(- (exp a) (exp (- a)))", "(* 2 (sinh a))"),
+    _rule(
+        "cosh-minus-one", "(- (cosh a) 1)",
+        "(* 2 (* (sinh (/ a 2)) (sinh (/ a 2))))",
+    ),
+    _rule(
+        "exp-sum-two", "(+ (- (exp a) 2) (exp (- a)))",
+        "(* 2 (- (cosh a) 1))",
+    ),
+    # --- fused ops ----------------------------------------------------------------
+    *_bidirectional("fma-def", "(+ (* a b) c)", "(fma a b c)"),
+    _rule("fms-def", "(- (* a b) c)", "(fma a b (- c))"),
+]
+
+
+def all_rules() -> List[Rule]:
+    """The full rule database (copied so callers may filter freely)."""
+    return list(_RULES)
+
+
+def rules_by_name() -> dict:
+    return {rule.name: rule for rule in _RULES}

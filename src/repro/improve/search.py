@@ -1,0 +1,228 @@
+"""The improvement search: beam search over rewrites + regime splits.
+
+This is the mini-Herbie the evaluation uses to decide whether a
+candidate root cause is *improvable* (a true root cause, Section 8.1):
+beam search over the rule database scored by sampled bits-of-error,
+followed by Herbie-style regime inference (branching on a variable's
+sign or a threshold) — the mechanism that produces the paper's
+``if x <= 0`` repair for the complex square root.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.fpcore.ast import Expr, If, Op, Var, free_variables, num
+from repro.fpcore.printer import format_expr
+from repro.improve.evaluate import ErrorEvaluator
+from repro.improve.patterns import rewrite_everywhere
+from repro.improve.rules import Rule, all_rules
+from repro.improve.simplify import simplify
+
+
+@dataclass
+class SearchSettings:
+    """Search budget knobs."""
+
+    beam_width: int = 6
+    generations: int = 4
+    max_candidates_per_generation: int = 3000
+    max_expression_size: int = 60
+    try_regimes: bool = True
+    #: Improvement below this many bits does not count (noise floor).
+    min_improvement_bits: float = 1.0
+
+
+@dataclass
+class ImprovementResult:
+    """Outcome of one improvement attempt."""
+
+    original: Expr
+    best: Expr
+    initial_error: float
+    best_error: float
+    regime_variable: Optional[str] = None
+
+    @property
+    def improvement(self) -> float:
+        return self.initial_error - self.best_error
+
+    def improved(self, threshold: float = 1.0) -> bool:
+        return self.improvement >= threshold
+
+    def describe(self) -> str:
+        return (
+            f"{self.initial_error:.1f} -> {self.best_error:.1f} bits"
+            f" ({format_expr(self.best)})"
+        )
+
+
+def _expression_size(expr: Expr) -> int:
+    if isinstance(expr, Op):
+        return 1 + sum(_expression_size(a) for a in expr.args)
+    if isinstance(expr, If):
+        return 1 + sum(
+            _expression_size(e) for e in (expr.cond, expr.then, expr.orelse)
+        )
+    return 1
+
+
+class Improver:
+    """Beam-search improver over a fixed evaluator."""
+
+    def __init__(
+        self,
+        evaluator: ErrorEvaluator,
+        rules: Optional[Sequence[Rule]] = None,
+        settings: Optional[SearchSettings] = None,
+    ) -> None:
+        self.evaluator = evaluator
+        self.rules = list(rules) if rules is not None else all_rules()
+        self.settings = settings if settings is not None else SearchSettings()
+
+    # ------------------------------------------------------------------
+
+    def improve(self, expr: Optional[Expr] = None) -> ImprovementResult:
+        """Search for a lower-error equivalent of the spec (or expr)."""
+        settings = self.settings
+        start = simplify(expr if expr is not None else self.evaluator.spec)
+        initial_error = self.evaluator.average_error(start)
+        scored: Dict[str, Tuple[float, Expr]] = {}
+
+        def consider(candidate: Expr) -> None:
+            if _expression_size(candidate) > settings.max_expression_size:
+                return
+            key = format_expr(candidate)
+            if key in scored:
+                return
+            scored[key] = (self.evaluator.average_error(candidate), candidate)
+
+        consider(start)
+        beam = [start]
+        for __ in range(settings.generations):
+            produced = 0
+            for current in beam:
+                for rule in self.rules:
+                    for rewritten in rewrite_everywhere(
+                        current, rule.lhs, rule.rhs
+                    ):
+                        consider(simplify(rewritten))
+                        produced += 1
+                        if produced >= settings.max_candidates_per_generation:
+                            break
+                    if produced >= settings.max_candidates_per_generation:
+                        break
+                if produced >= settings.max_candidates_per_generation:
+                    break
+            ranked = sorted(
+                scored.values(), key=lambda item: (item[0], _expression_size(item[1]))
+            )
+            beam = [candidate for __, candidate in ranked[: settings.beam_width]]
+        best_error, best = min(
+            scored.values(), key=lambda item: (item[0], _expression_size(item[1]))
+        )
+        result = ImprovementResult(
+            original=start,
+            best=best,
+            initial_error=initial_error,
+            best_error=best_error,
+        )
+        if settings.try_regimes:
+            regime = self._try_regimes(scored)
+            if regime is not None and regime.best_error < result.best_error - 0.5:
+                regime.initial_error = initial_error
+                result = regime
+        return result
+
+    # ------------------------------------------------------------------
+    # Regime inference (Herbie's branch synthesis, simplified)
+    # ------------------------------------------------------------------
+
+    def _try_regimes(
+        self, scored: Dict[str, Tuple[float, Expr]]
+    ) -> Optional[ImprovementResult]:
+        """Try branching on each variable's sign or median threshold.
+
+        For each split, pick the best candidate *per side* from the
+        already-scored pool and stitch them with an If.
+        """
+        evaluator = self.evaluator
+        if len(evaluator.points) < 4 or len(scored) < 2:
+            return None
+        # Keep the best handful of candidates for per-side evaluation.
+        pool = sorted(scored.values(), key=lambda item: item[0])[:12]
+        best_result: Optional[ImprovementResult] = None
+        for axis, variable in enumerate(evaluator.variables):
+            values = sorted(p[axis] for p in evaluator.points)
+            thresholds = {0.0, values[len(values) // 2]}
+            for threshold in thresholds:
+                left_idx = [
+                    i for i, p in enumerate(evaluator.points)
+                    if p[axis] <= threshold
+                ]
+                right_idx = [
+                    i for i, p in enumerate(evaluator.points)
+                    if p[axis] > threshold
+                ]
+                if len(left_idx) < 2 or len(right_idx) < 2:
+                    continue
+                left_eval = evaluator.subset(left_idx)
+                right_eval = evaluator.subset(right_idx)
+                left_error, left_best = min(
+                    ((left_eval.average_error(c), c) for __, c in pool),
+                    key=lambda item: item[0],
+                )
+                right_error, right_best = min(
+                    ((right_eval.average_error(c), c) for __, c in pool),
+                    key=lambda item: item[0],
+                )
+                if left_best == right_best:
+                    continue
+                combined = If(
+                    Op("<=", (Var(variable), num(threshold))),
+                    left_best,
+                    right_best,
+                )
+                total = evaluator.average_error(combined)
+                if best_result is None or total < best_result.best_error:
+                    best_result = ImprovementResult(
+                        original=evaluator.spec,
+                        best=combined,
+                        initial_error=math.nan,
+                        best_error=total,
+                        regime_variable=variable,
+                    )
+        return best_result
+
+
+def improve_expression(
+    expr: Expr,
+    variables: Sequence[str],
+    points: Sequence[Sequence[float]],
+    settings: Optional[SearchSettings] = None,
+    context=None,
+) -> ImprovementResult:
+    """One-call improvement of an expression on given sample points."""
+    evaluator = ErrorEvaluator(expr, variables, points, context=context)
+    return Improver(evaluator, settings=settings).improve()
+
+
+def judge_improvable(
+    expr: Expr,
+    variables: Sequence[str],
+    points: Sequence[Sequence[float]],
+    threshold_bits: float = 1.0,
+    settings: Optional[SearchSettings] = None,
+    context=None,
+) -> ImprovementResult:
+    """The Section 8.1 oracle call: can this fragment be improved?
+
+    A candidate root cause is a *true* root cause when rewriting it
+    reduces sampled error by at least ``threshold_bits``.
+    """
+    result = improve_expression(
+        expr, variables, points, settings=settings, context=context
+    )
+    return result

@@ -1,0 +1,129 @@
+"""Algebraic simplification: keeps rewrite candidates small.
+
+Constant folding is done in exact rational arithmetic (so it never
+introduces rounding error of its own), plus a few size-reducing
+identities.  Run after every rewrite generation, like Herbie's
+simplification pass.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional
+
+from repro.fpcore.ast import Expr, If, Num, Op, Var, num
+
+_ZERO = Fraction(0)
+_ONE = Fraction(1)
+
+
+def _fold_constant(op: str, args) -> Optional[Fraction]:
+    """Evaluate an all-constant application exactly, if defined."""
+    values = [a.value for a in args]
+    if op == "+":
+        return values[0] + values[1]
+    if op == "-":
+        return values[0] - values[1]
+    if op == "*":
+        return values[0] * values[1]
+    if op == "/":
+        if values[1] == 0:
+            return None
+        return values[0] / values[1]
+    if op == "neg":
+        return -values[0]
+    if op == "fabs":
+        return abs(values[0])
+    return None
+
+
+def simplify(expr: Expr) -> Expr:
+    """Bottom-up constant folding and identity elimination."""
+    if isinstance(expr, Op):
+        args = tuple(simplify(a) for a in expr.args)
+        expr = Op(expr.op, args)
+        if all(isinstance(a, Num) for a in args):
+            folded = _fold_constant(expr.op, args)
+            if folded is not None:
+                return Num(folded)
+        return _identities(expr)
+    if isinstance(expr, If):
+        return If(simplify(expr.cond), simplify(expr.then), simplify(expr.orelse))
+    return expr
+
+
+def _is_const(expr: Expr, value: Fraction) -> bool:
+    return isinstance(expr, Num) and expr.value == value
+
+
+def _identities(expr: Op) -> Expr:
+    op, args = expr.op, expr.args
+    if op == "+":
+        left, right = args
+        if _is_const(left, _ZERO):
+            return right
+        if _is_const(right, _ZERO):
+            return left
+    elif op == "-":
+        if len(args) == 2:
+            left, right = args
+            if _is_const(right, _ZERO):
+                return left
+            if _is_const(left, _ZERO):
+                return simplify_neg(right)
+            if left == right:
+                return num(0)
+    elif op == "*":
+        left, right = args
+        if _is_const(left, _ONE):
+            return right
+        if _is_const(right, _ONE):
+            return left
+        if _is_const(left, _ZERO) or _is_const(right, _ZERO):
+            # NOTE: unsound for NaN/inf operands, like Herbie's own
+            # simplifier; the sampled objective vets the result.
+            return num(0)
+    elif op == "/":
+        left, right = args
+        if _is_const(right, _ONE):
+            return left
+        if _is_const(left, _ZERO):
+            return num(0)
+    elif op == "neg":
+        (operand,) = args
+        if isinstance(operand, Op) and operand.op == "neg":
+            return operand.args[0]
+        if isinstance(operand, Num):
+            return Num(-operand.value)
+    elif op == "sqrt":
+        (operand,) = args
+        if isinstance(operand, Num) and operand.value >= 0:
+            root = _exact_sqrt(operand.value)
+            if root is not None:
+                return Num(root)
+    elif op == "pow":
+        base, exponent = args
+        if _is_const(exponent, _ONE):
+            return base
+        if _is_const(exponent, _ZERO):
+            return num(1)
+    return expr
+
+
+def simplify_neg(expr: Expr) -> Expr:
+    if isinstance(expr, Num):
+        return Num(-expr.value)
+    if isinstance(expr, Op) and expr.op == "neg":
+        return expr.args[0]
+    return Op("neg", (expr,))
+
+
+def _exact_sqrt(value: Fraction) -> Optional[Fraction]:
+    import math
+
+    numerator = math.isqrt(value.numerator)
+    denominator = math.isqrt(value.denominator)
+    if numerator * numerator == value.numerator \
+            and denominator * denominator == value.denominator:
+        return Fraction(numerator, denominator)
+    return None

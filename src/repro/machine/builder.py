@@ -1,0 +1,225 @@
+"""Fluent construction of machine functions.
+
+The builder hands out fresh register names, manages labels, and lets
+callers attach source locations — the case-study programs and the
+software libm are written against this API, in the way one would write
+assembly with a macro assembler.
+
+Example::
+
+    fn = FunctionBuilder("main")
+    x = fn.read()
+    y = fn.op("sqrt", x, loc="main.c:3")
+    fn.out(y)
+    fn.halt()
+    program = Program()
+    program.add(fn.build())
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.machine import isa
+
+Reg = str
+
+
+class FunctionBuilder:
+    """Accumulates instructions for one function."""
+
+    #: Operations emitted as primitive FloatOp instructions; everything
+    #: else in ALL_OPERATIONS is a library routine and must go through
+    #: :meth:`call` so wrapping can intercept it.
+    HARDWARE_OPS = frozenset(
+        {
+            "+", "-", "*", "/", "neg", "fabs", "sqrt", "fma",
+            "fmin", "fmax", "copysign",
+            "trunc", "floor", "ceil", "round", "nearbyint", "fdim",
+        }
+    )
+
+    def __init__(self, name: str, params: Sequence[str] = ()) -> None:
+        self.name = name
+        self.params: Tuple[str, ...] = tuple(params)
+        self.instrs: list = []
+        self.labels: Dict[str, int] = {}
+        self._register_counter = itertools.count()
+        self._label_counter = itertools.count()
+        self._default_loc: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Naming
+    # ------------------------------------------------------------------
+
+    def fresh(self, hint: str = "t") -> Reg:
+        """A fresh register name."""
+        return f"{hint}.{next(self._register_counter)}"
+
+    def fresh_label(self, hint: str = "L") -> str:
+        """A fresh (not yet placed) label name."""
+        return f"{hint}.{next(self._label_counter)}"
+
+    def at(self, loc: Optional[str]) -> "FunctionBuilder":
+        """Set the default source location for subsequent instructions."""
+        self._default_loc = loc
+        return self
+
+    def _loc(self, loc: Optional[str]) -> Optional[str]:
+        return loc if loc is not None else self._default_loc
+
+    # ------------------------------------------------------------------
+    # Instruction emission
+    # ------------------------------------------------------------------
+
+    def const(self, value: float, single: bool = False,
+              loc: Optional[str] = None) -> Reg:
+        dst = self.fresh("c")
+        self.instrs.append(
+            isa.Const(dst, float(value), single=single, loc=self._loc(loc))
+        )
+        return dst
+
+    def const_int(self, value: int, loc: Optional[str] = None) -> Reg:
+        dst = self.fresh("i")
+        self.instrs.append(isa.ConstInt(dst, int(value), loc=self._loc(loc)))
+        return dst
+
+    def op(self, op: str, *srcs: Reg, single: bool = False,
+           loc: Optional[str] = None) -> Reg:
+        """A float operation: hardware ops inline, library ops as calls."""
+        if op in self.HARDWARE_OPS:
+            dst = self.fresh()
+            self.instrs.append(
+                isa.FloatOp(dst, op, tuple(srcs), single=single, loc=self._loc(loc))
+            )
+            return dst
+        return self.call(op, *srcs, loc=loc)
+
+    def packed(self, op: str, lanes: Sequence[Sequence[Reg]],
+               loc: Optional[str] = None) -> Tuple[Reg, ...]:
+        """A SIMD-style lane-wise operation; returns one register per lane."""
+        dsts = tuple(self.fresh("v") for __ in lanes)
+        self.instrs.append(
+            isa.PackedOp(op, dsts, tuple(tuple(lane) for lane in lanes),
+                         loc=self._loc(loc))
+        )
+        return dsts
+
+    def bit_negate(self, src: Reg, loc: Optional[str] = None) -> Reg:
+        """gcc-style negation: XOR the sign bit (paper Section 5.3)."""
+        dst = self.fresh()
+        self.instrs.append(
+            isa.FloatBitOp(dst, "xor", src, isa.SIGN_BIT_MASK, loc=self._loc(loc))
+        )
+        return dst
+
+    def bit_fabs(self, src: Reg, loc: Optional[str] = None) -> Reg:
+        """gcc-style fabs: AND away the sign bit."""
+        dst = self.fresh()
+        self.instrs.append(
+            isa.FloatBitOp(dst, "and", src, isa.ABS_MASK, loc=self._loc(loc))
+        )
+        return dst
+
+    def int_op(self, op: str, lhs: Reg, rhs: Reg, loc: Optional[str] = None) -> Reg:
+        dst = self.fresh("i")
+        self.instrs.append(isa.IntOp(dst, op, lhs, rhs, loc=self._loc(loc)))
+        return dst
+
+    def mov(self, src: Reg, loc: Optional[str] = None) -> Reg:
+        dst = self.fresh()
+        self.instrs.append(isa.Mov(dst, src, loc=self._loc(loc)))
+        return dst
+
+    def mov_to(self, dst: Reg, src: Reg, loc: Optional[str] = None) -> None:
+        self.instrs.append(isa.Mov(dst, src, loc=self._loc(loc)))
+
+    def load(self, addr: Reg, loc: Optional[str] = None) -> Reg:
+        dst = self.fresh()
+        self.instrs.append(isa.Load(dst, addr, loc=self._loc(loc)))
+        return dst
+
+    def store(self, addr: Reg, src: Reg, loc: Optional[str] = None) -> None:
+        self.instrs.append(isa.Store(addr, src, loc=self._loc(loc)))
+
+    def bitcast_to_int(self, src: Reg, loc: Optional[str] = None) -> Reg:
+        dst = self.fresh("i")
+        self.instrs.append(isa.BitcastToInt(dst, src, loc=self._loc(loc)))
+        return dst
+
+    def bitcast_to_float(self, src: Reg, loc: Optional[str] = None) -> Reg:
+        dst = self.fresh()
+        self.instrs.append(isa.BitcastToFloat(dst, src, loc=self._loc(loc)))
+        return dst
+
+    def float_to_int(self, src: Reg, loc: Optional[str] = None) -> Reg:
+        dst = self.fresh("i")
+        self.instrs.append(isa.FloatToInt(dst, src, loc=self._loc(loc)))
+        return dst
+
+    def int_to_float(self, src: Reg, loc: Optional[str] = None) -> Reg:
+        dst = self.fresh()
+        self.instrs.append(isa.IntToFloat(dst, src, loc=self._loc(loc)))
+        return dst
+
+    def branch(self, pred: str, lhs: Reg, rhs: Reg, target: str,
+               loc: Optional[str] = None) -> None:
+        self.instrs.append(isa.Branch(pred, lhs, rhs, target, loc=self._loc(loc)))
+
+    def int_branch(self, pred: str, lhs: Reg, rhs: Reg, target: str,
+                   loc: Optional[str] = None) -> None:
+        self.instrs.append(isa.IntBranch(pred, lhs, rhs, target, loc=self._loc(loc)))
+
+    def jump(self, target: str, loc: Optional[str] = None) -> None:
+        self.instrs.append(isa.Jump(target, loc=self._loc(loc)))
+
+    def label(self, name: Optional[str] = None) -> str:
+        """Place a label at the current position."""
+        if name is None:
+            name = self.fresh_label()
+        if name in self.labels:
+            raise ValueError(f"label {name!r} already placed")
+        self.labels[name] = len(self.instrs)
+        return name
+
+    def call(self, function: str, *args: Reg, loc: Optional[str] = None) -> Reg:
+        dst = self.fresh()
+        self.instrs.append(
+            isa.Call(dst, function, tuple(args), loc=self._loc(loc))
+        )
+        return dst
+
+    def ret(self, src: Optional[Reg] = None, loc: Optional[str] = None) -> None:
+        self.instrs.append(isa.Ret(src, loc=self._loc(loc)))
+
+    def read(self, loc: Optional[str] = None) -> Reg:
+        dst = self.fresh("in")
+        self.instrs.append(isa.Read(dst, loc=self._loc(loc)))
+        return dst
+
+    def out(self, src: Reg, loc: Optional[str] = None) -> None:
+        self.instrs.append(isa.Out(src, loc=self._loc(loc)))
+
+    def halt(self, loc: Optional[str] = None) -> None:
+        self.instrs.append(isa.Halt(loc=self._loc(loc)))
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+
+    def build(self) -> isa.Function:
+        """Validate labels and produce the Function."""
+        for instr in self.instrs:
+            target = getattr(instr, "target", None)
+            if target is not None and target not in self.labels:
+                raise ValueError(
+                    f"{self.name}: branch to unplaced label {target!r}"
+                )
+        return isa.Function(
+            name=self.name,
+            params=self.params,
+            instrs=list(self.instrs),
+            labels=dict(self.labels),
+        )

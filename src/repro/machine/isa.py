@@ -1,0 +1,298 @@
+"""Instruction set of the abstract float machine.
+
+This is the paper's abstract machine (Figure 2) extended with the
+VEX-level details Section 5 names as essential for real binaries:
+
+* two floating-point precisions (``single`` flag on float ops),
+* SIMD-style packed operations (multiple lanes in one instruction),
+* integer arithmetic and *bitwise operations on float registers*
+  (gcc negates a double by XORing the sign bit — Herbgrind must
+  recognize that as a negation),
+* loads/stores through an untyped heap addressed by integer registers,
+* calls, so values cross function boundaries,
+* explicit ``Read``/``Out`` statements (program inputs and outputs),
+* float→int conversions and float conditional branches — the *spots*
+  of the analysis.
+
+Instructions are frozen dataclasses; ``loc`` carries a source location
+string ("main.cpp:24") used in reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+#: Predicates usable in branches (on floats these are IEEE comparisons,
+#: so any comparison with NaN is false).
+PREDICATES = frozenset({"lt", "le", "gt", "ge", "eq", "ne"})
+
+#: Integer ALU operations.
+INT_OPS = frozenset(
+    {"iadd", "isub", "imul", "idiv", "imod", "ishl", "ishr", "iand", "ior", "ixor"}
+)
+
+#: Bitwise operations applicable to the raw bits of a float register.
+FLOAT_BIT_OPS = frozenset({"xor", "and", "or"})
+
+#: The sign-bit mask used by compiler-emitted negation (paper 5.3).
+SIGN_BIT_MASK = 1 << 63
+
+#: The complement mask used by compiler-emitted fabs.
+ABS_MASK = SIGN_BIT_MASK - 1
+
+
+@dataclass(frozen=True)
+class Instr:
+    """Base class for instructions."""
+
+
+@dataclass(frozen=True)
+class Const(Instr):
+    """dst <- floating-point constant."""
+
+    dst: str
+    value: float
+    single: bool = False
+    loc: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ConstInt(Instr):
+    """dst <- integer constant."""
+
+    dst: str
+    value: int
+    loc: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class FloatOp(Instr):
+    """dst <- op(srcs) in floating point (1-3 operands).
+
+    ``op`` names come from :data:`repro.bigfloat.functions.ALL_OPERATIONS`;
+    only *hardware* operations should appear here (+, -, *, /, neg,
+    fabs, sqrt, fma, fmin, fmax, copysign) — library functions go
+    through :class:`Call` so the wrapping machinery can intercept them.
+    """
+
+    dst: str
+    op: str
+    srcs: Tuple[str, ...]
+    single: bool = False
+    loc: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class PackedOp(Instr):
+    """SIMD-style lane-wise float operation (one instruction, n lanes)."""
+
+    op: str
+    dsts: Tuple[str, ...]
+    lanes: Tuple[Tuple[str, ...], ...]  # one operand tuple per lane
+    single: bool = False
+    loc: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class FloatBitOp(Instr):
+    """dst <- bits(src) OP mask, reinterpreted as a float.
+
+    Models compiler-emitted sign tricks (negation via XOR of the sign
+    bit, fabs via AND with the complement).
+    """
+
+    dst: str
+    op: str  # one of FLOAT_BIT_OPS
+    src: str
+    mask: int
+    loc: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class IntOp(Instr):
+    """dst <- integer ALU operation."""
+
+    dst: str
+    op: str  # one of INT_OPS
+    lhs: str
+    rhs: str
+    loc: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Mov(Instr):
+    """dst <- src (copies the value box; shadows are shared)."""
+
+    dst: str
+    src: str
+    loc: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Load(Instr):
+    """dst <- memory[addr_register]."""
+
+    dst: str
+    addr: str
+    loc: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Store(Instr):
+    """memory[addr_register] <- src."""
+
+    addr: str
+    src: str
+    loc: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class BitcastToInt(Instr):
+    """dst(int) <- raw bits of float src."""
+
+    dst: str
+    src: str
+    loc: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class BitcastToFloat(Instr):
+    """dst(float) <- float with raw bits of int src."""
+
+    dst: str
+    src: str
+    loc: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class FloatToInt(Instr):
+    """dst(int) <- truncate(float src).  A conversion *spot*."""
+
+    dst: str
+    src: str
+    loc: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class IntToFloat(Instr):
+    """dst(float) <- exact value of int src (rounded to double)."""
+
+    dst: str
+    src: str
+    loc: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Branch(Instr):
+    """if pred(lhs, rhs) on floats: jump to label.  A control *spot*."""
+
+    pred: str
+    lhs: str
+    rhs: str
+    target: str
+    loc: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class IntBranch(Instr):
+    """if pred(lhs, rhs) on integers: jump to label (not a spot)."""
+
+    pred: str
+    lhs: str
+    rhs: str
+    target: str
+    loc: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Jump(Instr):
+    """Unconditional jump to label."""
+
+    target: str
+    loc: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Call(Instr):
+    """dst <- function(args).
+
+    When ``function`` names a math-library routine, the interpreter's
+    wrapping mode decides whether to treat it as one atomic operation
+    (wrapped; paper Section 5.3) or to execute its software-libm IR
+    body (unwrapped; Section 8.2's ablation).
+    """
+
+    dst: str
+    function: str
+    args: Tuple[str, ...]
+    loc: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Ret(Instr):
+    """Return a value from the current function."""
+
+    src: Optional[str] = None
+    loc: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Read(Instr):
+    """dst <- next program input (a double)."""
+
+    dst: str
+    loc: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Out(Instr):
+    """Print a float value: a program output *spot*."""
+
+    src: str
+    loc: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Halt(Instr):
+    """Stop the machine."""
+
+    loc: Optional[str] = None
+
+
+@dataclass
+class Function:
+    """A named function: parameter registers + instruction list + labels."""
+
+    name: str
+    params: Tuple[str, ...] = ()
+    instrs: list = field(default_factory=list)
+    labels: dict = field(default_factory=dict)
+
+    def label_index(self, label: str) -> int:
+        try:
+            return self.labels[label]
+        except KeyError:
+            raise KeyError(f"unknown label {label!r} in {self.name}") from None
+
+
+@dataclass
+class Program:
+    """A collection of functions; execution starts at ``entry``."""
+
+    functions: dict = field(default_factory=dict)
+    entry: str = "main"
+
+    def add(self, function: Function) -> None:
+        if function.name in self.functions:
+            raise ValueError(f"duplicate function {function.name!r}")
+        self.functions[function.name] = function
+
+    def function(self, name: str) -> Function:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise KeyError(f"unknown function {name!r}") from None
+
+    def instruction_count(self) -> int:
+        return sum(len(f.instrs) for f in self.functions.values())

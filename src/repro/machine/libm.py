@@ -1,0 +1,535 @@
+"""A software math library written in the machine IR.
+
+Real libms (FDLIBM, glibc) implement transcendental functions with
+hundreds of primitive float instructions, bit manipulations, and
+"magic constant" tricks.  The paper's Section 8.2 ablation turns
+Herbgrind's library wrapping *off* and observes exactly those internals
+leaking into the extracted expressions, e.g.::
+
+    (x − 0.6931472 (y − 6.755399e15) + 2.576980e10) − 2.576980e10
+
+where ``6.755399e15`` is the 1.5·2^52 round-to-nearest-integer trick.
+To make that ablation reproducible, this module implements the whole
+library-operation surface (exp/log/trig/pow/...) as IR functions built
+from hardware ops, branches, integer ops and bitcasts — the same
+reduction-plus-polynomial-kernel style FDLIBM uses, including the
+magic-constant reduction in exp/sin/cos.
+
+Accuracy is a few ulps (faithful-ish), which is all the ablation needs:
+the paper notes that *without* wrapping Herbgrind also measures output
+accuracy slightly incorrectly — an artifact our reproduction shares by
+construction.
+
+Routines assume normal (non-subnormal) inputs, like the corpus produces.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.machine.builder import FunctionBuilder, Reg
+from repro.machine.isa import Function
+
+#: 1.5 * 2**52: adding and subtracting this rounds a small double to an
+#: integer — the constant the paper's Section 8.2 example exposes.
+MAGIC_ROUND = 6755399441055744.0
+
+_LN2_HI = 6.93147180369123816490e-01
+_LN2_LO = 1.90821492927058770002e-10
+_LOG2E = 1.4426950408889634
+_PIO2_HI = 1.5707963267341256e00
+_PIO2_MID = 6.0771005065061922e-11
+_PIO2_LO = 2.0222662487959506e-21
+_TWO_OVER_PI = 0.6366197723675814
+
+
+def _factorial_coeffs(terms: int) -> List[float]:
+    """[1/terms!, ..., 1/2!, 1/1!, 1/0!] for Horner evaluation of e^r."""
+    return [1.0 / math.factorial(k) for k in range(terms, -1, -1)]
+
+
+def _horner(fn: FunctionBuilder, x: Reg, coefficients: List[float]) -> Reg:
+    """Emit Horner evaluation; coefficients from highest degree down."""
+    acc = fn.const(coefficients[0])
+    for coefficient in coefficients[1:]:
+        scaled = fn.op("*", acc, x)
+        acc = fn.op("+", scaled, fn.const(coefficient))
+    return acc
+
+
+def _ret_if_nan(fn: FunctionBuilder, x: Reg) -> None:
+    """Return x when x is NaN (the 'x != x' idiom)."""
+    ok = fn.fresh_label("notnan")
+    fn.branch("eq", x, x, ok)
+    fn.ret(x)
+    fn.label(ok)
+
+
+# ----------------------------------------------------------------------
+# exp and friends
+# ----------------------------------------------------------------------
+
+def _build_exp() -> Function:
+    fn = FunctionBuilder("exp", params=("x",))
+    fn.at("libm/e_exp.c")
+    x = "x"
+    _ret_if_nan(fn, x)
+    # Range checks.
+    overflow = fn.fresh_label("overflow")
+    underflow = fn.fresh_label("underflow")
+    fn.branch("gt", x, fn.const(709.782712893384), overflow)
+    fn.branch("lt", x, fn.const(-745.2), underflow)
+    # n = round(x * log2(e)) via the magic-constant trick.
+    magic = fn.const(MAGIC_ROUND)
+    z = fn.op("*", x, fn.const(_LOG2E))
+    shifted = fn.op("+", z, magic)
+    n_float = fn.op("-", shifted, magic)
+    # r = x - n*ln2 in two pieces (compensated reduction).
+    r_high = fn.op("-", x, fn.op("*", n_float, fn.const(_LN2_HI)))
+    r = fn.op("-", r_high, fn.op("*", n_float, fn.const(_LN2_LO)))
+    # Polynomial kernel: e^r as a degree-13 Taylor Horner form.
+    poly = _horner(fn, r, _factorial_coeffs(13))
+    # Scale by 2^n: build the exponent bits directly.
+    n_int = fn.float_to_int(n_float)
+    biased = fn.int_op("iadd", n_int, fn.const_int(1023))
+    bits = fn.int_op("ishl", biased, fn.const_int(52))
+    scale = fn.bitcast_to_float(bits)
+    fn.ret(fn.op("*", poly, scale))
+    fn.label(overflow)
+    fn.ret(fn.const(math.inf))
+    fn.label(underflow)
+    fn.ret(fn.const(0.0))
+    return fn.build()
+
+
+def _build_exp2() -> Function:
+    fn = FunctionBuilder("exp2", params=("x",))
+    fn.at("libm/e_exp2.c")
+    scaled = fn.op("*", "x", fn.const(math.log(2.0)))
+    fn.ret(fn.call("exp", scaled))
+    return fn.build()
+
+
+def _build_expm1() -> Function:
+    # Deliberately the naive composition: exp(x) - 1.  With wrapping
+    # off, Herbgrind sees exp's magic-constant internals — the paper's
+    # Section 8.2 example expression.
+    fn = FunctionBuilder("expm1", params=("x",))
+    fn.at("libm/s_expm1.c")
+    grown = fn.call("exp", "x")
+    fn.ret(fn.op("-", grown, fn.const(1.0)))
+    return fn.build()
+
+
+# ----------------------------------------------------------------------
+# log and friends
+# ----------------------------------------------------------------------
+
+def _build_log() -> Function:
+    fn = FunctionBuilder("log", params=("x",))
+    fn.at("libm/e_log.c")
+    x = "x"
+    _ret_if_nan(fn, x)
+    pole = fn.fresh_label("pole")
+    domain = fn.fresh_label("domain")
+    zero = fn.const(0.0)
+    fn.branch("eq", x, zero, pole)
+    fn.branch("lt", x, zero, domain)
+    # Split exponent and mantissa via bit surgery.
+    bits = fn.bitcast_to_int(x)
+    raw_exponent = fn.int_op("ishr", bits, fn.const_int(52))
+    exponent = fn.int_op("isub", raw_exponent, fn.const_int(1023))
+    man_bits = fn.int_op("iand", bits, fn.const_int((1 << 52) - 1))
+    one_bits = fn.int_op("ior", man_bits, fn.const_int(0x3FF0000000000000))
+    mantissa = fn.bitcast_to_float(one_bits)  # in [1, 2)
+    # Fold m > sqrt(2) down a binade to center the series argument.
+    m_cell = fn.mov(mantissa)
+    e_cell_f = fn.int_to_float(exponent)
+    e_cell = fn.mov(e_cell_f)
+    no_fold = fn.fresh_label("nofold")
+    fn.branch("le", m_cell, fn.const(math.sqrt(2.0)), no_fold)
+    fn.mov_to(m_cell, fn.op("*", m_cell, fn.const(0.5)))
+    fn.mov_to(e_cell, fn.op("+", e_cell, fn.const(1.0)))
+    fn.label(no_fold)
+    one = fn.const(1.0)
+    t = fn.op("/", fn.op("-", m_cell, one), fn.op("+", m_cell, one))
+    t_squared = fn.op("*", t, t)
+    # ln(m) = 2t * (1 + t^2/3 + t^4/5 + ...): 11 odd-reciprocal terms.
+    coefficients = [1.0 / (2 * k + 1) for k in range(11, -1, -1)]
+    series = _horner(fn, t_squared, coefficients)
+    ln_mantissa = fn.op("*", fn.op("*", fn.const(2.0), t), series)
+    high = fn.op("*", e_cell, fn.const(_LN2_HI))
+    low = fn.op("*", e_cell, fn.const(_LN2_LO))
+    fn.ret(fn.op("+", fn.op("+", high, ln_mantissa), low))
+    fn.label(pole)
+    fn.ret(fn.const(-math.inf))
+    fn.label(domain)
+    fn.ret(fn.const(math.nan))
+    return fn.build()
+
+
+def _build_log1p() -> Function:
+    fn = FunctionBuilder("log1p", params=("x",))
+    fn.at("libm/s_log1p.c")
+    grown = fn.op("+", fn.const(1.0), "x")
+    fn.ret(fn.call("log", grown))
+    return fn.build()
+
+
+def _build_log2() -> Function:
+    fn = FunctionBuilder("log2", params=("x",))
+    fn.at("libm/e_log2.c")
+    natural = fn.call("log", "x")
+    fn.ret(fn.op("*", natural, fn.const(_LOG2E)))
+    return fn.build()
+
+
+def _build_log10() -> Function:
+    fn = FunctionBuilder("log10", params=("x",))
+    fn.at("libm/e_log10.c")
+    natural = fn.call("log", "x")
+    fn.ret(fn.op("*", natural, fn.const(0.4342944819032518)))
+    return fn.build()
+
+
+# ----------------------------------------------------------------------
+# sin / cos / tan
+# ----------------------------------------------------------------------
+
+def _build_sin_kernel() -> Function:
+    """sin(r) for |r| <= pi/4, as r * P(r^2)."""
+    fn = FunctionBuilder("__sin_kernel", params=("r",))
+    fn.at("libm/k_sin.c")
+    r_squared = fn.op("*", "r", "r")
+    coefficients = [
+        (-1.0) ** k / math.factorial(2 * k + 1) for k in range(8, -1, -1)
+    ]
+    series = _horner(fn, r_squared, coefficients)
+    fn.ret(fn.op("*", "r", series))
+    return fn.build()
+
+
+def _build_cos_kernel() -> Function:
+    """cos(r) for |r| <= pi/4, as P(r^2)."""
+    fn = FunctionBuilder("__cos_kernel", params=("r",))
+    fn.at("libm/k_cos.c")
+    r_squared = fn.op("*", "r", "r")
+    coefficients = [
+        (-1.0) ** k / math.factorial(2 * k) for k in range(8, -1, -1)
+    ]
+    fn.ret(_horner(fn, r_squared, coefficients))
+    return fn.build()
+
+
+def _emit_pio2_reduction(fn: FunctionBuilder, x: Reg):
+    """Emit n = round(x/(pi/2)) and the compensated remainder r."""
+    magic = fn.const(MAGIC_ROUND)
+    z = fn.op("*", x, fn.const(_TWO_OVER_PI))
+    shifted = fn.op("+", z, magic)
+    n_float = fn.op("-", shifted, magic)
+    r = fn.op("-", x, fn.op("*", n_float, fn.const(_PIO2_HI)))
+    r = fn.op("-", r, fn.op("*", n_float, fn.const(_PIO2_MID)))
+    r = fn.op("-", r, fn.op("*", n_float, fn.const(_PIO2_LO)))
+    quadrant = fn.int_op(
+        "iand", fn.float_to_int(n_float), fn.const_int(3)
+    )
+    return quadrant, r
+
+
+def _build_sin() -> Function:
+    fn = FunctionBuilder("sin", params=("x",))
+    fn.at("libm/s_sin.c")
+    _ret_if_nan(fn, "x")
+    quadrant, r = _emit_pio2_reduction(fn, "x")
+    q1 = fn.fresh_label("q1")
+    q2 = fn.fresh_label("q2")
+    q3 = fn.fresh_label("q3")
+    fn.int_branch("eq", quadrant, fn.const_int(1), q1)
+    fn.int_branch("eq", quadrant, fn.const_int(2), q2)
+    fn.int_branch("eq", quadrant, fn.const_int(3), q3)
+    fn.ret(fn.call("__sin_kernel", r))
+    fn.label(q1)
+    fn.ret(fn.call("__cos_kernel", r))
+    fn.label(q2)
+    fn.ret(fn.bit_negate(fn.call("__sin_kernel", r)))
+    fn.label(q3)
+    fn.ret(fn.bit_negate(fn.call("__cos_kernel", r)))
+    return fn.build()
+
+
+def _build_cos() -> Function:
+    fn = FunctionBuilder("cos", params=("x",))
+    fn.at("libm/s_cos.c")
+    _ret_if_nan(fn, "x")
+    quadrant, r = _emit_pio2_reduction(fn, "x")
+    q1 = fn.fresh_label("q1")
+    q2 = fn.fresh_label("q2")
+    q3 = fn.fresh_label("q3")
+    fn.int_branch("eq", quadrant, fn.const_int(1), q1)
+    fn.int_branch("eq", quadrant, fn.const_int(2), q2)
+    fn.int_branch("eq", quadrant, fn.const_int(3), q3)
+    fn.ret(fn.call("__cos_kernel", r))
+    fn.label(q1)
+    fn.ret(fn.bit_negate(fn.call("__sin_kernel", r)))
+    fn.label(q2)
+    fn.ret(fn.bit_negate(fn.call("__cos_kernel", r)))
+    fn.label(q3)
+    fn.ret(fn.call("__sin_kernel", r))
+    return fn.build()
+
+
+def _build_tan() -> Function:
+    fn = FunctionBuilder("tan", params=("x",))
+    fn.at("libm/s_tan.c")
+    sin_value = fn.call("sin", "x")
+    cos_value = fn.call("cos", "x")
+    fn.ret(fn.op("/", sin_value, cos_value))
+    return fn.build()
+
+
+# ----------------------------------------------------------------------
+# atan / atan2 / asin / acos
+# ----------------------------------------------------------------------
+
+def _build_atan_kernel() -> Function:
+    """atan(t) for t in [0, 1], by double argument-halving + series."""
+    fn = FunctionBuilder("__atan_kernel", params=("t",))
+    fn.at("libm/k_atan.c")
+    one = fn.const(1.0)
+    current = fn.mov("t")
+    for __ in range(2):
+        squared = fn.op("*", current, current)
+        root = fn.op("sqrt", fn.op("+", one, squared))
+        current = fn.op("/", current, fn.op("+", one, root))
+    t_squared = fn.op("*", current, current)
+    coefficients = [(-1.0) ** k / (2 * k + 1) for k in range(12, -1, -1)]
+    series = _horner(fn, t_squared, coefficients)
+    quarter = fn.op("*", current, series)
+    fn.ret(fn.op("*", fn.const(4.0), quarter))
+    return fn.build()
+
+
+def _build_atan() -> Function:
+    fn = FunctionBuilder("atan", params=("x",))
+    fn.at("libm/s_atan.c")
+    x = "x"
+    _ret_if_nan(fn, x)
+    magnitude = fn.bit_fabs(x)
+    big = fn.fresh_label("big")
+    fn.branch("gt", magnitude, fn.const(1.0), big)
+    inner = fn.call("__atan_kernel", magnitude)
+    fn.ret(fn.op("copysign", inner, x))
+    fn.label(big)
+    reciprocal = fn.op("/", fn.const(1.0), magnitude)
+    folded = fn.op("-", fn.const(math.pi / 2), fn.call("__atan_kernel", reciprocal))
+    fn.ret(fn.op("copysign", folded, x))
+    return fn.build()
+
+
+def _build_atan2() -> Function:
+    fn = FunctionBuilder("atan2", params=("y", "x"))
+    fn.at("libm/e_atan2.c")
+    x, y = "x", "y"
+    _ret_if_nan(fn, x)
+    _ret_if_nan(fn, y)
+    zero = fn.const(0.0)
+    x_nonpos = fn.fresh_label("xnonpos")
+    fn.branch("le", x, zero, x_nonpos)
+    # x > 0: plain atan of the ratio.
+    fn.ret(fn.call("atan", fn.op("/", y, x)))
+    fn.label(x_nonpos)
+    x_zero = fn.fresh_label("xzero")
+    fn.branch("eq", x, zero, x_zero)
+    # x < 0: pi - atan(|y/x|), signed like y.
+    ratio = fn.bit_fabs(fn.op("/", y, x))
+    base = fn.op("-", fn.const(math.pi), fn.call("atan", ratio))
+    fn.ret(fn.op("copysign", base, y))
+    fn.label(x_zero)
+    y_zero = fn.fresh_label("yzero")
+    fn.branch("eq", y, zero, y_zero)
+    fn.ret(fn.op("copysign", fn.const(math.pi / 2), y))
+    fn.label(y_zero)
+    # Both zero: result depends on the sign *bit* of x.
+    bits = fn.bitcast_to_int(x)
+    sign = fn.int_op("ishr", bits, fn.const_int(63))
+    neg_x = fn.fresh_label("negzero")
+    fn.int_branch("ne", sign, fn.const_int(0), neg_x)
+    fn.ret(fn.op("copysign", zero, y))
+    fn.label(neg_x)
+    fn.ret(fn.op("copysign", fn.const(math.pi), y))
+    return fn.build()
+
+
+def _build_asin() -> Function:
+    fn = FunctionBuilder("asin", params=("x",))
+    fn.at("libm/e_asin.c")
+    one = fn.const(1.0)
+    # sqrt((1-x)(1+x)) goes NaN outside [-1, 1], which then propagates.
+    product = fn.op("*", fn.op("-", one, "x"), fn.op("+", one, "x"))
+    root = fn.op("sqrt", product)
+    fn.ret(fn.call("atan2", "x", root))
+    return fn.build()
+
+
+def _build_acos() -> Function:
+    fn = FunctionBuilder("acos", params=("x",))
+    fn.at("libm/e_acos.c")
+    one = fn.const(1.0)
+    product = fn.op("*", fn.op("-", one, "x"), fn.op("+", one, "x"))
+    root = fn.op("sqrt", product)
+    fn.ret(fn.call("atan2", root, "x"))
+    return fn.build()
+
+
+# ----------------------------------------------------------------------
+# pow, cbrt, hypot
+# ----------------------------------------------------------------------
+
+def _build_pow() -> Function:
+    fn = FunctionBuilder("pow", params=("x", "y"))
+    fn.at("libm/e_pow.c")
+    x, y = "x", "y"
+    zero = fn.const(0.0)
+    one = fn.const(1.0)
+    trivial = fn.fresh_label("one")
+    fn.branch("eq", y, zero, trivial)
+    fn.branch("eq", x, one, trivial)
+    x_zero = fn.fresh_label("xzero")
+    fn.branch("eq", x, zero, x_zero)
+    # General case (negative bases yield NaN via log, as documented).
+    fn.ret(fn.call("exp", fn.op("*", y, fn.call("log", x))))
+    fn.label(trivial)
+    fn.ret(one)
+    fn.label(x_zero)
+    y_negative = fn.fresh_label("yneg")
+    fn.branch("lt", y, zero, y_negative)
+    fn.ret(zero)
+    fn.label(y_negative)
+    fn.ret(fn.const(math.inf))
+    return fn.build()
+
+
+def _build_cbrt() -> Function:
+    fn = FunctionBuilder("cbrt", params=("x",))
+    fn.at("libm/s_cbrt.c")
+    zero_label = fn.fresh_label("zero")
+    zero = fn.const(0.0)
+    fn.branch("eq", "x", zero, zero_label)
+    magnitude = fn.bit_fabs("x")
+    third = fn.op("/", fn.call("log", magnitude), fn.const(3.0))
+    root = fn.call("exp", third)
+    fn.ret(fn.op("copysign", root, "x"))
+    fn.label(zero_label)
+    fn.ret("x")
+    return fn.build()
+
+
+def _build_hypot() -> Function:
+    fn = FunctionBuilder("hypot", params=("x", "y"))
+    fn.at("libm/e_hypot.c")
+    squares = fn.op("+", fn.op("*", "x", "x"), fn.op("*", "y", "y"))
+    fn.ret(fn.op("sqrt", squares))
+    return fn.build()
+
+
+# ----------------------------------------------------------------------
+# Hyperbolics
+# ----------------------------------------------------------------------
+
+def _build_sinh() -> Function:
+    fn = FunctionBuilder("sinh", params=("x",))
+    fn.at("libm/e_sinh.c")
+    grown = fn.call("exp", "x")
+    shrunk = fn.op("/", fn.const(1.0), grown)
+    fn.ret(fn.op("*", fn.op("-", grown, shrunk), fn.const(0.5)))
+    return fn.build()
+
+
+def _build_cosh() -> Function:
+    fn = FunctionBuilder("cosh", params=("x",))
+    fn.at("libm/e_cosh.c")
+    grown = fn.call("exp", "x")
+    shrunk = fn.op("/", fn.const(1.0), grown)
+    fn.ret(fn.op("*", fn.op("+", grown, shrunk), fn.const(0.5)))
+    return fn.build()
+
+
+def _build_tanh() -> Function:
+    fn = FunctionBuilder("tanh", params=("x",))
+    fn.at("libm/s_tanh.c")
+    doubled = fn.op("*", "x", fn.const(2.0))
+    grown = fn.call("exp", doubled)
+    one = fn.const(1.0)
+    fn.ret(fn.op("/", fn.op("-", grown, one), fn.op("+", grown, one)))
+    return fn.build()
+
+
+def _build_asinh() -> Function:
+    fn = FunctionBuilder("asinh", params=("x",))
+    fn.at("libm/s_asinh.c")
+    squared = fn.op("*", "x", "x")
+    root = fn.op("sqrt", fn.op("+", squared, fn.const(1.0)))
+    fn.ret(fn.call("log", fn.op("+", "x", root)))
+    return fn.build()
+
+
+def _build_acosh() -> Function:
+    fn = FunctionBuilder("acosh", params=("x",))
+    fn.at("libm/e_acosh.c")
+    squared = fn.op("*", "x", "x")
+    root = fn.op("sqrt", fn.op("-", squared, fn.const(1.0)))
+    fn.ret(fn.call("log", fn.op("+", "x", root)))
+    return fn.build()
+
+
+def _build_atanh() -> Function:
+    fn = FunctionBuilder("atanh", params=("x",))
+    fn.at("libm/e_atanh.c")
+    one = fn.const(1.0)
+    ratio = fn.op("/", fn.op("+", one, "x"), fn.op("-", one, "x"))
+    fn.ret(fn.op("*", fn.const(0.5), fn.call("log", ratio)))
+    return fn.build()
+
+
+# ----------------------------------------------------------------------
+# Remainders
+# ----------------------------------------------------------------------
+
+def _build_fmod() -> Function:
+    fn = FunctionBuilder("fmod", params=("x", "y"))
+    fn.at("libm/e_fmod.c")
+    quotient = fn.op("trunc", fn.op("/", "x", "y"))
+    fn.ret(fn.op("-", "x", fn.op("*", quotient, "y")))
+    return fn.build()
+
+
+def _build_remainder() -> Function:
+    fn = FunctionBuilder("remainder", params=("x", "y"))
+    fn.at("libm/s_remainder.c")
+    quotient = fn.op("nearbyint", fn.op("/", "x", "y"))
+    fn.ret(fn.op("-", "x", fn.op("*", quotient, "y")))
+    return fn.build()
+
+
+_BUILDERS = [
+    _build_exp, _build_exp2, _build_expm1,
+    _build_log, _build_log1p, _build_log2, _build_log10,
+    _build_sin_kernel, _build_cos_kernel, _build_sin, _build_cos, _build_tan,
+    _build_atan_kernel, _build_atan, _build_atan2, _build_asin, _build_acos,
+    _build_pow, _build_cbrt, _build_hypot,
+    _build_sinh, _build_cosh, _build_tanh,
+    _build_asinh, _build_acosh, _build_atanh,
+    _build_fmod, _build_remainder,
+]
+
+_cache: Dict[str, Function] = {}
+
+
+def build_libm() -> Dict[str, Function]:
+    """Build (once) and return the software libm as {name: Function}."""
+    if not _cache:
+        for build in _BUILDERS:
+            function = build()
+            _cache[function.name] = function
+    return dict(_cache)

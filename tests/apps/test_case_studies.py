@@ -1,0 +1,236 @@
+"""Integration tests for the paper's case studies (Sections 3, 7, 8.3)."""
+
+import math
+import random
+
+import pytest
+
+from repro.apps.dihedral import (
+    generic_configuration,
+    near_flat_configuration,
+    reference_angle,
+    run_dihedral,
+)
+from repro.apps.gramschmidt import (
+    INIT_POLYBENCH_3_2_1,
+    INIT_POLYBENCH_4_2_0,
+    run_gramschmidt,
+)
+from repro.apps.pid import run_pid, sweep_bounds
+from repro.apps.plotter import PAPER_REGION, render_pgm, run_plotter
+from repro.apps.triangle import run_triangle_study
+from repro.core import AnalysisConfig
+from repro.fpcore.printer import format_expr
+
+FAST = AnalysisConfig(shadow_precision=192, max_expression_depth=4)
+
+
+class TestPlotter:
+    @pytest.fixture(scope="class")
+    def naive(self):
+        return run_plotter(width=16, height=12, config=FAST)
+
+    @pytest.fixture(scope="class")
+    def fixed(self):
+        return run_plotter(width=16, height=12, fixed=True, config=FAST)
+
+    def test_naive_has_incorrect_pixels(self, naive):
+        assert naive.incorrect_pixels > 0
+        assert naive.incorrect_pixels < naive.total_pixels
+
+    def test_fix_reduces_errors(self, naive, fixed):
+        assert fixed.incorrect_pixels < naive.incorrect_pixels
+
+    def test_csqrt_fragment_extracted(self, naive):
+        """The paper's headline extraction: sqrt(x*x + y*y) - x with the
+        same variable inside the sqrt and as subtrahend."""
+        causes = naive.analysis.reported_root_causes()
+        rendered = [format_expr(c.symbolic_expression) for c in causes]
+        fragment = [
+            text for text in rendered
+            if text.startswith("(- (sqrt (+ (* ") and text.count("sqrt") == 1
+        ]
+        assert fragment, rendered
+        # shared variable: last token equals the squared variable
+        text = fragment[0]
+        inner_var = text.split("(* ")[1].split(" ")[0]
+        assert text.rstrip(")").split()[-1] == inner_var
+
+    def test_fragment_reported_at_csqrt_line(self, naive):
+        causes = naive.analysis.reported_root_causes()
+        assert any(c.loc and c.loc.startswith("csqrt.cpp") for c in causes)
+
+    def test_problematic_inputs_have_tiny_y(self, naive):
+        """The :pre of the fragment shows the y variable confined to a
+        tiny band, like the paper's (<= -2.6e-9 y 2.6e-9)."""
+        causes = [
+            c for c in naive.analysis.reported_root_causes()
+            if c.loc and c.loc.startswith("csqrt.cpp:10")
+        ]
+        assert causes
+        record = causes[0]
+        ranges = record.problematic_inputs.by_variable
+        assert ranges  # some problematic inputs characterized
+
+    def test_values_are_angles(self, naive):
+        for value in naive.values:
+            assert math.isnan(value) or -math.pi <= value <= math.pi
+
+    def test_render_pgm(self, naive, tmp_path):
+        path = tmp_path / "plot.pgm"
+        render_pgm(naive, str(path))
+        content = path.read_text()
+        assert content.startswith("P2\n16 12\n255\n")
+        rows = content.strip().split("\n")[3:]
+        assert len(rows) == 12
+
+
+class TestGramSchmidt:
+    @pytest.fixture(scope="class")
+    def buggy(self):
+        return run_gramschmidt(rows=6, cols=4, config=FAST)
+
+    def test_zero_column_floods_nans(self, buggy):
+        assert buggy.nan_outputs > 0
+
+    def test_nan_reported_as_max_error(self, buggy):
+        # "Herbgrind reports the resulting NaN value as having maximal
+        # error" — 64 bits.
+        spots = buggy.analysis.erroneous_spots()
+        assert spots and max(s.max_error for s in spots) == 64.0
+
+    def test_division_flagged_with_zero_inputs(self, buggy):
+        """The root cause: Q[i][k] = A[i][k] / R[k][k] invoked on the
+        zero vector (an invalid input, like the paper's finding)."""
+        divisions = [
+            r for r in buggy.analysis.reported_root_causes()
+            if r.op == "/" and r.loc == "gramschmidt.c:17"
+        ]
+        assert divisions
+        example = divisions[0].example_problematic
+        assert example is not None
+        assert 0.0 in example.values()
+
+    def test_fixed_initializer_is_clean(self):
+        fixed = run_gramschmidt(
+            rows=6, cols=4, initializer=INIT_POLYBENCH_4_2_0, config=FAST
+        )
+        assert fixed.nan_outputs == 0
+        assert fixed.analysis.erroneous_spots() == []
+
+    def test_output_counts(self, buggy):
+        # Q is rows x cols; R upper-triangular cols x cols.
+        expected = 6 * 4 + 4 * 5 // 2
+        assert len(buggy.outputs) == expected
+
+
+class TestPid:
+    def test_bound_10_runs_51_iterations(self):
+        """The paper's headline number: t < 10.0 with t += 0.2 executes
+        51 times, because the 50-step sum is ~3.5e-15 below 10."""
+        result = run_pid(10.0, analyse=False)
+        assert result.iterations == 51
+        assert result.expected_iterations == 50
+
+    def test_divergence_detected_and_attributed(self):
+        result = run_pid(10.0)
+        assert result.branch_divergences == 1
+        causes = result.analysis.reported_root_causes()
+        assert causes
+        # the increment is the root cause: (+ t 0.2) at pid.c:26
+        increments = [
+            c for c in causes if c.loc == "pid.c:26"
+            and format_expr(c.symbolic_expression).endswith("0.2)")
+        ]
+        assert increments
+
+    def test_fixed_loop_runs_exactly(self):
+        result = run_pid(10.0, fixed=True)
+        assert result.iterations == 50
+        assert result.branch_divergences == 0
+
+    def test_non_uniformity_across_bounds(self):
+        """Only some loop bounds overrun (the paper experimented with
+        several) — error is non-uniform."""
+        results = sweep_bounds([2.0, 4.0, 6.0, 8.0, 10.0])
+        extras = [r.extra_iterations for r in results]
+        assert any(e == 1 for e in extras)
+        assert any(e == 0 for e in extras)
+        for result in results:
+            assert result.branch_divergences == (1 if result.extra_iterations else 0)
+
+
+class TestDihedral:
+    @pytest.fixture(scope="class")
+    def configurations(self):
+        rng = random.Random(1)
+        flats = [near_flat_configuration(rng) for __ in range(5)]
+        generics = [generic_configuration(rng) for __ in range(5)]
+        return flats, generics
+
+    def test_flat_angles_erroneous_in_naive(self, configurations):
+        flats, generics = configurations
+        result = run_dihedral(flats + generics, config=FAST)
+        assert result.erroneous_angles >= len(flats) - 1
+
+    def test_fixed_formula_clean(self, configurations):
+        flats, generics = configurations
+        result = run_dihedral(flats + generics, fixed=True, config=FAST)
+        assert result.erroneous_angles == 0
+
+    def test_fixed_matches_reference(self, configurations):
+        flats, __ = configurations
+        result = run_dihedral(flats, fixed=True, config=FAST)
+        for configuration, angle in zip(flats, result.angles):
+            assert angle == pytest.approx(reference_angle(configuration), abs=1e-9)
+
+    def test_acos_flagged_in_naive(self, configurations):
+        flats, generics = configurations
+        result = run_dihedral(flats + generics, config=FAST)
+        causes = result.analysis.reported_root_causes()
+        assert any(c.op == "acos" or c.op == "/" for c in causes)
+
+    def test_expression_crosses_boundaries(self, configurations):
+        """The extracted expression gathers the determinant slivers that
+        came through the heap (paper: 'gathered together the slivers of
+        computation')."""
+        flats, __ = configurations
+        result = run_dihedral(flats, config=FAST)
+        causes = result.analysis.reported_root_causes()
+        assert causes
+        deepest = max(
+            len(format_expr(c.symbolic_expression)) for c in causes
+        )
+        assert deepest > 40  # spans the cross/dot pipeline, not one op
+
+
+class TestTriangle:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_triangle_study(num_generic=8, num_degenerate=8, config=FAST)
+
+    def test_compensations_detected(self, study):
+        assert study.compensations_detected > 50
+        assert study.compensating_sites >= 10
+
+    def test_control_flow_misses_exist(self, study):
+        """The tail == 0 early-exit branches go the 'wrong way' under
+        real-number execution — the paper's 14 undetectable cases."""
+        assert study.control_flow_misses > 0
+
+    def test_adaptive_results_exact_for_degenerate(self, study):
+        # orient2d's exact stage must agree in sign with the true
+        # determinant; for our generated degenerates that is tiny or 0.
+        for value in study.outputs:
+            assert not math.isnan(value)
+
+    def test_detection_reduces_candidate_influence(self):
+        with_detection = run_triangle_study(
+            num_generic=4, num_degenerate=4, config=FAST
+        )
+        without = run_triangle_study(
+            num_generic=4, num_degenerate=4, config=FAST,
+            detect_compensation=False,
+        )
+        assert without.compensations_detected == 0
+        assert with_detection.compensations_detected > 0

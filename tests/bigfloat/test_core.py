@@ -1,0 +1,265 @@
+"""Tests for BigFloat construction, rounding, comparison and conversion.
+
+The strongest oracle here is Python itself: ``float(Fraction)`` is
+correctly rounded, so conversions can be checked bit-exactly, and
+double-precision arithmetic checks our exact-then-round pipeline at
+precision 53 against the hardware.
+"""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bigfloat import (
+    BigFloat,
+    Context,
+    DOUBLE_CONTEXT,
+    ONE,
+    ROUND_DOWN,
+    ROUND_NEAREST_EVEN,
+    ROUND_TOWARD_ZERO,
+    ROUND_UP,
+    getcontext,
+    local_context,
+)
+from repro.bigfloat.rounding import round_mantissa
+
+finite_doubles = st.floats(allow_nan=False, allow_infinity=False)
+any_doubles = st.floats(allow_nan=True, allow_infinity=True)
+
+
+class TestRoundMantissa:
+    def test_exact_passthrough(self):
+        assert round_mantissa(0, 0b101, 0, 10) == (0b101, 0, False)
+
+    def test_nearest_even_up(self):
+        # 0b1011 to 3 bits: remainder is exactly half, kept ends in 1 -> up.
+        man, exp, inexact = round_mantissa(0, 0b1011, 0, 3)
+        assert (man, exp, inexact) == (0b110, 1, True)
+
+    def test_nearest_even_down(self):
+        # 0b1001 to 3 bits: tie, kept 0b100 is even -> stays.
+        man, exp, inexact = round_mantissa(0, 0b1001, 0, 3)
+        assert (man, exp, inexact) == (0b100, 1, True)
+
+    def test_carry_renormalizes(self):
+        # 0b1111 to 3 bits rounds up to 0b10000 >> 1.
+        man, exp, inexact = round_mantissa(0, 0b1111, 0, 3)
+        assert (man << exp) == 16
+        assert inexact
+
+    def test_directed_modes(self):
+        # 21 = 0b10101; the 3-bit lattice around it is {20, 24}.
+        value = 0b10101
+        up, up_exp, __ = round_mantissa(0, value, 0, 3, ROUND_UP)
+        down, down_exp, __ = round_mantissa(0, value, 0, 3, ROUND_DOWN)
+        zero, zero_exp, __ = round_mantissa(0, value, 0, 3, ROUND_TOWARD_ZERO)
+        assert up << up_exp == 24
+        assert down << down_exp == 20
+        assert zero << zero_exp == 20
+
+    def test_directed_modes_negative(self):
+        value = 0b10101
+        up, up_exp, __ = round_mantissa(1, value, 0, 3, ROUND_UP)
+        down, down_exp, __ = round_mantissa(1, value, 0, 3, ROUND_DOWN)
+        # Negative value: toward +inf truncates the magnitude.
+        assert up << up_exp == 20
+        assert down << down_exp == 24
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            round_mantissa(0, 0, 0, 5)
+        with pytest.raises(ValueError):
+            round_mantissa(0, 5, 0, 0)
+        with pytest.raises(ValueError):
+            # Needs a value that actually requires rounding to hit the
+            # mode dispatch.
+            round_mantissa(0, 0b10101, 0, 3, "bogus")
+
+
+class TestConstruction:
+    def test_canonical_mantissa_odd(self):
+        x = BigFloat(0, 12, 0)
+        assert x.man == 3 and x.exp == 2
+
+    def test_zero_canonical(self):
+        x = BigFloat(1, 0, 57)
+        assert x.is_zero() and x.exp == 0 and x.sign == 1
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            ONE.man = 2
+
+    def test_from_int(self):
+        assert BigFloat.from_int(-40).to_float() == -40.0
+        assert BigFloat.from_int(0).is_zero()
+
+    @given(any_doubles)
+    def test_from_float_roundtrip(self, x):
+        back = BigFloat.from_float(x).to_float()
+        if math.isnan(x):
+            assert math.isnan(back)
+        else:
+            assert back == x
+            assert math.copysign(1.0, back) == math.copysign(1.0, x)
+
+    @given(st.fractions())
+    def test_from_fraction_to_float_correctly_rounded(self, q):
+        converted = BigFloat.from_fraction(q, 300).to_float()
+        assert converted == float(q)
+
+    def test_from_fraction_subnormal(self):
+        q = Fraction(3, 2 ** 1076)
+        assert BigFloat.from_fraction(q, 200).to_float() == float(q)
+
+    def test_from_fraction_overflow(self):
+        q = Fraction(2) ** 1100
+        assert BigFloat.from_fraction(q, 100).to_float() == math.inf
+
+    def test_exact_coercion(self):
+        assert BigFloat.exact(3).to_float() == 3.0
+        assert BigFloat.exact(0.5).to_float() == 0.5
+        assert BigFloat.exact(ONE) is ONE
+        with pytest.raises(TypeError):
+            BigFloat.exact(True)
+        with pytest.raises(TypeError):
+            BigFloat.exact("1.0")
+
+
+class TestToFloat:
+    def test_tiny_rounds_to_zero(self):
+        x = BigFloat(0, 1, -1080)
+        assert x.to_float() == 0.0
+
+    def test_halfway_to_smallest_subnormal(self):
+        # Exactly 2^-1075 ties to even -> 0.
+        assert BigFloat(0, 1, -1075).to_float() == 0.0
+        # Slightly above goes to the smallest subnormal.
+        assert BigFloat(0, 3, -1076).to_float() == 2.0 ** -1074
+
+    def test_negative_underflow_keeps_sign(self):
+        result = BigFloat(1, 1, -1080).to_float()
+        assert result == 0.0 and math.copysign(1.0, result) == -1.0
+
+    def test_overflow(self):
+        assert BigFloat(0, 1, 1025).to_float() == math.inf
+        assert BigFloat(1, 1, 1025).to_float() == -math.inf
+
+    def test_subnormal_rounding_no_double_rounding(self):
+        # A value just above a subnormal midpoint must round up even
+        # though rounding to 53 bits first would hit the midpoint.
+        q = Fraction(2 ** 52 + 1, 2 ** 52) * Fraction(1, 2 ** 1074)
+        x = BigFloat.from_fraction(q, 300)
+        assert x.to_float() == float(q)
+
+    @given(st.integers(-5000, 5000), st.integers(1, 1 << 200))
+    @settings(max_examples=300)
+    def test_matches_fraction_conversion(self, exp, man):
+        x = BigFloat(0, man, exp)
+        try:
+            expected = float(Fraction(man) * Fraction(2) ** exp)
+        except OverflowError:
+            expected = math.inf
+        assert x.to_float() == expected
+
+    def test_to_single(self):
+        assert BigFloat.from_float(0.1).to_single() == struct_round_single(0.1)
+
+
+def struct_round_single(x):
+    import struct
+
+    return struct.unpack("<f", struct.pack("<f", x))[0]
+
+
+class TestComparison:
+    def test_zero_equality(self):
+        assert BigFloat.zero(0) == BigFloat.zero(1)
+
+    def test_nan_unordered(self):
+        nan = BigFloat.nan()
+        assert not nan == nan
+        assert nan != nan
+        assert not nan < ONE
+        assert not nan >= ONE
+
+    def test_inf_ordering(self):
+        assert BigFloat.inf(1) < BigFloat.from_int(-10 ** 100) < BigFloat.inf(0)
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(ONE)
+
+    def test_key_distinguishes_zero_signs(self):
+        assert BigFloat.zero(0).key() != BigFloat.zero(1).key()
+
+    @given(finite_doubles, finite_doubles)
+    def test_matches_float_ordering(self, x, y):
+        a, b = BigFloat.from_float(x), BigFloat.from_float(y)
+        assert (a < b) == (x < y)
+        assert (a == b) == (x == y)
+        assert (a >= b) == (x >= y)
+
+    @given(finite_doubles)
+    def test_neg_abs(self, x):
+        a = BigFloat.from_float(x)
+        assert a.neg().to_float() == -x
+        assert a.abs().to_float() == abs(x)
+
+    def test_copysign(self):
+        assert ONE.copysign(BigFloat.from_float(-3.0)).to_float() == -1.0
+        assert BigFloat.from_float(-2.0).copysign(ONE).to_float() == 2.0
+
+
+class TestContext:
+    def test_default_precision_is_paper_default(self):
+        assert getcontext().precision == 1000
+
+    def test_local_context_restores(self):
+        original = getcontext()
+        with local_context(Context(precision=100)):
+            assert getcontext().precision == 100
+        assert getcontext() is original
+
+    def test_local_context_restores_on_error(self):
+        original = getcontext()
+        with pytest.raises(RuntimeError):
+            with local_context(Context(precision=100)):
+                raise RuntimeError("boom")
+        assert getcontext() is original
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Context(precision=1)
+        with pytest.raises(ValueError):
+            Context(rounding="sideways")
+
+    def test_with_helpers(self):
+        ctx = Context(precision=64)
+        assert ctx.with_precision(128).precision == 128
+        assert ctx.with_rounding(ROUND_UP).rounding == ROUND_UP
+        assert ctx.widened(8).precision == 72
+
+    def test_double_context(self):
+        assert DOUBLE_CONTEXT.precision == 53
+        assert DOUBLE_CONTEXT.rounding == ROUND_NEAREST_EVEN
+
+
+class TestFraction:
+    @given(finite_doubles)
+    def test_to_fraction_exact(self, x):
+        assert BigFloat.from_float(x).to_fraction() == Fraction(x)
+
+    def test_specials_rejected(self):
+        with pytest.raises(ValueError):
+            BigFloat.nan().to_fraction()
+        with pytest.raises(ValueError):
+            BigFloat.inf(0).to_fraction()
+
+    def test_round_to(self):
+        x = BigFloat.from_fraction(Fraction(1, 3), 300)
+        y = x.round_to(53)
+        assert y.to_float() == 1.0 / 3.0

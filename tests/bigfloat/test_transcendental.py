@@ -1,0 +1,402 @@
+"""Differential tests for the transcendental kernels.
+
+Two oracles:
+
+* Python's libm at double precision — our results rounded to double must
+  land within 1 ulp of libm (libm itself is only faithful, so bit-exact
+  agreement is not required), except where we are provably more accurate.
+* mpmath at high precision — relative agreement to within a few ulps of
+  the target precision.
+"""
+
+import math
+
+import mpmath
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bigfloat import BigFloat, Context, ONE, apply, apply_double
+from repro.bigfloat import constants, transcendental
+from repro.ieee import ulps_between
+
+CTX = Context(precision=160)
+HIGH = Context(precision=400)
+
+
+def bf(x: float) -> BigFloat:
+    return BigFloat.from_float(x)
+
+
+def close_to_libm(ours: float, libm: float, ulps: int = 1) -> bool:
+    if math.isnan(libm):
+        return math.isnan(ours)
+    if math.isinf(libm):
+        return ours == libm or abs(ours) > 1e308
+    if math.isinf(ours) or math.isnan(ours):
+        return False
+    return ulps_between(ours, libm) <= ulps
+
+
+def to_mpf(x: BigFloat):
+    if x.is_nan():
+        return mpmath.nan
+    if x.is_inf():
+        return -mpmath.inf if x.sign else mpmath.inf
+    sign = -1 if x.sign else 1
+    return mpmath.mpf(sign * x.man) * mpmath.mpf(2) ** x.exp
+
+
+def assert_matches_mpmath(name, mp_fun, args, precision=400, slack_bits=8):
+    ours = apply(name, [bf(a) for a in args], Context(precision=precision))
+    with mpmath.workprec(precision + 40):
+        expected = mp_fun(*[mpmath.mpf(a) for a in args])
+        if ours.is_finite() and not ours.is_zero():
+            error = abs(to_mpf(ours) - expected)
+            bound = abs(expected) * mpmath.mpf(2) ** -(precision - slack_bits)
+            assert error <= bound, f"{name}{args}: {ours} vs {expected}"
+        elif ours.is_zero():
+            assert expected == 0
+        elif ours.is_inf():
+            assert mpmath.isinf(expected) or abs(expected) > mpmath.mpf(2) ** 100000
+        else:
+            assert mpmath.isnan(expected)
+
+
+normal_args = st.floats(min_value=-700.0, max_value=700.0, allow_nan=False)
+positive_args = st.floats(min_value=1e-300, max_value=1e300, allow_nan=False)
+unit_args = st.floats(min_value=-1.0, max_value=1.0, allow_nan=False)
+wide_args = st.floats(min_value=-1e15, max_value=1e15, allow_nan=False)
+
+
+class TestConstants:
+    def test_pi_matches_mpmath(self):
+        ctx = Context(precision=600)
+        with mpmath.workprec(640):
+            error = abs(to_mpf(constants.pi(ctx)) - mpmath.pi)
+            assert error < mpmath.mpf(2) ** -590
+
+    def test_ln2_matches_mpmath(self):
+        ctx = Context(precision=600)
+        with mpmath.workprec(640):
+            error = abs(to_mpf(constants.ln2(ctx)) - mpmath.ln(2))
+            assert error < mpmath.mpf(2) ** -590
+
+    def test_e_matches_mpmath(self):
+        ctx = Context(precision=300)
+        with mpmath.workprec(340):
+            error = abs(to_mpf(constants.euler_e(ctx)) - mpmath.e)
+            assert error < mpmath.mpf(2) ** -290
+
+    def test_pi_over_2(self):
+        ctx = Context(precision=100)
+        assert constants.pi_over_2(ctx).to_float() == math.pi / 2
+
+
+class TestAgainstLibm:
+    """Double-rounded results agree with libm to <= 1 ulp."""
+
+    @given(normal_args)
+    @settings(max_examples=120)
+    def test_exp(self, x):
+        assert close_to_libm(apply("exp", [bf(x)], CTX).to_float(), math.exp(x))
+
+    @given(positive_args)
+    @settings(max_examples=120)
+    def test_log(self, x):
+        assert close_to_libm(apply("log", [bf(x)], CTX).to_float(), math.log(x))
+
+    @given(wide_args)
+    @settings(max_examples=120)
+    def test_sin(self, x):
+        assert close_to_libm(apply("sin", [bf(x)], CTX).to_float(), math.sin(x))
+
+    @given(wide_args)
+    @settings(max_examples=120)
+    def test_cos(self, x):
+        assert close_to_libm(apply("cos", [bf(x)], CTX).to_float(), math.cos(x))
+
+    @given(wide_args)
+    @settings(max_examples=100)
+    def test_tan(self, x):
+        assert close_to_libm(apply("tan", [bf(x)], CTX).to_float(), math.tan(x), ulps=2)
+
+    @given(st.floats(min_value=-1e12, max_value=1e12, allow_nan=False))
+    @settings(max_examples=120)
+    def test_atan(self, x):
+        assert close_to_libm(apply("atan", [bf(x)], CTX).to_float(), math.atan(x))
+
+    @given(unit_args)
+    @settings(max_examples=100)
+    def test_asin(self, x):
+        assert close_to_libm(apply("asin", [bf(x)], CTX).to_float(), math.asin(x))
+
+    @given(unit_args)
+    @settings(max_examples=100)
+    def test_acos(self, x):
+        assert close_to_libm(apply("acos", [bf(x)], CTX).to_float(), math.acos(x))
+
+    @given(wide_args, wide_args)
+    @settings(max_examples=150)
+    def test_atan2(self, y, x):
+        ours = apply("atan2", [bf(y), bf(x)], CTX).to_float()
+        assert close_to_libm(ours, math.atan2(y, x))
+
+    @given(st.floats(min_value=-300, max_value=300, allow_nan=False))
+    @settings(max_examples=100)
+    def test_sinh(self, x):
+        assert close_to_libm(apply("sinh", [bf(x)], CTX).to_float(), math.sinh(x))
+
+    @given(st.floats(min_value=-300, max_value=300, allow_nan=False))
+    @settings(max_examples=100)
+    def test_cosh(self, x):
+        assert close_to_libm(apply("cosh", [bf(x)], CTX).to_float(), math.cosh(x))
+
+    @given(st.floats(min_value=-50, max_value=50, allow_nan=False))
+    @settings(max_examples=100)
+    def test_tanh(self, x):
+        assert close_to_libm(apply("tanh", [bf(x)], CTX).to_float(), math.tanh(x))
+
+    @given(st.floats(min_value=-1e8, max_value=1e8, allow_nan=False))
+    @settings(max_examples=100)
+    def test_expm1(self, x):
+        if x > 700:
+            return
+        assert close_to_libm(apply("expm1", [bf(x)], CTX).to_float(), math.expm1(x))
+
+    @given(st.floats(min_value=-0.999999, max_value=1e15, allow_nan=False))
+    @settings(max_examples=100)
+    def test_log1p(self, x):
+        assert close_to_libm(apply("log1p", [bf(x)], CTX).to_float(), math.log1p(x))
+
+    @given(positive_args)
+    @settings(max_examples=100)
+    def test_log2(self, x):
+        assert close_to_libm(apply("log2", [bf(x)], CTX).to_float(), math.log2(x))
+
+    @given(positive_args)
+    @settings(max_examples=100)
+    def test_log10(self, x):
+        assert close_to_libm(apply("log10", [bf(x)], CTX).to_float(), math.log10(x))
+
+    @given(wide_args)
+    @settings(max_examples=100)
+    def test_asinh(self, x):
+        assert close_to_libm(apply("asinh", [bf(x)], CTX).to_float(), math.asinh(x))
+
+    @given(st.floats(min_value=1.0, max_value=1e15, allow_nan=False))
+    @settings(max_examples=100)
+    def test_acosh(self, x):
+        assert close_to_libm(apply("acosh", [bf(x)], CTX).to_float(), math.acosh(x))
+
+    @given(st.floats(min_value=-0.999999, max_value=0.999999, allow_nan=False))
+    @settings(max_examples=100)
+    def test_atanh(self, x):
+        assert close_to_libm(apply("atanh", [bf(x)], CTX).to_float(), math.atanh(x))
+
+    @given(
+        st.floats(min_value=0.001, max_value=1000.0),
+        st.floats(min_value=-40.0, max_value=40.0),
+    )
+    @settings(max_examples=120)
+    def test_pow(self, x, y):
+        expected = math.pow(x, y)
+        if math.isinf(expected) or expected == 0.0:
+            return
+        assert close_to_libm(apply("pow", [bf(x), bf(y)], CTX).to_float(), expected)
+
+
+class TestSpecialValues:
+    def test_exp_specials(self):
+        assert apply("exp", [BigFloat.inf(1)], CTX).to_float() == 0.0
+        assert apply("exp", [BigFloat.inf(0)], CTX).to_float() == math.inf
+        assert apply("exp", [BigFloat.zero(0)], CTX) == ONE
+        assert apply("exp", [BigFloat.nan()], CTX).is_nan()
+
+    def test_exp_overflow_saturation(self):
+        huge = BigFloat(0, 1, 60)
+        assert apply("exp", [huge], CTX).to_float() == math.inf
+        assert apply("exp", [huge.neg()], CTX).to_float() == 0.0
+
+    def test_log_specials(self):
+        assert apply("log", [BigFloat.zero(0)], CTX).to_float() == -math.inf
+        assert apply("log", [BigFloat.zero(1)], CTX).to_float() == -math.inf
+        assert apply("log", [bf(-1.0)], CTX).is_nan()
+        assert apply("log", [BigFloat.inf(0)], CTX).to_float() == math.inf
+
+    def test_trig_of_inf_is_nan(self):
+        for name in ("sin", "cos", "tan"):
+            assert apply(name, [BigFloat.inf(0)], CTX).is_nan()
+
+    def test_atan_of_inf(self):
+        assert apply("atan", [BigFloat.inf(0)], CTX).to_float() == math.pi / 2
+        assert apply("atan", [BigFloat.inf(1)], CTX).to_float() == -math.pi / 2
+
+    def test_atan2_signed_zero_cases(self):
+        cases = [
+            (0.0, 1.0), (-0.0, 1.0), (0.0, -1.0), (-0.0, -1.0),
+            (0.0, 0.0), (-0.0, 0.0), (0.0, -0.0), (-0.0, -0.0),
+            (1.0, 0.0), (-1.0, 0.0), (1.0, -0.0), (-1.0, -0.0),
+        ]
+        for y, x in cases:
+            ours = apply("atan2", [bf(y), bf(x)], CTX).to_float()
+            expected = math.atan2(y, x)
+            assert close_to_libm(ours, expected), (y, x, ours, expected)
+            assert math.copysign(1.0, ours) == math.copysign(1.0, expected)
+
+    def test_atan2_infinity_cases(self):
+        for y in (math.inf, -math.inf, 1.0, -1.0):
+            for x in (math.inf, -math.inf, 1.0, -1.0):
+                ours = apply("atan2", [bf(y), bf(x)], CTX).to_float()
+                assert close_to_libm(ours, math.atan2(y, x)), (y, x)
+
+    def test_asin_domain(self):
+        assert apply("asin", [bf(1.5)], CTX).is_nan()
+        assert apply("asin", [bf(1.0)], CTX).to_float() == math.pi / 2
+
+    def test_acos_endpoints(self):
+        assert apply("acos", [bf(1.0)], CTX).to_float() == 0.0
+        assert apply("acos", [bf(-1.0)], CTX).to_float() == math.pi
+
+    def test_atanh_poles(self):
+        assert apply("atanh", [bf(1.0)], CTX).to_float() == math.inf
+        assert apply("atanh", [bf(-1.0)], CTX).to_float() == -math.inf
+        assert apply("atanh", [bf(2.0)], CTX).is_nan()
+
+    def test_acosh_domain(self):
+        assert apply("acosh", [bf(0.5)], CTX).is_nan()
+        assert apply("acosh", [bf(1.0)], CTX).to_float() == 0.0
+
+    def test_pow_special_table(self):
+        assert apply("pow", [BigFloat.nan(), BigFloat.zero(0)], CTX) == ONE
+        assert apply("pow", [ONE, BigFloat.nan()], CTX) == ONE
+        assert apply("pow", [bf(-2.0), bf(0.5)], CTX).is_nan()
+        assert apply("pow", [bf(-2.0), bf(3.0)], CTX).to_float() == -8.0
+        assert apply("pow", [bf(-2.0), bf(2.0)], CTX).to_float() == 4.0
+        assert apply("pow", [BigFloat.zero(1), bf(3.0)], CTX).to_float() == -0.0
+        assert apply("pow", [BigFloat.zero(0), bf(-2.0)], CTX).to_float() == math.inf
+        assert apply("pow", [bf(-1.0), BigFloat.inf(0)], CTX) == ONE
+        assert apply("pow", [bf(0.5), BigFloat.inf(0)], CTX).to_float() == 0.0
+        assert apply("pow", [bf(2.0), BigFloat.inf(1)], CTX).to_float() == 0.0
+
+    def test_tanh_saturates(self):
+        result = apply("tanh", [bf(2000.0)], Context(precision=64))
+        assert result == ONE
+
+    def test_tiny_arguments_return_argument(self):
+        tiny = BigFloat(0, 1, -800)
+        for name in ("sin", "tan", "asin", "atan", "sinh", "tanh", "expm1", "log1p"):
+            assert apply(name, [tiny], CTX) == tiny, name
+        assert apply("cos", [tiny], CTX) == ONE
+
+
+class TestHighPrecision:
+    """Spot checks at 400 bits against mpmath."""
+
+    CASES = [
+        ("exp", mpmath.exp, (0.5,)), ("exp", mpmath.exp, (-20.25,)),
+        ("exp", mpmath.exp, (123.456,)),
+        ("log", mpmath.log, (1.0000001,)), ("log", mpmath.log, (1e-30,)),
+        ("log", mpmath.log, (987654.321,)),
+        ("sin", mpmath.sin, (1.0,)), ("sin", mpmath.sin, (1e8,)),
+        ("cos", mpmath.cos, (2.5,)), ("cos", mpmath.cos, (-1e8,)),
+        ("tan", mpmath.tan, (0.3,)),
+        ("atan", mpmath.atan, (0.9,)), ("atan", mpmath.atan, (1e-30,)),
+        ("atan", mpmath.atan, (1e30,)),
+        ("asin", mpmath.asin, (0.99,)),
+        ("acos", mpmath.acos, (0.99,)),
+        ("atan2", mpmath.atan2, (1.5, -2.5)),
+        ("sinh", mpmath.sinh, (1e-5,)), ("sinh", mpmath.sinh, (10.0,)),
+        ("cosh", mpmath.cosh, (3.0,)),
+        ("tanh", mpmath.tanh, (0.1,)),
+        ("expm1", mpmath.expm1, (1e-40,)), ("expm1", mpmath.expm1, (2.0,)),
+        ("log1p", lambda x: mpmath.log(1 + x), (1e-40,)),
+        ("asinh", mpmath.asinh, (0.5,)),
+        ("acosh", mpmath.acosh, (1.5,)),
+        ("atanh", mpmath.atanh, (0.5,)),
+        ("pow", mpmath.power, (3.7, 11.3)),
+        ("log2", lambda x: mpmath.log(x, 2), (7.0,)),
+        ("log10", mpmath.log10, (7.0,)),
+        ("exp2", lambda x: mpmath.power(2, x), (0.7,)),
+        ("cbrt", mpmath.cbrt, (17.0,)),
+        ("hypot", mpmath.hypot, (3.5, -4.5)),
+    ]
+
+    @pytest.mark.parametrize("name,mp_fun,args", CASES)
+    def test_matches_mpmath(self, name, mp_fun, args):
+        assert_matches_mpmath(name, mp_fun, args)
+
+    def test_sin_near_pi_ziv_retry(self):
+        # The double closest to pi has a sin of about 1.22e-16; catching
+        # it needs the reduction to re-run wider (Ziv loop).
+        x = bf(math.pi)
+        ours = transcendental.sin(x, Context(precision=200))
+        with mpmath.workprec(260):
+            expected = mpmath.sin(mpmath.mpf(math.pi))
+            error = abs(to_mpf(ours) - expected)
+            assert error < abs(expected) * mpmath.mpf(2) ** -190
+
+    def test_pow_large_integer_exponent(self):
+        ours = apply("pow", [bf(1.0000000001), bf(1000000.0)], HIGH)
+        with mpmath.workprec(440):
+            expected = mpmath.power(mpmath.mpf(1.0000000001), 1000000)
+            error = abs(to_mpf(ours) - expected)
+            assert error < abs(expected) * mpmath.mpf(2) ** -390
+
+
+class TestApplyDouble:
+    """apply_double implements the hardware ⟦f⟧_F semantics."""
+
+    def test_div_by_zero(self):
+        assert apply_double("/", [1.0, 0.0]) == math.inf
+        assert apply_double("/", [-1.0, 0.0]) == -math.inf
+        assert apply_double("/", [1.0, -0.0]) == -math.inf
+        assert math.isnan(apply_double("/", [0.0, 0.0]))
+
+    def test_domain_errors_become_nan(self):
+        assert math.isnan(apply_double("sqrt", [-1.0]))
+        assert math.isnan(apply_double("log", [-1.0]))
+        assert math.isnan(apply_double("asin", [2.0]))
+
+    def test_log_zero_pole(self):
+        assert apply_double("log", [0.0]) == -math.inf
+        assert apply_double("log1p", [-1.0]) == -math.inf
+        assert apply_double("atanh", [1.0]) == math.inf
+
+    def test_overflow_becomes_inf(self):
+        assert apply_double("exp", [1000.0]) == math.inf
+
+    @given(st.floats(allow_nan=False, allow_infinity=False), st.floats(allow_nan=False, allow_infinity=False))
+    @settings(max_examples=100)
+    def test_basic_ops_match_hardware(self, x, y):
+        assert apply_double("+", [x, y]) == x + y or math.isnan(x + y)
+        assert apply_double("*", [x, y]) == x * y or math.isnan(x * y)
+
+    @given(st.floats(-1e100, 1e100), st.floats(-1e100, 1e100), st.floats(-1e100, 1e100))
+    @settings(max_examples=60)
+    def test_fma_is_single_rounded(self, x, y, z):
+        from fractions import Fraction
+
+        result = apply_double("fma", [x, y, z])
+        exact = Fraction(x) * Fraction(y) + Fraction(z)
+        if exact == 0:
+            assert result == 0.0
+        elif abs(exact) < Fraction(2) ** -1021 or abs(exact) > Fraction(2) ** 1020:
+            pass  # sub/overflow edges exercised elsewhere
+        else:
+            assert result == BigFloat.from_fraction(exact, 53).to_float()
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(KeyError):
+            apply_double("frobnicate", [1.0])
+        with pytest.raises(KeyError):
+            apply("frobnicate", [ONE], CTX)
+
+    def test_arity(self):
+        from repro.bigfloat import arity
+
+        assert arity("sin") == 1
+        assert arity("+") == 2
+        assert arity("fma") == 3
+        with pytest.raises(KeyError):
+            arity("nope")

@@ -1,0 +1,104 @@
+"""Tests for the FpDebug / Verrou / BZ comparison analyses."""
+
+import math
+
+from repro.comparisons import run_bz, run_fpdebug, run_verrou
+from repro.core import AnalysisConfig, analyze_program
+from repro.fpcore import parse_fpcore
+from repro.machine import compile_fpcore
+
+CANCEL = "(FPCore (x) (* (- (sqrt (+ x 1)) (sqrt x)) (sqrt x)))"
+CLEAN = "(FPCore (x) (* (+ x 1) 2))"
+BRANCHY = "(FPCore (x) (if (== (+ x 1) x) 1 0))"
+
+POINTS = [[10.0 ** k] for k in range(0, 14, 2)]
+
+
+class TestFpDebug:
+    def test_detects_errors(self):
+        analysis = run_fpdebug(compile_fpcore(parse_fpcore(CANCEL)), POINTS)
+        assert analysis.erroneous_operations()
+
+    def test_clean_program(self):
+        analysis = run_fpdebug(compile_fpcore(parse_fpcore(CLEAN)), POINTS)
+        assert analysis.erroneous_operations() == []
+
+    def test_blames_downstream_ops_too(self):
+        """FpDebug measures total error: the innocent multiply that
+        consumes the cancelled difference is also flagged — the false
+        positive Herbgrind's local error avoids (Table 1 'Local Error')."""
+        program = compile_fpcore(parse_fpcore(CANCEL))
+        fpdebug = run_fpdebug(program, POINTS)
+        flagged_ops = {record.op for record in fpdebug.erroneous_operations()}
+        assert "-" in flagged_ops
+        assert "*" in flagged_ops  # the innocent one
+        herbgrind, __ = analyze_program(
+            program, POINTS, config=AnalysisConfig(shadow_precision=192)
+        )
+        herbgrind_ops = {r.op for r in herbgrind.reported_root_causes()}
+        assert "*" not in herbgrind_ops
+
+    def test_reports_locations(self):
+        analysis = run_fpdebug(compile_fpcore(parse_fpcore(CANCEL)), POINTS)
+        assert all(r.loc for r in analysis.erroneous_operations())
+
+
+class TestVerrou:
+    def test_unstable_output_detected(self):
+        report = run_verrou(compile_fpcore(parse_fpcore(CANCEL)), [1e12], runs=8)
+        assert report.unstable_outputs() == [0]
+
+    def test_stable_output_not_flagged(self):
+        report = run_verrou(compile_fpcore(parse_fpcore(CLEAN)), [3.0], runs=8)
+        assert report.unstable_outputs() == []
+        assert report.significant_digits(0) > 10
+
+    def test_spread_zero_means_full_digits(self):
+        report = run_verrou(
+            compile_fpcore(parse_fpcore("(FPCore (x) (* x 2))")), [1.5], runs=4
+        )
+        assert report.significant_digits(0) == 17.0
+
+    def test_reference_matches_unperturbed(self):
+        program = compile_fpcore(parse_fpcore(CLEAN))
+        report = run_verrou(program, [3.0], runs=2)
+        assert report.reference == [8.0]
+
+
+class TestBZ:
+    def test_cancellation_detected(self):
+        analysis = run_bz(compile_fpcore(parse_fpcore(CANCEL)), POINTS)
+        assert analysis.cancellations > 0
+        kinds = {r.kind for r in analysis.reported_factors()}
+        assert "output" in kinds
+
+    def test_branch_factor(self):
+        analysis = run_bz(
+            compile_fpcore(parse_fpcore(BRANCHY)), [[1e16]]
+        )
+        # (x+1) == x at 1e16: the compare consumes a cancelled (x+1)-...
+        # no subtraction here, so taint only arises if a cancel occurs;
+        # use an explicitly cancelling program instead.
+        source = "(FPCore (x) (if (< (- (+ x 1) x) 0.5) 1 0))"
+        analysis = run_bz(compile_fpcore(parse_fpcore(source)), [[1e16]])
+        kinds = {r.kind for r in analysis.reported_factors()}
+        assert "branch" in kinds
+
+    def test_clean_program_no_reports(self):
+        analysis = run_bz(compile_fpcore(parse_fpcore(CLEAN)), POINTS)
+        assert analysis.reported_factors() == []
+        assert analysis.cancellations == 0
+
+    def test_false_positive_rate_documented_behaviour(self):
+        """Benign cancellation still trips BZ — its design accepts high
+        false-positive rates (>80-90% in their paper).  Subtracting two
+        nearby doubles is *exact* (Sterbenz), yet the exponent-drop
+        heuristic flags it and the report reaches the output factor."""
+        source = "(FPCore (x y) (- x y))"
+        analysis = run_bz(
+            compile_fpcore(parse_fpcore(source)),
+            [[1.0000001, 1.0]],
+            cancellation_bits=20,
+        )
+        assert analysis.cancellations > 0
+        assert analysis.reported_factors()  # reported despite exactness

@@ -1,0 +1,352 @@
+"""Integration tests of the Herbgrind analysis on machine programs."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    AnalysisConfig,
+    HerbgrindAnalysis,
+    SPOT_BRANCH,
+    SPOT_CONVERSION,
+    SPOT_OUTPUT,
+    analyze_fpcore,
+    analyze_program,
+    generate_report,
+)
+from repro.fpcore import parse_fpcore
+from repro.fpcore.printer import format_expr
+from repro.machine import FunctionBuilder, Interpreter, Program, build_libm
+
+FAST = AnalysisConfig(shadow_precision=192)
+
+
+def analyze_source(source, points, config=FAST, **kwargs):
+    return analyze_fpcore(parse_fpcore(source), points=points, config=config, **kwargs)
+
+
+class TestBasicDetection:
+    def test_accurate_program_is_clean(self):
+        analysis = analyze_source(
+            "(FPCore (x) (* (+ x 1) 2))", [[0.5], [2.0], [100.0]]
+        )
+        assert analysis.erroneous_spots() == []
+        assert analysis.candidate_records() == []
+
+    def test_catastrophic_cancellation_detected(self):
+        analysis = analyze_source(
+            "(FPCore (x) (- (+ x 1) x))", [[1e16], [3e16]]
+        )
+        spots = analysis.erroneous_spots()
+        assert len(spots) == 1
+        assert spots[0].kind == SPOT_OUTPUT
+        assert spots[0].max_error > 50
+        causes = analysis.reported_root_causes()
+        assert len(causes) >= 1
+        rendered = format_expr(causes[0].symbolic_expression)
+        assert rendered == "(- (+ x0 1) x0)"
+
+    def test_error_metric_on_output(self):
+        analysis = analyze_source("(FPCore (x) (- (+ x 1) x))", [[1e16]])
+        [spot] = analysis.erroneous_spots()
+        # computed 0 where the answer is 1: ~62-63 bits of error
+        assert 55 < spot.max_error <= 64
+
+    def test_nan_output_is_max_error(self):
+        # The Gram-Schmidt phenomenon: NaN reported as maximal error.
+        analysis = analyze_source("(FPCore (x) (/ (- x x) (- x x)))", [[3.0]])
+        [spot] = analysis.erroneous_spots()
+        assert spot.max_error == 64.0
+
+    def test_influences_only_when_flowing_to_spot(self):
+        # Local error exists but is multiplied by zero: spot sees no
+        # error, so nothing should be reported.
+        analysis = analyze_source(
+            "(FPCore (x) (* (- (+ x 1) x) 0))", [[1e16]]
+        )
+        assert analysis.erroneous_spots() == []
+        # the candidate exists, but is not *reported*
+        assert len(analysis.candidate_records()) >= 1
+        assert analysis.reported_root_causes() == []
+
+    def test_local_error_blames_the_right_op(self):
+        # In sqrt(x+1)-sqrt(x) at large x, the subtraction is the root
+        # cause; the sqrts are innocent.
+        analysis = analyze_source(
+            "(FPCore (x) (- (sqrt (+ x 1)) (sqrt x)))", [[1e13], [5e13]]
+        )
+        causes = analysis.reported_root_causes()
+        assert causes
+        assert causes[0].op == "-"
+
+
+class TestSpots:
+    def test_branch_divergence(self):
+        # if (x + 1 == x) { out 1 } else { out 0 }: at 1e16 the float
+        # path takes the "equal" branch, the real path would not.
+        analysis = analyze_source(
+            "(FPCore (x) (if (== (+ x 1) x) 1 0))", [[1e16]]
+        )
+        spots = analysis.erroneous_spots()
+        assert any(s.kind == SPOT_BRANCH for s in spots)
+
+    def test_branch_agreement_not_flagged(self):
+        analysis = analyze_source(
+            "(FPCore (x) (if (< x 100) 1 0))", [[5.0], [500.0]]
+        )
+        assert analysis.erroneous_spots() == []
+
+    def test_conversion_spot(self):
+        fn = FunctionBuilder("main")
+        x = fn.read()
+        big = fn.const(1e16)
+        one = fn.const(1.0)
+        # (x + 1e16) - 1e16 loses small x entirely.
+        total = fn.op("+", x, big)
+        back = fn.op("-", total, big)
+        scaled = fn.op("*", back, one)
+        converted = fn.float_to_int(scaled)
+        fn.out(fn.int_to_float(converted))
+        fn.halt()
+        program = Program()
+        program.add(fn.build())
+        analysis, __ = analyze_program(program, [[7.25]], config=FAST)
+        kinds = {s.kind for s in analysis.erroneous_spots()}
+        assert SPOT_CONVERSION in kinds
+
+    def test_output_threshold_respected(self):
+        config = FAST.with_(output_error_threshold=63.0)
+        analysis = analyze_source(
+            "(FPCore (x) (- (+ x 1) x))", [[1e16]], config=config
+        )
+        # ~62 bits of error is below a 63-bit threshold.
+        assert analysis.erroneous_spots() == []
+
+
+class TestNonLocality:
+    def test_error_across_function_and_heap(self):
+        """The paper's foo/bar example: the root cause spans a call and
+        a heap round-trip, and the extracted expression crosses both."""
+        program = Program()
+        foo = FunctionBuilder("foo", params=("ax", "ay", "bx", "by"))
+        left = foo.op("+", "ax", "ay", loc="foo.c:2")
+        right = foo.op("+", "bx", "by", loc="foo.c:2")
+        diff = foo.op("-", left, right, loc="foo.c:2")
+        foo.ret(foo.op("*", diff, "ax", loc="foo.c:2"))
+        program.add(foo.build())
+
+        main = FunctionBuilder("main")
+        x = main.read()
+        y = main.read()
+        z = main.read()
+        # Thread the values through the heap first.
+        for offset, reg in enumerate((x, y, z)):
+            main.store(main.const_int(offset), reg)
+        loaded = [main.load(main.const_int(i)) for i in range(3)]
+        result = main.call("foo", loaded[0], loaded[1], loaded[0], loaded[2])
+        main.out(result, loc="main.c:9")
+        main.halt()
+        program.add(main.build())
+
+        analysis, outputs = analyze_program(
+            program, [[1e16, 1.0, 0.0]], config=FAST
+        )
+        assert outputs[0][0] == 0.0  # the buggy float answer
+        causes = analysis.reported_root_causes()
+        assert causes
+        rendered = format_expr(causes[0].symbolic_expression)
+        assert rendered == "(- (+ x0 x1) (+ x0 x2))"
+
+    def test_input_characteristics_from_paper_baz(self):
+        """baz is only problematic near x = 113; the problematic ranges
+        must reflect that while total ranges cover everything."""
+        source = """
+        (FPCore (x)
+          (- (+ (/ 1 (- x 113)) PI) (/ 1 (- x 113))))
+        """
+        good = [[150.0], [200.0], [50.0]]
+        bad = [[113.0000001], [112.9999999]]
+        analysis = analyze_source(source, good + bad)
+        causes = analysis.reported_root_causes()
+        assert causes
+        record = causes[0]
+        # z = 1/(x-113) is generalized to a variable; its problematic
+        # range only contains the huge values near the pole.
+        problem_summaries = record.problematic_inputs.by_variable
+        assert problem_summaries
+        total_summaries = record.total_inputs.by_variable
+        assert set(problem_summaries) <= set(total_summaries)
+
+
+class TestCompensation:
+    def neumaier_program(self, count):
+        """Neumaier summation: a compensating term, whose real-number
+        value is exactly zero, is added to the plain sum at the end —
+        the pattern Section 5.3's detector targets."""
+        fn = FunctionBuilder("main")
+        total = fn.mov(fn.const(0.0))
+        compensation = fn.mov(fn.const(0.0))
+        for __ in range(count):
+            value = fn.read()
+            t = fn.op("+", total, value, loc="neumaier.c:5")
+            big = fn.fresh_label("big")
+            done = fn.fresh_label("done")
+            fn.branch("ge", fn.op("fabs", total), fn.op("fabs", value), big)
+            low = fn.op("+", fn.op("-", value, t), total, loc="neumaier.c:8")
+            fn.mov_to(compensation, fn.op("+", compensation, low))
+            fn.jump(done)
+            fn.label(big)
+            low = fn.op("+", fn.op("-", total, t), value, loc="neumaier.c:11")
+            fn.mov_to(compensation, fn.op("+", compensation, low))
+            fn.label(done)
+            fn.mov_to(total, t)
+        fn.out(fn.op("+", total, compensation, loc="neumaier.c:14"))
+        fn.halt()
+        program = Program()
+        program.add(fn.build())
+        return program
+
+    VALUES = [1e16, 1.0, 1.0, 1.0, 1.0, -1e16]
+
+    def test_neumaier_not_reported_with_detection(self):
+        program = self.neumaier_program(len(self.VALUES))
+        analysis, outputs = analyze_program(program, [self.VALUES], config=FAST)
+        assert outputs[0][0] == 4.0  # compensated sum gets it right
+        # The compensating term had huge local error, but the final
+        # compensated addition blocks its influence: no false positive.
+        assert analysis.erroneous_spots() == []
+        total_compensations = sum(
+            r.compensations_detected for r in analysis.op_records.values()
+        )
+        assert total_compensations > 0
+        assert analysis.candidate_records(), "the error term is a candidate"
+
+    def test_influences_leak_without_detection(self):
+        program = self.neumaier_program(len(self.VALUES))
+        config = FAST.with_(detect_compensation=False)
+        without, __ = analyze_program(program, [self.VALUES], config=config)
+        with_detection, __ = analyze_program(program, [self.VALUES], config=FAST)
+
+        def final_output_influences(analysis):
+            from repro.core import SPOT_OUTPUT
+
+            spots = [
+                s for s in analysis.spot_records.values()
+                if s.kind == SPOT_OUTPUT
+            ]
+            return sum(len(s.influences) for s in spots)
+
+        # Output value is numerically fine either way; what detection
+        # changes is whether the error-term ops taint downstream values.
+        outputs_clean = [s for s in with_detection.erroneous_spots()]
+        assert outputs_clean == []
+        assert final_output_influences(without) >= final_output_influences(
+            with_detection
+        )
+
+
+class TestConfigurationAxes:
+    def test_threshold_sweep_monotone(self):
+        source = "(FPCore (x) (- (sqrt (+ x 1)) (sqrt x)))"
+        points = [[10.0 ** k] for k in range(0, 14, 2)]
+        flagged = []
+        for threshold in (0.5, 4.0, 16.0, 48.0):
+            config = FAST.with_(local_error_threshold=threshold)
+            analysis = analyze_source(source, points, config=config)
+            flagged.append(len(analysis.candidate_records()))
+        assert flagged == sorted(flagged, reverse=True)
+
+    def test_depth_one_is_fpdebug_like(self):
+        config = FAST.with_(max_expression_depth=1)
+        analysis = analyze_source(
+            "(FPCore (x) (- (sqrt (+ x 1)) (sqrt x)))", [[1e13]], config=config
+        )
+        causes = analysis.reported_root_causes()
+        assert causes
+        expr = causes[0].symbolic_expression
+        # one operation over variables: no nested structure
+        from repro.fpcore.ast import Op, Var
+
+        assert isinstance(expr, Op)
+        assert all(isinstance(a, Var) for a in expr.args)
+
+    def test_influence_tracking_off(self):
+        config = FAST.with_(track_influences=False)
+        analysis = analyze_source(
+            "(FPCore (x) (- (+ x 1) x))", [[1e16]], config=config
+        )
+        [spot] = analysis.erroneous_spots()
+        assert spot.influences == set()
+
+    def test_characteristics_none(self):
+        config = FAST.with_(input_characteristics="none")
+        analysis = analyze_source(
+            "(FPCore (x) (- (+ x 1) x))", [[1e16]], config=config
+        )
+        [cause] = analysis.reported_root_causes()
+        report = generate_report(analysis)
+        assert report.spots[0].root_causes[0].precondition_clauses == []
+
+
+class TestLibraryWrapping:
+    def test_wrapped_trace_is_atomic(self):
+        analysis = analyze_source(
+            "(FPCore (x) (- (exp x) 1))", [[1e-10]]
+        )
+        causes = analysis.reported_root_causes()
+        assert causes
+        rendered = format_expr(causes[0].symbolic_expression)
+        assert rendered == "(- (exp x0) 1)"
+
+    def test_unwrapped_exposes_magic_constant(self):
+        analysis = analyze_source(
+            "(FPCore (x) (- (exp x) 1))",
+            [[1e-10]],
+            wrap_libraries=False,
+            libm=build_libm(),
+        )
+        causes = analysis.reported_root_causes()
+        assert causes
+        from repro.fpcore import expression_size
+
+        # The extracted expression now contains exp's internals: much
+        # bigger, and mentioning the 6.755399e15 magic constant.
+        sizes = [expression_size(c.symbolic_expression) for c in causes]
+        texts = " ".join(format_expr(c.symbolic_expression) for c in causes)
+        assert max(sizes) > 3
+        assert "6755399441055744" in texts
+
+    def test_wrapped_and_unwrapped_agree_on_detection(self):
+        source = "(FPCore (x) (- (exp x) 1))"
+        wrapped = analyze_source(source, [[1e-10]])
+        unwrapped = analyze_source(
+            source, [[1e-10]], wrap_libraries=False, libm=build_libm()
+        )
+        assert wrapped.erroneous_spots() and unwrapped.erroneous_spots()
+
+
+class TestReportFormat:
+    def test_report_structure(self):
+        analysis = analyze_source(
+            "(FPCore (x y) (- (sqrt (+ (* x x) (* y y))) x))",
+            [[0.1, 1e-9], [0.2, -2e-9]],
+        )
+        report = generate_report(analysis)
+        text = report.format()
+        assert "Output @" in text
+        assert "Influenced by erroneous expressions:" in text
+        assert "(FPCore (" in text
+        assert ":pre" in text
+        assert "Example problematic input:" in text
+
+    def test_clean_report(self):
+        analysis = analyze_source("(FPCore (x) (+ x 1))", [[1.0]])
+        assert generate_report(analysis).format() == "No erroneous spots detected.\n"
+
+    def test_branch_heading(self):
+        analysis = analyze_source(
+            "(FPCore (x) (if (== (+ x 1) x) 1 0))", [[1e16]]
+        )
+        text = generate_report(analysis).format()
+        assert "Compare @" in text
+        assert "incorrect values of" in text

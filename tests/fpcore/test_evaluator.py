@@ -1,0 +1,203 @@
+"""Tests for FPCore evaluation in doubles and reals."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bigfloat import BigFloat, Context
+from repro.fpcore import (
+    EvaluationError,
+    eval_double,
+    eval_real,
+    expression_depth,
+    expression_size,
+    free_variables,
+    parse_expr,
+    substitute,
+)
+from repro.fpcore.ast import Var, num
+
+CTX = Context(precision=160)
+
+
+def ed(source, **env):
+    return eval_double(parse_expr(source), env)
+
+
+def er(source, **env):
+    real_env = {k: BigFloat.from_float(v) for k, v in env.items()}
+    return eval_real(parse_expr(source), real_env, CTX)
+
+
+class TestDoubleEvaluation:
+    def test_arithmetic(self):
+        assert ed("(+ (* 2 3) 1)") == 7.0
+
+    def test_variables(self):
+        assert ed("(- x y)", x=10.0, y=4.0) == 6.0
+
+    def test_unbound_variable(self):
+        with pytest.raises(EvaluationError):
+            ed("(+ x 1)")
+
+    def test_unknown_operator(self):
+        with pytest.raises(EvaluationError):
+            ed("(frobnicate 1)")
+
+    def test_literals_round_to_double(self):
+        assert ed("0.1") == 0.1
+
+    def test_constants(self):
+        assert ed("PI") == math.pi
+        assert ed("E") == math.e
+        assert math.isnan(ed("NAN"))
+        assert ed("INFINITY") == math.inf
+
+    def test_if(self):
+        assert ed("(if (< x 0) (- x) x)", x=-3.0) == 3.0
+        assert ed("(if (< x 0) (- x) x)", x=3.0) == 3.0
+
+    def test_let_parallel(self):
+        # Parallel let: b sees the outer x, not the new a.
+        assert ed("(let ([a 10] [b (+ a 1)]) b)", a=1.0) == 2.0
+
+    def test_let_sequential(self):
+        assert ed("(let* ([a 10] [b (+ a 1)]) b)") == 11.0
+
+    def test_while(self):
+        # Sequential while*: acc's update sees the already-incremented i,
+        # so this sums 1 + 2 + 3 + 4 + 5.
+        assert ed("(while* (< i 5) ([i 0 (+ i 1)] [acc 0 (+ acc i)]) acc)") == 15.0
+
+    def test_while_parallel_semantics(self):
+        # Parallel while updates use the *old* values of all variables.
+        result = ed("(while (< i 3) ([i 0 (+ i 1)] [acc 0 (+ acc i)]) acc)")
+        assert result == 0.0 + 0.0 + 1.0 + 2.0
+
+    def test_while_cap(self):
+        with pytest.raises(EvaluationError):
+            ed("(while (< i 1) ([i 0 i]) i)")
+
+    def test_comparison_chain(self):
+        assert ed("(< 1 2 3)") is True
+        assert ed("(< 1 3 2)") is False
+        assert ed("(!= 1 2 3)") is True
+        assert ed("(!= 1 2 1)") is False
+
+    def test_boolean_ops(self):
+        assert ed("(and (< 1 2) (> 3 2))") is True
+        assert ed("(or (< 2 1) FALSE)") is False
+        assert ed("(not FALSE)") is True
+
+    def test_classification(self):
+        assert ed("(isnan NAN)") is True
+        assert ed("(isinf INFINITY)") is True
+        assert ed("(isfinite 1)") is True
+        assert ed("(signbit -1)") is True
+        assert ed("(isnormal 1)") is True
+
+    def test_division_by_zero(self):
+        assert ed("(/ 1 0)") == math.inf
+        assert math.isnan(ed("(/ 0 0)"))
+
+
+class TestRealEvaluation:
+    def test_literals_are_exact(self):
+        # In the reals, 0.1 is 1/10: (0.1 * 10) - 1 == 0 exactly.
+        result = er("(- (* 0.1 10) 1)")
+        assert result.is_zero()
+
+    def test_cancellation_visible(self):
+        # (x + 1) - x == 1 in the reals, even at x = 1e16.
+        result = er("(- (+ x 1) x)", x=1e16)
+        assert result.to_float() == 1.0
+
+    def test_constants(self):
+        assert er("PI").to_float() == math.pi
+        assert er("LN2").to_float() == math.log(2)
+        assert er("SQRT2").to_float() == math.sqrt(2)
+        assert er("LOG2E").to_float() == math.log2(math.e)
+        assert er("PI_4").to_float() == math.pi / 4
+
+    def test_if_uses_real_comparison(self):
+        # At 1e16, x + 1 == x in doubles but not in the reals.
+        source = "(if (== (+ x 1) x) 1 0)"
+        assert ed(source, x=1e16) == 1.0
+        assert er(source, x=1e16).to_float() == 0.0
+
+    def test_while_real(self):
+        result = er("(while* (< i 3) ([i 0 (+ i 1)] [acc 0 (+ acc 0.1)]) acc)")
+        # The literal 0.1 rounds to the 160-bit context, so the sum is
+        # 3/10 only to within the context precision — far beyond double.
+        error = abs(result.to_fraction() - Fraction(3, 10))
+        assert error < Fraction(1, 2 ** 150)
+
+    def test_classification_real(self):
+        assert er("(isnan (sqrt -1))") is True
+        assert er("(isinf (/ 1 0))") is True
+        assert er("(signbit -0.5)") is True
+
+
+class TestAstUtilities:
+    def test_free_variables_order(self):
+        expr = parse_expr("(+ (* y x) (- y z))")
+        assert free_variables(expr) == ("y", "x", "z")
+
+    def test_let_binds(self):
+        expr = parse_expr("(let ([a x]) (+ a b))")
+        assert free_variables(expr) == ("x", "b")
+
+    def test_let_star_shadowing(self):
+        expr = parse_expr("(let* ([a 1] [b a]) b)")
+        assert free_variables(expr) == ()
+
+    def test_while_binds(self):
+        expr = parse_expr("(while (< i n) ([i 0 (+ i s)]) i)")
+        assert free_variables(expr) == ("n", "s")
+
+    def test_expression_size(self):
+        assert expression_size(parse_expr("(+ x (* y z))")) == 2
+        assert expression_size(parse_expr("x")) == 0
+
+    def test_expression_depth(self):
+        # neg counts as an operator node: + -> * -> neg -> z.
+        assert expression_depth(parse_expr("(+ x (* y (- z)))")) == 4
+
+    def test_substitute(self):
+        expr = parse_expr("(+ x y)")
+        result = substitute(expr, {"x": parse_expr("(* a a)")})
+        assert result == parse_expr("(+ (* a a) y)")
+
+    def test_substitute_respects_let_shadowing(self):
+        expr = parse_expr("(let ([x 1]) (+ x y))")
+        result = substitute(expr, {"x": Var("z"), "y": Var("w")})
+        assert result == parse_expr("(let ([x 1]) (+ x w))")
+
+
+class TestDoubleRealAgreement:
+    """On well-conditioned expressions the two semantics agree closely."""
+
+    SOURCES = [
+        "(+ (* x x) 1)",
+        "(sqrt (+ (* x x) 4))",
+        "(exp (sin x))",
+        "(atan2 x 2)",
+        "(pow (fabs x) 0.5)",
+        "(fmax x (fmin 0.5 x))",
+    ]
+
+    @pytest.mark.parametrize("source", SOURCES)
+    @given(x=st.floats(min_value=-100, max_value=100, allow_nan=False))
+    @settings(max_examples=25, deadline=None)
+    def test_agreement(self, source, x):
+        double_result = ed(source, x=x)
+        real_result = er(source, x=x).to_float()
+        if double_result == 0.0:
+            assert abs(real_result) < 1e-300
+        else:
+            assert abs(double_result - real_result) <= 4 * abs(
+                math.ulp(double_result)
+            )

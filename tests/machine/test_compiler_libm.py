@@ -1,0 +1,241 @@
+"""Tests for the FPCore→IR compiler and the software libm."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpcore import eval_double, load_corpus, parse_expr, parse_fpcore
+from repro.ieee import ulps_between
+from repro.machine import Interpreter, build_libm, compile_fpcore
+from repro.machine.compiler import CompileError
+from repro.machine.libm import MAGIC_ROUND
+
+
+def run_core(source, inputs, wrap=True):
+    program = compile_fpcore(parse_fpcore(source))
+    interpreter = Interpreter(
+        program, wrap_libraries=wrap, libm=build_libm() if not wrap else None
+    )
+    return interpreter.run(inputs)[0]
+
+
+class TestCompiler:
+    def test_literal(self):
+        assert run_core("(FPCore () 42)", []) == 42.0
+
+    def test_arguments_read_in_order(self):
+        assert run_core("(FPCore (x y) (- x y))", [10.0, 3.0]) == 7.0
+
+    def test_constants(self):
+        assert run_core("(FPCore () PI)", []) == math.pi
+
+    def test_if_lowering(self):
+        source = "(FPCore (x) (if (< x 0) (- x) x))"
+        assert run_core(source, [-4.0]) == 4.0
+        assert run_core(source, [4.0]) == 4.0
+
+    def test_if_nan_falls_to_else(self):
+        # (< NaN 0) is false: must take the else branch, not the then.
+        source = "(FPCore (x) (if (< x 0) 1 2))"
+        assert run_core(source, [math.nan]) == 2.0
+
+    def test_nested_if_and_bools(self):
+        source = "(FPCore (x) (if (and (< 0 x) (< x 10)) 1 0))"
+        assert run_core(source, [5.0]) == 1.0
+        assert run_core(source, [-5.0]) == 0.0
+        assert run_core(source, [50.0]) == 0.0
+
+    def test_or_and_not(self):
+        source = "(FPCore (x) (if (or (< x 0) (not (< x 10))) 1 0))"
+        assert run_core(source, [-1.0]) == 1.0
+        assert run_core(source, [20.0]) == 1.0
+        assert run_core(source, [5.0]) == 0.0
+
+    def test_comparison_chain(self):
+        source = "(FPCore (a b c) (if (< a b c) 1 0))"
+        assert run_core(source, [1.0, 2.0, 3.0]) == 1.0
+        assert run_core(source, [1.0, 3.0, 2.0]) == 0.0
+
+    def test_let(self):
+        source = "(FPCore (x) (let ([a (+ x 1)] [b (- x 1)]) (* a b)))"
+        assert run_core(source, [3.0]) == 8.0
+
+    def test_let_star(self):
+        source = "(FPCore (x) (let* ([a (+ x 1)] [b (* a a)]) b))"
+        assert run_core(source, [2.0]) == 9.0
+
+    def test_while_loop(self):
+        source = """
+        (FPCore (n)
+          (while* (< i n) ([i 0 (+ i 1)] [acc 0 (+ acc i)]) acc))
+        """
+        assert run_core(source, [5.0]) == 15.0
+
+    def test_boolean_in_value_position_rejected(self):
+        with pytest.raises(CompileError):
+            compile_fpcore(parse_fpcore("(FPCore (x) (< x 1))"))
+
+    def test_every_corpus_benchmark_compiles(self):
+        for core in load_corpus():
+            program = compile_fpcore(core)
+            assert program.instruction_count() > 0, core.name
+
+
+class TestCompiledMatchesEvaluator:
+    """Compiled code agrees with the direct FPCore double evaluator."""
+
+    SOURCES = [
+        ("(FPCore (x) (- (sqrt (+ x 1)) (sqrt x)))", [(0.5,), (1e8,)]),
+        ("(FPCore (x) (exp (sin x)))", [(0.3,), (-2.0,)]),
+        ("(FPCore (a b c) (/ (+ (- b) (sqrt (- (* b b) (* 4 (* a c))))) (* 2 a)))",
+         [(1.0, 5.0, 2.0), (0.5, 100.0, 0.25)]),
+        ("(FPCore (x) (if (< x 0) (exp x) (log x)))", [(2.0,), (-2.0,)]),
+        ("(FPCore (x y) (atan2 y x))", [(1.0, 2.0), (-1.0, 0.5)]),
+        ("(FPCore (n) (while* (< i n) ([i 0 (+ i 1)] [s 0 (+ s 0.1)]) s))",
+         [(10.0,), (100.0,)]),
+    ]
+
+    @pytest.mark.parametrize("source,input_sets", SOURCES)
+    def test_agreement(self, source, input_sets):
+        core = parse_fpcore(source)
+        program = compile_fpcore(core)
+        for inputs in input_sets:
+            compiled = Interpreter(program).run(list(inputs))[0]
+            env = dict(zip(core.arguments, inputs))
+            direct = eval_double(core.body, env)
+            assert compiled == direct or (
+                math.isnan(compiled) and math.isnan(direct)
+            )
+
+    @given(st.floats(min_value=0.01, max_value=100.0))
+    @settings(max_examples=50, deadline=None)
+    def test_agreement_fuzz(self, x):
+        source = "(FPCore (x) (* (+ (/ 1 x) (sqrt x)) (- x 0.5)))"
+        core = parse_fpcore(source)
+        compiled = Interpreter(compile_fpcore(core)).run([x])[0]
+        direct = eval_double(core.body, {"x": x})
+        assert compiled == direct
+
+
+LIBM = build_libm()
+
+
+def call_soft(name, *args):
+    """Run a software-libm routine directly."""
+    source = f"(FPCore ({' '.join('abc'[:len(args)])}) ({name} {' '.join('abc'[:len(args)])}))"
+    program = compile_fpcore(parse_fpcore(source))
+    return Interpreter(program, wrap_libraries=False, libm=LIBM).run(list(args))[0]
+
+
+def assert_close(ours, reference, ulps=16):
+    if math.isnan(reference):
+        assert math.isnan(ours)
+    elif math.isinf(reference):
+        assert ours == reference
+    else:
+        assert ulps_between(ours, reference) <= ulps, (ours, reference)
+
+
+class TestSoftwareLibm:
+    """The IR libm agrees with the host libm to within a few ulps."""
+
+    def test_magic_constant_is_the_papers(self):
+        # 6.755399441055744e15, printed as 6.755399e15 in the paper.
+        assert MAGIC_ROUND == 1.5 * 2 ** 52
+
+    @pytest.mark.parametrize("x", [0.0, 1.0, -1.0, 0.1, -25.0, 300.0, 700.0])
+    def test_exp(self, x):
+        assert_close(call_soft("exp", x), math.exp(x), ulps=4)
+
+    def test_exp_extremes(self):
+        assert call_soft("exp", 1000.0) == math.inf
+        assert call_soft("exp", -1000.0) == 0.0
+        assert math.isnan(call_soft("exp", math.nan))
+
+    @pytest.mark.parametrize("x", [1.0, 2.0, 0.5, 1e-8, 1e8, 3.1415])
+    def test_log(self, x):
+        assert_close(call_soft("log", x), math.log(x), ulps=4)
+
+    def test_log_specials(self):
+        assert call_soft("log", 0.0) == -math.inf
+        assert math.isnan(call_soft("log", -1.0))
+
+    @pytest.mark.parametrize("x", [0.0, 0.5, -0.5, 1.5707, 3.0, -10.0, 50.0])
+    def test_sin_cos(self, x):
+        assert_close(call_soft("sin", x), math.sin(x), ulps=8)
+        assert_close(call_soft("cos", x), math.cos(x), ulps=8)
+
+    @pytest.mark.parametrize("x", [0.3, -1.0, 1.2])
+    def test_tan(self, x):
+        assert_close(call_soft("tan", x), math.tan(x), ulps=16)
+
+    @pytest.mark.parametrize("x", [0.0, 0.3, -0.9, 1.0, -5.0, 100.0])
+    def test_atan(self, x):
+        assert_close(call_soft("atan", x), math.atan(x), ulps=8)
+
+    @pytest.mark.parametrize(
+        "y,x",
+        [(1.0, 1.0), (1.0, -1.0), (-2.0, 0.5), (0.0, -0.0), (3.0, 0.0)],
+    )
+    def test_atan2(self, y, x):
+        assert_close(call_soft("atan2", y, x), math.atan2(y, x), ulps=8)
+
+    @pytest.mark.parametrize("x", [0.0, 0.5, -0.5, 0.99, -0.99])
+    def test_asin_acos(self, x):
+        assert_close(call_soft("asin", x), math.asin(x), ulps=16)
+        assert_close(call_soft("acos", x), math.acos(x), ulps=16)
+
+    def test_asin_domain_error(self):
+        assert math.isnan(call_soft("asin", 1.5))
+
+    @pytest.mark.parametrize("x,y", [(2.0, 10.0), (10.0, 0.5), (1.0, 1e6)])
+    def test_pow(self, x, y):
+        assert_close(call_soft("pow", x, y), math.pow(x, y), ulps=32)
+
+    def test_pow_specials(self):
+        assert call_soft("pow", 1.0, math.nan) == 1.0
+        assert call_soft("pow", 5.0, 0.0) == 1.0
+        assert call_soft("pow", 0.0, 2.0) == 0.0
+        assert call_soft("pow", 0.0, -2.0) == math.inf
+
+    @pytest.mark.parametrize("x", [1.0, 8.0, -27.0, 0.001])
+    def test_cbrt(self, x):
+        expected = math.copysign(abs(x) ** (1 / 3), x)
+        assert_close(call_soft("cbrt", x), expected, ulps=16)
+
+    @pytest.mark.parametrize("x", [0.5, -2.0, 10.0])
+    def test_hyperbolics(self, x):
+        assert_close(call_soft("sinh", x), math.sinh(x), ulps=16)
+        assert_close(call_soft("cosh", x), math.cosh(x), ulps=16)
+        assert_close(call_soft("tanh", x), math.tanh(x), ulps=16)
+
+    @pytest.mark.parametrize("x", [0.5, 2.0, 100.0])
+    def test_inverse_hyperbolics(self, x):
+        assert_close(call_soft("asinh", x), math.asinh(x), ulps=16)
+        if x >= 1.0:
+            assert_close(call_soft("acosh", x), math.acosh(x), ulps=16)
+    def test_atanh(self):
+        assert_close(call_soft("atanh", 0.5), math.atanh(0.5), ulps=16)
+
+    def test_remainders(self):
+        assert_close(call_soft("fmod", 10.3, 3.0), math.fmod(10.3, 3.0), ulps=4)
+        assert_close(
+            call_soft("remainder", 10.3, 3.0), math.remainder(10.3, 3.0), ulps=4
+        )
+
+    def test_every_library_op_has_an_implementation(self):
+        from repro.bigfloat.functions import LIBRARY_OPERATIONS
+
+        missing = LIBRARY_OPERATIONS - set(LIBM)
+        assert not missing, f"libm lacks: {sorted(missing)}"
+
+    def test_unwrapped_executes_many_instructions(self):
+        """Unwrapped mode really runs the libm internals."""
+        program = compile_fpcore(parse_fpcore("(FPCore (x) (exp x))"))
+        wrapped = Interpreter(program, wrap_libraries=True)
+        wrapped.run([1.0])
+        unwrapped = Interpreter(program, wrap_libraries=False, libm=LIBM)
+        unwrapped.run([1.0])
+        assert unwrapped.stats.steps > 5 * wrapped.stats.steps

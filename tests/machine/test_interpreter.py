@@ -1,0 +1,402 @@
+"""Tests for the machine ISA, builder and interpreter."""
+
+import math
+
+import pytest
+
+from repro.machine import (
+    FloatBox,
+    FunctionBuilder,
+    Interpreter,
+    MachineError,
+    Program,
+    Tracer,
+    isa,
+)
+
+
+def single_function_program(builder: FunctionBuilder) -> Program:
+    program = Program()
+    program.add(builder.build())
+    return program
+
+
+def run_main(builder: FunctionBuilder, inputs=()):
+    return Interpreter(single_function_program(builder)).run(inputs)
+
+
+class TestBasics:
+    def test_const_and_out(self):
+        fn = FunctionBuilder("main")
+        fn.out(fn.const(2.5))
+        fn.halt()
+        assert run_main(fn) == [2.5]
+
+    def test_arithmetic(self):
+        fn = FunctionBuilder("main")
+        a = fn.const(3.0)
+        b = fn.const(4.0)
+        fn.out(fn.op("+", a, fn.op("*", b, b)))
+        fn.halt()
+        assert run_main(fn) == [19.0]
+
+    def test_read_inputs(self):
+        fn = FunctionBuilder("main")
+        x = fn.read()
+        y = fn.read()
+        fn.out(fn.op("-", x, y))
+        fn.halt()
+        assert run_main(fn, [10.0, 4.0]) == [6.0]
+
+    def test_read_past_end(self):
+        fn = FunctionBuilder("main")
+        fn.read()
+        fn.halt()
+        with pytest.raises(MachineError):
+            run_main(fn, [])
+
+    def test_single_precision_rounding(self):
+        fn = FunctionBuilder("main")
+        x = fn.const(0.1, single=True)
+        fn.out(x)
+        fn.halt()
+        import struct
+
+        expected = struct.unpack("<f", struct.pack("<f", 0.1))[0]
+        assert run_main(fn) == [expected]
+
+    def test_division_by_zero_is_inf(self):
+        fn = FunctionBuilder("main")
+        fn.out(fn.op("/", fn.const(1.0), fn.const(0.0)))
+        fn.halt()
+        assert run_main(fn) == [math.inf]
+
+    def test_fma_is_fused(self):
+        fn = FunctionBuilder("main")
+        a = fn.const(1e8 + 1)
+        b = fn.const(1e8 - 1)
+        c = fn.const(-1e16)
+        fn.out(fn.op("fma", a, b, c))
+        fn.halt()
+        # (1e8+1)(1e8-1) - 1e16 = -1 exactly; a mul+add would lose it.
+        assert run_main(fn) == [-1.0]
+
+
+class TestControlFlow:
+    def test_branch_taken(self):
+        fn = FunctionBuilder("main")
+        x = fn.read()
+        zero = fn.const(0.0)
+        negative = fn.fresh_label("negative")
+        fn.branch("lt", x, zero, negative)
+        fn.out(fn.const(1.0))
+        fn.halt()
+        fn.label(negative)
+        fn.out(fn.const(-1.0))
+        fn.halt()
+        assert run_main(fn, [5.0]) == [1.0]
+        assert run_main(fn, [-5.0]) == [-1.0]
+
+    def test_branch_nan_semantics(self):
+        fn = FunctionBuilder("main")
+        x = fn.read()
+        target = fn.fresh_label("taken")
+        fn.branch("ne", x, x, target)
+        fn.out(fn.const(0.0))
+        fn.halt()
+        fn.label(target)
+        fn.out(fn.const(1.0))
+        fn.halt()
+        # Only NaN satisfies x != x.
+        assert run_main(fn, [math.nan]) == [1.0]
+        assert run_main(fn, [3.0]) == [0.0]
+
+    def test_loop(self):
+        fn = FunctionBuilder("main")
+        i = fn.const_int(0)
+        limit = fn.const_int(5)
+        counter = fn.mov(fn.const(0.0))
+        step = fn.const(1.5)
+        head = fn.label("head")
+        done = fn.fresh_label("done")
+        fn.int_branch("ge", i, limit, done)
+        fn.mov_to(counter, fn.op("+", counter, step))
+        one = fn.const_int(1)
+        fn.mov_to(i, fn.int_op("iadd", i, one))
+        fn.jump(head)
+        fn.label(done)
+        fn.out(counter)
+        fn.halt()
+        assert run_main(fn) == [7.5]
+
+    def test_infinite_loop_guard(self):
+        fn = FunctionBuilder("main")
+        fn.label("spin")
+        fn.jump("spin")
+        program = single_function_program(fn)
+        with pytest.raises(MachineError):
+            Interpreter(program, max_steps=1000).run([])
+
+    def test_unplaced_label_rejected(self):
+        fn = FunctionBuilder("main")
+        fn.jump("nowhere")
+        with pytest.raises(ValueError):
+            fn.build()
+
+
+class TestMemory:
+    def test_store_load_roundtrip(self):
+        fn = FunctionBuilder("main")
+        addr = fn.const_int(100)
+        value = fn.const(42.5)
+        fn.store(addr, value)
+        fn.out(fn.load(addr))
+        fn.halt()
+        assert run_main(fn) == [42.5]
+
+    def test_boxes_shared_through_memory(self):
+        """A value loaded back from memory is the same box (shadow travels)."""
+
+        class BoxCollector(Tracer):
+            def __init__(self):
+                self.stored = None
+                self.outed = None
+
+            def on_const(self, instr, box):
+                self.stored = box
+
+            def on_out(self, instr, box):
+                self.outed = box
+
+        fn = FunctionBuilder("main")
+        addr = fn.const_int(5)
+        value = fn.const(1.25)
+        fn.store(addr, value)
+        loaded = fn.load(addr)
+        fn.out(loaded)
+        fn.halt()
+        collector = BoxCollector()
+        Interpreter(single_function_program(fn), tracer=collector).run([])
+        assert collector.stored is collector.outed
+
+    def test_uninitialized_load(self):
+        fn = FunctionBuilder("main")
+        fn.load(fn.const_int(0))
+        fn.halt()
+        with pytest.raises(MachineError):
+            run_main(fn)
+
+    def test_computed_addresses(self):
+        # base + i*stride addressing, like a matrix walk.
+        fn = FunctionBuilder("main")
+        base = fn.const_int(1000)
+        stride = fn.const_int(8)
+        total = fn.mov(fn.const(0.0))
+        for i in range(3):
+            index = fn.const_int(i)
+            offset = fn.int_op("imul", index, stride)
+            addr = fn.int_op("iadd", base, offset)
+            fn.store(addr, fn.const(float(i + 1)))
+        for i in range(3):
+            index = fn.const_int(i)
+            offset = fn.int_op("imul", index, stride)
+            addr = fn.int_op("iadd", base, offset)
+            fn.mov_to(total, fn.op("+", total, fn.load(addr)))
+        fn.out(total)
+        fn.halt()
+        assert run_main(fn) == [6.0]
+
+
+class TestBitOps:
+    def test_bit_negate(self):
+        fn = FunctionBuilder("main")
+        fn.out(fn.bit_negate(fn.const(3.5)))
+        fn.halt()
+        assert run_main(fn) == [-3.5]
+
+    def test_bit_fabs(self):
+        fn = FunctionBuilder("main")
+        fn.out(fn.bit_fabs(fn.const(-3.5)))
+        fn.halt()
+        assert run_main(fn) == [3.5]
+
+    def test_bitcast_roundtrip(self):
+        fn = FunctionBuilder("main")
+        x = fn.const(math.pi)
+        bits = fn.bitcast_to_int(x)
+        fn.out(fn.bitcast_to_float(bits))
+        fn.halt()
+        assert run_main(fn) == [math.pi]
+
+    def test_exponent_surgery(self):
+        # Build 2^10 from raw bits: (1023+10) << 52.
+        fn = FunctionBuilder("main")
+        biased = fn.const_int(1033)
+        bits = fn.int_op("ishl", biased, fn.const_int(52))
+        fn.out(fn.bitcast_to_float(bits))
+        fn.halt()
+        assert run_main(fn) == [1024.0]
+
+
+class TestConversions:
+    def test_float_to_int_truncates(self):
+        fn = FunctionBuilder("main")
+        x = fn.read()
+        i = fn.float_to_int(x)
+        fn.out(fn.int_to_float(i))
+        fn.halt()
+        assert run_main(fn, [3.9]) == [3.0]
+        assert run_main(fn, [-3.9]) == [-3.0]
+
+    def test_int_arithmetic(self):
+        fn = FunctionBuilder("main")
+        a = fn.const_int(17)
+        b = fn.const_int(5)
+        quotient = fn.int_op("idiv", a, b)
+        remainder = fn.int_op("imod", a, b)
+        fn.out(fn.int_to_float(quotient))
+        fn.out(fn.int_to_float(remainder))
+        fn.halt()
+        assert run_main(fn) == [3.0, 2.0]
+
+    def test_idiv_truncates_toward_zero(self):
+        fn = FunctionBuilder("main")
+        a = fn.const_int(-17)
+        b = fn.const_int(5)
+        fn.out(fn.int_to_float(fn.int_op("idiv", a, b)))
+        fn.out(fn.int_to_float(fn.int_op("imod", a, b)))
+        fn.halt()
+        assert run_main(fn) == [-3.0, -2.0]
+
+    def test_type_errors(self):
+        fn = FunctionBuilder("main")
+        x = fn.const(1.0)
+        fn.instrs.append(isa.IntOp("bad", "iadd", x, x))
+        fn.halt()
+        with pytest.raises(MachineError):
+            run_main(fn)
+
+
+class TestCalls:
+    def test_user_function(self):
+        program = Program()
+        square = FunctionBuilder("square", params=("v",))
+        square.ret(square.op("*", "v", "v"))
+        program.add(square.build())
+        main = FunctionBuilder("main")
+        x = main.read()
+        main.out(main.call("square", x))
+        main.halt()
+        program.add(main.build())
+        assert Interpreter(program).run([3.0]) == [9.0]
+
+    def test_recursion(self):
+        # factorial via float compare (n <= 1).
+        program = Program()
+        fact = FunctionBuilder("fact", params=("n",))
+        base = fact.fresh_label("base")
+        fact.branch("le", "n", fact.const(1.0), base)
+        smaller = fact.op("-", "n", fact.const(1.0))
+        fact.ret(fact.op("*", "n", fact.call("fact", smaller)))
+        fact.label(base)
+        fact.ret(fact.const(1.0))
+        program.add(fact.build())
+        main = FunctionBuilder("main")
+        main.out(main.call("fact", main.read()))
+        main.halt()
+        program.add(main.build())
+        assert Interpreter(program).run([6.0]) == [720.0]
+
+    def test_unknown_function(self):
+        main = FunctionBuilder("main")
+        main.call("missing", main.const(1.0))
+        main.halt()
+        with pytest.raises(MachineError):
+            run_main(main)
+
+    def test_argument_boxes_shared(self):
+        """Arguments pass by box: shadows survive the call boundary."""
+
+        class Collector(Tracer):
+            def __init__(self):
+                self.read_box = None
+                self.op_args = None
+
+            def on_read(self, instr, box, index):
+                self.read_box = box
+
+            def on_op(self, instr, op, args, result):
+                self.op_args = list(args)
+                return None
+
+        program = Program()
+        callee = FunctionBuilder("callee", params=("v",))
+        callee.ret(callee.op("+", "v", "v"))
+        program.add(callee.build())
+        main = FunctionBuilder("main")
+        main.out(main.call("callee", main.read()))
+        main.halt()
+        program.add(main.build())
+        collector = Collector()
+        Interpreter(program, tracer=collector).run([2.0])
+        assert collector.op_args[0] is collector.read_box
+
+
+class TestPacked:
+    def test_packed_add(self):
+        fn = FunctionBuilder("main")
+        a0, a1 = fn.const(1.0), fn.const(2.0)
+        b0, b1 = fn.const(10.0), fn.const(20.0)
+        r0, r1 = fn.packed("+", [(a0, b0), (a1, b1)])
+        fn.out(r0)
+        fn.out(r1)
+        fn.halt()
+        assert run_main(fn) == [11.0, 22.0]
+
+    def test_packed_each_lane_has_own_box(self):
+        class Collector(Tracer):
+            def __init__(self):
+                self.results = []
+
+            def on_op(self, instr, op, args, result):
+                self.results.append(result)
+                return None
+
+        fn = FunctionBuilder("main")
+        a0, a1 = fn.const(1.0), fn.const(2.0)
+        fn.packed("sqrt", [(a0,), (a1,)])
+        fn.halt()
+        collector = Collector()
+        Interpreter(single_function_program(fn), tracer=collector).run([])
+        assert len(collector.results) == 2
+        assert collector.results[0] is not collector.results[1]
+
+
+class TestTracerOverride:
+    def test_override_result(self):
+        """Tracers can perturb results (the Verrou mechanism)."""
+
+        class AlwaysOne(Tracer):
+            def on_op(self, instr, op, args, result):
+                return 1.0
+
+        fn = FunctionBuilder("main")
+        fn.out(fn.op("+", fn.const(2.0), fn.const(2.0)))
+        fn.halt()
+        outputs = Interpreter(
+            single_function_program(fn), tracer=AlwaysOne()
+        ).run([])
+        assert outputs == [1.0]
+
+    def test_stats_collected(self):
+        fn = FunctionBuilder("main")
+        x = fn.const(2.0)
+        fn.op("+", x, x)
+        fn.op("*", x, x)
+        fn.store(fn.const_int(0), x)
+        fn.halt()
+        interpreter = Interpreter(single_function_program(fn))
+        interpreter.run([])
+        assert interpreter.stats.float_ops == 2
+        assert interpreter.stats.stores == 1
+        assert interpreter.stats.steps >= 5

@@ -1,0 +1,129 @@
+"""Differential fuzzing of the software libm against the host libm.
+
+The IR libm only needs to be faithful to a few ulps (Section 8.2's
+ablation even relies on its error being *visible*), but it must never
+be wildly wrong or produce the wrong special value — that would distort
+the wrapping experiments.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpcore import parse_fpcore
+from repro.ieee import ulps_between
+from repro.machine import Interpreter, build_libm, compile_fpcore
+
+LIBM = build_libm()
+_PROGRAMS = {}
+
+
+def call_soft(name, *args):
+    program = _PROGRAMS.get((name, len(args)))
+    if program is None:
+        letters = "abc"[: len(args)]
+        source = (
+            f"(FPCore ({' '.join(letters)}) ({name} {' '.join(letters)}))"
+        )
+        program = compile_fpcore(parse_fpcore(source))
+        _PROGRAMS[(name, len(args))] = program
+    return Interpreter(program, wrap_libraries=False, libm=LIBM).run(
+        list(args)
+    )[0]
+
+
+def assert_faithful(ours, reference, ulps=64):
+    if math.isnan(reference):
+        assert math.isnan(ours)
+    elif math.isinf(reference):
+        assert ours == reference or abs(ours) > 1e300
+    elif math.isinf(ours) or math.isnan(ours):
+        pytest.fail(f"software libm produced {ours} vs {reference}")
+    else:
+        assert ulps_between(ours, reference) <= ulps, (ours, reference)
+
+
+class TestLibmFuzz:
+    @given(st.floats(min_value=-700, max_value=700))
+    @settings(max_examples=80, deadline=None)
+    def test_exp(self, x):
+        assert_faithful(call_soft("exp", x), math.exp(x), ulps=8)
+
+    @given(st.floats(min_value=1e-300, max_value=1e300))
+    @settings(max_examples=80, deadline=None)
+    def test_log(self, x):
+        assert_faithful(call_soft("log", x), math.log(x), ulps=8)
+
+    @given(st.floats(min_value=-1e6, max_value=1e6))
+    @settings(max_examples=80, deadline=None)
+    def test_sin(self, x):
+        # The soft libm's 3-term pi/2 reduction leaves ~|x|*1e-17 of
+        # absolute error; near zeros of sin that error is a huge number
+        # of *ulps of the tiny result* even though the value is fine.
+        # Judge by absolute error scaled to the argument there.
+        ours, reference = call_soft("sin", x), math.sin(x)
+        close_enough = (
+            ulps_between(ours, reference) <= 256
+            or abs(ours - reference) <= max(1e-9, abs(x) * 1e-14)
+        )
+        assert close_enough, (x, ours, reference)
+
+    @given(st.floats(min_value=-1e6, max_value=1e6))
+    @settings(max_examples=80, deadline=None)
+    def test_cos(self, x):
+        ours, reference = call_soft("cos", x), math.cos(x)
+        close_enough = (
+            ulps_between(ours, reference) <= 256
+            or abs(ours - reference) <= max(1e-9, abs(x) * 1e-14)
+        )
+        assert close_enough, (x, ours, reference)
+
+    @given(st.floats(min_value=-1e12, max_value=1e12))
+    @settings(max_examples=60, deadline=None)
+    def test_atan(self, x):
+        assert_faithful(call_soft("atan", x), math.atan(x), ulps=16)
+
+    @given(
+        st.floats(min_value=-100, max_value=100),
+        st.floats(min_value=-100, max_value=100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_atan2(self, y, x):
+        assert_faithful(call_soft("atan2", y, x), math.atan2(y, x), ulps=16)
+
+    @given(st.floats(min_value=-1, max_value=1))
+    @settings(max_examples=60, deadline=None)
+    def test_asin_acos(self, x):
+        assert_faithful(call_soft("asin", x), math.asin(x), ulps=10 ** 5)
+        assert_faithful(call_soft("acos", x), math.acos(x), ulps=10 ** 5)
+
+    @given(
+        st.floats(min_value=0.01, max_value=100),
+        st.floats(min_value=-20, max_value=20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pow(self, x, y):
+        reference = math.pow(x, y)
+        if math.isinf(reference) or reference == 0.0:
+            return
+        assert_faithful(call_soft("pow", x, y), reference, ulps=10 ** 6)
+
+    @given(st.floats(min_value=-30, max_value=30))
+    @settings(max_examples=60, deadline=None)
+    def test_hyperbolics(self, x):
+        # The software sinh/tanh use the naive (e^x - e^-x)/2 form, which
+        # genuinely loses ~log2(1/|x|) bits to cancellation near zero —
+        # behaviour the wrapping ablation *wants* visible.  Allow it.
+        if abs(x) < 0.01:
+            assert call_soft("sinh", x) == pytest.approx(
+                math.sinh(x), rel=1e-7
+            )
+            assert call_soft("tanh", x) == pytest.approx(
+                math.tanh(x), rel=1e-7
+            )
+        else:
+            assert_faithful(call_soft("sinh", x), math.sinh(x), ulps=128)
+            assert_faithful(call_soft("tanh", x), math.tanh(x), ulps=128)
+        assert_faithful(call_soft("cosh", x), math.cosh(x), ulps=128)

@@ -1,0 +1,62 @@
+"""Tests for the herbgrind-py command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_analyze_inline(self, capsys):
+        code = main([
+            "analyze",
+            "(FPCore (x) :pre (<= 1e16 x 1e17) (- (+ x 1) x))",
+            "--points", "4", "--precision", "192",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "erroneous values" in out
+        assert "(FPCore" in out
+
+    def test_analyze_file(self, tmp_path, capsys):
+        path = tmp_path / "bench.fpcore"
+        path.write_text("(FPCore (x) :pre (<= 1 x 10) (+ x 1))")
+        code = main(["analyze", str(path), "--points", "4",
+                     "--precision", "192"])
+        assert code == 0
+        assert "No erroneous spots" in capsys.readouterr().out
+
+    def test_improve(self, capsys):
+        code = main([
+            "improve", "(- (exp x) 1)", "--range", "1e-12", "1e-6",
+            "--points", "8",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "expm1" in out
+
+    def test_improve_no_variables(self, capsys):
+        code = main(["improve", "(+ 1 2)"])
+        assert code == 1
+
+    def test_corpus_list(self, capsys):
+        code = main(["corpus", "--list"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "paper-csqrt-imag" in out
+        assert out.count("\n") == 86
+
+    def test_corpus_single(self, capsys):
+        code = main([
+            "corpus", "--name", "paper-x-plus-1-minus-x",
+            "--points", "4", "--precision", "192",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "max-error" in out
+
+    def test_corpus_unknown_name(self):
+        assert main(["corpus", "--name", "nope", "--points", "2"]) == 1
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
