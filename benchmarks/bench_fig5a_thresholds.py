@@ -8,7 +8,7 @@ pick the threshold to trade thoroughness against report volume.
 
 from __future__ import annotations
 
-from repro.core import analyze_fpcore
+from repro.api import AnalysisSession
 
 from conftest import SWEEP_CONFIG, write_result
 
@@ -16,6 +16,10 @@ THRESHOLDS = [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0]
 
 
 def test_fig5a_threshold_sweep(benchmark, sweep_corpus):
+    # One session across the sweep: programs and sampled inputs are
+    # compiled/drawn once and reused for all eight thresholds.
+    session = AnalysisSession(config=SWEEP_CONFIG, num_points=8, seed=5)
+
     def experiment():
         flagged_by_threshold = {}
         for threshold in THRESHOLDS:
@@ -23,9 +27,7 @@ def test_fig5a_threshold_sweep(benchmark, sweep_corpus):
             total_flagged = 0
             total_reported = 0
             for core in sweep_corpus:
-                analysis = analyze_fpcore(
-                    core, config=config, num_points=8, seed=5
-                )
+                analysis = session.analyze(core, config=config).raw
                 total_flagged += len(analysis.candidate_records())
                 total_reported += len(analysis.reported_root_causes())
             flagged_by_threshold[threshold] = (total_flagged, total_reported)

@@ -15,7 +15,7 @@ as what you get instead of e^x - 1.
 
 from __future__ import annotations
 
-from repro.core import analyze_fpcore
+from repro.api import AnalysisSession
 from repro.fpcore import corpus_by_name, expression_size
 from repro.fpcore.printer import format_expr
 from repro.machine import build_libm
@@ -34,14 +34,14 @@ def _collect(wrap: bool):
     corpus = corpus_by_name()
     libm = None if wrap else build_libm()
     config = SWEEP_CONFIG.with_(max_expression_depth=40)
+    session = AnalysisSession(config=config, num_points=6, seed=9)
     sizes = []
     flagged = 0
     texts = []
     for name in WORKLOAD:
-        analysis = analyze_fpcore(
-            corpus[name], config=config, num_points=6, seed=9,
-            wrap_libraries=wrap, libm=libm,
-        )
+        analysis = session.analyze(
+            corpus[name], wrap_libraries=wrap, libm=libm,
+        ).raw
         for record in analysis.candidate_records():
             flagged += 1
             if record.symbolic_expression is not None:

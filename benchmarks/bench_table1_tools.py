@@ -18,11 +18,10 @@ from __future__ import annotations
 
 import time
 
-from repro.comparisons import run_bz, run_fpdebug, run_verrou
+from repro.api import AnalysisRequest, AnalysisSession, get_backend
 from repro.comparisons.verrou import RandomRoundingTracer
-from repro.core import AnalysisConfig, analyze_program
 from repro.fpcore import corpus_by_name
-from repro.machine import Interpreter, compile_fpcore
+from repro.machine import Interpreter
 
 from conftest import SWEEP_CONFIG, write_result
 
@@ -35,15 +34,21 @@ POINTS_PER_BENCHMARK = 20
 
 
 def _workload():
+    """(request, program, points) triples via the repro.api session —
+    all four tools run on identical compiled programs and inputs."""
     corpus = corpus_by_name()
-    programs = []
+    session = AnalysisSession(
+        config=SWEEP_CONFIG, num_points=POINTS_PER_BENCHMARK, seed=3
+    )
+    triples = []
     for name in WORKLOAD_NAMES:
         core = corpus[name]
-        from repro.core.driver import sample_inputs
-
-        points = sample_inputs(core, POINTS_PER_BENCHMARK, seed=3)
-        programs.append((name, compile_fpcore(core), points))
-    return programs
+        request = AnalysisRequest.build(
+            core, num_points=POINTS_PER_BENCHMARK, seed=3,
+            config=SWEEP_CONFIG,
+        )
+        triples.append((request, session.compiled(core), session.sampled(core)))
+    return triples
 
 
 def _time_native(workload) -> float:
@@ -54,21 +59,18 @@ def _time_native(workload) -> float:
     return time.perf_counter() - start
 
 
-def _time_herbgrind(workload) -> float:
+def _time_backend(workload, backend_name: str) -> float:
+    backend = get_backend(backend_name)
     start = time.perf_counter()
-    for __, program, points in workload:
-        analyze_program(program, points, config=SWEEP_CONFIG)
-    return time.perf_counter() - start
-
-
-def _time_fpdebug(workload) -> float:
-    start = time.perf_counter()
-    for __, program, points in workload:
-        run_fpdebug(program, points, precision=256)
+    for request, program, points in workload:
+        backend.run(program, points, request)
     return time.perf_counter() - start
 
 
 def _time_verrou(workload) -> float:
+    # Timed as a single perturbed execution per point (the Monte-Carlo
+    # kernel) rather than the full 8-run stability protocol of the
+    # ``verrou`` backend, matching the paper's per-run overhead row.
     import random
 
     start = time.perf_counter()
@@ -79,23 +81,16 @@ def _time_verrou(workload) -> float:
     return time.perf_counter() - start
 
 
-def _time_bz(workload) -> float:
-    start = time.perf_counter()
-    for __, program, points in workload:
-        run_bz(program, points)
-    return time.perf_counter() - start
-
-
 def test_table1_overhead_and_features(benchmark):
     workload = _workload()
 
     def experiment():
         native = _time_native(workload)
         rows = {
-            "FpDebug": _time_fpdebug(workload) / native,
-            "BZ": _time_bz(workload) / native,
+            "FpDebug": _time_backend(workload, "fpdebug") / native,
+            "BZ": _time_backend(workload, "bz") / native,
             "Verrou": _time_verrou(workload) / native,
-            "Herbgrind": _time_herbgrind(workload) / native,
+            "Herbgrind": _time_backend(workload, "herbgrind") / native,
         }
         return native, rows
 

@@ -8,7 +8,8 @@ ranges Herbgrind observed, the repair is found.
 Run:  python examples/improve_with_ranges.py
 """
 
-from repro.core import AnalysisConfig, analyze_fpcore
+from repro.api import AnalysisSession
+from repro.core import AnalysisConfig
 from repro.eval import sample_points_for_record
 from repro.fpcore import parse_fpcore
 from repro.fpcore.printer import format_expr
@@ -26,8 +27,8 @@ def main() -> None:
     core = parse_fpcore(SOURCE)
     # Exercise baz on a spread of inputs, a few of them near the pole.
     points = [[110.0], [150.0], [190.0], [113.0000001], [112.9999999], [113.001]]
-    config = AnalysisConfig(shadow_precision=256)
-    analysis = analyze_fpcore(core, points=points, config=config)
+    session = AnalysisSession(config=AnalysisConfig(shadow_precision=256))
+    analysis = session.analyze(core, points=points).raw
 
     causes = analysis.reported_root_causes()
     if not causes:

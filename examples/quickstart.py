@@ -8,7 +8,8 @@ Herbgrind-style report, then ask the mini-Herbie for a repair.
 Run:  python examples/quickstart.py
 """
 
-from repro.core import AnalysisConfig, analyze_fpcore, generate_report
+from repro.api import AnalysisSession
+from repro.core import AnalysisConfig, generate_report
 from repro.eval import sample_points_for_record
 from repro.fpcore import parse_fpcore
 from repro.fpcore.printer import format_expr
@@ -25,11 +26,16 @@ SOURCE = """
 def main() -> None:
     core = parse_fpcore(SOURCE)
 
-    # 1. Run the dynamic analysis on sampled inputs.
-    config = AnalysisConfig(shadow_precision=256)
-    analysis = analyze_fpcore(core, config=config, num_points=16)
+    # 1. Run the dynamic analysis on sampled inputs through the
+    #    repro.api session (the single entry point for every backend).
+    session = AnalysisSession(
+        config=AnalysisConfig(shadow_precision=256), num_points=16
+    )
+    result = session.analyze(core)
+    analysis = result.raw
 
     # 2. Print the report: spots, root causes, input characteristics.
+    #    (result.to_json() is the machine-readable equivalent.)
     report = generate_report(analysis)
     print(report.format())
 

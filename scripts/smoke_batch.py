@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""CI smoke test: a time-budgeted corpus batch through AnalysisSession.
+
+Analyzes as much of the 86-benchmark corpus as fits in the budget
+(default 30 s) with ``workers=4``, then re-runs the same slice
+sequentially and asserts byte-identical JSON — the batch-parity
+guarantee of :mod:`repro.api` exercised end to end on every push.
+
+Usage:  python scripts/smoke_batch.py [--budget SECONDS]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.api import AnalysisSession, results_to_json
+from repro.core import AnalysisConfig
+from repro.fpcore import load_corpus
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--budget", type=float, default=30.0,
+                        help="wall-clock budget in seconds")
+    parser.add_argument("--min-benchmarks", type=int, default=20,
+                        help="fail if fewer than this many complete")
+    args = parser.parse_args(argv)
+
+    corpus = load_corpus()
+    session = AnalysisSession(
+        config=AnalysisConfig(shadow_precision=192), num_points=6, seed=7
+    )
+
+    start = time.perf_counter()
+    # Grow the batch in chunks until ~half the budget is spent; the
+    # other half pays for the sequential parity re-run.
+    done = []
+    chunk = 10
+    index = 0
+    while index < len(corpus) and time.perf_counter() - start < args.budget / 2:
+        batch = corpus[index:index + chunk]
+        done.extend(session.analyze_batch(batch, workers=4))
+        index += len(batch)
+    parallel_time = time.perf_counter() - start
+
+    sequential = session.analyze_batch(corpus[:index], workers=1)
+    total_time = time.perf_counter() - start
+
+    if results_to_json(done) != results_to_json(sequential):
+        print("FAIL: parallel and sequential JSON differ", file=sys.stderr)
+        return 1
+    if index < args.min_benchmarks:
+        print(
+            f"FAIL: only {index} benchmarks fit the budget "
+            f"(need {args.min_benchmarks})",
+            file=sys.stderr,
+        )
+        return 1
+
+    detected = sum(1 for r in done if r.detected)
+    print(
+        f"smoke batch ok: {index} benchmarks, {detected} with erroneous "
+        f"spots, parallel {parallel_time:.1f}s, total {total_time:.1f}s"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,9 @@ Python substrates:
   characteristics, compensation detection and library wrapping.
 * :mod:`repro.improve` — a mini-Herbie rewrite search used to judge
   improvability of reported root causes.
+* :mod:`repro.api` — the programmatic façade: ``AnalysisSession`` with
+  cross-call caches, pluggable analysis backends, batch execution over
+  a process pool, and JSON-serializable requests/results.
 * :mod:`repro.apps` — the paper's case studies (complex plotter,
   Gram-Schmidt, PID controller, Gromacs dihedral kernel, Triangle).
 * :mod:`repro.comparisons` — FpDebug / Verrou / BZ baseline analyses.

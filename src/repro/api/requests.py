@@ -1,0 +1,120 @@
+"""The typed request half of the :mod:`repro.api` façade.
+
+An :class:`AnalysisRequest` pins down everything needed to reproduce
+one analysis — benchmark source, backend, sampling parameters, and the
+analysis configuration — and serializes to JSON so requests can be
+queued, shipped to worker processes, and replayed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.core.config import AnalysisConfig
+from repro.fpcore.ast import FPCore
+from repro.fpcore.parser import parse_fpcore
+from repro.fpcore.printer import format_fpcore
+
+#: Accepted benchmark spellings for convenience constructors.
+CoreLike = Union[FPCore, str]
+
+
+def coerce_core(core: CoreLike) -> FPCore:
+    """Accept an :class:`FPCore` or FPCore source text."""
+    if isinstance(core, FPCore):
+        return core
+    return parse_fpcore(core)
+
+
+def config_to_dict(config: AnalysisConfig) -> Dict[str, Any]:
+    """A plain-dict form of an :class:`AnalysisConfig`."""
+    return dataclasses.asdict(config)
+
+
+def config_from_dict(data: Dict[str, Any]) -> AnalysisConfig:
+    return AnalysisConfig(**data)
+
+
+@dataclass
+class AnalysisRequest:
+    """One benchmark analysis, fully specified.
+
+    ``points`` overrides sampling when given; otherwise ``num_points``
+    inputs are drawn from the benchmark's :pre box with ``seed``.
+    """
+
+    core: FPCore
+    backend: str = "herbgrind"
+    num_points: int = 16
+    seed: int = 0
+    points: Optional[List[List[float]]] = None
+    config: AnalysisConfig = field(default_factory=AnalysisConfig)
+    wrap_libraries: bool = True
+    #: Optional libm override (a dict of IR functions).  In-process
+    #: only: it is not serialized and cannot cross a worker boundary.
+    libm: Any = field(default=None, compare=False, repr=False)
+
+    @classmethod
+    def build(
+        cls,
+        core: CoreLike,
+        backend: str = "herbgrind",
+        num_points: int = 16,
+        seed: int = 0,
+        points: Optional[Sequence[Sequence[float]]] = None,
+        config: Optional[AnalysisConfig] = None,
+        wrap_libraries: bool = True,
+        libm: Any = None,
+    ) -> "AnalysisRequest":
+        return cls(
+            core=coerce_core(core),
+            backend=backend,
+            num_points=num_points,
+            seed=seed,
+            points=[list(p) for p in points] if points is not None else None,
+            config=config if config is not None else AnalysisConfig(),
+            wrap_libraries=wrap_libraries,
+            libm=libm,
+        )
+
+    @property
+    def name(self) -> str:
+        return self.core.name or "<anonymous>"
+
+    def to_dict(self) -> Dict[str, Any]:
+        if self.libm is not None:
+            raise ValueError(
+                "a libm override cannot cross a process boundary; "
+                "run this request in-process (workers=1)"
+            )
+        return {
+            "core": format_fpcore(self.core),
+            "backend": self.backend,
+            "num_points": self.num_points,
+            "seed": self.seed,
+            "points": self.points,
+            "config": config_to_dict(self.config),
+            "wrap_libraries": self.wrap_libraries,
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "AnalysisRequest":
+        return cls(
+            core=parse_fpcore(data["core"]),
+            backend=data.get("backend", "herbgrind"),
+            num_points=data.get("num_points", 16),
+            seed=data.get("seed", 0),
+            points=data.get("points"),
+            config=config_from_dict(data.get("config", {})),
+            wrap_libraries=data.get("wrap_libraries", True),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "AnalysisRequest":
+        return cls.from_dict(json.loads(text))

@@ -1,0 +1,192 @@
+"""Typed analysis results with full JSON (de)serialization.
+
+Every backend (Herbgrind, FpDebug, Verrou, BZ) reports through the
+same shapes so callers can batch heterogeneous analyses and persist or
+ship the outcomes:
+
+* :class:`ErrorStats` — bits-of-error statistics for one site,
+* :class:`RootCauseResult` — one candidate root cause (symbolic
+  expression, observed input ranges, example problematic input),
+* :class:`SpotResult` — one output/branch/conversion spot and the
+  site-ids of the root causes that influenced it,
+* :class:`AnalysisResult` — the full outcome of one request.
+
+Serialization is deterministic: dictionaries are emitted with sorted
+keys and every list is ordered by a stable site key, so the same
+request produces byte-identical JSON whether it ran in-process or in a
+worker pool (the ``analyze_batch`` parity guarantee).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Bump when the serialized shape changes incompatibly.
+RESULT_SCHEMA_VERSION = 1
+
+
+@dataclass
+class ErrorStats:
+    """Bits-of-error statistics for one site (op or spot)."""
+
+    executions: int = 0
+    erroneous: int = 0
+    max_bits: float = 0.0
+    average_bits: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ErrorStats":
+        return cls(**data)
+
+
+@dataclass
+class RootCauseResult:
+    """One candidate root cause, in report-ready form."""
+
+    site_id: int
+    op: str
+    loc: Optional[str]
+    expression: Optional[str]
+    variables: List[str] = field(default_factory=list)
+    precondition_clauses: List[str] = field(default_factory=list)
+    problematic_clauses: List[str] = field(default_factory=list)
+    example_problematic: Optional[Dict[str, float]] = None
+    compensations_detected: int = 0
+    local_error: ErrorStats = field(default_factory=ErrorStats)
+
+    def fpcore_text(self) -> str:
+        """The (FPCore ...) form with the observed-input :pre."""
+        if self.expression is None:
+            return f"({self.op} <no expression>)"
+        arguments = " ".join(self.variables)
+        clauses = self.precondition_clauses
+        if not clauses:
+            pre = ""
+        elif len(clauses) == 1:
+            pre = f"\n  :pre {clauses[0]}"
+        else:
+            joined = "\n            ".join(clauses)
+            pre = f"\n  :pre (and {joined})"
+        return f"(FPCore ({arguments}){pre}\n  {self.expression})"
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = asdict(self)
+        data["local_error"] = self.local_error.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RootCauseResult":
+        data = dict(data)
+        data["local_error"] = ErrorStats.from_dict(data["local_error"])
+        return cls(**data)
+
+
+@dataclass
+class SpotResult:
+    """One spot (output, branch, or conversion) and its influences."""
+
+    site_id: int
+    kind: str
+    loc: Optional[str]
+    error: ErrorStats = field(default_factory=ErrorStats)
+    #: site_ids of the root causes whose influence reached this spot.
+    root_cause_sites: List[int] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = asdict(self)
+        data["error"] = self.error.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SpotResult":
+        data = dict(data)
+        data["error"] = ErrorStats.from_dict(data["error"])
+        return cls(**data)
+
+
+@dataclass
+class AnalysisResult:
+    """The outcome of one :class:`~repro.api.requests.AnalysisRequest`.
+
+    ``raw`` optionally carries the backend's native analysis object
+    (e.g. a ``HerbgrindAnalysis``) when the analysis ran in-process; it
+    is never serialized and is ``None`` for results that crossed a
+    process boundary.
+    """
+
+    benchmark: str
+    backend: str
+    seed: int
+    num_points: int
+    max_output_error: float = 0.0
+    root_causes: List[RootCauseResult] = field(default_factory=list)
+    spots: List[SpotResult] = field(default_factory=list)
+    #: Backend-specific details (e.g. Verrou stability spreads).
+    extra: Dict[str, Any] = field(default_factory=dict)
+    schema_version: int = RESULT_SCHEMA_VERSION
+    raw: Any = field(default=None, compare=False, repr=False)
+
+    @property
+    def detected(self) -> bool:
+        """Whether the backend registered any erroneous spot."""
+        return any(spot.error.erroneous > 0 for spot in self.spots)
+
+    def reported_root_causes(self) -> List[RootCauseResult]:
+        """Root causes whose influence reached at least one spot."""
+        reached = set()
+        for spot in self.spots:
+            reached.update(spot.root_cause_sites)
+        return [c for c in self.root_causes if c.site_id in reached]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "benchmark": self.benchmark,
+            "backend": self.backend,
+            "seed": self.seed,
+            "num_points": self.num_points,
+            "max_output_error": self.max_output_error,
+            "root_causes": [c.to_dict() for c in self.root_causes],
+            "spots": [s.to_dict() for s in self.spots],
+            "extra": self.extra,
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "AnalysisResult":
+        return cls(
+            benchmark=data["benchmark"],
+            backend=data["backend"],
+            seed=data["seed"],
+            num_points=data["num_points"],
+            max_output_error=data["max_output_error"],
+            root_causes=[
+                RootCauseResult.from_dict(c) for c in data["root_causes"]
+            ],
+            spots=[SpotResult.from_dict(s) for s in data["spots"]],
+            extra=data.get("extra", {}),
+            schema_version=data.get("schema_version", RESULT_SCHEMA_VERSION),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "AnalysisResult":
+        return cls.from_dict(json.loads(text))
+
+
+def results_to_json(results: List[AnalysisResult], indent: Optional[int] = 2) -> str:
+    """Serialize a batch of results as one JSON array."""
+    return json.dumps(
+        [r.to_dict() for r in results], indent=indent, sort_keys=True
+    )
+
+
+def results_from_json(text: str) -> List[AnalysisResult]:
+    """Deserialize a batch serialized by :func:`results_to_json`."""
+    return [AnalysisResult.from_dict(d) for d in json.loads(text)]

@@ -1,0 +1,156 @@
+"""Shared input sampling for every analysis entry point.
+
+Historically ``cli.py`` and ``core/driver.py`` each hand-rolled the
+log-uniform range sampler; this module is now the single home for it.
+The sampler follows Herbie's convention: a range lying entirely on one
+side of zero and spanning more than ``LOG_SPAN_RATIO`` binades is
+sampled log-uniformly (linear sampling of [1e-12, 1] would essentially
+never produce a value below 1e-3, and cancellation benchmarks live in
+exactly those tiny regions).  Ranges that straddle zero are handled
+explicitly: each side is weighted by its width, and a side spanning
+many binades is log-sampled down to a magnitude floor derived from the
+range itself, so values near zero remain reachable.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.fpcore.ast import FPCore, Num, Op, Var
+from repro.fpcore.evaluator import eval_double
+
+#: A one-sided range whose high/low ratio exceeds this is log-sampled.
+LOG_SPAN_RATIO = 1e3
+
+#: Default sampling box for arguments without a :pre range.
+DEFAULT_RANGE = (-1e9, 1e9)
+
+
+def precondition_box(core: FPCore) -> Dict[str, Tuple[float, float]]:
+    """Extract per-argument sampling ranges from the :pre conjunction.
+
+    Non-range clauses are ignored here (they are rejection-tested by
+    the sampler); arguments without a range default to ``DEFAULT_RANGE``.
+    """
+    box: Dict[str, Tuple[float, float]] = {}
+
+    def visit(expr) -> None:
+        if isinstance(expr, Op) and expr.op == "and":
+            for arg in expr.args:
+                visit(arg)
+        elif (
+            isinstance(expr, Op)
+            and expr.op == "<="
+            and len(expr.args) == 3
+            and isinstance(expr.args[0], Num)
+            and isinstance(expr.args[1], Var)
+            and isinstance(expr.args[2], Num)
+        ):
+            low, variable, high = expr.args
+            box[variable.name] = (float(low.value), float(high.value))
+
+    if core.pre is not None:
+        visit(core.pre)
+    for argument in core.arguments:
+        box.setdefault(argument, DEFAULT_RANGE)
+    return box
+
+
+def _log_uniform(rng: random.Random, low: float, high: float) -> float:
+    """Log-uniform sample from a strictly positive range."""
+    return math.exp(rng.uniform(math.log(low), math.log(high)))
+
+
+def sample_range(
+    rng: random.Random,
+    low: float,
+    high: float,
+    zero_span_log: bool = False,
+) -> float:
+    """Sample one value from [low, high], log-uniformly when wide.
+
+    * ``0 < low < high`` spanning > ``LOG_SPAN_RATIO``: log-uniform.
+    * ``low < high < 0`` spanning > ``LOG_SPAN_RATIO``: mirrored
+      log-uniform.
+    * ``low <= 0 <= high``: linear by default (the historical behavior
+      every existing experiment was calibrated against).  With
+      ``zero_span_log=True`` a side is chosen with probability
+      proportional to its width and its magnitude log-sampled down to
+      a floor ``LOG_SPAN_RATIO`` binades below the side's extreme, so
+      near-zero inputs actually occur.
+    """
+    if low > high:
+        raise ValueError(f"empty sampling range [{low}, {high}]")
+    if low > 0 and high / low > LOG_SPAN_RATIO:
+        return _log_uniform(rng, low, high)
+    if high < 0 and low / high > LOG_SPAN_RATIO:
+        return -_log_uniform(rng, -high, -low)
+    if zero_span_log and low < 0 < high:
+        width = high - low
+        pick_negative = rng.random() < (-low) / width
+        magnitude = -low if pick_negative else high
+        if magnitude > 0 and not math.isinf(magnitude):
+            floor = magnitude / LOG_SPAN_RATIO
+            value = _log_uniform(rng, floor, magnitude)
+            return -value if pick_negative else value
+    return rng.uniform(low, high)
+
+
+def sample_inputs(
+    core: FPCore,
+    count: int,
+    seed: int = 0,
+    max_rejections: int = 1000,
+) -> List[List[float]]:
+    """Sample ``count`` input tuples satisfying the :pre.
+
+    Candidate points are drawn from the :pre's range box via
+    :func:`sample_range` and rejection-tested against the full
+    precondition; exceeding ``max_rejections`` consecutive failures
+    raises ``ValueError`` (the precondition is presumed unsatisfiable
+    by box sampling).
+    """
+    rng = random.Random(seed)
+    box = precondition_box(core)
+    points: List[List[float]] = []
+    rejections = 0
+    while len(points) < count:
+        point = [
+            sample_range(rng, *box[argument]) for argument in core.arguments
+        ]
+        if core.pre is not None:
+            env = dict(zip(core.arguments, point))
+            try:
+                acceptable = bool(eval_double(core.pre, env))
+            except Exception:
+                acceptable = False
+            if not acceptable:
+                rejections += 1
+                if rejections > max_rejections:
+                    raise ValueError(
+                        f"{core.name}: cannot satisfy precondition"
+                    )
+                continue
+        points.append(point)
+    return points
+
+
+def sample_box(
+    variables: Sequence[str],
+    low: float,
+    high: float,
+    count: int,
+    seed: int = 0,
+) -> List[List[float]]:
+    """Sample ``count`` points from one [low, high] range per variable.
+
+    This is the improver's blind-box sampler (``herbgrind-py improve
+    --range``), previously re-implemented inline by the CLI.
+    """
+    rng = random.Random(seed)
+    return [
+        [sample_range(rng, low, high) for __ in variables]
+        for __ in range(count)
+    ]

@@ -1,0 +1,207 @@
+"""The :class:`AnalysisSession` façade — configure once, analyze many.
+
+A session owns the cross-call caches (compiled programs and sampled
+input sets, keyed by benchmark source text) and routes every request
+through the backend registry.  ``analyze_batch`` fans a corpus out
+over a ``multiprocessing`` pool; results are byte-identical to
+sequential execution with the same seed because all sampling is
+seeded per-benchmark and every serialized list is deterministically
+ordered (see :mod:`repro.api.results`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.api.backends import get_backend
+from repro.api.requests import AnalysisRequest, CoreLike, coerce_core
+from repro.api.results import AnalysisResult
+from repro.api.sampling import sample_inputs
+from repro.core.config import AnalysisConfig
+from repro.fpcore.ast import FPCore
+from repro.fpcore.printer import format_fpcore
+from repro.machine import isa
+from repro.machine.compiler import compile_fpcore
+
+RequestLike = Union[CoreLike, AnalysisRequest]
+
+
+def _execute(request: AnalysisRequest) -> AnalysisResult:
+    """Run one request from scratch (no caches) — the worker path."""
+    program = compile_fpcore(request.core)
+    points = request.points
+    if points is None:
+        points = sample_inputs(
+            request.core, request.num_points, seed=request.seed
+        )
+    backend = get_backend(request.backend)
+    return backend.run(program, points, request)
+
+
+def _worker(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Pool worker: dict in, dict out — keeps everything picklable."""
+    return _execute(AnalysisRequest.from_dict(payload)).to_dict()
+
+
+class AnalysisSession:
+    """One configured analysis context, reusable across many calls.
+
+    >>> session = AnalysisSession(config=AnalysisConfig(shadow_precision=256))
+    >>> result = session.analyze("(FPCore (x) :pre (<= 1e15 x 1e16) (- (+ x 1) x))")
+    >>> result.max_output_error > 5
+    True
+    """
+
+    def __init__(
+        self,
+        config: Optional[AnalysisConfig] = None,
+        backend: str = "herbgrind",
+        num_points: int = 16,
+        seed: int = 0,
+        wrap_libraries: bool = True,
+    ) -> None:
+        self.config = config if config is not None else AnalysisConfig()
+        self.backend = backend
+        self.num_points = num_points
+        self.seed = seed
+        self.wrap_libraries = wrap_libraries
+        self._programs: Dict[str, isa.Program] = {}
+        self._points: Dict[Tuple[str, int, int], List[List[float]]] = {}
+        self._cores: Dict[str, FPCore] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # ------------------------------------------------------------------
+    # Caches
+    # ------------------------------------------------------------------
+
+    def _key(self, core: FPCore) -> str:
+        return format_fpcore(core)
+
+    def compiled(self, core: CoreLike) -> isa.Program:
+        """The compiled program for ``core``, cached by source text."""
+        core = coerce_core(core)
+        key = self._key(core)
+        program = self._programs.get(key)
+        if program is None:
+            self.cache_misses += 1
+            program = compile_fpcore(core)
+            self._programs[key] = program
+            self._cores[key] = core
+        else:
+            self.cache_hits += 1
+        return program
+
+    def sampled(
+        self,
+        core: CoreLike,
+        count: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> List[List[float]]:
+        """Sampled inputs for ``core``, cached by (source, count, seed)."""
+        core = coerce_core(core)
+        count = self.num_points if count is None else count
+        seed = self.seed if seed is None else seed
+        key = (self._key(core), count, seed)
+        points = self._points.get(key)
+        if points is None:
+            self.cache_misses += 1
+            points = sample_inputs(core, count, seed=seed)
+            self._points[key] = points
+        else:
+            self.cache_hits += 1
+        return points
+
+    def clear_caches(self) -> None:
+        self._programs.clear()
+        self._points.clear()
+        self._cores.clear()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def cache_stats(self) -> Dict[str, int]:
+        return {
+            "programs": len(self._programs),
+            "input_sets": len(self._points),
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+        }
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+
+    _OVERRIDE_KEYS = frozenset(
+        ("backend", "num_points", "seed", "points", "config",
+         "wrap_libraries", "libm")
+    )
+
+    def request(self, core: RequestLike, **overrides) -> AnalysisRequest:
+        """Build a request from session defaults plus ``overrides``."""
+        unknown = set(overrides) - self._OVERRIDE_KEYS
+        if unknown:
+            raise TypeError(
+                f"unknown analysis override(s): {sorted(unknown)} "
+                f"(expected from {sorted(self._OVERRIDE_KEYS)})"
+            )
+        if isinstance(core, AnalysisRequest):
+            if overrides:
+                raise TypeError(
+                    "cannot combine overrides with a prebuilt "
+                    "AnalysisRequest; set the fields on the request"
+                )
+            return core
+        return AnalysisRequest.build(
+            core,
+            backend=overrides.get("backend", self.backend),
+            num_points=overrides.get("num_points", self.num_points),
+            seed=overrides.get("seed", self.seed),
+            points=overrides.get("points"),
+            config=overrides.get("config", self.config),
+            wrap_libraries=overrides.get(
+                "wrap_libraries", self.wrap_libraries
+            ),
+            libm=overrides.get("libm"),
+        )
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+
+    def analyze(self, core: RequestLike, **overrides) -> AnalysisResult:
+        """Analyze one benchmark through the configured backend.
+
+        Compiled programs and sampled input sets are reused across
+        calls with the same source/count/seed.
+        """
+        request = self.request(core, **overrides)
+        program = self.compiled(request.core)
+        points = request.points
+        if points is None:
+            points = self.sampled(
+                request.core, request.num_points, request.seed
+            )
+        backend = get_backend(request.backend)
+        return backend.run(program, points, request)
+
+    def analyze_batch(
+        self,
+        cores: Sequence[RequestLike],
+        workers: int = 1,
+        **overrides,
+    ) -> List[AnalysisResult]:
+        """Analyze a corpus, optionally over a process pool.
+
+        ``workers=1`` runs sequentially in-process (and warms this
+        session's caches); ``workers=N`` fans out over N processes.
+        Either way the results arrive in corpus order and serialize to
+        byte-identical JSON for the same seed.
+        """
+        requests = [self.request(core, **overrides) for core in cores]
+        if workers <= 1 or len(requests) <= 1:
+            return [self.analyze(request) for request in requests]
+        payloads = [request.to_dict() for request in requests]
+        with multiprocessing.Pool(processes=workers) as pool:
+            dicts = pool.map(_worker, payloads, chunksize=1)
+        return [AnalysisResult.from_dict(d) for d in dicts]

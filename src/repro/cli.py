@@ -2,10 +2,14 @@
 
 Sub-commands:
 
-* ``analyze <fpcore-or-file>`` — run the analysis on sampled inputs and
-  print the Herbgrind-style report.
+* ``analyze <fpcore-or-file>`` — run an analysis backend on sampled
+  inputs and print the Herbgrind-style report (or ``--json``).
 * ``improve <expr>`` — run the mini-Herbie on a bare expression.
 * ``corpus`` — list or analyse the bundled 86-benchmark suite.
+* ``backends`` — list the registered analysis backends.
+
+All analysis routes through :class:`repro.api.AnalysisSession`, so the
+CLI exercises exactly the code path programmatic and batch callers use.
 """
 
 from __future__ import annotations
@@ -15,7 +19,13 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.core import AnalysisConfig, analyze_fpcore, generate_report
+from repro.api import (
+    AnalysisSession,
+    available_backends,
+    results_to_json,
+    sample_box,
+)
+from repro.core import AnalysisConfig, generate_report
 from repro.fpcore import load_corpus, parse_expr, parse_fpcore
 from repro.fpcore.ast import free_variables
 from repro.fpcore.printer import format_expr
@@ -29,18 +39,43 @@ def _read_source(argument: str) -> str:
     return argument
 
 
+def _session(args: argparse.Namespace, **config_fields) -> AnalysisSession:
+    config = AnalysisConfig(
+        shadow_precision=args.precision, **config_fields
+    )
+    return AnalysisSession(
+        config=config,
+        backend=getattr(args, "backend", "herbgrind"),
+        num_points=args.points,
+        seed=getattr(args, "seed", 0),
+    )
+
+
+def _has_report(result) -> bool:
+    from repro.core.analysis import HerbgrindAnalysis
+
+    return isinstance(result.raw, HerbgrindAnalysis)
+
+
+def _print_result(result, as_json: bool) -> None:
+    if not as_json and _has_report(result):
+        print(generate_report(result.raw).format())
+    else:
+        # Non-Herbgrind backends have no report renderer; JSON is the
+        # canonical serialization.
+        print(result.to_json())
+
+
 def _command_analyze(args: argparse.Namespace) -> int:
     source = _read_source(args.source)
     core = parse_fpcore(source)
-    config = AnalysisConfig(
-        shadow_precision=args.precision,
+    session = _session(
+        args,
         local_error_threshold=args.threshold,
         max_expression_depth=args.depth,
     )
-    analysis = analyze_fpcore(
-        core, config=config, num_points=args.points, seed=args.seed
-    )
-    print(generate_report(analysis).format())
+    result = session.analyze(core)
+    _print_result(result, args.json)
     return 0
 
 
@@ -51,20 +86,7 @@ def _command_improve(args: argparse.Namespace) -> int:
         print("expression has no variables", file=sys.stderr)
         return 1
     low, high = args.range
-    import random
-
-    rng = random.Random(args.seed)
-    import math
-
-    points: List[List[float]] = []
-    for __ in range(args.points):
-        point = []
-        for __v in variables:
-            if low > 0 and high / low > 1e3:
-                point.append(math.exp(rng.uniform(math.log(low), math.log(high))))
-            else:
-                point.append(rng.uniform(low, high))
-        points.append(point)
+    points = sample_box(variables, low, high, args.points, seed=args.seed)
     result = improve_expression(expression, variables, points)
     print(f"before: {format_expr(result.original)}  ({result.initial_error:.1f} bits)")
     print(f"after:  {format_expr(result.best)}  ({result.best_error:.1f} bits)")
@@ -78,19 +100,26 @@ def _command_corpus(args: argparse.Namespace) -> int:
             family = core.properties.get("herbgrind-family", "?")
             print(f"{core.name:<28} [{family}] args={','.join(core.arguments)}")
         return 0
-    config = AnalysisConfig(shadow_precision=args.precision)
+    session = _session(args)
     selected = [c for c in corpus if args.name is None or c.name == args.name]
     if not selected:
         print(f"no benchmark named {args.name!r}", file=sys.stderr)
         return 1
-    for core in selected:
-        analysis = analyze_fpcore(core, config=config, num_points=args.points)
-        causes = analysis.reported_root_causes()
-        error = analysis.max_output_error()
-        print(f"{core.name:<28} max-error={error:5.1f} bits"
-              f"  root-causes={len(causes)}")
-        if args.name is not None:
-            print(generate_report(analysis).format())
+    results = session.analyze_batch(selected, workers=args.workers)
+    if args.json:
+        print(results_to_json(results))
+        return 0
+    for result in results:
+        print(f"{result.benchmark:<28} max-error={result.max_output_error:5.1f} bits"
+              f"  root-causes={len(result.reported_root_causes())}")
+        if args.name is not None and _has_report(result):
+            print(generate_report(result.raw).format())
+    return 0
+
+
+def _command_backends(args: argparse.Namespace) -> int:
+    for name in available_backends():
+        print(name)
     return 0
 
 
@@ -110,6 +139,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="local-error threshold Tℓ in bits")
     analyze.add_argument("--depth", type=int, default=20,
                          help="max expression depth")
+    analyze.add_argument("--backend", default="herbgrind",
+                         choices=available_backends(),
+                         help="analysis backend to run")
+    analyze.add_argument("--json", action="store_true",
+                         help="emit the AnalysisResult JSON serialization")
     analyze.set_defaults(func=_command_analyze)
 
     improve = sub.add_parser("improve", help="improve a bare expression")
@@ -127,7 +161,17 @@ def build_parser() -> argparse.ArgumentParser:
     corpus.add_argument("--name", help="analyse one benchmark in detail")
     corpus.add_argument("--points", type=int, default=8)
     corpus.add_argument("--precision", type=int, default=256)
+    corpus.add_argument("--backend", default="herbgrind",
+                        choices=available_backends(),
+                        help="analysis backend to run")
+    corpus.add_argument("--workers", type=int, default=1,
+                        help="worker processes for batch analysis")
+    corpus.add_argument("--json", action="store_true",
+                        help="emit AnalysisResult JSON for the batch")
     corpus.set_defaults(func=_command_corpus)
+
+    backends = sub.add_parser("backends", help="list analysis backends")
+    backends.set_defaults(func=_command_backends)
     return parser
 
 

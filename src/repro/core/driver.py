@@ -1,102 +1,28 @@
-"""Convenience drivers: analyse an FPCore benchmark end to end.
+"""Legacy convenience drivers — thin shims over :mod:`repro.api`.
 
-This is the pipeline of the paper's Section 8.1 methodology: compile a
-benchmark to native form, run it under the analysis on sampled inputs,
-and collect the report — minus Herbie, which lives in
-:mod:`repro.improve`.
+The sampling and end-to-end analysis entry points that used to live
+here moved into the :mod:`repro.api` façade (``AnalysisSession``,
+``repro.api.sampling``).  These signatures are kept so existing
+callers and tests continue to work; new code should use the session::
+
+    from repro.api import AnalysisSession
+    session = AnalysisSession(config=config)
+    result = session.analyze(core)          # AnalysisResult
+    analysis = result.raw                   # HerbgrindAnalysis
 """
 
 from __future__ import annotations
 
-import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
-from repro.core.analysis import HerbgrindAnalysis, analyze_program
+# Re-exported so ``from repro.core.driver import sample_inputs`` (and
+# the package-level ``repro.core`` exports) keep working.
+from repro.api.sampling import precondition_box, sample_inputs  # noqa: F401
+from repro.core.analysis import HerbgrindAnalysis
 from repro.core.config import AnalysisConfig
-from repro.fpcore.ast import FPCore, Num, Op, Var
-from repro.fpcore.evaluator import eval_double
-from repro.machine.compiler import compile_fpcore
+from repro.fpcore.ast import FPCore
 
-
-def precondition_box(core: FPCore) -> Dict[str, Tuple[float, float]]:
-    """Extract per-argument sampling ranges from the :pre conjunction.
-
-    Non-range clauses are ignored here (they are rejection-tested by
-    the sampler); arguments without a range default to [-1e9, 1e9].
-    """
-    box: Dict[str, Tuple[float, float]] = {}
-
-    def visit(expr) -> None:
-        if isinstance(expr, Op) and expr.op == "and":
-            for arg in expr.args:
-                visit(arg)
-        elif (
-            isinstance(expr, Op)
-            and expr.op == "<="
-            and len(expr.args) == 3
-            and isinstance(expr.args[0], Num)
-            and isinstance(expr.args[1], Var)
-            and isinstance(expr.args[2], Num)
-        ):
-            low, variable, high = expr.args
-            box[variable.name] = (float(low.value), float(high.value))
-
-    if core.pre is not None:
-        visit(core.pre)
-    for argument in core.arguments:
-        box.setdefault(argument, (-1e9, 1e9))
-    return box
-
-
-def _sample_range(rng: random.Random, low: float, high: float) -> float:
-    """Sample a range, log-uniformly when it spans many binades.
-
-    Linear sampling of [1e-12, 1] would essentially never produce a
-    value below 1e-3; benchmarks whose interesting inputs are tiny
-    (most cancellation problems) need log-scale sampling, which is also
-    what Herbie does.
-    """
-    if low > 0 and high / low > 1e3:
-        import math
-
-        return math.exp(rng.uniform(math.log(low), math.log(high)))
-    if high < 0 and low / high > 1e3:
-        import math
-
-        return -math.exp(rng.uniform(math.log(-high), math.log(-low)))
-    return rng.uniform(low, high)
-
-
-def sample_inputs(
-    core: FPCore,
-    count: int,
-    seed: int = 0,
-    max_rejections: int = 1000,
-) -> List[List[float]]:
-    """Sample ``count`` input tuples satisfying the :pre."""
-    rng = random.Random(seed)
-    box = precondition_box(core)
-    points: List[List[float]] = []
-    rejections = 0
-    while len(points) < count:
-        point = [
-            _sample_range(rng, *box[argument]) for argument in core.arguments
-        ]
-        if core.pre is not None:
-            env = dict(zip(core.arguments, point))
-            try:
-                acceptable = bool(eval_double(core.pre, env))
-            except Exception:
-                acceptable = False
-            if not acceptable:
-                rejections += 1
-                if rejections > max_rejections:
-                    raise ValueError(
-                        f"{core.name}: cannot satisfy precondition"
-                    )
-                continue
-        points.append(point)
-    return points
+__all__ = ["analyze_fpcore", "precondition_box", "sample_inputs"]
 
 
 def analyze_fpcore(
@@ -108,15 +34,24 @@ def analyze_fpcore(
     wrap_libraries: bool = True,
     libm=None,
 ) -> HerbgrindAnalysis:
-    """Compile and analyse one benchmark on sampled (or given) inputs."""
-    program = compile_fpcore(core)
-    if points is None:
-        points = sample_inputs(core, num_points, seed=seed)
-    analysis, __ = analyze_program(
-        program,
-        points,
+    """Compile and analyse one benchmark (deprecated shim).
+
+    Delegates to a one-shot :class:`repro.api.AnalysisSession` and
+    returns the underlying :class:`HerbgrindAnalysis` for backward
+    compatibility; prefer ``session.analyze(...)`` which returns the
+    serializable :class:`repro.api.AnalysisResult`.
+    """
+    from repro.api import AnalysisSession
+
+    session = AnalysisSession(
         config=config,
+        num_points=num_points,
+        seed=seed,
         wrap_libraries=wrap_libraries,
+    )
+    result = session.analyze(
+        core,
+        points=[list(p) for p in points] if points is not None else None,
         libm=libm,
     )
-    return analysis
+    return result.raw

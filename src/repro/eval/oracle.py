@@ -14,7 +14,7 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from repro.core.driver import sample_inputs
+from repro.api.sampling import sample_inputs
 from repro.fpcore.ast import FPCore, While, free_variables
 from repro.improve import (
     ErrorEvaluator,

@@ -21,7 +21,9 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core import AnalysisConfig, HerbgrindAnalysis, analyze_fpcore
+from repro.api.sampling import sample_range
+from repro.api.session import AnalysisSession
+from repro.core import AnalysisConfig, HerbgrindAnalysis
 from repro.core.config import (
     CHARACTERISTICS_NONE,
     CHARACTERISTICS_RANGE,
@@ -90,12 +92,7 @@ def sample_points_for_record(
             summary = table.by_variable.get(variable)
             bounds = _summary_range(summary) if summary is not None else None
             if bounds is not None and bounds[0] < bounds[1]:
-                low, high = bounds
-                if low > 0 and high / max(low, 5e-324) > 1e3:
-                    return math.exp(rng.uniform(math.log(low), math.log(high)))
-                if high < 0 and low / min(high, -5e-324) > 1e3:
-                    return -math.exp(rng.uniform(math.log(-high), math.log(-low)))
-                return rng.uniform(low, high)
+                return sample_range(rng, *bounds)
             if bounds is not None:
                 return bounds[0]
             if isinstance(summary, RepresentativeInput) and summary.value is not None:
@@ -141,14 +138,24 @@ def evaluate_benchmark(
     seed: int = 0,
     settings: Optional[SearchSettings] = None,
     max_causes: int = 3,
+    session: Optional[AnalysisSession] = None,
 ) -> BenchmarkOutcome:
-    """Run oracle + Herbgrind + improver for one benchmark."""
+    """Run oracle + Herbgrind + improver for one benchmark.
+
+    Analysis routes through :class:`repro.api.AnalysisSession`; pass
+    ``session`` to share compiled-program and input-set caches across
+    benchmarks (``evaluate_suite`` does).
+    """
     if config is None:
         config = AnalysisConfig(shadow_precision=256)
+    if session is None:
+        session = AnalysisSession(
+            config=config, num_points=num_points, seed=seed
+        )
     oracle = oracle_judge(core, num_points=num_points, seed=seed)
-    analysis = analyze_fpcore(
+    analysis = session.analyze(
         core, config=config, num_points=num_points, seed=seed
-    )
+    ).raw
     detected = analysis.max_output_error() > config.output_error_threshold
     causes = analysis.reported_root_causes()
     best: Optional[ImprovementResult] = None
@@ -240,8 +247,17 @@ def evaluate_suite(
     num_points: int = 16,
     seed: int = 0,
     settings: Optional[SearchSettings] = None,
+    session: Optional[AnalysisSession] = None,
 ) -> SuiteSummary:
-    """Run the full Section 8.1 pipeline over a benchmark corpus."""
+    """Run the full Section 8.1 pipeline over a benchmark corpus.
+
+    One :class:`repro.api.AnalysisSession` is shared across the whole
+    suite so repeated evaluations reuse compiled programs and samples.
+    """
+    if session is None:
+        session = AnalysisSession(
+            config=config, num_points=num_points, seed=seed
+        )
     summary = SuiteSummary()
     for core in corpus:
         summary.outcomes.append(
@@ -251,6 +267,7 @@ def evaluate_suite(
                 num_points=num_points,
                 seed=seed,
                 settings=settings,
+                session=session,
             )
         )
     return summary

@@ -1,0 +1,131 @@
+"""JSON (de)serialization round-trips for requests and results."""
+
+import json
+
+from repro.api import (
+    AnalysisRequest,
+    AnalysisResult,
+    AnalysisSession,
+    ErrorStats,
+    RootCauseResult,
+    SpotResult,
+    results_from_json,
+    results_to_json,
+)
+from repro.core import AnalysisConfig
+from repro.fpcore import parse_fpcore
+
+ERRONEOUS = "(FPCore (x) :name \"t\" :pre (<= 1e16 x 1e17) (- (+ x 1) x))"
+FAST = AnalysisConfig(shadow_precision=192)
+
+
+class TestRequestRoundtrip:
+    def test_roundtrip_preserves_fields(self):
+        request = AnalysisRequest.build(
+            ERRONEOUS,
+            backend="fpdebug",
+            num_points=7,
+            seed=3,
+            config=FAST.with_(local_error_threshold=2.5),
+        )
+        back = AnalysisRequest.from_json(request.to_json())
+        assert back.backend == "fpdebug"
+        assert back.num_points == 7
+        assert back.seed == 3
+        assert back.config.local_error_threshold == 2.5
+        assert back.config.shadow_precision == 192
+        assert back.name == "t"
+
+    def test_explicit_points_roundtrip(self):
+        request = AnalysisRequest.build(
+            ERRONEOUS, points=[[1e16], [2e16]]
+        )
+        back = AnalysisRequest.from_json(request.to_json())
+        assert back.points == [[1e16], [2e16]]
+
+    def test_core_text_accepted(self):
+        request = AnalysisRequest.build(ERRONEOUS)
+        assert request.core.name == "t"
+        parsed = AnalysisRequest.build(parse_fpcore(ERRONEOUS))
+        assert parsed.core.name == "t"
+
+
+class TestResultRoundtrip:
+    def test_synthetic_roundtrip(self):
+        result = AnalysisResult(
+            benchmark="b",
+            backend="herbgrind",
+            seed=1,
+            num_points=4,
+            max_output_error=12.5,
+            root_causes=[
+                RootCauseResult(
+                    site_id=3,
+                    op="-",
+                    loc="b.c:1",
+                    expression="(- (+ x0 1) x0)",
+                    variables=["x0"],
+                    precondition_clauses=["(<= 1 x0 2)"],
+                    problematic_clauses=[],
+                    example_problematic={"x0": 1.5},
+                    local_error=ErrorStats(4, 4, 62.0, 62.0),
+                )
+            ],
+            spots=[
+                SpotResult(
+                    site_id=5,
+                    kind="output",
+                    loc="b.c:out",
+                    error=ErrorStats(4, 4, 12.5, 12.5),
+                    root_cause_sites=[3],
+                )
+            ],
+            extra={"runs": 4},
+        )
+        back = AnalysisResult.from_json(result.to_json())
+        assert back == result
+        assert back.detected
+        assert [c.site_id for c in back.reported_root_causes()] == [3]
+
+    def test_real_analysis_roundtrip(self):
+        session = AnalysisSession(config=FAST, num_points=4)
+        result = session.analyze(ERRONEOUS)
+        back = AnalysisResult.from_json(result.to_json())
+        # ``raw`` is never serialized and is excluded from equality.
+        assert back == result
+        assert back.raw is None
+        assert result.raw is not None
+        assert back.to_json() == result.to_json()
+
+    def test_json_is_deterministic_and_sorted(self):
+        session = AnalysisSession(config=FAST, num_points=4)
+        text = session.analyze(ERRONEOUS).to_json()
+        data = json.loads(text)
+        assert list(data) == sorted(data)
+        assert text == session.analyze(ERRONEOUS).to_json()
+
+    def test_fpcore_text_rendering(self):
+        cause = RootCauseResult(
+            site_id=1,
+            op="-",
+            loc=None,
+            expression="(- a b)",
+            variables=["a", "b"],
+            precondition_clauses=["(<= 0 a 1)", "(<= 0 b 1)"],
+        )
+        text = cause.fpcore_text()
+        assert text.startswith("(FPCore (a b)")
+        assert ":pre (and" in text
+        assert "(- a b)" in text
+
+
+class TestBatchSerialization:
+    def test_batch_roundtrip(self):
+        session = AnalysisSession(config=FAST, num_points=4)
+        results = session.analyze_batch(
+            [ERRONEOUS, "(FPCore (x) :name \"ok\" :pre (<= 1 x 2) (+ x 1))"]
+        )
+        text = results_to_json(results)
+        back = results_from_json(text)
+        assert back == results
+        assert results_to_json(back) == text

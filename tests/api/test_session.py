@@ -1,0 +1,200 @@
+"""Tests for the AnalysisSession façade: caching, backends, batch."""
+
+import pytest
+
+from repro.api import (
+    AnalysisBackend,
+    AnalysisResult,
+    AnalysisSession,
+    available_backends,
+    get_backend,
+    register_backend,
+    results_to_json,
+)
+from repro.core import AnalysisConfig
+from repro.core.analysis import HerbgrindAnalysis
+from repro.fpcore import load_corpus, parse_fpcore
+
+ERRONEOUS = "(FPCore (x) :name \"t\" :pre (<= 1e16 x 1e17) (- (+ x 1) x))"
+CLEAN = "(FPCore (x) :name \"ok\" :pre (<= 1 x 2) (+ x 1))"
+FAST = AnalysisConfig(shadow_precision=192)
+
+
+class TestSessionBasics:
+    def test_analyze_erroneous(self):
+        session = AnalysisSession(config=FAST, num_points=4)
+        result = session.analyze(ERRONEOUS)
+        assert result.detected
+        assert result.max_output_error > 50
+        assert result.reported_root_causes()
+        assert isinstance(result.raw, HerbgrindAnalysis)
+
+    def test_analyze_clean(self):
+        session = AnalysisSession(config=FAST, num_points=4)
+        result = session.analyze(CLEAN)
+        assert not result.detected
+        assert result.root_causes == []
+
+    def test_explicit_points_override_sampling(self):
+        session = AnalysisSession(config=FAST)
+        result = session.analyze(ERRONEOUS, points=[[1e16], [5e16]])
+        assert result.raw.runs == 2
+
+    def test_accepts_core_object_and_text(self):
+        session = AnalysisSession(config=FAST, num_points=4)
+        a = session.analyze(ERRONEOUS)
+        b = session.analyze(parse_fpcore(ERRONEOUS))
+        assert a.to_json() == b.to_json()
+
+    def test_unknown_override_rejected(self):
+        session = AnalysisSession(config=FAST)
+        with pytest.raises(TypeError, match="num_point"):
+            session.analyze(ERRONEOUS, num_point=8)  # typo'd key
+
+    def test_overrides_with_prebuilt_request_rejected(self):
+        from repro.api import AnalysisRequest
+
+        session = AnalysisSession(config=FAST)
+        request = AnalysisRequest.build(ERRONEOUS, num_points=4, config=FAST)
+        with pytest.raises(TypeError, match="prebuilt"):
+            session.analyze(request, seed=42)
+
+    def test_verrou_average_below_max_on_mixed_stability(self):
+        # One wobbling point and one exactly-stable point: the serialized
+        # average must be a true average, not the max.
+        session = AnalysisSession(config=FAST)
+        result = session.analyze(
+            ERRONEOUS, backend="verrou", points=[[1e16], [1.5]]
+        )
+        spot = result.spots[0]
+        assert spot.error.executions == 2
+        assert 0.0 < spot.error.average_bits < spot.error.max_bits
+
+
+class TestSessionCaching:
+    def test_program_and_points_cached_across_calls(self):
+        session = AnalysisSession(config=FAST, num_points=4)
+        first = session.analyze(ERRONEOUS)
+        stats = session.cache_stats()
+        assert stats["programs"] == 1
+        assert stats["input_sets"] == 1
+        second = session.analyze(ERRONEOUS)
+        stats = session.cache_stats()
+        assert stats["hits"] >= 2  # program + points reused
+        assert stats["programs"] == 1
+        assert first.to_json() == second.to_json()
+
+    def test_compiled_is_cached_identity(self):
+        session = AnalysisSession(config=FAST)
+        assert session.compiled(ERRONEOUS) is session.compiled(ERRONEOUS)
+
+    def test_sampled_keyed_by_count_and_seed(self):
+        session = AnalysisSession(config=FAST)
+        a = session.sampled(ERRONEOUS, count=4, seed=0)
+        b = session.sampled(ERRONEOUS, count=4, seed=1)
+        c = session.sampled(ERRONEOUS, count=4, seed=0)
+        assert a is c
+        assert a != b
+
+    def test_clear_caches(self):
+        session = AnalysisSession(config=FAST, num_points=4)
+        session.analyze(ERRONEOUS)
+        session.clear_caches()
+        assert session.cache_stats() == {
+            "programs": 0, "input_sets": 0, "hits": 0, "misses": 0,
+        }
+
+
+class TestBackendRegistry:
+    def test_builtin_backends_registered(self):
+        assert {"herbgrind", "fpdebug", "verrou", "bz"} <= set(
+            available_backends()
+        )
+
+    def test_unknown_backend(self):
+        with pytest.raises(KeyError, match="unknown backend"):
+            get_backend("nope")
+
+    def test_every_builtin_backend_runs(self):
+        session = AnalysisSession(config=FAST, num_points=4)
+        for name in ("herbgrind", "fpdebug", "verrou", "bz"):
+            result = session.analyze(ERRONEOUS, backend=name)
+            assert result.backend == name
+            assert result.benchmark == "t"
+
+    def test_fpdebug_flags_erroneous_op(self):
+        session = AnalysisSession(config=FAST, num_points=4)
+        result = session.analyze(ERRONEOUS, backend="fpdebug")
+        assert result.root_causes
+        assert result.root_causes[0].expression is None
+        assert result.max_output_error > 50
+
+    def test_verrou_marks_unstable_output(self):
+        session = AnalysisSession(config=FAST, num_points=4)
+        result = session.analyze(ERRONEOUS, backend="verrou")
+        assert result.spots
+        assert result.detected
+
+    def test_custom_backend_registration(self):
+        class CountingBackend(AnalysisBackend):
+            name = "counting"
+
+            def run(self, program, points, request):
+                return AnalysisResult(
+                    benchmark=request.name,
+                    backend=self.name,
+                    seed=request.seed,
+                    num_points=request.num_points,
+                    extra={"points_seen": len(points)},
+                )
+
+        register_backend("counting", CountingBackend)
+        try:
+            session = AnalysisSession(
+                config=FAST, backend="counting", num_points=4
+            )
+            result = session.analyze(ERRONEOUS)
+            assert result.backend == "counting"
+            assert result.extra == {"points_seen": 4}
+        finally:
+            import repro.api.backends as backends_mod
+
+            backends_mod._REGISTRY.pop("counting", None)
+
+
+class TestBatch:
+    def test_sequential_batch_preserves_order(self):
+        session = AnalysisSession(config=FAST, num_points=4)
+        results = session.analyze_batch([CLEAN, ERRONEOUS])
+        assert [r.benchmark for r in results] == ["ok", "t"]
+
+    def test_parallel_matches_sequential_byte_identical(self):
+        # The acceptance criterion: >= 20 corpus benchmarks, workers=4,
+        # byte-identical JSON against sequential execution, same seed.
+        corpus = load_corpus()[:20]
+        session = AnalysisSession(config=FAST, num_points=4, seed=11)
+        sequential = session.analyze_batch(corpus, workers=1)
+        parallel = session.analyze_batch(corpus, workers=4)
+        assert len(sequential) == 20
+        assert results_to_json(sequential) == results_to_json(parallel)
+
+    def test_parallel_results_carry_no_raw(self):
+        session = AnalysisSession(config=FAST, num_points=4)
+        results = session.analyze_batch([ERRONEOUS, CLEAN], workers=2)
+        assert all(r.raw is None for r in results)
+
+    def test_batch_backend_override(self):
+        session = AnalysisSession(config=FAST, num_points=4)
+        results = session.analyze_batch(
+            [ERRONEOUS, CLEAN], workers=2, backend="bz"
+        )
+        assert all(r.backend == "bz" for r in results)
+
+    def test_libm_override_rejected_across_processes(self):
+        from repro.machine import build_libm
+
+        session = AnalysisSession(config=FAST, num_points=2)
+        with pytest.raises(ValueError, match="process boundary"):
+            session.analyze_batch(
+                [ERRONEOUS, CLEAN], workers=2, libm=build_libm()
+            )

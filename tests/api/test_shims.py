@@ -1,0 +1,133 @@
+"""The legacy entry points must delegate to repro.api.
+
+These tests pin the deprecation contract: ``repro.core.analyze_fpcore``
+and the sampling helpers are thin shims over the façade, so every
+caller — CLI, driver, eval pipeline — exercises one code path.
+"""
+
+from repro.api import AnalysisSession
+from repro.api import sampling as api_sampling
+from repro.core import AnalysisConfig, analyze_fpcore
+from repro.core import driver as legacy_driver
+from repro.core.analysis import HerbgrindAnalysis
+from repro.fpcore import parse_fpcore
+
+ERRONEOUS = "(FPCore (x) :name \"t\" :pre (<= 1e16 x 1e17) (- (+ x 1) x))"
+FAST = AnalysisConfig(shadow_precision=192)
+
+
+class TestSamplingShims:
+    def test_driver_sampler_is_api_sampler(self):
+        assert legacy_driver.sample_inputs is api_sampling.sample_inputs
+        assert (
+            legacy_driver.precondition_box is api_sampling.precondition_box
+        )
+
+    def test_package_reexports_are_api_functions(self):
+        from repro.core import precondition_box, sample_inputs
+
+        assert sample_inputs is api_sampling.sample_inputs
+        assert precondition_box is api_sampling.precondition_box
+
+
+class TestAnalyzeFpcoreShim:
+    def test_delegates_to_session(self, monkeypatch):
+        calls = []
+        original = AnalysisSession.analyze
+
+        def spy(self, core, **overrides):
+            calls.append((core, overrides))
+            return original(self, core, **overrides)
+
+        monkeypatch.setattr(AnalysisSession, "analyze", spy)
+        analysis = analyze_fpcore(
+            parse_fpcore(ERRONEOUS), config=FAST, num_points=4, seed=2
+        )
+        assert len(calls) == 1
+        assert isinstance(analysis, HerbgrindAnalysis)
+
+    def test_matches_session_result(self):
+        core = parse_fpcore(ERRONEOUS)
+        legacy = analyze_fpcore(core, config=FAST, num_points=4, seed=2)
+        session = AnalysisSession(config=FAST, num_points=4, seed=2)
+        modern = session.analyze(core)
+        assert legacy.max_output_error() == modern.max_output_error
+        assert len(legacy.reported_root_causes()) == len(
+            modern.reported_root_causes()
+        )
+
+    def test_explicit_points_respected(self):
+        analysis = analyze_fpcore(
+            parse_fpcore(ERRONEOUS), points=[[1e16], [2e16], [4e16]],
+            config=FAST,
+        )
+        assert analysis.runs == 3
+
+
+class TestPipelineDelegation:
+    def test_evaluate_benchmark_routes_through_session(self, monkeypatch):
+        from repro.eval import evaluate_benchmark
+
+        calls = []
+        original = AnalysisSession.analyze
+
+        def spy(self, core, **overrides):
+            calls.append(core)
+            return original(self, core, **overrides)
+
+        monkeypatch.setattr(AnalysisSession, "analyze", spy)
+        evaluate_benchmark(
+            parse_fpcore(ERRONEOUS), config=FAST, num_points=4
+        )
+        assert len(calls) == 1
+
+    def test_evaluate_suite_shares_one_session(self, monkeypatch):
+        from repro.eval import evaluate_suite
+
+        sessions = []
+        original = AnalysisSession.analyze
+
+        def spy(self, core, **overrides):
+            sessions.append(self)
+            return original(self, core, **overrides)
+
+        monkeypatch.setattr(AnalysisSession, "analyze", spy)
+        cores = [
+            parse_fpcore(ERRONEOUS),
+            parse_fpcore('(FPCore (x) :name "ok" :pre (<= 1 x 2) (+ x 1))'),
+        ]
+        evaluate_suite(cores, config=FAST, num_points=4)
+        assert len(sessions) == 2
+        assert sessions[0] is sessions[1]
+
+
+class TestCliDelegation:
+    def test_cli_analyze_routes_through_session(self, monkeypatch, capsys):
+        from repro.cli import main
+
+        calls = []
+        original = AnalysisSession.analyze
+
+        def spy(self, core, **overrides):
+            calls.append(core)
+            return original(self, core, **overrides)
+
+        monkeypatch.setattr(AnalysisSession, "analyze", spy)
+        assert main(["analyze", ERRONEOUS, "--points", "4",
+                     "--precision", "192"]) == 0
+        assert len(calls) == 1
+
+    def test_cli_corpus_routes_through_batch(self, monkeypatch, capsys):
+        from repro.cli import main
+
+        calls = []
+        original = AnalysisSession.analyze_batch
+
+        def spy(self, cores, workers=1, **overrides):
+            calls.append(list(cores))
+            return original(self, cores, workers=workers, **overrides)
+
+        monkeypatch.setattr(AnalysisSession, "analyze_batch", spy)
+        assert main(["corpus", "--name", "paper-x-plus-1-minus-x",
+                     "--points", "4", "--precision", "192"]) == 0
+        assert len(calls) == 1 and len(calls[0]) == 1

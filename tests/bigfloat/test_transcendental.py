@@ -155,7 +155,12 @@ class TestAgainstLibm:
     @given(st.floats(min_value=-50, max_value=50, allow_nan=False))
     @settings(max_examples=100)
     def test_tanh(self, x):
-        assert close_to_libm(apply("tanh", [bf(x)], CTX).to_float(), math.tanh(x))
+        # glibc's tanh itself carries up to 2 ulp of error (e.g. at
+        # x = 0.4921875 our result matches the correctly-rounded value
+        # while libm is 2 ulps away), so compare at that tolerance.
+        assert close_to_libm(
+            apply("tanh", [bf(x)], CTX).to_float(), math.tanh(x), ulps=2
+        )
 
     @given(st.floats(min_value=-1e8, max_value=1e8, allow_nan=False))
     @settings(max_examples=100)

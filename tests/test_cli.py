@@ -1,5 +1,7 @@
 """Tests for the herbgrind-py command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -60,3 +62,64 @@ class TestCli:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_analyze_json(self, capsys):
+        code = main([
+            "analyze",
+            "(FPCore (x) :pre (<= 1e16 x 1e17) (- (+ x 1) x))",
+            "--points", "4", "--precision", "192", "--json",
+        ])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["backend"] == "herbgrind"
+        assert data["max_output_error"] > 50
+        assert data["root_causes"]
+        assert data["spots"]
+
+    def test_analyze_alternate_backend(self, capsys):
+        code = main([
+            "analyze",
+            "(FPCore (x) :pre (<= 1e16 x 1e17) (- (+ x 1) x))",
+            "--points", "4", "--precision", "192",
+            "--backend", "fpdebug", "--json",
+        ])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["backend"] == "fpdebug"
+
+    def test_corpus_json(self, capsys):
+        code = main([
+            "corpus", "--name", "paper-x-plus-1-minus-x",
+            "--points", "4", "--precision", "192", "--json",
+        ])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert isinstance(data, list) and len(data) == 1
+        assert data[0]["benchmark"] == "paper-x-plus-1-minus-x"
+
+    def test_analyze_non_herbgrind_backend_without_json(self, capsys):
+        # Backends without a report renderer fall back to JSON instead
+        # of crashing in generate_report.
+        for backend in ("fpdebug", "bz", "verrou"):
+            code = main([
+                "analyze",
+                "(FPCore (x) :pre (<= 1e16 x 1e17) (- (+ x 1) x))",
+                "--points", "4", "--precision", "192",
+                "--backend", backend,
+            ])
+            assert code == 0
+            data = json.loads(capsys.readouterr().out)
+            assert data["backend"] == backend
+
+    def test_corpus_single_non_herbgrind_backend(self, capsys):
+        code = main([
+            "corpus", "--name", "paper-x-plus-1-minus-x",
+            "--points", "4", "--precision", "192", "--backend", "bz",
+        ])
+        assert code == 0
+        assert "max-error" in capsys.readouterr().out
+
+    def test_backends_listed(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out.split()
+        assert {"herbgrind", "fpdebug", "verrou", "bz"} <= set(out)
