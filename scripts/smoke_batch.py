@@ -45,7 +45,13 @@ def main(argv=None) -> int:
         index += len(batch)
     parallel_time = time.perf_counter() - start
 
-    sequential = session.analyze_batch(corpus[:index], workers=1)
+    # A fresh session with the result cache off: the parity re-run must
+    # actually recompute, not replay the parallel results from cache.
+    sequential_session = AnalysisSession(
+        config=AnalysisConfig(shadow_precision=192), num_points=6, seed=7,
+        result_cache_size=0,
+    )
+    sequential = sequential_session.analyze_batch(corpus[:index], workers=1)
     total_time = time.perf_counter() - start
 
     if results_to_json(done) != results_to_json(sequential):

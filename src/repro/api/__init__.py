@@ -53,7 +53,7 @@ from repro.api.sampling import (
     sample_inputs,
     sample_range,
 )
-from repro.api.session import AnalysisSession
+from repro.api.session import AnalysisSession, ResultCache, request_digest
 
 __all__ = [
     "AnalysisBackend",
@@ -67,6 +67,7 @@ __all__ = [
     "HerbgrindBackend",
     "LOG_SPAN_RATIO",
     "RESULT_SCHEMA_VERSION",
+    "ResultCache",
     "RootCauseResult",
     "SpotResult",
     "VerrouBackend",
@@ -74,6 +75,7 @@ __all__ = [
     "get_backend",
     "precondition_box",
     "register_backend",
+    "request_digest",
     "results_from_json",
     "results_to_json",
     "sample_box",

@@ -133,6 +133,9 @@ def sample_inputs(
                         f"{core.name}: cannot satisfy precondition"
                     )
                 continue
+        # The bound is on *consecutive* rejections: an accepted point
+        # proves the precondition satisfiable, so the counter restarts.
+        rejections = 0
         points.append(point)
     return points
 

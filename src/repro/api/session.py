@@ -1,22 +1,40 @@
 """The :class:`AnalysisSession` façade — configure once, analyze many.
 
 A session owns the cross-call caches (compiled programs and sampled
-input sets, keyed by benchmark source text) and routes every request
-through the backend registry.  ``analyze_batch`` fans a corpus out
-over a ``multiprocessing`` pool; results are byte-identical to
-sequential execution with the same seed because all sampling is
-seeded per-benchmark and every serialized list is deterministically
-ordered (see :mod:`repro.api.results`).
+input sets, keyed by benchmark source text; full analysis results,
+keyed by the request digest) and routes every request through the
+backend registry.  ``analyze_batch`` fans a corpus out over a
+``multiprocessing`` pool; results are byte-identical to sequential
+execution with the same seed because all sampling is seeded
+per-benchmark and every serialized list is deterministically ordered
+(see :mod:`repro.api.results`).
+
+Result caching: every fully specified request has a stable digest —
+the SHA-256 of its canonical JSON serialization, which covers the
+benchmark source, backend, sampling parameters (or explicit points),
+the whole :class:`AnalysisConfig`, library wrapping, and the result
+schema version.  Identical work is skipped: in-memory hits return the
+original :class:`AnalysisResult` object (``raw`` intact), and an
+optional on-disk store (``cache_dir``) persists results as
+``<digest>.json`` so *separate processes and later runs* skip it too
+(disk hits have ``raw=None``, like results that crossed a process
+boundary).  Requests carrying an in-process ``libm`` override are
+never cached.
 """
 
 from __future__ import annotations
 
+import collections
+import hashlib
+import json
 import multiprocessing
+import os
+import tempfile
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.api.backends import get_backend
 from repro.api.requests import AnalysisRequest, CoreLike, coerce_core
-from repro.api.results import AnalysisResult
+from repro.api.results import RESULT_SCHEMA_VERSION, AnalysisResult
 from repro.api.sampling import sample_inputs
 from repro.core.config import AnalysisConfig
 from repro.fpcore.ast import FPCore
@@ -25,6 +43,99 @@ from repro.machine import isa
 from repro.machine.compiler import compile_fpcore
 
 RequestLike = Union[CoreLike, AnalysisRequest]
+
+
+def request_digest(request: AnalysisRequest) -> str:
+    """The stable cache key of a fully specified request.
+
+    Covers the whole request *and* the result schema version, so a
+    schema bump invalidates persisted cache entries instead of
+    serving stale shapes.
+    """
+    payload = request.to_dict()
+    payload["result_schema_version"] = RESULT_SCHEMA_VERSION
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+class ResultCache:
+    """An LRU of :class:`AnalysisResult` with an optional disk layer.
+
+    The memory layer stores result *objects* (so an in-process hit
+    keeps ``raw``); the disk layer stores the deterministic JSON
+    serialization under ``<cache_dir>/<digest>.json``, written
+    atomically (temp file + rename).
+    """
+
+    def __init__(self, capacity: int = 256,
+                 cache_dir: Optional[str] = None) -> None:
+        if capacity < 0:
+            raise ValueError("result cache capacity must be >= 0")
+        #: capacity 0 = no memory layer (disk-only, when cache_dir set).
+        self.capacity = capacity
+        self.cache_dir = cache_dir
+        self._memory: "collections.OrderedDict[str, AnalysisResult]" = \
+            collections.OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def _path(self, key: str) -> Optional[str]:
+        if self.cache_dir is None:
+            return None
+        return os.path.join(self.cache_dir, f"{key}.json")
+
+    def get(self, key: str) -> Optional[AnalysisResult]:
+        result = self._memory.get(key)
+        if result is not None:
+            self._memory.move_to_end(key)
+            return result
+        path = self._path(key)
+        if path is not None and os.path.exists(path):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    result = AnalysisResult.from_json(handle.read())
+            except (OSError, ValueError, KeyError, TypeError):
+                return None  # unreadable/corrupt entry: treat as a miss
+            self._insert(key, result)
+            return result
+        return None
+
+    def put(self, key: str, result: AnalysisResult) -> None:
+        self._insert(key, result)
+        path = self._path(key)
+        if path is not None:
+            # A failed disk write is never fatal: the result was
+            # computed, the caller gets it, the entry is just a miss
+            # next time (mirrors get()'s corrupt-entry handling).
+            tmp = None
+            try:
+                os.makedirs(self.cache_dir, exist_ok=True)
+                fd, tmp = tempfile.mkstemp(
+                    dir=self.cache_dir, suffix=".tmp"
+                )
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(result.to_json())
+                os.replace(tmp, path)
+            except OSError:
+                if tmp is not None:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+
+    def _insert(self, key: str, result: AnalysisResult) -> None:
+        if self.capacity == 0:
+            return
+        self._memory[key] = result
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop the memory layer (the disk layer, if any, persists)."""
+        self._memory.clear()
 
 
 def _execute(request: AnalysisRequest) -> AnalysisResult:
@@ -60,6 +171,8 @@ class AnalysisSession:
         num_points: int = 16,
         seed: int = 0,
         wrap_libraries: bool = True,
+        result_cache_size: int = 256,
+        cache_dir: Optional[str] = None,
     ) -> None:
         self.config = config if config is not None else AnalysisConfig()
         self.backend = backend
@@ -71,6 +184,15 @@ class AnalysisSession:
         self._cores: Dict[str, FPCore] = {}
         self.cache_hits = 0
         self.cache_misses = 0
+        #: Full-result cache; ``result_cache_size=0`` disables the
+        #: memory layer (disk-only if ``cache_dir`` is also given),
+        #: and with no ``cache_dir`` disables result caching entirely.
+        self._results: Optional[ResultCache] = (
+            ResultCache(result_cache_size, cache_dir)
+            if result_cache_size > 0 or cache_dir is not None else None
+        )
+        self.result_hits = 0
+        self.result_misses = 0
 
     # ------------------------------------------------------------------
     # Caches
@@ -117,8 +239,12 @@ class AnalysisSession:
         self._programs.clear()
         self._points.clear()
         self._cores.clear()
+        if self._results is not None:
+            self._results.clear()
         self.cache_hits = 0
         self.cache_misses = 0
+        self.result_hits = 0
+        self.result_misses = 0
 
     def cache_stats(self) -> Dict[str, int]:
         return {
@@ -126,7 +252,16 @@ class AnalysisSession:
             "input_sets": len(self._points),
             "hits": self.cache_hits,
             "misses": self.cache_misses,
+            "results": len(self._results) if self._results else 0,
+            "result_hits": self.result_hits,
+            "result_misses": self.result_misses,
         }
+
+    def _result_key(self, request: AnalysisRequest) -> Optional[str]:
+        """The cache key for ``request``, or None when uncacheable."""
+        if self._results is None or request.libm is not None:
+            return None
+        return request_digest(request)
 
     # ------------------------------------------------------------------
     # Requests
@@ -172,10 +307,19 @@ class AnalysisSession:
     def analyze(self, core: RequestLike, **overrides) -> AnalysisResult:
         """Analyze one benchmark through the configured backend.
 
-        Compiled programs and sampled input sets are reused across
-        calls with the same source/count/seed.
+        Compiled programs, sampled input sets, and *full results* are
+        reused across calls: an identical request (same source,
+        backend, sampling, and configuration) returns its cached
+        :class:`AnalysisResult` without re-running the analysis.
         """
         request = self.request(core, **overrides)
+        key = self._result_key(request)
+        if key is not None:
+            cached = self._results.get(key)
+            if cached is not None:
+                self.result_hits += 1
+                return cached
+            self.result_misses += 1
         program = self.compiled(request.core)
         points = request.points
         if points is None:
@@ -183,7 +327,10 @@ class AnalysisSession:
                 request.core, request.num_points, request.seed
             )
         backend = get_backend(request.backend)
-        return backend.run(program, points, request)
+        result = backend.run(program, points, request)
+        if key is not None:
+            self._results.put(key, result)
+        return result
 
     def analyze_batch(
         self,
@@ -196,12 +343,42 @@ class AnalysisSession:
         ``workers=1`` runs sequentially in-process (and warms this
         session's caches); ``workers=N`` fans out over N processes.
         Either way the results arrive in corpus order and serialize to
-        byte-identical JSON for the same seed.
+        byte-identical JSON for the same seed.  Cached results are
+        served without touching the pool, and duplicate requests
+        within one batch are executed once.
         """
         requests = [self.request(core, **overrides) for core in cores]
         if workers <= 1 or len(requests) <= 1:
             return [self.analyze(request) for request in requests]
-        payloads = [request.to_dict() for request in requests]
-        with multiprocessing.Pool(processes=workers) as pool:
-            dicts = pool.map(_worker, payloads, chunksize=1)
-        return [AnalysisResult.from_dict(d) for d in dicts]
+        results: List[Optional[AnalysisResult]] = [None] * len(requests)
+        pending: List[Tuple[int, Optional[str]]] = []
+        first_index: Dict[str, int] = {}
+        duplicates: List[Tuple[int, int]] = []
+        for index, request in enumerate(requests):
+            key = self._result_key(request)
+            if key is not None:
+                cached = self._results.get(key)
+                if cached is not None:
+                    self.result_hits += 1
+                    results[index] = cached
+                    continue
+                owner = first_index.get(key)
+                if owner is not None:
+                    self.result_hits += 1
+                    duplicates.append((index, owner))
+                    continue
+                first_index[key] = index
+                self.result_misses += 1
+            pending.append((index, key))
+        if pending:
+            payloads = [requests[i].to_dict() for i, __ in pending]
+            with multiprocessing.Pool(processes=workers) as pool:
+                dicts = pool.map(_worker, payloads, chunksize=1)
+            for (index, key), data in zip(pending, dicts):
+                result = AnalysisResult.from_dict(data)
+                results[index] = result
+                if key is not None:
+                    self._results.put(key, result)
+        for index, owner in duplicates:
+            results[index] = results[owner]
+        return results

@@ -39,11 +39,29 @@ from repro.bigfloat.rounding import (
     ROUND_UP,
 )
 from repro.bigfloat import arith, constants, transcendental
+from repro.bigfloat.policy import (
+    AdaptivePrecisionPolicy,
+    EXACT,
+    FixedPrecisionPolicy,
+    PrecisionPolicy,
+    UNTRUSTED,
+    available_policies,
+    make_policy,
+    register_policy,
+)
 
 __all__ = [
     "ALL_OPERATIONS",
+    "AdaptivePrecisionPolicy",
     "BigFloat",
     "Context",
+    "EXACT",
+    "FixedPrecisionPolicy",
+    "PrecisionPolicy",
+    "UNTRUSTED",
+    "available_policies",
+    "make_policy",
+    "register_policy",
     "DEFAULT_PRECISION",
     "DOUBLE_CONTEXT",
     "HALF",

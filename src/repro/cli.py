@@ -25,6 +25,7 @@ from repro.api import (
     results_to_json,
     sample_box,
 )
+from repro.bigfloat import available_policies
 from repro.core import AnalysisConfig, generate_report
 from repro.fpcore import load_corpus, parse_expr, parse_fpcore
 from repro.fpcore.ast import free_variables
@@ -41,13 +42,17 @@ def _read_source(argument: str) -> str:
 
 def _session(args: argparse.Namespace, **config_fields) -> AnalysisSession:
     config = AnalysisConfig(
-        shadow_precision=args.precision, **config_fields
+        shadow_precision=args.precision,
+        precision_policy=getattr(args, "precision_policy", "fixed"),
+        working_precision=getattr(args, "working_precision", 144),
+        **config_fields,
     )
     return AnalysisSession(
         config=config,
         backend=getattr(args, "backend", "herbgrind"),
         num_points=args.points,
         seed=getattr(args, "seed", 0),
+        cache_dir=getattr(args, "cache_dir", None),
     )
 
 
@@ -58,12 +63,39 @@ def _has_report(result) -> bool:
 
 
 def _print_result(result, as_json: bool) -> None:
-    if not as_json and _has_report(result):
+    if as_json:
+        print(result.to_json())
+    elif _has_report(result):
         print(generate_report(result.raw).format())
+    elif result.backend == "herbgrind":
+        # A cache hit from disk carries no in-process analysis; render
+        # a report-shaped summary from the serialized result instead of
+        # silently switching the output format to JSON.
+        print(_cached_report(result))
     else:
         # Non-Herbgrind backends have no report renderer; JSON is the
         # canonical serialization.
         print(result.to_json())
+
+
+def _cached_report(result) -> str:
+    lines = [
+        f"{result.benchmark}: max output error "
+        f"{result.max_output_error:.1f} bits (cached result)"
+    ]
+    causes = result.reported_root_causes()
+    if not causes:
+        lines.append("No erroneous spots detected.")
+    for cause in causes:
+        lines.append("")
+        lines.append(f"Operation at {cause.loc or '<unknown>'}")
+        lines.append(cause.fpcore_text())
+        if cause.example_problematic:
+            values = ", ".join(
+                repr(v) for v in cause.example_problematic.values()
+            )
+            lines.append(f"Example problematic input: ({values})")
+    return "\n".join(lines)
 
 
 def _command_analyze(args: argparse.Namespace) -> int:
@@ -142,6 +174,16 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--backend", default="herbgrind",
                          choices=available_backends(),
                          help="analysis backend to run")
+    analyze.add_argument("--precision-policy", default="fixed",
+                         choices=available_policies(),
+                         help="shadow precision tiering (adaptive escalates "
+                              "to --precision only when decisions need it)")
+    analyze.add_argument("--working-precision", type=int, default=144,
+                         help="working-tier bits for --precision-policy "
+                              "adaptive")
+    analyze.add_argument("--cache-dir", metavar="DIR",
+                         help="persist analysis results as JSON under DIR "
+                              "and reuse them across runs")
     analyze.add_argument("--json", action="store_true",
                          help="emit the AnalysisResult JSON serialization")
     analyze.set_defaults(func=_command_analyze)
@@ -164,6 +206,14 @@ def build_parser() -> argparse.ArgumentParser:
     corpus.add_argument("--backend", default="herbgrind",
                         choices=available_backends(),
                         help="analysis backend to run")
+    corpus.add_argument("--precision-policy", default="fixed",
+                        choices=available_policies(),
+                        help="shadow precision tiering")
+    corpus.add_argument("--working-precision", type=int, default=144,
+                        help="working-tier bits for adaptive tiering")
+    corpus.add_argument("--cache-dir", metavar="DIR",
+                        help="persist analysis results as JSON under DIR "
+                             "and reuse them across runs")
     corpus.add_argument("--workers", type=int, default=1,
                         help="worker processes for batch analysis")
     corpus.add_argument("--json", action="store_true",

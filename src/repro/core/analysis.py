@@ -29,11 +29,12 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.bigfloat import BigFloat, Context, apply
+from repro.bigfloat import BigFloat, apply, make_policy
 from repro.bigfloat import arith
+from repro.bigfloat.policy import EXACT
 from repro.core.antiunify import collect_variable_values
 from repro.core.config import AnalysisConfig
-from repro.core.localerror import local_error, total_error
+from repro.core.localerror import rounded_local_error, rounded_total_error
 from repro.core.records import (
     OpRecord,
     SpotRecord,
@@ -41,7 +42,7 @@ from repro.core.records import (
     SPOT_CONVERSION,
     SPOT_OUTPUT,
 )
-from repro.core.shadow import EMPTY_INFLUENCES, ShadowValue
+from repro.core.shadow import EMPTY_INFLUENCES, ShadowEscalator, ShadowValue
 from repro.core import trace as trace_mod
 from repro.machine import isa
 from repro.machine.interpreter import Interpreter, Tracer
@@ -53,7 +54,16 @@ class HerbgrindAnalysis(Tracer):
 
     def __init__(self, config: Optional[AnalysisConfig] = None) -> None:
         self.config = config if config is not None else AnalysisConfig()
-        self.context = Context(precision=self.config.shadow_precision)
+        self.policy = make_policy(
+            self.config.precision_policy,
+            full_precision=self.config.shadow_precision,
+            working_precision=self.config.working_precision,
+            guard_bits=self.config.escalation_guard_bits,
+        )
+        #: The context shadow operations run under: the full tier for
+        #: the fixed policy, the working tier for adaptive tiers.
+        self.context = self.policy.context
+        self.escalator = ShadowEscalator(self.policy)
         self.op_records: Dict[int, OpRecord] = {}
         self.spot_records: Dict[int, SpotRecord] = {}
         self._sites: Dict[int, isa.Instr] = {}  # keeps instr ids stable
@@ -109,11 +119,50 @@ class HerbgrindAnalysis(Tracer):
         return shadow
 
     # ------------------------------------------------------------------
+    # Tier-checked views of shadow reals
+    # ------------------------------------------------------------------
+
+    def _rounded(self, shadow: ShadowValue) -> float:
+        """The correctly rounded double of a shadow real.
+
+        Under an adaptive policy the rounding escalates to the full
+        tier when the working value sits within the guarded band of a
+        rounding tie; the result is cached on the shadow.
+        """
+        value = shadow.rounded
+        if value is None:
+            real = shadow.real
+            if self.policy.rounding_unsafe(real, shadow.drift):
+                self.policy.note_escalation("rounding")
+                value = self.escalator.certified_rounded(shadow)
+                if value is None:
+                    value = self.escalator.exact_real(shadow).to_float()
+            else:
+                value = real.to_float()
+            shadow.rounded = value
+        return value
+
+    def _comparable(
+        self, left: ShadowValue, right: ShadowValue
+    ) -> Tuple[BigFloat, BigFloat]:
+        """A pair of reals safe to compare (escalated when too close)."""
+        if self.policy.comparison_unsafe(
+            left.real, left.drift, right.real, right.drift
+        ):
+            self.policy.note_escalation("comparison")
+            return (
+                self.escalator.exact_real(left),
+                self.escalator.exact_real(right),
+            )
+        return left.real, right.real
+
+    # ------------------------------------------------------------------
     # Value-producing events
     # ------------------------------------------------------------------
 
     def on_start(self, interpreter: Interpreter) -> None:
         self.runs += 1
+        self.escalator.reset()
 
     def on_const(self, instr: isa.Instr, box: FloatBox) -> None:
         box.shadow = ShadowValue(
@@ -131,11 +180,20 @@ class HerbgrindAnalysis(Tracer):
 
     def on_int_to_float(self, instr: isa.IntToFloat, value: int, box: FloatBox) -> None:
         # Integers are exact; the trace sees a constant of that value.
-        box.shadow = ShadowValue(
-            BigFloat.from_int(value),
-            trace_mod.const_leaf(box.value, instr.loc),
-            EMPTY_INFLUENCES,
-        )
+        exact = BigFloat.from_int(value)
+        leaf = trace_mod.const_leaf(box.value, instr.loc)
+        real = exact
+        drift = EXACT
+        if self.policy.escalates:
+            # Integers wider than the working tier are rounded into it;
+            # the escalator keeps the exact integer for the leaf, which
+            # the float leaf value cannot always represent.
+            real = exact.round_to(self.policy.context.precision)
+            if not (real == exact):
+                drift = 1.0
+            if not (exact == BigFloat.from_float(box.value)):
+                self.escalator.register_leaf(leaf, exact)
+        box.shadow = ShadowValue(real, leaf, EMPTY_INFLUENCES, drift)
 
     def on_op(
         self, instr: isa.Instr, op: str, args: Sequence[FloatBox], result: FloatBox
@@ -190,7 +248,36 @@ class HerbgrindAnalysis(Tracer):
             )
             return
         record = self._op_record(instr, op)
-        error_bits = local_error(op, real_args, real_result, self.context)
+        node = trace_mod.op_node(
+            op,
+            tuple(s.trace for s in shadows),
+            result.value,
+            getattr(instr, "loc", None),
+        )
+        if (
+            op == "-"
+            and len(shadows) == 2
+            and shadows[0].trace is shadows[1].trace
+        ):
+            # x - x over the *same* shadowed value is exactly zero at
+            # every tier; without this the working tier must treat the
+            # cancelled zero as untrusted.
+            drift = EXACT
+        else:
+            drift = self.policy.propagate(
+                op, real_args, [s.drift for s in shadows], real_result
+            )
+        result_shadow = ShadowValue(real_result, node, EMPTY_INFLUENCES, drift)
+        # Inline the cache-hit branch of _rounded: this comprehension
+        # runs for every argument of every traced operation, and the
+        # attribute read saves a method call in the common warm case.
+        rounded_args = [
+            s.rounded if s.rounded is not None else self._rounded(s)
+            for s in shadows
+        ]
+        error_bits = rounded_local_error(
+            op, rounded_args, self._rounded(result_shadow)
+        )
         record.record_execution(error_bits)
         is_candidate = error_bits > config.local_error_threshold
 
@@ -198,7 +285,7 @@ class HerbgrindAnalysis(Tracer):
         passthrough = None
         if config.detect_compensation and op in ("+", "-") and len(shadows) == 2:
             passthrough = self._compensation_passthrough(
-                op, shadows, real_args, real_result, args, result
+                op, shadows, result_shadow, args, result
             )
         if passthrough is not None:
             record.compensations_detected += 1
@@ -211,13 +298,7 @@ class HerbgrindAnalysis(Tracer):
             if is_candidate and config.track_influences:
                 influences = influences | {record}
 
-        # --- Trace and symbolic expression ----------------------------
-        node = trace_mod.op_node(
-            op,
-            tuple(s.trace for s in shadows),
-            result.value,
-            getattr(instr, "loc", None),
-        )
+        # --- Symbolic expression --------------------------------------
         symbolic = record.generalization.update(node)
         record.last_trace = node
 
@@ -233,14 +314,14 @@ class HerbgrindAnalysis(Tracer):
                 record.example_problematic = dict(bindings)
             record.candidate_executions += 1
 
-        result.shadow = ShadowValue(real_result, node, influences)
+        result_shadow.influences = influences
+        result.shadow = result_shadow
 
     def _compensation_passthrough(
         self,
         op: str,
         shadows: List[ShadowValue],
-        real_args: List[BigFloat],
-        real_result: BigFloat,
+        result_shadow: ShadowValue,
         args: Sequence[FloatBox],
         result: FloatBox,
     ) -> Optional[int]:
@@ -250,19 +331,50 @@ class HerbgrindAnalysis(Tracer):
         (a) in the reals it returns one of its arguments, and (b) the
         output has *less* error than that passed-through argument —
         i.e. the other term corrected accumulated rounding error.
+
+        The equality in (a) is a real-valued decision: under adaptive
+        tiers it escalates when the candidate and the result are closer
+        than their guarded drift bands.
         """
+        real_result = result_shadow.real
         if not real_result.is_finite():
             return None
         for index in (0, 1):
-            candidate = real_args[index]
+            shadow = shadows[index]
+            other = shadows[1 - index]
+            candidate = shadow.real
             if index == 1 and op == "-":
                 candidate = candidate.neg()
             if not candidate.is_finite():
                 continue
-            if not (candidate == real_result):
+            verdict = None
+            if self.policy.escalates and not (
+                shadow.drift == EXACT and result_shadow.drift == EXACT
+            ):
+                verdict = self.policy.addition_passthrough(
+                    candidate, shadow.drift, other.real, other.drift
+                )
+                if verdict is False:
+                    continue
+            if verdict is None and self.policy.comparison_unsafe(
+                candidate, shadow.drift, real_result, result_shadow.drift
+            ):
+                self.policy.note_escalation("comparison")
+                exact_candidate = self.escalator.exact_real(shadow)
+                if index == 1 and op == "-":
+                    exact_candidate = exact_candidate.neg()
+                if not (
+                    exact_candidate == self.escalator.exact_real(result_shadow)
+                ):
+                    continue
+            elif not (candidate == real_result):
                 continue
-            arg_error = total_error(args[index].value, real_args[index])
-            out_error = total_error(result.value, real_result)
+            arg_error = rounded_total_error(
+                args[index].value, self._rounded(shadow)
+            )
+            out_error = rounded_total_error(
+                result.value, self._rounded(result_shadow)
+            )
             if out_error < arg_error:
                 return index
         return None
@@ -277,7 +389,8 @@ class HerbgrindAnalysis(Tracer):
         record = self._spot_record(instr, SPOT_BRANCH)
         left = self._shadow(lhs)
         right = self._shadow(rhs)
-        real_taken = _real_predicate(instr.pred, left.real, right.real)
+        left_real, right_real = self._comparable(left, right)
+        real_taken = _real_predicate(instr.pred, left_real, right_real)
         diverged = real_taken != taken
         record.record(1.0 if diverged else 0.0, diverged)
         if diverged and self.config.track_influences:
@@ -289,6 +402,9 @@ class HerbgrindAnalysis(Tracer):
         record = self._spot_record(instr, SPOT_CONVERSION)
         shadow = self._shadow(box)
         real = shadow.real
+        if self.policy.integer_unsafe(real, shadow.drift):
+            self.policy.note_escalation("integer")
+            real = self.escalator.exact_real(shadow)
         if real.is_nan():
             diverged = True
         elif real.is_inf():
@@ -303,7 +419,7 @@ class HerbgrindAnalysis(Tracer):
     def on_out(self, instr: isa.Out, box: FloatBox) -> None:
         record = self._spot_record(instr, SPOT_OUTPUT)
         shadow = self._shadow(box)
-        error_bits = total_error(box.value, shadow.real)
+        error_bits = rounded_total_error(box.value, self._rounded(shadow))
         erroneous = error_bits > self.config.output_error_threshold
         record.record(error_bits, erroneous)
         if erroneous and self.config.track_influences:

@@ -82,7 +82,11 @@ class Generalization:
     def update(self, trace: TraceNode) -> Expr:
         """Anti-unify ``trace`` into the current symbolic expression."""
         state = _UpdateState()
-        self._mark_deep_nodes(trace, state)
+        if trace.depth > self.max_depth:
+            # A node's depth-from-root never exceeds the root's height,
+            # so a shallow trace cannot contain truncated occurrences —
+            # the (node, depth) walk below is pure overhead for it.
+            self._mark_deep_nodes(trace, state)
         if self.expression is None:
             self.expression = self._initial(trace, state)
         else:
@@ -96,6 +100,7 @@ class Generalization:
     # ------------------------------------------------------------------
 
     def _mark_deep_nodes(self, trace: TraceNode, state: _UpdateState) -> None:
+        max_depth = self.max_depth
         seen: Set[Tuple[int, int]] = set()
         stack = [(trace, 1)]
         while stack:
@@ -106,9 +111,13 @@ class Generalization:
             if key in seen:
                 continue
             seen.add(key)
-            if depth > self.max_depth:
+            if depth > max_depth:
                 state.truncated.add(node.ident)
                 continue  # children are invisible anyway
+            if depth + node.depth <= max_depth:
+                # The whole subtree fits under the bound via this path;
+                # deeper occurrences re-enter through their own paths.
+                continue
             for child in node.args:
                 stack.append((child, depth + 1))
 
@@ -195,13 +204,13 @@ class Generalization:
         if isinstance(symbolic, Op) and trace.kind == KIND_OP \
                 and symbolic.op == trace.op \
                 and len(symbolic.args) == len(trace.args):
-            return Op(
-                symbolic.op,
-                tuple(
-                    self._merge(s, t, state)
-                    for s, t in zip(symbolic.args, trace.args)
-                ),
+            merged = tuple(
+                self._merge(s, t, state)
+                for s, t in zip(symbolic.args, trace.args)
             )
+            if all(m is s for m, s in zip(merged, symbolic.args)):
+                return symbolic  # unchanged: keep the existing object
+            return Op(symbolic.op, merged)
         if isinstance(symbolic, Num) and trace.kind == KIND_CONST \
                 and float(symbolic.value) == trace.value:
             return symbolic

@@ -9,7 +9,10 @@ experiments can sweep them:
 * ``equivalence_depth`` — the Section 6.1 anti-unification bound,
 * ``detect_compensation`` — the Section 8.3 subsystem,
 * ``track_influences`` — disabling yields an FpDebug-like analysis,
-* ``shadow_precision`` — Section 5.1's MPFR precision (1000 default).
+* ``shadow_precision`` — Section 5.1's MPFR precision (1000 default),
+* ``precision_policy`` / ``working_precision`` /
+  ``escalation_guard_bits`` — the adaptive shadow-precision tiers
+  (:mod:`repro.bigfloat.policy`); "fixed" reproduces the paper.
 """
 
 from __future__ import annotations
@@ -37,6 +40,21 @@ class AnalysisConfig:
 
     #: Shadow-real precision in bits (paper Section 5.1, footnote 10).
     shadow_precision: int = 1000
+
+    #: Precision tiering of the shadow execution: "fixed" runs every
+    #: operation at ``shadow_precision`` (the paper's behaviour);
+    #: "adaptive" runs at ``working_precision`` and escalates
+    #: precision-sensitive decisions to ``shadow_precision`` (see
+    #: :mod:`repro.bigfloat.policy`).
+    precision_policy: str = "fixed"
+
+    #: Working-tier precision of the adaptive policy.
+    working_precision: int = 144
+
+    #: Guard band, in bits, around every adaptive-tier decision: the
+    #: decision escalates when its margin is within the accumulated
+    #: drift bound plus this many bits.
+    escalation_guard_bits: int = 16
 
     #: Tℓ: bits of *local* error above which an operation becomes a
     #: candidate root cause (Figure 5a sweeps this).
@@ -67,8 +85,29 @@ class AnalysisConfig:
     track_influences: bool = True
 
     def __post_init__(self) -> None:
+        from repro.bigfloat.policy import available_policies
+
         if self.shadow_precision < 24:
             raise ValueError("shadow precision below single precision")
+        if self.precision_policy not in available_policies():
+            raise ValueError(
+                f"unknown precision policy: {self.precision_policy!r} "
+                f"(known: {', '.join(available_policies())})"
+            )
+        if self.working_precision < 64:
+            raise ValueError("working precision must be >= 64 bits")
+        if self.escalation_guard_bits < 8:
+            raise ValueError("escalation guard band must be >= 8 bits")
+        if self.precision_policy == "adaptive" and \
+                self.working_precision < 53 + self.escalation_guard_bits + 8:
+            # Mirror AdaptivePrecisionPolicy's constructor check so a
+            # bad combination fails at config time, not mid-analysis
+            # inside a worker process.
+            raise ValueError(
+                f"working precision {self.working_precision} too small "
+                f"for {self.escalation_guard_bits} guard bits over a "
+                "53-bit target"
+            )
         if self.max_expression_depth < 1:
             raise ValueError("max expression depth must be >= 1")
         if self.equivalence_depth < 1:

@@ -12,15 +12,26 @@ Shadows are created *lazily*: a value that existed before the analysis
 could observe its creation (or that came from integer/bit-level code)
 gets an opaque shadow the first time an instrumented operation touches
 it (Section 6's laziness).
+
+Under an adaptive :class:`~repro.bigfloat.policy.PrecisionPolicy` the
+``real`` is a *working-tier* value and ``drift`` bounds its error in
+working-tier ulps (``policy.EXACT`` for exactly-represented values).
+:class:`ShadowEscalator` recovers the full-tier value on demand by
+re-executing the concrete trace at the full precision: because the
+trace records exactly the operations the fixed-tier analysis would
+have run, the escalated value is bit-identical to what a fixed
+full-precision run computes.  Re-execution is memoized per trace node,
+so shared sub-computations (the trace is a DAG) are escalated once.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet
+from typing import Dict, FrozenSet, Optional, Tuple
 
-from repro.bigfloat import BigFloat
+from repro.bigfloat import BigFloat, apply
+from repro.bigfloat.policy import EXACT, UNTRUSTED, PrecisionPolicy
 from repro.core.records import OpRecord
-from repro.core.trace import TraceNode
+from repro.core.trace import KIND_OP, TraceNode
 
 EMPTY_INFLUENCES: FrozenSet[OpRecord] = frozenset()
 
@@ -28,20 +39,197 @@ EMPTY_INFLUENCES: FrozenSet[OpRecord] = frozenset()
 class ShadowValue:
     """The analysis state shadowing one float value."""
 
-    __slots__ = ("real", "trace", "influences")
+    __slots__ = ("real", "trace", "influences", "drift", "rounded")
 
     def __init__(
         self,
         real: BigFloat,
         trace: TraceNode,
         influences: FrozenSet[OpRecord] = EMPTY_INFLUENCES,
+        drift: float = EXACT,
     ) -> None:
         self.real = real
         self.trace = trace
         self.influences = influences
+        #: Accumulated error bound in working-tier ulps (policy.EXACT
+        #: when ``real`` is exact; always EXACT under the fixed policy).
+        self.drift = drift
+        #: Cached escalation-checked correctly rounded double of
+        #: ``real`` (None until first requested).
+        self.rounded: Optional[float] = None
 
     def __repr__(self) -> str:
         return (
             f"<ShadowValue real={self.real!s}"
             f" influences={len(self.influences)}>"
         )
+
+
+class ShadowEscalator:
+    """Recovers full-tier shadow reals by re-executing concrete traces.
+
+    The escalation mechanism of the adaptive precision tiers: when the
+    policy reports a decision as precision-sensitive, the analysis asks
+    the escalator for the exact full-tier value of the shadows
+    involved.  Leaves evaluate to their recorded doubles exactly
+    (``BigFloat.from_float``) unless an override was registered —
+    int→float conversions register the exact integer, which the float
+    leaf value cannot always represent.
+
+    Escalation itself is tiered, Ziv style: a *rounding* escalation
+    first re-executes at the cheap **confirm tier** (roughly twice the
+    working precision) with its own drift bookkeeping; when the
+    decision is decisive there — almost always, since the band shrank
+    by a couple hundred bits — the full tier is never touched.  Only a
+    still-ambiguous decision pays for the exact full-precision
+    re-execution.
+    """
+
+    def __init__(self, policy: PrecisionPolicy) -> None:
+        self.policy = policy
+        self._memo: Dict[int, BigFloat] = {}
+        self._leaves: Dict[int, BigFloat] = {}
+        #: Operation nodes recomputed at the full tier (for reporting).
+        self.recomputed_nodes = 0
+        #: Confirm-tier state: a second adaptive policy whose "working"
+        #: precision is the confirm tier, reusing all drift machinery.
+        self._confirm_policy: Optional[PrecisionPolicy] = None
+        self._confirm_memo: Dict[int, "Tuple[BigFloat, float]"] = {}
+        self.confirm_certified = 0
+        if policy.escalates:
+            full = policy.full_context.precision
+            working = policy.context.precision
+            confirm = min(full, working * 2 + 64)
+            if confirm > working + 32 and confirm < full:
+                self._confirm_policy = type(policy)(
+                    full,
+                    working_precision=confirm,
+                    guard_bits=getattr(policy, "guard_bits", 16),
+                    rounding=policy.full_context.rounding,
+                )
+
+    def register_leaf(self, node: TraceNode, real: BigFloat) -> None:
+        """Pin the exact full-tier value of a trace leaf."""
+        self._leaves[node.ident] = real
+
+    def reset(self) -> None:
+        """Drop the per-run memos (trace-node idents are never reused,
+        so entries from a finished input run can never be hit again —
+        clearing between runs bounds memory on escalation-heavy
+        workloads).  Counters survive, they aggregate across runs."""
+        self._memo.clear()
+        self._confirm_memo.clear()
+        self._leaves.clear()
+
+    def exact_real(self, shadow: ShadowValue) -> BigFloat:
+        """The full-tier value of ``shadow`` (its real, if already exact)."""
+        if not self.policy.escalates or shadow.drift == EXACT:
+            return shadow.real
+        return self.exact_node(shadow.trace)
+
+    def certified_rounded(self, shadow: ShadowValue,
+                          mant_bits: int = 53,
+                          emin: int = -1022) -> Optional[float]:
+        """The hardware rounding of the full-tier value, via the cheap
+        confirm tier when it can certify the decision (None when it
+        cannot; the caller then pays for :meth:`exact_real`)."""
+        confirm = self._confirm_policy
+        if confirm is None:
+            return None
+        if shadow.drift == UNTRUSTED:
+            # Cancellation burned through the whole working tier: the
+            # value is rounding noise at every intermediate tier too
+            # (sin^2+cos^2-1 style), so attempting the confirm tier
+            # would just triple-pay.  Go straight to the full tier.
+            return None
+        value, drift = self._confirm_node(shadow.trace)
+        if confirm.rounding_unsafe(value, drift, mant_bits, emin):
+            return None
+        self.confirm_certified += 1
+        return (
+            value.to_float() if mant_bits == 53 else value.to_single()
+        )
+
+    def _confirm_node(self, node: TraceNode) -> "Tuple[BigFloat, float]":
+        """(value, drift) of ``node`` re-executed at the confirm tier."""
+        memo = self._confirm_memo
+        cached = memo.get(node.ident)
+        if cached is not None:
+            return cached
+        confirm = self._confirm_policy
+        context = confirm.context
+        precision = context.precision
+        stack = [node]
+        while stack:
+            current = stack[-1]
+            if current.ident in memo:
+                stack.pop()
+                continue
+            if current.kind != KIND_OP:
+                override = self._leaves.get(current.ident)
+                if override is None:
+                    memo[current.ident] = (
+                        BigFloat.from_float(current.value), EXACT
+                    )
+                else:
+                    rounded = override.round_to(precision)
+                    memo[current.ident] = (
+                        rounded,
+                        EXACT if rounded == override else 1.0,
+                    )
+                stack.pop()
+                continue
+            pending = [a for a in current.args if a.ident not in memo]
+            if pending:
+                stack.extend(pending)
+                continue
+            pairs = [memo[a.ident] for a in current.args]
+            arguments = [p[0] for p in pairs]
+            try:
+                value = apply(current.op, arguments, context)
+                drift = confirm.propagate(
+                    current.op, arguments, [p[1] for p in pairs], value
+                )
+            except KeyError:
+                value = BigFloat.from_float(current.value)
+                drift = EXACT
+            memo[current.ident] = (value, drift)
+            stack.pop()
+        return memo[node.ident]
+
+    def exact_node(self, node: TraceNode) -> BigFloat:
+        """Evaluate a trace node at the full tier (memoized, iterative)."""
+        memo = self._memo
+        cached = memo.get(node.ident)
+        if cached is not None:
+            return cached
+        with self.policy.escalated() as context:
+            stack = [node]
+            while stack:
+                current = stack[-1]
+                if current.ident in memo:
+                    stack.pop()
+                    continue
+                if current.kind != KIND_OP:
+                    override = self._leaves.get(current.ident)
+                    memo[current.ident] = (
+                        override if override is not None
+                        else BigFloat.from_float(current.value)
+                    )
+                    stack.pop()
+                    continue
+                pending = [a for a in current.args if a.ident not in memo]
+                if pending:
+                    stack.extend(pending)
+                    continue
+                arguments = [memo[a.ident] for a in current.args]
+                try:
+                    value = apply(current.op, arguments, context)
+                except KeyError:
+                    # Outside the real engine: the fixed tier would have
+                    # shadowed this as an opaque float source too.
+                    value = BigFloat.from_float(current.value)
+                memo[current.ident] = value
+                self.recomputed_nodes += 1
+                stack.pop()
+        return memo[node.ident]

@@ -31,7 +31,8 @@ _leaf_counter = itertools.count()
 class TraceNode:
     """An immutable node of the concrete-expression DAG."""
 
-    __slots__ = ("kind", "op", "args", "value", "loc", "depth", "ident")
+    __slots__ = ("kind", "op", "args", "value", "loc", "depth", "ident",
+                 "_keys")
 
     def __init__(
         self,
@@ -48,6 +49,9 @@ class TraceNode:
         self.loc = loc
         self.depth = 1 + max((a.depth for a in args), default=0)
         self.ident = next(_leaf_counter)
+        #: Lazy cache of structural keys by depth (nodes are immutable,
+        #: so a key never changes once computed).
+        self._keys: Optional[dict] = None
 
     def __repr__(self) -> str:
         if self.kind == KIND_OP:
@@ -104,13 +108,23 @@ def structural_key(node: TraceNode, depth: int) -> tuple:
         # Opaque leaves are only equivalent when they are the *same*
         # shared leaf (same box copied around) — compare by identity.
         return (KIND_OPAQUE, node.ident)
+    cache = node._keys
+    if cache is None:
+        cache = node._keys = {}
+    else:
+        cached = cache.get(depth)
+        if cached is not None:
+            return cached
     if depth <= 1:
-        return (KIND_OP, node.op, node.value)
-    return (
-        KIND_OP,
-        node.op,
-        tuple(structural_key(a, depth - 1) for a in node.args),
-    )
+        key = (KIND_OP, node.op, node.value)
+    else:
+        key = (
+            KIND_OP,
+            node.op,
+            tuple(structural_key(a, depth - 1) for a in node.args),
+        )
+    cache[depth] = key
+    return key
 
 
 def node_count(node: TraceNode) -> int:

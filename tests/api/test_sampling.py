@@ -134,6 +134,18 @@ class TestSampleInputs:
         with pytest.raises(ValueError, match="cannot satisfy"):
             sample_inputs(core, 1, seed=0, max_rejections=50)
 
+    def test_hard_but_satisfiable_precondition(self):
+        # Regression: the rejection bound is on *consecutive* failures.
+        # ~5% acceptance over 100 points used to accumulate ~1900 total
+        # rejections and spuriously trip max_rejections=1000; with the
+        # counter reset on every accepted point it never comes close.
+        core = parse_fpcore(
+            "(FPCore (x) :pre (and (<= 0 x 1) (< x 0.05)) x)"
+        )
+        points = sample_inputs(core, 100, seed=3, max_rejections=1000)
+        assert len(points) == 100
+        assert all(p[0] < 0.05 for p in points)
+
     def test_seed_determinism(self):
         core = parse_fpcore("(FPCore (x y) :pre (and (<= 1e-9 x 1e9) (<= -5 y 5)) (+ x y))")
         a = sample_inputs(core, 8, seed=42)

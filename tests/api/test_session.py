@@ -80,8 +80,22 @@ class TestSessionCaching:
         assert stats["input_sets"] == 1
         second = session.analyze(ERRONEOUS)
         stats = session.cache_stats()
-        assert stats["hits"] >= 2  # program + points reused
+        # The identical request is served whole from the result cache
+        # (program/input caches are not even consulted again).
+        assert stats["result_hits"] == 1
         assert stats["programs"] == 1
+        assert second is first
+        assert first.to_json() == second.to_json()
+
+    def test_program_and_points_reused_without_result_cache(self):
+        session = AnalysisSession(
+            config=FAST, num_points=4, result_cache_size=0
+        )
+        first = session.analyze(ERRONEOUS)
+        second = session.analyze(ERRONEOUS)
+        stats = session.cache_stats()
+        assert stats["hits"] >= 2  # program + points reused
+        assert second is not first
         assert first.to_json() == second.to_json()
 
     def test_compiled_is_cached_identity(self):
@@ -102,6 +116,7 @@ class TestSessionCaching:
         session.clear_caches()
         assert session.cache_stats() == {
             "programs": 0, "input_sets": 0, "hits": 0, "misses": 0,
+            "results": 0, "result_hits": 0, "result_misses": 0,
         }
 
 

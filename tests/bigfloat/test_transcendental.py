@@ -197,7 +197,12 @@ class TestAgainstLibm:
     @given(st.floats(min_value=-0.999999, max_value=0.999999, allow_nan=False))
     @settings(max_examples=100)
     def test_atanh(self, x):
-        assert close_to_libm(apply("atanh", [bf(x)], CTX).to_float(), math.atanh(x))
+        # glibc's atanh carries up to 2 ulp of error (e.g. at
+        # x=0.1202539569579767 it is 2 ulps from the correctly rounded
+        # value, verified against mpmath; ours is exact there).
+        assert close_to_libm(
+            apply("atanh", [bf(x)], CTX).to_float(), math.atanh(x), ulps=2
+        )
 
     @given(
         st.floats(min_value=0.001, max_value=1000.0),

@@ -1,0 +1,103 @@
+"""Special-value semantics of the error metrics (audited, pinned).
+
+The audit behind these tests: ``bits_of_error`` and everything built
+on it must stay *defined* (never NaN, never negative, always within
+the cap) for every combination of NaN/±inf on either side, so no
+nonsense float can reach candidate ranking or spot statistics.  The
+paper's conventions are pinned explicitly:
+
+* NaN involvement is maximal error — including the both-NaN case,
+  because an operation invoked outside its real domain is exactly the
+  Gram-Schmidt root cause (Section 7): the ``0/0`` division *is*
+  reported even though float and real agree on "invalid".
+* Infinities live on the ulp lattice: same-sign agreement is zero
+  error; any disagreement saturates the cap.
+"""
+
+import math
+
+import pytest
+
+from repro.bigfloat import BigFloat, Context
+from repro.core.localerror import (
+    local_error,
+    rounded_local_error,
+    rounded_total_error,
+    total_error,
+)
+from repro.ieee.error import MAX_ERROR_BITS
+
+CTX = Context(precision=200)
+
+NAN = float("nan")
+INF = float("inf")
+
+
+class TestTotalErrorSpecials:
+    def test_nan_float_against_finite_real(self):
+        assert total_error(NAN, BigFloat.from_float(1.5)) == MAX_ERROR_BITS
+
+    def test_finite_float_against_nan_real(self):
+        assert total_error(1.5, BigFloat.nan()) == MAX_ERROR_BITS
+
+    def test_both_nan_is_still_maximal(self):
+        # The Gram-Schmidt convention: invalid is invalid.
+        assert total_error(NAN, BigFloat.nan()) == MAX_ERROR_BITS
+
+    def test_matching_infinities_are_exact(self):
+        assert total_error(INF, BigFloat.inf(0)) == 0.0
+        assert total_error(-INF, BigFloat.inf(1)) == 0.0
+
+    def test_opposite_infinities_nearly_saturate(self):
+        # inf vs -inf spans the whole ordered-double lattice: just
+        # under the 64-bit cap, and certainly "significant".
+        bits = total_error(INF, BigFloat.inf(1))
+        assert 63.0 < bits <= MAX_ERROR_BITS
+
+    def test_finite_against_infinite_real_is_defined(self):
+        # The ulp lattice extends to inf: a large-but-finite double
+        # against an infinite real is a huge, *finite* distance — not
+        # NaN, not the cap.
+        bits = total_error(1e308, BigFloat.inf(0))
+        assert 50.0 < bits <= MAX_ERROR_BITS
+
+    def test_real_overflowing_double_range(self):
+        # A shadow real beyond DBL_MAX rounds to inf; the metric stays
+        # defined and registers dozens of bits of error.
+        huge = BigFloat(0, 1, 5000)  # 2^5000
+        bits = total_error(1e308, huge)
+        assert 50.0 < bits <= MAX_ERROR_BITS
+
+
+class TestLocalErrorSpecials:
+    def test_domain_error_agreement_is_flagged(self):
+        # sqrt(-4): float NaN, real NaN -> maximal local error (the
+        # op *is* the root cause of the invalid result).
+        arg = BigFloat.from_float(-4.0)
+        result = BigFloat.nan()
+        assert local_error("sqrt", [arg], result, CTX) == MAX_ERROR_BITS
+
+    def test_agreeing_infinities_are_clean(self):
+        # exp overflows both paths identically: no local error.
+        arg = BigFloat.from_float(1000.0)
+        real = BigFloat(0, 1, 1443)  # ~e^1000, far beyond double range
+        assert local_error("exp", [arg], real, CTX) == 0.0
+
+    def test_rounded_entry_points_match_bigfloat_entry_points(self):
+        args = [BigFloat.from_float(3.0), BigFloat.from_float(7.0)]
+        real = BigFloat.from_float(10.0)
+        assert local_error("+", args, real, CTX) == rounded_local_error(
+            "+", [3.0, 7.0], 10.0
+        )
+        assert total_error(2.5, BigFloat.from_float(2.5)) == \
+            rounded_total_error(2.5, 2.5)
+
+    @pytest.mark.parametrize("approx,exact", [
+        (NAN, NAN), (NAN, 1.0), (1.0, NAN),
+        (INF, INF), (-INF, INF), (INF, 1.0), (0.0, -INF),
+        (NAN, INF), (INF, NAN),
+    ])
+    def test_metric_is_always_defined(self, approx, exact):
+        bits = rounded_total_error(approx, exact)
+        assert not math.isnan(bits)
+        assert 0.0 <= bits <= MAX_ERROR_BITS
