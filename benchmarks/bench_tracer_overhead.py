@@ -1,0 +1,508 @@
+#!/usr/bin/env python3
+"""Tracer fast path: per-op overhead, layer attribution, and parity.
+
+PR 2 measured that the corpus is *interpreter/anti-unification-bound*:
+per-op tracer overhead (Python dispatch, trace-node allocation, the
+anti-unify walk) dominates everything else.  This benchmark measures
+the compiled fast path that attacks all three layers and emits
+``BENCH_tracer.json``:
+
+* **Per-op overhead vs native** — uninstrumented (no-op tracer)
+  execution per engine, and fully traced execution, reported in
+  microseconds per floating-point operation.
+* **End-to-end wall-clock** — the interpreter-bound corpus suite (the
+  loop benchmarks plus the most operation-heavy straight-line
+  benchmarks) per engine configuration, with **per-layer attribution**:
+
+  - ``dispatch``   — threaded-code interpreter only,
+  - ``trace_alloc`` — + hash-consed trace pool,
+  - ``antiunify``  — + steady-state anti-unification fast path
+    (= the full compiled engine).
+
+* **Parity gate** — byte-identical ``AnalysisResult`` JSON between
+  every configuration and the reference engine, under both precision
+  policies.  Any mismatch fails the run.
+* **PR-2 baseline** (optional, ``--pr2-rev``) — checks out the PR-2
+  tree in a temporary git worktree and times the *original* analysis
+  on the same suite/points/seed, so the headline speedup is measured
+  against the actual baseline rather than remembered numbers.  Without
+  git, the current reference engine is the (conservative) baseline —
+  conservative because this PR's satellite optimizations (AST
+  interning, iterative walks) accelerated the reference path too.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_tracer_overhead.py \
+        [--points 8] [--suite-size 12] [--repeat 2] [--parity-points 3] \
+        [--out BENCH_tracer.json] [--require-speedup 2.5] \
+        [--pr2-rev <git-rev>] [--skip-pr2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.api import AnalysisSession, results_to_json
+from repro.core import AnalysisConfig, EngineFeatures, analyze_program
+from repro.fpcore import load_corpus
+from repro.fpcore.printer import format_fpcore
+from repro.machine import CompiledProgram, Interpreter, compile_fpcore
+from repro.api.sampling import sample_inputs
+
+#: Layer stack, innermost first; each entry adds one fast-path layer.
+LAYERS = (
+    ("reference", EngineFeatures(False, False, False)),
+    ("dispatch", EngineFeatures(True, False, False)),
+    ("trace_alloc", EngineFeatures(True, True, False)),
+    ("antiunify", EngineFeatures(True, True, True)),
+)
+
+
+def select_suites(corpus, points: int, seed: int, size: int):
+    """The two measurement suites.
+
+    * ``loops`` — the interpreter-bound suite: benchmarks with loops,
+      whose deep trace DAGs make per-op tracer overhead (dispatch,
+      trace allocation, anti-unification) the dominant cost.  This is
+      the suite the fast path targets and the headline median.
+    * ``straightline`` — the most operation-heavy straight-line
+      benchmarks ("heavy" is measured: executed float operations under
+      native execution).  Their shallow traces spend proportionally
+      more time in 1000-bit shadow arithmetic, which the tracer fast
+      path deliberately leaves untouched; reported separately so the
+      headline measures what the PR changes.
+    """
+    weights = []
+    for core in corpus:
+        program = compile_fpcore(core)
+        compiled = CompiledProgram(program)
+        ops = 0
+        for point in sample_inputs(core, points, seed=seed):
+            compiled.run(point)
+            ops += compiled.stats.float_ops + compiled.stats.library_calls
+        weights.append((ops, core))
+    loops = [core for __, core in weights if "(while" in format_fpcore(core)]
+    straight = sorted(
+        (
+            (ops, core) for ops, core in weights
+            if "(while" not in format_fpcore(core)
+        ),
+        key=lambda pair: -pair[0],
+    )
+    straightline = [
+        core for __, core in straight[: max(0, size - len(loops))]
+    ]
+    return loops, straightline
+
+
+def bench_native_overhead(suite, points: int, seed: int, repeat: int) -> Dict:
+    """Per-op cost: native per engine, and fully traced (compiled)."""
+    rows = {"reference_native": 0.0, "compiled_native": 0.0,
+            "compiled_traced": 0.0, "reference_traced": 0.0}
+    total_ops = 0
+    for core in suite:
+        program = compile_fpcore(core)
+        sampled = sample_inputs(core, points, seed=seed)
+        compiled = CompiledProgram(program)
+        for point in sampled:
+            compiled.run(point)
+            total_ops += compiled.stats.float_ops + compiled.stats.library_calls
+
+        def timed(run_once) -> float:
+            best = None
+            for __ in range(repeat):
+                start = time.perf_counter()
+                run_once()
+                elapsed = time.perf_counter() - start
+                best = elapsed if best is None else min(best, elapsed)
+            return best
+
+        rows["compiled_native"] += timed(
+            lambda: [compiled.run(p) for p in sampled]
+        )
+        rows["reference_native"] += timed(
+            lambda: [Interpreter(program).run(p) for p in sampled]
+        )
+        for label, engine in (("compiled_traced", "compiled"),
+                              ("reference_traced", "reference")):
+            config = AnalysisConfig(engine=engine)
+            rows[label] += timed(
+                lambda: analyze_program(
+                    program, sampled, config=config
+                )
+            )
+    out = {"executed_float_ops": total_ops}
+    for label, seconds in rows.items():
+        out[label + "_us_per_op"] = round(seconds / max(total_ops, 1) * 1e6, 3)
+        out[label + "_seconds"] = round(seconds, 4)
+    native = out["compiled_native_us_per_op"]
+    out["tracer_overhead_factor_compiled"] = round(
+        out["compiled_traced_us_per_op"] / max(native, 1e-9), 1
+    )
+    out["tracer_overhead_factor_reference"] = round(
+        out["reference_traced_us_per_op"] / max(native, 1e-9), 1
+    )
+    return out
+
+
+def bench_layers(suite, points: int, seed: int, repeat: int) -> Dict:
+    """Per-benchmark, per-layer steady-state analysis times.
+
+    Repetitions are *interleaved* across the layer configurations
+    (reference, dispatch, ... all timed once per round, best-of-rounds
+    reported) so slow drift in machine load hits every configuration
+    equally instead of skewing the ratios.
+    """
+    per_benchmark = []
+    for core in suite:
+        program = compile_fpcore(core)
+        sampled = sample_inputs(core, points, seed=seed)
+        config = AnalysisConfig()
+        best: Dict[str, float] = {}
+        for label, features in LAYERS:  # warm every configuration once
+            analyze_program(
+                program, sampled, config=config, features=features
+            )
+        for __ in range(max(1, repeat)):
+            for label, features in LAYERS:
+                start = time.perf_counter()
+                analyze_program(
+                    program, sampled, config=config, features=features
+                )
+                elapsed = time.perf_counter() - start
+                if label not in best or elapsed < best[label]:
+                    best[label] = elapsed
+        row = {"benchmark": core.name}
+        for label, __features in LAYERS:
+            row[label + "_seconds"] = round(best[label], 4)
+        row["speedup_vs_reference"] = round(
+            row["reference_seconds"] / max(row["antiunify_seconds"], 1e-9), 3
+        )
+        per_benchmark.append(row)
+    speedups = [row["speedup_vs_reference"] for row in per_benchmark]
+    attribution = {}
+    previous = "reference"
+    for label, __ in LAYERS[1:]:
+        gains = [
+            row[previous + "_seconds"] / max(row[label + "_seconds"], 1e-9)
+            for row in per_benchmark
+        ]
+        attribution[label] = {
+            "median_incremental_speedup": round(statistics.median(gains), 3),
+        }
+        previous = label
+    return {
+        "per_benchmark": sorted(
+            per_benchmark, key=lambda r: -r["speedup_vs_reference"]
+        ),
+        "median_speedup_vs_reference": round(statistics.median(speedups), 3),
+        "best_speedup_vs_reference": max(speedups),
+        "worst_speedup_vs_reference": min(speedups),
+        "layer_attribution": attribution,
+    }
+
+
+def bench_parity(suite, points: int, seed: int) -> Dict:
+    """Byte-identical JSON across every layer stack and both policies."""
+    failures = []
+    for policy in ("fixed", "adaptive"):
+        baseline = None
+        for label, features in LAYERS:
+            serialized = []
+            for core in suite:
+                program = compile_fpcore(core)
+                sampled = sample_inputs(core, points, seed=seed)
+                config = AnalysisConfig(precision_policy=policy)
+                analysis, __ = analyze_program(
+                    program, sampled, config=config, features=features
+                )
+                serialized.append(_signature_json(analysis))
+            blob = "\n".join(serialized)
+            if baseline is None:
+                baseline = blob
+            elif blob != baseline:
+                failures.append(f"{policy}/{label} diverged from reference")
+    # The session-level byte-for-byte check on full AnalysisResult JSON.
+    for policy in ("fixed", "adaptive"):
+        outputs = {}
+        for engine in ("compiled", "reference"):
+            session = AnalysisSession(
+                config=AnalysisConfig(
+                    precision_policy=policy, engine=engine
+                ),
+                num_points=points, seed=seed, result_cache_size=0,
+            )
+            outputs[engine] = results_to_json(
+                session.analyze_batch(suite, workers=1)
+            )
+        if outputs["compiled"] != outputs["reference"]:
+            failures.append(f"{policy}: result JSON not byte-identical")
+    return {"identical": not failures, "failures": failures}
+
+
+def _signature_json(analysis) -> str:
+    rows = []
+    for record in analysis.candidate_records():
+        rows.append([
+            record.site_id, record.op, record.loc, record.executions,
+            record.candidate_executions, record.max_local_error,
+            record.sum_local_error, record.compensations_detected,
+            str(record.symbolic_expression),
+        ])
+    for spot in sorted(analysis.spot_records.values(), key=lambda s: s.site_id):
+        rows.append([
+            spot.site_id, spot.kind, spot.loc, spot.executions,
+            spot.erroneous, spot.max_error,
+            sorted(r.site_id for r in spot.influences),
+        ])
+    return json.dumps(rows, sort_keys=True)
+
+
+PR2_TIMING_SCRIPT = """\
+import json, sys, time
+sys.path.insert(0, sys.argv[1])
+from repro.api import AnalysisSession
+from repro.core import AnalysisConfig
+from repro.fpcore.parser import parse_fpcore
+
+spec = json.load(open(sys.argv[2]))
+rows = {}
+for source in spec["cores"]:
+    core = parse_fpcore(source)
+    session = AnalysisSession(
+        num_points=spec["points"], seed=spec["seed"], result_cache_size=0
+    )
+    session.analyze(core)  # warm compile/sampling caches
+    best = None
+    for _ in range(spec["repeat"]):
+        start = time.perf_counter()
+        session.analyze(core)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    rows[core.name] = best
+json.dump(rows, open(sys.argv[3], "w"))
+"""
+
+
+def _time_in_subprocess(
+    src_path: str, scratch: str, tag: str, suite, points: int, seed: int,
+    repeat: int,
+) -> Optional[Dict[str, float]]:
+    """Per-benchmark steady-state seconds, measured by a fresh process
+    importing ``src_path`` — the same script for every code version, so
+    baseline and current measurements share one methodology and one
+    machine state."""
+    spec = {
+        "cores": [format_fpcore(core) for core in suite],
+        "points": points, "seed": seed, "repeat": max(1, repeat),
+    }
+    spec_path = os.path.join(scratch, f"spec-{tag}.json")
+    out_path = os.path.join(scratch, f"times-{tag}.json")
+    script_path = os.path.join(scratch, "time_session.py")
+    with open(spec_path, "w", encoding="utf-8") as handle:
+        json.dump(spec, handle)
+    if not os.path.exists(script_path):
+        with open(script_path, "w", encoding="utf-8") as handle:
+            handle.write(PR2_TIMING_SCRIPT)
+    try:
+        subprocess.run(
+            [sys.executable, script_path, src_path, spec_path, out_path],
+            check=True, capture_output=True, timeout=3600,
+        )
+    except (subprocess.CalledProcessError, subprocess.TimeoutExpired):
+        return None
+    with open(out_path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def bench_pr2_baseline(
+    suite, points: int, seed: int, repeat: int, rev: str
+) -> Optional[Dict]:
+    """Time the PR-2 code and the current code on the same work, each
+    in a fresh subprocess via the same script (PR-2 from a git
+    worktree), interleaved so machine drift cancels."""
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    if not os.path.isdir(os.path.join(repo_root, ".git")):
+        return None
+    with tempfile.TemporaryDirectory() as scratch:
+        worktree = os.path.join(scratch, "pr2")
+        try:
+            subprocess.run(
+                ["git", "-C", repo_root, "worktree", "add", "--detach",
+                 worktree, rev],
+                check=True, capture_output=True,
+            )
+        except (subprocess.CalledProcessError, FileNotFoundError):
+            return None
+        try:
+            current_src = os.path.join(repo_root, "src")
+            pr2_src = os.path.join(worktree, "src")
+            rounds = []
+            for index in range(2):  # two interleaved rounds, best-of
+                pr2 = _time_in_subprocess(
+                    pr2_src, scratch, f"pr2-{index}", suite, points, seed,
+                    repeat,
+                )
+                now = _time_in_subprocess(
+                    current_src, scratch, f"now-{index}", suite, points,
+                    seed, repeat,
+                )
+                if pr2 is None or now is None:
+                    return None
+                rounds.append((pr2, now))
+            pr2_best = {
+                name: min(r[0][name] for r in rounds) for name in rounds[0][0]
+            }
+            now_best = {
+                name: min(r[1][name] for r in rounds) for name in rounds[0][1]
+            }
+            return {
+                "rev": rev,
+                "seconds_by_benchmark": pr2_best,
+                "current_seconds_by_benchmark": now_best,
+            }
+        finally:
+            subprocess.run(
+                ["git", "-C", repo_root, "worktree", "remove", "--force",
+                 worktree],
+                capture_output=True,
+            )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--points", type=int, default=8,
+                        help="input points per benchmark for timing")
+    parser.add_argument("--parity-points", type=int, default=3,
+                        help="input points for the parity gate")
+    parser.add_argument("--suite-size", type=int, default=12,
+                        help="size of the interpreter-bound suite")
+    parser.add_argument("--repeat", type=int, default=2,
+                        help="timing repetitions (min is reported)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", default="BENCH_tracer.json")
+    parser.add_argument("--require-speedup", type=float, default=None,
+                        help="fail unless the suite's median speedup vs "
+                             "the PR-2 baseline (or, without git, the "
+                             "reference engine) reaches this factor")
+    parser.add_argument("--pr2-rev", default="188aa60",
+                        help="git revision of the PR-2 baseline")
+    parser.add_argument("--skip-pr2", action="store_true",
+                        help="skip the live PR-2 baseline measurement")
+    args = parser.parse_args(argv)
+
+    corpus = load_corpus()
+    loops, straightline = select_suites(
+        corpus, args.points, args.seed, args.suite_size
+    )
+    everything = loops + straightline
+    print(f"interpreter-bound suite: {len(loops)} loop benchmarks "
+          f"({', '.join(core.name for core in loops)}); "
+          f"{len(straightline)} op-heavy straight-line benchmarks")
+
+    report = {
+        "schema_version": 1,
+        "settings": {
+            "points": args.points,
+            "parity_points": args.parity_points,
+            "seed": args.seed,
+            "repeat": args.repeat,
+            "interpreter_bound_suite": [core.name for core in loops],
+            "straightline_suite": [core.name for core in straightline],
+        },
+    }
+
+    report["per_op_overhead"] = bench_native_overhead(
+        everything, args.points, args.seed, args.repeat
+    )
+    o = report["per_op_overhead"]
+    print(f"native : reference {o['reference_native_us_per_op']}us/op,"
+          f" compiled {o['compiled_native_us_per_op']}us/op")
+    print(f"traced : reference {o['reference_traced_us_per_op']}us/op,"
+          f" compiled {o['compiled_traced_us_per_op']}us/op"
+          f" (overhead {o['tracer_overhead_factor_compiled']}x native)")
+
+    # The PR-2 subprocess runs immediately before the layer timings so
+    # both phases see the same machine state; ratios across phases are
+    # then meaningful.
+    baseline = None
+    if not args.skip_pr2:
+        baseline = bench_pr2_baseline(
+            everything, args.points, args.seed, args.repeat, args.pr2_rev
+        )
+
+    report["suites"] = {}
+    for label, suite in (("loops", loops), ("straightline", straightline)):
+        layers = bench_layers(suite, args.points, args.seed, args.repeat)
+        report["suites"][label] = layers
+        print(f"{label:7s}: median {layers['median_speedup_vs_reference']}x"
+              f" vs reference engine; attribution "
+              + ", ".join(
+                  f"{k}={v['median_incremental_speedup']}x"
+                  for k, v in layers["layer_attribution"].items()
+              ))
+
+    report["parity"] = bench_parity(
+        everything, args.parity_points, args.seed
+    )
+    print(f"parity : identical={report['parity']['identical']}")
+    if baseline is not None:
+        current = baseline["current_seconds_by_benchmark"]
+        for label in ("loops", "straightline"):
+            layers = report["suites"][label]
+            names = {row["benchmark"] for row in layers["per_benchmark"]}
+            ratios = [
+                seconds / max(current[name], 1e-9)
+                for name, seconds in baseline["seconds_by_benchmark"].items()
+                if name in names and name in current
+            ]
+            layers["median_speedup_vs_pr2"] = round(
+                statistics.median(ratios), 3
+            ) if ratios else None
+        report["pr2_baseline"] = baseline
+        report["speedup"] = report["suites"]["loops"][
+            "median_speedup_vs_pr2"
+        ]
+        print(f"pr2    : interpreter-bound median vs PR-2 baseline "
+              f"({baseline['rev']}): {report['speedup']}x; straight-line "
+              f"{report['suites']['straightline']['median_speedup_vs_pr2']}x")
+    else:
+        report["pr2_baseline"] = None
+        report["speedup"] = report["suites"]["loops"][
+            "median_speedup_vs_reference"
+        ]
+        print("pr2    : baseline unavailable; using the reference engine "
+              "as the (conservative) baseline")
+
+    failures = list(report["parity"]["failures"])
+    if args.require_speedup is not None and (
+        report["speedup"] is None or report["speedup"] < args.require_speedup
+    ):
+        failures.append(
+            f"median speedup {report['speedup']}x below required "
+            f"{args.require_speedup}x"
+        )
+    report["failures"] = failures
+
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.out}; headline speedup {report['speedup']}x")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

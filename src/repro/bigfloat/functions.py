@@ -8,6 +8,8 @@ semantics.  Names follow FPCore/C99 conventions.
 
 from __future__ import annotations
 
+import math
+
 from typing import Callable, Dict, Optional, Sequence
 
 from repro.bigfloat import arith, transcendental
@@ -92,6 +94,35 @@ def arity(operation: str) -> int:
     raise KeyError(f"unknown operation: {operation!r}")
 
 
+def _real_unary(fn):
+    def call(args, context):
+        (x,) = args
+        return fn(x, context)
+    return call
+
+
+def _real_binary(fn):
+    def call(args, context):
+        x, y = args
+        return fn(x, y, context)
+    return call
+
+
+def _real_ternary(fn):
+    def call(args, context):
+        x, y, z = args
+        return fn(x, y, z, context)
+    return call
+
+
+#: name -> callable(args, context), resolved once at import time so the
+#: per-operation hot path is a single dict lookup.
+_REAL_DISPATCH: Dict[str, Callable] = {}
+_REAL_DISPATCH.update((n, _real_unary(f)) for n, f in _UNARY.items())
+_REAL_DISPATCH.update((n, _real_binary(f)) for n, f in _BINARY.items())
+_REAL_DISPATCH.update((n, _real_ternary(f)) for n, f in _TERNARY.items())
+
+
 def apply(
     operation: str,
     args: Sequence[BigFloat],
@@ -102,17 +133,10 @@ def apply(
     This is the single entry point the analysis uses for its shadow-real
     execution (paper Figure 4, the ⟦f⟧_R semantics).
     """
-    context = context if context is not None else getcontext()
-    if operation in _UNARY:
-        (x,) = args
-        return _UNARY[operation](x, context)
-    if operation in _BINARY:
-        x, y = args
-        return _BINARY[operation](x, y, context)
-    if operation in _TERNARY:
-        x, y, z = args
-        return _TERNARY[operation](x, y, z, context)
-    raise KeyError(f"unknown operation: {operation!r}")
+    handler = _REAL_DISPATCH.get(operation)
+    if handler is None:
+        raise KeyError(f"unknown operation: {operation!r}")
+    return handler(args, context if context is not None else getcontext())
 
 
 def apply_double(operation: str, args: Sequence[float]) -> float:
@@ -122,65 +146,27 @@ def apply_double(operation: str, args: Sequence[float]) -> float:
     floats exhibit, routed through Python's libm/IEEE arithmetic.  Used
     both by the machine interpreter and local-error computation.
     """
-    import math
-
-    if operation == "+":
-        return args[0] + args[1]
-    if operation == "-":
-        return args[0] - args[1]
-    if operation == "*":
-        return args[0] * args[1]
-    if operation == "/":
-        try:
-            return args[0] / args[1]
-        except ZeroDivisionError:
-            if args[0] == 0.0 or math.isnan(args[0]):
-                return math.nan
-            return math.copysign(math.inf, args[0]) * math.copysign(1.0, args[1])
-    if operation == "neg":
-        return -args[0]
-    if operation == "fabs":
-        return abs(args[0])
-    if operation == "fma":
-        # Python 3.13 has math.fma; emulate exactly with BigFloat otherwise.
-        from repro.bigfloat.context import DOUBLE_CONTEXT
-
-        result = arith.fma(
-            BigFloat.from_float(args[0]),
-            BigFloat.from_float(args[1]),
-            BigFloat.from_float(args[2]),
-            DOUBLE_CONTEXT,
-        )
-        return result.to_float()
-    if operation == "copysign":
-        return math.copysign(args[0], args[1])
-    if operation == "fmin":
-        return _double_fmin(args[0], args[1])
-    if operation == "fmax":
-        return _double_fmax(args[0], args[1])
-    if operation == "fdim":
-        if math.isnan(args[0]) or math.isnan(args[1]):
-            return math.nan
-        return args[0] - args[1] if args[0] > args[1] else 0.0
-    handler = _DOUBLE_MATH.get(operation)
+    handler = DOUBLE_HANDLERS.get(operation)
     if handler is None:
         raise KeyError(f"unknown operation: {operation!r}")
-    try:
-        return handler(*args)
-    except ValueError:  # math domain error -> NaN, as hardware would
-        return math.nan
-    except OverflowError:  # math range error -> ±inf
-        sign = 1.0
-        if operation in ("exp", "exp2", "expm1", "cosh"):
-            sign = 1.0
-        elif args and args[0] < 0:
-            sign = -1.0
-        return math.copysign(math.inf, sign)
+    return handler(*args)
+
+
+def double_handler(operation: str) -> Callable[..., float]:
+    """The positional-argument double implementation of ``operation``.
+
+    Pre-resolving the handler lets hot loops (the threaded-code
+    interpreter, local-error measurement) skip the per-call name
+    dispatch of :func:`apply_double`; the returned callable has exactly
+    ``apply_double``'s semantics for that operation.
+    """
+    handler = DOUBLE_HANDLERS.get(operation)
+    if handler is None:
+        raise KeyError(f"unknown operation: {operation!r}")
+    return handler
 
 
 def _double_fmin(a: float, b: float) -> float:
-    import math
-
     if math.isnan(a):
         return b
     if math.isnan(b):
@@ -191,8 +177,6 @@ def _double_fmin(a: float, b: float) -> float:
 
 
 def _double_fmax(a: float, b: float) -> float:
-    import math
-
     if math.isnan(a):
         return b
     if math.isnan(b):
@@ -203,8 +187,6 @@ def _double_fmax(a: float, b: float) -> float:
 
 
 def _build_double_math() -> Dict[str, Callable[..., float]]:
-    import math
-
     def log_with_zero(x: float) -> float:
         if x == 0.0:
             return -math.inf
@@ -311,3 +293,98 @@ def _build_double_math() -> Dict[str, Callable[..., float]]:
 
 
 _DOUBLE_MATH = _build_double_math()
+
+
+def _double_add(a: float, b: float) -> float:
+    return a + b
+
+
+def _double_sub(a: float, b: float) -> float:
+    return a - b
+
+
+def _double_mul(a: float, b: float) -> float:
+    return a * b
+
+
+def _double_div(a: float, b: float) -> float:
+    try:
+        return a / b
+    except ZeroDivisionError:
+        if a == 0.0 or math.isnan(a):
+            return math.nan
+        return math.copysign(math.inf, a) * math.copysign(1.0, b)
+
+
+def _double_neg(a: float) -> float:
+    return -a
+
+
+def _double_fabs(a: float) -> float:
+    return abs(a)
+
+
+def _double_fma(a: float, b: float, c: float) -> float:
+    # Python 3.13 has math.fma; emulate exactly with BigFloat otherwise.
+    from repro.bigfloat.context import DOUBLE_CONTEXT
+
+    result = arith.fma(
+        BigFloat.from_float(a),
+        BigFloat.from_float(b),
+        BigFloat.from_float(c),
+        DOUBLE_CONTEXT,
+    )
+    return result.to_float()
+
+
+def _double_copysign(a: float, b: float) -> float:
+    return math.copysign(a, b)
+
+
+def _double_fdim(a: float, b: float) -> float:
+    if math.isnan(a) or math.isnan(b):
+        return math.nan
+    return a - b if a > b else 0.0
+
+
+def _wrap_math_errors(
+    operation: str, handler: Callable[..., float]
+) -> Callable[..., float]:
+    """libm error semantics: domain error -> NaN, range error -> ±inf."""
+    always_positive = operation in ("exp", "exp2", "expm1", "cosh")
+
+    def wrapped(*args: float) -> float:
+        try:
+            return handler(*args)
+        except ValueError:  # math domain error -> NaN, as hardware would
+            return math.nan
+        except OverflowError:  # math range error -> ±inf
+            sign = 1.0
+            if not always_positive and args and args[0] < 0:
+                sign = -1.0
+            return math.copysign(math.inf, sign)
+
+    return wrapped
+
+
+#: Positional-argument double implementations of every operation, with
+#: name dispatch done once at table-build time.  ``apply_double`` and
+#: :func:`double_handler` both serve from this table, so the threaded
+#: and reference interpreters share one ⟦f⟧_F semantics.
+DOUBLE_HANDLERS: Dict[str, Callable[..., float]] = {
+    "+": _double_add,
+    "-": _double_sub,
+    "*": _double_mul,
+    "/": _double_div,
+    "neg": _double_neg,
+    "fabs": _double_fabs,
+    "fma": _double_fma,
+    "copysign": _double_copysign,
+    "fmin": _double_fmin,
+    "fmax": _double_fmax,
+    "fdim": _double_fdim,
+}
+DOUBLE_HANDLERS.update(
+    (name, _wrap_math_errors(name, handler))
+    for name, handler in _DOUBLE_MATH.items()
+)

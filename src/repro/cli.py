@@ -45,6 +45,7 @@ def _session(args: argparse.Namespace, **config_fields) -> AnalysisSession:
         shadow_precision=args.precision,
         precision_policy=getattr(args, "precision_policy", "fixed"),
         working_precision=getattr(args, "working_precision", 144),
+        engine=getattr(args, "engine", "compiled"),
         **config_fields,
     )
     return AnalysisSession(
@@ -184,6 +185,11 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--cache-dir", metavar="DIR",
                          help="persist analysis results as JSON under DIR "
                               "and reuse them across runs")
+    analyze.add_argument("--engine", default="compiled",
+                         choices=("compiled", "reference"),
+                         help="execution engine: the threaded-code fast "
+                              "path (default) or the reference "
+                              "interpreter (identical results)")
     analyze.add_argument("--json", action="store_true",
                          help="emit the AnalysisResult JSON serialization")
     analyze.set_defaults(func=_command_analyze)
@@ -214,6 +220,9 @@ def build_parser() -> argparse.ArgumentParser:
     corpus.add_argument("--cache-dir", metavar="DIR",
                         help="persist analysis results as JSON under DIR "
                              "and reuse them across runs")
+    corpus.add_argument("--engine", default="compiled",
+                        choices=("compiled", "reference"),
+                        help="execution engine (results are identical)")
     corpus.add_argument("--workers", type=int, default=1,
                         help="worker processes for batch analysis")
     corpus.add_argument("--json", action="store_true",

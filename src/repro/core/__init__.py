@@ -12,14 +12,21 @@ plus compensation detection and library wrapping (Section 5.3), and
 the configuration knobs every Section 8 experiment sweeps (``config``).
 """
 
-from repro.core.analysis import HerbgrindAnalysis, analyze_program
+from repro.core.analysis import (
+    EngineFeatures,
+    HerbgrindAnalysis,
+    analyze_program,
+)
 from repro.core.config import (
     ALL_CHARACTERISTICS,
+    ALL_ENGINES,
     AnalysisConfig,
     CHARACTERISTICS_NONE,
     CHARACTERISTICS_RANGE,
     CHARACTERISTICS_REPRESENTATIVE,
     CHARACTERISTICS_SIGN_SPLIT,
+    ENGINE_COMPILED,
+    ENGINE_REFERENCE,
 )
 from repro.core.driver import analyze_fpcore, precondition_box, sample_inputs
 from repro.core.records import (
@@ -40,8 +47,12 @@ from repro.core.shadow import ShadowValue
 
 __all__ = [
     "ALL_CHARACTERISTICS",
+    "ALL_ENGINES",
     "AnalysisConfig",
     "AnalysisReport",
+    "ENGINE_COMPILED",
+    "ENGINE_REFERENCE",
+    "EngineFeatures",
     "CHARACTERISTICS_NONE",
     "CHARACTERISTICS_RANGE",
     "CHARACTERISTICS_REPRESENTATIVE",

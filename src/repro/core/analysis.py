@@ -27,13 +27,13 @@ study's prose describes).
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bigfloat import BigFloat, apply, make_policy
 from repro.bigfloat import arith
 from repro.bigfloat.policy import EXACT
-from repro.core.antiunify import collect_variable_values
-from repro.core.config import AnalysisConfig
+from repro.core.config import ENGINE_COMPILED, AnalysisConfig
 from repro.core.localerror import rounded_local_error, rounded_total_error
 from repro.core.records import (
     OpRecord,
@@ -49,11 +49,44 @@ from repro.machine.interpreter import Interpreter, Tracer
 from repro.machine.values import FloatBox
 
 
+@dataclass(frozen=True)
+class EngineFeatures:
+    """The three independent layers of the compiled fast path.
+
+    ``AnalysisConfig.engine`` maps to all-on ("compiled") or all-off
+    ("reference"); the benchmark harness toggles layers individually
+    for per-layer overhead attribution.  Every combination produces
+    identical analysis results.
+    """
+
+    #: Execute through :class:`repro.machine.compiled.CompiledProgram`.
+    threaded_interpreter: bool = True
+    #: Hash-cons trace nodes through a :class:`~repro.core.trace.TracePool`.
+    trace_pool: bool = True
+    #: Use the steady-state anti-unification fast path.
+    fast_antiunify: bool = True
+
+    @classmethod
+    def for_engine(cls, engine: str) -> "EngineFeatures":
+        on = engine == ENGINE_COMPILED
+        return cls(
+            threaded_interpreter=on, trace_pool=on, fast_antiunify=on
+        )
+
+
 class HerbgrindAnalysis(Tracer):
     """The full analysis; attach to an Interpreter as its tracer."""
 
-    def __init__(self, config: Optional[AnalysisConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[AnalysisConfig] = None,
+        features: Optional[EngineFeatures] = None,
+    ) -> None:
         self.config = config if config is not None else AnalysisConfig()
+        self.features = (
+            features if features is not None
+            else EngineFeatures.for_engine(self.config.engine)
+        )
         self.policy = make_policy(
             self.config.precision_policy,
             full_precision=self.config.shadow_precision,
@@ -63,12 +96,25 @@ class HerbgrindAnalysis(Tracer):
         #: The context shadow operations run under: the full tier for
         #: the fixed policy, the working tier for adaptive tiers.
         self.context = self.policy.context
+        #: Hoisted policy flag: the fixed policy never escalates, so
+        #: the hot path can skip drift/rounding bookkeeping entirely.
+        self._escalates = self.policy.escalates
         self.escalator = ShadowEscalator(self.policy)
         self.op_records: Dict[int, OpRecord] = {}
         self.spot_records: Dict[int, SpotRecord] = {}
         self._sites: Dict[int, isa.Instr] = {}  # keeps instr ids stable
         self._site_counter = 0
         self.runs = 0
+        #: Hash-consing pool (compiled engine); None disables interning.
+        self.pool = (
+            trace_mod.TracePool(
+                levels_depth=self.config.max_expression_depth
+            )
+            if self.features.trace_pool else None
+        )
+        #: Shadow objects of interned constant leaves, reusable across
+        #: executions because everything in them is value-determined.
+        self._leaf_shadows: Dict[int, ShadowValue] = {}
 
     # ------------------------------------------------------------------
     # Record lookup
@@ -85,6 +131,7 @@ class HerbgrindAnalysis(Tracer):
                 op=op,
                 loc=getattr(instr, "loc", None),
                 config=self.config,
+                fast_antiunify=self.features.fast_antiunify,
             )
             self.op_records[key] = record
         return record
@@ -132,7 +179,8 @@ class HerbgrindAnalysis(Tracer):
         value = shadow.rounded
         if value is None:
             real = shadow.real
-            if self.policy.rounding_unsafe(real, shadow.drift):
+            if self._escalates and \
+                    self.policy.rounding_unsafe(real, shadow.drift):
                 self.policy.note_escalation("rounding")
                 value = self.escalator.certified_rounded(shadow)
                 if value is None:
@@ -163,25 +211,58 @@ class HerbgrindAnalysis(Tracer):
     def on_start(self, interpreter: Interpreter) -> None:
         self.runs += 1
         self.escalator.reset()
+        if self.pool is not None:
+            self.pool.begin_execution()
 
     def on_const(self, instr: isa.Instr, box: FloatBox) -> None:
-        box.shadow = ShadowValue(
-            BigFloat.from_float(box.value),
-            trace_mod.const_leaf(box.value, getattr(instr, "loc", None)),
-            EMPTY_INFLUENCES,
-        )
+        pool = self.pool
+        if pool is None:
+            box.shadow = ShadowValue(
+                BigFloat.from_float(box.value),
+                trace_mod.const_leaf(box.value, getattr(instr, "loc", None)),
+                EMPTY_INFLUENCES,
+            )
+            return
+        # One dict hit in the warm case: a Const instruction always
+        # produces the same value, so its shadow is a pure function of
+        # the instruction (loop bodies replay these endlessly).  The
+        # pool still interns the leaf underneath, keyed by value bits,
+        # so a recycled instruction id cannot alias a different
+        # constant.
+        shadow = self._leaf_shadows.get(id(instr))
+        if shadow is None or shadow.trace.value != box.value:
+            leaf = pool.const_leaf(
+                box.value, getattr(instr, "loc", None), site=id(instr)
+            )
+            shadow = ShadowValue(
+                BigFloat.from_float(box.value), leaf, EMPTY_INFLUENCES
+            )
+            self._leaf_shadows[id(instr)] = shadow
+        box.shadow = shadow
 
     def on_read(self, instr: isa.Read, box: FloatBox, index: int) -> None:
+        # Input leaves are per-execution (each Read fires once per run
+        # with a fresh value), so unlike constants there is nothing to
+        # cache across runs.
+        if self.pool is not None:
+            leaf = self.pool.input_leaf(
+                box.value, index, instr.loc, site=id(instr)
+            )
+        else:
+            leaf = trace_mod.input_leaf(box.value, index, instr.loc)
         box.shadow = ShadowValue(
-            BigFloat.from_float(box.value),
-            trace_mod.input_leaf(box.value, index, instr.loc),
-            EMPTY_INFLUENCES,
+            BigFloat.from_float(box.value), leaf, EMPTY_INFLUENCES
         )
 
     def on_int_to_float(self, instr: isa.IntToFloat, value: int, box: FloatBox) -> None:
         # Integers are exact; the trace sees a constant of that value.
         exact = BigFloat.from_int(value)
-        leaf = trace_mod.const_leaf(box.value, instr.loc)
+        if self.pool is not None:
+            leaf = self.pool.int_leaf(
+                box.value, value, instr.loc, site=id(instr)
+            )
+        else:
+            leaf = trace_mod.const_leaf(box.value, instr.loc)
         real = exact
         drift = EXACT
         if self.policy.escalates:
@@ -233,7 +314,9 @@ class HerbgrindAnalysis(Tracer):
         self, instr: isa.Instr, op: str, args: Sequence[FloatBox], result: FloatBox
     ) -> None:
         config = self.config
-        shadows = [self._shadow(a) for a in args]
+        # `box.shadow or ...` inlines the warm case of _shadow: every
+        # argument of every traced operation passes through here.
+        shadows = [a.shadow or self._shadow(a) for a in args]
         real_args = [s.real for s in shadows]
         try:
             real_result = apply(op, real_args, self.context)
@@ -248,13 +331,24 @@ class HerbgrindAnalysis(Tracer):
             )
             return
         record = self._op_record(instr, op)
-        node = trace_mod.op_node(
-            op,
-            tuple(s.trace for s in shadows),
-            result.value,
-            getattr(instr, "loc", None),
-        )
-        if (
+        if self.pool is not None:
+            node = self.pool.op_node(
+                op,
+                tuple(s.trace for s in shadows),
+                result.value,
+                instr.loc,
+                site=id(instr),
+            )
+        else:
+            node = trace_mod.op_node(
+                op,
+                tuple(s.trace for s in shadows),
+                result.value,
+                instr.loc,
+            )
+        if not self._escalates:
+            drift = EXACT
+        elif (
             op == "-"
             and len(shadows) == 2
             and shadows[0].trace is shadows[1].trace
@@ -278,7 +372,11 @@ class HerbgrindAnalysis(Tracer):
         error_bits = rounded_local_error(
             op, rounded_args, self._rounded(result_shadow)
         )
-        record.record_execution(error_bits)
+        # record.record_execution(error_bits), inlined for the hot path.
+        record.executions += 1
+        record.sum_local_error += error_bits
+        if error_bits > record.max_local_error:
+            record.max_local_error = error_bits
         is_candidate = error_bits > config.local_error_threshold
 
         # --- Influence propagation, with compensation detection -------
@@ -298,13 +396,9 @@ class HerbgrindAnalysis(Tracer):
             if is_candidate and config.track_influences:
                 influences = influences | {record}
 
-        # --- Symbolic expression --------------------------------------
-        symbolic = record.generalization.update(node)
+        # --- Symbolic expression + input characteristics ---------------
+        __, bindings = record.generalization.update_with_bindings(node)
         record.last_trace = node
-
-        # --- Input characteristics -------------------------------------
-        bindings: Dict[str, float] = {}
-        collect_variable_values(symbolic, node, bindings)
         for variable, value in bindings.items():
             record.total_inputs.record(variable, value)
         if is_candidate and passthrough is None:
@@ -339,8 +433,25 @@ class HerbgrindAnalysis(Tracer):
         real_result = result_shadow.real
         if not real_result.is_finite():
             return None
+        out_error = result_shadow.total_error
+        if out_error is None:
+            out_error = result_shadow.total_error = rounded_total_error(
+                result.value, self._rounded(result_shadow)
+            )
         for index in (0, 1):
             shadow = shadows[index]
+            # Condition (b) first: it is two cached error measurements
+            # and a float compare, and it usually fails (error-free
+            # args cannot be "corrected"), so the real-valued equality
+            # of condition (a) is rarely reached.  Pure reordering of a
+            # conjunction — the verdict is unchanged.
+            arg_error = shadow.total_error
+            if arg_error is None:
+                arg_error = shadow.total_error = rounded_total_error(
+                    args[index].value, self._rounded(shadow)
+                )
+            if out_error >= arg_error:
+                continue
             other = shadows[1 - index]
             candidate = shadow.real
             if index == 1 and op == "-":
@@ -369,14 +480,7 @@ class HerbgrindAnalysis(Tracer):
                     continue
             elif not (candidate == real_result):
                 continue
-            arg_error = rounded_total_error(
-                args[index].value, self._rounded(shadow)
-            )
-            out_error = rounded_total_error(
-                result.value, self._rounded(result_shadow)
-            )
-            if out_error < arg_error:
-                return index
+            return index
         return None
 
     # ------------------------------------------------------------------
@@ -387,9 +491,13 @@ class HerbgrindAnalysis(Tracer):
         self, instr: isa.Branch, lhs: FloatBox, rhs: FloatBox, taken: bool
     ) -> None:
         record = self._spot_record(instr, SPOT_BRANCH)
-        left = self._shadow(lhs)
-        right = self._shadow(rhs)
-        left_real, right_real = self._comparable(left, right)
+        left = lhs.shadow or self._shadow(lhs)
+        right = rhs.shadow or self._shadow(rhs)
+        if self._escalates:
+            left_real, right_real = self._comparable(left, right)
+        else:
+            left_real = left.real
+            right_real = right.real
         real_taken = _real_predicate(instr.pred, left_real, right_real)
         diverged = real_taken != taken
         record.record(1.0 if diverged else 0.0, diverged)
@@ -419,7 +527,11 @@ class HerbgrindAnalysis(Tracer):
     def on_out(self, instr: isa.Out, box: FloatBox) -> None:
         record = self._spot_record(instr, SPOT_OUTPUT)
         shadow = self._shadow(box)
-        error_bits = rounded_total_error(box.value, self._rounded(shadow))
+        error_bits = shadow.total_error
+        if error_bits is None:
+            error_bits = shadow.total_error = rounded_total_error(
+                box.value, self._rounded(shadow)
+            )
         erroneous = error_bits > self.config.output_error_threshold
         record.record(error_bits, erroneous)
         if erroneous and self.config.track_influences:
@@ -493,14 +605,32 @@ def analyze_program(
     wrap_libraries: bool = True,
     libm: Optional[Dict[str, isa.Function]] = None,
     max_steps: int = 50_000_000,
+    features: Optional[EngineFeatures] = None,
 ) -> Tuple[HerbgrindAnalysis, List[List[float]]]:
     """Run the analysis over a program on several input sets.
 
     Returns the analysis (records aggregated across runs, as Herbgrind
     aggregates across a whole execution) plus each run's outputs.
+
+    ``config.engine`` selects the execution engine ("compiled" by
+    default); ``features`` overrides the individual fast-path layers
+    for overhead attribution (benchmarks only).
     """
-    analysis = HerbgrindAnalysis(config)
+    analysis = HerbgrindAnalysis(config, features=features)
     outputs = []
+    if analysis.features.threaded_interpreter:
+        from repro.machine.compiled import CompiledProgram
+
+        compiled = CompiledProgram(
+            program,
+            tracer=analysis,
+            wrap_libraries=wrap_libraries,
+            libm=libm,
+            max_steps=max_steps,
+        )
+        for inputs in input_sets:
+            outputs.append(compiled.run(inputs))
+        return analysis, outputs
     for inputs in input_sets:
         interpreter = Interpreter(
             program,

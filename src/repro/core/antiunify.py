@@ -29,6 +29,25 @@ one old variable faces two different new sub-trees, it splits.
 
 Symbolic expressions reuse the FPCore AST (Num/Var/Op), which is also
 how they are reported and fed to the improver.
+
+**The steady-state fast path** (``fast=True``, the compiled engine):
+in loops, almost every update leaves the symbolic expression unchanged
+— the site saw this shape before and only the leaf values moved.  The
+fast path runs one allocation-free walk of the *existing* expression
+against the incoming trace that simultaneously (a) verifies the
+expression already generalizes the trace — operator by operator,
+constant by constant, with variable-consistency checked through the
+same bounded-depth structural keys the full walk uses — and (b)
+collects the per-variable values in exactly the order
+:func:`collect_variable_values` would.  Any discrepancy bails out to
+the unmodified full walk, so results are *identical* to the reference
+path by construction; the fast path only skips work whose outcome it
+has proved.  Deep-trace truncation marks are served by a per-node
+memo (:meth:`Generalization._deep_marks`) that computes the same
+marked set as the direct walk at a fraction of the cost.
+
+All traversals are iterative (explicit stacks), so traces and depth
+bounds far beyond Python's recursion limit are safe.
 """
 
 from __future__ import annotations
@@ -36,7 +55,7 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Optional, Set, Tuple
 
 from repro.core.trace import (
     KIND_CONST,
@@ -75,7 +94,27 @@ class Generalization:
     #: configuration of Section 8.2).
     max_depth: int = 20
     expression: Expr = None  # None until the first trace arrives
+    #: Enable the steady-state fast path and the memoized deep-mark
+    #: computation (the compiled engine; results are identical).
+    fast: bool = False
     _fresh: itertools.count = field(default_factory=itertools.count)
+    #: Cache of which variable names occur more than once in
+    #: ``expression`` (fast-path consistency checking), keyed by the
+    #: expression object it was computed for.
+    _multi_expr: object = field(default=None, init=False, repr=False)
+    _multi_names: Optional[FrozenSet[str]] = field(
+        default=None, init=False, repr=False
+    )
+    #: Flat pre-order verification program compiled from ``expression``
+    #: (fast path); False = not compiled yet / expression changed,
+    #: None = expression too large or unusual, use the generic walk.
+    _flat: object = field(default=False, init=False, repr=False)
+    _flat_expr: object = field(default=None, init=False, repr=False)
+
+    #: Positions cap for the flattened (tree-unfolded) expression; a
+    #: heavily shared expression DAG falls back to the generic
+    #: pair-memoized walk instead of unrolling.
+    FLAT_LIMIT = 4096
 
     # ------------------------------------------------------------------
 
@@ -85,13 +124,40 @@ class Generalization:
         if trace.depth > self.max_depth:
             # A node's depth-from-root never exceeds the root's height,
             # so a shallow trace cannot contain truncated occurrences —
-            # the (node, depth) walk below is pure overhead for it.
-            self._mark_deep_nodes(trace, state)
+            # the deep-mark walk is pure overhead for it.
+            if self.fast:
+                state.truncated = self._truncation_frontier(trace)
+            else:
+                self._mark_deep_nodes(trace, state)
         if self.expression is None:
             self.expression = self._initial(trace, state)
         else:
             self.expression = self._merge(self.expression, trace, state)
         return self.expression
+
+    def update_with_bindings(
+        self, trace: TraceNode
+    ) -> Tuple[Expr, Dict[str, float]]:
+        """Anti-unify ``trace`` and collect its per-variable values.
+
+        Equivalent to :meth:`update` followed by
+        :func:`collect_variable_values`, but in fast mode the two walks
+        fuse into one — and skip the merge entirely — whenever the
+        expression provably already generalizes the trace.
+        """
+        if self.fast and self.expression is not None:
+            bindings = self._fast_update(trace)
+            if bindings is not None:
+                return self.expression, bindings
+            state = _UpdateState()
+            if trace.depth > self.max_depth:
+                state.truncated = self._truncation_frontier(trace)
+            self.expression = self._merge(self.expression, trace, state)
+        else:
+            self.update(trace)
+        bindings = {}
+        collect_variable_values(self.expression, trace, bindings)
+        return self.expression, bindings
 
     # ------------------------------------------------------------------
     # Depth marking: a node is truncated when ANY occurrence lies beyond
@@ -120,6 +186,51 @@ class Generalization:
                 continue
             for child in node.args:
                 stack.append((child, depth + 1))
+
+    def _truncation_frontier(self, trace: TraceNode):
+        """The truncated set of a deep trace, served in O(1) when the
+        trace carries the pool's distance index."""
+        levels = trace.levels
+        if levels is not None and len(levels) > self.max_depth:
+            return levels[self.max_depth]
+        return self._deep_marks(trace)
+
+    def _deep_marks(self, trace: TraceNode) -> Set[int]:
+        """The same marked set as :meth:`_mark_deep_nodes`, leaner.
+
+        A node is marked exactly when it occurs at depth
+        ``max_depth + 1`` through some path of expandable ancestors —
+        anything deeper is unreachable (the walk stops at marked
+        nodes), so this *is* the full truncation frontier.  The walk
+        prunes every subtree too shallow to reach the frontier and
+        dedupes (node, depth) pairs through packed integer keys, so its
+        cost is proportional to the nodes straddling the depth bound,
+        not the trace.
+        """
+        max_depth = self.max_depth
+        marked: Set[int] = set()
+        if trace.kind != KIND_OP:
+            return marked
+        stride = max_depth + 2
+        seen: Set[int] = {trace.ident * stride + 1}
+        stack = [(trace, 1)]
+        pop = stack.pop
+        push = stack.append
+        while stack:
+            node, depth = pop()
+            child_depth = depth + 1
+            for child in node.args:
+                if child.kind != KIND_OP or depth + child.depth <= max_depth:
+                    continue  # leaf, or the whole subtree fits the bound
+                if child_depth > max_depth:
+                    marked.add(child.ident)
+                    continue  # children are invisible anyway
+                key = child.ident * stride + child_depth
+                if key in seen:
+                    continue
+                seen.add(key)
+                push((child, child_depth))
+        return marked
 
     # ------------------------------------------------------------------
     # Variable management
@@ -157,67 +268,308 @@ class Generalization:
         return Var(name)
 
     # ------------------------------------------------------------------
+    # The steady-state fast path: one fused verify-and-collect walk
+    # ------------------------------------------------------------------
+
+    def _multi_occurrence_names(self) -> FrozenSet[str]:
+        """Variable names appearing at more than one position of the
+        current expression.  Only these need structural-key consistency
+        checks in the fast path: a single-occurrence variable cannot
+        face two conflicting sub-trees within one update."""
+        expression = self.expression
+        if self._multi_expr is expression and self._multi_names is not None:
+            return self._multi_names
+        counts: Dict[str, int] = {}
+        stack = [expression]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Var):
+                counts[node.name] = counts.get(node.name, 0) + 1
+            elif isinstance(node, Op):
+                stack.extend(node.args)
+        names = frozenset(n for n, c in counts.items() if c > 1)
+        self._multi_expr = expression
+        self._multi_names = names
+        return names
+
+    def _flat_program(self):
+        """The expression compiled to a flat pre-order check list.
+
+        Entries: ``(0, op, argcount)`` for operators, ``(1, name,
+        is_multi)`` for variables, ``(2, float_value)`` for literals.
+        Interpreting this list against a trace (one node stack, no
+        pair memo, no ``id()`` calls) is the cheapest sound
+        verification: result-equivalent to the memoized walk because a
+        repeated (position, node) pair can only re-record the same
+        binding value.  Expressions whose tree unfolding exceeds
+        :data:`FLAT_LIMIT` positions keep the memoized walk instead.
+        """
+        expression = self.expression
+        if self._flat_expr is expression and self._flat is not False:
+            return self._flat
+        counts: Dict[str, int] = {}
+        entries = []
+        stack = [expression]
+        flat: object = None
+        while stack:
+            node = stack.pop()
+            cls = node.__class__
+            if cls is Var:
+                name = node.name
+                counts[name] = counts.get(name, 0) + 1
+                entries.append((1, name, False))
+            elif cls is Op:
+                entries.append((0, node.op, len(node.args)))
+                stack.extend(reversed(node.args))
+            elif cls is Num:
+                entries.append((2, node.as_float()))
+            else:
+                entries = None  # give the generic walk the oddity
+                break
+            if entries is not None and len(entries) > self.FLAT_LIMIT:
+                entries = None
+                break
+        if entries is not None:
+            multi = frozenset(n for n, c in counts.items() if c > 1)
+            flat = [
+                (1, entry[1], entry[1] in multi) if entry[0] == 1 else entry
+                for entry in entries
+            ]
+            self._multi_expr = expression
+            self._multi_names = multi
+        self._flat = flat
+        self._flat_expr = expression
+        return flat
+
+    def _fast_update(self, trace: TraceNode) -> Optional[Dict[str, float]]:
+        """Verify the expression already generalizes ``trace``; on
+        success return the variable bindings, else None (caller falls
+        back to the full merge).
+
+        The check mirrors the full merge decision-for-decision — same
+        variable-consistency rule, same truncation handling — except
+        that instead of *building* the merged expression it *bails*
+        the moment the merge would return anything but the existing
+        node.  Truncation is served in O(1) from the trace pool's
+        distance index when present; unpooled traces verify first and
+        then run one frontier walk over the recorded operator
+        positions.  Positions that are already variables are
+        indifferent to truncation — the merge computes the same
+        bounded-depth key either way.
+        """
+        max_depth = self.max_depth
+        truncated: Optional[FrozenSet[int]] = None
+        collect_ops = False
+        if trace.depth > max_depth:
+            levels = trace.levels
+            if levels is not None and len(levels) > max_depth:
+                truncated = levels[max_depth]
+            else:
+                collect_ops = True
+        program = self._flat_program()
+        if program is None:
+            return self._fast_update_generic(trace, truncated, collect_ops)
+        eq_depth = self.equivalence_depth
+        op_idents: Set[int] = set()
+        bindings: Dict[str, float] = {}
+        var_keys: Dict[str, tuple] = {}
+        nodes = [trace]
+        pop = nodes.pop
+        for entry in program:
+            node = pop()
+            tag = entry[0]
+            if tag == 0:
+                if node.kind != KIND_OP or node.op != entry[1]:
+                    return None
+                if truncated is not None and node.ident in truncated:
+                    return None  # this expanded position is truncated
+                args = node.args
+                count = entry[2]
+                if len(args) != count:
+                    return None
+                if collect_ops:
+                    op_idents.add(node.ident)
+                if count == 2:
+                    nodes.append(args[1])
+                    nodes.append(args[0])
+                elif count == 1:
+                    nodes.append(args[0])
+                else:
+                    nodes.extend(args[::-1])
+            elif tag == 1:
+                name = entry[1]
+                if node.kind == KIND_INPUT and node.op == name:
+                    bindings[name] = node.value
+                    continue
+                if entry[2]:  # multi-occurrence: keys must agree
+                    trace_key = structural_key(node, eq_depth)
+                    bound = var_keys.get(name)
+                    if bound is None:
+                        var_keys[name] = trace_key
+                    elif bound != trace_key:
+                        return None  # the variable would split
+                bindings[name] = node.value
+            else:
+                if node.kind != KIND_CONST or node.value != entry[1]:
+                    return None
+        if collect_ops and self._frontier_hits(trace, op_idents):
+            return None  # an expanded position is truncated: full merge
+        return bindings
+
+    def _fast_update_generic(
+        self,
+        trace: TraceNode,
+        truncated: Optional[FrozenSet[int]],
+        collect_ops: bool,
+    ) -> Optional[Dict[str, float]]:
+        """The pair-memoized fallback for expressions the flat program
+        cannot represent (oversized tree unfoldings)."""
+        multi = self._multi_occurrence_names()
+        eq_depth = self.equivalence_depth
+        op_idents: Set[int] = set()
+        bindings: Dict[str, float] = {}
+        var_keys: Dict[str, tuple] = {}
+        seen: Set[Tuple[int, int]] = set()
+        # Pre-order, left-to-right (reversed pushes), matching both the
+        # merge's variable-binding order and collect's last-one-wins.
+        stack = [(self.expression, trace)]
+        while stack:
+            sym, node = stack.pop()
+            key = (id(sym), node.ident)
+            if key in seen:
+                continue
+            seen.add(key)
+            cls = sym.__class__
+            if cls is Var:
+                name = sym.name
+                kind = node.kind
+                if kind == KIND_INPUT and node.op == name:
+                    bindings[name] = node.value
+                    continue
+                if name in multi:
+                    trace_key = structural_key(node, eq_depth)
+                    bound = var_keys.get(name)
+                    if bound is None:
+                        var_keys[name] = trace_key
+                    elif bound != trace_key:
+                        return None  # the variable would split
+                bindings[name] = node.value
+                continue
+            if cls is Op:
+                if node.kind != KIND_OP or node.op != sym.op:
+                    return None
+                if truncated is not None and node.ident in truncated:
+                    return None  # this expanded position is truncated
+                sym_args = sym.args
+                node_args = node.args
+                if len(sym_args) != len(node_args):
+                    return None
+                if collect_ops:
+                    op_idents.add(node.ident)
+                for index in range(len(sym_args) - 1, -1, -1):
+                    stack.append((sym_args[index], node_args[index]))
+                continue
+            if cls is Num:
+                if node.kind != KIND_CONST or sym.as_float() != node.value:
+                    return None
+                continue
+            return None  # unexpected expression node: let the full walk decide
+        if collect_ops and self._frontier_hits(trace, op_idents):
+            return None  # an expanded position is truncated: full merge
+        return bindings
+
+    def _frontier_hits(self, trace: TraceNode, op_idents: Set[int]) -> bool:
+        """Whether any of ``op_idents`` occurs at the truncation
+        frontier (depth ``max_depth + 1``) of ``trace`` — the only way
+        deep-trace truncation can invalidate a successful fast walk.
+        Only reached for unpooled traces (no distance index), so the
+        full frontier walk is acceptable here."""
+        return not self._deep_marks(trace).isdisjoint(op_idents)
+
+    # ------------------------------------------------------------------
     # First trace: concrete -> symbolic, sharing-aware, depth-bounded
     # ------------------------------------------------------------------
 
     def _initial(self, trace: TraceNode, state: _UpdateState) -> Expr:
         memo: Dict[int, Expr] = {}
-
-        def convert(node: TraceNode) -> Expr:
-            cached = memo.get(node.ident)
-            if cached is not None:
-                return cached
-            if node.kind == KIND_OP:
-                if node.ident in state.truncated:
-                    result = self._variable_at(None, node, state)
-                else:
-                    result = Op(node.op, tuple(convert(a) for a in node.args))
+        truncated = state.truncated
+        stack = [trace]
+        while stack:
+            node = stack[-1]
+            ident = node.ident
+            if ident in memo:
+                stack.pop()
+                continue
+            if node.kind == KIND_OP and ident not in truncated:
+                pending = [a for a in node.args if a.ident not in memo]
+                if pending:
+                    stack.extend(reversed(pending))
+                    continue
+                memo[ident] = Op(
+                    node.op, tuple(memo[a.ident] for a in node.args)
+                )
             elif node.kind == KIND_INPUT:
-                result = Var(node.op)
+                memo[ident] = Var(node.op)
             elif node.kind == KIND_CONST and math.isfinite(node.value):
-                result = num(node.value)
+                memo[ident] = num(node.value)
             else:
-                result = self._variable_at(None, node, state)
-            memo[node.ident] = result
-            return result
-
-        return convert(trace)
+                memo[ident] = self._variable_at(None, node, state)
+            stack.pop()
+        return memo[trace.ident]
 
     # ------------------------------------------------------------------
     # Subsequent traces: pairwise lgg
     # ------------------------------------------------------------------
 
     def _merge(self, symbolic: Expr, trace: TraceNode, state: _UpdateState) -> Expr:
-        key = (id(symbolic), trace.ident)
-        cached = state.memo.get(key)
+        memo = state.memo
+        root_key = (id(symbolic), trace.ident)
+        cached = memo.get(root_key)
         if cached is not None:
             return cached
-        result = self._merge_uncached(symbolic, trace, state)
-        state.memo[key] = result
-        return result
-
-    def _merge_uncached(
-        self, symbolic: Expr, trace: TraceNode, state: _UpdateState
-    ) -> Expr:
-        if trace.kind == KIND_OP and trace.ident in state.truncated:
-            return self._variable_at(symbolic, trace, state)
-        if isinstance(symbolic, Op) and trace.kind == KIND_OP \
-                and symbolic.op == trace.op \
-                and len(symbolic.args) == len(trace.args):
-            merged = tuple(
-                self._merge(s, t, state)
-                for s, t in zip(symbolic.args, trace.args)
-            )
-            if all(m is s for m, s in zip(merged, symbolic.args)):
-                return symbolic  # unchanged: keep the existing object
-            return Op(symbolic.op, merged)
-        if isinstance(symbolic, Num) and trace.kind == KIND_CONST \
-                and float(symbolic.value) == trace.value:
-            return symbolic
-        if isinstance(symbolic, Var) and trace.kind == KIND_INPUT \
-                and symbolic.name == trace.op:
-            return symbolic
-        return self._variable_at(symbolic, trace, state)
+        truncated = state.truncated
+        stack = [(symbolic, trace)]
+        while stack:
+            sym, node = stack[-1]
+            key = (id(sym), node.ident)
+            if key in memo:
+                stack.pop()
+                continue
+            if (
+                node.kind == KIND_OP
+                and node.ident not in truncated
+                and isinstance(sym, Op)
+                and sym.op == node.op
+                and len(sym.args) == len(node.args)
+            ):
+                pairs = [
+                    (s, t) for s, t in zip(sym.args, node.args)
+                    if (id(s), t.ident) not in memo
+                ]
+                if pairs:
+                    stack.extend(reversed(pairs))
+                    continue
+                merged = tuple(
+                    memo[(id(s), t.ident)]
+                    for s, t in zip(sym.args, node.args)
+                )
+                if all(m is s for m, s in zip(merged, sym.args)):
+                    result = sym  # unchanged: keep the existing object
+                else:
+                    result = Op(sym.op, merged)
+            elif node.kind == KIND_OP and node.ident in truncated:
+                result = self._variable_at(sym, node, state)
+            elif isinstance(sym, Num) and node.kind == KIND_CONST \
+                    and sym.as_float() == node.value:
+                result = sym
+            elif isinstance(sym, Var) and node.kind == KIND_INPUT \
+                    and sym.name == node.op:
+                result = sym
+            else:
+                result = self._variable_at(sym, node, state)
+            memo[key] = result
+            stack.pop()
+        return memo[root_key]
 
 
 def collect_variable_values(
@@ -230,21 +582,21 @@ def collect_variable_values(
     generalizes ``trace`` position-wise.  When the same variable appears
     at several positions the values agree by construction (up to the
     bounded-depth approximation); the last one wins.  The walk is
-    memoized on node identity because traces are DAGs.
+    memoized on node identity because traces are DAGs, and iterative so
+    deep traces cannot overflow the recursion limit.
     """
     seen = set()
-
-    def walk(sym: Expr, node: TraceNode) -> None:
+    stack = [(symbolic, trace)]
+    while stack:
+        sym, node = stack.pop()
         key = (id(sym), node.ident)
         if key in seen:
-            return
+            continue
         seen.add(key)
         if isinstance(sym, Var):
             out[sym.name] = node.value
-            return
+            continue
         if isinstance(sym, Op) and node.kind == KIND_OP \
                 and sym.op == node.op and len(sym.args) == len(node.args):
-            for sym_arg, trace_arg in zip(sym.args, node.args):
-                walk(sym_arg, trace_arg)
-
-    walk(symbolic, trace)
+            for index in range(len(sym.args) - 1, -1, -1):
+                stack.append((sym.args[index], node.args[index]))

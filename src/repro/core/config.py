@@ -34,12 +34,26 @@ ALL_CHARACTERISTICS = (
 )
 
 
+#: Execution engines (see :mod:`repro.machine.compiled`).
+ENGINE_COMPILED = "compiled"
+ENGINE_REFERENCE = "reference"
+ALL_ENGINES = (ENGINE_COMPILED, ENGINE_REFERENCE)
+
+
 @dataclass(frozen=True)
 class AnalysisConfig:
     """All knobs of the analysis, with the paper's defaults."""
 
     #: Shadow-real precision in bits (paper Section 5.1, footnote 10).
     shadow_precision: int = 1000
+
+    #: Execution engine: "compiled" runs the threaded-code interpreter
+    #: with hash-consed traces and the steady-state anti-unification
+    #: fast path; "reference" runs the original interpreter and the
+    #: unoptimized analysis walks.  Results are byte-identical (the
+    #: engine-parity suite enforces it); "reference" exists as the
+    #: oracle and as a fallback when debugging the fast path itself.
+    engine: str = ENGINE_COMPILED
 
     #: Precision tiering of the shadow execution: "fixed" runs every
     #: operation at ``shadow_precision`` (the paper's behaviour);
@@ -89,6 +103,11 @@ class AnalysisConfig:
 
         if self.shadow_precision < 24:
             raise ValueError("shadow precision below single precision")
+        if self.engine not in ALL_ENGINES:
+            raise ValueError(
+                f"unknown engine: {self.engine!r} "
+                f"(known: {', '.join(ALL_ENGINES)})"
+            )
         if self.precision_policy not in available_policies():
             raise ValueError(
                 f"unknown precision policy: {self.precision_policy!r} "

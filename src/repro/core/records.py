@@ -41,11 +41,15 @@ class OpRecord:
     example_problematic: Optional[Dict[str, float]] = None
     #: The most recent concrete trace (for per-node source locations).
     last_trace: object = None
+    #: Route generalization through the steady-state fast path (the
+    #: compiled engine; results are identical to the reference walk).
+    fast_antiunify: bool = False
 
     def __post_init__(self) -> None:
         self.generalization = Generalization(
             equivalence_depth=self.config.equivalence_depth,
             max_depth=self.config.max_expression_depth,
+            fast=self.fast_antiunify,
         )
         self.total_inputs = CharacteristicsTable(self.config)
         self.problematic_inputs = CharacteristicsTable(self.config)

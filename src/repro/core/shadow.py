@@ -39,7 +39,8 @@ EMPTY_INFLUENCES: FrozenSet[OpRecord] = frozenset()
 class ShadowValue:
     """The analysis state shadowing one float value."""
 
-    __slots__ = ("real", "trace", "influences", "drift", "rounded")
+    __slots__ = ("real", "trace", "influences", "drift", "rounded",
+                 "total_error")
 
     def __init__(
         self,
@@ -57,6 +58,10 @@ class ShadowValue:
         #: Cached escalation-checked correctly rounded double of
         #: ``real`` (None until first requested).
         self.rounded: Optional[float] = None
+        #: Cached bits-of-error of the shadowed float against
+        #: ``rounded`` (None until first requested); a pure function of
+        #: the shadow, so compensation checks pay for it once.
+        self.total_error: Optional[float] = None
 
     def __repr__(self) -> str:
         return (

@@ -19,6 +19,8 @@ from __future__ import annotations
 import itertools
 from typing import Optional, Tuple
 
+from repro.ieee.float64 import double_to_bits as _bits
+
 #: Node kinds.
 KIND_OP = "op"
 KIND_INPUT = "input"
@@ -27,12 +29,14 @@ KIND_OPAQUE = "opaque"
 
 _leaf_counter = itertools.count()
 
+_EMPTY_FROZEN: frozenset = frozenset()
+
 
 class TraceNode:
     """An immutable node of the concrete-expression DAG."""
 
     __slots__ = ("kind", "op", "args", "value", "loc", "depth", "ident",
-                 "_keys")
+                 "_keys", "levels")
 
     def __init__(
         self,
@@ -52,6 +56,13 @@ class TraceNode:
         #: Lazy cache of structural keys by depth (nodes are immutable,
         #: so a key never changes once computed).
         self._keys: Optional[dict] = None
+        #: Optional per-distance descendant index maintained by
+        #: :class:`TracePool`: ``levels[d]`` is the frozenset of idents
+        #: of *operation* descendants at distance exactly ``d`` (0 =
+        #: the node itself).  Gives anti-unification its truncation
+        #: frontier — the nodes at depth ``max_depth + 1`` of a trace
+        #: rooted here are exactly ``levels[max_depth]`` — in O(1).
+        self.levels: Optional[tuple] = None
 
     def __repr__(self) -> str:
         if self.kind == KIND_OP:
@@ -92,6 +103,18 @@ def op_node(
     return TraceNode(KIND_OP, value, op=op, args=args, loc=loc)
 
 
+def _leaf_key(node: TraceNode) -> tuple:
+    """The (depth-independent) structural key of a non-op node."""
+    kind = node.kind
+    if kind == KIND_INPUT:
+        return (KIND_INPUT, node.op)
+    if kind == KIND_CONST:
+        return (KIND_CONST, node.value)
+    # Opaque leaves are only equivalent when they are the *same* shared
+    # leaf (same box copied around) — compare by identity.
+    return (KIND_OPAQUE, node.ident)
+
+
 def structural_key(node: TraceNode, depth: int) -> tuple:
     """A hashable key identifying ``node`` up to ``depth`` levels.
 
@@ -99,44 +122,226 @@ def structural_key(node: TraceNode, depth: int) -> tuple:
     computed exactly only to a bounded depth, so keys of two nodes are
     equal iff the nodes agree structurally (ops, leaf kinds, values) to
     that depth.
+
+    The walk is iterative (an explicit post-order stack), so arbitrarily
+    large ``depth`` bounds cannot hit Python's recursion limit, and the
+    key of every visited (node, depth) pair is cached — with hash-consed
+    traces, a key is computed once per *unique* sub-DAG.
     """
-    if node.kind == KIND_INPUT:
-        return (KIND_INPUT, node.op)
-    if node.kind == KIND_CONST:
-        return (KIND_CONST, node.value)
-    if node.kind == KIND_OPAQUE:
-        # Opaque leaves are only equivalent when they are the *same*
-        # shared leaf (same box copied around) — compare by identity.
-        return (KIND_OPAQUE, node.ident)
+    if node.kind != KIND_OP:
+        return _leaf_key(node)
     cache = node._keys
-    if cache is None:
-        cache = node._keys = {}
-    else:
+    if cache is not None:
         cached = cache.get(depth)
         if cached is not None:
             return cached
-    if depth <= 1:
-        key = (KIND_OP, node.op, node.value)
-    else:
-        key = (
+    stack = [(node, depth)]
+    while stack:
+        current, d = stack[-1]
+        cache = current._keys
+        if cache is None:
+            cache = current._keys = {}
+        elif d in cache:
+            stack.pop()
+            continue
+        if d <= 1:
+            cache[d] = (KIND_OP, current.op, current.value)
+            stack.pop()
+            continue
+        child_depth = d - 1
+        missing = [
+            (a, child_depth) for a in current.args
+            if a.kind == KIND_OP
+            and (a._keys is None or child_depth not in a._keys)
+        ]
+        if missing:
+            stack.extend(missing)
+            continue
+        cache[d] = (
             KIND_OP,
-            node.op,
-            tuple(structural_key(a, depth - 1) for a in node.args),
+            current.op,
+            tuple(
+                a._keys[child_depth] if a.kind == KIND_OP else _leaf_key(a)
+                for a in current.args
+            ),
         )
-    cache[depth] = key
-    return key
+        stack.pop()
+    return node._keys[depth]
 
 
 def node_count(node: TraceNode) -> int:
-    """Number of distinct operation nodes in the trace DAG."""
+    """Number of distinct operation nodes in the trace DAG.
+
+    Iterative, so deep traces (long loop chains) cannot overflow the
+    recursion limit.
+    """
     seen = set()
-
-    def walk(current: TraceNode) -> None:
-        if current.ident in seen or current.kind != KIND_OP:
-            return
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if current.kind != KIND_OP or current.ident in seen:
+            continue
         seen.add(current.ident)
-        for argument in current.args:
-            walk(argument)
-
-    walk(node)
+        stack.extend(current.args)
     return len(seen)
+
+
+class TracePool:
+    """Hash-consing of trace nodes (the compiled engine's trace layer).
+
+    Structurally identical sub-DAGs share one :class:`TraceNode`, so a
+    loop that recomputes the same sub-expression allocates nothing after
+    the first iteration and every per-node cache (structural keys, deep
+    marks, escalator memos) is computed once per *unique* node:
+
+    * constant leaves are interned across executions (keyed by site and
+      bit pattern, so ``-0.0``/``0.0`` and NaN payloads never conflate,
+      and the table stays bounded by the program's constant sites),
+    * operation nodes and input/int-conversion leaves are interned per
+      execution — :meth:`begin_execution` drops those tables so idents
+      never leak across runs and memory cannot grow with the number of
+      sampled points,
+    * opaque leaves are **never** interned: their structural identity is
+      object identity (see :func:`structural_key`).
+
+    Interning keys include the creating instruction (``site``), so
+    nodes from different program sites never merge; two nodes merge
+    only when the *same site* recomputed over the same argument nodes —
+    operations are deterministic, so the value is implied and the trace
+    is *exactly* the paper's concrete expression, just maximally shared
+    across loop iterations.
+
+    The pool also maintains each op node's :attr:`TraceNode.levels`
+    index (op descendants by exact distance, up to ``levels_depth``),
+    which hands the anti-unification walks their truncation frontier
+    without re-walking the DAG.  Depth bounds beyond ``levels_depth``
+    fall back to the explicit frontier walk.
+    """
+
+    __slots__ = ("_consts", "_inputs", "_ints", "_ops",
+                 "_levels_depth", "_empty_tail")
+
+    #: Cap on the per-node distance index; configurations with a larger
+    #: ``max_expression_depth`` degrade to the walk, keeping per-node
+    #: memory bounded.
+    MAX_LEVELS_DEPTH = 128
+
+    def __init__(self, levels_depth: int = 20) -> None:
+        self._consts: dict = {}
+        self._inputs: dict = {}
+        self._ints: dict = {}
+        self._ops: dict = {}
+        depth = min(levels_depth, self.MAX_LEVELS_DEPTH)
+        self._levels_depth = depth
+        self._empty_tail = (frozenset(),) * depth
+
+    def begin_execution(self) -> None:
+        """Start a fresh execution.
+
+        The operation table always resets (op idents must not leak
+        between runs).  Input and int-conversion leaf tables reset too:
+        their values change run to run, so keeping them would grow
+        memory monotonically over large point sets for near-zero reuse.
+        Constant leaves persist — they are bounded by the program's
+        constant sites and are the leaves loop bodies replay millions
+        of times.
+        """
+        self._ops.clear()
+        self._inputs.clear()
+        self._ints.clear()
+
+    def const_leaf(
+        self, value: float, loc: Optional[str] = None, site: int = 0
+    ) -> TraceNode:
+        # The value participates in the key even though a site's
+        # constant is fixed: `site` is an id(), and ids can be recycled
+        # if a caller outlives the program it analysed — a collision
+        # must never hand back a different constant.
+        key = (site, _bits(value))
+        node = self._consts.get(key)
+        if node is None:
+            node = self._consts[key] = const_leaf(value, loc)
+        return node
+
+    def input_leaf(
+        self, value: float, index: int, loc: Optional[str] = None,
+        site: int = 0,
+    ) -> TraceNode:
+        key = (site, index, _bits(value))
+        node = self._inputs.get(key)
+        if node is None:
+            node = self._inputs[key] = input_leaf(value, index, loc)
+        return node
+
+    def int_leaf(
+        self, value: float, int_value: int, loc: Optional[str] = None,
+        site: int = 0,
+    ) -> TraceNode:
+        """A constant leaf for an int→float conversion, keyed by the
+        *exact* integer: two integers rounding to the same double stay
+        distinct leaves, because the escalator pins a different exact
+        value on each."""
+        key = (site, int_value)
+        node = self._ints.get(key)
+        if node is None:
+            node = self._ints[key] = const_leaf(value, loc)
+        return node
+
+    def op_node(
+        self,
+        op: str,
+        args: Tuple[TraceNode, ...],
+        value: float,
+        loc: Optional[str] = None,
+        site: int = 0,
+    ) -> TraceNode:
+        if len(args) == 1:
+            key = (site, args[0].ident)
+        else:
+            key = (site,) + tuple(a.ident for a in args)
+        node = self._ops.get(key)
+        if node is None:
+            node = self._ops[key] = TraceNode(
+                KIND_OP, value, op=op, args=args, loc=loc
+            )
+            node.levels = self._build_levels(node, args)
+        return node
+
+    def _build_levels(
+        self, node: TraceNode, args: Tuple[TraceNode, ...]
+    ) -> Optional[tuple]:
+        """The per-distance op-descendant index of a fresh op node."""
+        head = (frozenset((node.ident,)),)
+        op_levels = []
+        for arg in args:
+            if arg.kind == KIND_OP:
+                if arg.levels is None:
+                    return None  # a foreign (unpooled) sub-DAG: degrade
+                op_levels.append(arg.levels)
+        if not op_levels:
+            return head + self._empty_tail
+        depth = self._levels_depth
+        if len(op_levels) == 1:
+            # Chains (one op argument) shift the argument's index by
+            # one distance — a tuple slice, no set is rebuilt.
+            return head + op_levels[0][:depth]
+        if len(op_levels) == 2:
+            left, right = op_levels
+            return head + tuple(
+                (a | b) if (a and b) else (a or b)
+                for a, b in zip(left[:depth], right[:depth])
+            )
+        merged = []
+        for distance in range(depth):
+            sets = [
+                levels[distance] for levels in op_levels if levels[distance]
+            ]
+            if not sets:
+                merged.append(_EMPTY_FROZEN)
+            elif len(sets) == 1:
+                merged.append(sets[0])
+            else:
+                merged.append(frozenset().union(*sets))
+        return head + tuple(merged)
+
+

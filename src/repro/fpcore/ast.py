@@ -58,6 +58,28 @@ class Num(Expr):
     def __str__(self) -> str:
         return self.text
 
+    def as_float(self) -> float:
+        """``float(self.value)``, computed once — anti-unification
+        compares literals against concrete trace values on every
+        update."""
+        try:
+            return self._float  # type: ignore[attr-defined]
+        except AttributeError:
+            value = float(self.value)
+            object.__setattr__(self, "_float", value)
+            return value
+
+    def __hash__(self) -> int:
+        # Same value-only formula the dataclass would generate, cached:
+        # literals are hashed repeatedly as dict keys during
+        # anti-unification and rewriting.
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            result = hash((self.value,))
+            object.__setattr__(self, "_hash", result)
+            return result
+
 
 @dataclass(frozen=True)
 class Const(Expr):
@@ -73,14 +95,50 @@ class Const(Expr):
         return self.name
 
 
+#: Hash-consing table for :class:`Var` (variable names recur endlessly
+#: across anti-unification updates, so one instance serves them all).
+_VAR_INTERN: Dict[str, "Var"] = {}
+
+
 @dataclass(frozen=True)
 class Var(Expr):
-    """A free or bound variable reference."""
+    """A free or bound variable reference.
+
+    Instances are hash-consed: ``Var("x") is Var("x")``.  Equality and
+    hashing are unchanged; interning just makes the identity-based
+    memo tables of anti-unification maximally effective and skips
+    re-allocating the same handful of names millions of times.
+    """
 
     name: str
 
+    def __new__(cls, name: str = "") -> "Var":
+        if cls is Var:
+            cached = _VAR_INTERN.get(name)
+            if cached is not None:
+                return cached
+            self = super().__new__(cls)
+            if isinstance(name, str):
+                _VAR_INTERN[name] = self
+            return self
+        return super().__new__(cls)
+
+    def __getnewargs__(self):
+        # Pickle/deepcopy must re-enter __new__ with the real name, or
+        # every round-tripped Var would collapse onto the instance
+        # interned for the default name.
+        return (self.name,)
+
     def __str__(self) -> str:
         return self.name
+
+    def __hash__(self) -> int:
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            result = hash((self.name,))
+            object.__setattr__(self, "_hash", result)
+            return result
 
 
 @dataclass(frozen=True)
@@ -93,6 +151,17 @@ class Op(Expr):
     def __str__(self) -> str:
         inner = " ".join(str(a) for a in self.args)
         return f"({self.op} {inner})"
+
+    def __hash__(self) -> int:
+        # Cached: hashing an Op re-walks its whole subtree, and the
+        # improver/anti-unification hash the same expressions over and
+        # over as dictionary keys.
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            result = hash((self.op, self.args))
+            object.__setattr__(self, "_hash", result)
+            return result
 
 
 @dataclass(frozen=True)
@@ -168,8 +237,41 @@ def _format_fraction(value: Fraction) -> str:
     return f"{value.numerator}/{value.denominator}"
 
 
+#: Hash-consing table for :func:`num` literals, keyed by input type and
+#: value so spellings with different renderings never conflate.
+_NUM_INTERN: Dict[tuple, Num] = {}
+
+#: Bound on the literal table: a long-lived process analyzing many
+#: programs sees an unbounded stream of distinct constants, so the
+#: table resets (cheap — interning is an optimization, not a semantic)
+#: rather than growing monotonically.
+_NUM_INTERN_LIMIT = 65536
+
+
 def num(value: Number) -> Num:
-    """Make a literal from a Python number (floats are taken exactly)."""
+    """Make a literal from a Python number (floats are taken exactly).
+
+    Results are hash-consed per (type, value): anti-unification turns
+    every constant trace leaf into a literal on every first-seen trace,
+    and loop bodies replay the same constants indefinitely.
+    """
+    key = (value.__class__, value)
+    try:
+        cached = _NUM_INTERN.get(key)
+    except TypeError:  # unhashable exotic Number subclass: build fresh
+        cached = None
+        key = None
+    if cached is not None:
+        return cached
+    result = _build_num(value)
+    if key is not None and value == value:  # never cache under NaN keys
+        if len(_NUM_INTERN) >= _NUM_INTERN_LIMIT:
+            _NUM_INTERN.clear()
+        _NUM_INTERN[key] = result
+    return result
+
+
+def _build_num(value: Number) -> Num:
     if isinstance(value, Fraction):
         return Num(value)
     if isinstance(value, int):

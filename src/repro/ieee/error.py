@@ -32,6 +32,8 @@ def bits_of_error(approx: float, exact: float) -> float:
     [0, 64]; NaN anywhere yields 64, matching the paper's treatment of
     invalid results as maximal error.
     """
+    if approx == exact:
+        return 0.0  # the common exact case (also covers ±0.0: distance 0)
     if math.isnan(approx) or math.isnan(exact):
         return MAX_ERROR_BITS
     distance = ulps_between(approx, exact)
@@ -42,6 +44,8 @@ def bits_of_error(approx: float, exact: float) -> float:
 
 def bits_of_error_single(approx: float, exact: float) -> float:
     """Bits of error measured in the binary32 lattice (capped at 32)."""
+    if approx == exact:
+        return 0.0  # the common exact case (also covers ±0.0: distance 0)
     if math.isnan(approx) or math.isnan(exact):
         return MAX_ERROR_BITS_SINGLE
     distance = ulps_between_single(approx, exact)

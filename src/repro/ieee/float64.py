@@ -23,17 +23,24 @@ _SIGN_BIT = 1 << 63
 _EXP_MASK = 0x7FF0000000000000
 _MAN_MASK = 0x000FFFFFFFFFFFFF
 
+#: Pre-compiled converters: these run for every traced operation, and
+#: bound Struct methods skip the per-call format-cache lookup.
+_PACK_DOUBLE = struct.Struct("<d").pack
+_UNPACK_BITS = struct.Struct("<Q").unpack
+_PACK_BITS = struct.Struct("<Q").pack
+_UNPACK_DOUBLE = struct.Struct("<d").unpack
+
 
 def double_to_bits(value: float) -> int:
     """Return the raw 64-bit pattern of ``value`` as an unsigned integer."""
-    return struct.unpack("<Q", struct.pack("<d", value))[0]
+    return _UNPACK_BITS(_PACK_DOUBLE(value))[0]
 
 
 def bits_to_double(bits: int) -> float:
     """Return the double whose raw pattern is the unsigned 64-bit ``bits``."""
     if not 0 <= bits < (1 << 64):
         raise ValueError(f"bit pattern out of range: {bits:#x}")
-    return struct.unpack("<d", struct.pack("<Q", bits))[0]
+    return _UNPACK_DOUBLE(_PACK_BITS(bits))[0]
 
 
 def is_negative_zero(value: float) -> bool:

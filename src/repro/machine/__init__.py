@@ -9,6 +9,7 @@ instrumentation seam where Herbgrind and the comparison tools attach.
 
 from repro.machine import isa
 from repro.machine.builder import FunctionBuilder
+from repro.machine.compiled import CompiledProgram
 from repro.machine.compiler import CompileError, compile_expression, compile_fpcore
 from repro.machine.interpreter import (
     ExecutionStats,
@@ -22,6 +23,7 @@ from repro.machine.values import FloatBox
 
 __all__ = [
     "CompileError",
+    "CompiledProgram",
     "ExecutionStats",
     "FloatBox",
     "Function",

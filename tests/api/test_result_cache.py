@@ -76,6 +76,30 @@ class TestRequestDigest:
             )
         ) != base
 
+    def test_varies_with_engine(self):
+        # Engines are report-identical, but cached results from
+        # different engines must still never alias: the digest covers
+        # the engine choice like every other config knob.
+        session = AnalysisSession(config=FAST, num_points=4)
+        compiled = request_digest(
+            session.request(ERRONEOUS, config=FAST.with_(engine="compiled"))
+        )
+        reference = request_digest(
+            session.request(ERRONEOUS, config=FAST.with_(engine="reference"))
+        )
+        assert compiled != reference
+
+    def test_engine_roundtrips_through_request_serialization(self):
+        from repro.api import AnalysisRequest
+
+        session = AnalysisSession(
+            config=FAST.with_(engine="reference"), num_points=4
+        )
+        request = session.request(ERRONEOUS)
+        rebuilt = AnalysisRequest.from_json(request.to_json())
+        assert rebuilt.config.engine == "reference"
+        assert request_digest(rebuilt) == request_digest(request)
+
     def test_varies_with_result_schema_version(self, monkeypatch):
         # A schema bump must invalidate persisted entries.
         import repro.api.session as session_mod

@@ -1,0 +1,112 @@
+"""Engine parity: the compiled fast path must be report-identical.
+
+The acceptance bar of the compiled engine is *byte-identical*
+``AnalysisResult`` JSON against the reference engine — across the
+whole corpus, under both precision policies, through the batch API,
+and for every individual fast-path layer (threaded interpreter, trace
+pool, steady-state anti-unification).
+"""
+
+import pytest
+
+from repro.api import AnalysisSession, results_to_json
+from repro.core import AnalysisConfig, EngineFeatures, analyze_program
+from repro.fpcore import load_corpus
+
+
+def corpus_json(engine: str, policy: str, points: int = 2, seed: int = 13):
+    config = AnalysisConfig(precision_policy=policy, engine=engine)
+    session = AnalysisSession(
+        config=config, num_points=points, seed=seed, result_cache_size=0
+    )
+    return results_to_json(session.analyze_batch(load_corpus(), workers=1))
+
+
+class TestCorpusParity:
+    @pytest.mark.parametrize("policy", ["fixed", "adaptive"])
+    def test_full_corpus_byte_identical(self, policy):
+        assert corpus_json("compiled", policy) == \
+            corpus_json("reference", policy)
+
+
+class TestBatchParity:
+    def test_worker_pool_matches_sequential_reference(self):
+        corpus = load_corpus()[:12]
+        compiled = AnalysisSession(
+            config=AnalysisConfig(engine="compiled"),
+            num_points=2, seed=5, result_cache_size=0,
+        )
+        reference = AnalysisSession(
+            config=AnalysisConfig(engine="reference"),
+            num_points=2, seed=5, result_cache_size=0,
+        )
+        parallel = compiled.analyze_batch(corpus, workers=2)
+        sequential = reference.analyze_batch(corpus, workers=1)
+        assert results_to_json(parallel) == results_to_json(sequential)
+
+
+def analysis_signature(analysis):
+    """Every externally observable per-site statistic."""
+    rows = []
+    for record in analysis.candidate_records():
+        rows.append((
+            record.site_id, record.op, record.loc, record.executions,
+            record.candidate_executions, record.max_local_error,
+            record.sum_local_error, record.compensations_detected,
+            str(record.symbolic_expression),
+            sorted(record.total_inputs.describe())
+            if hasattr(record.total_inputs, "describe") else None,
+        ))
+    for spot in sorted(analysis.spot_records.values(), key=lambda s: s.site_id):
+        rows.append((
+            spot.site_id, spot.kind, spot.loc, spot.executions,
+            spot.erroneous, spot.max_error, spot.sum_error,
+            sorted(r.site_id for r in spot.influences),
+        ))
+    return rows
+
+
+class TestLayerAttribution:
+    """Each fast-path layer alone must preserve results exactly."""
+
+    LAYERS = [
+        EngineFeatures(True, False, False),   # dispatch only
+        EngineFeatures(False, True, False),   # trace pool only
+        EngineFeatures(False, False, True),   # fast anti-unify only
+        EngineFeatures(True, True, True),     # everything
+    ]
+
+    @pytest.mark.parametrize("features", LAYERS)
+    def test_each_layer_is_report_identical(self, features):
+        from repro.fpcore.printer import format_fpcore
+        from repro.machine import compile_fpcore
+        from repro.api.sampling import sample_inputs
+
+        corpus = load_corpus()
+        chosen = [c for c in corpus if "(while" in format_fpcore(c)][:2] \
+            + corpus[:4]
+        baseline_features = EngineFeatures(False, False, False)
+        for core in chosen:
+            program = compile_fpcore(core)
+            points = sample_inputs(core, 3, seed=3)
+            base, __ = analyze_program(
+                program, points, features=baseline_features
+            )
+            fast, __ = analyze_program(program, points, features=features)
+            assert analysis_signature(fast) == analysis_signature(base), \
+                f"{core.name} diverged under {features}"
+
+
+class TestAppsParity:
+    def test_pid_app_signature(self):
+        from repro.apps.pid import build_pid_program
+
+        program = build_pid_program()
+        inputs = [[10.0], [4.0]]
+        signatures = {}
+        for engine in ("compiled", "reference"):
+            analysis, __ = analyze_program(
+                program, inputs, config=AnalysisConfig(engine=engine)
+            )
+            signatures[engine] = analysis_signature(analysis)
+        assert signatures["compiled"] == signatures["reference"]

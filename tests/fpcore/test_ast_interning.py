@@ -1,0 +1,90 @@
+"""Hash-consing and cached hashing of the FPCore AST.
+
+Anti-unification compares and hashes the same few names and literals
+millions of times; :class:`Var` instances and :func:`num` literals are
+interned, and ``Num``/``Var``/``Op`` cache their hashes.  Interning
+must be invisible: equality, hashing, and rendering are unchanged.
+"""
+
+from fractions import Fraction
+
+from repro.fpcore.ast import Num, Op, Var, num
+
+
+class TestVarInterning:
+    def test_same_name_same_instance(self):
+        assert Var("x") is Var("x")
+        assert Var("v17") is Var("v17")
+
+    def test_different_names_differ(self):
+        assert Var("x") is not Var("y")
+        assert Var("x") != Var("y")
+
+    def test_equality_and_hash_unchanged(self):
+        assert Var("x") == Var("x")
+        assert hash(Var("x")) == hash(Var("x"))
+        assert str(Var("x")) == "x"
+
+    def test_usable_as_dict_key(self):
+        table = {Var("a"): 1, Var("b"): 2}
+        assert table[Var("a")] == 1
+        assert len({Var("a"), Var("a"), Var("b")}) == 2
+
+    def test_pickle_and_deepcopy_preserve_names(self):
+        import copy
+        import pickle
+
+        pair = (Var("x"), Var("y"))
+        loaded = pickle.loads(pickle.dumps(pair))
+        assert [v.name for v in loaded] == ["x", "y"]
+        assert loaded[0] is Var("x")  # round-trip re-enters the interner
+        copied = copy.deepcopy((Var("p"), Var("q")))
+        assert [v.name for v in copied] == ["p", "q"]
+
+
+class TestNumInterning:
+    def test_same_float_same_instance(self):
+        assert num(0.5) is num(0.5)
+        assert num(3) is num(3)
+        assert num(Fraction(1, 3)) is num(Fraction(1, 3))
+
+    def test_spellings_keep_distinct_rendering(self):
+        # float 0.5 and Fraction(1, 2) are equal values with different
+        # preferred renderings; interning must not conflate them.
+        assert num(0.5) == num(Fraction(1, 2))
+        assert str(num(0.5)) == "0.5"
+        assert str(num(Fraction(1, 2))) == "1/2"
+
+    def test_nan_never_cached(self):
+        assert num(float("nan")).text == "NAN"
+        assert num(float("nan")).text == "NAN"
+
+    def test_as_float_matches_value(self):
+        literal = num(1.1)
+        assert literal.as_float() == 1.1
+        assert literal.as_float() == float(literal.value)
+        # Direct construction (parser path) works too.
+        assert Num(Fraction(7, 4)).as_float() == 1.75
+
+
+class TestCachedHashing:
+    def test_num_hash_is_value_only(self):
+        # Same dataclass formula: text is compare=False.
+        a = Num(Fraction(1), text="1")
+        b = Num(Fraction(1), text="1.0")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_op_hash_equals_equal_op(self):
+        left = Op("+", (Var("x"), num(1.0)))
+        right = Op("+", (Var("x"), num(1.0)))
+        assert left == right
+        assert hash(left) == hash(right)
+        assert len({left, right}) == 1
+
+    def test_hash_stable_across_calls(self):
+        expr = Op("*", (Var("x"), Op("+", (Var("y"), num(2.0)))))
+        assert hash(expr) == hash(expr)
+
+    def test_unequal_ops_distinct(self):
+        assert Op("+", (Var("x"),)) != Op("-", (Var("x"),))
