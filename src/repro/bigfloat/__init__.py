@@ -39,6 +39,14 @@ from repro.bigfloat.rounding import (
     ROUND_UP,
 )
 from repro.bigfloat import arith, constants, transcendental
+from repro.bigfloat.backend import (
+    ALL_SUBSTRATES,
+    KERNEL_CACHE_OPERATIONS,
+    KernelBackend,
+    available_substrates,
+    get_backend,
+    substrate_provider,
+)
 from repro.bigfloat.policy import (
     AdaptivePrecisionPolicy,
     EXACT,
@@ -52,6 +60,12 @@ from repro.bigfloat.policy import (
 
 __all__ = [
     "ALL_OPERATIONS",
+    "ALL_SUBSTRATES",
+    "KERNEL_CACHE_OPERATIONS",
+    "KernelBackend",
+    "available_substrates",
+    "get_backend",
+    "substrate_provider",
     "AdaptivePrecisionPolicy",
     "BigFloat",
     "Context",

@@ -48,9 +48,12 @@ def _round(sign: int, man: int, exp: int, context: Context) -> BigFloat:
 # Addition / subtraction
 # ----------------------------------------------------------------------
 
-def add(a: BigFloat, b: BigFloat, context: Optional[Context] = None) -> BigFloat:
-    """Correctly rounded a + b."""
-    context = _ctx(context)
+def _add_special(a: BigFloat, b: BigFloat,
+                 context: Context) -> Optional[BigFloat]:
+    """IEEE special/zero-operand cases of a + b (None = general path).
+
+    Shared with the native substrate (:mod:`repro.bigfloat.backend`) so
+    every backend agrees bit-for-bit on signed-zero semantics."""
     if a.kind == K_NAN or b.kind == K_NAN:
         return BigFloat.nan()
     if a.kind == K_INF or b.kind == K_INF:
@@ -63,15 +66,28 @@ def add(a: BigFloat, b: BigFloat, context: Optional[Context] = None) -> BigFloat
         if a.sign == b.sign:
             return BigFloat.zero(a.sign)
         # +0 + -0 is +0 except when rounding toward -inf.
-        return BigFloat.zero(1 if context.rounding == ROUND_DOWN else 0)
+        return _cancellation_zero(context)
     if a.man == 0:
         return _round(b.sign, b.man, b.exp, context)
     if b.man == 0:
         return _round(a.sign, a.man, a.exp, context)
+    return None
+
+
+def _cancellation_zero(context: Context) -> BigFloat:
+    """Exact cancellation: +0, or -0 when rounding toward -inf."""
+    return BigFloat.zero(1 if context.rounding == ROUND_DOWN else 0)
+
+
+def add(a: BigFloat, b: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """Correctly rounded a + b."""
+    context = _ctx(context)
+    special = _add_special(a, b, context)
+    if special is not None:
+        return special
     sign, man, exp = _add_magnitudes(a.sign, a.man, a.exp, b.sign, b.man, b.exp, context)
     if man == 0:
-        # Exact cancellation: +0, or -0 when rounding toward -inf.
-        return BigFloat.zero(1 if context.rounding == ROUND_DOWN else 0)
+        return _cancellation_zero(context)
     return _round(sign, man, exp, context)
 
 
@@ -150,9 +166,9 @@ def _add_magnitudes(
 # Multiplication / division / fma
 # ----------------------------------------------------------------------
 
-def mul(a: BigFloat, b: BigFloat, context: Optional[Context] = None) -> BigFloat:
-    """Correctly rounded a * b."""
-    context = _ctx(context)
+def _mul_special(a: BigFloat, b: BigFloat,
+                 context: Context) -> Optional[BigFloat]:
+    """IEEE special/zero-operand cases of a * b (None = general path)."""
     if a.kind == K_NAN or b.kind == K_NAN:
         return BigFloat.nan()
     sign = a.sign ^ b.sign
@@ -162,12 +178,21 @@ def mul(a: BigFloat, b: BigFloat, context: Optional[Context] = None) -> BigFloat
         return BigFloat.inf(sign)
     if a.man == 0 or b.man == 0:
         return BigFloat.zero(sign)
-    return _round(sign, a.man * b.man, a.exp + b.exp, context)
+    return None
 
 
-def div(a: BigFloat, b: BigFloat, context: Optional[Context] = None) -> BigFloat:
-    """Correctly rounded a / b with IEEE zero/infinity semantics."""
+def mul(a: BigFloat, b: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """Correctly rounded a * b."""
     context = _ctx(context)
+    special = _mul_special(a, b, context)
+    if special is not None:
+        return special
+    return _round(a.sign ^ b.sign, a.man * b.man, a.exp + b.exp, context)
+
+
+def _div_special(a: BigFloat, b: BigFloat,
+                 context: Context) -> Optional[BigFloat]:
+    """IEEE special/zero-operand cases of a / b (None = general path)."""
     if a.kind == K_NAN or b.kind == K_NAN:
         return BigFloat.nan()
     sign = a.sign ^ b.sign
@@ -183,6 +208,16 @@ def div(a: BigFloat, b: BigFloat, context: Optional[Context] = None) -> BigFloat
         return BigFloat.inf(sign)
     if a.man == 0:
         return BigFloat.zero(sign)
+    return None
+
+
+def div(a: BigFloat, b: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """Correctly rounded a / b with IEEE zero/infinity semantics."""
+    context = _ctx(context)
+    special = _div_special(a, b, context)
+    if special is not None:
+        return special
+    sign = a.sign ^ b.sign
     # Produce precision + 3 quotient bits then fold the remainder.
     shift = max(0, context.precision + 3 - a.man.bit_length() + b.man.bit_length())
     quotient, remainder = divmod(a.man << shift, b.man)
@@ -191,10 +226,9 @@ def div(a: BigFloat, b: BigFloat, context: Optional[Context] = None) -> BigFloat
     return _round(sign, quotient, exp, context)
 
 
-def fma(a: BigFloat, b: BigFloat, c: BigFloat,
-        context: Optional[Context] = None) -> BigFloat:
-    """Fused multiply-add: a*b + c with a single rounding."""
-    context = _ctx(context)
+def _fma_special(a: BigFloat, b: BigFloat, c: BigFloat,
+                 context: Context) -> Optional[BigFloat]:
+    """Special cases of fma — anything but a finite nonzero product."""
     if a.kind == K_NAN or b.kind == K_NAN or c.kind == K_NAN:
         return BigFloat.nan()
     if a.kind == K_INF or b.kind == K_INF or c.kind == K_INF:
@@ -202,6 +236,16 @@ def fma(a: BigFloat, b: BigFloat, c: BigFloat,
         return add(product, c, context)
     if a.man == 0 or b.man == 0:
         return add(mul(a, b, context), c, context)
+    return None
+
+
+def fma(a: BigFloat, b: BigFloat, c: BigFloat,
+        context: Optional[Context] = None) -> BigFloat:
+    """Fused multiply-add: a*b + c with a single rounding."""
+    context = _ctx(context)
+    special = _fma_special(a, b, c, context)
+    if special is not None:
+        return special
     # Finite nonzero product: it is exact as integers, so add once.
     product_sign = a.sign ^ b.sign
     product_man = a.man * b.man
@@ -250,17 +294,26 @@ def sqrt(a: BigFloat, context: Optional[Context] = None) -> BigFloat:
     return _round(0, root, result_exp, context)
 
 
-def cbrt(a: BigFloat, context: Optional[Context] = None) -> BigFloat:
-    """Correctly rounded cube root (defined for negative inputs)."""
-    context = _ctx(context)
+def _cbrt_special(a: BigFloat, context: Context) -> Optional[BigFloat]:
     if a.kind == K_NAN:
         return BigFloat.nan()
     if a.is_zero():
         return a
     if a.kind == K_INF:
         return a
+    return None
+
+
+def cbrt(a: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """Correctly rounded cube root (defined for negative inputs)."""
+    context = _ctx(context)
+    special = _cbrt_special(a, context)
+    if special is not None:
+        return special
     man, exp = a.man, a.exp
-    shift = (-exp) % 3
+    # Align the exponent to a multiple of 3 (shift the mantissa up by
+    # exp mod 3 so the final exponent division by 3 is exact).
+    shift = exp % 3
     man <<= shift
     exp -= shift
     target_bits = 3 * (context.precision + 3)
@@ -293,15 +346,23 @@ def _integer_cube_root(n: int) -> int:
     return guess
 
 
-def hypot(a: BigFloat, b: BigFloat, context: Optional[Context] = None) -> BigFloat:
-    """sqrt(a*a + b*b) with one rounding (squares and sum are exact)."""
-    context = _ctx(context)
+def _hypot_special(a: BigFloat, b: BigFloat,
+                   context: Context) -> Optional[BigFloat]:
     if a.kind == K_NAN or b.kind == K_NAN:
         if a.kind == K_INF or b.kind == K_INF:
             return BigFloat.inf(0)  # C99: hypot(inf, nan) = inf
         return BigFloat.nan()
     if a.kind == K_INF or b.kind == K_INF:
         return BigFloat.inf(0)
+    return None
+
+
+def hypot(a: BigFloat, b: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """sqrt(a*a + b*b) with one rounding (squares and sum are exact)."""
+    context = _ctx(context)
+    special = _hypot_special(a, b, context)
+    if special is not None:
+        return special
     wide = context.widened(8)
     squares = add(mul(a, a, wide), mul(b, b, wide), wide)
     return sqrt(squares, context)

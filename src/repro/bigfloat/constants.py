@@ -72,13 +72,25 @@ def ln2(context: Context) -> BigFloat:
     return from_fixed(ln2_fixed(wp), wp).round_to(context.precision, context.rounding)
 
 
-def euler_e(context: Context) -> BigFloat:
-    """Euler's number e rounded to the context precision."""
+@lru_cache(maxsize=64)
+def e_fixed(wp: int) -> int:
+    """e * 2^wp, via e = (e^(1/2))^2 (the square root keeps the series
+    argument within exp_series' range).  Cached per working precision
+    like :func:`pi_fixed`/:func:`ln2_fixed` — euler_e used to redo the
+    series on every call.
+
+    exp_series' 16 halving/squaring rounds amplify its truncation
+    error to ~2^22 ulps, so the series runs 40 guard bits wide (the
+    old in-line computation ran at ``wp`` directly and was ~6 bits
+    short of its advertised precision)."""
     from repro.bigfloat.fixedpoint import exp_series
 
+    inner = wp + 40
+    root = exp_series(1 << (inner - 1), inner)
+    return (root * root) >> (inner + 40)
+
+
+def euler_e(context: Context) -> BigFloat:
+    """Euler's number e rounded to the context precision."""
     wp = context.precision + _GUARD
-    half = 1 << (wp - 1)
-    # e = (e^(1/2))^2 keeps the series argument within exp_series' range.
-    root = exp_series(half, wp)
-    value = (root * root) >> wp
-    return from_fixed(value, wp).round_to(context.precision, context.rounding)
+    return from_fixed(e_fixed(wp), wp).round_to(context.precision, context.rounding)

@@ -224,13 +224,32 @@ def _build_double_math() -> Dict[str, Callable[..., float]]:
         except AttributeError:  # pragma: no cover
             return math.copysign(abs(x) ** (1.0 / 3.0), x)
 
+    def _is_odd_integer(y: float) -> bool:
+        # Doubles at or beyond 2^53 are all even integers.
+        return (
+            math.isfinite(y) and abs(y) < 9007199254740992.0
+            and y == int(y) and bool(int(y) & 1)
+        )
+
     def pow_double(x: float, y: float) -> float:
         try:
             return math.pow(x, y)
         except ValueError:
+            if x == 0.0:
+                # C99 pow(±0, y<0): a divide-by-zero, ±HUGE_VAL — the
+                # result carries the base's sign only for odd integer
+                # exponents.  Python's math.pow raises instead.
+                sign_source = x if _is_odd_integer(y) else 0.0
+                return math.copysign(math.inf, sign_source)
             if x < 0 and not math.isnan(y):
                 return math.nan
             raise
+        except OverflowError:
+            # C99 range error: ±HUGE_VAL; negative bases only keep
+            # their sign for odd integer exponents (math.pow's generic
+            # error wrapper would sign by the base alone).
+            negative = x < 0 and _is_odd_integer(y)
+            return -math.inf if negative else math.inf
 
     def round_double(x: float) -> float:
         if math.isnan(x) or math.isinf(x):

@@ -14,6 +14,15 @@ Argument-reduction precision is chosen per call: reducing x modulo π/2
 or ln 2 needs roughly ``precision + |binary exponent of x|`` working
 bits, and a Ziv-style retry widens the reduction when x lands
 pathologically close to a reduction point.
+
+Substrate structure: every function is split into a ``_*_special``
+helper (IEEE special values, domain errors, and the cheap shortcut
+paths, returning ``None`` when the general path must run) and the
+general-path body below it.  The special helpers are *shared* with the
+native substrate (:mod:`repro.bigfloat.backend`), so every backend
+agrees bit-for-bit on special-value semantics and shortcut results;
+only the general-path kernels differ between substrates (both are
+faithful at the context precision).
 """
 
 from __future__ import annotations
@@ -65,9 +74,7 @@ def _msb(x: BigFloat) -> int:
 # Exponentials
 # ----------------------------------------------------------------------
 
-def exp(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
-    """e**x, faithfully rounded."""
-    context = _ctx(context)
+def _exp_special(x: BigFloat, context: Context) -> Optional[BigFloat]:
     if x.kind == K_NAN:
         return BigFloat.nan()
     if x.kind == K_INF:
@@ -80,6 +87,16 @@ def exp(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
     if msb < -(context.precision + 8):
         # exp(x) = 1 + x + O(x^2); the quadratic term is below the target.
         return arith.add(ONE, x, context)
+    return None
+
+
+def exp(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """e**x, faithfully rounded."""
+    context = _ctx(context)
+    special = _exp_special(x, context)
+    if special is not None:
+        return special
+    msb = _msb(x)
     wp = context.precision + _GUARD
     reduction_precision = wp + max(0, msb) + 8
     fixed = to_fixed(x, reduction_precision)
@@ -92,39 +109,52 @@ def exp(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
     return _round_result(result, context)
 
 
-def exp2(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
-    """2**x, faithfully rounded."""
-    context = _ctx(context)
+def _exp2_special(x: BigFloat, context: Context) -> Optional[BigFloat]:
     if x.kind == K_NAN:
         return BigFloat.nan()
     if x.kind == K_INF:
         return BigFloat.zero(0) if x.sign else BigFloat.inf(0)
     if x.is_zero():
         return ONE
-    msb = _msb(x)
-    if msb > _EXP_OVERFLOW_BITS:
+    if _msb(x) > _EXP_OVERFLOW_BITS:
         return BigFloat.zero(0) if x.sign else BigFloat.inf(0)
     if x.is_integer():
         count = int(x.to_fraction())
         return BigFloat(0, 1, count)
+    return None
+
+
+def exp2(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """2**x, faithfully rounded."""
+    context = _ctx(context)
+    special = _exp2_special(x, context)
+    if special is not None:
+        return special
     # 2**x = e**(x ln 2); reuse exp's reduction via multiplication.
     wide = context.widened(16)
     ln2_value = from_fixed(ln2_fixed(wide.precision + 16), wide.precision + 16)
     return exp(arith.mul(x, ln2_value, wide), context)
 
 
-def expm1(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
-    """e**x - 1 with full relative accuracy near zero."""
-    context = _ctx(context)
+def _expm1_special(x: BigFloat, context: Context) -> Optional[BigFloat]:
     if x.kind == K_NAN:
         return BigFloat.nan()
     if x.kind == K_INF:
         return ONE.neg() if x.sign else BigFloat.inf(0)
     if x.is_zero():
         return x
-    msb = _msb(x)
-    if msb < -(context.precision + 8):
+    if _msb(x) < -(context.precision + 8):
         return _round_result(x, context)
+    return None
+
+
+def expm1(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """e**x - 1 with full relative accuracy near zero."""
+    context = _ctx(context)
+    special = _expm1_special(x, context)
+    if special is not None:
+        return special
+    msb = _msb(x)
     if msb >= -2:
         wide = context.widened(16)
         return arith.sub(exp(x, wide), ONE, context)
@@ -139,9 +169,7 @@ def expm1(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
 # Logarithms
 # ----------------------------------------------------------------------
 
-def log(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
-    """Natural logarithm; log(±0) = -inf, log(x<0) = NaN."""
-    context = _ctx(context)
+def _log_special(x: BigFloat, context: Context) -> Optional[BigFloat]:
     if x.kind == K_NAN:
         return BigFloat.nan()
     if x.is_zero():
@@ -152,6 +180,15 @@ def log(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
         return BigFloat.inf(0)
     if x.man == 1 and x.exp == 0:
         return BigFloat.zero(0)
+    return None
+
+
+def log(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """Natural logarithm; log(±0) = -inf, log(x<0) = NaN."""
+    context = _ctx(context)
+    special = _log_special(x, context)
+    if special is not None:
+        return special
     # Near 1, switch to log1p on the exact difference to keep relative
     # accuracy through the cancellation.
     three_quarters = BigFloat(0, 3, -2)
@@ -192,9 +229,7 @@ def _log1p_core(delta: BigFloat, context: Context) -> BigFloat:
     return arith.mul(delta, from_fixed(factor, wp), context)
 
 
-def log1p(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
-    """ln(1 + x) with full relative accuracy near zero."""
-    context = _ctx(context)
+def _log1p_special(x: BigFloat, context: Context) -> Optional[BigFloat]:
     if x.kind == K_NAN:
         return BigFloat.nan()
     if x.kind == K_INF:
@@ -206,31 +241,55 @@ def log1p(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
         return BigFloat.inf(1)
     if x < minus_one:
         return BigFloat.nan()
+    if _msb(x) < -(context.precision + 8):
+        # ln(1+x) = x - x^2/2 + ...; the quadratic term is below target.
+        return _round_result(x, context)
+    return None
+
+
+def log1p(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """ln(1 + x) with full relative accuracy near zero."""
+    context = _ctx(context)
+    special = _log1p_special(x, context)
+    if special is not None:
+        return special
     if _msb(x) < -2:
         return _log1p_core(x, context)
     return log(arith.add_exact(ONE, x), context)
 
 
+def _log2_special(x: BigFloat, context: Context) -> Optional[BigFloat]:
+    if x.kind == K_FINITE and x.man == 1 and x.sign == 0:
+        return BigFloat.from_int(x.exp)
+    # All remaining specials coincide with log's table (including the
+    # non-finite cases the quotient below would just pass through).
+    return _log_special(x, context)
+
+
 def log2(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
     """Base-2 logarithm (exact on powers of two)."""
     context = _ctx(context)
-    if x.kind == K_FINITE and x.man == 1 and x.sign == 0:
-        return BigFloat.from_int(x.exp)
+    special = _log2_special(x, context)
+    if special is not None:
+        return special
     wide = context.widened(16)
     numerator = log(x, wide)
-    if numerator.kind != K_FINITE:
-        return numerator
     ln2_value = from_fixed(ln2_fixed(wide.precision + 16), wide.precision + 16)
     return arith.div(numerator, ln2_value, context)
+
+
+def _log10_special(x: BigFloat, context: Context) -> Optional[BigFloat]:
+    return _log_special(x, context)
 
 
 def log10(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
     """Base-10 logarithm."""
     context = _ctx(context)
+    special = _log10_special(x, context)
+    if special is not None:
+        return special
     wide = context.widened(16)
     numerator = log(x, wide)
-    if numerator.kind != K_FINITE:
-        return numerator
     return arith.div(numerator, log(BigFloat.from_int(10), wide), context)
 
 
@@ -287,41 +346,71 @@ def _sin_cos(x: BigFloat, context: Context) -> Tuple[BigFloat, BigFloat]:
     return from_fixed(sin_value, wp), from_fixed(cos_value, wp)
 
 
-def sin(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
-    """Sine; sin(±0) = ±0, sin(±inf) = NaN."""
-    context = _ctx(context)
+def _trig_guard(x: BigFloat) -> None:
+    """Shared reduction bail-out: both substrates refuse the same inputs."""
+    if _msb(x) > _TRIG_EXPONENT_LIMIT:
+        raise OverflowError("trig argument exponent too large to reduce")
+
+
+def _sin_special(x: BigFloat, context: Context) -> Optional[BigFloat]:
     if x.kind != K_FINITE:
         return BigFloat.nan()
     if x.is_zero():
         return x
     if _msb(x) < -(context.precision // 2 + 8):
         return _round_result(x, context)  # sin x = x - x^3/6 + ...
+    _trig_guard(x)
+    return None
+
+
+def sin(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """Sine; sin(±0) = ±0, sin(±inf) = NaN."""
+    context = _ctx(context)
+    special = _sin_special(x, context)
+    if special is not None:
+        return special
     sin_value, __ = _sin_cos(x, context)
     return _round_result(sin_value, context)
 
 
-def cos(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
-    """Cosine; cos(±inf) = NaN."""
-    context = _ctx(context)
+def _cos_special(x: BigFloat, context: Context) -> Optional[BigFloat]:
     if x.kind != K_FINITE:
         return BigFloat.nan()
     if x.is_zero():
         return ONE
     if _msb(x) < -(context.precision // 2 + 8):
         return ONE  # cos x = 1 - x^2/2; the x^2 term is below target.
+    _trig_guard(x)
+    return None
+
+
+def cos(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """Cosine; cos(±inf) = NaN."""
+    context = _ctx(context)
+    special = _cos_special(x, context)
+    if special is not None:
+        return special
     __, cos_value = _sin_cos(x, context)
     return _round_result(cos_value, context)
 
 
-def tan(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
-    """Tangent; tan(±inf) = NaN."""
-    context = _ctx(context)
+def _tan_special(x: BigFloat, context: Context) -> Optional[BigFloat]:
     if x.kind != K_FINITE:
         return BigFloat.nan()
     if x.is_zero():
         return x
     if _msb(x) < -(context.precision // 2 + 8):
         return _round_result(x, context)
+    _trig_guard(x)
+    return None
+
+
+def tan(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """Tangent; tan(±inf) = NaN."""
+    context = _ctx(context)
+    special = _tan_special(x, context)
+    if special is not None:
+        return special
     sin_value, cos_value = _sin_cos(x, context)
     return arith.div(sin_value, cos_value, context)
 
@@ -340,20 +429,25 @@ def _pi(context: Context) -> BigFloat:
     return from_fixed(pi_fixed(wp), wp)
 
 
-def atan(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
-    """Arctangent; atan(±inf) = ±pi/2."""
-    context = _ctx(context)
+def _atan_special(x: BigFloat, context: Context) -> Optional[BigFloat]:
     if x.kind == K_NAN:
         return BigFloat.nan()
     if x.kind == K_INF:
-        return _round_result(
-            _half_pi(context).copysign(x), context
-        )
+        return _round_result(_half_pi(context).copysign(x), context)
     if x.is_zero():
         return x
-    msb = _msb(x)
-    if msb < -(context.precision // 2 + 8):
+    if _msb(x) < -(context.precision // 2 + 8):
         return _round_result(x, context)
+    return None
+
+
+def atan(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """Arctangent; atan(±inf) = ±pi/2."""
+    context = _ctx(context)
+    special = _atan_special(x, context)
+    if special is not None:
+        return special
+    msb = _msb(x)
     wp = context.precision + _GUARD
     if msb < -8:
         # Small path: atan(x) = x * (1 - x^2/3 + ...); the factor is near
@@ -384,9 +478,7 @@ def atan(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
     return _round_result(result.copysign(x), context)
 
 
-def asin(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
-    """Arcsine; NaN outside [-1, 1]."""
-    context = _ctx(context)
+def _asin_special(x: BigFloat, context: Context) -> Optional[BigFloat]:
     if x.kind == K_NAN:
         return BigFloat.nan()
     magnitude = x.abs()
@@ -396,6 +488,16 @@ def asin(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
         return _round_result(_half_pi(context).copysign(x), context)
     if x.is_zero():
         return x
+    return None
+
+
+def asin(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """Arcsine; NaN outside [-1, 1]."""
+    context = _ctx(context)
+    special = _asin_special(x, context)
+    if special is not None:
+        return special
+    magnitude = x.abs()
     wide = context.widened(16)
     # 1 - x^2 as (1-x)(1+x): both factors are exact, so no cancellation.
     one_minus = arith.sub_exact(ONE, magnitude)
@@ -404,33 +506,34 @@ def asin(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
     return atan(arith.div(x, denominator, wide), context)
 
 
-def acos(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
-    """Arccosine; NaN outside [-1, 1]."""
-    context = _ctx(context)
+def _acos_special(x: BigFloat, context: Context) -> Optional[BigFloat]:
     if x.kind == K_NAN:
         return BigFloat.nan()
-    magnitude = x.abs()
-    if magnitude > ONE or x.kind == K_INF:
+    if x.abs() > ONE or x.kind == K_INF:
         return BigFloat.nan()
     if x == ONE:
         return BigFloat.zero(0)
-    wide = context.widened(16)
     if x == ONE.neg():
         return _round_result(_pi(context), context)
+    return None
+
+
+def acos(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """Arccosine; NaN outside [-1, 1]."""
+    context = _ctx(context)
+    special = _acos_special(x, context)
+    if special is not None:
+        return special
+    magnitude = x.abs()
+    wide = context.widened(16)
     one_minus = arith.sub_exact(ONE, magnitude)
     one_plus = arith.add_exact(ONE, magnitude)
     numerator = arith.sqrt(arith.mul(one_minus, one_plus, wide), wide)
     return atan2(numerator, x, context)
 
 
-def atan2(y: BigFloat, x: BigFloat, context: Optional[Context] = None) -> BigFloat:
-    """Two-argument arctangent with full C99 special-case semantics.
-
-    This is the `arg` function of the complex-plotter case study; the
-    signed-zero and infinity cases matter there because pixels sit on
-    the branch cut.
-    """
-    context = _ctx(context)
+def _atan2_special(y: BigFloat, x: BigFloat,
+                   context: Context) -> Optional[BigFloat]:
     if y.kind == K_NAN or x.kind == K_NAN:
         return BigFloat.nan()
     if y.is_zero():
@@ -453,6 +556,20 @@ def atan2(y: BigFloat, x: BigFloat, context: Optional[Context] = None) -> BigFlo
         return _round_result(_pi(context), context).copysign(y)
     if y.kind == K_INF:
         return _round_result(_half_pi(context).copysign(y), context)
+    return None
+
+
+def atan2(y: BigFloat, x: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """Two-argument arctangent with full C99 special-case semantics.
+
+    This is the `arg` function of the complex-plotter case study; the
+    signed-zero and infinity cases matter there because pixels sit on
+    the branch cut.
+    """
+    context = _ctx(context)
+    special = _atan2_special(y, x, context)
+    if special is not None:
+        return special
     wide = context.widened(16)
     base = atan(arith.div(y.abs(), x.abs(), wide), wide)
     if x.sign == 0:
@@ -465,16 +582,23 @@ def atan2(y: BigFloat, x: BigFloat, context: Optional[Context] = None) -> BigFlo
 # Hyperbolics
 # ----------------------------------------------------------------------
 
-def sinh(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
-    """Hyperbolic sine."""
-    context = _ctx(context)
+def _sinh_special(x: BigFloat, context: Context) -> Optional[BigFloat]:
     if x.kind != K_FINITE:
         return x  # NaN stays NaN; ±inf stays ±inf
     if x.is_zero():
         return x
-    msb = _msb(x)
-    if msb < -(context.precision // 2 + 8):
+    if _msb(x) < -(context.precision // 2 + 8):
         return _round_result(x, context)
+    return None
+
+
+def sinh(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """Hyperbolic sine."""
+    context = _ctx(context)
+    special = _sinh_special(x, context)
+    if special is not None:
+        return special
+    msb = _msb(x)
     if msb >= -2:
         wide = context.widened(16)
         grown = exp(x, wide)
@@ -487,9 +611,7 @@ def sinh(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
     return arith.mul(x, from_fixed(factor, wp), context)
 
 
-def cosh(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
-    """Hyperbolic cosine."""
-    context = _ctx(context)
+def _cosh_special(x: BigFloat, context: Context) -> Optional[BigFloat]:
     if x.kind == K_NAN:
         return BigFloat.nan()
     if x.kind == K_INF:
@@ -498,15 +620,22 @@ def cosh(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
         return ONE
     if _msb(x) < -(context.precision // 2 + 8):
         return ONE
+    return None
+
+
+def cosh(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """Hyperbolic cosine."""
+    context = _ctx(context)
+    special = _cosh_special(x, context)
+    if special is not None:
+        return special
     wide = context.widened(16)
     grown = exp(x, wide)
     shrunk = arith.div(ONE, grown, wide)
     return arith.mul(arith.add(grown, shrunk, wide), HALF, context)
 
 
-def tanh(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
-    """Hyperbolic tangent."""
-    context = _ctx(context)
+def _tanh_special(x: BigFloat, context: Context) -> Optional[BigFloat]:
     if x.kind == K_NAN:
         return BigFloat.nan()
     if x.kind == K_INF:
@@ -519,6 +648,16 @@ def tanh(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
     # Saturation: once 1 - tanh < 2^-(precision+1), the rounded answer is ±1.
     if msb >= 0 and x.abs() > BigFloat.from_int(context.precision + 2):
         return ONE.copysign(x)
+    return None
+
+
+def tanh(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """Hyperbolic tangent."""
+    context = _ctx(context)
+    special = _tanh_special(x, context)
+    if special is not None:
+        return special
+    msb = _msb(x)
     wide = context.widened(16)
     if msb >= -2:
         grown = exp(arith.mul(x, TWO, wide), wide)
@@ -530,13 +669,20 @@ def tanh(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
     return arith.div(sinh_value, cosh_value, context)
 
 
-def asinh(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
-    """Inverse hyperbolic sine (stable for small and large arguments)."""
-    context = _ctx(context)
+def _asinh_special(x: BigFloat, context: Context) -> Optional[BigFloat]:
     if x.kind != K_FINITE or x.is_zero():
         return x
     if _msb(x) < -(context.precision // 2 + 8):
         return _round_result(x, context)
+    return None
+
+
+def asinh(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """Inverse hyperbolic sine (stable for small and large arguments)."""
+    context = _ctx(context)
+    special = _asinh_special(x, context)
+    if special is not None:
+        return special
     wide = context.widened(16)
     magnitude = x.abs()
     squared = arith.mul(magnitude, magnitude, wide)
@@ -547,15 +693,22 @@ def asinh(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
     return result.copysign(x)
 
 
-def acosh(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
-    """Inverse hyperbolic cosine; NaN below 1."""
-    context = _ctx(context)
+def _acosh_special(x: BigFloat, context: Context) -> Optional[BigFloat]:
     if x.kind == K_NAN or x < ONE:
         return BigFloat.nan()
     if x.kind == K_INF:
         return BigFloat.inf(0)
     if x == ONE:
         return BigFloat.zero(0)
+    return None
+
+
+def acosh(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """Inverse hyperbolic cosine; NaN below 1."""
+    context = _ctx(context)
+    special = _acosh_special(x, context)
+    if special is not None:
+        return special
     wide = context.widened(16)
     minus = arith.sub_exact(x, ONE)
     plus = arith.add_exact(x, ONE)
@@ -563,9 +716,7 @@ def acosh(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
     return log(arith.add(x, root, wide), context)
 
 
-def atanh(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
-    """Inverse hyperbolic tangent; ±inf at ±1, NaN beyond."""
-    context = _ctx(context)
+def _atanh_special(x: BigFloat, context: Context) -> Optional[BigFloat]:
     if x.kind == K_NAN or x.kind == K_INF:
         return BigFloat.nan()
     if x.is_zero():
@@ -577,6 +728,15 @@ def atanh(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
         return BigFloat.inf(x.sign)
     if _msb(x) < -(context.precision // 2 + 8):
         return _round_result(x, context)
+    return None
+
+
+def atanh(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """Inverse hyperbolic tangent; ±inf at ±1, NaN beyond."""
+    context = _ctx(context)
+    special = _atanh_special(x, context)
+    if special is not None:
+        return special
     wide = context.widened(16)
     # atanh(x) = log1p(2x / (1-x)) / 2, stable across the whole domain.
     numerator = arith.mul(x, TWO, wide)
@@ -591,19 +751,26 @@ def atanh(x: BigFloat, context: Optional[Context] = None) -> BigFloat:
 
 #: Integer exponents up to this magnitude use exact binary powering.
 _POW_INT_LIMIT = 1 << 20
+#: The limit as a BigFloat, hoisted so the integer-exponent test does
+#: not allocate on every call.
+_POW_INT_LIMIT_BIG = BigFloat.from_int(_POW_INT_LIMIT)
 
 
-def pow_(x: BigFloat, y: BigFloat, context: Optional[Context] = None) -> BigFloat:
-    """x**y following the C99 pow special-case table."""
-    context = _ctx(context)
+def _pow_is_odd_integer(y: BigFloat) -> bool:
+    """True when y is a finite odd integer (canonical form: exp == 0)."""
+    return y.kind == K_FINITE and y.exp == 0 and bool(y.man & 1)
+
+
+def _pow_special(x: BigFloat, y: BigFloat,
+                 context: Context) -> Optional[BigFloat]:
+    """The C99 pow special-case table (everything except finite**finite)."""
     if y.is_zero() and y.kind == K_FINITE:
         return ONE  # pow(anything, ±0) = 1, even NaN
     if x.kind == K_FINITE and x.man == 1 and x.exp == 0 and x.sign == 0:
         return ONE  # pow(+1, anything) = 1, even NaN
     if x.kind == K_NAN or y.kind == K_NAN:
         return BigFloat.nan()
-    y_is_integer = y.is_integer()
-    y_is_odd = y_is_integer and y.kind == K_FINITE and y.exp == 0 and y.man & 1
+    y_is_odd = _pow_is_odd_integer(y)
     if x.is_zero():
         if y.sign == 0:  # positive exponent
             return BigFloat.zero(x.sign if y_is_odd else 0)
@@ -619,11 +786,20 @@ def pow_(x: BigFloat, y: BigFloat, context: Optional[Context] = None) -> BigFloa
             return BigFloat.inf(0) if y.sign == 0 else BigFloat.zero(0)
         sign = 1 if y_is_odd else 0
         return BigFloat.inf(sign) if y.sign == 0 else BigFloat.zero(sign)
-    if x.sign == 1 and not y_is_integer:
+    if x.sign == 1 and not y.is_integer():
         return BigFloat.nan()
-    result_sign = 1 if (x.sign == 1 and y_is_odd) else 0
+    return None
+
+
+def pow_(x: BigFloat, y: BigFloat, context: Optional[Context] = None) -> BigFloat:
+    """x**y following the C99 pow special-case table."""
+    context = _ctx(context)
+    special = _pow_special(x, y, context)
+    if special is not None:
+        return special
+    result_sign = 1 if (x.sign == 1 and _pow_is_odd_integer(y)) else 0
     magnitude = x.abs()
-    if y_is_integer and y.abs() <= BigFloat.from_int(_POW_INT_LIMIT):
+    if y.is_integer() and y.abs() <= _POW_INT_LIMIT_BIG:
         count = int(y.to_fraction())
         result = _integer_power(magnitude, abs(count), context)
         if count < 0:

@@ -25,7 +25,7 @@ from repro.api import (
     results_to_json,
     sample_box,
 )
-from repro.bigfloat import available_policies
+from repro.bigfloat import available_policies, available_substrates
 from repro.core import AnalysisConfig, generate_report
 from repro.fpcore import load_corpus, parse_expr, parse_fpcore
 from repro.fpcore.ast import free_variables
@@ -46,6 +46,7 @@ def _session(args: argparse.Namespace, **config_fields) -> AnalysisSession:
         precision_policy=getattr(args, "precision_policy", "fixed"),
         working_precision=getattr(args, "working_precision", 144),
         engine=getattr(args, "engine", "compiled"),
+        substrate=getattr(args, "substrate", "python"),
         **config_fields,
     )
     return AnalysisSession(
@@ -190,6 +191,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="execution engine: the threaded-code fast "
                               "path (default) or the reference "
                               "interpreter (identical results)")
+    analyze.add_argument("--substrate", default="python",
+                         choices=available_substrates(),
+                         help="BigFloat kernel substrate: the pure-python "
+                              "reference (default) or the native "
+                              "gmpy2/mpmath kernels (identical reports, "
+                              "falls back to python when neither library "
+                              "is installed)")
     analyze.add_argument("--json", action="store_true",
                          help="emit the AnalysisResult JSON serialization")
     analyze.set_defaults(func=_command_analyze)
@@ -223,6 +231,10 @@ def build_parser() -> argparse.ArgumentParser:
     corpus.add_argument("--engine", default="compiled",
                         choices=("compiled", "reference"),
                         help="execution engine (results are identical)")
+    corpus.add_argument("--substrate", default="python",
+                        choices=available_substrates(),
+                        help="BigFloat kernel substrate (reports are "
+                             "identical)")
     corpus.add_argument("--workers", type=int, default=1,
                         help="worker processes for batch analysis")
     corpus.add_argument("--json", action="store_true",

@@ -30,8 +30,9 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.bigfloat import BigFloat, apply, make_policy
+from repro.bigfloat import BigFloat, make_policy
 from repro.bigfloat import arith
+from repro.bigfloat.backend import KERNEL_CACHE_OPERATIONS, get_backend
 from repro.bigfloat.policy import EXACT
 from repro.core.config import ENGINE_COMPILED, AnalysisConfig
 from repro.core.localerror import rounded_local_error, rounded_total_error
@@ -65,12 +66,19 @@ class EngineFeatures:
     trace_pool: bool = True
     #: Use the steady-state anti-unification fast path.
     fast_antiunify: bool = True
+    #: Memoize transcendental shadow results per (operation, operand
+    #: trace idents) within one execution — loop-invariant log/pow/trig
+    #: shadows are computed once per run.  Requires the trace pool (the
+    #: idents come from its hash-consing); defaults off so explicitly
+    #: constructed layer combinations keep their PR-3 meaning.
+    kernel_cache: bool = False
 
     @classmethod
     def for_engine(cls, engine: str) -> "EngineFeatures":
         on = engine == ENGINE_COMPILED
         return cls(
-            threaded_interpreter=on, trace_pool=on, fast_antiunify=on
+            threaded_interpreter=on, trace_pool=on, fast_antiunify=on,
+            kernel_cache=on,
         )
 
 
@@ -96,10 +104,14 @@ class HerbgrindAnalysis(Tracer):
         #: The context shadow operations run under: the full tier for
         #: the fixed policy, the working tier for adaptive tiers.
         self.context = self.policy.context
+        #: The kernel substrate evaluating ⟦f⟧_R (config.substrate).
+        self.backend = get_backend(self.config.substrate)
+        #: Pre-resolved substrate dispatch for the per-operation hot path.
+        self._apply = self.backend.apply
         #: Hoisted policy flag: the fixed policy never escalates, so
         #: the hot path can skip drift/rounding bookkeeping entirely.
         self._escalates = self.policy.escalates
-        self.escalator = ShadowEscalator(self.policy)
+        self.escalator = ShadowEscalator(self.policy, backend=self.backend)
         self.op_records: Dict[int, OpRecord] = {}
         self.spot_records: Dict[int, SpotRecord] = {}
         self._sites: Dict[int, isa.Instr] = {}  # keeps instr ids stable
@@ -115,6 +127,17 @@ class HerbgrindAnalysis(Tracer):
         #: Shadow objects of interned constant leaves, reusable across
         #: executions because everything in them is value-determined.
         self._leaf_shadows: Dict[int, ShadowValue] = {}
+        #: Kernel-result cache: (op, operand trace idents) -> shadow
+        #: real, cleared per execution.  Sound because the pool interns
+        #: nodes (same idents => same shadow reals at the analysis
+        #: context precision) and idents are never reused.
+        self._kernel_cache: Optional[Dict[tuple, BigFloat]] = (
+            {} if (self.pool is not None and self.features.kernel_cache)
+            else None
+        )
+        #: Aggregate cache statistics (benchmark attribution).
+        self.kernel_cache_hits = 0
+        self.kernel_cache_misses = 0
 
     # ------------------------------------------------------------------
     # Record lookup
@@ -213,6 +236,10 @@ class HerbgrindAnalysis(Tracer):
         self.escalator.reset()
         if self.pool is not None:
             self.pool.begin_execution()
+        if self._kernel_cache is not None:
+            # Input-leaf idents are fresh every run, so stale entries
+            # could never be hit — clearing just bounds memory.
+            self._kernel_cache.clear()
 
     def on_const(self, instr: isa.Instr, box: FloatBox) -> None:
         pool = self.pool
@@ -318,18 +345,35 @@ class HerbgrindAnalysis(Tracer):
         # argument of every traced operation passes through here.
         shadows = [a.shadow or self._shadow(a) for a in args]
         real_args = [s.real for s in shadows]
-        try:
-            real_result = apply(op, real_args, self.context)
-        except KeyError:
-            # Operation outside the real engine: treat the result as an
-            # opaque float source.
-            result.shadow = ShadowValue(
-                BigFloat.from_float(result.value),
-                trace_mod.opaque_leaf(result.value, getattr(instr, "loc", None)),
-                frozenset().union(*[s.influences for s in shadows])
-                if shadows else EMPTY_INFLUENCES,
-            )
-            return
+        cache = self._kernel_cache
+        if cache is not None and op in KERNEL_CACHE_OPERATIONS:
+            # Transcendental kernels are memoized per (op, operand
+            # idents): the pool interns traces, so identical idents
+            # imply identical shadow reals, and a loop-invariant
+            # log/pow/trig shadow is computed once per execution.
+            cache_key = (op,) + tuple(s.trace.ident for s in shadows)
+            real_result = cache.get(cache_key)
+            if real_result is None:
+                real_result = self._apply(op, real_args, self.context)
+                cache[cache_key] = real_result
+                self.kernel_cache_misses += 1
+            else:
+                self.kernel_cache_hits += 1
+        else:
+            try:
+                real_result = self._apply(op, real_args, self.context)
+            except KeyError:
+                # Operation outside the real engine: treat the result as
+                # an opaque float source.
+                result.shadow = ShadowValue(
+                    BigFloat.from_float(result.value),
+                    trace_mod.opaque_leaf(
+                        result.value, getattr(instr, "loc", None)
+                    ),
+                    frozenset().union(*[s.influences for s in shadows])
+                    if shadows else EMPTY_INFLUENCES,
+                )
+                return
         record = self._op_record(instr, op)
         if self.pool is not None:
             node = self.pool.op_node(
@@ -627,6 +671,7 @@ def analyze_program(
             wrap_libraries=wrap_libraries,
             libm=libm,
             max_steps=max_steps,
+            double_handlers=analysis.backend.double_handlers,
         )
         for inputs in input_sets:
             outputs.append(compiled.run(inputs))
@@ -638,6 +683,7 @@ def analyze_program(
             wrap_libraries=wrap_libraries,
             libm=libm,
             max_steps=max_steps,
+            double_handlers=analysis.backend.double_handlers,
         )
         outputs.append(interpreter.run(inputs))
     return analysis, outputs

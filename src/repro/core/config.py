@@ -12,7 +12,10 @@ experiments can sweep them:
 * ``shadow_precision`` — Section 5.1's MPFR precision (1000 default),
 * ``precision_policy`` / ``working_precision`` /
   ``escalation_guard_bits`` — the adaptive shadow-precision tiers
-  (:mod:`repro.bigfloat.policy`); "fixed" reproduces the paper.
+  (:mod:`repro.bigfloat.policy`); "fixed" reproduces the paper,
+* ``substrate`` — which BigFloat kernel substrate evaluates the
+  shadow reals (:mod:`repro.bigfloat.backend`); "python" is the
+  dependency-free reference, "native" uses gmpy2/mpmath when present.
 """
 
 from __future__ import annotations
@@ -61,6 +64,14 @@ class AnalysisConfig:
     #: precision-sensitive decisions to ``shadow_precision`` (see
     #: :mod:`repro.bigfloat.policy`).
     precision_policy: str = "fixed"
+
+    #: BigFloat kernel substrate for the shadow-real execution
+    #: (:mod:`repro.bigfloat.backend`): "python" runs the package's own
+    #: integer-limb kernels (the reference), "native" runs gmpy2 (MPFR)
+    #: or mpmath kernels when importable, falling back to "python"
+    #: when neither is.  Corpus reports are byte-identical across
+    #: substrates (the substrate-parity suite enforces it).
+    substrate: str = "python"
 
     #: Working-tier precision of the adaptive policy.
     working_precision: int = 144
@@ -112,6 +123,13 @@ class AnalysisConfig:
             raise ValueError(
                 f"unknown precision policy: {self.precision_policy!r} "
                 f"(known: {', '.join(available_policies())})"
+            )
+        from repro.bigfloat.backend import ALL_SUBSTRATES
+
+        if self.substrate not in ALL_SUBSTRATES:
+            raise ValueError(
+                f"unknown substrate: {self.substrate!r} "
+                f"(known: {', '.join(ALL_SUBSTRATES)})"
             )
         if self.working_precision < 64:
             raise ValueError("working precision must be >= 64 bits")

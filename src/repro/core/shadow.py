@@ -90,8 +90,13 @@ class ShadowEscalator:
     re-execution.
     """
 
-    def __init__(self, policy: PrecisionPolicy) -> None:
+    def __init__(self, policy: PrecisionPolicy, backend=None) -> None:
         self.policy = policy
+        #: Kernel substrate for trace re-execution; defaults to the
+        #: python reference.  The analysis passes its own backend so
+        #: escalated values are computed by the same substrate as the
+        #: working-tier values they replace.
+        self._apply = backend.apply if backend is not None else apply
         self._memo: Dict[int, BigFloat] = {}
         self._leaves: Dict[int, BigFloat] = {}
         #: Operation nodes recomputed at the full tier (for reporting).
@@ -191,7 +196,7 @@ class ShadowEscalator:
             pairs = [memo[a.ident] for a in current.args]
             arguments = [p[0] for p in pairs]
             try:
-                value = apply(current.op, arguments, context)
+                value = self._apply(current.op, arguments, context)
                 drift = confirm.propagate(
                     current.op, arguments, [p[1] for p in pairs], value
                 )
@@ -229,7 +234,7 @@ class ShadowEscalator:
                     continue
                 arguments = [memo[a.ident] for a in current.args]
                 try:
-                    value = apply(current.op, arguments, context)
+                    value = self._apply(current.op, arguments, context)
                 except KeyError:
                     # Outside the real engine: the fixed tier would have
                     # shadowed this as an opaque float source too.

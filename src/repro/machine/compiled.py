@@ -155,12 +155,20 @@ class CompiledProgram:
         wrap_libraries: bool = True,
         libm: Optional[Dict[str, isa.Function]] = None,
         max_steps: int = 50_000_000,
+        double_handlers: Optional[Dict[str, Callable[..., float]]] = None,
     ) -> None:
         self.program = program
         self.tracer = tracer if tracer is not None else Tracer()
         self.wrap_libraries = wrap_libraries
         self.libm = libm if libm is not None else {}
         self.max_steps = max_steps
+        #: ⟦f⟧_F handler table the threaded code pre-binds from; the
+        #: analysis passes its substrate's table (only the emulated
+        #: operations — fma — can differ, and results are identical).
+        self.double_handlers = (
+            double_handlers if double_handlers is not None
+            else DOUBLE_HANDLERS
+        )
         self.memory: Dict[int, object] = {}
         self.outputs: List[float] = []
         self.stats = ExecutionStats()
@@ -510,7 +518,7 @@ class CompiledProgram:
     # ------------------------------------------------------------------
 
     def _compile_float_op(self, instr: isa.FloatOp, nxt: int, slot) -> Callable:
-        fn = DOUBLE_HANDLERS.get(instr.op)
+        fn = self.double_handlers.get(instr.op)
         if fn is None:
             return _error_step(f"unknown operation: {instr.op!r}")
         src_slots = tuple(slot(s) for s in instr.srcs)
@@ -556,7 +564,7 @@ class CompiledProgram:
     def _compile_packed_op(self, instr: isa.PackedOp, nxt: int, slot) -> Callable:
         if len(instr.dsts) != len(instr.lanes):
             return _error_step("packed op lane/destination mismatch")
-        fn = DOUBLE_HANDLERS.get(instr.op)
+        fn = self.double_handlers.get(instr.op)
         if fn is None:
             return _error_step(f"unknown operation: {instr.op!r}")
         lanes = tuple(tuple(slot(s) for s in lane) for lane in instr.lanes)
@@ -614,7 +622,7 @@ class CompiledProgram:
         is_library = name in LIBRARY_OPERATIONS
         if is_library and (self.wrap_libraries or name not in self.libm):
             # Wrapped: one atomic operation (paper Section 5.3).
-            fn = DOUBLE_HANDLERS[name]
+            fn = self.double_handlers[name]
             arg_slots = tuple(slot(a) for a in instr.args)
             dst = slot(instr.dst)
             on_library = self._on_library

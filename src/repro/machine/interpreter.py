@@ -19,9 +19,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.bigfloat.functions import LIBRARY_OPERATIONS, apply_double
+from repro.bigfloat.functions import DOUBLE_HANDLERS, LIBRARY_OPERATIONS
 from repro.ieee.float32 import to_single
 from repro.machine import isa
 from repro.machine.values import FloatBox
@@ -116,17 +116,31 @@ class Interpreter:
         wrap_libraries: bool = True,
         libm: Optional[Dict[str, isa.Function]] = None,
         max_steps: int = 50_000_000,
+        double_handlers: Optional[Dict[str, Callable[..., float]]] = None,
     ) -> None:
         self.program = program
         self.tracer = tracer if tracer is not None else Tracer()
         self.wrap_libraries = wrap_libraries
         self.libm = libm if libm is not None else {}
         self.max_steps = max_steps
+        #: ⟦f⟧_F handler table (substrate-selected); defaults to the
+        #: module table, whose semantics every substrate preserves.
+        self._double_handlers = (
+            double_handlers if double_handlers is not None
+            else DOUBLE_HANDLERS
+        )
         self.memory: Dict[int, Value] = {}
         self.outputs: List[float] = []
         self.stats = ExecutionStats()
         self._inputs: List[float] = []
         self._input_position = 0
+
+    def _apply_double(self, operation: str, args: Sequence[float]) -> float:
+        """⟦f⟧_F through this interpreter's substrate handler table."""
+        handler = self._double_handlers.get(operation)
+        if handler is None:
+            raise KeyError(f"unknown operation: {operation!r}")
+        return handler(*args)
 
     # ------------------------------------------------------------------
     # Public API
@@ -292,7 +306,7 @@ class Interpreter:
 
     def _float_op(self, instr: isa.FloatOp, frame: _Frame) -> None:
         args = [self._float_box(frame, src) for src in instr.srcs]
-        value = apply_double(instr.op, [a.value for a in args])
+        value = self._apply_double(instr.op, [a.value for a in args])
         if instr.single:
             value = to_single(value)
         box = FloatBox(value)
@@ -309,7 +323,7 @@ class Interpreter:
         for lane in instr.lanes:
             lane_boxes.append([self._float_box(frame, src) for src in lane])
         for dst, args in zip(instr.dsts, lane_boxes):
-            value = apply_double(instr.op, [a.value for a in args])
+            value = self._apply_double(instr.op, [a.value for a in args])
             if instr.single:
                 value = to_single(value)
             box = FloatBox(value)
@@ -348,7 +362,7 @@ class Interpreter:
         if is_library and (self.wrap_libraries or name not in self.libm):
             # Wrapped: one atomic operation (paper Section 5.3).
             args = [self._float_box(frame, a) for a in instr.args]
-            value = apply_double(name, [a.value for a in args])
+            value = self._apply_double(name, [a.value for a in args])
             box = FloatBox(value)
             frame.registers[instr.dst] = box
             self.stats.library_calls += 1

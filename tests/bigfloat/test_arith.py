@@ -9,8 +9,11 @@ only — the library itself depends on nothing).
 import math
 from fractions import Fraction
 
-import mpmath
 import pytest
+
+mpmath = pytest.importorskip(
+    "mpmath", reason="mpmath is the arithmetic oracle"
+)
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

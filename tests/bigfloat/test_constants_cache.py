@@ -1,0 +1,50 @@
+"""Constant caching (the euler_e regression of PR 4).
+
+``pi_fixed``/``ln2_fixed`` were lru_cached from the start, but
+``euler_e`` re-ran its exp_series square root on every call.  The new
+``e_fixed`` must have the same cache policy: the second call at a
+given working precision does no series work at all.
+"""
+
+import pytest
+
+from repro.bigfloat import constants
+from repro.bigfloat.context import Context
+
+
+class TestEulerECache:
+    def test_e_fixed_is_cached(self, monkeypatch):
+        wp = 333  # an odd precision nobody else warms
+        first = constants.e_fixed(wp)
+
+        def exploding_series(*args, **kwargs):  # pragma: no cover
+            raise AssertionError("series re-ran despite the cache")
+
+        from repro.bigfloat import fixedpoint
+
+        monkeypatch.setattr(fixedpoint, "exp_series", exploding_series)
+        assert constants.e_fixed(wp) == first
+        # euler_e itself serves from the same cache.
+        context = Context(precision=wp - constants._GUARD)
+        value = constants.euler_e(context)
+        assert 2.718281828459045 == pytest.approx(value.to_float())
+
+    def test_e_fixed_value(self):
+        mpmath = pytest.importorskip("mpmath")
+        wp = 400
+        with mpmath.workprec(wp + 8):
+            reference = int(mpmath.floor(mpmath.e * (1 << wp)))
+        assert abs(constants.e_fixed(wp) - reference) <= 2
+
+    def test_repeated_euler_e_is_fast(self):
+        import time
+
+        context = Context(precision=600)
+        constants.euler_e(context)  # warm
+        t0 = time.perf_counter()
+        for __ in range(50):
+            constants.euler_e(context)
+        elapsed = time.perf_counter() - t0
+        # 50 cached calls round an int; give a generous bound that the
+        # uncached implementation (50 full series runs) cannot meet.
+        assert elapsed < 0.2

@@ -1,0 +1,162 @@
+"""The C99 pow special-case table, pinned exhaustively.
+
+Covers both semantics: the shadow-real ``pow_`` (⟦pow⟧_R rounded to
+double) and the hardware ``pow`` handler (⟦pow⟧_F).  The grid crosses
+±0/±1/±inf/NaN with odd/even/non-integer/infinite exponents; where
+Python's ``math.pow`` itself deviates from C99 (it raises where C99
+defines a result) the expected values are pinned explicitly:
+
+* ``pow(±0, y < 0)`` is a divide-by-zero: ±inf, the sign following the
+  base only for odd integer y (math.pow raises ValueError).
+* overflow keeps C99's sign rule: ``pow(-huge, even) = +inf``
+  (a naive range-error wrapper would sign by the base).
+"""
+
+import math
+
+import pytest
+
+from repro.bigfloat import BigFloat
+from repro.bigfloat.context import Context
+from repro.bigfloat.functions import apply_double
+from repro.bigfloat.transcendental import pow_
+
+CONTEXT = Context(precision=200)
+
+BASES = [0.0, -0.0, 1.0, -1.0, math.inf, -math.inf, math.nan,
+         0.5, -0.5, 2.0, -2.0, 1.5, -1.5, 9.75, -9.75]
+EXPONENTS = [0.0, -0.0, 1.0, -1.0, 2.0, -2.0, 3.0, -3.0, 5.0, -5.0,
+             0.5, -0.5, 2.5, -2.5, math.inf, -math.inf, math.nan,
+             4.0, -4.0, 7.0, 1024.0, -1024.0]
+
+
+def _same_double(ours: float, expected: float) -> bool:
+    if math.isnan(expected):
+        return math.isnan(ours)
+    if ours != expected:
+        return False
+    if ours == 0.0:
+        return math.copysign(1.0, ours) == math.copysign(1.0, expected)
+    return True
+
+
+def c99_pow(x: float, y: float) -> float:
+    """The C99 F.10.4.4 special-case table, written out directly."""
+    y_is_integer = (
+        math.isfinite(y) and (abs(y) >= 9007199254740992.0 or y == int(y))
+    )
+    y_is_odd = (
+        y_is_integer and abs(y) < 9007199254740992.0 and bool(int(y) & 1)
+    )
+    if y == 0.0 and not math.isnan(y):
+        return 1.0
+    if x == 1.0:
+        return 1.0
+    if math.isnan(x) or math.isnan(y):
+        return math.nan
+    if x == 0.0:
+        sign_source = x if y_is_odd else 0.0
+        if y > 0:
+            return math.copysign(0.0, sign_source)
+        return math.copysign(math.inf, sign_source)
+    if math.isinf(y):
+        if abs(x) == 1.0:
+            return 1.0
+        growing = (abs(x) > 1.0) == (y > 0)
+        return math.inf if growing else 0.0
+    if math.isinf(x):
+        if x > 0:
+            return math.inf if y > 0 else 0.0
+        sign_source = -1.0 if y_is_odd else 1.0
+        if y > 0:
+            return math.copysign(math.inf, sign_source)
+        return math.copysign(0.0, sign_source)
+    if x < 0 and not y_is_integer:
+        return math.nan
+    try:
+        result = abs(x) ** y
+    except OverflowError:
+        result = math.inf  # C99 range error: +HUGE_VAL before the sign
+    if x < 0 and y_is_odd:
+        result = -result
+    return result
+
+
+class TestHardwarePow:
+    @pytest.mark.parametrize("x", BASES)
+    @pytest.mark.parametrize("y", EXPONENTS)
+    def test_double_handler_matches_c99(self, x, y):
+        expected = c99_pow(x, y)
+        ours = apply_double("pow", [x, y])
+        assert _same_double(ours, expected), (x, y, ours, expected)
+
+    @pytest.mark.parametrize("x", BASES)
+    @pytest.mark.parametrize("y", EXPONENTS)
+    def test_double_handler_matches_math_pow_where_it_conforms(self, x, y):
+        try:
+            expected = math.pow(x, y)
+        except (ValueError, OverflowError):
+            return  # C99 defines these; math.pow does not — pinned above
+        ours = apply_double("pow", [x, y])
+        assert _same_double(ours, expected), (x, y)
+
+    def test_zero_to_negative_is_divide_by_zero(self):
+        assert apply_double("pow", [0.0, -2.0]) == math.inf
+        assert apply_double("pow", [-0.0, -2.0]) == math.inf
+        assert apply_double("pow", [-0.0, -3.0]) == -math.inf
+        assert apply_double("pow", [0.0, -3.0]) == math.inf
+        assert apply_double("pow", [0.0, -0.5]) == math.inf
+
+    def test_overflow_sign_follows_parity(self):
+        assert apply_double("pow", [-1e300, 2.0]) == math.inf
+        assert apply_double("pow", [-1e300, 3.0]) == -math.inf
+        assert apply_double("pow", [1e300, 2.0]) == math.inf
+
+
+class TestShadowRealPow:
+    @pytest.mark.parametrize("x", BASES)
+    @pytest.mark.parametrize("y", EXPONENTS)
+    def test_rounded_shadow_matches_c99(self, x, y):
+        expected = c99_pow(x, y)
+        result = pow_(
+            BigFloat.from_float(x), BigFloat.from_float(y), CONTEXT
+        )
+        ours = result.to_float()
+        if math.isnan(expected):
+            assert math.isnan(ours), (x, y)
+        elif expected == 0.0 or math.isinf(expected):
+            assert _same_double(ours, expected), (x, y, ours)
+        else:
+            # Finite nonzero: the shadow is faithful at 200 bits, so
+            # its double rounding equals the correctly rounded pow.
+            assert ours == pytest.approx(expected, rel=1e-15, abs=0.0), \
+                (x, y)
+
+    def test_signed_zero_results(self):
+        neg_zero = BigFloat.zero(1)
+        odd = BigFloat.from_float(3.0)
+        even = BigFloat.from_float(2.0)
+        assert pow_(neg_zero, odd, CONTEXT).key() == (0, 1, 0, 0)
+        assert pow_(neg_zero, even, CONTEXT).key() == (0, 0, 0, 0)
+        assert pow_(neg_zero, odd.neg(), CONTEXT).key() == \
+            BigFloat.inf(1).key()
+        assert pow_(neg_zero, even.neg(), CONTEXT).key() == \
+            BigFloat.inf(0).key()
+
+    def test_integer_power_limit_constant_is_hoisted(self):
+        from repro.bigfloat import transcendental
+
+        limit = transcendental._POW_INT_LIMIT_BIG
+        assert limit.to_fraction() == transcendental._POW_INT_LIMIT
+        # Both sides of the limit still compute correctly.
+        base = BigFloat.from_float(1.0000001)
+        below = pow_(base, BigFloat.from_int(4), CONTEXT)
+        assert below.to_float() == pytest.approx(1.0000001 ** 4, rel=1e-15)
+
+    def test_huge_odd_integer_exponent_keeps_sign(self):
+        # Above the exact-powering limit the general exp(y ln x) path
+        # must still apply the odd-integer sign rule.
+        y = BigFloat.from_int((1 << 21) + 1)
+        result = pow_(BigFloat.from_float(-1.0000001), y, CONTEXT)
+        assert result.is_negative()
+        assert result.is_finite()

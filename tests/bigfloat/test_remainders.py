@@ -1,0 +1,149 @@
+"""fmod / remainder semantics, pinned against the C library.
+
+Both operations are *exact* integer algorithms in the bigfloat layer,
+so agreement with ``math.fmod``/``math.remainder`` must be bit-for-bit
+(including result signs and signed zeros) wherever the double grid can
+express the operands.  Also pinned: the tie-toward-even-quotient fold
+in ``remainder`` and the ``_MAX_REMAINDER_SHIFT`` alignment guard.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.bigfloat import BigFloat
+from repro.bigfloat.arith import _MAX_REMAINDER_SHIFT, fmod, remainder
+from repro.bigfloat.context import Context
+
+CONTEXT = Context(precision=200)
+
+DIRECTED = [
+    # (a, b) pairs hitting signs, ties, exact divisions, tiny/huge gaps.
+    (5.3, 2.0), (-5.3, 2.0), (5.3, -2.0), (-5.3, -2.0),
+    (6.0, 2.0), (-6.0, 2.0), (6.0, -2.0), (-6.0, -2.0),
+    (1.0, 3.0), (-1.0, 3.0),
+    (2.5, 1.0), (3.5, 1.0), (-2.5, 1.0), (-3.5, 1.0),
+    (0.5, 1.0), (1.5, 1.0), (-0.5, 1.0), (-1.5, 1.0),
+    (7.0, 2.5), (-7.0, 2.5),
+    (1e16, 3.0), (1e16 + 2.0, 3.0),
+    (1e-300, 1e300), (1e300, 1e-30),
+    (0.1, 0.3), (0.3, 0.1),
+    (math.pi, math.e), (math.e, math.pi),
+    (0.0, 3.0), (-0.0, 3.0), (0.0, -3.0), (-0.0, -3.0),
+    (5e-324, 2.5), (1.5, 5e-324),
+]
+
+
+def check_pair(a: float, b: float) -> None:
+    big_a, big_b = BigFloat.from_float(a), BigFloat.from_float(b)
+    ours_fmod = fmod(big_a, big_b, CONTEXT).to_float()
+    expected_fmod = math.fmod(a, b)
+    assert ours_fmod == expected_fmod, ("fmod", a, b)
+    assert math.copysign(1.0, ours_fmod) == \
+        math.copysign(1.0, expected_fmod), ("fmod sign", a, b)
+    ours_rem = remainder(big_a, big_b, CONTEXT).to_float()
+    expected_rem = math.remainder(a, b)
+    assert ours_rem == expected_rem, ("remainder", a, b)
+    assert math.copysign(1.0, ours_rem) == \
+        math.copysign(1.0, expected_rem), ("remainder sign", a, b)
+
+
+class TestAgainstLibm:
+    @pytest.mark.parametrize("a,b", DIRECTED)
+    def test_directed_grid(self, a, b):
+        check_pair(a, b)
+
+    def test_randomized_grid(self):
+        random.seed(20260729)
+        for __ in range(400):
+            a = random.uniform(-1e6, 1e6)
+            b = random.uniform(-1e3, 1e3)
+            if b == 0.0:
+                continue
+            check_pair(a, b)
+
+    def test_randomized_exponent_spread(self):
+        random.seed(7)
+        for __ in range(200):
+            a = math.ldexp(random.uniform(1, 2), random.randint(-60, 60))
+            b = math.ldexp(random.uniform(1, 2), random.randint(-60, 60))
+            if random.random() < 0.5:
+                a = -a
+            if random.random() < 0.5:
+                b = -b
+            check_pair(a, b)
+
+
+class TestSpecialValues:
+    def test_nan_and_domain(self):
+        one = BigFloat.from_float(1.0)
+        zero = BigFloat.zero(0)
+        inf = BigFloat.inf(0)
+        nan = BigFloat.nan()
+        for operation in (fmod, remainder):
+            assert operation(nan, one, CONTEXT).is_nan()
+            assert operation(one, nan, CONTEXT).is_nan()
+            assert operation(inf, one, CONTEXT).is_nan()
+            assert operation(one, zero, CONTEXT).is_nan()
+            # x mod inf = x; 0 mod y = 0 (sign preserved).
+            assert operation(one, inf, CONTEXT).key() == one.key()
+
+    def test_zero_results_carry_dividend_sign(self):
+        # C99: fmod/remainder of an exact multiple returns ±0 with the
+        # dividend's sign.
+        four, two = BigFloat.from_float(4.0), BigFloat.from_float(2.0)
+        for operation in (fmod, remainder):
+            assert operation(four, two, CONTEXT).key() == (0, 0, 0, 0)
+            assert operation(four.neg(), two, CONTEXT).key() == (0, 1, 0, 0)
+            assert operation(four, two.neg(), CONTEXT).key() == (0, 0, 0, 0)
+        neg_zero = BigFloat.zero(1)
+        assert fmod(neg_zero, two, CONTEXT).key() == (0, 1, 0, 0)
+        assert remainder(neg_zero, two, CONTEXT).key() == (0, 1, 0, 0)
+
+    def test_remainder_tie_goes_to_even_quotient(self):
+        one = BigFloat.from_float(1.0)
+        # 2.5 = 2*1 + 0.5 = 3*1 - 0.5: quotient 2 (even) wins -> +0.5.
+        assert remainder(BigFloat.from_float(2.5), one,
+                         CONTEXT).to_float() == 0.5
+        # 3.5 = 4*1 - 0.5: quotient 4 (even) wins -> -0.5.
+        assert remainder(BigFloat.from_float(3.5), one,
+                         CONTEXT).to_float() == -0.5
+        assert remainder(BigFloat.from_float(-2.5), one,
+                         CONTEXT).to_float() == -0.5
+        assert remainder(BigFloat.from_float(-3.5), one,
+                         CONTEXT).to_float() == 0.5
+
+    def test_fmod_is_exact_not_rounded(self):
+        # The result must be the exact remainder even when it needs
+        # more bits than the context precision would keep.
+        tight = Context(precision=24)
+        a = BigFloat.from_int(2 ** 53 - 1)
+        b = BigFloat.from_float(3.0)
+        assert fmod(a, b, tight).to_fraction() == ((2 ** 53 - 1) % 3)
+
+
+class TestAlignmentGuard:
+    def test_shift_guard_raises_overflow(self):
+        # Operands whose exponents are too far apart to align exactly
+        # raise rather than silently materializing gigabit integers.
+        huge = BigFloat(0, 1, _MAX_REMAINDER_SHIFT + 10)
+        tiny = BigFloat(0, 1, -10)
+        for operation in (fmod, remainder):
+            with pytest.raises(OverflowError):
+                operation(huge, tiny, CONTEXT)
+
+    def test_shift_guard_boundary_passes(self):
+        # Just inside the guard the exact path still runs.
+        a = BigFloat(0, 3, 1 << 20)
+        b = BigFloat(0, 1, 0)
+        assert fmod(a, b, CONTEXT).is_zero()
+
+    def test_double_range_never_trips_guard(self):
+        # The full double exponent range spans ~2100 bits, far below
+        # the guard: any pair of finite doubles must stay exact.
+        a = BigFloat.from_float(1.7976931348623157e308)
+        b = BigFloat.from_float(5e-324)
+        assert fmod(a, b, CONTEXT).to_float() == math.fmod(
+            1.7976931348623157e308, 5e-324
+        )

@@ -11,8 +11,11 @@ Two oracles:
 
 import math
 
-import mpmath
 import pytest
+
+mpmath = pytest.importorskip(
+    "mpmath", reason="mpmath is the transcendental oracle"
+)
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

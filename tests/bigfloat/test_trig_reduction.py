@@ -1,0 +1,125 @@
+"""Regression coverage for the π/2 argument-reduction Ziv loop.
+
+``_reduce_pi_over_2`` widens its working precision whenever the
+reduced remainder loses relative accuracy (the argument sits close to
+a multiple of π/2).  Pinned here: the double nearest π/2, huge
+(1e22-scale) arguments, the give-up branch for arguments that are
+indistinguishable from a multiple of π/2 at any sane precision, and
+the exponent guard — all verified against mpmath where a reference
+value exists.
+"""
+
+import math
+
+import pytest
+
+mpmath = pytest.importorskip("mpmath", reason="mpmath is the trig oracle")
+
+from repro.bigfloat import BigFloat
+from repro.bigfloat.constants import pi_fixed
+from repro.bigfloat.context import Context
+from repro.bigfloat.fixedpoint import from_fixed
+from repro.bigfloat.transcendental import (
+    _TRIG_EXPONENT_LIMIT,
+    _reduce_pi_over_2,
+    cos,
+    sin,
+    tan,
+)
+
+CONTEXT = Context(precision=200)
+
+
+def mp_reference(fn, value: BigFloat, precision: int = 260):
+    with mpmath.workprec(precision):
+        fraction = value.to_fraction()
+        argument = mpmath.mpf(fraction.numerator) / fraction.denominator
+        return fn(argument)
+
+
+def assert_faithful(ours: BigFloat, reference, bits: int = 190) -> None:
+    fraction = ours.to_fraction()
+    with mpmath.workprec(300):
+        mine = mpmath.mpf(fraction.numerator) / fraction.denominator
+        relative = abs(mine - reference) / abs(reference)
+        assert relative < mpmath.mpf(2) ** (-bits), ours
+
+
+class TestNearHalfPi:
+    def test_double_nearest_half_pi(self):
+        # cos of the double closest to π/2 is ~6.1e-17: total
+        # cancellation of the leading 53 bits, which forces at least
+        # one Ziv widening.
+        x = BigFloat.from_float(math.pi / 2)
+        result = cos(x, CONTEXT)
+        assert_faithful(result, mp_reference(mpmath.cos, x))
+
+    def test_double_nearest_pi(self):
+        x = BigFloat.from_float(math.pi)
+        result = sin(x, CONTEXT)
+        assert_faithful(result, mp_reference(mpmath.sin, x))
+
+    def test_tan_across_the_pole(self):
+        x = BigFloat.from_float(1.5707963267948966)
+        result = tan(x, CONTEXT)
+        assert_faithful(result, mp_reference(mpmath.tan, x))
+
+    def test_reduction_reports_quadrant_and_tiny_remainder(self):
+        x = BigFloat.from_float(math.pi / 2)
+        quadrant, remainder, wp = _reduce_pi_over_2(x, CONTEXT)
+        assert quadrant == 1
+        # Remainder ~6.1e-17 at scale 2^-wp.
+        assert remainder != 0
+        assert abs(remainder) < (1 << wp) >> 50
+
+
+class TestHugeArguments:
+    @pytest.mark.parametrize("value", [1e22, 1.234567e22, -9.87e21, 1e300])
+    def test_sin_at_1e22_scale(self, value):
+        # Reducing 1e22 mod π/2 needs ~70 extra bits up front (the
+        # msb-proportional term), not a Ziv retry; the result must
+        # still match mpmath exactly to ~190 bits.
+        x = BigFloat.from_float(value)
+        result = sin(x, CONTEXT)
+        assert_faithful(
+            result, mp_reference(mpmath.sin, x, precision=1400)
+        )
+
+    def test_exponent_guard(self):
+        monster = BigFloat(0, 1, _TRIG_EXPONENT_LIMIT + 8)
+        for fn in (sin, cos, tan):
+            with pytest.raises(OverflowError):
+                fn(monster, CONTEXT)
+
+
+class TestBailOutBranch:
+    def test_indistinguishable_from_half_pi_terminates(self):
+        # A 5000-bit approximation of π/2 agrees with π/2 to ~5000
+        # bits — far beyond what any widening bounded by
+        # 4*(precision + msb) can separate at precision 200, so the
+        # loop must take the `extra >= 4*(...)` bail-out and accept
+        # the tiny remainder rather than spin.
+        context = Context(precision=200)
+        deep = 5000
+        x = from_fixed(pi_fixed(deep) >> 1, deep)
+        quadrant, remainder, wp = _reduce_pi_over_2(x, context)
+        assert quadrant == 1
+        # The remainder is below every bit the context can observe.
+        assert remainder == 0 or \
+            abs(remainder).bit_length() < wp - 2 * context.precision
+        # And the functions built on it still return faithful values
+        # for the metric that matters: |sin x| rounds to 1, cos to ~0.
+        assert sin(x, context).to_float() == 1.0
+        assert abs(cos(x, context).to_float()) < 1e-100
+
+    def test_bail_out_degrades_to_absolute_accuracy(self):
+        # The bail-out documents giving up *relative* accuracy on the
+        # vanishing component: cos of a deep π/2 approximation may come
+        # back as exactly 0 (or an astronomically small value), but
+        # never as anything a double — or the 64-bit error metric —
+        # could distinguish from the true ~1e-900 result.
+        context = Context(precision=120)
+        x = from_fixed(pi_fixed(3000) >> 1, 3000)
+        result = cos(x, context)
+        assert result.is_zero() or result.msb_exponent < -300
+        assert sin(x, context).to_float() == 1.0

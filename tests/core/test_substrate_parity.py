@@ -1,0 +1,148 @@
+"""Substrate parity: native kernels must be report-invisible.
+
+The acceptance bar of the pluggable BigFloat substrate is
+*byte-identical* ``AnalysisResult`` JSON across ``substrate`` x
+``engine`` x ``precision_policy`` over the whole corpus, plus a
+substrate-aware result-cache digest and a result-preserving
+kernel-result cache.
+"""
+
+import pytest
+
+from repro.api import AnalysisSession, results_to_json
+from repro.api.requests import AnalysisRequest
+from repro.api.session import request_digest
+from repro.bigfloat import substrate_provider
+from repro.core import AnalysisConfig, EngineFeatures, analyze_program
+from repro.core.config import AnalysisConfig as Config
+from repro.fpcore import load_corpus, parse_fpcore
+from repro.machine import compile_fpcore
+
+
+def corpus_json(substrate: str, engine: str = "compiled",
+                policy: str = "fixed", points: int = 2, seed: int = 13):
+    config = AnalysisConfig(
+        substrate=substrate, engine=engine, precision_policy=policy
+    )
+    session = AnalysisSession(
+        config=config, num_points=points, seed=seed, result_cache_size=0
+    )
+    return results_to_json(session.analyze_batch(load_corpus(), workers=1))
+
+
+class TestCorpusParity:
+    @pytest.mark.parametrize("engine", ["compiled", "reference"])
+    @pytest.mark.parametrize("policy", ["fixed", "adaptive"])
+    def test_full_corpus_byte_identical(self, engine, policy):
+        assert corpus_json("python", engine, policy) == \
+            corpus_json("native", engine, policy)
+
+    def test_native_works_in_worker_pool(self):
+        corpus = load_corpus()[:10]
+        native = AnalysisSession(
+            config=AnalysisConfig(substrate="native"),
+            num_points=2, seed=5, result_cache_size=0,
+        )
+        python = AnalysisSession(
+            config=AnalysisConfig(substrate="python"),
+            num_points=2, seed=5, result_cache_size=0,
+        )
+        assert results_to_json(native.analyze_batch(corpus, workers=2)) == \
+            results_to_json(python.analyze_batch(corpus, workers=1))
+
+
+class TestDigest:
+    def test_substrate_is_in_the_request_digest(self):
+        core = "(FPCore (x) (sqrt (+ x 1)))"
+        python = AnalysisRequest.build(core, config=Config(substrate="python"))
+        native = AnalysisRequest.build(core, config=Config(substrate="native"))
+        assert request_digest(python) != request_digest(native)
+
+    def test_substrate_round_trips_through_json(self):
+        request = AnalysisRequest.build(
+            "(FPCore (x) (+ x 1))", config=Config(substrate="native")
+        )
+        rebuilt = AnalysisRequest.from_json(request.to_json())
+        assert rebuilt.config.substrate == "native"
+        assert request_digest(rebuilt) == request_digest(request)
+
+    def test_unknown_substrate_rejected_at_config_time(self):
+        with pytest.raises(ValueError):
+            Config(substrate="mpfr")
+
+
+class TestKernelCache:
+    LOOP = """(FPCore (x n) :name "cache-loop"
+        (while (<= i n) ([i 1 (+ i 1)]
+                         [acc 0 (+ acc (/ (log x) i))])
+          acc))"""
+
+    def analyse(self, kernel_cache: bool):
+        program = compile_fpcore(parse_fpcore(self.LOOP))
+        features = EngineFeatures(
+            threaded_interpreter=True, trace_pool=True,
+            fast_antiunify=True, kernel_cache=kernel_cache,
+        )
+        return analyze_program(
+            program, [[7.5, 12.0], [3.25, 9.0]],
+            config=AnalysisConfig(), features=features,
+        )
+
+    def test_loop_invariant_kernel_hits(self):
+        analysis, __ = self.analyse(kernel_cache=True)
+        # log x is loop-invariant: one miss per execution, the other
+        # iterations hit.
+        assert analysis.kernel_cache_misses == 2
+        assert analysis.kernel_cache_hits >= 18
+
+    def test_cache_off_by_default_without_pool(self):
+        program = compile_fpcore(parse_fpcore(self.LOOP))
+        features = EngineFeatures(
+            threaded_interpreter=False, trace_pool=False,
+            fast_antiunify=False, kernel_cache=True,
+        )
+        analysis, __ = analyze_program(
+            program, [[7.5, 12.0]], config=AnalysisConfig(),
+            features=features,
+        )
+        assert analysis.kernel_cache_hits == 0
+        assert analysis.kernel_cache_misses == 0
+
+    def test_cache_is_result_invisible(self):
+        with_cache, outputs_on = self.analyse(kernel_cache=True)
+        without, outputs_off = self.analyse(kernel_cache=False)
+        assert outputs_on == outputs_off
+        on = {r.site_id: (r.executions, r.max_local_error,
+                          r.sum_local_error)
+              for r in with_cache.op_records.values()}
+        off = {r.site_id: (r.executions, r.max_local_error,
+                           r.sum_local_error)
+               for r in without.op_records.values()}
+        assert on == off
+
+    def test_for_engine_enables_cache_only_when_compiled(self):
+        assert EngineFeatures.for_engine("compiled").kernel_cache
+        assert not EngineFeatures.for_engine("reference").kernel_cache
+
+
+class TestCli:
+    def test_substrate_flag(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "analyze", "(FPCore (x) (- (sqrt (+ x 1)) (sqrt x)))",
+            "--points", "2", "--substrate", "native", "--json",
+        ])
+        assert code == 0
+        native_out = capsys.readouterr().out
+        code = main([
+            "analyze", "(FPCore (x) (- (sqrt (+ x 1)) (sqrt x)))",
+            "--points", "2", "--substrate", "python", "--json",
+        ])
+        assert code == 0
+        python_out = capsys.readouterr().out
+        assert native_out == python_out
+
+    def test_provider_resolution_never_fails(self):
+        # "native" must resolve even in a bare environment.
+        assert substrate_provider("native") in ("gmpy2", "mpmath", "python")
