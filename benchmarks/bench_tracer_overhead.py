@@ -15,27 +15,37 @@ the compiled fast path that attacks all three layers and emits
   benchmarks) per engine configuration, with **per-layer attribution**:
 
   - ``dispatch``   — threaded-code interpreter only,
-  - ``trace_alloc`` — + hash-consed trace pool,
+  - ``trace_alloc`` — + ident-interning trace pool,
   - ``antiunify``  — + steady-state anti-unification fast path
+    (the PR-3 stack),
+  - ``kernel_cache`` — + transcendental kernel-result memoization
+    (the PR-4 stack),
+  - ``fused``      — + site-compiled per-op pipeline callbacks
     (= the full compiled engine).
 
 * **Parity gate** — byte-identical ``AnalysisResult`` JSON between
   every configuration and the reference engine, under both precision
   policies.  Any mismatch fails the run.
-* **PR-2 baseline** (optional, ``--pr2-rev``) — checks out the PR-2
-  tree in a temporary git worktree and times the *original* analysis
-  on the same suite/points/seed, so the headline speedup is measured
-  against the actual baseline rather than remembered numbers.  Without
-  git, the current reference engine is the (conservative) baseline —
-  conservative because this PR's satellite optimizations (AST
-  interning, iterative walks) accelerated the reference path too.
+* **Live baseline** (optional, ``--baseline-rev``; default the PR-4
+  commit) — checks out the baseline tree in a temporary git worktree
+  and times *its* analysis on the same suite/points/seed, so the
+  headline speedup is measured against the actual predecessor rather
+  than remembered numbers.  Without git, the current reference engine
+  is the (conservative) stand-in.
+* **Floor regression gate** (``--gate-regression FACTOR``) — reads the
+  previously committed ``per_op_floor_ns`` out of ``--out`` before
+  overwriting it and fails when the fresh floor exceeds the committed
+  one by more than FACTOR (CI uses 1.3x).  The committed floor is
+  scaled by the ratio of native (uninstrumented) per-op speeds first,
+  so the gate compares analysis overhead, not the runner's clock.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_tracer_overhead.py \
         [--points 8] [--suite-size 12] [--repeat 2] [--parity-points 3] \
-        [--out BENCH_tracer.json] [--require-speedup 2.5] \
-        [--pr2-rev <git-rev>] [--skip-pr2]
+        [--out BENCH_tracer.json] [--require-speedup 1.5] \
+        [--baseline-rev <git-rev>] [--skip-baseline] \
+        [--gate-regression 1.3]
 """
 
 from __future__ import annotations
@@ -58,11 +68,17 @@ from repro.machine import CompiledProgram, Interpreter, compile_fpcore
 from repro.api.sampling import sample_inputs
 
 #: Layer stack, innermost first; each entry adds one fast-path layer.
+#: "antiunify" is the PR-3 stack, "kernel_cache" the PR-4 stack, and
+#: "fused" adds the site-compiled per-op pipeline (the full compiled
+#: engine).
 LAYERS = (
     ("reference", EngineFeatures(False, False, False)),
     ("dispatch", EngineFeatures(True, False, False)),
     ("trace_alloc", EngineFeatures(True, True, False)),
     ("antiunify", EngineFeatures(True, True, True)),
+    ("kernel_cache", EngineFeatures(True, True, True, kernel_cache=True)),
+    ("fused", EngineFeatures(True, True, True, kernel_cache=True,
+                             fused_pipeline=True)),
 )
 
 
@@ -144,6 +160,10 @@ def bench_native_overhead(suite, points: int, seed: int, repeat: int) -> Dict:
         out[label + "_us_per_op"] = round(seconds / max(total_ops, 1) * 1e6, 3)
         out[label + "_seconds"] = round(seconds, 4)
     native = out["compiled_native_us_per_op"]
+    #: The per-op analysis floor: fully traced compiled-engine cost per
+    #: executed float operation, in nanoseconds (the regression gate's
+    #: metric).
+    out["per_op_floor_ns"] = round(out["compiled_traced_us_per_op"] * 1000.0)
     out["tracer_overhead_factor_compiled"] = round(
         out["compiled_traced_us_per_op"] / max(native, 1e-9), 1
     )
@@ -183,8 +203,9 @@ def bench_layers(suite, points: int, seed: int, repeat: int) -> Dict:
         row = {"benchmark": core.name}
         for label, __features in LAYERS:
             row[label + "_seconds"] = round(best[label], 4)
+        outer = LAYERS[-1][0]
         row["speedup_vs_reference"] = round(
-            row["reference_seconds"] / max(row["antiunify_seconds"], 1e-9), 3
+            row["reference_seconds"] / max(row[outer + "_seconds"], 1e-9), 3
         )
         per_benchmark.append(row)
     speedups = [row["speedup_vs_reference"] for row in per_benchmark]
@@ -266,7 +287,7 @@ def _signature_json(analysis) -> str:
     return json.dumps(rows, sort_keys=True)
 
 
-PR2_TIMING_SCRIPT = """\
+BASELINE_TIMING_SCRIPT = """\
 import json, sys, time
 sys.path.insert(0, sys.argv[1])
 from repro.api import AnalysisSession
@@ -311,7 +332,7 @@ def _time_in_subprocess(
         json.dump(spec, handle)
     if not os.path.exists(script_path):
         with open(script_path, "w", encoding="utf-8") as handle:
-            handle.write(PR2_TIMING_SCRIPT)
+            handle.write(BASELINE_TIMING_SCRIPT)
     try:
         subprocess.run(
             [sys.executable, script_path, src_path, spec_path, out_path],
@@ -323,17 +344,17 @@ def _time_in_subprocess(
         return json.load(handle)
 
 
-def bench_pr2_baseline(
+def bench_live_baseline(
     suite, points: int, seed: int, repeat: int, rev: str
 ) -> Optional[Dict]:
-    """Time the PR-2 code and the current code on the same work, each
-    in a fresh subprocess via the same script (PR-2 from a git
-    worktree), interleaved so machine drift cancels."""
+    """Time the baseline revision and the current code on the same
+    work, each in a fresh subprocess via the same script (the baseline
+    from a git worktree), interleaved so machine drift cancels."""
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     if not os.path.isdir(os.path.join(repo_root, ".git")):
         return None
     with tempfile.TemporaryDirectory() as scratch:
-        worktree = os.path.join(scratch, "pr2")
+        worktree = os.path.join(scratch, "baseline")
         try:
             subprocess.run(
                 ["git", "-C", repo_root, "worktree", "add", "--detach",
@@ -344,21 +365,21 @@ def bench_pr2_baseline(
             return None
         try:
             current_src = os.path.join(repo_root, "src")
-            pr2_src = os.path.join(worktree, "src")
+            base_src = os.path.join(worktree, "src")
             rounds = []
             for index in range(2):  # two interleaved rounds, best-of
-                pr2 = _time_in_subprocess(
-                    pr2_src, scratch, f"pr2-{index}", suite, points, seed,
+                base = _time_in_subprocess(
+                    base_src, scratch, f"base-{index}", suite, points, seed,
                     repeat,
                 )
                 now = _time_in_subprocess(
                     current_src, scratch, f"now-{index}", suite, points,
                     seed, repeat,
                 )
-                if pr2 is None or now is None:
+                if base is None or now is None:
                     return None
-                rounds.append((pr2, now))
-            pr2_best = {
+                rounds.append((base, now))
+            base_best = {
                 name: min(r[0][name] for r in rounds) for name in rounds[0][0]
             }
             now_best = {
@@ -366,7 +387,7 @@ def bench_pr2_baseline(
             }
             return {
                 "rev": rev,
-                "seconds_by_benchmark": pr2_best,
+                "seconds_by_benchmark": base_best,
                 "current_seconds_by_benchmark": now_best,
             }
         finally:
@@ -391,13 +412,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--out", default="BENCH_tracer.json")
     parser.add_argument("--require-speedup", type=float, default=None,
                         help="fail unless the suite's median speedup vs "
-                             "the PR-2 baseline (or, without git, the "
+                             "the live baseline (or, without git, the "
                              "reference engine) reaches this factor")
-    parser.add_argument("--pr2-rev", default="188aa60",
-                        help="git revision of the PR-2 baseline")
-    parser.add_argument("--skip-pr2", action="store_true",
-                        help="skip the live PR-2 baseline measurement")
+    parser.add_argument("--baseline-rev", default="7ba76a9",
+                        help="git revision of the live baseline "
+                             "(default: the PR-4 commit)")
+    parser.add_argument("--skip-baseline", action="store_true",
+                        help="skip the live baseline measurement")
+    parser.add_argument("--gate-regression", type=float, default=None,
+                        metavar="FACTOR",
+                        help="fail when the fresh per-op floor exceeds "
+                             "the committed per_op_floor_ns in --out by "
+                             "more than FACTOR (e.g. 1.3)")
     args = parser.parse_args(argv)
+
+    committed_floor_ns = None
+    committed_native_us = None
+    if args.gate_regression is not None and os.path.exists(args.out):
+        try:
+            with open(args.out, "r", encoding="utf-8") as handle:
+                committed = json.load(handle)
+            committed_floor_ns = committed.get("per_op_overhead", {}).get(
+                "per_op_floor_ns"
+            )
+            committed_native_us = committed.get("per_op_overhead", {}).get(
+                "compiled_native_us_per_op"
+            )
+        except (OSError, ValueError):
+            committed_floor_ns = None
 
     corpus = load_corpus()
     loops, straightline = select_suites(
@@ -434,9 +476,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # both phases see the same machine state; ratios across phases are
     # then meaningful.
     baseline = None
-    if not args.skip_pr2:
-        baseline = bench_pr2_baseline(
-            everything, args.points, args.seed, args.repeat, args.pr2_rev
+    if not args.skip_baseline:
+        baseline = bench_live_baseline(
+            everything, args.points, args.seed, args.repeat,
+            args.baseline_rev
         )
 
     report["suites"] = {}
@@ -464,25 +507,50 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 for name, seconds in baseline["seconds_by_benchmark"].items()
                 if name in names and name in current
             ]
-            layers["median_speedup_vs_pr2"] = round(
+            layers["median_speedup_vs_baseline"] = round(
                 statistics.median(ratios), 3
             ) if ratios else None
-        report["pr2_baseline"] = baseline
+        report["baseline"] = baseline
         report["speedup"] = report["suites"]["loops"][
-            "median_speedup_vs_pr2"
+            "median_speedup_vs_baseline"
         ]
-        print(f"pr2    : interpreter-bound median vs PR-2 baseline "
+        print(f"base   : interpreter-bound median vs live baseline "
               f"({baseline['rev']}): {report['speedup']}x; straight-line "
-              f"{report['suites']['straightline']['median_speedup_vs_pr2']}x")
+              f"{report['suites']['straightline']['median_speedup_vs_baseline']}x")
     else:
-        report["pr2_baseline"] = None
+        report["baseline"] = None
         report["speedup"] = report["suites"]["loops"][
             "median_speedup_vs_reference"
         ]
-        print("pr2    : baseline unavailable; using the reference engine "
-              "as the (conservative) baseline")
+        print("base   : live baseline unavailable; using the reference "
+              "engine as the (conservative) baseline")
 
     failures = list(report["parity"]["failures"])
+    floor_ns = report["per_op_overhead"]["per_op_floor_ns"]
+    report["committed_floor_ns"] = committed_floor_ns
+    if committed_floor_ns is not None and args.gate_regression is not None:
+        # The committed floor was measured on a different machine;
+        # absolute ns are not portable.  Scale the committed value by
+        # this machine's native (uninstrumented compiled-engine) speed
+        # relative to the committed run's — the gate then measures the
+        # analysis overhead ratio, not the runner's clock.
+        scale = 1.0
+        fresh_native = report["per_op_overhead"]["compiled_native_us_per_op"]
+        if committed_native_us and fresh_native:
+            scale = fresh_native / committed_native_us
+        limit = committed_floor_ns * scale * args.gate_regression
+        report["floor_gate"] = {
+            "committed_floor_ns": committed_floor_ns,
+            "machine_scale": round(scale, 3),
+            "limit_ns": round(limit),
+        }
+        if floor_ns > limit:
+            failures.append(
+                f"per-op floor {floor_ns}ns regressed more than "
+                f"{args.gate_regression}x over the committed "
+                f"{committed_floor_ns}ns (machine-normalized limit "
+                f"{round(limit)}ns)"
+            )
     if args.require_speedup is not None and (
         report["speedup"] is None or report["speedup"] < args.require_speedup
     ):

@@ -86,15 +86,26 @@ class HerbgrindBackend(AnalysisBackend):
     name = "herbgrind"
 
     def run(self, program, points, request):
-        from repro.core.analysis import analyze_program
+        import dataclasses
+
+        from repro.core.analysis import EngineFeatures, analyze_program
         from repro.core.report import root_cause_report
 
+        features = None
+        if request.profile:
+            # Same engine layers, plus the per-stage attribution
+            # counters (results are unchanged; only extra[] grows).
+            features = dataclasses.replace(
+                EngineFeatures.for_engine(request.config.engine),
+                profile=True,
+            )
         analysis, __ = analyze_program(
             program,
             points,
             config=request.config,
             wrap_libraries=request.wrap_libraries,
             libm=request.libm,
+            features=features,
         )
         causes = []
         for record in analysis.candidate_records():
@@ -142,6 +153,12 @@ class HerbgrindBackend(AnalysisBackend):
                     ),
                 )
             )
+        extra = {"runs": analysis.runs}
+        if request.profile:
+            profile = analysis.stage_counters.to_dict()
+            profile["kernel_cache_hits"] = analysis.kernel_cache_hits
+            profile["kernel_cache_misses"] = analysis.kernel_cache_misses
+            extra["pipeline_profile"] = profile
         return AnalysisResult(
             benchmark=request.name,
             backend=self.name,
@@ -150,7 +167,7 @@ class HerbgrindBackend(AnalysisBackend):
             max_output_error=analysis.max_output_error(),
             root_causes=causes,
             spots=spots,
-            extra={"runs": analysis.runs},
+            extra=extra,
             raw=analysis,
         )
 

@@ -53,6 +53,12 @@ class AnalysisRequest:
     points: Optional[List[List[float]]] = None
     config: AnalysisConfig = field(default_factory=AnalysisConfig)
     wrap_libraries: bool = True
+    #: Emit per-stage pipeline attribution counters into the result's
+    #: ``extra["pipeline_profile"]`` (Herbgrind backend only).  The
+    #: counters cost time on the hot path, so this is opt-in; it is
+    #: serialized (and participates in the request digest) only when
+    #: set, keeping default digests and result JSON unchanged.
+    profile: bool = False
     #: Optional libm override (a dict of IR functions).  In-process
     #: only: it is not serialized and cannot cross a worker boundary.
     libm: Any = field(default=None, compare=False, repr=False)
@@ -67,6 +73,7 @@ class AnalysisRequest:
         points: Optional[Sequence[Sequence[float]]] = None,
         config: Optional[AnalysisConfig] = None,
         wrap_libraries: bool = True,
+        profile: bool = False,
         libm: Any = None,
     ) -> "AnalysisRequest":
         return cls(
@@ -77,6 +84,7 @@ class AnalysisRequest:
             points=[list(p) for p in points] if points is not None else None,
             config=config if config is not None else AnalysisConfig(),
             wrap_libraries=wrap_libraries,
+            profile=profile,
             libm=libm,
         )
 
@@ -90,7 +98,7 @@ class AnalysisRequest:
                 "a libm override cannot cross a process boundary; "
                 "run this request in-process (workers=1)"
             )
-        return {
+        data = {
             "core": format_fpcore(self.core),
             "backend": self.backend,
             "num_points": self.num_points,
@@ -99,6 +107,11 @@ class AnalysisRequest:
             "config": config_to_dict(self.config),
             "wrap_libraries": self.wrap_libraries,
         }
+        if self.profile:
+            # Serialized only when set: default requests keep their
+            # historical digests and worker payload shape.
+            data["profile"] = True
+        return data
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
@@ -113,6 +126,7 @@ class AnalysisRequest:
             points=data.get("points"),
             config=config_from_dict(data.get("config", {})),
             wrap_libraries=data.get("wrap_libraries", True),
+            profile=data.get("profile", False),
         )
 
     @classmethod

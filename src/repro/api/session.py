@@ -269,7 +269,7 @@ class AnalysisSession:
 
     _OVERRIDE_KEYS = frozenset(
         ("backend", "num_points", "seed", "points", "config",
-         "wrap_libraries", "libm")
+         "wrap_libraries", "profile", "libm")
     )
 
     def request(self, core: RequestLike, **overrides) -> AnalysisRequest:
@@ -297,6 +297,7 @@ class AnalysisSession:
             wrap_libraries=overrides.get(
                 "wrap_libraries", self.wrap_libraries
             ),
+            profile=overrides.get("profile", False),
             libm=overrides.get("libm"),
         )
 

@@ -105,6 +105,28 @@ class KernelBackend:
             raise KeyError(f"unknown operation: {operation!r}")
         return handler
 
+    def positional_handler(
+        self, operation: str, arity: int
+    ) -> Optional[Callable]:
+        """The raw positional kernel ``(x[, y[, z]], context) -> BigFloat``,
+        or None when this substrate serves ``operation`` through its own
+        wrapped dispatch (callers then use :meth:`handler`).
+
+        Only operations whose dispatch entry is still the stock python
+        wrapper are resolvable — a substrate override must keep routing
+        through the override.  Site-compiled pipelines use this to skip
+        one call frame and one argument tuple per executed operation.
+        """
+        if self._dispatch.get(operation) is not \
+                functions._REAL_DISPATCH.get(operation):
+            return None
+        table = {
+            1: functions._UNARY, 2: functions._BINARY, 3: functions._TERNARY,
+        }.get(arity)
+        if table is None:
+            return None
+        return table.get(operation)
+
 
 class PythonBackend(KernelBackend):
     """The reference substrate — the package's own kernels, unchanged."""

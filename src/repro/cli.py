@@ -108,7 +108,7 @@ def _command_analyze(args: argparse.Namespace) -> int:
         local_error_threshold=args.threshold,
         max_expression_depth=args.depth,
     )
-    result = session.analyze(core)
+    result = session.analyze(core, profile=args.profile)
     _print_result(result, args.json)
     return 0
 
@@ -139,7 +139,9 @@ def _command_corpus(args: argparse.Namespace) -> int:
     if not selected:
         print(f"no benchmark named {args.name!r}", file=sys.stderr)
         return 1
-    results = session.analyze_batch(selected, workers=args.workers)
+    results = session.analyze_batch(
+        selected, workers=args.workers, profile=args.profile
+    )
     if args.json:
         print(results_to_json(results))
         return 0
@@ -200,6 +202,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "is installed)")
     analyze.add_argument("--json", action="store_true",
                          help="emit the AnalysisResult JSON serialization")
+    analyze.add_argument("--profile", action="store_true",
+                         help="count per-stage pipeline events and emit "
+                              "them as extra.pipeline_profile in the "
+                              "result JSON (results are unchanged)")
     analyze.set_defaults(func=_command_analyze)
 
     improve = sub.add_parser("improve", help="improve a bare expression")
@@ -239,6 +245,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker processes for batch analysis")
     corpus.add_argument("--json", action="store_true",
                         help="emit AnalysisResult JSON for the batch")
+    corpus.add_argument("--profile", action="store_true",
+                        help="emit per-stage pipeline attribution in "
+                             "each result's extra.pipeline_profile")
     corpus.set_defaults(func=_command_corpus)
 
     backends = sub.add_parser("backends", help="list analysis backends")

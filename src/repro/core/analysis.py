@@ -27,15 +27,19 @@ study's prose describes).
 from __future__ import annotations
 
 import math
+import operator
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bigfloat import BigFloat, make_policy
 from repro.bigfloat import arith
 from repro.bigfloat.backend import KERNEL_CACHE_OPERATIONS, get_backend
+from repro.bigfloat.functions import DOUBLE_HANDLERS
 from repro.bigfloat.policy import EXACT
 from repro.core.config import ENGINE_COMPILED, AnalysisConfig
 from repro.core.localerror import rounded_local_error, rounded_total_error
+from repro.ieee.error import bits_of_error_fast
+from repro.ieee.float64 import double_to_bits as _double_bits
 from repro.core.records import (
     OpRecord,
     SpotRecord,
@@ -52,7 +56,7 @@ from repro.machine.values import FloatBox
 
 @dataclass(frozen=True)
 class EngineFeatures:
-    """The three independent layers of the compiled fast path.
+    """The independent layers of the compiled fast path.
 
     ``AnalysisConfig.engine`` maps to all-on ("compiled") or all-off
     ("reference"); the benchmark harness toggles layers individually
@@ -62,7 +66,10 @@ class EngineFeatures:
 
     #: Execute through :class:`repro.machine.compiled.CompiledProgram`.
     threaded_interpreter: bool = True
-    #: Hash-cons trace nodes through a :class:`~repro.core.trace.TracePool`.
+    #: Intern traces as integer idents through a
+    #: :class:`~repro.core.trace.TracePool` (structured nodes are then
+    #: materialized lazily — at anti-unification bail-outs, escalation
+    #: re-execution, and report time).
     trace_pool: bool = True
     #: Use the steady-state anti-unification fast path.
     fast_antiunify: bool = True
@@ -72,14 +79,64 @@ class EngineFeatures:
     #: idents come from its hash-consing); defaults off so explicitly
     #: constructed layer combinations keep their PR-3 meaning.
     kernel_cache: bool = False
+    #: Run the per-operation analysis through site-compiled fused
+    #: pipeline callbacks: one closure per (site, config), pre-binding
+    #: the record, the resolved ⟦f⟧_R kernel and ⟦f⟧_F handler, and the
+    #: policy flags, which the compiled engine invokes directly instead
+    #: of the generic ``on_op`` path.  Requires the trace pool and the
+    #: fast anti-unification walk; the reference interpreter ignores it
+    #: (the oracle stays on the unfused path).  Defaults off so
+    #: explicitly constructed layer combinations keep their PR-3/PR-4
+    #: meaning.
+    fused_pipeline: bool = False
+    #: Count per-stage pipeline events (shadow resolution, kernel
+    #: evaluations, trace interning, error fast path, anti-unify
+    #: verdicts, characteristic updates) on
+    #: :attr:`HerbgrindAnalysis.stage_counters` for attribution.  Off
+    #: by default: the counters cost real time on the hot path.
+    profile: bool = False
 
     @classmethod
     def for_engine(cls, engine: str) -> "EngineFeatures":
         on = engine == ENGINE_COMPILED
         return cls(
             threaded_interpreter=on, trace_pool=on, fast_antiunify=on,
-            kernel_cache=on,
+            kernel_cache=on, fused_pipeline=on,
         )
+
+
+class PipelineStageCounters:
+    """Per-stage attribution counters of the per-operation pipeline.
+
+    One instance per analysis (:attr:`HerbgrindAnalysis.stage_counters`),
+    reset at construction, populated only when
+    :attr:`EngineFeatures.profile` is set.  ``fused_ops`` counts
+    operations analysed by site-compiled callbacks, ``generic_ops``
+    those that went through the generic ``_analyse_operation`` walk.
+    """
+
+    __slots__ = ("fused_ops", "generic_ops", "kernel_evals",
+                 "trace_interned", "error_fast", "error_exact",
+                 "antiunify_fast", "antiunify_merge",
+                 "characteristic_updates", "compensation_checks")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.fused_ops = 0
+        self.generic_ops = 0
+        self.kernel_evals = 0
+        self.trace_interned = 0
+        self.error_fast = 0
+        self.error_exact = 0
+        self.antiunify_fast = 0
+        self.antiunify_merge = 0
+        self.characteristic_updates = 0
+        self.compensation_checks = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
 
 
 class HerbgrindAnalysis(Tracer):
@@ -111,26 +168,47 @@ class HerbgrindAnalysis(Tracer):
         #: Hoisted policy flag: the fixed policy never escalates, so
         #: the hot path can skip drift/rounding bookkeeping entirely.
         self._escalates = self.policy.escalates
-        self.escalator = ShadowEscalator(self.policy, backend=self.backend)
         self.op_records: Dict[int, OpRecord] = {}
         self.spot_records: Dict[int, SpotRecord] = {}
         self._sites: Dict[int, isa.Instr] = {}  # keeps instr ids stable
         self._site_counter = 0
         self.runs = 0
-        #: Hash-consing pool (compiled engine); None disables interning.
+        #: Ident-interning pool (compiled engine); None disables it.
+        #: When present, every :attr:`ShadowValue.trace` is an integer
+        #: ident into the pool's flat arrays; structured nodes are
+        #: materialized lazily.
         self.pool = (
             trace_mod.TracePool(
                 levels_depth=self.config.max_expression_depth
             )
             if self.features.trace_pool else None
         )
-        #: Shadow objects of interned constant leaves, reusable across
-        #: executions because everything in them is value-determined.
-        self._leaf_shadows: Dict[int, ShadowValue] = {}
+        self.escalator = ShadowEscalator(
+            self.policy, backend=self.backend, pool=self.pool
+        )
+        #: Site-compiled pipeline enabled (requires the pool and the
+        #: fast anti-unification walk, which the fused walk is).
+        self._fused = bool(
+            self.features.fused_pipeline
+            and self.pool is not None
+            and self.features.fast_antiunify
+        )
+        #: Per-stage attribution counters (populated under
+        #: ``features.profile``), fresh per analysis.
+        self.stage_counters = PipelineStageCounters()
+        self._profile = self.features.profile
+        #: Cached shadow state of interned constant leaves, reusable
+        #: across executions because everything in it is
+        #: value-determined; entries are (pool epoch, value bits,
+        #: shadow) and are refreshed per run with a new ident.
+        self._leaf_shadows: Dict[int, tuple] = {}
         #: Kernel-result cache: (op, operand trace idents) -> shadow
-        #: real, cleared per execution.  Sound because the pool interns
-        #: nodes (same idents => same shadow reals at the analysis
-        #: context precision) and idents are never reused.
+        #: real.  Sound because the pool interns entries (same idents
+        #: => same shadow reals at the analysis context precision)
+        #: *within one execution*; the pool recycles idents every run,
+        #: so the per-run clear in :meth:`on_start` is load-bearing — a
+        #: stale entry under a recycled ident would alias a different
+        #: value.
         self._kernel_cache: Optional[Dict[tuple, BigFloat]] = (
             {} if (self.pool is not None and self.features.kernel_cache)
             else None
@@ -156,6 +234,10 @@ class HerbgrindAnalysis(Tracer):
                 config=self.config,
                 fast_antiunify=self.features.fast_antiunify,
             )
+            if self._profile:
+                # Anti-unify verdicts are counted at the Generalization
+                # layer so fused and generic paths report uniformly.
+                record.generalization.stats = self.stage_counters
             self.op_records[key] = record
         return record
 
@@ -180,10 +262,13 @@ class HerbgrindAnalysis(Tracer):
     def _shadow(self, box: FloatBox) -> ShadowValue:
         shadow = box.shadow
         if shadow is None:
+            pool = self.pool
+            leaf = (
+                pool.opaque_ident(box.value) if pool is not None
+                else trace_mod.opaque_leaf(box.value)
+            )
             shadow = ShadowValue(
-                BigFloat.from_float(box.value),
-                trace_mod.opaque_leaf(box.value),
-                EMPTY_INFLUENCES,
+                BigFloat.from_float(box.value), leaf, EMPTY_INFLUENCES
             )
             box.shadow = shadow
         return shadow
@@ -235,11 +320,48 @@ class HerbgrindAnalysis(Tracer):
         self.runs += 1
         self.escalator.reset()
         if self.pool is not None:
+            # A previous run that aborted (MachineError, user
+            # interrupt) never reached on_finish; its pending idents
+            # are still valid against the current arrays — materialize
+            # them before the reset recycles every ident.
+            self._materialize_pending()
             self.pool.begin_execution()
         if self._kernel_cache is not None:
-            # Input-leaf idents are fresh every run, so stale entries
-            # could never be hit — clearing just bounds memory.
+            # Load-bearing: begin_execution() recycled every ident, so
+            # an entry surviving this clear could be hit by an
+            # unrelated value's recycled ident next run.
             self._kernel_cache.clear()
+
+    def on_finish(self, interpreter: Interpreter) -> None:
+        """End of one execution: persist the structured view of every
+        record's last trace before the pool's idents are recycled.
+
+        The materialization is capped one level past the expression
+        depth bound — exactly what :meth:`OpRecord.node_locations`
+        can observe — so its cost is bounded by the symbolic
+        expressions, not the run's trace DAG.  Aborted runs (an
+        exception skips this callback) are swept by the next
+        :meth:`on_start` while their idents are still valid; only a
+        run aborted and never followed by another leaves its records'
+        structured traces at the previous completed run's.
+        """
+        if self.pool is not None:
+            self._materialize_pending()
+
+    def _materialize_pending(self) -> None:
+        pool = self.pool
+        cap = self.config.max_expression_depth + 1
+        for record in self.op_records.values():
+            ident = record.pending_trace
+            if ident is not None:
+                # Always refresh: the steady-state walk verifies
+                # operator names, not source locations, and a site fed
+                # through different branch arms can carry different
+                # locations at the same expression position — the
+                # contract is the *most recent* concrete trace, exactly
+                # as the reference path keeps it.
+                record.last_trace = pool.node_capped(ident, cap)
+                record.pending_trace = None
 
     def on_const(self, instr: isa.Instr, box: FloatBox) -> None:
         pool = self.pool
@@ -253,18 +375,30 @@ class HerbgrindAnalysis(Tracer):
         # One dict hit in the warm case: a Const instruction always
         # produces the same value, so its shadow is a pure function of
         # the instruction (loop bodies replay these endlessly).  The
-        # pool still interns the leaf underneath, keyed by value bits,
-        # so a recycled instruction id cannot alias a different
-        # constant.
-        shadow = self._leaf_shadows.get(id(instr))
-        if shadow is None or shadow.trace.value != box.value:
-            leaf = pool.const_leaf(
-                box.value, getattr(instr, "loc", None), site=id(instr)
-            )
+        # entry is epoch-stamped: the pool recycles idents each run, so
+        # a stale shadow is re-interned (reusing its value-determined
+        # BigFloat state) instead of leaking a dead ident, and the bits
+        # in the key keep a recycled instruction id from aliasing a
+        # different constant.
+        epoch = pool.epoch
+        bits = _double_bits(box.value)
+        entry = self._leaf_shadows.get(id(instr))
+        if entry is not None and entry[0] == epoch and entry[1] == bits:
+            box.shadow = entry[2]
+            return
+        leaf = pool.const_ident(
+            box.value, getattr(instr, "loc", None), site=id(instr)
+        )
+        if entry is not None and entry[1] == bits:
+            old = entry[2]
+            shadow = ShadowValue(old.real, leaf, EMPTY_INFLUENCES)
+            shadow.rounded = old.rounded
+            shadow.total_error = old.total_error
+        else:
             shadow = ShadowValue(
                 BigFloat.from_float(box.value), leaf, EMPTY_INFLUENCES
             )
-            self._leaf_shadows[id(instr)] = shadow
+        self._leaf_shadows[id(instr)] = (epoch, bits, shadow)
         box.shadow = shadow
 
     def on_read(self, instr: isa.Read, box: FloatBox, index: int) -> None:
@@ -272,7 +406,7 @@ class HerbgrindAnalysis(Tracer):
         # with a fresh value), so unlike constants there is nothing to
         # cache across runs.
         if self.pool is not None:
-            leaf = self.pool.input_leaf(
+            leaf = self.pool.input_ident(
                 box.value, index, instr.loc, site=id(instr)
             )
         else:
@@ -285,7 +419,7 @@ class HerbgrindAnalysis(Tracer):
         # Integers are exact; the trace sees a constant of that value.
         exact = BigFloat.from_int(value)
         if self.pool is not None:
-            leaf = self.pool.int_leaf(
+            leaf = self.pool.int_ident(
                 box.value, value, instr.loc, site=id(instr)
             )
         else:
@@ -327,10 +461,13 @@ class HerbgrindAnalysis(Tracer):
             self._analyse_operation(instr, "fabs", [box], result)
             return
         shadow = self._shadow(box)
+        pool = self.pool
+        leaf = (
+            pool.opaque_ident(result.value, instr.loc) if pool is not None
+            else trace_mod.opaque_leaf(result.value, instr.loc)
+        )
         result.shadow = ShadowValue(
-            BigFloat.from_float(result.value),
-            trace_mod.opaque_leaf(result.value, instr.loc),
-            shadow.influences,
+            BigFloat.from_float(result.value), leaf, shadow.influences,
         )
 
     # ------------------------------------------------------------------
@@ -341,6 +478,10 @@ class HerbgrindAnalysis(Tracer):
         self, instr: isa.Instr, op: str, args: Sequence[FloatBox], result: FloatBox
     ) -> None:
         config = self.config
+        pool = self.pool
+        profile = self._profile
+        if profile:
+            self.stage_counters.generic_ops += 1
         # `box.shadow or ...` inlines the warm case of _shadow: every
         # argument of every traced operation passes through here.
         shadows = [a.shadow or self._shadow(a) for a in args]
@@ -351,7 +492,7 @@ class HerbgrindAnalysis(Tracer):
             # idents): the pool interns traces, so identical idents
             # imply identical shadow reals, and a loop-invariant
             # log/pow/trig shadow is computed once per execution.
-            cache_key = (op,) + tuple(s.trace.ident for s in shadows)
+            cache_key = (op,) + tuple(s.trace for s in shadows)
             real_result = cache.get(cache_key)
             if real_result is None:
                 real_result = self._apply(op, real_args, self.context)
@@ -365,18 +506,27 @@ class HerbgrindAnalysis(Tracer):
             except KeyError:
                 # Operation outside the real engine: treat the result as
                 # an opaque float source.
+                leaf = (
+                    pool.opaque_ident(
+                        result.value, getattr(instr, "loc", None)
+                    )
+                    if pool is not None
+                    else trace_mod.opaque_leaf(
+                        result.value, getattr(instr, "loc", None)
+                    )
+                )
                 result.shadow = ShadowValue(
                     BigFloat.from_float(result.value),
-                    trace_mod.opaque_leaf(
-                        result.value, getattr(instr, "loc", None)
-                    ),
+                    leaf,
                     frozenset().union(*[s.influences for s in shadows])
                     if shadows else EMPTY_INFLUENCES,
                 )
                 return
+        if profile:
+            self.stage_counters.kernel_evals += 1
         record = self._op_record(instr, op)
-        if self.pool is not None:
-            node = self.pool.op_node(
+        if pool is not None:
+            node = pool.op_ident(
                 op,
                 tuple(s.trace for s in shadows),
                 result.value,
@@ -390,12 +540,17 @@ class HerbgrindAnalysis(Tracer):
                 result.value,
                 instr.loc,
             )
+        if profile:
+            self.stage_counters.trace_interned += 1
         if not self._escalates:
             drift = EXACT
         elif (
             op == "-"
             and len(shadows) == 2
-            and shadows[0].trace is shadows[1].trace
+            and (
+                shadows[0].trace == shadows[1].trace if pool is not None
+                else shadows[0].trace is shadows[1].trace
+            )
         ):
             # x - x over the *same* shadowed value is exactly zero at
             # every tier; without this the working tier must treat the
@@ -416,6 +571,11 @@ class HerbgrindAnalysis(Tracer):
         error_bits = rounded_local_error(
             op, rounded_args, self._rounded(result_shadow)
         )
+        if profile:
+            if error_bits == 0.0:
+                self.stage_counters.error_fast += 1
+            else:
+                self.stage_counters.error_exact += 1
         # record.record_execution(error_bits), inlined for the hot path.
         record.executions += 1
         record.sum_local_error += error_bits
@@ -426,6 +586,8 @@ class HerbgrindAnalysis(Tracer):
         # --- Influence propagation, with compensation detection -------
         passthrough = None
         if config.detect_compensation and op in ("+", "-") and len(shadows) == 2:
+            if profile:
+                self.stage_counters.compensation_checks += 1
             passthrough = self._compensation_passthrough(
                 op, shadows, result_shadow, args, result
             )
@@ -441,8 +603,16 @@ class HerbgrindAnalysis(Tracer):
                 influences = influences | {record}
 
         # --- Symbolic expression + input characteristics ---------------
-        __, bindings = record.generalization.update_with_bindings(node)
-        record.last_trace = node
+        if pool is not None:
+            __, bindings = record.generalization.update_with_bindings_pooled(
+                pool, node
+            )
+            record.pending_trace = node
+        else:
+            __, bindings = record.generalization.update_with_bindings(node)
+            record.last_trace = node
+        if profile:
+            self.stage_counters.characteristic_updates += len(bindings)
         for variable, value in bindings.items():
             record.total_inputs.record(variable, value)
         if is_candidate and passthrough is None:
@@ -454,6 +624,479 @@ class HerbgrindAnalysis(Tracer):
 
         result_shadow.influences = influences
         result.shadow = result_shadow
+
+    # ------------------------------------------------------------------
+    # The site-compiled fused pipeline (the compiled engine's per-op
+    # hot path): one closure per (site, config), built at program
+    # compile time, updating flat per-site state in a single pass.
+    # ------------------------------------------------------------------
+
+    def fused_site_callback(self, instr: isa.Instr, op: str, arity: int,
+                            single: bool = False):
+        """A per-site fused analysis callback, or None for the generic path.
+
+        The compiled engine calls this once per instruction at compile
+        time; the returned closure replaces the ``on_op``/``on_library``
+        dispatch for that site.  The closure mirrors
+        :meth:`_analyse_operation` decision-for-decision — the
+        engine-parity suite enforces byte-identical reports — with the
+        per-op costs paid once per site instead: the ⟦f⟧_R kernel and
+        ⟦f⟧_F handler are pre-resolved, the record and its tables are
+        bound after their lazy creation, policy flags are constants,
+        and traces stay integer idents end to end.
+        """
+        if not self._fused or arity not in (1, 2):
+            return None
+        try:
+            kernel = self.backend.handler(op)
+        except KeyError:
+            return None  # unknown to ⟦f⟧_R: the generic opaque path
+        fn_double = DOUBLE_HANDLERS.get(op)
+        if fn_double is None:
+            return None
+        # Raw positional kernel (no argument tuple, no wrapper frame)
+        # when the substrate serves this op through the stock python
+        # dispatch; otherwise the wrapped handler.
+        kernel2 = self.backend.positional_handler(op, arity)
+        if arity == 2:
+            return self._build_fused_binary(
+                instr, op, kernel, kernel2, fn_double, single
+            )
+        return self._build_fused_unary(
+            instr, op, kernel, kernel2, fn_double, single
+        )
+
+    def _build_fused_binary(self, instr, op, kernel, kernel2,
+                            fn_double, single):
+        config = self.config
+        pool = self.pool
+        site = id(instr)
+        loc = getattr(instr, "loc", None)
+        context = self.context
+        escalates = self._escalates
+        policy = self.policy
+        cache = (
+            self._kernel_cache
+            if self._kernel_cache is not None
+            and op in KERNEL_CACHE_OPERATIONS else None
+        )
+        compensating = config.detect_compensation and op in ("+", "-")
+        is_sub = op == "-"
+        threshold = config.local_error_threshold
+        track = config.track_influences
+        counters = self.stage_counters if self._profile else None
+        # ⟦f⟧_F on rounded shadow args equals the machine's own result
+        # when the rounded args are bit-identical to the machine args —
+        # valid only when the site isn't single-rounded and the machine
+        # executed the very same handler.
+        shortcut = (
+            not single
+            and self.backend.double_handlers.get(op) is fn_double
+        )
+        # Warm-path inlining of the pool's interning probe: the table
+        # object survives begin_execution (clear(), not reassignment).
+        ops_table = pool._ops_table
+        new_op = pool.new_op
+        raw = kernel2 is not None
+        empty = EMPTY_INFLUENCES
+        shadow_of = self._shadow
+        rounded_of = self._rounded
+        new_shadow = ShadowValue
+        err_of = bits_of_error_fast
+        record = None
+        fast_walk = None
+        bail_walk = None
+        total_record = None
+        prob_record = None
+
+        def run(a, b, result):
+            nonlocal record, fast_walk, bail_walk, total_record, prob_record
+            sa = a.shadow
+            if sa is None:
+                sa = shadow_of(a)
+            sb = b.shadow
+            if sb is None:
+                sb = shadow_of(b)
+            ta = sa.trace
+            tb = sb.trace
+            # --- kernel stage -----------------------------------------
+            if cache is not None:
+                key = (op, ta, tb)
+                real = cache.get(key)
+                if real is None:
+                    real = (
+                        kernel2(sa.real, sb.real, context) if raw
+                        else kernel((sa.real, sb.real), context)
+                    )
+                    cache[key] = real
+                    self.kernel_cache_misses += 1
+                else:
+                    self.kernel_cache_hits += 1
+            elif raw:
+                real = kernel2(sa.real, sb.real, context)
+            else:
+                real = kernel((sa.real, sb.real), context)
+            if record is None:
+                record = self._op_record(instr, op)
+                generalization = record.generalization
+                fast_walk = generalization._fast_update_pooled
+                bail_walk = generalization.bail_update_pooled
+                total_record = record.total_inputs.record_many
+                prob_record = record.problematic_inputs.record_many
+            # --- trace stage ------------------------------------------
+            value = result.value
+            node_key = (site, ta, tb)
+            node = ops_table.get(node_key)
+            if node is None:
+                node = new_op(node_key, op, (ta, tb), value, loc)
+            if not escalates:
+                drift = EXACT
+            elif is_sub and ta == tb:
+                # x - x over the same shadowed value is exactly zero at
+                # every tier (see _analyse_operation).
+                drift = EXACT
+            else:
+                drift = policy.propagate(
+                    op, [sa.real, sb.real], [sa.drift, sb.drift], real
+                )
+            shadow = new_shadow(real, node, empty, drift)
+            # --- error stage ------------------------------------------
+            ra = sa.rounded
+            if ra is None:
+                ra = rounded_of(sa)
+            rb = sb.rounded
+            if rb is None:
+                rb = rounded_of(sb)
+            if escalates:
+                exact_rounded = rounded_of(shadow)
+            else:
+                exact_rounded = real.to_float()
+                shadow.rounded = exact_rounded
+            if shortcut and ra == a.value and rb == b.value \
+                    and ra != 0.0 and rb != 0.0:
+                float_result = value
+            else:
+                float_result = fn_double(ra, rb)
+            if float_result == exact_rounded:
+                error_bits = 0.0
+            else:
+                error_bits = err_of(float_result, exact_rounded)
+            record.executions += 1
+            record.sum_local_error += error_bits
+            if error_bits > record.max_local_error:
+                record.max_local_error = error_bits
+            is_candidate = error_bits > threshold
+            # --- influence stage --------------------------------------
+            passthrough = None
+            if compensating:
+                if escalates:
+                    passthrough = self._compensation_passthrough(
+                        op, (sa, sb), shadow, (a, b), result
+                    )
+                elif real.is_finite():
+                    # The fixed-policy compensation test, inlined: the
+                    # error measurements are cached on the shadows and
+                    # condition (b) — the output must have *less* error
+                    # than the passed-through argument — almost always
+                    # fails with both argument errors at zero, in which
+                    # case the output error is never even computed
+                    # (out ≥ 0 = arg both ways; pure reordering).
+                    ea = sa.total_error
+                    if ea is None:
+                        ea = sa.total_error = (
+                            0.0 if a.value == ra else err_of(a.value, ra)
+                        )
+                    eb = sb.total_error
+                    if eb is None:
+                        eb = sb.total_error = (
+                            0.0 if b.value == rb else err_of(b.value, rb)
+                        )
+                    if ea > 0.0 or eb > 0.0:
+                        out_error = shadow.total_error
+                        if out_error is None:
+                            out_error = shadow.total_error = (
+                                0.0 if value == exact_rounded
+                                else err_of(value, exact_rounded)
+                            )
+                        if out_error < ea:
+                            candidate = sa.real
+                            if candidate.is_finite() and candidate == real:
+                                passthrough = 0
+                        if passthrough is None and out_error < eb:
+                            candidate = sb.real
+                            if is_sub:
+                                candidate = candidate.neg()
+                            if candidate.is_finite() and candidate == real:
+                                passthrough = 1
+            if passthrough is not None:
+                record.compensations_detected += 1
+                influences = (sa if passthrough == 0 else sb).influences
+            else:
+                ia = sa.influences
+                ib = sb.influences
+                if ia:
+                    influences = (ia | ib) if ib else ia
+                elif ib:
+                    influences = ib
+                else:
+                    influences = empty
+                if is_candidate and track:
+                    influences = influences | {record}
+            # --- expression + characteristics stage -------------------
+            generalization = record.generalization
+            if generalization.expression is not None:
+                bindings = fast_walk(pool, node)
+            else:
+                bindings = None
+            if bindings is None:
+                __, bindings = bail_walk(pool, node)
+            record.pending_trace = node
+            total_record(bindings)
+            if is_candidate and passthrough is None:
+                prob_record(bindings)
+                if record.example_problematic is None and bindings:
+                    record.example_problematic = dict(bindings)
+                record.candidate_executions += 1
+            if counters is not None:
+                counters.fused_ops += 1
+                counters.kernel_evals += 1
+                counters.trace_interned += 1
+                if error_bits == 0.0:
+                    counters.error_fast += 1
+                else:
+                    counters.error_exact += 1
+                if compensating:
+                    counters.compensation_checks += 1
+                counters.characteristic_updates += len(bindings)
+            shadow.influences = influences
+            result.shadow = shadow
+        return run
+
+    def _build_fused_unary(self, instr, op, kernel, kernel2,
+                           fn_double, single):
+        config = self.config
+        pool = self.pool
+        site = id(instr)
+        loc = getattr(instr, "loc", None)
+        context = self.context
+        escalates = self._escalates
+        policy = self.policy
+        cache = (
+            self._kernel_cache
+            if self._kernel_cache is not None
+            and op in KERNEL_CACHE_OPERATIONS else None
+        )
+        threshold = config.local_error_threshold
+        track = config.track_influences
+        counters = self.stage_counters if self._profile else None
+        shortcut = (
+            not single
+            and self.backend.double_handlers.get(op) is fn_double
+        )
+        ops_table = pool._ops_table
+        new_op = pool.new_op
+        raw = kernel2 is not None
+        empty = EMPTY_INFLUENCES
+        shadow_of = self._shadow
+        rounded_of = self._rounded
+        new_shadow = ShadowValue
+        err_of = bits_of_error_fast
+        record = None
+        fast_walk = None
+        bail_walk = None
+        total_record = None
+        prob_record = None
+
+        def run(a, result):
+            nonlocal record, fast_walk, bail_walk, total_record, prob_record
+            sa = a.shadow
+            if sa is None:
+                sa = shadow_of(a)
+            ta = sa.trace
+            # --- kernel stage -----------------------------------------
+            if cache is not None:
+                key = (op, ta)
+                real = cache.get(key)
+                if real is None:
+                    real = (
+                        kernel2(sa.real, context) if raw
+                        else kernel((sa.real,), context)
+                    )
+                    cache[key] = real
+                    self.kernel_cache_misses += 1
+                else:
+                    self.kernel_cache_hits += 1
+            elif raw:
+                real = kernel2(sa.real, context)
+            else:
+                real = kernel((sa.real,), context)
+            if record is None:
+                record = self._op_record(instr, op)
+                generalization = record.generalization
+                fast_walk = generalization._fast_update_pooled
+                bail_walk = generalization.bail_update_pooled
+                total_record = record.total_inputs.record_many
+                prob_record = record.problematic_inputs.record_many
+            # --- trace stage ------------------------------------------
+            value = result.value
+            node_key = (site, ta)
+            node = ops_table.get(node_key)
+            if node is None:
+                node = new_op(node_key, op, (ta,), value, loc)
+            if not escalates:
+                drift = EXACT
+            else:
+                drift = policy.propagate(
+                    op, [sa.real], [sa.drift], real
+                )
+            shadow = new_shadow(real, node, empty, drift)
+            # --- error stage ------------------------------------------
+            ra = sa.rounded
+            if ra is None:
+                ra = rounded_of(sa)
+            if escalates:
+                exact_rounded = rounded_of(shadow)
+            else:
+                exact_rounded = real.to_float()
+                shadow.rounded = exact_rounded
+            if shortcut and ra == a.value and ra != 0.0:
+                float_result = value
+            else:
+                float_result = fn_double(ra)
+            if float_result == exact_rounded:
+                error_bits = 0.0
+            else:
+                error_bits = err_of(float_result, exact_rounded)
+            record.executions += 1
+            record.sum_local_error += error_bits
+            if error_bits > record.max_local_error:
+                record.max_local_error = error_bits
+            is_candidate = error_bits > threshold
+            # --- influence stage --------------------------------------
+            influences = sa.influences
+            if is_candidate and track:
+                influences = influences | {record}
+            # --- expression + characteristics stage -------------------
+            generalization = record.generalization
+            if generalization.expression is not None:
+                bindings = fast_walk(pool, node)
+            else:
+                bindings = None
+            if bindings is None:
+                __, bindings = bail_walk(pool, node)
+            record.pending_trace = node
+            total_record(bindings)
+            if is_candidate:
+                prob_record(bindings)
+                if record.example_problematic is None and bindings:
+                    record.example_problematic = dict(bindings)
+                record.candidate_executions += 1
+            if counters is not None:
+                counters.fused_ops += 1
+                counters.kernel_evals += 1
+                counters.trace_interned += 1
+                if error_bits == 0.0:
+                    counters.error_fast += 1
+                else:
+                    counters.error_exact += 1
+                counters.characteristic_updates += len(bindings)
+            shadow.influences = influences
+            result.shadow = shadow
+        return run
+
+    def fused_const_callback(self, instr: isa.Instr):
+        """A per-site constant-shadow callback (see ``on_const``).
+
+        The closure keeps the interned ident and value-determined
+        shadow state in its own cells — refreshed per pool epoch — so
+        the warm per-iteration path is two compares and an attribute
+        store.
+        """
+        if not self._fused:
+            return None
+        pool = self.pool
+        site = id(instr)
+        loc = getattr(instr, "loc", None)
+        const_ident = pool.const_ident
+        empty = EMPTY_INFLUENCES
+        cached_epoch = -1
+        cached_bits = None
+        cached_value = None
+        cached_shadow = None
+
+        def run(box):
+            nonlocal cached_epoch, cached_bits, cached_value, cached_shadow
+            value = box.value
+            if cached_epoch == pool.epoch and value == cached_value \
+                    and value != 0.0:
+                # Value equality is bit equality away from ±0.0 and NaN
+                # (NaN fails the compare and rebuilds below).
+                box.shadow = cached_shadow
+                return
+            bits = _double_bits(value)
+            if cached_epoch == pool.epoch and bits == cached_bits:
+                box.shadow = cached_shadow
+                return
+            leaf = const_ident(value, loc, site)
+            if bits == cached_bits:
+                old = cached_shadow
+                shadow = ShadowValue(old.real, leaf, empty)
+                shadow.rounded = old.rounded
+                shadow.total_error = old.total_error
+            else:
+                shadow = ShadowValue(
+                    BigFloat.from_float(value), leaf, empty
+                )
+            cached_epoch = pool.epoch
+            cached_bits = bits
+            cached_value = value
+            cached_shadow = shadow
+            box.shadow = shadow
+        return run
+
+    def fused_branch_callback(self, instr: isa.Branch):
+        """A per-site branch-spot callback (see ``on_branch``)."""
+        if not self._fused:
+            return None
+        try:
+            nan_result = instr.pred == "ne"
+            comparer = _BIG_PREDICATES[instr.pred]
+        except KeyError:
+            return None  # unknown predicate: generic path reports it
+        escalates = self._escalates
+        track = self.config.track_influences
+        shadow_of = self._shadow
+        record = None
+
+        def run(lhs, rhs, taken):
+            nonlocal record
+            left = lhs.shadow
+            if left is None:
+                left = shadow_of(lhs)
+            right = rhs.shadow
+            if right is None:
+                right = shadow_of(rhs)
+            if record is None:
+                record = self._spot_record(instr, SPOT_BRANCH)
+            if escalates:
+                left_real, right_real = self._comparable(left, right)
+            else:
+                left_real = left.real
+                right_real = right.real
+            if left_real.is_nan() or right_real.is_nan():
+                real_taken = nan_result
+            else:
+                real_taken = comparer(left_real, right_real)
+            # record.record(...), inlined (per-iteration hot path).
+            record.executions += 1
+            if real_taken != taken:
+                record.sum_error += 1.0
+                if record.max_error < 1.0:
+                    record.max_error = 1.0
+                record.erroneous += 1
+                if track:
+                    record.influences |= left.influences | right.influences
+        return run
 
     def _compensation_passthrough(
         self,
@@ -621,6 +1264,18 @@ class HerbgrindAnalysis(Tracer):
             r for r in self.spot_records.values() if r.kind == SPOT_OUTPUT
         ]
         return max((r.max_error for r in outputs), default=0.0)
+
+
+#: Branch predicates over (non-NaN) shadow reals; BigFloat comparisons
+#: implement the same ordering the reference helper spells out.
+_BIG_PREDICATES = {
+    "lt": operator.lt,
+    "le": operator.le,
+    "gt": operator.gt,
+    "ge": operator.ge,
+    "eq": operator.eq,
+    "ne": operator.ne,
+}
 
 
 def _real_predicate(pred: str, lhs: BigFloat, rhs: BigFloat) -> bool:

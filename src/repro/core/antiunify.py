@@ -61,6 +61,9 @@ from repro.core.trace import (
     KIND_CONST,
     KIND_INPUT,
     KIND_OP,
+    P_CONST,
+    P_INPUT,
+    P_OP,
     TraceNode,
     structural_key,
 )
@@ -97,6 +100,12 @@ class Generalization:
     #: Enable the steady-state fast path and the memoized deep-mark
     #: computation (the compiled engine; results are identical).
     fast: bool = False
+    #: Optional per-stage counter sink (a
+    #: :class:`repro.core.analysis.PipelineStageCounters`); when set,
+    #: every update records its verdict (``antiunify_fast`` /
+    #: ``antiunify_merge``) here — counted at this layer so fused and
+    #: generic callers report uniformly.
+    stats: object = None
     _fresh: itertools.count = field(default_factory=itertools.count)
     #: Cache of which variable names occur more than once in
     #: ``expression`` (fast-path consistency checking), keyed by the
@@ -110,11 +119,32 @@ class Generalization:
     #: None = expression too large or unusual, use the generic walk.
     _flat: object = field(default=False, init=False, repr=False)
     _flat_expr: object = field(default=None, init=False, repr=False)
+    #: Site-compiled verifier: the flat program unrolled into one
+    #: straight-line generated function (False = not built yet, None =
+    #: not compilable, use the interpreted walk).
+    _verifier: object = field(default=False, init=False, repr=False)
+    _verifier_expr: object = field(default=None, init=False, repr=False)
+    #: Steady-state detection: consecutive interpreted fast-path
+    #: successes for the current expression object.  The generated
+    #: verifier is only built past :data:`VERIFIER_THRESHOLD` — code
+    #: generation costs tens of microseconds, which loop sites amortize
+    #: over thousands of iterations and straight-line sites never
+    #: would.
+    _steady_expr: object = field(default=None, init=False, repr=False)
+    _steady_hits: int = field(default=0, init=False, repr=False)
 
     #: Positions cap for the flattened (tree-unfolded) expression; a
     #: heavily shared expression DAG falls back to the generic
     #: pair-memoized walk instead of unrolling.
     FLAT_LIMIT = 4096
+
+    #: Entry cap for the generated straight-line verifier; larger
+    #: expressions keep the interpreted flat-program walk.
+    VERIFIER_LIMIT = 160
+
+    #: Interpreted successes (for one expression object) before the
+    #: verifier is generated.
+    VERIFIER_THRESHOLD = 32
 
     # ------------------------------------------------------------------
 
@@ -148,6 +178,8 @@ class Generalization:
         if self.fast and self.expression is not None:
             bindings = self._fast_update(trace)
             if bindings is not None:
+                if self.stats is not None:
+                    self.stats.antiunify_fast += 1
                 return self.expression, bindings
             state = _UpdateState()
             if trace.depth > self.max_depth:
@@ -155,6 +187,8 @@ class Generalization:
             self.expression = self._merge(self.expression, trace, state)
         else:
             self.update(trace)
+        if self.stats is not None:
+            self.stats.antiunify_merge += 1
         bindings = {}
         collect_variable_values(self.expression, trace, bindings)
         return self.expression, bindings
@@ -416,6 +450,176 @@ class Generalization:
             return None  # an expanded position is truncated: full merge
         return bindings
 
+    # ------------------------------------------------------------------
+    # The ident-based fast path (pooled traces, no materialized nodes)
+    # ------------------------------------------------------------------
+
+    def update_with_bindings_pooled(
+        self, pool, ident: int
+    ) -> Tuple[Expr, Dict[str, float]]:
+        """The ident-first mirror of :meth:`update_with_bindings`.
+
+        ``ident`` names a trace in ``pool``'s flat arrays.  In the
+        steady state the fused walk verifies and collects directly off
+        the arrays — no :class:`TraceNode` is materialized.  Any
+        discrepancy materializes the node once and falls back to the
+        unmodified full merge, so results are identical to the
+        node-based path by construction.
+        """
+        if self.fast and self.expression is not None:
+            bindings = self._fast_update_pooled(pool, ident)
+            if bindings is not None:
+                return self.expression, bindings
+        return self.bail_update_pooled(pool, ident)
+
+    def bail_update_pooled(
+        self, pool, ident: int
+    ) -> Tuple[Expr, Dict[str, float]]:
+        """The non-steady half of the pooled update: materialize the
+        node once and run the unmodified first-trace / full-merge walk
+        plus value collection.  Callers that already ran (and failed)
+        :meth:`_fast_update_pooled` jump straight here."""
+        node = pool.node(ident)
+        if self.fast and self.expression is not None:
+            state = _UpdateState()
+            if node.depth > self.max_depth:
+                state.truncated = self._truncation_frontier(node)
+            self.expression = self._merge(self.expression, node, state)
+        else:
+            self.update(node)
+        if self.stats is not None:
+            self.stats.antiunify_merge += 1
+        bindings = {}
+        collect_variable_values(self.expression, node, bindings)
+        return self.expression, bindings
+
+    def _compiled_verifier(self):
+        """The flat program unrolled into one generated function.
+
+        This is the *site-compiled* steady-state path: the expression's
+        shape is static between merges, so the verify-and-collect walk
+        can be straight-line code — no dispatch loop, no entry tuples,
+        no traversal stack.  The generated function takes the pool's
+        flat arrays and returns the bindings dict or None, with exactly
+        the interpreted walk's decisions (the parity suites enforce
+        it).  Rebuilt whenever the expression object changes; None when
+        the expression is too large or contains non-finite literals.
+        """
+        if self._verifier_expr is self.expression \
+                and self._verifier is not False:
+            return self._verifier
+        program = self._flat_program()
+        verifier = None
+        if program is not None and len(program) <= self.VERIFIER_LIMIT:
+            verifier = _generate_verifier(program)
+        self._verifier = verifier
+        self._verifier_expr = self.expression
+        return verifier
+
+    def _fast_update_pooled(
+        self, pool, ident: int
+    ) -> Optional[Dict[str, float]]:
+        """Verify-and-collect over the pool's flat arrays.
+
+        Decision-for-decision identical to :meth:`_fast_update`; the
+        truncation frontier comes from the pool's distance index (or
+        :meth:`~repro.core.trace.TracePool.deep_marks` when the index
+        is capped below the depth bound).  Expressions too large for
+        the flat program materialize the node and reuse the node-based
+        generic walk.
+        """
+        max_depth = self.max_depth
+        truncated: Optional[FrozenSet[int]] = None
+        collect_ops = False
+        if pool.depths[ident] > max_depth:
+            levels = pool.levels[ident]
+            if levels is not None and len(levels) > max_depth:
+                truncated = levels[max_depth]
+            else:
+                collect_ops = True
+        # Inline the warm case of _flat_program (one call per op).
+        if self._flat_expr is self.expression and self._flat is not False:
+            program = self._flat
+        else:
+            program = self._flat_program()
+        if program is None:
+            node = pool.node(ident)
+            return self._fast_update_generic(node, truncated, collect_ops)
+        if not collect_ops:
+            expression = self.expression
+            verifier = None
+            if self._verifier_expr is expression:
+                verifier = self._verifier
+            elif self._steady_expr is not expression:
+                self._steady_expr = expression
+                self._steady_hits = 0
+            elif self._steady_hits >= self.VERIFIER_THRESHOLD:
+                verifier = self._compiled_verifier()
+            if verifier is not None:
+                bindings = verifier(
+                    pool.kinds, pool.ops, pool.args, pool.values,
+                    pool.structural_key_of, self.equivalence_depth,
+                    ident, truncated,
+                )
+                if bindings is not None and self.stats is not None:
+                    self.stats.antiunify_fast += 1
+                return bindings
+        eq_depth = self.equivalence_depth
+        kinds = pool.kinds
+        opsA = pool.ops
+        argsA = pool.args
+        valsA = pool.values
+        skey = pool.structural_key_of
+        op_idents: Set[int] = set()
+        bindings: Dict[str, float] = {}
+        var_keys: Dict[str, tuple] = {}
+        stack = [ident]
+        pop = stack.pop
+        for entry in program:
+            cur = pop()
+            tag = entry[0]
+            if tag == 0:
+                if kinds[cur] != P_OP or opsA[cur] != entry[1]:
+                    return None
+                if truncated is not None and cur in truncated:
+                    return None  # this expanded position is truncated
+                cargs = argsA[cur]
+                count = entry[2]
+                if len(cargs) != count:
+                    return None
+                if collect_ops:
+                    op_idents.add(cur)
+                if count == 2:
+                    stack.append(cargs[1])
+                    stack.append(cargs[0])
+                elif count == 1:
+                    stack.append(cargs[0])
+                else:
+                    stack.extend(cargs[::-1])
+            elif tag == 1:
+                name = entry[1]
+                if kinds[cur] == P_INPUT and opsA[cur] == name:
+                    bindings[name] = valsA[cur]
+                    continue
+                if entry[2]:  # multi-occurrence: keys must agree
+                    trace_key = skey(cur, eq_depth)
+                    bound = var_keys.get(name)
+                    if bound is None:
+                        var_keys[name] = trace_key
+                    elif bound != trace_key:
+                        return None  # the variable would split
+                bindings[name] = valsA[cur]
+            else:
+                if kinds[cur] != P_CONST or valsA[cur] != entry[1]:
+                    return None
+        if collect_ops and \
+                not pool.deep_marks(ident, max_depth).isdisjoint(op_idents):
+            return None  # an expanded position is truncated: full merge
+        self._steady_hits += 1
+        if self.stats is not None:
+            self.stats.antiunify_fast += 1
+        return bindings
+
     def _fast_update_generic(
         self,
         trace: TraceNode,
@@ -570,6 +774,72 @@ class Generalization:
             memo[key] = result
             stack.pop()
         return memo[root_key]
+
+
+def _generate_verifier(program):
+    """Generate the straight-line verify-and-collect function of one
+    flat program (see :meth:`Generalization._compiled_verifier`).
+
+    The traversal stack is simulated at *generation* time, so the
+    emitted code is pure straight-line: one kind/op check and an
+    argument unpack per operator position, one dict store per variable
+    position, one constant compare per literal.  Multi-occurrence
+    variables keep the structural-key consistency check; non-finite
+    literals are not generatable (their interpreted compare is
+    always-False, which straight-line code happily mirrors, but the
+    interpreted walk is rare enough there).
+    """
+    lines = [
+        "def _verify(kinds, ops, argsA, vals, skey, eqd, root, truncated):",
+        "    b = {}",
+    ]
+    emit = lines.append
+    has_multi = any(e[0] == 1 and e[2] for e in program)
+    if has_multi:
+        emit("    vk = {}")
+    counter = 0
+    stack = ["root"]
+    for entry in program:
+        var = stack.pop()
+        tag = entry[0]
+        if tag == 0:
+            emit(f"    if kinds[{var}] != 0 or ops[{var}] != {entry[1]!r}:")
+            emit("        return None")
+            emit(f"    if truncated is not None and {var} in truncated:")
+            emit("        return None")
+            count = entry[2]
+            args_var = f"a{counter}"
+            emit(f"    {args_var} = argsA[{var}]")
+            emit(f"    if len({args_var}) != {count}:")
+            emit("        return None")
+            children = [f"n{counter}_{i}" for i in range(count)]
+            counter += 1
+            if count == 1:
+                emit(f"    {children[0]}, = {args_var}")
+            elif count > 1:
+                emit(f"    {', '.join(children)} = {args_var}")
+            stack.extend(reversed(children))
+        elif tag == 1:
+            name = entry[1]
+            if entry[2]:  # multi-occurrence: keys must agree
+                emit(f"    if kinds[{var}] != 1 or ops[{var}] != {name!r}:")
+                emit(f"        k = skey({var}, eqd)")
+                emit(f"        prev = vk.get({name!r})")
+                emit("        if prev is None:")
+                emit(f"            vk[{name!r}] = k")
+                emit("        elif prev != k:")
+                emit("            return None")
+            emit(f"    b[{name!r}] = vals[{var}]")
+        else:
+            value = entry[1]
+            if value != value or value in (math.inf, -math.inf):
+                return None  # non-finite literal: keep the interpreter
+            emit(f"    if kinds[{var}] != 2 or vals[{var}] != {value!r}:")
+            emit("        return None")
+    emit("    return b")
+    namespace: Dict[str, object] = {}
+    exec("\n".join(lines), namespace)  # noqa: S102 — generated from our own AST
+    return namespace["_verify"]
 
 
 def collect_variable_values(

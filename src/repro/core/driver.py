@@ -13,6 +13,7 @@ callers and tests continue to work; new code should use the session::
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional, Sequence
 
 # Re-exported so ``from repro.core.driver import sample_inputs`` (and
@@ -41,6 +42,13 @@ def analyze_fpcore(
     compatibility; prefer ``session.analyze(...)`` which returns the
     serializable :class:`repro.api.AnalysisResult`.
     """
+    warnings.warn(
+        "repro.core.analyze_fpcore is deprecated; use "
+        "repro.api.AnalysisSession().analyze(core) (the shim's result "
+        "is session.analyze(...).raw)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     from repro.api import AnalysisSession
 
     session = AnalysisSession(

@@ -126,12 +126,17 @@ class SignSplitRangeSummary(InputSummary):
         self.nonnegative = RangeSummary()
 
     def add(self, value: float) -> None:
+        # One frame, not two: this runs once per variable binding of
+        # every executed operation under the default configuration.
         if math.isnan(value):
             self.nonnegative.nan_count += 1
-        elif value < 0:
-            self.negative.add(value)
-        else:
-            self.nonnegative.add(value)
+            return
+        target = self.negative if value < 0 else self.nonnegative
+        target.count += 1
+        if value < target.low:
+            target.low = value
+        if value > target.high:
+            target.high = value
 
     def describe(self) -> str:
         parts = []
@@ -174,14 +179,28 @@ class CharacteristicsTable:
 
     def __init__(self, config: AnalysisConfig) -> None:
         self._config = config
+        #: The summary constructor, resolved once — the recording hot
+        #: path must not re-consult the config per fresh variable.
+        self._factory = _FACTORIES[config.input_characteristics]
         self.by_variable: Dict[str, InputSummary] = {}
 
     def record(self, variable: str, value: float) -> None:
         summary = self.by_variable.get(variable)
         if summary is None:
-            summary = make_summary(self._config)
-            self.by_variable[variable] = summary
+            summary = self.by_variable[variable] = self._factory()
         summary.add(value)
+
+    def record_many(self, bindings: Dict[str, float]) -> None:
+        """Record one value per variable (the fused pipeline's bulk
+        entry point; identical to calling :meth:`record` per item in
+        iteration order)."""
+        table = self.by_variable
+        factory = self._factory
+        for variable, value in bindings.items():
+            summary = table.get(variable)
+            if summary is None:
+                summary = table[variable] = factory()
+            summary.add(value)
 
     def clauses(self) -> List[str]:
         result = []

@@ -22,9 +22,14 @@ SPOT_BRANCH = "branch"
 SPOT_CONVERSION = "conversion"
 
 
-@dataclass
+@dataclass(slots=True)
 class OpRecord:
-    """State for one floating-point operation site."""
+    """State for one floating-point operation site.
+
+    This is the fused pipeline's flat per-site state record: slotted,
+    with the aggregate fields updated by direct attribute writes from
+    the site-compiled callbacks (several per executed operation).
+    """
 
     site_id: int
     op: str
@@ -40,7 +45,13 @@ class OpRecord:
     problematic_inputs: CharacteristicsTable = None
     example_problematic: Optional[Dict[str, float]] = None
     #: The most recent concrete trace (for per-node source locations).
+    #: Under the ident-first pool this is materialized at the end of
+    #: each run (capped at the expression depth bound) from
+    #: :attr:`pending_trace`; the reference path assigns it per op.
     last_trace: object = None
+    #: The pool ident of the most recent trace, awaiting end-of-run
+    #: materialization (compiled engine only; None otherwise).
+    pending_trace: Optional[int] = None
     #: Route generalization through the steady-state fast path (the
     #: compiled engine; results are identical to the reference walk).
     fast_antiunify: bool = False

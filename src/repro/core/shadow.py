@@ -31,7 +31,7 @@ from typing import Dict, FrozenSet, Optional, Tuple
 from repro.bigfloat import BigFloat, apply
 from repro.bigfloat.policy import EXACT, UNTRUSTED, PrecisionPolicy
 from repro.core.records import OpRecord
-from repro.core.trace import KIND_OP, TraceNode
+from repro.core.trace import KIND_OP, P_OP, TraceNode
 
 EMPTY_INFLUENCES: FrozenSet[OpRecord] = frozenset()
 
@@ -45,7 +45,7 @@ class ShadowValue:
     def __init__(
         self,
         real: BigFloat,
-        trace: TraceNode,
+        trace,  # TraceNode, or an int pool ident under the compiled engine
         influences: FrozenSet[OpRecord] = EMPTY_INFLUENCES,
         drift: float = EXACT,
     ) -> None:
@@ -90,13 +90,20 @@ class ShadowEscalator:
     re-execution.
     """
 
-    def __init__(self, policy: PrecisionPolicy, backend=None) -> None:
+    def __init__(self, policy: PrecisionPolicy, backend=None,
+                 pool=None) -> None:
         self.policy = policy
         #: Kernel substrate for trace re-execution; defaults to the
         #: python reference.  The analysis passes its own backend so
         #: escalated values are computed by the same substrate as the
         #: working-tier values they replace.
         self._apply = backend.apply if backend is not None else apply
+        #: Ident-first trace pool: when set, shadows carry integer
+        #: idents instead of structured nodes and re-execution walks
+        #: the pool's flat arrays directly — no node is materialized to
+        #: escalate.  Memo keys are idents in both representations
+        #: (materialized nodes carry their pool ident).
+        self._pool = pool
         self._memo: Dict[int, BigFloat] = {}
         self._leaves: Dict[int, BigFloat] = {}
         #: Operation nodes recomputed at the full tier (for reporting).
@@ -118,15 +125,17 @@ class ShadowEscalator:
                     rounding=policy.full_context.rounding,
                 )
 
-    def register_leaf(self, node: TraceNode, real: BigFloat) -> None:
-        """Pin the exact full-tier value of a trace leaf."""
-        self._leaves[node.ident] = real
+    def register_leaf(self, node, real: BigFloat) -> None:
+        """Pin the exact full-tier value of a trace leaf (a
+        :class:`TraceNode` or a pool ident)."""
+        self._leaves[node if type(node) is int else node.ident] = real
 
     def reset(self) -> None:
-        """Drop the per-run memos (trace-node idents are never reused,
-        so entries from a finished input run can never be hit again —
-        clearing between runs bounds memory on escalation-heavy
-        workloads).  Counters survive, they aggregate across runs."""
+        """Drop the per-run memos.  Load-bearing under an ident pool:
+        the pool recycles idents every execution, so a stale memo or
+        leaf override could be hit by a recycled ident shadowing a
+        different value.  (It also bounds memory on escalation-heavy
+        workloads.)  Counters survive, they aggregate across runs."""
         self._memo.clear()
         self._confirm_memo.clear()
         self._leaves.clear()
@@ -135,6 +144,8 @@ class ShadowEscalator:
         """The full-tier value of ``shadow`` (its real, if already exact)."""
         if not self.policy.escalates or shadow.drift == EXACT:
             return shadow.real
+        if self._pool is not None:
+            return self.exact_ident(shadow.trace)
         return self.exact_node(shadow.trace)
 
     def certified_rounded(self, shadow: ShadowValue,
@@ -152,7 +163,10 @@ class ShadowEscalator:
             # (sin^2+cos^2-1 style), so attempting the confirm tier
             # would just triple-pay.  Go straight to the full tier.
             return None
-        value, drift = self._confirm_node(shadow.trace)
+        if self._pool is not None:
+            value, drift = self._confirm_ident(shadow.trace)
+        else:
+            value, drift = self._confirm_node(shadow.trace)
         if confirm.rounding_unsafe(value, drift, mant_bits, emin):
             return None
         self.confirm_certified += 1
@@ -206,6 +220,102 @@ class ShadowEscalator:
             memo[current.ident] = (value, drift)
             stack.pop()
         return memo[node.ident]
+
+    def _confirm_ident(self, ident: int) -> "Tuple[BigFloat, float]":
+        """(value, drift) of a pool ident re-executed at the confirm
+        tier — the flat-array mirror of :meth:`_confirm_node`."""
+        memo = self._confirm_memo
+        cached = memo.get(ident)
+        if cached is not None:
+            return cached
+        pool = self._pool
+        kinds = pool.kinds
+        opsA = pool.ops
+        argsA = pool.args
+        valsA = pool.values
+        leaves = self._leaves
+        confirm = self._confirm_policy
+        context = confirm.context
+        precision = context.precision
+        stack = [ident]
+        while stack:
+            cur = stack[-1]
+            if cur in memo:
+                stack.pop()
+                continue
+            if kinds[cur] != P_OP:
+                override = leaves.get(cur)
+                if override is None:
+                    memo[cur] = (BigFloat.from_float(valsA[cur]), EXACT)
+                else:
+                    rounded = override.round_to(precision)
+                    memo[cur] = (
+                        rounded, EXACT if rounded == override else 1.0
+                    )
+                stack.pop()
+                continue
+            pending = [a for a in argsA[cur] if a not in memo]
+            if pending:
+                stack.extend(pending)
+                continue
+            pairs = [memo[a] for a in argsA[cur]]
+            arguments = [p[0] for p in pairs]
+            try:
+                value = self._apply(opsA[cur], arguments, context)
+                drift = confirm.propagate(
+                    opsA[cur], arguments, [p[1] for p in pairs], value
+                )
+            except KeyError:
+                value = BigFloat.from_float(valsA[cur])
+                drift = EXACT
+            memo[cur] = (value, drift)
+            stack.pop()
+        return memo[ident]
+
+    def exact_ident(self, ident: int) -> BigFloat:
+        """Evaluate a pool ident at the full tier (memoized, iterative)
+        straight off the pool's flat arrays — escalation re-executes
+        from idents without materializing a single node."""
+        memo = self._memo
+        cached = memo.get(ident)
+        if cached is not None:
+            return cached
+        pool = self._pool
+        kinds = pool.kinds
+        opsA = pool.ops
+        argsA = pool.args
+        valsA = pool.values
+        leaves = self._leaves
+        with self.policy.escalated() as context:
+            stack = [ident]
+            while stack:
+                cur = stack[-1]
+                if cur in memo:
+                    stack.pop()
+                    continue
+                if kinds[cur] != P_OP:
+                    override = leaves.get(cur)
+                    memo[cur] = (
+                        override if override is not None
+                        else BigFloat.from_float(valsA[cur])
+                    )
+                    stack.pop()
+                    continue
+                pending = [a for a in argsA[cur] if a not in memo]
+                if pending:
+                    stack.extend(pending)
+                    continue
+                arguments = [memo[a] for a in argsA[cur]]
+                try:
+                    value = self._apply(opsA[cur], arguments, context)
+                except KeyError:
+                    # Outside the real engine: the fixed tier would have
+                    # shadowed this as an opaque float source too.
+                    value = BigFloat.from_float(valsA[cur])
+                memo[cur] = value
+                self.recomputed_nodes += 1
+                stack.pop()
+        return memo[ident]
 
     def exact_node(self, node: TraceNode) -> BigFloat:
         """Evaluate a trace node at the full tier (memoized, iterative)."""

@@ -186,138 +186,241 @@ def node_count(node: TraceNode) -> int:
     return len(seen)
 
 
+#: Integer kind tags of the pool's flat arrays (dense idents index
+#: parallel arrays; string kinds stay on materialized nodes).
+P_OP = 0
+P_INPUT = 1
+P_CONST = 2
+P_OPAQUE = 3
+
+_P_KIND_NAMES = {
+    P_OP: KIND_OP,
+    P_INPUT: KIND_INPUT,
+    P_CONST: KIND_CONST,
+    P_OPAQUE: KIND_OPAQUE,
+}
+
+#: Packing stride for the pool's (ident, depth) structural-key cache.
+#: Depths are bounded by the configured equivalence/expression depths;
+#: anything larger falls back to tuple keys.
+_KEY_STRIDE = 4096
+
+
 class TracePool:
-    """Hash-consing of trace nodes (the compiled engine's trace layer).
+    """Ident-first hash-consing of traces (the compiled engine's layer).
 
-    Structurally identical sub-DAGs share one :class:`TraceNode`, so a
-    loop that recomputes the same sub-expression allocates nothing after
-    the first iteration and every per-node cache (structural keys, deep
-    marks, escalator memos) is computed once per *unique* node:
+    The pool *is* the trace store: every trace is an integer ident
+    indexing parallel flat arrays (kind, op name, argument idents,
+    value, source location, depth, distance index).  The hot path —
+    tracer callbacks, the kernel-result cache, the steady-state
+    anti-unification walk — operates on idents and these arrays only;
+    no :class:`TraceNode` objects are allocated per operation.
+    Structured nodes are materialized *lazily* (:meth:`node`,
+    :meth:`node_capped`) at the places that genuinely need a tree:
+    anti-unification bail-outs (the full merge), escalation
+    re-execution fallbacks, and report time.
 
-    * constant leaves are interned across executions (keyed by site and
-      bit pattern, so ``-0.0``/``0.0`` and NaN payloads never conflate,
-      and the table stays bounded by the program's constant sites),
-    * operation nodes and input/int-conversion leaves are interned per
-      execution — :meth:`begin_execution` drops those tables so idents
-      never leak across runs and memory cannot grow with the number of
-      sampled points,
-    * opaque leaves are **never** interned: their structural identity is
-      object identity (see :func:`structural_key`).
+    Hash-consing semantics are unchanged from the node-based pool:
 
-    Interning keys include the creating instruction (``site``), so
-    nodes from different program sites never merge; two nodes merge
-    only when the *same site* recomputed over the same argument nodes —
-    operations are deterministic, so the value is implied and the trace
-    is *exactly* the paper's concrete expression, just maximally shared
-    across loop iterations.
+    * interning keys include the creating instruction (``site``), so
+      idents from different program sites never merge; two executions
+      share an ident only when the *same site* recomputed over the same
+      argument idents — operations are deterministic, so the value is
+      implied and the trace is exactly the paper's concrete expression,
+      maximally shared across loop iterations,
+    * opaque leaves are **never** interned: their structural identity
+      is their ident (see :func:`structural_key`),
+    * :meth:`begin_execution` resets the whole store (arrays and
+      interning tables), so idents never leak across runs and memory is
+      bounded by one execution's unique nodes, not the sampled point
+      count.  Constant leaves are re-interned on first use each run —
+      one dict insert per constant site — and the analysis keeps their
+      shadow *values* cached across runs keyed by the :attr:`epoch`
+      counter.
 
-    The pool also maintains each op node's :attr:`TraceNode.levels`
-    index (op descendants by exact distance, up to ``levels_depth``),
-    which hands the anti-unification walks their truncation frontier
-    without re-walking the DAG.  Depth bounds beyond ``levels_depth``
-    fall back to the explicit frontier walk.
+    The pool also maintains each op ident's ``levels`` distance index
+    (op descendants by exact distance, up to ``levels_depth``), which
+    hands the anti-unification walks their truncation frontier in O(1).
+    Depth bounds beyond ``levels_depth`` fall back to
+    :meth:`deep_marks`.
     """
 
-    __slots__ = ("_consts", "_inputs", "_ints", "_ops",
+    __slots__ = ("kinds", "ops", "args", "values", "locs", "depths",
+                 "levels", "nodes", "epoch",
+                 "_keys", "_consts", "_inputs", "_ints", "_ops_table",
                  "_levels_depth", "_empty_tail")
 
-    #: Cap on the per-node distance index; configurations with a larger
-    #: ``max_expression_depth`` degrade to the walk, keeping per-node
+    #: Cap on the per-ident distance index; configurations with a larger
+    #: ``max_expression_depth`` degrade to the walk, keeping per-ident
     #: memory bounded.
     MAX_LEVELS_DEPTH = 128
 
     def __init__(self, levels_depth: int = 20) -> None:
+        #: Parallel arrays indexed by ident.
+        self.kinds: list = []
+        self.ops: list = []          # op name / input name / None
+        self.args: list = []         # tuple of argument idents
+        self.values: list = []
+        self.locs: list = []
+        self.depths: list = []
+        self.levels: list = []       # distance index (op idents only)
+        self.nodes: list = []        # lazily materialized TraceNodes
+        #: Bumped by :meth:`begin_execution`; callers caching shadows
+        #: of interned leaves key their caches by this.
+        self.epoch = 0
+        #: (ident * stride + depth) -> structural key, for op idents.
+        self._keys: dict = {}
         self._consts: dict = {}
         self._inputs: dict = {}
         self._ints: dict = {}
-        self._ops: dict = {}
+        self._ops_table: dict = {}
         depth = min(levels_depth, self.MAX_LEVELS_DEPTH)
         self._levels_depth = depth
         self._empty_tail = (frozenset(),) * depth
 
-    def begin_execution(self) -> None:
-        """Start a fresh execution.
+    def __len__(self) -> int:
+        """Number of live entries (this execution's unique nodes)."""
+        return len(self.kinds)
 
-        The operation table always resets (op idents must not leak
-        between runs).  Input and int-conversion leaf tables reset too:
-        their values change run to run, so keeping them would grow
-        memory monotonically over large point sets for near-zero reuse.
-        Constant leaves persist — they are bounded by the program's
-        constant sites and are the leaves loop bodies replay millions
-        of times.
+    def begin_execution(self) -> None:
+        """Start a fresh execution: reset every array and table.
+
+        Idents must not leak between runs, and the arrays would
+        otherwise grow with the number of sampled points.  ``clear()``
+        (not reassignment) keeps the array/table objects identical, so
+        closures that pre-bound them stay valid.
         """
-        self._ops.clear()
+        self.kinds.clear()
+        self.ops.clear()
+        self.args.clear()
+        self.values.clear()
+        self.locs.clear()
+        self.depths.clear()
+        self.levels.clear()
+        self.nodes.clear()
+        self._keys.clear()
+        self._consts.clear()
         self._inputs.clear()
         self._ints.clear()
+        self._ops_table.clear()
+        self.epoch += 1
 
-    def const_leaf(
+    # ------------------------------------------------------------------
+    # Ident allocation
+    # ------------------------------------------------------------------
+
+    def _append(
+        self, kind: int, op: Optional[str], arg_idents: tuple,
+        value: float, loc: Optional[str],
+    ) -> int:
+        ident = len(self.kinds)
+        self.kinds.append(kind)
+        self.ops.append(op)
+        self.args.append(arg_idents)
+        self.values.append(value)
+        self.locs.append(loc)
+        depths = self.depths
+        if not arg_idents:
+            depths.append(1)
+        elif len(arg_idents) == 2:
+            da = depths[arg_idents[0]]
+            db = depths[arg_idents[1]]
+            depths.append((da if da >= db else db) + 1)
+        elif len(arg_idents) == 1:
+            depths.append(depths[arg_idents[0]] + 1)
+        else:
+            depths.append(1 + max(depths[a] for a in arg_idents))
+        self.levels.append(None)
+        self.nodes.append(None)
+        return ident
+
+    def const_ident(
         self, value: float, loc: Optional[str] = None, site: int = 0
-    ) -> TraceNode:
+    ) -> int:
         # The value participates in the key even though a site's
         # constant is fixed: `site` is an id(), and ids can be recycled
         # if a caller outlives the program it analysed — a collision
         # must never hand back a different constant.
         key = (site, _bits(value))
-        node = self._consts.get(key)
-        if node is None:
-            node = self._consts[key] = const_leaf(value, loc)
-        return node
+        ident = self._consts.get(key)
+        if ident is None:
+            ident = self._consts[key] = self._append(
+                P_CONST, None, (), value, loc
+            )
+        return ident
 
-    def input_leaf(
+    def input_ident(
         self, value: float, index: int, loc: Optional[str] = None,
         site: int = 0,
-    ) -> TraceNode:
+    ) -> int:
         key = (site, index, _bits(value))
-        node = self._inputs.get(key)
-        if node is None:
-            node = self._inputs[key] = input_leaf(value, index, loc)
-        return node
+        ident = self._inputs.get(key)
+        if ident is None:
+            ident = self._inputs[key] = self._append(
+                P_INPUT, f"x{index}", (), value, loc
+            )
+        return ident
 
-    def int_leaf(
+    def int_ident(
         self, value: float, int_value: int, loc: Optional[str] = None,
         site: int = 0,
-    ) -> TraceNode:
+    ) -> int:
         """A constant leaf for an int→float conversion, keyed by the
         *exact* integer: two integers rounding to the same double stay
         distinct leaves, because the escalator pins a different exact
         value on each."""
         key = (site, int_value)
-        node = self._ints.get(key)
-        if node is None:
-            node = self._ints[key] = const_leaf(value, loc)
-        return node
+        ident = self._ints.get(key)
+        if ident is None:
+            ident = self._ints[key] = self._append(
+                P_CONST, None, (), value, loc
+            )
+        return ident
 
-    def op_node(
+    def opaque_ident(self, value: float, loc: Optional[str] = None) -> int:
+        """A fresh opaque leaf (never interned: identity = ident)."""
+        return self._append(P_OPAQUE, None, (), value, loc)
+
+    def op_ident(
         self,
         op: str,
-        args: Tuple[TraceNode, ...],
+        arg_idents: tuple,
         value: float,
         loc: Optional[str] = None,
         site: int = 0,
-    ) -> TraceNode:
-        if len(args) == 1:
-            key = (site, args[0].ident)
-        else:
-            key = (site,) + tuple(a.ident for a in args)
-        node = self._ops.get(key)
-        if node is None:
-            node = self._ops[key] = TraceNode(
-                KIND_OP, value, op=op, args=args, loc=loc
-            )
-            node.levels = self._build_levels(node, args)
-        return node
+    ) -> int:
+        key = (site,) + arg_idents
+        ident = self._ops_table.get(key)
+        if ident is None:
+            ident = self.new_op(key, op, arg_idents, value, loc)
+        return ident
 
-    def _build_levels(
-        self, node: TraceNode, args: Tuple[TraceNode, ...]
-    ) -> Optional[tuple]:
-        """The per-distance op-descendant index of a fresh op node."""
-        head = (frozenset((node.ident,)),)
-        op_levels = []
-        for arg in args:
-            if arg.kind == KIND_OP:
-                if arg.levels is None:
-                    return None  # a foreign (unpooled) sub-DAG: degrade
-                op_levels.append(arg.levels)
+    def new_op(
+        self,
+        key: tuple,
+        op: str,
+        arg_idents: tuple,
+        value: float,
+        loc: Optional[str],
+    ) -> int:
+        """Intern a *new* op entry under ``key`` (the cold half of
+        :meth:`op_ident`; fused pipelines inline the warm dict probe
+        and call this only on a miss).  ``key`` must be
+        ``(site,) + arg_idents``."""
+        ident = self._ops_table[key] = self._append(
+            P_OP, op, arg_idents, value, loc
+        )
+        self.levels[ident] = self._build_levels(ident, arg_idents)
+        return ident
+
+    def _build_levels(self, ident: int, arg_idents: tuple) -> tuple:
+        """The per-distance op-descendant index of a fresh op ident."""
+        head = (frozenset((ident,)),)
+        kinds = self.kinds
+        all_levels = self.levels
+        op_levels = [
+            all_levels[a] for a in arg_idents if kinds[a] == P_OP
+        ]
         if not op_levels:
             return head + self._empty_tail
         depth = self._levels_depth
@@ -326,11 +429,25 @@ class TracePool:
             # one distance — a tuple slice, no set is rebuilt.
             return head + op_levels[0][:depth]
         if len(op_levels) == 2:
+            # A distance index has no gaps (an op at distance d implies
+            # op ancestors at every smaller distance), so each side's
+            # nonempty sets form a prefix: union while both prefixes
+            # run, then the deeper side passes through by slice.  The
+            # dominant shape — a loop accumulator merged with a shallow
+            # term — unions one distance and slices the rest.
             left, right = op_levels
-            return head + tuple(
-                (a | b) if (a and b) else (a or b)
-                for a, b in zip(left[:depth], right[:depth])
-            )
+            merged = []
+            k = 0
+            while k < depth:
+                ls = left[k]
+                rs = right[k]
+                if ls and rs:
+                    merged.append(ls | rs)
+                    k += 1
+                    continue
+                rest = left[k:depth] if ls else right[k:depth]
+                return head + tuple(merged) + rest
+            return head + tuple(merged)
         merged = []
         for distance in range(depth):
             sets = [
@@ -343,5 +460,213 @@ class TracePool:
             else:
                 merged.append(frozenset().union(*sets))
         return head + tuple(merged)
+
+    # ------------------------------------------------------------------
+    # Ident-based walks (the hot-path views the fused pipeline uses)
+    # ------------------------------------------------------------------
+
+    def _leaf_key(self, ident: int) -> tuple:
+        kind = self.kinds[ident]
+        if kind == P_INPUT:
+            return (KIND_INPUT, self.ops[ident])
+        if kind == P_CONST:
+            return (KIND_CONST, self.values[ident])
+        return (KIND_OPAQUE, ident)
+
+    def structural_key_of(self, ident: int, depth: int) -> tuple:
+        """The Section 6.1 bounded-depth key of an ident.
+
+        Produces exactly the tuples :func:`structural_key` computes on
+        materialized nodes (idents are shared between the two views),
+        so keys from either path have one equality relation.
+        """
+        if self.kinds[ident] != P_OP:
+            return self._leaf_key(ident)
+        if depth >= _KEY_STRIDE:  # pathological bound: no packing
+            return structural_key(self.node(ident), depth)
+        cache = self._keys
+        packed = ident * _KEY_STRIDE + depth
+        cached = cache.get(packed)
+        if cached is not None:
+            return cached
+        kinds = self.kinds
+        ops = self.ops
+        argsA = self.args
+        values = self.values
+        stack = [(ident, depth)]
+        while stack:
+            cur, d = stack[-1]
+            key = cur * _KEY_STRIDE + d
+            if key in cache:
+                stack.pop()
+                continue
+            if d <= 1:
+                cache[key] = (KIND_OP, ops[cur], values[cur])
+                stack.pop()
+                continue
+            child_depth = d - 1
+            missing = [
+                (a, child_depth) for a in argsA[cur]
+                if kinds[a] == P_OP
+                and (a * _KEY_STRIDE + child_depth) not in cache
+            ]
+            if missing:
+                stack.extend(missing)
+                continue
+            cache[key] = (
+                KIND_OP,
+                ops[cur],
+                tuple(
+                    cache[a * _KEY_STRIDE + child_depth]
+                    if kinds[a] == P_OP else self._leaf_key(a)
+                    for a in argsA[cur]
+                ),
+            )
+            stack.pop()
+        return cache[packed]
+
+    def deep_marks(self, ident: int, max_depth: int) -> set:
+        """Idents at the truncation frontier (depth ``max_depth + 1``)
+        of the trace rooted at ``ident`` — the array mirror of
+        :meth:`repro.core.antiunify.Generalization._deep_marks`, used
+        when the distance index is capped below the depth bound."""
+        marked: set = set()
+        kinds = self.kinds
+        if kinds[ident] != P_OP:
+            return marked
+        argsA = self.args
+        depths = self.depths
+        stride = max_depth + 2
+        seen = {ident * stride + 1}
+        stack = [(ident, 1)]
+        pop = stack.pop
+        push = stack.append
+        while stack:
+            cur, depth = pop()
+            child_depth = depth + 1
+            for child in argsA[cur]:
+                if kinds[child] != P_OP or depth + depths[child] <= max_depth:
+                    continue  # leaf, or the whole subtree fits the bound
+                if child_depth > max_depth:
+                    marked.add(child)
+                    continue  # children are invisible anyway
+                key = child * stride + child_depth
+                if key in seen:
+                    continue
+                seen.add(key)
+                push((child, child_depth))
+        return marked
+
+    # ------------------------------------------------------------------
+    # Lazy materialization
+    # ------------------------------------------------------------------
+
+    def node(self, ident: int) -> TraceNode:
+        """Materialize the full structured node of ``ident`` (memoized).
+
+        The node carries the *pool* ident (overriding the global leaf
+        counter), its pooled depth, and the distance index, so every
+        consumer of materialized nodes — structural keys, escalator
+        memos, merge memos — sees one consistent identity space.
+        """
+        nodes = self.nodes
+        cached = nodes[ident]
+        if cached is not None:
+            return cached
+        kinds = self.kinds
+        ops = self.ops
+        argsA = self.args
+        values = self.values
+        locs = self.locs
+        stack = [ident]
+        while stack:
+            cur = stack[-1]
+            if nodes[cur] is not None:
+                stack.pop()
+                continue
+            pending = [a for a in argsA[cur] if nodes[a] is None]
+            if pending:
+                stack.extend(pending)
+                continue
+            node = TraceNode(
+                _P_KIND_NAMES[kinds[cur]],
+                values[cur],
+                op=ops[cur],
+                args=tuple(nodes[a] for a in argsA[cur]),
+                loc=locs[cur],
+            )
+            node.ident = cur
+            node.levels = self.levels[cur]
+            nodes[cur] = node
+            stack.pop()
+        return nodes[ident]
+
+    def node_capped(self, ident: int, cap: int) -> TraceNode:
+        """A *fresh* structured view of ``ident`` down to ``cap``
+        levels; deeper positions become opaque placeholder leaves
+        carrying the sub-trace's value and location.
+
+        Symbolic expressions are bounded by ``max_expression_depth``,
+        so a view capped one level past it yields exactly the same
+        per-node source locations as the full trace
+        (:func:`repro.core.locations.map_node_locations` never descends
+        past a non-matching node) at a cost bounded by the expression,
+        not the trace.  Used to persist each record's last trace at the
+        end of a run, before the pool resets.
+        """
+        kinds = self.kinds
+        ops = self.ops
+        argsA = self.args
+        values = self.values
+        locs = self.locs
+        depths = self.depths
+        if depths[ident] <= cap:
+            # The whole trace fits under the cap: the full (memoized)
+            # materialization is identical and shared across records.
+            return self.node(ident)
+        memo: dict = {}
+        root_key = (ident, cap)
+        stack = [root_key]
+        while stack:
+            top = stack[-1]
+            if top in memo:
+                stack.pop()
+                continue
+            cur, remaining = top
+            if depths[cur] <= remaining:
+                # Sub-trace fits: reuse the shared full materialization
+                # instead of walking a private copy.
+                memo[top] = self.node(cur)
+                stack.pop()
+                continue
+            if kinds[cur] != P_OP or remaining <= 0:
+                if kinds[cur] == P_OP:
+                    # Beyond the cap: an opaque stand-in (same value,
+                    # same location, fresh identity).
+                    memo[top] = TraceNode(
+                        KIND_OPAQUE, values[cur], loc=locs[cur]
+                    )
+                else:
+                    node = TraceNode(
+                        _P_KIND_NAMES[kinds[cur]], values[cur],
+                        op=ops[cur], loc=locs[cur],
+                    )
+                    node.ident = cur
+                    memo[top] = node
+                stack.pop()
+                continue
+            child_keys = [(a, remaining - 1) for a in argsA[cur]]
+            pending = [k for k in child_keys if k not in memo]
+            if pending:
+                stack.extend(pending)
+                continue
+            node = TraceNode(
+                KIND_OP, values[cur], op=ops[cur],
+                args=tuple(memo[k] for k in child_keys), loc=locs[cur],
+            )
+            node.ident = cur
+            memo[top] = node
+            stack.pop()
+        return memo[root_key]
 
 

@@ -15,13 +15,19 @@ from __future__ import annotations
 import math
 
 from repro.ieee.float32 import ulps_between_single
-from repro.ieee.float64 import ulps_between
+from repro.ieee.float64 import double_to_bits, ulps_between
 
 #: Error assigned to NaNs and the metric's cap: one bit per bit of a double.
 MAX_ERROR_BITS = 64.0
 
 #: Cap used when measuring single-precision results.
 MAX_ERROR_BITS_SINGLE = 32.0
+
+_ABS_MASK = 0x7FFFFFFFFFFFFFFF
+_EXP_INF = 0x7FF0000000000000
+#: Smallest normal magnitude pattern (exponent field 1, mantissa 0).
+_MIN_NORMAL_BITS = 0x0010000000000000
+_LOG2 = math.log2
 
 
 def bits_of_error(approx: float, exact: float) -> float:
@@ -40,6 +46,44 @@ def bits_of_error(approx: float, exact: float) -> float:
     if distance == 0:
         return 0.0
     return min(MAX_ERROR_BITS, math.log2(1 + distance))
+
+
+def bits_of_error_fast(approx: float, exact: float) -> float:
+    """:func:`bits_of_error`, reimplemented on raw 64-bit patterns.
+
+    The per-operation pipeline's error stage calls this once per
+    executed operation, so its common case — two distinct finite
+    *normal* doubles — runs entirely in integer arithmetic on the
+    unpacked sign/exponent/mantissa fields: NaN detection is one
+    integer compare of the exponent field against the all-ones
+    pattern, the ordered-int mapping is a sign-bit test, and the ulp
+    distance is an integer subtraction.  Values whose exponents sit at
+    the edges of the lattice — infinities, subnormals, zeros — fall
+    back to :func:`bits_of_error` (the exact metric), which the edge
+    suite ``tests/core/test_error_fast.py`` pins this path against
+    exhaustively.
+
+    Results are bit-identical to :func:`bits_of_error` for every input
+    pair; the engine-parity suite enforces that end to end.
+    """
+    if approx == exact:
+        return 0.0  # the common exact case (also covers ±0.0)
+    a = double_to_bits(approx)
+    b = double_to_bits(exact)
+    am = a & _ABS_MASK
+    bm = b & _ABS_MASK
+    if am >= _EXP_INF or bm >= _EXP_INF:
+        # NaN (mantissa ≠ 0) saturates; infinities live on the ulp
+        # lattice — both are the reference implementation's edge cases.
+        return bits_of_error(approx, exact)
+    if am < _MIN_NORMAL_BITS or bm < _MIN_NORMAL_BITS:
+        # Subnormals and zeros: exponents are no longer a magnitude
+        # ladder down here, keep the exact metric authoritative.
+        return bits_of_error(approx, exact)
+    distance = (am if a == am else -am) - (bm if b == bm else -bm)
+    if distance < 0:
+        distance = -distance
+    return min(MAX_ERROR_BITS, _LOG2(1 + distance))
 
 
 def bits_of_error_single(approx: float, exact: float) -> float:

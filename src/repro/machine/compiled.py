@@ -293,7 +293,14 @@ class CompiledProgram:
             value = to_single(instr.value) if instr.single else float(instr.value)
             dst = slot(instr.dst)
             on_const = self._on_const
-            if on_const is None:
+            site_cb = self.tracer.fused_const_callback(instr)
+            if site_cb is not None:
+                def step(st, _v=value, _d=dst, _n=nxt, _scb=site_cb):
+                    box = FloatBox(_v)
+                    st.regs[_d] = box
+                    _scb(box)
+                    return _n
+            elif on_const is None:
                 def step(st, _v=value, _d=dst, _n=nxt):
                     st.regs[_d] = FloatBox(_v)
                     return _n
@@ -430,6 +437,18 @@ class CompiledProgram:
             except KeyError as error:
                 return _error_step(str(error))
             on_branch = self._on_branch
+            site_cb = self.tracer.fused_branch_callback(instr)
+            if site_cb is not None:
+                def step(st, _l=lhs, _r=rhs, _p=pred, _t=target, _n=nxt,
+                         _scb=site_cb):
+                    r = st.regs
+                    a = r[_l]
+                    b = r[_r]
+                    taken = _p(a.value, b.value)
+                    st.branches += 1
+                    _scb(a, b, taken)
+                    return _t if taken else _n
+                return step
 
             def step(st, _l=lhs, _r=rhs, _p=pred, _t=target, _n=nxt,
                      _cb=on_branch, _i=instr):
@@ -525,6 +544,55 @@ class CompiledProgram:
         dst = slot(instr.dst)
         on_op = self._on_op
         single = instr.single
+        # Site-compiled analysis pipeline: the tracer may hand back a
+        # fused per-site callback, compiled once per (site, config),
+        # that replaces the generic on_op dispatch entirely.
+        site_cb = self.tracer.fused_site_callback(
+            instr, instr.op, len(src_slots), single
+        )
+        if site_cb is not None and len(src_slots) == 2 and not single:
+            s0, s1 = src_slots
+
+            def step(st, _s0=s0, _s1=s1, _d=dst, _fn=fn, _n=nxt,
+                     _scb=site_cb):
+                r = st.regs
+                a = r[_s0]
+                b = r[_s1]
+                box = FloatBox(_fn(a.value, b.value))
+                r[_d] = box
+                st.float_ops += 1
+                _scb(a, b, box)
+                return _n
+            return step
+        if site_cb is not None and len(src_slots) == 1:
+
+            def step(st, _s0=src_slots[0], _d=dst, _fn=fn, _n=nxt,
+                     _scb=site_cb, _single=single):
+                r = st.regs
+                a = r[_s0]
+                value = _fn(a.value)
+                if _single:
+                    value = to_single(value)
+                box = FloatBox(value)
+                r[_d] = box
+                st.float_ops += 1
+                _scb(a, box)
+                return _n
+            return step
+        if site_cb is not None and len(src_slots) == 2:
+            s0, s1 = src_slots
+
+            def step(st, _s0=s0, _s1=s1, _d=dst, _fn=fn, _n=nxt,
+                     _scb=site_cb):
+                r = st.regs
+                a = r[_s0]
+                b = r[_s1]
+                box = FloatBox(to_single(_fn(a.value, b.value)))
+                r[_d] = box
+                st.float_ops += 1
+                _scb(a, b, box)
+                return _n
+            return step
         if len(src_slots) == 2 and not single:
             # The overwhelmingly common shape gets its own closure.
             s0, s1 = src_slots
@@ -626,6 +694,37 @@ class CompiledProgram:
             arg_slots = tuple(slot(a) for a in instr.args)
             dst = slot(instr.dst)
             on_library = self._on_library
+            site_cb = self.tracer.fused_site_callback(
+                instr, name, len(arg_slots)
+            )
+            if site_cb is not None and len(arg_slots) == 1:
+
+                def step(st, _s0=arg_slots[0], _d=dst, _fn=fn, _n=nxt,
+                         _scb=site_cb):
+                    r = st.regs
+                    a = r[_s0]
+                    box = FloatBox(_fn(a.value))
+                    r[_d] = box
+                    st.calls += 1
+                    st.library_calls += 1
+                    _scb(a, box)
+                    return _n
+                return step
+            if site_cb is not None and len(arg_slots) == 2:
+                s0, s1 = arg_slots
+
+                def step(st, _s0=s0, _s1=s1, _d=dst, _fn=fn, _n=nxt,
+                         _scb=site_cb):
+                    r = st.regs
+                    a = r[_s0]
+                    b = r[_s1]
+                    box = FloatBox(_fn(a.value, b.value))
+                    r[_d] = box
+                    st.calls += 1
+                    st.library_calls += 1
+                    _scb(a, b, box)
+                    return _n
+                return step
 
             def step(st, _slots=arg_slots, _d=dst, _fn=fn, _n=nxt,
                      _cb=on_library, _i=instr, _name=name):

@@ -44,6 +44,35 @@ class Tracer:
     def on_start(self, interpreter: "Interpreter") -> None:
         """Execution is about to begin."""
 
+    def fused_site_callback(self, instr: isa.Instr, op: str, arity: int,
+                            single: bool = False):
+        """A per-site fused analysis callback, or None for the generic path.
+
+        The compiled engine queries this once per float-op / wrapped
+        library-call instruction at compile time; a non-None return
+        replaces the per-event ``on_op``/``on_library`` dispatch for
+        that site with a direct call to the returned closure
+        (``callback(*arg_boxes, result_box)``), whose result cannot be
+        overridden.  The base tracer — and with it every analysis that
+        does not site-compile — returns None, and the reference
+        interpreter never asks: it is the unfused oracle the compiled
+        pipeline is checked against.
+        """
+        return None
+
+    def fused_const_callback(self, instr: isa.Instr):
+        """A per-site fused replacement for ``on_const``
+        (``callback(box)``), or None for the generic dispatch.  Same
+        contract and caveats as :meth:`fused_site_callback`."""
+        return None
+
+    def fused_branch_callback(self, instr: isa.Branch):
+        """A per-site fused replacement for ``on_branch``
+        (``callback(lhs_box, rhs_box, taken)``), or None for the
+        generic dispatch.  Same contract as
+        :meth:`fused_site_callback`."""
+        return None
+
     def on_const(self, instr: isa.Instr, box: FloatBox) -> None:
         """A floating-point constant was materialized."""
 

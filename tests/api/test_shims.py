@@ -2,18 +2,41 @@
 
 These tests pin the deprecation contract: ``repro.core.analyze_fpcore``
 and the sampling helpers are thin shims over the façade, so every
-caller — CLI, driver, eval pipeline — exercises one code path.
+caller — CLI, driver, eval pipeline — exercises one code path, and the
+analysis shim warns ``DeprecationWarning`` (every in-repo example,
+benchmark, and script has been migrated to the session API).
 """
+
+import warnings
+
+import pytest
 
 from repro.api import AnalysisSession
 from repro.api import sampling as api_sampling
-from repro.core import AnalysisConfig, analyze_fpcore
+from repro.core import AnalysisConfig
 from repro.core import driver as legacy_driver
 from repro.core.analysis import HerbgrindAnalysis
 from repro.fpcore import parse_fpcore
 
 ERRONEOUS = "(FPCore (x) :name \"t\" :pre (<= 1e16 x 1e17) (- (+ x 1) x))"
 FAST = AnalysisConfig(shadow_precision=192)
+
+
+def analyze_fpcore(*args, **kwargs):
+    """The shim under test, with its (pinned) warning silenced."""
+    from repro.core import analyze_fpcore as shim
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return shim(*args, **kwargs)
+
+
+class TestDeprecation:
+    def test_analyze_fpcore_warns(self):
+        from repro.core import analyze_fpcore as shim
+
+        with pytest.warns(DeprecationWarning, match="AnalysisSession"):
+            shim(parse_fpcore(ERRONEOUS), config=FAST, num_points=2, seed=1)
 
 
 class TestSamplingShims:

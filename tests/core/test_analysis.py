@@ -4,13 +4,13 @@ import math
 
 import pytest
 
+from repro.api import AnalysisSession
 from repro.core import (
     AnalysisConfig,
     HerbgrindAnalysis,
     SPOT_BRANCH,
     SPOT_CONVERSION,
     SPOT_OUTPUT,
-    analyze_fpcore,
     analyze_program,
     generate_report,
 )
@@ -22,7 +22,11 @@ FAST = AnalysisConfig(shadow_precision=192)
 
 
 def analyze_source(source, points, config=FAST, **kwargs):
-    return analyze_fpcore(parse_fpcore(source), points=points, config=config, **kwargs)
+    session = AnalysisSession(config=config, result_cache_size=0)
+    result = session.analyze(
+        parse_fpcore(source), points=[list(p) for p in points], **kwargs
+    )
+    return result.raw
 
 
 class TestBasicDetection:

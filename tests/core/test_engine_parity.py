@@ -73,7 +73,13 @@ class TestLayerAttribution:
         EngineFeatures(True, False, False),   # dispatch only
         EngineFeatures(False, True, False),   # trace pool only
         EngineFeatures(False, False, True),   # fast anti-unify only
-        EngineFeatures(True, True, True),     # everything
+        EngineFeatures(True, True, True),     # PR-3 stack
+        EngineFeatures(True, True, True, kernel_cache=True),  # PR-4 stack
+        EngineFeatures(True, True, True, kernel_cache=True,
+                       fused_pipeline=True),  # fused per-site pipeline
+        EngineFeatures(True, True, True, kernel_cache=True,
+                       fused_pipeline=True, profile=True),  # + counters
+        EngineFeatures(True, True, True, fused_pipeline=True),  # no kcache
     ]
 
     @pytest.mark.parametrize("features", LAYERS)

@@ -1,0 +1,183 @@
+"""Edge semantics of the integer bits-of-error fast path.
+
+The per-op pipeline's error stage (:func:`repro.ieee.error.
+bits_of_error_fast`) reimplements :func:`~repro.ieee.error.bits_of_error`
+on raw 64-bit patterns.  This suite pins the two functions against each
+other — and against an *independent* exact metric computed through the
+BigFloat/Fraction lattice — exhaustively over every pairing of the edge
+values the metric's semantics turn on: NaN (both sides, both signs,
+quiet payloads), ±0, ±inf, subnormal neighbors, boundary binades, and
+ordinary normals.
+"""
+
+import itertools
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.bigfloat import BigFloat
+from repro.ieee.error import MAX_ERROR_BITS, bits_of_error, bits_of_error_fast
+from repro.ieee.float64 import (
+    DOUBLE_MAX,
+    DOUBLE_MIN_NORMAL,
+    DOUBLE_MIN_SUBNORMAL,
+    bits_to_double,
+    next_double,
+)
+
+
+def exact_lattice_index(value: float) -> int:
+    """Position of a double on the ulp lattice, derived from its exact
+    rational value via BigFloat/Fraction — deliberately *not* from the
+    bit pattern, so this oracle shares no code with either
+    implementation under test.  NaN is rejected (callers special-case
+    it); ±0 both map to 0.
+    """
+    assert not math.isnan(value)
+    if value == 0.0:
+        return 0
+    if math.isinf(value):
+        # One step past the largest finite double.
+        top = exact_lattice_index(DOUBLE_MAX) + 1
+        return top if value > 0 else -top
+    big = BigFloat.from_float(value)
+    fraction = abs(big.to_fraction())
+    # Exponent e with 2^e <= |v| < 2^(e+1), via exact rational compares.
+    exponent = fraction.numerator.bit_length() - \
+        fraction.denominator.bit_length()
+    if Fraction(2) ** exponent > fraction:
+        exponent -= 1
+    assert Fraction(2) ** exponent <= fraction < Fraction(2) ** (exponent + 1)
+    if exponent < -1022:
+        # Subnormal ladder: count steps of 2^-1074 from zero.
+        steps = fraction / Fraction(2) ** -1074
+        assert steps.denominator == 1
+        magnitude = steps.numerator
+    else:
+        offset = (fraction / Fraction(2) ** exponent - 1) * Fraction(2) ** 52
+        assert offset.denominator == 1
+        magnitude = (exponent + 1022 + 1) * 2 ** 52 + offset.numerator
+    return -magnitude if value < 0 else magnitude
+
+
+def exact_bits_of_error(approx: float, exact: float) -> float:
+    """The metric recomputed from the exact lattice oracle."""
+    if math.isnan(approx) or math.isnan(exact):
+        return MAX_ERROR_BITS
+    distance = abs(exact_lattice_index(approx) - exact_lattice_index(exact))
+    if distance == 0:
+        return 0.0
+    return min(MAX_ERROR_BITS, math.log2(1 + distance))
+
+
+QUIET_NAN = float("nan")
+PAYLOAD_NAN = bits_to_double(0x7FF8000000000F0F)
+NEGATIVE_NAN = bits_to_double(0xFFF8000000000001)
+
+EDGE_VALUES = [
+    QUIET_NAN,
+    PAYLOAD_NAN,
+    NEGATIVE_NAN,
+    math.inf,
+    -math.inf,
+    0.0,
+    -0.0,
+    DOUBLE_MIN_SUBNORMAL,
+    -DOUBLE_MIN_SUBNORMAL,
+    2 * DOUBLE_MIN_SUBNORMAL,
+    next_double(DOUBLE_MIN_SUBNORMAL),
+    DOUBLE_MIN_NORMAL - DOUBLE_MIN_SUBNORMAL,   # largest subnormal
+    -(DOUBLE_MIN_NORMAL - DOUBLE_MIN_SUBNORMAL),
+    DOUBLE_MIN_NORMAL,
+    -DOUBLE_MIN_NORMAL,
+    next_double(DOUBLE_MIN_NORMAL),
+    DOUBLE_MAX,
+    -DOUBLE_MAX,
+    1.0,
+    -1.0,
+    next_double(1.0),
+    1.0 + 2 ** -51,
+    1.5,
+    2.0,
+    -2.0,
+    0.1,
+    1e300,
+    -1e300,
+    1e-300,
+    4503599627370496.0,        # 2^52, mantissa boundary
+    9007199254740992.0,        # 2^53
+    math.pi,
+]
+
+
+class TestFastPathAgainstReference:
+    def test_exhaustive_edge_pairs_match_reference(self):
+        for approx, exact in itertools.product(EDGE_VALUES, repeat=2):
+            fast = bits_of_error_fast(approx, exact)
+            slow = bits_of_error(approx, exact)
+            assert fast == slow, (approx, exact, fast, slow)
+
+    def test_exhaustive_edge_pairs_match_exact_bigfloat_metric(self):
+        for approx, exact in itertools.product(EDGE_VALUES, repeat=2):
+            fast = bits_of_error_fast(approx, exact)
+            oracle = exact_bits_of_error(approx, exact)
+            assert fast == pytest.approx(oracle, abs=0.0), \
+                (approx, exact, fast, oracle)
+
+    def test_randomized_normal_pairs_match(self):
+        import random
+
+        rng = random.Random(20260729)
+        for __ in range(2000):
+            approx = rng.uniform(-1e308, 1e308) * 10 ** rng.randint(-300, 0)
+            exact = approx * (1 + rng.uniform(-1e-12, 1e-12))
+            assert bits_of_error_fast(approx, exact) == \
+                bits_of_error(approx, exact)
+            assert bits_of_error_fast(approx, exact) == pytest.approx(
+                exact_bits_of_error(approx, exact), abs=1e-12
+            )
+
+
+class TestPinnedSemantics:
+    def test_nan_nan_is_maximal(self):
+        assert bits_of_error_fast(QUIET_NAN, QUIET_NAN) == MAX_ERROR_BITS
+        assert bits_of_error_fast(PAYLOAD_NAN, NEGATIVE_NAN) == MAX_ERROR_BITS
+
+    def test_nan_either_side_is_maximal(self):
+        assert bits_of_error_fast(QUIET_NAN, 1.0) == MAX_ERROR_BITS
+        assert bits_of_error_fast(1.0, QUIET_NAN) == MAX_ERROR_BITS
+
+    def test_signed_zeros_agree(self):
+        assert bits_of_error_fast(0.0, -0.0) == 0.0
+        assert bits_of_error_fast(-0.0, 0.0) == 0.0
+
+    def test_infinities_on_the_lattice(self):
+        # Same-sign infinities agree; disagreement is finite on the
+        # ordered-int lattice but enormous.
+        assert bits_of_error_fast(math.inf, math.inf) == 0.0
+        assert bits_of_error_fast(-math.inf, -math.inf) == 0.0
+        assert bits_of_error_fast(math.inf, -math.inf) > 63.0
+        assert bits_of_error_fast(1.0, math.inf) > 60.0
+
+    def test_subnormal_neighbors_are_one_ulp(self):
+        tiny = DOUBLE_MIN_SUBNORMAL
+        assert bits_of_error_fast(tiny, 2 * tiny) == 1.0
+        assert bits_of_error_fast(0.0, tiny) == 1.0
+        # Crossing zero is two lattice steps (±0 share one point).
+        assert bits_of_error_fast(-tiny, tiny) == math.log2(3)
+        assert bits_of_error_fast(
+            DOUBLE_MIN_NORMAL, DOUBLE_MIN_NORMAL - DOUBLE_MIN_SUBNORMAL
+        ) == 1.0
+
+    def test_normal_neighbors_are_one_ulp(self):
+        assert bits_of_error_fast(1.0, next_double(1.0)) == 1.0
+        assert bits_of_error_fast(-1.0, 1.0) == \
+            bits_of_error(-1.0, 1.0)
+
+    def test_metric_never_negative_or_nan(self):
+        for approx, exact in itertools.product(EDGE_VALUES, repeat=2):
+            result = bits_of_error_fast(approx, exact)
+            assert result >= 0.0
+            assert not math.isnan(result)
+            assert result <= MAX_ERROR_BITS

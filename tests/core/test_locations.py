@@ -57,3 +57,33 @@ class TestNodeLocations:
         from repro.fpcore.ast import Var
 
         assert format_located_expression(Var("x"), {}) == "x"
+
+
+class TestEngineLocationParity:
+    def test_branch_divergent_locations_match_reference(self):
+        """The most-recent-trace contract across engines.
+
+        A site fed through *different branch arms* computing
+        structurally identical subexpressions at different source
+        lines must report the last run's locations under both engines
+        — the compiled engine's lazy end-of-run materialization may
+        not serve a stale earlier trace.
+        """
+        from repro.fpcore import parse_fpcore
+        from repro.machine import compile_fpcore
+
+        core = parse_fpcore(
+            "(FPCore (x) (* (if (< x 0) (+ x 1.5) (+ x 1.5)) 2.0))"
+        )
+        program = compile_fpcore(core)
+        points = [[-1.0], [1.0]]
+        locations = {}
+        for engine in ("compiled", "reference"):
+            analysis, __ = analyze_program(
+                program, points, config=FAST.with_(engine=engine)
+            )
+            records = sorted(
+                analysis.op_records.values(), key=lambda r: r.site_id
+            )
+            locations[engine] = [r.node_locations() for r in records]
+        assert locations["compiled"] == locations["reference"]

@@ -50,11 +50,12 @@ class TestOracle:
 
 class TestSamplePoints:
     def analysis_record(self, source, points):
-        from repro.core import analyze_fpcore
+        from repro.api import AnalysisSession
 
-        analysis = analyze_fpcore(
-            parse_fpcore(source), points=points, config=FAST
-        )
+        session = AnalysisSession(config=FAST, result_cache_size=0)
+        analysis = session.analyze(
+            parse_fpcore(source), points=[list(p) for p in points]
+        ).raw
         causes = analysis.reported_root_causes()
         assert causes
         return causes[0]
