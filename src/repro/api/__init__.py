@@ -54,6 +54,7 @@ from repro.api.sampling import (
     sample_range,
 )
 from repro.api.session import AnalysisSession, ResultCache, request_digest
+from repro.api.store import ShardedResultStore
 
 __all__ = [
     "AnalysisBackend",
@@ -69,6 +70,7 @@ __all__ = [
     "RESULT_SCHEMA_VERSION",
     "ResultCache",
     "RootCauseResult",
+    "ShardedResultStore",
     "SpotResult",
     "VerrouBackend",
     "available_backends",

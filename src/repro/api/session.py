@@ -15,8 +15,11 @@ benchmark source, backend, sampling parameters (or explicit points),
 the whole :class:`AnalysisConfig`, library wrapping, and the result
 schema version.  Identical work is skipped: in-memory hits return the
 original :class:`AnalysisResult` object (``raw`` intact), and an
-optional on-disk store (``cache_dir``) persists results as
-``<digest>.json`` so *separate processes and later runs* skip it too
+optional on-disk store (``cache_dir``) persists results in the sharded
+``<digest[:2]>/<digest>.json`` layout of
+:class:`repro.api.store.ShardedResultStore` — the same store format
+the serving subsystem (:mod:`repro.serve`) uses — so *separate
+processes and later runs* skip it too
 (disk hits have ``raw=None``, like results that crossed a process
 boundary).  Requests carrying an in-process ``libm`` override are
 never cached.
@@ -28,14 +31,13 @@ import collections
 import hashlib
 import json
 import multiprocessing
-import os
-import tempfile
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.api.backends import get_backend
 from repro.api.requests import AnalysisRequest, CoreLike, coerce_core
 from repro.api.results import RESULT_SCHEMA_VERSION, AnalysisResult
 from repro.api.sampling import sample_inputs
+from repro.api.store import ShardedResultStore
 from repro.core.config import AnalysisConfig
 from repro.fpcore.ast import FPCore
 from repro.fpcore.printer import format_fpcore
@@ -63,9 +65,13 @@ class ResultCache:
     """An LRU of :class:`AnalysisResult` with an optional disk layer.
 
     The memory layer stores result *objects* (so an in-process hit
-    keeps ``raw``); the disk layer stores the deterministic JSON
-    serialization under ``<cache_dir>/<digest>.json``, written
-    atomically (temp file + rename).
+    keeps ``raw``); the disk layer is a
+    :class:`~repro.api.store.ShardedResultStore` rooted at
+    ``cache_dir`` — digest-prefix shard directories with atomic
+    writes, shared with the serving subsystem (:mod:`repro.serve`) so
+    offline sessions and servers read and write one store format.
+    Flat ``<cache_dir>/<digest>.json`` entries written by older
+    versions are still read (and promoted into the sharded layout).
     """
 
     def __init__(self, capacity: int = 256,
@@ -75,55 +81,39 @@ class ResultCache:
         #: capacity 0 = no memory layer (disk-only, when cache_dir set).
         self.capacity = capacity
         self.cache_dir = cache_dir
+        #: The shared on-disk layer, or None for a memory-only cache.
+        self.store: Optional[ShardedResultStore] = (
+            ShardedResultStore(cache_dir) if cache_dir is not None else None
+        )
         self._memory: "collections.OrderedDict[str, AnalysisResult]" = \
             collections.OrderedDict()
 
     def __len__(self) -> int:
         return len(self._memory)
 
-    def _path(self, key: str) -> Optional[str]:
-        if self.cache_dir is None:
-            return None
-        return os.path.join(self.cache_dir, f"{key}.json")
-
     def get(self, key: str) -> Optional[AnalysisResult]:
         result = self._memory.get(key)
         if result is not None:
             self._memory.move_to_end(key)
             return result
-        path = self._path(key)
-        if path is not None and os.path.exists(path):
-            try:
-                with open(path, "r", encoding="utf-8") as handle:
-                    result = AnalysisResult.from_json(handle.read())
-            except (OSError, ValueError, KeyError, TypeError):
-                return None  # unreadable/corrupt entry: treat as a miss
-            self._insert(key, result)
-            return result
+        if self.store is not None:
+            text = self.store.get_text(key)
+            if text is not None:
+                try:
+                    result = AnalysisResult.from_json(text)
+                except (ValueError, KeyError, TypeError):
+                    return None  # corrupt entry: treat as a miss
+                self._insert(key, result)
+                return result
         return None
 
     def put(self, key: str, result: AnalysisResult) -> None:
         self._insert(key, result)
-        path = self._path(key)
-        if path is not None:
+        if self.store is not None:
             # A failed disk write is never fatal: the result was
             # computed, the caller gets it, the entry is just a miss
             # next time (mirrors get()'s corrupt-entry handling).
-            tmp = None
-            try:
-                os.makedirs(self.cache_dir, exist_ok=True)
-                fd, tmp = tempfile.mkstemp(
-                    dir=self.cache_dir, suffix=".tmp"
-                )
-                with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    handle.write(result.to_json())
-                os.replace(tmp, path)
-            except OSError:
-                if tmp is not None:
-                    try:
-                        os.unlink(tmp)
-                    except OSError:
-                        pass
+            self.store.put_text(key, result.to_json())
 
     def _insert(self, key: str, result: AnalysisResult) -> None:
         if self.capacity == 0:

@@ -1,0 +1,204 @@
+"""The sharded on-disk result store — one format for offline and served paths.
+
+Results are keyed by :func:`repro.api.session.request_digest` (the
+SHA-256 of the canonical request JSON) and stored as
+
+    <root>/<digest[:2]>/<digest>.json
+
+— 256-way digest-prefix shards so a production store with millions of
+entries never puts more than ~1/256th of them in one directory, and so
+concurrent writers (worker processes, multiple server processes over
+one store directory) contend on different directories.
+
+Safety properties:
+
+* **Atomic writes.**  Every entry is written to a temp file in the
+  *destination shard* and published with ``os.replace`` — readers never
+  observe a partial entry, and concurrent writers of the same digest
+  race benignly (both write byte-identical canonical JSON; last rename
+  wins).
+* **Crash tolerance.**  A failed write never raises out of
+  :meth:`put_text`; the entry is simply a miss next time.  Stray
+  ``.tmp`` files from a killed writer are ignored by readers.
+* **Legacy compatibility.**  Stores written by the pre-sharded
+  ``ResultCache`` kept flat ``<root>/<digest>.json`` entries; those are
+  still read (and transparently promoted into the sharded layout) so
+  existing cache directories keep working.
+
+The store deals only in digest → JSON *text*.  Parsing and schema
+checks stay with the callers (:class:`repro.api.session.ResultCache`,
+:mod:`repro.serve.service`), which also lets the serving path ship the
+stored bytes verbatim — a warm response is byte-identical to the cold
+one by construction.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import tempfile
+from typing import Dict, Iterator, Optional
+
+#: Exactly the shape request_digest() produces.
+_DIGEST_RE = re.compile(r"\A[0-9a-f]{64}\Z")
+
+#: Hex characters of the digest used as the shard directory name.
+SHARD_PREFIX_LEN = 2
+
+
+def is_digest(text: str) -> bool:
+    """Whether ``text`` is a well-formed request digest (64 hex chars)."""
+    return isinstance(text, str) and _DIGEST_RE.match(text) is not None
+
+
+class ShardedResultStore:
+    """A digest-keyed JSON store over 256 digest-prefix shards.
+
+    Instances are cheap (no I/O at construction) and safe to share
+    across threads; the counters are advisory (plain ints, updated
+    without locking) and exist for the ``/v1/stats`` endpoint, not for
+    correctness.
+    """
+
+    def __init__(self, root: str, read_legacy: bool = True) -> None:
+        self.root = root
+        self.read_legacy = read_legacy
+        self.hits = 0
+        self.misses = 0
+        self.legacy_hits = 0
+        self.writes = 0
+        self.write_errors = 0
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+
+    def path(self, digest: str) -> str:
+        """The sharded path of ``digest`` (whether or not it exists)."""
+        self._check(digest)
+        return os.path.join(
+            self.root, digest[:SHARD_PREFIX_LEN], f"{digest}.json"
+        )
+
+    def legacy_path(self, digest: str) -> str:
+        """Where the pre-sharded flat layout kept ``digest``."""
+        self._check(digest)
+        return os.path.join(self.root, f"{digest}.json")
+
+    @staticmethod
+    def _check(digest: str) -> None:
+        if not is_digest(digest):
+            raise ValueError(f"not a request digest: {digest!r}")
+
+    # ------------------------------------------------------------------
+    # Read / write
+    # ------------------------------------------------------------------
+
+    def get_text(self, digest: str) -> Optional[str]:
+        """The stored JSON text for ``digest``, or None on a miss.
+
+        Reads the sharded entry first, then (by default) the legacy
+        flat entry, promoting a legacy hit into the sharded layout so
+        old store directories migrate incrementally as they are read.
+        """
+        text = self._read(self.path(digest))
+        if text is not None:
+            self.hits += 1
+            return text
+        if self.read_legacy:
+            text = self._read(self.legacy_path(digest))
+            if text is not None:
+                self.hits += 1
+                self.legacy_hits += 1
+                self._write(digest, text)  # promote; failure is fine
+                return text
+        self.misses += 1
+        return None
+
+    def put_text(self, digest: str, text: str) -> bool:
+        """Atomically store ``text`` under ``digest``.
+
+        Returns False (never raises) when the write fails — the result
+        was computed and the caller still has it; the store entry is
+        just a miss next time.
+        """
+        self._check(digest)
+        ok = self._write(digest, text)
+        if ok:
+            self.writes += 1
+        else:
+            self.write_errors += 1
+        return ok
+
+    def __contains__(self, digest: str) -> bool:
+        if not is_digest(digest):
+            return False
+        if os.path.exists(self.path(digest)):
+            return True
+        return self.read_legacy and os.path.exists(self.legacy_path(digest))
+
+    @staticmethod
+    def _read(path: str) -> Optional[str]:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return handle.read()
+        except OSError:
+            return None
+
+    def _write(self, digest: str, text: str) -> bool:
+        shard = os.path.join(self.root, digest[:SHARD_PREFIX_LEN])
+        tmp = None
+        try:
+            os.makedirs(shard, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=shard, suffix=".tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp, os.path.join(shard, f"{digest}.json"))
+            return True
+        except OSError:
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+            return False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def iter_digests(self) -> Iterator[str]:
+        """All digests currently stored (sharded and legacy entries)."""
+        seen = set()
+        try:
+            top = os.listdir(self.root)
+        except OSError:
+            return
+        for entry in sorted(top):
+            path = os.path.join(self.root, entry)
+            if len(entry) == SHARD_PREFIX_LEN and os.path.isdir(path):
+                try:
+                    names = os.listdir(path)
+                except OSError:
+                    continue
+                for name in sorted(names):
+                    digest = name[:-5] if name.endswith(".json") else ""
+                    if is_digest(digest) and digest not in seen:
+                        seen.add(digest)
+                        yield digest
+            elif entry.endswith(".json") and is_digest(entry[:-5]):
+                if entry[:-5] not in seen:
+                    seen.add(entry[:-5])
+                    yield entry[:-5]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.iter_digests())
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "legacy_hits": self.legacy_hits,
+            "writes": self.writes,
+            "write_errors": self.write_errors,
+        }

@@ -7,6 +7,9 @@ Sub-commands:
 * ``improve <expr>`` — run the mini-Herbie on a bare expression.
 * ``corpus`` — list or analyse the bundled 86-benchmark suite.
 * ``backends`` — list the registered analysis backends.
+* ``serve`` — run the analysis-as-a-service HTTP server
+  (:mod:`repro.serve`): warm answers from the sharded result store,
+  cold ones through a supervised worker pool.
 
 All analysis routes through :class:`repro.api.AnalysisSession`, so the
 CLI exercises exactly the code path programmatic and batch callers use.
@@ -159,6 +162,21 @@ def _command_backends(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.serve.server import run_server
+
+    return run_server(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        store_dir=args.store_dir,
+        queue_limit=args.queue_limit,
+        timeout=args.timeout if args.timeout > 0 else None,
+        batch_shard_size=args.shard_size,
+        log_level=args.log_level,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="herbgrind-py",
@@ -252,6 +270,34 @@ def build_parser() -> argparse.ArgumentParser:
 
     backends = sub.add_parser("backends", help="list analysis backends")
     backends.set_defaults(func=_command_backends)
+
+    serve = sub.add_parser(
+        "serve", help="run the analysis HTTP server (repro.serve)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8318,
+                       help="TCP port (0 picks a free one; the chosen "
+                            "port is printed on startup)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="analysis worker processes")
+    serve.add_argument("--store-dir", metavar="DIR",
+                       help="sharded result store directory, shared "
+                            "with AnalysisSession(cache_dir=...) and "
+                            "safe for multiple server processes")
+    serve.add_argument("--queue-limit", type=int, default=64,
+                       help="bounded cold-path queue; beyond it "
+                            "requests get HTTP 429")
+    serve.add_argument("--timeout", type=float, default=300.0,
+                       help="per-request analysis timeout in seconds "
+                            "(0 disables; timed-out workers are "
+                            "killed and respawned)")
+    serve.add_argument("--shard-size", type=int, default=4,
+                       help="requests per work-stealing shard for "
+                            "POST /v1/batch")
+    serve.add_argument("--log-level", default="info",
+                       choices=("debug", "info", "warning", "error"),
+                       help="structured per-request log verbosity")
+    serve.set_defaults(func=_command_serve)
     return parser
 
 

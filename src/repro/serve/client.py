@@ -1,0 +1,183 @@
+"""A lightweight blocking client for the :mod:`repro.serve` API.
+
+Built on :mod:`http.client` (stdlib only) with keep-alive connection
+reuse, so the traffic-replay benchmark measures server latency rather
+than TCP handshakes.  One :class:`ServeClient` wraps one connection and
+is **not** thread-safe — concurrent load generators open one client per
+thread (see ``benchmarks/bench_serving.py``).
+
+>>> client = ServeClient("127.0.0.1", 8318)
+>>> reply = client.analyze(session.request(core))   # doctest: +SKIP
+>>> reply.source                                     # doctest: +SKIP
+'computed'
+>>> client.analyze(session.request(core)).source     # doctest: +SKIP
+'store'
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Union
+
+from repro.api.requests import AnalysisRequest
+from repro.api.results import AnalysisResult
+
+RequestLike = Union[AnalysisRequest, Dict[str, Any]]
+
+
+class ServeError(Exception):
+    """A structured error response from the server.
+
+    Carries the HTTP ``status`` and the decoded ``{"error": ...}``
+    payload: ``error_type``, ``message``, and ``digest`` when the
+    server knew it.
+    """
+
+    def __init__(self, status: int, payload: Dict[str, Any]) -> None:
+        error = payload.get("error", {}) if isinstance(payload, dict) else {}
+        self.status = status
+        self.error_type = error.get("type", "unknown")
+        self.message = error.get("message", "")
+        self.digest = error.get("digest")
+        super().__init__(
+            f"HTTP {status} {self.error_type}: {self.message}"
+        )
+
+
+@dataclass
+class ServeReply:
+    """One successful exchange: exact body text plus routing metadata."""
+
+    status: int
+    text: str
+    digest: Optional[str]
+    source: str
+
+    def json(self) -> Any:
+        return json.loads(self.text)
+
+    def result(self) -> AnalysisResult:
+        return AnalysisResult.from_json(self.text)
+
+
+def _payload(request: RequestLike) -> Dict[str, Any]:
+    if isinstance(request, AnalysisRequest):
+        return request.to_dict()
+    return request
+
+
+class ServeClient:
+    """A keep-alive HTTP client for one ``repro serve`` endpoint."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8318,
+                 timeout: float = 120.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _exchange(self, method: str, path: str,
+                  body: Optional[Dict[str, Any]] = None) -> ServeReply:
+        data = None
+        headers = {}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=data, headers=headers)
+                response = conn.getresponse()
+                text = response.read().decode("utf-8")
+                break
+            except (http.client.HTTPException, ConnectionError, OSError):
+                # A stale keep-alive connection (server restarted or
+                # idle-closed): reconnect once, then let it raise.
+                self.close()
+                if attempt:
+                    raise
+        reply = ServeReply(
+            status=response.status,
+            text=text,
+            digest=response.headers.get("X-Repro-Digest"),
+            source=response.headers.get("X-Repro-Source", ""),
+        )
+        if reply.status >= 400:
+            try:
+                payload = json.loads(text)
+            except json.JSONDecodeError:
+                payload = {"error": {"type": "unknown", "message": text}}
+            raise ServeError(reply.status, payload)
+        return reply
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._exchange("GET", "/v1/health").json()
+
+    def stats(self) -> Dict[str, Any]:
+        return self._exchange("GET", "/v1/stats").json()
+
+    def result_text(self, digest: str) -> ServeReply:
+        """``GET /v1/result/<digest>`` — raises ServeError(404) on a miss."""
+        return self._exchange("GET", f"/v1/result/{digest}")
+
+    def analyze(self, request: RequestLike) -> ServeReply:
+        """``POST /v1/analyze`` — returns the reply with the exact body.
+
+        ``reply.text`` is byte-identical to
+        ``AnalysisSession().analyze(request).to_json()`` for the same
+        request; ``reply.result()`` parses it.
+        """
+        return self._exchange("POST", "/v1/analyze", _payload(request))
+
+    def analyze_result(self, request: RequestLike) -> AnalysisResult:
+        return self.analyze(request).result()
+
+    def batch(self, requests: List[RequestLike],
+              shard_size: Optional[int] = None) -> Dict[str, Any]:
+        """``POST /v1/batch`` — returns the decoded batch envelope."""
+        body: Dict[str, Any] = {
+            "requests": [_payload(r) for r in requests]
+        }
+        if shard_size is not None:
+            body["shard_size"] = shard_size
+        return self._exchange("POST", "/v1/batch", body).json()
+
+    def batch_results(self, requests: List[RequestLike],
+                      shard_size: Optional[int] = None,
+                      ) -> List[AnalysisResult]:
+        """Batch analyze, raising on any per-request error entry."""
+        envelope = self.batch(requests, shard_size)
+        results = []
+        for entry in envelope["results"]:
+            if "error" in entry:
+                raise ServeError(500, entry)
+            results.append(AnalysisResult.from_dict(entry))
+        return results

@@ -1,0 +1,369 @@
+"""A supervised process pool for cold analyses.
+
+``concurrent.futures.ProcessPoolExecutor`` cannot kill a task that is
+already running, which makes per-request timeouts and crash recovery
+impossible — and an analysis request is arbitrary user input that can
+run for minutes or exhaust a worker.  This pool therefore supervises
+its own ``multiprocessing`` processes:
+
+* each worker process is paired with a dispatcher *thread* in the
+  server process; dispatchers pull tasks from one shared bounded queue
+  (an idle worker steals the next task — this shared queue is also
+  what makes ``/v1/batch`` shard scheduling work-stealing),
+* a task that exceeds its deadline gets its worker **killed** and
+  respawned; the task fails with :class:`AnalysisTimeout` while every
+  other task is unaffected,
+* a worker that dies mid-task (segfault, ``os._exit``, OOM kill)
+  is detected through the closed pipe and respawned; the task fails
+  with :class:`WorkerCrashed`,
+* the queue is bounded: :meth:`WorkerPool.submit` raises
+  :class:`QueueFull` instead of buffering unboundedly — the serving
+  layer turns that into HTTP 429 backpressure,
+* :meth:`WorkerPool.close` drains: queued and in-flight tasks finish,
+  late submits raise :class:`PoolClosed` (HTTP 503), workers exit
+  cleanly.
+
+The task payload is a **list of request dicts** (a shard); the future
+resolves to a list of reply tuples, one per request, in order:
+``("ok", result_json_text)`` or ``("error", error_type, message)``.
+Analysis failures are therefore *data*, not pool exceptions — only
+infrastructure failures (timeout, crash, rejection) surface as
+exceptions on the future.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import stat
+import threading
+from concurrent.futures import Future
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: Reply tuples the default worker sends back, one per request dict.
+Reply = Tuple[str, ...]
+
+
+class PoolError(Exception):
+    """Base class of pool infrastructure failures."""
+
+
+class QueueFull(PoolError):
+    """The bounded task queue is full — shed load (HTTP 429)."""
+
+
+class PoolClosed(PoolError):
+    """The pool is shutting down — stop sending work (HTTP 503)."""
+
+
+class AnalysisTimeout(PoolError):
+    """The task exceeded its deadline; its worker was killed."""
+
+
+class WorkerCrashed(PoolError):
+    """The worker process died mid-task."""
+
+
+def _analysis_worker_main(conn) -> None:
+    """Worker-process loop: shard of request dicts in, replies out.
+
+    Runs :func:`repro.api.session._execute` — the same no-cache path
+    ``analyze_batch`` workers use — and serializes each result with
+    ``to_json()`` so the serving layer ships bytes identical to an
+    in-process ``AnalysisSession``.  Any exception an analysis raises
+    becomes an ``("error", type, message)`` reply; only process death
+    is a crash.
+    """
+    from repro.api.requests import AnalysisRequest
+    from repro.api.session import _execute
+
+    while True:
+        try:
+            payload = conn.recv()
+        except (EOFError, OSError):
+            break
+        if payload is None:
+            break
+        replies: List[Reply] = []
+        for data in payload:
+            try:
+                request = AnalysisRequest.from_dict(data)
+                replies.append(("ok", _execute(request).to_json()))
+            except Exception as exc:  # noqa: BLE001 — reply, don't die
+                replies.append(("error", type(exc).__name__, str(exc)))
+        try:
+            conn.send(replies)
+        except (BrokenPipeError, OSError):
+            break
+
+
+def _scrub_inherited_sockets(keep_fd: int) -> None:
+    """Close socket fds the fork copied from the server process.
+
+    A forked worker inherits every open fd: the listening socket,
+    accepted client connections, sibling workers' pipes.  Left open,
+    those dups pin TCP connections for the worker's lifetime — the
+    peer's close never reaches EOF, so keep-alive connections (and
+    graceful shutdown waiting on them) hang.  Only the worker's own
+    command pipe (a socketpair) is kept; non-socket fds (stdio, log
+    files, the resource tracker pipe) are left alone.
+    """
+    try:
+        fds = [int(name) for name in os.listdir("/proc/self/fd")]
+    except (OSError, ValueError):  # no procfs: skip the hygiene pass
+        return
+    for fd in fds:
+        if fd <= 2 or fd == keep_fd:
+            continue
+        try:
+            if stat.S_ISSOCK(os.fstat(fd).st_mode):
+                os.close(fd)
+        except OSError:
+            continue
+
+
+def _worker_entry(worker_main: Callable, conn) -> None:
+    """Child-process entry: fd hygiene first, then the worker loop."""
+    _scrub_inherited_sockets(conn.fileno())
+    worker_main(conn)
+
+
+_SENTINEL = object()
+
+
+def _pool_context():
+    """Prefer fork (cheap respawns, no pickling constraints)."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+class _Worker:
+    """One supervised worker process and its parent-side pipe."""
+
+    def __init__(self, ctx, worker_main) -> None:
+        self._ctx = ctx
+        self._main = worker_main
+        self.process = None
+        self.conn = None
+        self.restarts = -1  # first ensure() is a start, not a restart
+        self.ensure()
+
+    def ensure(self) -> None:
+        if self.process is not None and self.process.is_alive():
+            return
+        self.discard()
+        parent, child = self._ctx.Pipe(duplex=True)
+        self.process = self._ctx.Process(
+            target=_worker_entry, args=(self._main, child), daemon=True
+        )
+        self.process.start()
+        child.close()  # parent's recv sees EOF if the worker dies
+        self.conn = parent
+        self.restarts += 1
+
+    def kill(self) -> None:
+        if self.process is not None and self.process.is_alive():
+            self.process.kill()
+            self.process.join()
+        self.discard()
+
+    def discard(self) -> None:
+        if self.conn is not None:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+        self.conn = None
+        self.process = None
+
+    def shutdown(self, timeout: float = 2.0) -> None:
+        if self.process is None:
+            return
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join()
+        self.discard()
+
+
+class WorkerPool:
+    """A fixed-size supervised analysis pool with a bounded queue."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        queue_limit: int = 64,
+        timeout: Optional[float] = 300.0,
+        worker_main: Callable = _analysis_worker_main,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("worker pool needs at least one worker")
+        self.workers = workers
+        self.queue_limit = queue_limit
+        self.timeout = timeout
+        self._tasks: "queue.Queue" = queue.Queue(
+            maxsize=queue_limit if queue_limit > 0 else 0
+        )
+        self._closed = False
+        self._lock = threading.Lock()
+        self.completed = 0
+        self.timeouts = 0
+        self.crashes = 0
+        self._active = 0
+        # Spawn the processes before the dispatcher threads so the
+        # initial forks happen from a quiet (single-threaded) parent.
+        self._workers = [_Worker(_pool_context(), worker_main)
+                         for _ in range(workers)]
+        self._threads = [
+            threading.Thread(
+                target=self._dispatch_loop, args=(w,),
+                name=f"repro-serve-worker-{i}", daemon=True,
+            )
+            for i, w in enumerate(self._workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        shard: List[Dict[str, Any]],
+        timeout: Optional[float] = None,
+    ) -> "Future[List[Reply]]":
+        """Queue one shard (list of request dicts) for a worker.
+
+        Returns a thread-safe future resolving to the reply list.  The
+        per-shard deadline defaults to the pool's ``timeout`` scaled by
+        the shard size.
+        """
+        if self._closed:
+            raise PoolClosed("worker pool is shutting down")
+        if timeout is None and self.timeout is not None:
+            timeout = self.timeout * max(1, len(shard))
+        future: "Future[List[Reply]]" = Future()
+        try:
+            self._tasks.put_nowait((future, shard, timeout))
+        except queue.Full:
+            raise QueueFull(
+                f"task queue at capacity ({self.queue_limit})"
+            ) from None
+        return future
+
+    # ------------------------------------------------------------------
+    # Dispatching (one thread per worker)
+    # ------------------------------------------------------------------
+
+    def _dispatch_loop(self, worker: _Worker) -> None:
+        while True:
+            item = self._tasks.get()
+            if item is _SENTINEL:
+                break
+            future, shard, timeout = item
+            if not future.set_running_or_notify_cancel():
+                continue
+            with self._lock:
+                self._active += 1
+            try:
+                self._dispatch(worker, future, shard, timeout)
+            finally:
+                with self._lock:
+                    self._active -= 1
+        worker.shutdown()
+
+    def _dispatch(self, worker, future, shard, timeout) -> None:
+        try:
+            worker.ensure()
+            worker.conn.send(shard)
+        except (BrokenPipeError, OSError):
+            # The worker died while idle; one fresh process, one retry.
+            try:
+                worker.kill()
+                worker.ensure()
+                worker.conn.send(shard)
+            except (BrokenPipeError, OSError) as exc:
+                self.crashes += 1
+                future.set_exception(
+                    WorkerCrashed(f"could not reach worker: {exc}")
+                )
+                return
+        try:
+            if timeout is not None and not worker.conn.poll(timeout):
+                worker.kill()  # the only way to stop a running task
+                self.timeouts += 1
+                future.set_exception(AnalysisTimeout(
+                    f"no result within {timeout:.1f}s; worker killed"
+                ))
+                return
+            replies = worker.conn.recv()
+        except (EOFError, OSError):
+            worker.kill()
+            self.crashes += 1
+            future.set_exception(
+                WorkerCrashed("worker process died mid-task")
+            )
+            return
+        self.completed += 1
+        future.set_result(replies)
+
+    # ------------------------------------------------------------------
+    # Lifecycle / introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            active = self._active
+        return {
+            "workers": self.workers,
+            "queue_depth": self._tasks.qsize(),
+            "queue_limit": self.queue_limit,
+            "active": active,
+            "completed": self.completed,
+            "timeouts": self.timeouts,
+            "crashes": self.crashes,
+            "restarts": sum(w.restarts for w in self._workers),
+        }
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self, drain: bool = True) -> None:
+        """Shut down; with ``drain`` (default) queued tasks finish first.
+
+        Without ``drain``, queued-but-unstarted tasks are cancelled;
+        tasks already on a worker still run to completion (a kill here
+        would lose computed results for no latency win).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if not drain:
+            while True:
+                try:
+                    item = self._tasks.get_nowait()
+                except queue.Empty:
+                    break
+                if item is not _SENTINEL:
+                    item[0].cancel()
+        for _ in self._threads:
+            # FIFO: sentinels land behind any remaining work, so each
+            # dispatcher finishes the queue before exiting.
+            self._tasks.put(_SENTINEL)
+        for thread in self._threads:
+            thread.join()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

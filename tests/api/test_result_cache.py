@@ -175,6 +175,15 @@ class TestMemoryCache:
         assert counting_backend.runs == 2
 
 
+def _disk_entries(cache_dir):
+    """All persisted result files under the sharded cache layout."""
+    found = []
+    for root, _dirs, files in os.walk(cache_dir):
+        found.extend(os.path.join(root, name) for name in files
+                     if name.endswith(".json"))
+    return sorted(found)
+
+
 class TestDiskCache:
     def test_results_persist_across_sessions(self, counting_backend,
                                              tmp_path):
@@ -185,8 +194,7 @@ class TestDiskCache:
         )
         cold = first.analyze(ERRONEOUS)
         assert counting_backend.runs == 1
-        entries = os.listdir(cache_dir)
-        assert len(entries) == 1 and entries[0].endswith(".json")
+        assert len(_disk_entries(cache_dir)) == 1
 
         second = AnalysisSession(
             config=FAST, backend=counting_backend.name, num_points=4,
@@ -197,18 +205,20 @@ class TestDiskCache:
         assert warm.to_json() == cold.to_json()
         assert warm.raw is None  # disk results carry no raw analysis
 
-    def test_disk_entries_are_canonical_json(self, counting_backend,
-                                             tmp_path):
+    def test_disk_entries_are_canonical_sharded_json(
+        self, counting_backend, tmp_path
+    ):
         cache_dir = str(tmp_path / "results")
         session = AnalysisSession(
             config=FAST, backend=counting_backend.name, num_points=4,
             cache_dir=cache_dir,
         )
         result = session.analyze(ERRONEOUS)
-        [entry] = os.listdir(cache_dir)
         digest = request_digest(session.request(ERRONEOUS))
-        assert entry == f"{digest}.json"
-        with open(os.path.join(cache_dir, entry), encoding="utf-8") as fh:
+        # Entries shard by digest prefix: <dir>/<digest[:2]>/<digest>.json
+        expected = os.path.join(cache_dir, digest[:2], f"{digest}.json")
+        assert _disk_entries(cache_dir) == [expected]
+        with open(expected, encoding="utf-8") as fh:
             assert json.load(fh) == result.to_dict()
 
     def test_disk_only_cache(self, counting_backend, tmp_path):
@@ -221,7 +231,7 @@ class TestDiskCache:
         session.analyze(ERRONEOUS)
         session.analyze(ERRONEOUS)
         assert counting_backend.runs == 1  # second call hit the disk
-        assert len(os.listdir(cache_dir)) == 1
+        assert len(_disk_entries(cache_dir)) == 1
 
     def test_unwritable_cache_dir_is_not_fatal(self, counting_backend,
                                                tmp_path):
@@ -244,8 +254,8 @@ class TestDiskCache:
             cache_dir=cache_dir,
         )
         session.analyze(ERRONEOUS)
-        [entry] = os.listdir(cache_dir)
-        with open(os.path.join(cache_dir, entry), "w") as fh:
+        [entry] = _disk_entries(cache_dir)
+        with open(entry, "w") as fh:
             fh.write("{not json")
         fresh = AnalysisSession(
             config=FAST, backend=counting_backend.name, num_points=4,
@@ -253,6 +263,32 @@ class TestDiskCache:
         )
         fresh.analyze(ERRONEOUS)
         assert counting_backend.runs == 2
+
+    def test_legacy_flat_entry_is_read_and_promoted(
+        self, counting_backend, tmp_path
+    ):
+        # Pre-sharding cache dirs stored results flat as
+        # <dir>/<digest>.json; they must stay readable, and a hit gets
+        # promoted into the sharded layout for the next reader.
+        cache_dir = str(tmp_path / "results")
+        seeder = AnalysisSession(
+            config=FAST, backend=counting_backend.name, num_points=4,
+            cache_dir=cache_dir,
+        )
+        seeder.analyze(ERRONEOUS)
+        digest = request_digest(seeder.request(ERRONEOUS))
+        sharded = os.path.join(cache_dir, digest[:2], f"{digest}.json")
+        legacy = os.path.join(cache_dir, f"{digest}.json")
+        os.rename(sharded, legacy)  # demote to the legacy flat layout
+        os.rmdir(os.path.dirname(sharded))
+
+        fresh = AnalysisSession(
+            config=FAST, backend=counting_backend.name, num_points=4,
+            cache_dir=cache_dir,
+        )
+        fresh.analyze(ERRONEOUS)
+        assert counting_backend.runs == 1  # served from the legacy file
+        assert os.path.exists(sharded)  # and promoted on the way
 
 
 class TestBatchCaching:

@@ -1,0 +1,242 @@
+"""The transport-free serving core: warm layers, in-flight dedupe,
+structured errors, and batch sharding — driven directly as coroutines."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.api import AnalysisSession, request_digest
+from repro.api.store import ShardedResultStore
+from repro.core import AnalysisConfig
+from repro.serve.service import AnalysisService
+
+CORE = "(FPCore (x) :name \"t\" :pre (<= 1e16 x 1e17) (- (+ x 1) x))"
+CLEAN = "(FPCore (x) :name \"ok\" :pre (<= 1 x 2) (+ x 1))"
+FAST = AnalysisConfig(shadow_precision=96)
+
+
+def _request(core=CORE, **overrides):
+    session = AnalysisSession(config=FAST, num_points=3)
+    return session.request(core, **overrides)
+
+
+def _expected_json(request):
+    return AnalysisSession(config=FAST, num_points=3).analyze(
+        request
+    ).to_json()
+
+
+async def _closed(service, coro):
+    try:
+        return await coro
+    finally:
+        await service.close()
+
+
+class TestSinglePath:
+    def test_cold_then_memory_then_store(self, tmp_path):
+        request = _request()
+        expected = _expected_json(request)
+
+        async def scenario():
+            store = ShardedResultStore(str(tmp_path))
+            service = AnalysisService(store=store, workers=1)
+            first = await service.analyze_payload(request.to_dict())
+            second = await service.analyze_payload(request.to_dict())
+            await service.close()
+            # A different process over the same store dir: warm.
+            fresh = AnalysisService(store=ShardedResultStore(
+                str(tmp_path)), workers=1)
+            third = await fresh.analyze_payload(request.to_dict())
+            await fresh.close()
+            return first, second, third
+
+        first, second, third = asyncio.run(scenario())
+        assert (first.status, first.source) == (200, "computed")
+        assert first.digest == request_digest(request)
+        assert first.body == expected  # byte-identical to in-process
+        assert (second.status, second.source) == (200, "memory")
+        assert second.body == expected
+        assert (third.status, third.source) == (200, "store")
+        assert third.body == expected
+
+    def test_invalid_request_is_structured_400(self):
+        async def scenario():
+            service = AnalysisService(workers=1)
+            return await _closed(
+                service, service.analyze_payload({"core": "(not fpcore"})
+            )
+
+        outcome = asyncio.run(scenario())
+        assert outcome.status == 400
+        assert json.loads(outcome.body)["error"]["type"] == \
+            "invalid_request"
+
+    def test_analysis_failure_is_structured_500_with_digest(self):
+        # Parses as a request but the compiler rejects the free `y`.
+        bad = {"core": "(FPCore (x) (+ x y))", "num_points": 2,
+               "config": {"shadow_precision": 96}}
+
+        async def scenario():
+            service = AnalysisService(workers=1)
+            return await _closed(service, service.analyze_payload(bad))
+
+        outcome = asyncio.run(scenario())
+        assert outcome.status == 500
+        error = json.loads(outcome.body)["error"]
+        assert error["type"] == "analysis_error"
+        assert error["digest"] == outcome.digest
+        assert error["message"]  # carries the exception type + text
+
+    def test_lookup_digest(self, tmp_path):
+        request = _request()
+
+        async def scenario():
+            service = AnalysisService(
+                store=ShardedResultStore(str(tmp_path)), workers=1
+            )
+            computed = await service.analyze_payload(request.to_dict())
+            hit = service.lookup_digest(computed.digest)
+            miss = service.lookup_digest("0" * 64)
+            bad = service.lookup_digest("nope")
+            await service.close()
+            return computed, hit, miss, bad
+
+        computed, hit, miss, bad = asyncio.run(scenario())
+        assert hit.status == 200 and hit.body == computed.body
+        assert miss.status == 404
+        assert json.loads(miss.body)["error"]["type"] == "not_found"
+        assert bad.status == 400
+
+
+class TestDedupe:
+    def test_concurrent_identical_requests_compute_once(self):
+        request = _request()
+        n = 8
+
+        async def scenario():
+            service = AnalysisService(workers=2)
+            outcomes = await asyncio.gather(*(
+                service.analyze_payload(request.to_dict())
+                for _ in range(n)
+            ))
+            counters = service.counters
+            await service.close()
+            return outcomes, counters
+
+        outcomes, counters = asyncio.run(scenario())
+        assert all(o.status == 200 for o in outcomes)
+        assert len({o.body for o in outcomes}) == 1
+        assert counters.computed == 1  # exactly one computation
+        assert counters.dedupe_hits == n - 1
+        sources = sorted(o.source for o in outcomes)
+        assert sources.count("computed") == 1
+        assert sources.count("dedupe") == n - 1
+
+    def test_waiters_see_the_failure_too(self):
+        bad = {"core": "(FPCore (x) (+ x y))", "num_points": 2,
+               "config": {"shadow_precision": 96}}
+
+        async def scenario():
+            service = AnalysisService(workers=1)
+            outcomes = await asyncio.gather(*(
+                service.analyze_payload(dict(bad)) for _ in range(4)
+            ))
+            counters = service.counters
+            await service.close()
+            return outcomes, counters
+
+        outcomes, counters = asyncio.run(scenario())
+        assert all(o.status == 500 for o in outcomes)
+        assert counters.analysis_errors == 1  # one run, shared outcome
+
+
+class TestBatch:
+    def test_batch_mixed_warm_duplicate_and_invalid(self, tmp_path):
+        erroneous = _request()
+        clean = _request(CLEAN)
+        expected = _expected_json(erroneous)
+
+        async def scenario():
+            service = AnalysisService(
+                store=ShardedResultStore(str(tmp_path)), workers=2
+            )
+            await service.analyze_payload(erroneous.to_dict())  # pre-warm
+            outcome = await service.analyze_batch_payload({
+                "requests": [
+                    erroneous.to_dict(),     # warm
+                    clean.to_dict(),         # cold
+                    clean.to_dict(),         # duplicate of the cold one
+                    {"core": "(broken"},     # invalid
+                ],
+            })
+            counters = service.counters
+            await service.close()
+            return outcome, counters
+
+        outcome, counters = asyncio.run(scenario())
+        envelope = json.loads(outcome.body)
+        assert outcome.status == 207  # one entry failed
+        assert envelope["count"] == 4 and envelope["errors"] == 1
+        results = envelope["results"]
+        assert json.dumps(results[0], indent=2, sort_keys=True) == expected
+        assert results[1] == results[2]  # duplicate computed once
+        assert results[3]["error"]["type"] == "invalid_request"
+        assert counters.computed == 2  # the pre-warm + the clean core
+        assert counters.dedupe_hits == 1
+
+    def test_batch_shards_steal_across_workers(self):
+        requests = [_request(CLEAN, seed=i) for i in range(6)]
+
+        async def scenario():
+            service = AnalysisService(workers=2, batch_shard_size=1)
+            outcome = await service.analyze_batch_payload(
+                {"requests": [r.to_dict() for r in requests]}
+            )
+            pool_stats = service.pool.stats()
+            await service.close()
+            return outcome, pool_stats
+
+        outcome, pool_stats = asyncio.run(scenario())
+        envelope = json.loads(outcome.body)
+        assert outcome.status == 200 and envelope["errors"] == 0
+        # 6 one-request shards drained through the shared queue.
+        assert pool_stats["completed"] == 6
+        session = AnalysisSession(config=FAST, num_points=3)
+        for request, entry in zip(requests, envelope["results"]):
+            assert json.dumps(entry, indent=2, sort_keys=True) == \
+                session.analyze(request).to_json()
+
+    def test_batch_rejects_malformed_envelope(self):
+        async def scenario():
+            service = AnalysisService(workers=1)
+            a = await service.analyze_batch_payload({"nope": []})
+            b = await service.analyze_batch_payload(
+                {"requests": [], "shard_size": 0}
+            )
+            await service.close()
+            return a, b
+
+        a, b = asyncio.run(scenario())
+        assert a.status == 400
+        assert b.status == 400
+
+
+class TestStats:
+    def test_stats_shape(self, tmp_path):
+        async def scenario():
+            service = AnalysisService(
+                store=ShardedResultStore(str(tmp_path)), workers=1
+            )
+            await service.analyze_payload(_request().to_dict())
+            stats = service.stats()
+            await service.close()
+            return stats
+
+        stats = asyncio.run(scenario())
+        assert stats["service"]["computed"] == 1
+        assert stats["pool"]["workers"] == 1
+        assert stats["store"]["writes"] == 1
+        assert stats["inflight"] == 0
+        assert stats["draining"] is False
