@@ -20,8 +20,10 @@ the compiled fast path that attacks all three layers and emits
     (the PR-3 stack),
   - ``kernel_cache`` — + transcendental kernel-result memoization
     (the PR-4 stack),
-  - ``fused``      — + site-compiled per-op pipeline callbacks
-    (= the full compiled engine).
+  - ``fused``      — + site-compiled per-op pipeline callbacks,
+  - ``batched``    — + lockstep multi-point execution (= the full
+    compiled engine; loop benchmarks fall back per-point, so the
+    batched gain concentrates in the straight-line suite).
 
 * **Parity gate** — byte-identical ``AnalysisResult`` JSON between
   every configuration and the reference engine, under both precision
@@ -68,8 +70,9 @@ from repro.machine import CompiledProgram, Interpreter, compile_fpcore
 from repro.api.sampling import sample_inputs
 
 #: Layer stack, innermost first; each entry adds one fast-path layer.
-#: "antiunify" is the PR-3 stack, "kernel_cache" the PR-4 stack, and
-#: "fused" adds the site-compiled per-op pipeline (the full compiled
+#: "antiunify" is the PR-3 stack, "kernel_cache" the PR-4 stack,
+#: "fused" adds the site-compiled per-op pipeline, and "batched" runs
+#: all sample points in lockstep through it (the full compiled
 #: engine).
 LAYERS = (
     ("reference", EngineFeatures(False, False, False)),
@@ -79,6 +82,8 @@ LAYERS = (
     ("kernel_cache", EngineFeatures(True, True, True, kernel_cache=True)),
     ("fused", EngineFeatures(True, True, True, kernel_cache=True,
                              fused_pipeline=True)),
+    ("batched", EngineFeatures(True, True, True, kernel_cache=True,
+                               fused_pipeline=True, batched=True)),
 )
 
 
@@ -229,6 +234,47 @@ def bench_layers(suite, points: int, seed: int, repeat: int) -> Dict:
         "worst_speedup_vs_reference": min(speedups),
         "layer_attribution": attribution,
     }
+
+
+def bench_batched_per_op(suite, points: int, seed: int, repeat: int) -> Dict:
+    """Straight-line per-op cost, batched on vs off.
+
+    The headline number for lockstep execution: the same full fused
+    stack, with only the batched layer toggled, on the suite where it
+    actually engages (loop benchmarks fall back per-point).
+    """
+    on = LAYERS[-1][1]
+    off = LAYERS[-2][1]
+    total_ops = 0
+    seconds = {"batched": 0.0, "unbatched": 0.0}
+    for core in suite:
+        program = compile_fpcore(core)
+        sampled = sample_inputs(core, points, seed=seed)
+        compiled = CompiledProgram(program)
+        for point in sampled:
+            compiled.run(point)
+            total_ops += compiled.stats.float_ops + compiled.stats.library_calls
+        config = AnalysisConfig()
+        for label, features in (("batched", on), ("unbatched", off)):
+            analyze_program(  # warm caches outside the timed region
+                program, sampled, config=config, features=features
+            )
+            best = None
+            for __ in range(max(1, repeat)):
+                start = time.perf_counter()
+                analyze_program(
+                    program, sampled, config=config, features=features
+                )
+                elapsed = time.perf_counter() - start
+                best = elapsed if best is None else min(best, elapsed)
+            seconds[label] += best
+    out = {"executed_float_ops": total_ops}
+    for label, secs in seconds.items():
+        out[label + "_us_per_op"] = round(secs / max(total_ops, 1) * 1e6, 3)
+    out["batched_speedup"] = round(
+        seconds["unbatched"] / max(seconds["batched"], 1e-9), 3
+    )
+    return out
 
 
 def bench_parity(suite, points: int, seed: int) -> Dict:
@@ -492,6 +538,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   f"{k}={v['median_incremental_speedup']}x"
                   for k, v in layers["layer_attribution"].items()
               ))
+
+    report["batched_per_op"] = bench_batched_per_op(
+        straightline, args.points, args.seed, args.repeat
+    )
+    b = report["batched_per_op"]
+    print(f"batched: straight-line {b['batched_us_per_op']}us/op vs "
+          f"{b['unbatched_us_per_op']}us/op unbatched "
+          f"({b['batched_speedup']}x)")
 
     report["parity"] = bench_parity(
         everything, args.parity_points, args.seed

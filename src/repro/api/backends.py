@@ -91,6 +91,10 @@ class HerbgrindBackend(AnalysisBackend):
         from repro.core.analysis import EngineFeatures, analyze_program
         from repro.core.report import root_cause_report
 
+        # The engine's default layer stack — including lockstep
+        # batching when the compiled engine is selected (overridable
+        # via REPRO_BATCHED=0).  Results are contractually identical
+        # across every stack; the layers only change the cost.
         features = None
         if request.profile:
             # Same engine layers, plus the per-stage attribution

@@ -163,6 +163,7 @@ class AnalysisSession:
         wrap_libraries: bool = True,
         result_cache_size: int = 256,
         cache_dir: Optional[str] = None,
+        point_cache_size: int = 1024,
     ) -> None:
         self.config = config if config is not None else AnalysisConfig()
         self.backend = backend
@@ -170,7 +171,13 @@ class AnalysisSession:
         self.seed = seed
         self.wrap_libraries = wrap_libraries
         self._programs: Dict[str, isa.Program] = {}
-        self._points: Dict[Tuple[str, int, int], List[List[float]]] = {}
+        #: Sampled-input LRU, bounded like :class:`ResultCache`'s
+        #: memory layer: a corpus swept at many (count, seed)
+        #: combinations would otherwise grow this without limit.
+        self.point_cache_size = point_cache_size
+        self._points: "collections.OrderedDict[Tuple[str, int, int], List[List[float]]]" = (
+            collections.OrderedDict()
+        )
         self._cores: Dict[str, FPCore] = {}
         self.cache_hits = 0
         self.cache_misses = 0
@@ -220,9 +227,14 @@ class AnalysisSession:
         if points is None:
             self.cache_misses += 1
             points = sample_inputs(core, count, seed=seed)
-            self._points[key] = points
+            if self.point_cache_size > 0:
+                self._points[key] = points
+                self._points.move_to_end(key)
+                while len(self._points) > self.point_cache_size:
+                    self._points.popitem(last=False)
         else:
             self.cache_hits += 1
+            self._points.move_to_end(key)
         return points
 
     def clear_caches(self) -> None:
@@ -240,6 +252,7 @@ class AnalysisSession:
         return {
             "programs": len(self._programs),
             "input_sets": len(self._points),
+            "input_set_capacity": self.point_cache_size,
             "hits": self.cache_hits,
             "misses": self.cache_misses,
             "results": len(self._results) if self._results else 0,

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import math
 import operator
+import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -39,6 +40,7 @@ from repro.bigfloat.policy import EXACT
 from repro.core.config import ENGINE_COMPILED, AnalysisConfig
 from repro.core.localerror import rounded_local_error, rounded_total_error
 from repro.ieee.error import bits_of_error_fast
+from repro.ieee.float32 import to_single
 from repro.ieee.float64 import double_to_bits as _double_bits
 from repro.core.records import (
     OpRecord,
@@ -50,8 +52,17 @@ from repro.core.records import (
 from repro.core.shadow import EMPTY_INFLUENCES, ShadowEscalator, ShadowValue
 from repro.core import trace as trace_mod
 from repro.machine import isa
-from repro.machine.interpreter import Interpreter, Tracer
+from repro.machine.interpreter import Interpreter, MachineError, Tracer
 from repro.machine.values import FloatBox
+
+
+def _batched_default() -> bool:
+    """Default state of the batched layer: on, unless ``REPRO_BATCHED``
+    forces it off (the CI fallback leg sets ``REPRO_BATCHED=0`` so the
+    per-point path stays green)."""
+    return os.environ.get("REPRO_BATCHED", "1").strip().lower() not in (
+        "0", "false", "off"
+    )
 
 
 @dataclass(frozen=True)
@@ -95,6 +106,16 @@ class EngineFeatures:
     #: :attr:`HerbgrindAnalysis.stage_counters` for attribution.  Off
     #: by default: the counters cost real time on the hot path.
     profile: bool = False
+    #: Execute all sample points in lockstep through the batched engine
+    #: (:class:`repro.machine.batched.BatchedProgram`): SoA register
+    #: columns, one fused per-site callback invocation covering the
+    #: whole batch, and branch-signature grouping that splits divergent
+    #: lanes into uniform sub-batches (singletons degrade to one-lane
+    #: batches).  Loops, memory traffic, and user calls fall back to
+    #: the sequential per-point path.  Requires the fused pipeline (and
+    #: with it the pool + fast anti-unify); reports are byte-identical
+    #: either way — the parity suite pins batched-on vs batched-off.
+    batched: bool = False
 
     @classmethod
     def for_engine(cls, engine: str) -> "EngineFeatures":
@@ -102,6 +123,7 @@ class EngineFeatures:
         return cls(
             threaded_interpreter=on, trace_pool=on, fast_antiunify=on,
             kernel_cache=on, fused_pipeline=on,
+            batched=on and _batched_default(),
         )
 
 
@@ -193,6 +215,14 @@ class HerbgrindAnalysis(Tracer):
             and self.pool is not None
             and self.features.fast_antiunify
         )
+        #: Batched lockstep execution enabled (rides on the fused
+        #: pipeline: the batch callbacks are its per-lane loops).
+        self._batched = bool(self.features.batched and self._fused)
+        #: Batch-orchestration introspection (not serialized): uniform
+        #: sub-batches executed and lanes covered by them.  Zero when
+        #: every point went through the sequential per-point path.
+        self.batched_groups = 0
+        self.batched_lanes = 0
         #: Per-stage attribution counters (populated under
         #: ``features.profile``), fresh per analysis.
         self.stage_counters = PipelineStageCounters()
@@ -273,6 +303,18 @@ class HerbgrindAnalysis(Tracer):
             box.shadow = shadow
         return shadow
 
+    def _opaque_shadow_value(self, value: float) -> ShadowValue:
+        """The unboxed mirror of :meth:`_shadow`'s miss path: an opaque
+        leaf for a float that reached the analysis without a shadow
+        (batched columns store the shadow next to the value instead of
+        on a box, so the lazy fill-in happens in the column)."""
+        pool = self.pool
+        leaf = (
+            pool.opaque_ident(value) if pool is not None
+            else trace_mod.opaque_leaf(value)
+        )
+        return ShadowValue(BigFloat.from_float(value), leaf, EMPTY_INFLUENCES)
+
     # ------------------------------------------------------------------
     # Tier-checked views of shadow reals
     # ------------------------------------------------------------------
@@ -331,6 +373,28 @@ class HerbgrindAnalysis(Tracer):
             # an entry surviving this clear could be hit by an
             # unrelated value's recycled ident next run.
             self._kernel_cache.clear()
+
+    def on_batch_start(self, machine, lanes: int) -> None:
+        """One uniform sub-batch of ``lanes`` lockstep points begins.
+
+        A sub-batch shares a single pool/escalator epoch: leaf idents
+        are value-keyed and memo entries are pure functions of their
+        idents, so lanes can only *warm* each other's caches, never
+        perturb each other's values.  ``runs`` still counts epochs here;
+        the batch driver pins it to the point count afterwards so the
+        externally observable run count matches the sequential loop.
+        """
+        self.runs += 1
+        self.escalator.begin_batch(lanes)
+        if self.pool is not None:
+            # Same pending sweep as on_start: an aborted predecessor's
+            # idents are still valid until the reset below.
+            self._materialize_pending()
+            self.pool.begin_batch(lanes)
+        if self._kernel_cache is not None:
+            self._kernel_cache.clear()
+        self.batched_groups += 1
+        self.batched_lanes += lanes
 
     def on_finish(self, interpreter: Interpreter) -> None:
         """End of one execution: persist the structured view of every
@@ -589,7 +653,8 @@ class HerbgrindAnalysis(Tracer):
             if profile:
                 self.stage_counters.compensation_checks += 1
             passthrough = self._compensation_passthrough(
-                op, shadows, result_shadow, args, result
+                op, shadows, result_shadow, [a.value for a in args],
+                result.value,
             )
         if passthrough is not None:
             record.compensations_detected += 1
@@ -791,7 +856,7 @@ class HerbgrindAnalysis(Tracer):
             if compensating:
                 if escalates:
                     passthrough = self._compensation_passthrough(
-                        op, (sa, sb), shadow, (a, b), result
+                        op, (sa, sb), shadow, (a.value, b.value), value
                     )
                 elif real.is_finite():
                     # The fixed-policy compensation test, inlined: the
@@ -1098,13 +1163,452 @@ class HerbgrindAnalysis(Tracer):
                     record.influences |= left.influences | right.influences
         return run
 
+    # ------------------------------------------------------------------
+    # Batched column callbacks (the batched engine's per-site hot path):
+    # the fused pipeline's per-lane loops, amortizing the per-site setup
+    # — record lookup, kernel resolution, policy flags, table probes —
+    # across every lane of a uniform sub-batch.  Lanes are processed in
+    # ascending order inside every closure; combined with the engine's
+    # revisit-free instruction gate this makes the per-record event
+    # order identical to the sequential loop, which is what keeps the
+    # batched reports byte-identical.
+    # ------------------------------------------------------------------
+
+    def batch_site_callback(self, instr: isa.Instr, op: str, arity: int,
+                            single: bool, machine_fn):
+        """A per-site batch analysis callback, or None for the per-lane
+        path (see :meth:`Tracer.batch_site_callback`).
+
+        Unlike the fused sequential callbacks, the batch closures also
+        compute the *machine* result per lane (through ``machine_fn``,
+        the engine's ⟦f⟧_F handler for this site) so the engine never
+        boxes a float on the batched hot path.
+        """
+        if not self._batched or arity not in (1, 2) or machine_fn is None:
+            return None
+        try:
+            kernel = self.backend.handler(op)
+        except KeyError:
+            return None  # unknown to ⟦f⟧_R: the per-lane opaque path
+        fn_double = DOUBLE_HANDLERS.get(op)
+        if fn_double is None:
+            return None
+        kernel2 = self.backend.positional_handler(op, arity)
+        if arity == 2:
+            return self._build_batch_binary(
+                instr, op, kernel, kernel2, fn_double, single, machine_fn
+            )
+        return self._build_batch_unary(
+            instr, op, kernel, kernel2, fn_double, single, machine_fn
+        )
+
+    def _build_batch_binary(self, instr, op, kernel, kernel2,
+                            fn_double, single, machine_fn):
+        config = self.config
+        pool = self.pool
+        site = id(instr)
+        loc = getattr(instr, "loc", None)
+        context = self.context
+        escalates = self._escalates
+        policy = self.policy
+        cache = (
+            self._kernel_cache
+            if self._kernel_cache is not None
+            and op in KERNEL_CACHE_OPERATIONS else None
+        )
+        compensating = config.detect_compensation and op in ("+", "-")
+        is_sub = op == "-"
+        threshold = config.local_error_threshold
+        track = config.track_influences
+        counters = self.stage_counters if self._profile else None
+        shortcut = (
+            not single
+            and self.backend.double_handlers.get(op) is fn_double
+        )
+        ops_table = pool._ops_table
+        new_op = pool.new_op
+        raw = kernel2 is not None
+        empty = EMPTY_INFLUENCES
+        opaque_of = self._opaque_shadow_value
+        rounded_of = self._rounded
+        new_shadow = ShadowValue
+        err_of = bits_of_error_fast
+        narrow = to_single
+        record = None
+        fast_walk = None
+        bail_walk = None
+        total_record = None
+        prob_record = None
+
+        def run(avals, ashads, bvals, bshads):
+            nonlocal record, fast_walk, bail_walk, total_record, prob_record
+            if record is None:
+                record = self._op_record(instr, op)
+                generalization = record.generalization
+                fast_walk = generalization._fast_update_pooled
+                bail_walk = generalization.bail_update_pooled
+                total_record = record.total_inputs.record_many
+                prob_record = record.problematic_inputs.record_many
+            n = len(avals)
+            rvals = [0.0] * n
+            rshads = [None] * n
+            for i in range(n):
+                av = avals[i]
+                bv = bvals[i]
+                sa = ashads[i]
+                if sa is None:
+                    # Lazy opaque fill-in, written back into the column
+                    # so later consumers share it (the unboxed mirror
+                    # of the box-shadow sharing in the sequential path).
+                    sa = ashads[i] = opaque_of(av)
+                sb = bshads[i]
+                if sb is None:
+                    sb = bshads[i] = opaque_of(bv)
+                value = machine_fn(av, bv)
+                if single:
+                    value = narrow(value)
+                rvals[i] = value
+                ta = sa.trace
+                tb = sb.trace
+                # --- kernel stage -------------------------------------
+                if cache is not None:
+                    key = (op, ta, tb)
+                    real = cache.get(key)
+                    if real is None:
+                        real = (
+                            kernel2(sa.real, sb.real, context) if raw
+                            else kernel((sa.real, sb.real), context)
+                        )
+                        cache[key] = real
+                        self.kernel_cache_misses += 1
+                    else:
+                        self.kernel_cache_hits += 1
+                elif raw:
+                    real = kernel2(sa.real, sb.real, context)
+                else:
+                    real = kernel((sa.real, sb.real), context)
+                # --- trace stage --------------------------------------
+                node_key = (site, ta, tb)
+                node = ops_table.get(node_key)
+                if node is None:
+                    node = new_op(node_key, op, (ta, tb), value, loc)
+                if not escalates:
+                    drift = EXACT
+                elif is_sub and ta == tb:
+                    drift = EXACT
+                else:
+                    drift = policy.propagate(
+                        op, [sa.real, sb.real], [sa.drift, sb.drift], real
+                    )
+                shadow = new_shadow(real, node, empty, drift)
+                # --- error stage --------------------------------------
+                ra = sa.rounded
+                if ra is None:
+                    ra = rounded_of(sa)
+                rb = sb.rounded
+                if rb is None:
+                    rb = rounded_of(sb)
+                if escalates:
+                    exact_rounded = rounded_of(shadow)
+                else:
+                    exact_rounded = real.to_float()
+                    shadow.rounded = exact_rounded
+                if shortcut and ra == av and rb == bv \
+                        and ra != 0.0 and rb != 0.0:
+                    float_result = value
+                else:
+                    float_result = fn_double(ra, rb)
+                if float_result == exact_rounded:
+                    error_bits = 0.0
+                else:
+                    error_bits = err_of(float_result, exact_rounded)
+                record.executions += 1
+                record.sum_local_error += error_bits
+                if error_bits > record.max_local_error:
+                    record.max_local_error = error_bits
+                is_candidate = error_bits > threshold
+                # --- influence stage ----------------------------------
+                passthrough = None
+                if compensating:
+                    if escalates:
+                        passthrough = self._compensation_passthrough(
+                            op, (sa, sb), shadow, (av, bv), value
+                        )
+                    elif real.is_finite():
+                        ea = sa.total_error
+                        if ea is None:
+                            ea = sa.total_error = (
+                                0.0 if av == ra else err_of(av, ra)
+                            )
+                        eb = sb.total_error
+                        if eb is None:
+                            eb = sb.total_error = (
+                                0.0 if bv == rb else err_of(bv, rb)
+                            )
+                        if ea > 0.0 or eb > 0.0:
+                            out_error = shadow.total_error
+                            if out_error is None:
+                                out_error = shadow.total_error = (
+                                    0.0 if value == exact_rounded
+                                    else err_of(value, exact_rounded)
+                                )
+                            if out_error < ea:
+                                candidate = sa.real
+                                if candidate.is_finite() \
+                                        and candidate == real:
+                                    passthrough = 0
+                            if passthrough is None and out_error < eb:
+                                candidate = sb.real
+                                if is_sub:
+                                    candidate = candidate.neg()
+                                if candidate.is_finite() \
+                                        and candidate == real:
+                                    passthrough = 1
+                if passthrough is not None:
+                    record.compensations_detected += 1
+                    influences = (sa if passthrough == 0 else sb).influences
+                else:
+                    ia = sa.influences
+                    ib = sb.influences
+                    if ia:
+                        influences = (ia | ib) if ib else ia
+                    elif ib:
+                        influences = ib
+                    else:
+                        influences = empty
+                    if is_candidate and track:
+                        influences = influences | {record}
+                # --- expression + characteristics stage ---------------
+                generalization = record.generalization
+                if generalization.expression is not None:
+                    bindings = fast_walk(pool, node)
+                else:
+                    bindings = None
+                if bindings is None:
+                    __, bindings = bail_walk(pool, node)
+                record.pending_trace = node
+                total_record(bindings)
+                if is_candidate and passthrough is None:
+                    prob_record(bindings)
+                    if record.example_problematic is None and bindings:
+                        record.example_problematic = dict(bindings)
+                    record.candidate_executions += 1
+                if counters is not None:
+                    counters.fused_ops += 1
+                    counters.kernel_evals += 1
+                    counters.trace_interned += 1
+                    if error_bits == 0.0:
+                        counters.error_fast += 1
+                    else:
+                        counters.error_exact += 1
+                    if compensating:
+                        counters.compensation_checks += 1
+                    counters.characteristic_updates += len(bindings)
+                shadow.influences = influences
+                rshads[i] = shadow
+            return rvals, rshads
+        return run
+
+    def _build_batch_unary(self, instr, op, kernel, kernel2,
+                           fn_double, single, machine_fn):
+        config = self.config
+        pool = self.pool
+        site = id(instr)
+        loc = getattr(instr, "loc", None)
+        context = self.context
+        escalates = self._escalates
+        policy = self.policy
+        cache = (
+            self._kernel_cache
+            if self._kernel_cache is not None
+            and op in KERNEL_CACHE_OPERATIONS else None
+        )
+        threshold = config.local_error_threshold
+        track = config.track_influences
+        counters = self.stage_counters if self._profile else None
+        shortcut = (
+            not single
+            and self.backend.double_handlers.get(op) is fn_double
+        )
+        ops_table = pool._ops_table
+        new_op = pool.new_op
+        raw = kernel2 is not None
+        empty = EMPTY_INFLUENCES
+        opaque_of = self._opaque_shadow_value
+        rounded_of = self._rounded
+        new_shadow = ShadowValue
+        err_of = bits_of_error_fast
+        narrow = to_single
+        record = None
+        fast_walk = None
+        bail_walk = None
+        total_record = None
+        prob_record = None
+
+        def run(avals, ashads):
+            nonlocal record, fast_walk, bail_walk, total_record, prob_record
+            if record is None:
+                record = self._op_record(instr, op)
+                generalization = record.generalization
+                fast_walk = generalization._fast_update_pooled
+                bail_walk = generalization.bail_update_pooled
+                total_record = record.total_inputs.record_many
+                prob_record = record.problematic_inputs.record_many
+            n = len(avals)
+            rvals = [0.0] * n
+            rshads = [None] * n
+            for i in range(n):
+                av = avals[i]
+                sa = ashads[i]
+                if sa is None:
+                    sa = ashads[i] = opaque_of(av)
+                value = machine_fn(av)
+                if single:
+                    value = narrow(value)
+                rvals[i] = value
+                ta = sa.trace
+                # --- kernel stage -------------------------------------
+                if cache is not None:
+                    key = (op, ta)
+                    real = cache.get(key)
+                    if real is None:
+                        real = (
+                            kernel2(sa.real, context) if raw
+                            else kernel((sa.real,), context)
+                        )
+                        cache[key] = real
+                        self.kernel_cache_misses += 1
+                    else:
+                        self.kernel_cache_hits += 1
+                elif raw:
+                    real = kernel2(sa.real, context)
+                else:
+                    real = kernel((sa.real,), context)
+                # --- trace stage --------------------------------------
+                node_key = (site, ta)
+                node = ops_table.get(node_key)
+                if node is None:
+                    node = new_op(node_key, op, (ta,), value, loc)
+                if not escalates:
+                    drift = EXACT
+                else:
+                    drift = policy.propagate(
+                        op, [sa.real], [sa.drift], real
+                    )
+                shadow = new_shadow(real, node, empty, drift)
+                # --- error stage --------------------------------------
+                ra = sa.rounded
+                if ra is None:
+                    ra = rounded_of(sa)
+                if escalates:
+                    exact_rounded = rounded_of(shadow)
+                else:
+                    exact_rounded = real.to_float()
+                    shadow.rounded = exact_rounded
+                if shortcut and ra == av and ra != 0.0:
+                    float_result = value
+                else:
+                    float_result = fn_double(ra)
+                if float_result == exact_rounded:
+                    error_bits = 0.0
+                else:
+                    error_bits = err_of(float_result, exact_rounded)
+                record.executions += 1
+                record.sum_local_error += error_bits
+                if error_bits > record.max_local_error:
+                    record.max_local_error = error_bits
+                is_candidate = error_bits > threshold
+                # --- influence stage ----------------------------------
+                influences = sa.influences
+                if is_candidate and track:
+                    influences = influences | {record}
+                # --- expression + characteristics stage ---------------
+                generalization = record.generalization
+                if generalization.expression is not None:
+                    bindings = fast_walk(pool, node)
+                else:
+                    bindings = None
+                if bindings is None:
+                    __, bindings = bail_walk(pool, node)
+                record.pending_trace = node
+                total_record(bindings)
+                if is_candidate:
+                    prob_record(bindings)
+                    if record.example_problematic is None and bindings:
+                        record.example_problematic = dict(bindings)
+                    record.candidate_executions += 1
+                if counters is not None:
+                    counters.fused_ops += 1
+                    counters.kernel_evals += 1
+                    counters.trace_interned += 1
+                    if error_bits == 0.0:
+                        counters.error_fast += 1
+                    else:
+                        counters.error_exact += 1
+                    counters.characteristic_updates += len(bindings)
+                shadow.influences = influences
+                rshads[i] = shadow
+            return rvals, rshads
+        return run
+
+    def batch_branch_callback(self, instr: isa.Branch):
+        """A per-site batch branch-spot callback: the fused branch
+        update looped over the lanes of a uniform sub-batch (every lane
+        took the same direction — the engine guarantees it — but each
+        lane's *real* direction is decided per lane).  Returns None when
+        batching is off; the engine then loops the sequential hook."""
+        if not self._batched:
+            return None
+        try:
+            nan_result = instr.pred == "ne"
+            comparer = _BIG_PREDICATES[instr.pred]
+        except KeyError:
+            return None
+        escalates = self._escalates
+        track = self.config.track_influences
+        opaque_of = self._opaque_shadow_value
+        record = None
+
+        def run(lvals, lshads, rvals, rshads, taken):
+            nonlocal record
+            if record is None:
+                record = self._spot_record(instr, SPOT_BRANCH)
+            n = len(lvals)
+            for i in range(n):
+                left = lshads[i]
+                if left is None:
+                    left = lshads[i] = opaque_of(lvals[i])
+                right = rshads[i]
+                if right is None:
+                    right = rshads[i] = opaque_of(rvals[i])
+                if escalates:
+                    left_real, right_real = self._comparable(left, right)
+                else:
+                    left_real = left.real
+                    right_real = right.real
+                if left_real.is_nan() or right_real.is_nan():
+                    real_taken = nan_result
+                else:
+                    real_taken = comparer(left_real, right_real)
+                record.executions += 1
+                if real_taken != taken:
+                    record.sum_error += 1.0
+                    if record.max_error < 1.0:
+                        record.max_error = 1.0
+                    record.erroneous += 1
+                    if track:
+                        record.influences |= (
+                            left.influences | right.influences
+                        )
+        return run
+
     def _compensation_passthrough(
         self,
         op: str,
         shadows: List[ShadowValue],
         result_shadow: ShadowValue,
-        args: Sequence[FloatBox],
-        result: FloatBox,
+        arg_values: Sequence[float],
+        result_value: float,
     ) -> Optional[int]:
         """Index of the passed-through argument of a compensating op.
 
@@ -1115,7 +1619,8 @@ class HerbgrindAnalysis(Tracer):
 
         The equality in (a) is a real-valued decision: under adaptive
         tiers it escalates when the candidate and the result are closer
-        than their guarded drift bands.
+        than their guarded drift bands.  Takes the machine values raw
+        (not boxed) so the batched engine's column closures share it.
         """
         real_result = result_shadow.real
         if not real_result.is_finite():
@@ -1123,7 +1628,7 @@ class HerbgrindAnalysis(Tracer):
         out_error = result_shadow.total_error
         if out_error is None:
             out_error = result_shadow.total_error = rounded_total_error(
-                result.value, self._rounded(result_shadow)
+                result_value, self._rounded(result_shadow)
             )
         for index in (0, 1):
             shadow = shadows[index]
@@ -1135,7 +1640,7 @@ class HerbgrindAnalysis(Tracer):
             arg_error = shadow.total_error
             if arg_error is None:
                 arg_error = shadow.total_error = rounded_total_error(
-                    args[index].value, self._rounded(shadow)
+                    arg_values[index], self._rounded(shadow)
                 )
             if out_error >= arg_error:
                 continue
@@ -1316,10 +1821,37 @@ def analyze_program(
     for overhead attribution (benchmarks only).
     """
     analysis = HerbgrindAnalysis(config, features=features)
-    outputs = []
+    outputs: List[List[float]] = []
     if analysis.features.threaded_interpreter:
         from repro.machine.compiled import CompiledProgram
 
+        if analysis._batched and len(input_sets) > 1:
+            from repro.machine.batched import BatchedProgram
+
+            batched = BatchedProgram.compile(
+                program,
+                analysis,
+                wrap_libraries=wrap_libraries,
+                libm=libm,
+                max_steps=max_steps,
+                double_handlers=analysis.backend.double_handlers,
+            )
+            if batched is not None:
+                try:
+                    batch_outputs = batched.run_points(input_sets)
+                except MachineError:
+                    # A lane failed after aggregation began; discard
+                    # the dirty analysis and reproduce the sequential
+                    # behaviour (partial aggregation, then the raise)
+                    # from scratch.
+                    batch_outputs = None
+                    analysis = HerbgrindAnalysis(config, features=features)
+                if batch_outputs is not None:
+                    # Sequential execution bumps ``runs`` once per
+                    # point; batching bumps it once per uniform
+                    # sub-batch.  Pin the observable count.
+                    analysis.runs = len(input_sets)
+                    return analysis, batch_outputs
         compiled = CompiledProgram(
             program,
             tracer=analysis,
@@ -1331,14 +1863,14 @@ def analyze_program(
         for inputs in input_sets:
             outputs.append(compiled.run(inputs))
         return analysis, outputs
+    interpreter = Interpreter(
+        program,
+        tracer=analysis,
+        wrap_libraries=wrap_libraries,
+        libm=libm,
+        max_steps=max_steps,
+        double_handlers=analysis.backend.double_handlers,
+    )
     for inputs in input_sets:
-        interpreter = Interpreter(
-            program,
-            tracer=analysis,
-            wrap_libraries=wrap_libraries,
-            libm=libm,
-            max_steps=max_steps,
-            double_handlers=analysis.backend.double_handlers,
-        )
         outputs.append(interpreter.run(inputs))
     return analysis, outputs

@@ -140,6 +140,18 @@ class ShadowEscalator:
         self._confirm_memo.clear()
         self._leaves.clear()
 
+    def begin_batch(self, lanes: int) -> None:
+        """Open one memo epoch shared by ``lanes`` lockstep executions.
+
+        Safe — and deliberate — to share across lanes: memo and leaf
+        keys are trace idents, idents are value-keyed per epoch, and
+        re-execution of an ident is a pure function of the trace, so a
+        lane hitting another lane's memo entry reads exactly the value
+        it would have computed itself.  Escalating one lane therefore
+        cannot perturb any other lane's results, only warm the memo.
+        """
+        self.reset()
+
     def exact_real(self, shadow: ShadowValue) -> BigFloat:
         """The full-tier value of ``shadow`` (its real, if already exact)."""
         if not self.policy.escalates or shadow.drift == EXACT:

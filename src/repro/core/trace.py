@@ -246,7 +246,7 @@ class TracePool:
     """
 
     __slots__ = ("kinds", "ops", "args", "values", "locs", "depths",
-                 "levels", "nodes", "epoch",
+                 "levels", "nodes", "epoch", "lanes",
                  "_keys", "_consts", "_inputs", "_ints", "_ops_table",
                  "_levels_depth", "_empty_tail")
 
@@ -268,6 +268,9 @@ class TracePool:
         #: Bumped by :meth:`begin_execution`; callers caching shadows
         #: of interned leaves key their caches by this.
         self.epoch = 0
+        #: Lane count of the current epoch: 1 for a sequential run,
+        #: the sub-batch width when :meth:`begin_batch` opened it.
+        self.lanes = 1
         #: (ident * stride + depth) -> structural key, for op idents.
         self._keys: dict = {}
         self._consts: dict = {}
@@ -304,6 +307,21 @@ class TracePool:
         self._ints.clear()
         self._ops_table.clear()
         self.epoch += 1
+        self.lanes = 1
+
+    def begin_batch(self, lanes: int) -> None:
+        """Start one epoch shared by ``lanes`` lockstep executions.
+
+        The batched engine opens a single epoch per uniform sub-batch
+        rather than one per sample point: leaf idents are value-keyed
+        (``(site, bits)`` for constants, ``(site, index, bits)`` for
+        inputs) and op idents are argument-keyed, so lanes that agree
+        structurally share interned columns and the per-site constant
+        shadows are built once per batch instead of once per point.
+        Identical reset semantics to :meth:`begin_execution` otherwise.
+        """
+        self.begin_execution()
+        self.lanes = lanes
 
     # ------------------------------------------------------------------
     # Ident allocation

@@ -8,6 +8,7 @@ instrumentation seam where Herbgrind and the comparison tools attach.
 """
 
 from repro.machine import isa
+from repro.machine.batched import BatchedProgram
 from repro.machine.builder import FunctionBuilder
 from repro.machine.compiled import CompiledProgram
 from repro.machine.compiler import CompileError, compile_expression, compile_fpcore
@@ -22,6 +23,7 @@ from repro.machine.libm import MAGIC_ROUND, build_libm
 from repro.machine.values import FloatBox
 
 __all__ = [
+    "BatchedProgram",
     "CompileError",
     "CompiledProgram",
     "ExecutionStats",

@@ -73,6 +73,41 @@ class Tracer:
         :meth:`fused_site_callback`."""
         return None
 
+    def batch_site_callback(self, instr: isa.Instr, op: str, arity: int,
+                            single: bool, machine_fn):
+        """A per-site batch analysis callback, or None for the per-lane path.
+
+        The batched engine queries this once per float-op / wrapped
+        library-call instruction at compile time.  A non-None return is
+        called with SoA columns — ``callback(avals, ashads[, bvals,
+        bshads])`` for value/shadow columns per operand — and must
+        return ``(result_values, result_shadows)`` columns, computing
+        the machine result per lane through ``machine_fn`` itself so
+        per-site setup is paid once per batch rather than once per
+        lane.  The base tracer returns None, which makes the batched
+        engine fall back to per-lane dispatch through the sequential
+        hooks.
+        """
+        return None
+
+    def batch_branch_callback(self, instr: isa.Branch):
+        """A per-site batch replacement for ``on_branch``
+        (``callback(lvals, lshads, rvals, rshads, taken)`` over SoA
+        columns), or None to loop the sequential hook per lane."""
+        return None
+
+    def on_batch_start(self, machine, lanes: int) -> None:
+        """A batch of ``lanes`` lockstep executions is about to begin.
+
+        Default: behave exactly like one sequential ``on_start`` — a
+        batch is one epoch shared by all its lanes.
+        """
+        self.on_start(machine)
+
+    def on_batch_finish(self, machine) -> None:
+        """The current batch of lockstep executions halted."""
+        self.on_finish(machine)
+
     def on_const(self, instr: isa.Instr, box: FloatBox) -> None:
         """A floating-point constant was materialized."""
 
@@ -176,10 +211,17 @@ class Interpreter:
     # ------------------------------------------------------------------
 
     def run(self, inputs: Sequence[float] = ()) -> List[float]:
-        """Execute from the entry function; returns the Out values."""
+        """Execute from the entry function; returns the Out values.
+
+        Each run starts from fresh memory, outputs, and stats — the
+        same construct-once/run-many contract as the compiled engine,
+        so one Interpreter can be reused across input sets.
+        """
         self._inputs = [float(v) for v in inputs]
         self._input_position = 0
         self.outputs = []
+        self.memory = {}
+        self.stats = ExecutionStats()
         self.tracer.on_start(self)
         frames = [_Frame(self.program.function(self.program.entry))]
         while frames:

@@ -115,9 +115,34 @@ class TestSessionCaching:
         session.analyze(ERRONEOUS)
         session.clear_caches()
         assert session.cache_stats() == {
-            "programs": 0, "input_sets": 0, "hits": 0, "misses": 0,
+            "programs": 0, "input_sets": 0, "input_set_capacity": 1024,
+            "hits": 0, "misses": 0,
             "results": 0, "result_hits": 0, "result_misses": 0,
         }
+
+    def test_point_cache_is_lru_bounded(self):
+        session = AnalysisSession(config=FAST, point_cache_size=2)
+        a = session.sampled(ERRONEOUS, count=4, seed=0)
+        session.sampled(ERRONEOUS, count=4, seed=1)
+        # Touch seed=0 so seed=1 is the least recently used entry.
+        assert session.sampled(ERRONEOUS, count=4, seed=0) is a
+        session.sampled(ERRONEOUS, count=4, seed=2)
+        stats = session.cache_stats()
+        assert stats["input_sets"] == 2
+        assert stats["input_set_capacity"] == 2
+        # seed=1 was evicted, seed=0 survived.
+        assert session.sampled(ERRONEOUS, count=4, seed=0) is a
+        misses = session.cache_misses
+        session.sampled(ERRONEOUS, count=4, seed=1)
+        assert session.cache_misses == misses + 1
+
+    def test_point_cache_size_zero_disables_caching(self):
+        session = AnalysisSession(config=FAST, point_cache_size=0)
+        a = session.sampled(ERRONEOUS, count=4, seed=0)
+        b = session.sampled(ERRONEOUS, count=4, seed=0)
+        assert a is not b
+        assert a == b
+        assert session.cache_stats()["input_sets"] == 0
 
 
 class TestBackendRegistry:

@@ -80,6 +80,13 @@ class TestLayerAttribution:
         EngineFeatures(True, True, True, kernel_cache=True,
                        fused_pipeline=True, profile=True),  # + counters
         EngineFeatures(True, True, True, fused_pipeline=True),  # no kcache
+        EngineFeatures(True, True, True, kernel_cache=True,
+                       fused_pipeline=True, batched=True),  # PR-7 stack
+        EngineFeatures(True, True, True, kernel_cache=True,
+                       fused_pipeline=True, batched=True,
+                       profile=True),  # batched + counters
+        EngineFeatures(True, True, True, fused_pipeline=True,
+                       batched=True),  # batched without kernel cache
     ]
 
     @pytest.mark.parametrize("features", LAYERS)
@@ -101,6 +108,36 @@ class TestLayerAttribution:
             fast, __ = analyze_program(program, points, features=features)
             assert analysis_signature(fast) == analysis_signature(base), \
                 f"{core.name} diverged under {features}"
+
+
+class TestBatchedParity:
+    """Lockstep batching must be invisible across the whole matrix:
+    engine default × precision policy × BigFloat substrate, compared
+    byte-for-byte against the same stack with batching forced off."""
+
+    @pytest.mark.parametrize("substrate", ["python", "native"])
+    @pytest.mark.parametrize("policy", ["fixed", "adaptive"])
+    def test_corpus_byte_identical_with_batching_off(
+        self, policy, substrate, monkeypatch
+    ):
+        def sweep():
+            config = AnalysisConfig(
+                precision_policy=policy, substrate=substrate,
+                engine="compiled",
+            )
+            session = AnalysisSession(
+                config=config, num_points=2, seed=13,
+                result_cache_size=0,
+            )
+            return results_to_json(
+                session.analyze_batch(load_corpus(), workers=1)
+            )
+
+        monkeypatch.delenv("REPRO_BATCHED", raising=False)
+        batched = sweep()
+        monkeypatch.setenv("REPRO_BATCHED", "0")
+        sequential = sweep()
+        assert batched == sequential
 
 
 class TestAppsParity:

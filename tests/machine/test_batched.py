@@ -1,0 +1,180 @@
+"""Lockstep batched execution: grouping, divergence, byte-identity.
+
+The batched engine's one contract is that turning it on is invisible:
+reports are byte-identical to the sequential per-point loop for every
+lane pattern — uniform batches, divergent branches splitting the lanes
+into sub-batches, loop programs falling back entirely, and the
+degenerate one-lane batch.
+"""
+
+import pytest
+
+from repro.core import AnalysisConfig, EngineFeatures, analyze_program
+from repro.core.analysis import _batched_default
+from repro.fpcore.parser import parse_fpcore
+from repro.machine import BatchedProgram, Tracer, compile_fpcore
+from repro.machine.interpreter import MachineError
+
+BATCHED = EngineFeatures(
+    True, True, True, kernel_cache=True, fused_pipeline=True, batched=True
+)
+SEQUENTIAL = EngineFeatures(
+    True, True, True, kernel_cache=True, fused_pipeline=True, batched=False
+)
+
+STRAIGHT = parse_fpcore("(FPCore (x y) (- (+ x y) x))")
+BRANCHY = parse_fpcore(
+    "(FPCore (x) (if (< x 1.0) (+ x 1e16) (- x 1e16)))"
+)
+LOOP = parse_fpcore(
+    "(FPCore (x) (while (< i 3.0) "
+    "([i 0.0 (+ i 1.0)] [acc x (+ acc x)]) acc))"
+)
+
+
+def signature(analysis):
+    """Every externally observable per-site statistic."""
+    rows = []
+    for record in analysis.candidate_records():
+        rows.append((
+            record.site_id, record.op, record.loc, record.executions,
+            record.candidate_executions, record.max_local_error,
+            record.sum_local_error, record.compensations_detected,
+            str(record.symbolic_expression),
+        ))
+    for spot in sorted(
+        analysis.spot_records.values(), key=lambda s: s.site_id
+    ):
+        rows.append((
+            spot.site_id, spot.kind, spot.loc, spot.executions,
+            spot.erroneous, spot.max_error, spot.sum_error,
+            sorted(r.site_id for r in spot.influences),
+        ))
+    return rows
+
+
+def run_both(core, points, policy="adaptive"):
+    config = AnalysisConfig(precision_policy=policy)
+    program = compile_fpcore(core)
+    batched, out_b = analyze_program(
+        program, points, config=config, features=BATCHED
+    )
+    sequential, out_s = analyze_program(
+        program, points, config=config, features=SEQUENTIAL
+    )
+    assert out_b == out_s
+    assert batched.runs == sequential.runs == len(points)
+    assert signature(batched) == signature(sequential)
+    return batched
+
+
+class TestLockstepParity:
+    @pytest.mark.parametrize("policy", ["fixed", "adaptive"])
+    def test_uniform_batch_single_group(self, policy):
+        points = [[1e16, 1.5], [2e16, 2.5], [3.0, 4.0], [5.0, 0.5]]
+        analysis = run_both(STRAIGHT, points, policy)
+        assert analysis.batched_groups == 1
+        assert analysis.batched_lanes == 4
+
+    @pytest.mark.parametrize("policy", ["fixed", "adaptive"])
+    def test_divergent_lanes_split_into_groups(self, policy):
+        # Signatures T F T T F: maximal *consecutive* runs give four
+        # sub-batches ([0], [1], [2,3], [4]) — never a reordering.
+        points = [[0.5], [2.0], [0.25], [0.75], [3.0]]
+        analysis = run_both(BRANCHY, points, policy)
+        assert analysis.batched_groups == 4
+        assert analysis.batched_lanes == 5
+
+    def test_lane_diverging_mid_program(self):
+        # Both branches agree on the first comparison but not the
+        # second: grouping is by the *whole* signature.
+        core = parse_fpcore(
+            "(FPCore (x) (if (< x 10.0) "
+            "(if (< x 1.0) (+ x 1e16) (- x 1e16)) (* x 2.0)))"
+        )
+        points = [[0.5], [5.0], [0.25]]
+        analysis = run_both(core, points)
+        assert analysis.batched_groups == 3
+
+    def test_lane_count_one_degenerate(self):
+        # A divergence pattern that isolates every lane: each runs as
+        # a one-lane batch and must still be byte-identical.
+        points = [[0.5], [2.0], [0.75]]
+        analysis = run_both(BRANCHY, points)
+        assert analysis.batched_groups == 3
+        assert analysis.batched_lanes == 3
+
+    def test_loop_program_falls_back_to_sequential(self):
+        analysis = run_both(LOOP, [[1.0], [2.0], [3.0]])
+        assert analysis.batched_groups == 0
+
+    def test_single_point_uses_sequential_path(self):
+        analysis = run_both(STRAIGHT, [[1e16, 1.5]])
+        assert analysis.batched_groups == 0
+
+
+class TestStaticEligibility:
+    def test_loop_program_is_ineligible(self):
+        program = compile_fpcore(LOOP)
+        assert BatchedProgram.compile(program, Tracer()) is None
+
+    def test_straight_line_is_eligible(self):
+        program = compile_fpcore(STRAIGHT)
+        batched = BatchedProgram.compile(program, Tracer())
+        assert batched is not None
+        # Lane 0 exhibits the rounding the analysis exists to find:
+        # (1e16 + 1.5) - 1e16 is 2.0 in doubles.
+        assert batched.run_points([[1e16, 1.5], [3.0, 4.0]]) == [
+            [2.0], [4.0]
+        ]
+
+    def test_forward_branches_are_eligible(self):
+        program = compile_fpcore(BRANCHY)
+        batched = BatchedProgram.compile(program, Tracer())
+        assert batched is not None
+        out = batched.run_points([[0.5], [2.0]])
+        assert out == [[0.5 + 1e16], [2.0 - 1e16]]
+        assert batched.groups_run == 2
+
+    def test_empty_point_list(self):
+        program = compile_fpcore(STRAIGHT)
+        batched = BatchedProgram.compile(program, Tracer())
+        assert batched.run_points([]) == []
+
+
+class TestErrorFallback:
+    def test_probe_failure_returns_none(self):
+        # Too few inputs: the probe lane raises, run_points reports
+        # None, and nothing was aggregated.
+        program = compile_fpcore(BRANCHY)
+        batched = BatchedProgram.compile(program, Tracer())
+        assert batched.run_points([[0.5], []]) is None
+
+    def test_ragged_inputs_match_sequential_error(self):
+        # Straight-line programs skip the probe, so the failure
+        # surfaces mid-batch; the driver must reproduce the
+        # sequential behaviour (raise on the short lane).
+        program = compile_fpcore(STRAIGHT)
+        config = AnalysisConfig()
+        with pytest.raises(MachineError) as batched_err:
+            analyze_program(
+                program, [[1.0, 2.0], [1.0]], features=BATCHED
+            )
+        with pytest.raises(MachineError) as sequential_err:
+            analyze_program(
+                program, [[1.0, 2.0], [1.0]], features=SEQUENTIAL
+            )
+        assert str(batched_err.value) == str(sequential_err.value)
+
+
+class TestEnvironmentSwitch:
+    def test_repro_batched_off_disables_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCHED", "0")
+        assert not _batched_default()
+        assert not EngineFeatures.for_engine("compiled").batched
+
+    def test_repro_batched_on_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BATCHED", raising=False)
+        assert _batched_default()
+        assert EngineFeatures.for_engine("compiled").batched
+        assert not EngineFeatures.for_engine("reference").batched

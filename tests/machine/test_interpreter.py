@@ -400,3 +400,93 @@ class TestTracerOverride:
         assert interpreter.stats.float_ops == 2
         assert interpreter.stats.stores == 1
         assert interpreter.stats.steps >= 5
+
+
+class TestConstructOnceRunMany:
+    """The reference engine shares the compiled engine's contract: one
+    interpreter, many runs, each starting from fresh memory/stats and
+    emitting the exact same tracer-event stream as a fresh instance."""
+
+    class EventLog(Tracer):
+        def __init__(self):
+            self.events = []
+
+        def on_start(self, machine):
+            self.events.append(("start",))
+
+        def on_read(self, instr, box, index):
+            self.events.append(("read", index, box.value))
+
+        def on_op(self, instr, op, args, result):
+            self.events.append(
+                ("op", op, tuple(a.value for a in args), result.value)
+            )
+            return None
+
+        def on_branch(self, instr, lhs, rhs, taken):
+            self.events.append(("branch", lhs.value, rhs.value, taken))
+
+        def on_out(self, instr, box):
+            self.events.append(("out", box.value))
+
+        def on_finish(self, machine):
+            self.events.append(("finish",))
+
+    @staticmethod
+    def _program():
+        fn = FunctionBuilder("main")
+        x = fn.read()
+        y = fn.read()
+        fn.out(fn.op("-", fn.op("+", x, y), x))
+        fn.halt()
+        return single_function_program(fn)
+
+    def test_run_resets_memory_and_stats(self):
+        fn = FunctionBuilder("main")
+        x = fn.const(2.0)
+        fn.op("+", x, x)
+        fn.store(fn.const_int(0), x)
+        fn.halt()
+        interpreter = Interpreter(single_function_program(fn))
+        interpreter.run([])
+        interpreter.run([])
+        # No accumulation across runs: each run's view is fresh.
+        assert interpreter.stats.float_ops == 1
+        assert interpreter.stats.stores == 1
+        assert list(interpreter.memory) == [0]
+
+    def test_event_stream_matches_fresh_interpreters(self):
+        program = self._program()
+        points = [[1e16, 1.5], [3.0, 4.0], [2e16, 2.5]]
+
+        shared_log = self.EventLog()
+        shared = Interpreter(program, tracer=shared_log)
+        shared_outputs = [shared.run(p) for p in points]
+
+        fresh_events, fresh_outputs = [], []
+        for p in points:
+            log = self.EventLog()
+            fresh_outputs.append(
+                Interpreter(program, tracer=log).run(p)
+            )
+            fresh_events.extend(log.events)
+
+        assert shared_outputs == fresh_outputs
+        assert shared_log.events == fresh_events
+
+    def test_event_stream_matches_compiled_engine(self):
+        from repro.machine.compiled import CompiledProgram
+
+        program = self._program()
+        points = [[1e16, 1.5], [3.0, 4.0]]
+
+        ref_log = self.EventLog()
+        reference = Interpreter(program, tracer=ref_log)
+        ref_outputs = [reference.run(p) for p in points]
+
+        comp_log = self.EventLog()
+        compiled = CompiledProgram(program, tracer=comp_log)
+        comp_outputs = [compiled.run(p) for p in points]
+
+        assert ref_outputs == comp_outputs
+        assert ref_log.events == comp_log.events
