@@ -11,6 +11,9 @@ on every push:
 * concurrent identical requests dedupe to one computation
   (``dedupe_hits`` must be nonzero),
 * repeats are served warm (``memory``/``store``, no recomputation),
+* SIGKILLing an analysis worker mid-replay loses zero requests: the
+  pool respawns the worker and client retries absorb the structured
+  500s, with every body still byte-identical,
 * SIGTERM drains gracefully and the process exits 0.
 
 Usage:  PYTHONPATH=src python scripts/serve_smoke.py [--slice 6]
@@ -35,6 +38,28 @@ from repro.fpcore import load_corpus
 from repro.serve import ServeClient
 
 LISTENING = "repro-serve listening on http://"
+
+
+def _worker_pids(server_pid: int) -> "list[int]":
+    """Direct children of the server process (the analysis workers).
+
+    Reads ``/proc/<pid>/stat`` — Linux only; callers skip the chaos
+    step when the scan comes back empty.
+    """
+    children = []
+    try:
+        pids = [int(e) for e in os.listdir("/proc") if e.isdigit()]
+    except OSError:
+        return children
+    for pid in pids:
+        try:
+            with open(f"/proc/{pid}/stat", "r") as handle:
+                fields = handle.read().rsplit(")", 1)[1].split()
+        except (OSError, IndexError):
+            continue
+        if int(fields[1]) == server_pid:  # ppid is field 4 of stat
+            children.append(pid)
+    return sorted(children)
 
 
 def _launch(store_dir: str, workers: int) -> "tuple[subprocess.Popen, int]":
@@ -143,6 +168,41 @@ def main(argv=None) -> int:
             assert sources.count("computed") <= 1, sources
             assert stats["dedupe_hits"] > 0, stats
             assert stats["computed"] == len(requests) + 1, stats
+
+            # Chaos leg: SIGKILL one analysis worker mid-replay.  The
+            # pool must respawn it and the replay must finish with zero
+            # failed requests — a kill that lands while the worker is
+            # idle is absorbed by the pool's dead-worker resend, one
+            # that lands mid-task surfaces as a structured 500 that the
+            # client's retry budget absorbs.  Bodies stay byte-exact.
+            chaos = []
+            for index, (request, _) in enumerate(requests):
+                fresh_cold = session.request(
+                    request.core, seed=4000 + index
+                )
+                chaos.append(
+                    (fresh_cold, session.analyze(fresh_cold).to_json())
+                )
+            victims = _worker_pids(process.pid)
+            killed = None
+            with ServeClient(port=port, timeout=120, retries=3,
+                             backoff_base=0.05, jitter_seed=1) as chaotic:
+                for index, (request, expected) in enumerate(chaos):
+                    if index == 1 and victims:
+                        killed = victims[0]
+                        os.kill(killed, signal.SIGKILL)
+                    reply = chaotic.analyze(request)
+                    assert reply.status == 200, reply.status
+                    assert reply.text == expected, (
+                        f"chaos parity mismatch on {request.name}"
+                    )
+            if victims:
+                assert killed is not None
+                pool_stats = client.stats()["pool"]
+                assert pool_stats["restarts"] >= 1, pool_stats
+            else:
+                print("warning: no /proc worker scan; chaos kill "
+                      "skipped", file=sys.stderr)
             client.close()
         except BaseException:
             process.kill()
@@ -155,9 +215,12 @@ def main(argv=None) -> int:
             print(f"FAIL: server exited {rc} on SIGTERM", file=sys.stderr)
             return 1
 
+    chaos_note = (f"worker {killed} SIGKILLed, 0 failed requests"
+                  if killed is not None else "chaos kill skipped")
     print(f"serve smoke ok: {len(requests)} benchmarks cold+warm, "
           f"dedupe_hits={stats['dedupe_hits']}, "
-          f"computed={stats['computed']}, graceful SIGTERM exit")
+          f"computed={stats['computed']}, {chaos_note}, "
+          f"graceful SIGTERM exit")
     return 0
 
 

@@ -90,17 +90,28 @@ class HerbgrindBackend(AnalysisBackend):
 
         from repro.core.analysis import EngineFeatures, analyze_program
         from repro.core.report import root_cause_report
+        from repro.resilience import faults as _faults
+        from repro.resilience.errors import EngineFault
 
+        if _faults.active() and request.config.engine == "compiled":
+            # Chaos seam for whole-suite fault legs: every call into
+            # this method is ladder-wrapped (repro.api.session), and
+            # gating on the compiled engine guarantees the ladder's
+            # reference rung converges.
+            _faults.trip("backend.flaky", EngineFault)
         # The engine's default layer stack — including lockstep
         # batching when the compiled engine is selected (overridable
         # via REPRO_BATCHED=0).  Results are contractually identical
         # across every stack; the layers only change the cost.
-        features = None
+        # ``request.features`` (internal — the degradation ladder's
+        # sequential rung) overrides the default stack.
+        features = request.features
         if request.profile:
             # Same engine layers, plus the per-stage attribution
             # counters (results are unchanged; only extra[] grows).
             features = dataclasses.replace(
-                EngineFeatures.for_engine(request.config.engine),
+                features if features is not None
+                else EngineFeatures.for_engine(request.config.engine),
                 profile=True,
             )
         analysis, __ = analyze_program(

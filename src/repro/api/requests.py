@@ -30,8 +30,17 @@ def coerce_core(core: CoreLike) -> FPCore:
 
 
 def config_to_dict(config: AnalysisConfig) -> Dict[str, Any]:
-    """A plain-dict form of an :class:`AnalysisConfig`."""
-    return dataclasses.asdict(config)
+    """A plain-dict form of an :class:`AnalysisConfig`.
+
+    Resource-guard fields are emitted only when set: default requests
+    keep their historical digests (the same rule ``profile`` follows on
+    the request itself).
+    """
+    data = dataclasses.asdict(config)
+    for guard_field in ("deadline_seconds", "op_budget"):
+        if data.get(guard_field) is None:
+            data.pop(guard_field, None)
+    return data
 
 
 def config_from_dict(data: Dict[str, Any]) -> AnalysisConfig:
@@ -62,6 +71,13 @@ class AnalysisRequest:
     #: Optional libm override (a dict of IR functions).  In-process
     #: only: it is not serialized and cannot cross a worker boundary.
     libm: Any = field(default=None, compare=False, repr=False)
+    #: Optional :class:`~repro.core.analysis.EngineFeatures` override.
+    #: Internal — the degradation ladder uses it to turn single layers
+    #: off (batched → sequential) without touching the config.  Never
+    #: serialized and excluded from the digest: the feature stack is
+    #: contractually result-invisible, so two requests differing only
+    #: here *should* share a digest.
+    features: Any = field(default=None, compare=False, repr=False)
 
     @classmethod
     def build(

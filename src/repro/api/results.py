@@ -144,6 +144,14 @@ class AnalysisResult:
         return [c for c in self.root_causes if c.site_id in reached]
 
     def to_dict(self) -> Dict[str, Any]:
+        extra = self.extra
+        if "degradation" in extra:
+            # The degradation path (repro.resilience.ladder) is
+            # process-local metadata: stripping it here is what keeps a
+            # degraded result *byte-identical* to the clean run — the
+            # ladder's contract.  It stays on the object for in-process
+            # callers and is surfaced out-of-band by /v1/stats.
+            extra = {k: v for k, v in extra.items() if k != "degradation"}
         return {
             "schema_version": self.schema_version,
             "benchmark": self.benchmark,
@@ -153,7 +161,7 @@ class AnalysisResult:
             "max_output_error": self.max_output_error,
             "root_causes": [c.to_dict() for c in self.root_causes],
             "spots": [s.to_dict() for s in self.spots],
-            "extra": self.extra,
+            "extra": extra,
         }
 
     def to_json(self, indent: Optional[int] = 2) -> str:

@@ -128,7 +128,30 @@ class ResultCache:
         self._memory.clear()
 
 
-def _execute(request: AnalysisRequest) -> AnalysisResult:
+def _run_request(
+    request: AnalysisRequest,
+    program: isa.Program,
+    points: List[List[float]],
+    degrade: Optional[bool] = None,
+) -> AnalysisResult:
+    """One backend run behind the degradation ladder.
+
+    Every analysis execution — in-process, batch worker, serve worker —
+    funnels through here, so a classified failure (kernel fault, engine
+    fault, resource exhaustion, MachineError) retries down the ladder
+    (:mod:`repro.resilience.ladder`) instead of propagating, unless
+    degradation is disabled (``degrade=False`` or ``REPRO_DEGRADE=0``).
+    """
+    from repro.resilience.ladder import run_with_ladder
+
+    def execute(req: AnalysisRequest) -> AnalysisResult:
+        return get_backend(req.backend).run(program, points, req)
+
+    return run_with_ladder(request, execute, enabled=degrade)
+
+
+def _execute(request: AnalysisRequest,
+             degrade: Optional[bool] = None) -> AnalysisResult:
     """Run one request from scratch (no caches) — the worker path."""
     program = compile_fpcore(request.core)
     points = request.points
@@ -136,13 +159,20 @@ def _execute(request: AnalysisRequest) -> AnalysisResult:
         points = sample_inputs(
             request.core, request.num_points, seed=request.seed
         )
-    backend = get_backend(request.backend)
-    return backend.run(program, points, request)
+    return _run_request(request, program, points, degrade)
 
 
 def _worker(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Pool worker: dict in, dict out — keeps everything picklable."""
-    return _execute(AnalysisRequest.from_dict(payload)).to_dict()
+    result = _execute(AnalysisRequest.from_dict(payload))
+    data = result.to_dict()
+    degradation = result.extra.get("degradation")
+    if degradation is not None:
+        # to_dict() strips the degradation record (byte-identity of
+        # the serialized result); smuggle it next to the payload so
+        # analyze_batch can reattach it for in-process observers.
+        data["__degradation__"] = degradation
+    return data
 
 
 class AnalysisSession:
@@ -164,12 +194,16 @@ class AnalysisSession:
         result_cache_size: int = 256,
         cache_dir: Optional[str] = None,
         point_cache_size: int = 1024,
+        degrade: Optional[bool] = None,
     ) -> None:
         self.config = config if config is not None else AnalysisConfig()
         self.backend = backend
         self.num_points = num_points
         self.seed = seed
         self.wrap_libraries = wrap_libraries
+        #: Degradation-ladder switch: True/False force it, None defers
+        #: to the ``REPRO_DEGRADE`` environment default (on).
+        self.degrade = degrade
         self._programs: Dict[str, isa.Program] = {}
         #: Sampled-input LRU, bounded like :class:`ResultCache`'s
         #: memory layer: a corpus swept at many (count, seed)
@@ -330,8 +364,7 @@ class AnalysisSession:
             points = self.sampled(
                 request.core, request.num_points, request.seed
             )
-        backend = get_backend(request.backend)
-        result = backend.run(program, points, request)
+        result = _run_request(request, program, points, self.degrade)
         if key is not None:
             self._results.put(key, result)
         return result
@@ -379,7 +412,10 @@ class AnalysisSession:
             with multiprocessing.Pool(processes=workers) as pool:
                 dicts = pool.map(_worker, payloads, chunksize=1)
             for (index, key), data in zip(pending, dicts):
+                degradation = data.pop("__degradation__", None)
                 result = AnalysisResult.from_dict(data)
+                if degradation is not None:
+                    result.extra["degradation"] = degradation
                 results[index] = result
                 if key is not None:
                     self._results.put(key, result)

@@ -20,6 +20,15 @@ Safety properties:
 * **Crash tolerance.**  A failed write never raises out of
   :meth:`put_text`; the entry is simply a miss next time.  Stray
   ``.tmp`` files from a killed writer are ignored by readers.
+* **Corruption quarantine.**  Every read is validated (non-empty,
+  parseable JSON) before it is served.  A zero-byte or truncated entry
+  — a killed writer on a filesystem without atomic rename, a torn NFS
+  write, bit rot — is renamed to a ``<entry>.json.quarantine`` sidecar
+  (kept for inspection, invisible to readers) and reported as a miss,
+  so the caller recomputes and rewrites; the store **never raises** on
+  corrupt data.  The ``store.read.*`` / ``store.write.*`` fault seams
+  (:mod:`repro.resilience.faults`) inject exactly these failures for
+  the chaos suite.
 * **Legacy compatibility.**  Stores written by the pre-sharded
   ``ResultCache`` kept flat ``<root>/<digest>.json`` entries; those are
   still read (and transparently promoted into the sharded layout) so
@@ -34,10 +43,16 @@ one by construction.
 
 from __future__ import annotations
 
+import json
+import logging
 import os
 import re
 import tempfile
 from typing import Dict, Iterator, Optional
+
+from repro.resilience import faults as _faults
+
+logger = logging.getLogger("repro.serve")
 
 #: Exactly the shape request_digest() produces.
 _DIGEST_RE = re.compile(r"\A[0-9a-f]{64}\Z")
@@ -68,6 +83,10 @@ class ShardedResultStore:
         self.legacy_hits = 0
         self.writes = 0
         self.write_errors = 0
+        #: Entries that failed read validation (empty / unparseable).
+        self.corrupt = 0
+        #: Corrupt entries successfully renamed to their sidecar.
+        self.quarantined = 0
 
     # ------------------------------------------------------------------
     # Paths
@@ -100,18 +119,27 @@ class ShardedResultStore:
         Reads the sharded entry first, then (by default) the legacy
         flat entry, promoting a legacy hit into the sharded layout so
         old store directories migrate incrementally as they are read.
+        An entry that fails validation (zero-byte / partial JSON left
+        by a killed writer) is quarantined to a sidecar and treated as
+        a miss — corruption never raises and never gets served.
         """
-        text = self._read(self.path(digest))
+        path = self.path(digest)
+        text = self._read(path)
         if text is not None:
-            self.hits += 1
-            return text
-        if self.read_legacy:
-            text = self._read(self.legacy_path(digest))
-            if text is not None:
+            if self._valid(text):
                 self.hits += 1
-                self.legacy_hits += 1
-                self._write(digest, text)  # promote; failure is fine
                 return text
+            self._quarantine(path, digest)
+        if self.read_legacy:
+            legacy = self.legacy_path(digest)
+            text = self._read(legacy)
+            if text is not None:
+                if self._valid(text):
+                    self.hits += 1
+                    self.legacy_hits += 1
+                    self._write(digest, text)  # promote; failure is fine
+                    return text
+                self._quarantine(legacy, digest)
         self.misses += 1
         return None
 
@@ -141,11 +169,52 @@ class ShardedResultStore:
     def _read(path: str) -> Optional[str]:
         try:
             with open(path, "r", encoding="utf-8") as handle:
-                return handle.read()
+                text = handle.read()
         except OSError:
             return None
+        if _faults.active():
+            # Chaos seams store.read.truncate / store.read.empty: a
+            # torn read, exercised like real on-disk corruption.
+            text = _faults.corrupt_text("store.read", text)
+        return text
+
+    @staticmethod
+    def _valid(text: str) -> bool:
+        """Whether ``text`` is a non-empty, parseable JSON document."""
+        if not text:
+            return False
+        try:
+            json.loads(text)
+        except (json.JSONDecodeError, ValueError):
+            return False
+        return True
+
+    def _quarantine(self, path: str, digest: str) -> None:
+        """Move a corrupt entry to its ``.quarantine`` sidecar.
+
+        The sidecar keeps the bad bytes for post-mortem inspection;
+        readers never look at it (it doesn't end in ``.json``), so the
+        digest reads as a miss and the caller recomputes.  A failed
+        rename (e.g. a concurrent reader already moved it) is ignored —
+        the entry will be overwritten by the recompute either way.
+        """
+        self.corrupt += 1
+        try:
+            os.replace(path, path + ".quarantine")
+            self.quarantined += 1
+        except OSError:
+            return
+        logger.warning(
+            "store quarantined corrupt entry for digest %s (%s)",
+            digest, path,
+        )
 
     def _write(self, digest: str, text: str) -> bool:
+        if _faults.active():
+            # Chaos seams store.write.truncate / store.write.empty: a
+            # killed writer's partial flush, landed atomically so the
+            # *read-side* hardening is what gets exercised.
+            text = _faults.corrupt_text("store.write", text)
         shard = os.path.join(self.root, digest[:SHARD_PREFIX_LEN])
         tmp = None
         try:
@@ -201,4 +270,6 @@ class ShardedResultStore:
             "legacy_hits": self.legacy_hits,
             "writes": self.writes,
             "write_errors": self.write_errors,
+            "corrupt": self.corrupt,
+            "quarantined": self.quarantined,
         }

@@ -45,6 +45,8 @@ from repro.bigfloat.rounding import (
     ROUND_TOWARD_ZERO,
     ROUND_UP,
 )
+from repro.resilience import faults as _faults
+from repro.resilience.errors import KernelFault
 
 SUBSTRATE_PYTHON = "python"
 SUBSTRATE_NATIVE = "native"
@@ -86,6 +88,37 @@ class KernelBackend:
             functions.DOUBLE_HANDLERS
         )
 
+    # ------------------------------------------------------------------
+    # Fault seams (repro.resilience.faults)
+    # ------------------------------------------------------------------
+    #
+    # Two seams per substrate: ``kernel.raise`` fires on any substrate,
+    # ``kernel.<name>.raise`` (e.g. ``kernel.native.raise``) only on
+    # the named one — so a chaos test can fail exactly the accelerated
+    # kernels and watch the ladder land on the python substrate.  The
+    # generic ``apply`` path checks inline; the pre-resolved handlers
+    # the fused pipeline binds at compile time are wrapped at
+    # *resolution* time, so an unarmed process keeps the raw kernels.
+
+    def _trip_kernel(self) -> None:
+        _faults.trip("kernel.raise", KernelFault)
+        _faults.trip(f"kernel.{self.name}.raise", KernelFault)
+
+    def _kernel_seams_armed(self) -> bool:
+        return _faults.armed("kernel.raise") or \
+            _faults.armed(f"kernel.{self.name}.raise")
+
+    def _guarded(self, fn: Optional[Callable]) -> Optional[Callable]:
+        if fn is None or not _faults.active() or \
+                not self._kernel_seams_armed():
+            return fn
+        trip = self._trip_kernel
+
+        def kernel(*args):
+            trip()
+            return fn(*args)
+        return kernel
+
     def apply(
         self,
         operation: str,
@@ -93,6 +126,8 @@ class KernelBackend:
         context: Optional[Context] = None,
     ) -> BigFloat:
         """Apply a named operation under this substrate's kernels."""
+        if _faults.active():
+            self._trip_kernel()
         handler = self._dispatch.get(operation)
         if handler is None:
             raise KeyError(f"unknown operation: {operation!r}")
@@ -103,7 +138,7 @@ class KernelBackend:
         handler = self._dispatch.get(operation)
         if handler is None:
             raise KeyError(f"unknown operation: {operation!r}")
-        return handler
+        return self._guarded(handler)
 
     def positional_handler(
         self, operation: str, arity: int
@@ -125,7 +160,7 @@ class KernelBackend:
         }.get(arity)
         if table is None:
             return None
-        return table.get(operation)
+        return self._guarded(table.get(operation))
 
 
 class PythonBackend(KernelBackend):

@@ -50,6 +50,8 @@ def _session(args: argparse.Namespace, **config_fields) -> AnalysisSession:
         working_precision=getattr(args, "working_precision", 144),
         engine=getattr(args, "engine", "compiled"),
         substrate=getattr(args, "substrate", "python"),
+        deadline_seconds=getattr(args, "deadline", None),
+        op_budget=getattr(args, "op_budget", None),
         **config_fields,
     )
     return AnalysisSession(
@@ -58,7 +60,16 @@ def _session(args: argparse.Namespace, **config_fields) -> AnalysisSession:
         num_points=args.points,
         seed=getattr(args, "seed", 0),
         cache_dir=getattr(args, "cache_dir", None),
+        degrade=False if getattr(args, "no_degrade", False) else None,
     )
+
+
+def _arm_faults(args: argparse.Namespace) -> None:
+    """Install the ``--faults`` injection plan before any analysis runs."""
+    if getattr(args, "faults", None):
+        from repro.resilience import faults
+
+        faults.install(args.faults)
 
 
 def _has_report(result) -> bool:
@@ -104,6 +115,7 @@ def _cached_report(result) -> str:
 
 
 def _command_analyze(args: argparse.Namespace) -> int:
+    _arm_faults(args)
     source = _read_source(args.source)
     core = parse_fpcore(source)
     session = _session(
@@ -137,6 +149,7 @@ def _command_corpus(args: argparse.Namespace) -> int:
             family = core.properties.get("herbgrind-family", "?")
             print(f"{core.name:<28} [{family}] args={','.join(core.arguments)}")
         return 0
+    _arm_faults(args)
     session = _session(args)
     selected = [c for c in corpus if args.name is None or c.name == args.name]
     if not selected:
@@ -165,6 +178,11 @@ def _command_backends(args: argparse.Namespace) -> int:
 def _command_serve(args: argparse.Namespace) -> int:
     from repro.serve.server import run_server
 
+    if args.no_degrade:
+        # Worker processes read REPRO_DEGRADE at analysis time; the
+        # env var is how the flag crosses the fork.
+        os.environ["REPRO_DEGRADE"] = "0"
+    _arm_faults(args)  # install() exports REPRO_FAULTS for the workers
     return run_server(
         host=args.host,
         port=args.port,
@@ -224,6 +242,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="count per-stage pipeline events and emit "
                               "them as extra.pipeline_profile in the "
                               "result JSON (results are unchanged)")
+    analyze.add_argument("--deadline", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-analysis wall-clock budget; exceeding "
+                              "it raises AnalysisDeadlineExceeded")
+    analyze.add_argument("--op-budget", type=int, default=None,
+                         metavar="OPS",
+                         help="per-analysis shadow-operation budget; "
+                              "exceeding it raises OpBudgetExceeded")
+    analyze.add_argument("--no-degrade", action="store_true",
+                         help="disable the graceful-degradation ladder: "
+                              "engine/substrate failures propagate "
+                              "instead of retrying down the stack")
+    analyze.add_argument("--faults", metavar="SPEC",
+                         help="arm deterministic fault injection, e.g. "
+                              "'kernel.raise:times=1' (see "
+                              "docs/robustness.md for the grammar)")
     analyze.set_defaults(func=_command_analyze)
 
     improve = sub.add_parser("improve", help="improve a bare expression")
@@ -266,6 +300,11 @@ def build_parser() -> argparse.ArgumentParser:
     corpus.add_argument("--profile", action="store_true",
                         help="emit per-stage pipeline attribution in "
                              "each result's extra.pipeline_profile")
+    corpus.add_argument("--no-degrade", action="store_true",
+                        help="disable the graceful-degradation ladder")
+    corpus.add_argument("--faults", metavar="SPEC",
+                        help="arm deterministic fault injection "
+                             "(docs/robustness.md)")
     corpus.set_defaults(func=_command_corpus)
 
     backends = sub.add_parser("backends", help="list analysis backends")
@@ -297,6 +336,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--log-level", default="info",
                        choices=("debug", "info", "warning", "error"),
                        help="structured per-request log verbosity")
+    serve.add_argument("--no-degrade", action="store_true",
+                       help="disable the graceful-degradation ladder in "
+                            "analysis workers (sets REPRO_DEGRADE=0)")
+    serve.add_argument("--faults", metavar="SPEC",
+                       help="arm deterministic fault injection; exported "
+                            "as REPRO_FAULTS so forked workers inherit "
+                            "the plan (docs/robustness.md)")
     serve.set_defaults(func=_command_serve)
     return parser
 

@@ -29,6 +29,7 @@ from __future__ import annotations
 import math
 import operator
 import os
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -54,6 +55,12 @@ from repro.core import trace as trace_mod
 from repro.machine import isa
 from repro.machine.interpreter import Interpreter, MachineError, Tracer
 from repro.machine.values import FloatBox
+from repro.resilience import faults as _faults
+from repro.resilience.errors import (
+    AnalysisDeadlineExceeded,
+    EngineFault,
+    OpBudgetExceeded,
+)
 
 
 def _batched_default() -> bool:
@@ -63,6 +70,67 @@ def _batched_default() -> bool:
     return os.environ.get("REPRO_BATCHED", "1").strip().lower() not in (
         "0", "false", "off"
     )
+
+
+#: Operations between deadline checks: ``time.monotonic()`` per op
+#: would dominate the per-op floor, so the guard samples the clock
+#: every 256 ticks (a power of two — the check is one AND).
+_DEADLINE_CHECK_MASK = 255
+
+
+class ResourceGuard:
+    """Per-analysis execution budgets (deadline and op count).
+
+    Created by :class:`HerbgrindAnalysis` when the config sets
+    ``deadline_seconds`` and/or ``op_budget``; :meth:`tick` is called
+    once per analysed operation and raises a
+    :class:`~repro.resilience.errors.ResourceExhausted` subclass when a
+    budget is spent.  The degradation ladder classifies those like any
+    substrate/engine failure, so a runaway analysis degrades (or fails
+    cleanly through every rung) instead of monopolizing a worker until
+    the pool's coarse kill-timeout fires.
+
+    The guard deliberately disables the batched layer (see
+    ``HerbgrindAnalysis._batched``): budgets need per-op granularity,
+    and by the parity invariant the sequential path produces identical
+    bytes — only slower, which is what a *bounded* analysis asked for.
+    """
+
+    __slots__ = ("budget", "deadline", "_ops", "_expires")
+
+    def __init__(self, deadline_seconds: Optional[float],
+                 op_budget: Optional[int]) -> None:
+        self.deadline = deadline_seconds
+        self.budget = op_budget
+        self._ops = 0
+        self._expires = (
+            time.monotonic() + deadline_seconds
+            if deadline_seconds is not None else None
+        )
+
+    @property
+    def ops(self) -> int:
+        return self._ops
+
+    def tick(self) -> None:
+        """Account one analysed operation; raise when a budget is spent."""
+        ops = self._ops = self._ops + 1
+        if self.budget is not None and ops > self.budget:
+            raise OpBudgetExceeded(
+                f"op budget of {self.budget} analysed operations "
+                f"exhausted"
+            )
+        if self._expires is not None and not (ops & _DEADLINE_CHECK_MASK):
+            self.check_deadline()
+
+    def check_deadline(self) -> None:
+        """Raise when the wall-clock deadline has passed (also called
+        at each run start, so even a between-runs stall is caught)."""
+        if self._expires is not None and time.monotonic() > self._expires:
+            raise AnalysisDeadlineExceeded(
+                f"analysis exceeded its {self.deadline:.3f}s deadline "
+                f"after {self._ops} operations"
+            )
 
 
 @dataclass(frozen=True)
@@ -190,6 +258,18 @@ class HerbgrindAnalysis(Tracer):
         #: Hoisted policy flag: the fixed policy never escalates, so
         #: the hot path can skip drift/rounding bookkeeping entirely.
         self._escalates = self.policy.escalates
+        if self._escalates and _faults.active():
+            # Chaos seam: an adaptive-tier failure at analysis setup.
+            # The ladder's fixed-policy rung never reaches this.
+            _faults.trip("policy.adaptive.raise", EngineFault)
+        #: Per-analysis resource budgets, or None (the common case —
+        #: the per-op tick must cost nothing when no budget is set).
+        self._guard: Optional[ResourceGuard] = (
+            ResourceGuard(self.config.deadline_seconds,
+                          self.config.op_budget)
+            if self.config.deadline_seconds is not None
+            or self.config.op_budget is not None else None
+        )
         self.op_records: Dict[int, OpRecord] = {}
         self.spot_records: Dict[int, SpotRecord] = {}
         self._sites: Dict[int, isa.Instr] = {}  # keeps instr ids stable
@@ -216,8 +296,13 @@ class HerbgrindAnalysis(Tracer):
             and self.features.fast_antiunify
         )
         #: Batched lockstep execution enabled (rides on the fused
-        #: pipeline: the batch callbacks are its per-lane loops).
-        self._batched = bool(self.features.batched and self._fused)
+        #: pipeline: the batch callbacks are its per-lane loops).  A
+        #: resource guard forces the sequential path: budgets need
+        #: per-op ticks, and the parity invariant makes the downgrade
+        #: invisible in the report bytes.
+        self._batched = bool(
+            self.features.batched and self._fused and self._guard is None
+        )
         #: Batch-orchestration introspection (not serialized): uniform
         #: sub-batches executed and lanes covered by them.  Zero when
         #: every point went through the sequential per-point path.
@@ -360,6 +445,8 @@ class HerbgrindAnalysis(Tracer):
 
     def on_start(self, interpreter: Interpreter) -> None:
         self.runs += 1
+        if self._guard is not None:
+            self._guard.check_deadline()
         self.escalator.reset()
         if self.pool is not None:
             # A previous run that aborted (MachineError, user
@@ -541,6 +628,8 @@ class HerbgrindAnalysis(Tracer):
     def _analyse_operation(
         self, instr: isa.Instr, op: str, args: Sequence[FloatBox], result: FloatBox
     ) -> None:
+        if self._guard is not None:
+            self._guard.tick()
         config = self.config
         pool = self.pool
         profile = self._profile
@@ -724,12 +813,29 @@ class HerbgrindAnalysis(Tracer):
         # dispatch; otherwise the wrapped handler.
         kernel2 = self.backend.positional_handler(op, arity)
         if arity == 2:
-            return self._build_fused_binary(
+            callback = self._build_fused_binary(
                 instr, op, kernel, kernel2, fn_double, single
             )
-        return self._build_fused_unary(
-            instr, op, kernel, kernel2, fn_double, single
-        )
+        else:
+            callback = self._build_fused_unary(
+                instr, op, kernel, kernel2, fn_double, single
+            )
+        guard = self._guard
+        if guard is not None and callback is not None:
+            # Budgeted analyses wrap each fused closure with the guard
+            # tick at compile time; unguarded analyses (the common
+            # case) keep the raw closure — zero added cost per op.
+            tick = guard.tick
+            inner = callback
+            if arity == 2:
+                def callback(a, b, result):  # noqa: F811 — guarded shim
+                    tick()
+                    return inner(a, b, result)
+            else:
+                def callback(a, result):  # noqa: F811 — guarded shim
+                    tick()
+                    return inner(a, result)
+        return callback
 
     def _build_fused_binary(self, instr, op, kernel, kernel2,
                             fn_double, single):
@@ -1825,6 +1931,10 @@ def analyze_program(
     if analysis.features.threaded_interpreter:
         from repro.machine.compiled import CompiledProgram
 
+        if _faults.active():
+            # Chaos seam: a compiled-engine failure before execution.
+            # Unreachable from the ladder's reference rung.
+            _faults.trip("engine.compiled.raise", EngineFault)
         if analysis._batched and len(input_sets) > 1:
             from repro.machine.batched import BatchedProgram
 
@@ -1837,6 +1947,11 @@ def analyze_program(
                 double_handlers=analysis.backend.double_handlers,
             )
             if batched is not None:
+                if _faults.active():
+                    # Chaos seam: a batched-layer failure.  The
+                    # ladder's sequential rung (batched=False) never
+                    # reaches it.
+                    _faults.trip("engine.batched.raise", EngineFault)
                 try:
                     batch_outputs = batched.run_points(input_sets)
                 except MachineError:

@@ -21,6 +21,7 @@ experiments can sweep them:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
 #: Input-characteristic configurations (paper Section 4.4: the system is
 #: modular and ships three implementations).
@@ -109,6 +110,20 @@ class AnalysisConfig:
     #: Turning this off reduces Herbgrind to per-op error detection.
     track_influences: bool = True
 
+    #: Wall-clock budget of one analysis, in seconds; ``None`` (the
+    #: default) is unlimited.  When set, a :class:`ResourceGuard`
+    #: (:mod:`repro.core.analysis`) raises
+    #: :class:`~repro.resilience.errors.AnalysisDeadlineExceeded`
+    #: mid-analysis, which the degradation ladder classifies like any
+    #: other degradable failure.  Guard fields are serialized only when
+    #: set, so default request digests are unchanged.
+    deadline_seconds: Optional[float] = None
+
+    #: Budget of analysed floating-point operations for one analysis;
+    #: ``None`` (the default) is unlimited.  When spent, the guard
+    #: raises :class:`~repro.resilience.errors.OpBudgetExceeded`.
+    op_budget: Optional[int] = None
+
     def __post_init__(self) -> None:
         from repro.bigfloat.policy import available_policies
 
@@ -153,6 +168,10 @@ class AnalysisConfig:
             raise ValueError(
                 f"unknown characteristics kind: {self.input_characteristics!r}"
             )
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ValueError("analysis deadline must be positive seconds")
+        if self.op_budget is not None and self.op_budget < 1:
+            raise ValueError("op budget must be >= 1 operation")
 
     def with_(self, **changes) -> "AnalysisConfig":
         """A copy with the given fields replaced."""

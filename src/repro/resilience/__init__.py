@@ -1,0 +1,28 @@
+"""Robustness: fault injection and the graceful-degradation ladder.
+
+See ``docs/robustness.md``.  The package is deliberately import-light:
+:mod:`repro.core.analysis` and the substrate backends import
+:mod:`repro.resilience.faults` on their hot paths, so this ``__init__``
+must not import :mod:`repro.resilience.ladder` (which imports the
+analysis layer back) — callers import the ladder module explicitly.
+"""
+
+from repro.resilience.errors import (
+    AnalysisDeadlineExceeded,
+    DegradableError,
+    EngineFault,
+    FaultInjected,
+    KernelFault,
+    OpBudgetExceeded,
+    ResourceExhausted,
+)
+
+__all__ = [
+    "AnalysisDeadlineExceeded",
+    "DegradableError",
+    "EngineFault",
+    "FaultInjected",
+    "KernelFault",
+    "OpBudgetExceeded",
+    "ResourceExhausted",
+]

@@ -1,0 +1,297 @@
+"""Deterministic fault injection at named seams.
+
+The chaos suite (``tests/resilience/``) needs real failures — kernel
+raises, workers dying mid-task, torn store writes, reset sockets — that
+are *reproducible*: same spec, same seed, same firing sequence.  This
+module is the registry those seams consult.  It is dormant by default:
+every seam guards itself behind :func:`active`, a single module-global
+flag, so production code pays one attribute read when no plan is
+installed.
+
+Fault specs
+-----------
+
+A plan is a ``;``-separated list of clauses, one per seam::
+
+    site[:key=value[,key=value...]][;site...]
+
+with parameters
+
+``skip=N``
+    ignore the first N hits of the seam (fire from hit N+1 on),
+``times=N``
+    fire at most N times (default: every eligible hit),
+``p=F``
+    fire each eligible hit with probability F, drawn from a
+    deterministic per-site stream (default 1.0),
+``seed=N``
+    seed of that stream (default 0; the stream is keyed by
+    ``(seed, site)`` so two seams never share a sequence).
+
+Examples::
+
+    REPRO_FAULTS="kernel.native.raise:times=1"
+    REPRO_FAULTS="worker.exit:skip=1,times=1;store.write.truncate:times=2"
+    REPRO_FAULTS="backend.flaky:p=0.25,seed=7"
+
+Seams call either :func:`trip` (raise a
+:class:`~repro.resilience.errors.DegradableError` subclass when the
+site fires), :func:`fire` (boolean, for non-raise behaviours like
+``os._exit``), or :func:`corrupt_text` (store corruption).  Installed
+plans also export themselves through the ``REPRO_FAULTS`` environment
+variable so forked/spawned worker processes inherit them; counters are
+**per process** — a respawned worker starts its plan from hit zero,
+which the poison-quarantine tests rely on.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Type
+
+from repro.resilience.errors import DegradableError, FaultInjected
+
+#: The environment variable a plan is loaded from (and exported to, so
+#: child worker processes inherit the plan across fork/spawn).
+ENV_VAR = "REPRO_FAULTS"
+
+
+class FaultSpecError(ValueError):
+    """A malformed fault spec string."""
+
+
+@dataclass
+class FaultRule:
+    """Firing schedule of one seam."""
+
+    site: str
+    skip: int = 0
+    times: Optional[int] = None
+    p: float = 1.0
+    seed: int = 0
+    hits: int = 0
+    fires: int = 0
+    _rng: Optional[random.Random] = field(default=None, repr=False)
+
+    def should_fire(self) -> bool:
+        self.hits += 1
+        if self.hits <= self.skip:
+            return False
+        if self.times is not None and self.fires >= self.times:
+            return False
+        if self.p < 1.0:
+            if self._rng is None:
+                # Keyed by (seed, site): two seams in one plan draw
+                # from independent, reproducible streams.
+                self._rng = random.Random(f"{self.seed}:{self.site}")
+            if self._rng.random() >= self.p:
+                return False
+        self.fires += 1
+        return True
+
+
+class FaultPlan:
+    """A set of rules, one per seam, with thread-safe firing."""
+
+    def __init__(self, rules: Dict[str, FaultRule]) -> None:
+        self.rules = rules
+        self._lock = threading.Lock()
+
+    def fire(self, site: str) -> bool:
+        rule = self.rules.get(site)
+        if rule is None:
+            return False
+        with self._lock:
+            return rule.should_fire()
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        with self._lock:
+            return {
+                site: {"hits": rule.hits, "fires": rule.fires}
+                for site, rule in self.rules.items()
+            }
+
+
+def parse_spec(spec: str) -> FaultPlan:
+    """Parse the ``site[:k=v,...][;...]`` grammar into a plan."""
+    rules: Dict[str, FaultRule] = {}
+    for clause in spec.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        site, _, params = clause.partition(":")
+        site = site.strip()
+        if not site:
+            raise FaultSpecError(f"empty seam name in clause {clause!r}")
+        rule = FaultRule(site)
+        for param in params.split(","):
+            param = param.strip()
+            if not param:
+                continue
+            key, sep, value = param.partition("=")
+            if not sep:
+                raise FaultSpecError(
+                    f"expected key=value, got {param!r} in {clause!r}"
+                )
+            key = key.strip()
+            try:
+                if key == "skip":
+                    rule.skip = int(value)
+                elif key == "times":
+                    rule.times = int(value)
+                elif key == "p":
+                    rule.p = float(value)
+                elif key == "seed":
+                    rule.seed = int(value)
+                else:
+                    raise FaultSpecError(
+                        f"unknown fault parameter {key!r} in {clause!r}"
+                    )
+            except ValueError as exc:
+                if isinstance(exc, FaultSpecError):
+                    raise
+                raise FaultSpecError(
+                    f"bad value for {key!r} in {clause!r}: {value!r}"
+                ) from None
+        if rule.skip < 0 or (rule.times is not None and rule.times < 0) \
+                or not (0.0 <= rule.p <= 1.0):
+            raise FaultSpecError(f"out-of-range parameter in {clause!r}")
+        rules[site] = rule
+    return FaultPlan(rules)
+
+
+# ----------------------------------------------------------------------
+# Module-global plan state
+# ----------------------------------------------------------------------
+
+_lock = threading.Lock()
+_plan: Optional[FaultPlan] = None
+#: Fast-path flag: seams read this one global before anything else.
+_armed = False
+_env_loaded = False
+
+
+def _ensure_loaded() -> None:
+    global _plan, _armed, _env_loaded
+    if _env_loaded:
+        return
+    with _lock:
+        if _env_loaded:
+            return
+        spec = os.environ.get(ENV_VAR, "").strip()
+        if spec:
+            _plan = parse_spec(spec)
+            _armed = bool(_plan.rules)
+        _env_loaded = True
+
+
+def active() -> bool:
+    """Whether any fault plan is installed (cheap; seams gate on it)."""
+    if not _env_loaded:
+        _ensure_loaded()
+    return _armed
+
+
+def armed(site: str) -> bool:
+    """Whether the installed plan has a rule for ``site``."""
+    return active() and site in _plan.rules
+
+
+def fire(site: str) -> bool:
+    """Advance ``site``'s schedule; True when the seam should fail."""
+    if not active():
+        return False
+    return _plan.fire(site)
+
+
+def trip(site: str, exc_type: Type[DegradableError] = FaultInjected) -> None:
+    """Raise ``exc_type`` when ``site`` fires (the raise-seam helper)."""
+    if fire(site):
+        exc = exc_type(f"injected fault at seam {site!r}")
+        exc.seam = site
+        raise exc
+
+
+def corrupt_text(site_prefix: str, text: str) -> str:
+    """Apply text-corruption seams under ``site_prefix``.
+
+    ``<prefix>.truncate`` halves the text (a torn write / partial
+    read); ``<prefix>.empty`` empties it (a zero-byte file left by a
+    killed writer).  With no plan installed, returns ``text`` as-is.
+    """
+    if not active():
+        return text
+    if fire(f"{site_prefix}.truncate"):
+        return text[: max(1, len(text) // 2)]
+    if fire(f"{site_prefix}.empty"):
+        return ""
+    return text
+
+
+def install(spec: str, export_env: bool = True) -> FaultPlan:
+    """Install a plan from a spec string (replacing any current plan).
+
+    With ``export_env`` (default) the spec is also written to
+    ``REPRO_FAULTS`` so worker processes forked/spawned afterwards
+    inherit it.
+    """
+    global _plan, _armed, _env_loaded
+    plan = parse_spec(spec)
+    with _lock:
+        _plan = plan
+        _armed = bool(plan.rules)
+        _env_loaded = True
+        if export_env:
+            os.environ[ENV_VAR] = spec
+    return plan
+
+
+def uninstall() -> None:
+    """Remove the plan (and the env export); all seams go dormant."""
+    global _plan, _armed, _env_loaded
+    with _lock:
+        _plan = None
+        _armed = False
+        _env_loaded = True
+        os.environ.pop(ENV_VAR, None)
+
+
+def snapshot() -> Dict[str, Dict[str, int]]:
+    """Per-seam hit/fire counters of the installed plan (``{}`` if none)."""
+    if not active():
+        return {}
+    return _plan.snapshot()
+
+
+def fired(site: str) -> int:
+    """How many times ``site`` has fired in this process."""
+    return snapshot().get(site, {}).get("fires", 0)
+
+
+@contextmanager
+def injected(spec: str, export_env: bool = True) -> Iterator[FaultPlan]:
+    """Install ``spec`` for the duration of a ``with`` block.
+
+    Restores the previous plan *and* the previous ``REPRO_FAULTS``
+    value on exit, so tests can nest and never leak arming state.
+    """
+    global _plan, _armed, _env_loaded
+    previous_env = os.environ.get(ENV_VAR)
+    with _lock:
+        previous_plan, previous_armed = _plan, _armed
+    plan = install(spec, export_env=export_env)
+    try:
+        yield plan
+    finally:
+        with _lock:
+            _plan = previous_plan
+            _armed = previous_armed
+            _env_loaded = True
+            if previous_env is None:
+                os.environ.pop(ENV_VAR, None)
+            else:
+                os.environ[ENV_VAR] = previous_env

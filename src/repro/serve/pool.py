@@ -38,6 +38,7 @@ import os
 import queue
 import stat
 import threading
+import time
 from concurrent.futures import Future
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -74,9 +75,22 @@ def _analysis_worker_main(conn) -> None:
     in-process ``AnalysisSession``.  Any exception an analysis raises
     becomes an ``("error", type, message)`` reply; only process death
     is a crash.
+
+    A result the degradation ladder rescued gains a third reply
+    element with the JSON degradation record — the body bytes stay
+    identical to the clean run (``to_json()`` strips the record), and
+    the service feeds the sidecar into ``/v1/stats``.
+
+    The ``worker.exit`` fault seam (:mod:`repro.resilience.faults`,
+    inherited through the fork via ``REPRO_FAULTS``) kills the process
+    mid-task with ``os._exit`` — indistinguishable from a segfault or
+    an OOM kill, which is the point.
     """
+    import json as _json
+
     from repro.api.requests import AnalysisRequest
     from repro.api.session import _execute
+    from repro.resilience import faults as _faults
 
     while True:
         try:
@@ -87,9 +101,19 @@ def _analysis_worker_main(conn) -> None:
             break
         replies: List[Reply] = []
         for data in payload:
+            if _faults.active() and _faults.fire("worker.exit"):
+                os._exit(3)  # noqa: SLF001 — simulate a hard crash
             try:
                 request = AnalysisRequest.from_dict(data)
-                replies.append(("ok", _execute(request).to_json()))
+                result = _execute(request)
+                degradation = result.extra.get("degradation")
+                if degradation is not None:
+                    replies.append((
+                        "ok", result.to_json(),
+                        _json.dumps(degradation, sort_keys=True),
+                    ))
+                else:
+                    replies.append(("ok", result.to_json()))
             except Exception as exc:  # noqa: BLE001 — reply, don't die
                 replies.append(("error", type(exc).__name__, str(exc)))
         try:
@@ -149,6 +173,8 @@ class _Worker:
         self.process = None
         self.conn = None
         self.restarts = -1  # first ensure() is a start, not a restart
+        #: Consecutive timeout-kills/crashes; reset by any success.
+        self.failures = 0
         self.ensure()
 
     def ensure(self) -> None:
@@ -202,12 +228,21 @@ class WorkerPool:
         queue_limit: int = 64,
         timeout: Optional[float] = 300.0,
         worker_main: Callable = _analysis_worker_main,
+        max_respawn_burst: int = 5,
+        respawn_cooldown: float = 0.5,
     ) -> None:
         if workers < 1:
             raise ValueError("worker pool needs at least one worker")
         self.workers = workers
         self.queue_limit = queue_limit
         self.timeout = timeout
+        #: Consecutive failures a worker slot may accumulate before
+        #: respawns start backing off (crash-loop guard): a slot whose
+        #: process dies on every task would otherwise fork in a tight
+        #: loop, starving the healthy slots of CPU.
+        self.max_respawn_burst = max_respawn_burst
+        #: Base of the exponential respawn back-off, in seconds.
+        self.respawn_cooldown = respawn_cooldown
         self._tasks: "queue.Queue" = queue.Queue(
             maxsize=queue_limit if queue_limit > 0 else 0
         )
@@ -216,6 +251,8 @@ class WorkerPool:
         self.completed = 0
         self.timeouts = 0
         self.crashes = 0
+        #: Times a crash-looping slot was made to cool down.
+        self.cooldowns = 0
         self._active = 0
         # Spawn the processes before the dispatcher threads so the
         # initial forks happen from a quiet (single-threaded) parent.
@@ -280,7 +317,21 @@ class WorkerPool:
                     self._active -= 1
         worker.shutdown()
 
+    def _cool_down(self, worker: _Worker) -> None:
+        """Back off before respawning a crash-looping worker slot.
+
+        Only this slot's dispatcher thread sleeps — queued work keeps
+        draining through the healthy slots.  The delay doubles per
+        failure beyond the burst allowance, capped at 30s.
+        """
+        excess = worker.failures - self.max_respawn_burst
+        if excess < 0 or self.respawn_cooldown <= 0:
+            return
+        self.cooldowns += 1
+        time.sleep(min(self.respawn_cooldown * (2.0 ** excess), 30.0))
+
     def _dispatch(self, worker, future, shard, timeout) -> None:
+        self._cool_down(worker)
         try:
             worker.ensure()
             worker.conn.send(shard)
@@ -292,6 +343,7 @@ class WorkerPool:
                 worker.conn.send(shard)
             except (BrokenPipeError, OSError) as exc:
                 self.crashes += 1
+                worker.failures += 1
                 future.set_exception(
                     WorkerCrashed(f"could not reach worker: {exc}")
                 )
@@ -300,6 +352,7 @@ class WorkerPool:
             if timeout is not None and not worker.conn.poll(timeout):
                 worker.kill()  # the only way to stop a running task
                 self.timeouts += 1
+                worker.failures += 1
                 future.set_exception(AnalysisTimeout(
                     f"no result within {timeout:.1f}s; worker killed"
                 ))
@@ -308,11 +361,13 @@ class WorkerPool:
         except (EOFError, OSError):
             worker.kill()
             self.crashes += 1
+            worker.failures += 1
             future.set_exception(
                 WorkerCrashed("worker process died mid-task")
             )
             return
         self.completed += 1
+        worker.failures = 0
         future.set_result(replies)
 
     # ------------------------------------------------------------------
@@ -330,6 +385,7 @@ class WorkerPool:
             "completed": self.completed,
             "timeouts": self.timeouts,
             "crashes": self.crashes,
+            "cooldowns": self.cooldowns,
             "restarts": sum(w.restarts for w in self._workers),
         }
 

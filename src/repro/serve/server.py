@@ -31,10 +31,12 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
+import math
 import signal
 from typing import Any, Dict, Optional, Set, Tuple
 
 from repro.api.store import ShardedResultStore
+from repro.resilience import faults as _faults
 from repro.serve.service import AnalysisService, ServeOutcome, error_body
 
 logger = logging.getLogger("repro.serve")
@@ -135,6 +137,8 @@ def _render(outcome: ServeOutcome, keep_alive: bool) -> bytes:
     ]
     if outcome.digest is not None:
         lines.append(f"X-Repro-Digest: {outcome.digest}")
+    if outcome.retry_after is not None:
+        lines.append(f"Retry-After: {int(math.ceil(outcome.retry_after))}")
     head = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
     return head + body
 
@@ -221,6 +225,12 @@ class ReproServer:
             if request is None:
                 return
             outcome = await self._route(request)
+            if _faults.active() and _faults.fire("socket.reset"):
+                # Chaos seam: the kernel drops the connection after the
+                # response was computed but before any byte is written —
+                # the worst spot for a client (work done, answer lost).
+                writer.transport.abort()
+                return
             keep_alive = request.keep_alive and not self._draining.is_set()
             writer.write(_render(outcome, keep_alive))
             await writer.drain()

@@ -75,6 +75,9 @@ class ServeOutcome:
     body: str
     digest: Optional[str] = None
     source: str = SOURCE_ERROR
+    #: Backpressure hint (seconds) rendered as a ``Retry-After`` header
+    #: on 429/503 responses; clients honor it before retrying.
+    retry_after: Optional[float] = None
 
     @property
     def ok(self) -> bool:
@@ -86,6 +89,11 @@ class ServeOutcome:
             return self
         return ServeOutcome(self.status, self.body, self.digest,
                             SOURCE_DEDUPE)
+
+
+#: Retry-After hints for shed (429) and draining (503) responses.
+RETRY_AFTER_BUSY = 1.0
+RETRY_AFTER_DRAINING = 5.0
 
 
 @dataclass
@@ -103,6 +111,10 @@ class ServiceCounters:
     crashes: int = 0
     rejected: int = 0
     invalid: int = 0
+    #: Successes the degradation ladder rescued on a lower rung.
+    degraded: int = 0
+    #: Requests refused because their digest is poison-quarantined.
+    quarantined: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return dict(self.__dict__)
@@ -131,6 +143,7 @@ class AnalysisService:
         timeout: Optional[float] = 300.0,
         memory_cache_size: int = 512,
         batch_shard_size: int = 4,
+        poison_threshold: int = 3,
     ) -> None:
         self.store = store
         self.pool = pool if pool is not None else WorkerPool(
@@ -138,10 +151,21 @@ class AnalysisService:
         )
         self.memory_cache_size = memory_cache_size
         self.batch_shard_size = max(1, batch_shard_size)
+        #: Poison-request circuit breaker: a digest whose computation
+        #: kills or times out a worker this many times in a row is
+        #: quarantined — answered with a structured 500 instead of
+        #: respawn-looping the pool.  ``0`` disables the breaker.
+        self.poison_threshold = poison_threshold
         self.counters = ServiceCounters()
         self._memory: "collections.OrderedDict[str, str]" = \
             collections.OrderedDict()
         self._inflight: Dict[str, _Inflight] = {}
+        #: Consecutive infra failures (timeout / crash) per digest.
+        self._infra_failures: Dict[str, int] = {}
+        #: Quarantined digest → the failure kind that tripped it.
+        self._quarantined: Dict[str, str] = {}
+        self._degraded_rungs: "collections.Counter[str]" = \
+            collections.Counter()
         self._draining = False
         self._started = time.monotonic()
 
@@ -238,7 +262,7 @@ class AnalysisService:
             return ServeOutcome(
                 503, error_body("shutting_down",
                                 "server is draining", digest),
-                digest,
+                digest, retry_after=RETRY_AFTER_DRAINING,
             )
         entry = _Inflight(asyncio.get_running_loop().create_future())
         self._inflight[digest] = entry
@@ -258,29 +282,76 @@ class AnalysisService:
         entry.future.set_result(outcome)
         return outcome
 
+    # ------------------------------------------------------------------
+    # Poison-request circuit breaker
+    # ------------------------------------------------------------------
+
+    def _quarantine_outcome(self, digest: str) -> Optional[ServeOutcome]:
+        """The structured refusal for a quarantined digest, if any."""
+        kind = self._quarantined.get(digest)
+        if kind is None:
+            return None
+        self.counters.quarantined += 1
+        return ServeOutcome(
+            500, error_body(
+                "quarantined",
+                f"request repeatedly killed workers ({kind}); "
+                f"quarantined after {self.poison_threshold} failures",
+                digest,
+            ),
+            digest,
+        )
+
+    def _note_infra_failure(self, digest: str, kind: str) -> None:
+        """Count one timeout/crash against ``digest``; trip at threshold.
+
+        A crash-looping *request* (not a flaky worker) shows up as the
+        same digest killing worker after worker; once it crosses
+        ``poison_threshold`` consecutive failures, the digest is
+        quarantined and answered without touching the pool.
+        """
+        if self.poison_threshold <= 0:
+            return
+        count = self._infra_failures.get(digest, 0) + 1
+        self._infra_failures[digest] = count
+        if count >= self.poison_threshold and \
+                digest not in self._quarantined:
+            self._quarantined[digest] = kind
+            logger.warning(
+                "quarantined poison digest %s after %d consecutive "
+                "%s failures", digest, count, kind,
+            )
+
     async def _compute(self, digest: str,
                        data: Dict[str, Any]) -> ServeOutcome:
+        poisoned = self._quarantine_outcome(digest)
+        if poisoned is not None:
+            return poisoned
         try:
             pool_future = self.pool.submit([data])
         except QueueFull as exc:
             self.counters.rejected += 1
             return ServeOutcome(
-                429, error_body("queue_full", str(exc), digest), digest
+                429, error_body("queue_full", str(exc), digest), digest,
+                retry_after=RETRY_AFTER_BUSY,
             )
         except PoolClosed as exc:
             return ServeOutcome(
-                503, error_body("shutting_down", str(exc), digest), digest
+                503, error_body("shutting_down", str(exc), digest), digest,
+                retry_after=RETRY_AFTER_DRAINING,
             )
         try:
             [reply] = await asyncio.wrap_future(pool_future)
         except AnalysisTimeout as exc:
             self.counters.timeouts += 1
+            self._note_infra_failure(digest, "analysis_timeout")
             return ServeOutcome(
                 504, error_body("analysis_timeout", str(exc), digest),
                 digest,
             )
         except WorkerCrashed as exc:
             self.counters.crashes += 1
+            self._note_infra_failure(digest, "worker_crashed")
             return ServeOutcome(
                 500, error_body("worker_crashed", str(exc), digest),
                 digest,
@@ -292,6 +363,11 @@ class AnalysisService:
         if reply[0] == "ok":
             text = reply[1]
             self.counters.computed += 1
+            self._infra_failures.pop(digest, None)
+            if len(reply) > 2:
+                # Degradation sidecar from the worker: the body is
+                # byte-identical to a clean run; only the stats move.
+                self._note_degraded(digest, reply[2])
             self._memory_put(digest, text)
             if self.store is not None:
                 self.store.put_text(digest, text)
@@ -302,6 +378,20 @@ class AnalysisService:
             500, error_body("analysis_error",
                             f"{error_type}: {message}", digest),
             digest,
+        )
+
+    def _note_degraded(self, digest: str, meta_text: str) -> None:
+        try:
+            meta = json.loads(meta_text)
+            rung = str(meta.get("rung", "unknown"))
+            attempts = len(meta.get("attempts", []))
+        except (ValueError, AttributeError, TypeError):
+            rung, attempts = "unknown", 0
+        self.counters.degraded += 1
+        self._degraded_rungs[rung] += 1
+        logger.warning(
+            "degraded digest=%s rung=%s attempts=%d",
+            digest, rung, attempts,
         )
 
     # ------------------------------------------------------------------
@@ -339,7 +429,8 @@ class AnalysisService:
             ))
         if self._draining:
             return ServeOutcome(
-                503, error_body("shutting_down", "server is draining")
+                503, error_body("shutting_down", "server is draining"),
+                retry_after=RETRY_AFTER_DRAINING,
             )
 
         self.counters.requests += len(raw_requests)
@@ -407,42 +498,74 @@ class AnalysisService:
     async def _run_shard(
         self, shard: List[Tuple[str, Dict[str, Any]]]
     ) -> List[ServeOutcome]:
-        digests = [digest for digest, _ in shard]
-        payload = [data for _, data in shard]
+        # Quarantined digests never reach the pool — answer them here
+        # and submit only the live remainder of the shard.
+        shard_outcomes: Dict[str, ServeOutcome] = {}
+        live: List[Tuple[str, Dict[str, Any]]] = []
+        for digest, data in shard:
+            poisoned = self._quarantine_outcome(digest)
+            if poisoned is not None:
+                shard_outcomes[digest] = poisoned
+            else:
+                live.append((digest, data))
+
+        def _fill(outcomes: Dict[str, ServeOutcome]) -> List[ServeOutcome]:
+            return [outcomes[digest] for digest, _ in shard]
+
+        if not live:
+            return _fill(shard_outcomes)
+        digests = [digest for digest, _ in live]
+        payload = [data for _, data in live]
         try:
             pool_future = self.pool.submit(payload)
         except QueueFull as exc:
-            self.counters.rejected += len(shard)
-            return [
-                ServeOutcome(429, error_body("queue_full", str(exc), d), d)
+            self.counters.rejected += len(live)
+            shard_outcomes.update({
+                d: ServeOutcome(
+                    429, error_body("queue_full", str(exc), d), d,
+                    retry_after=RETRY_AFTER_BUSY,
+                )
                 for d in digests
-            ]
+            })
+            return _fill(shard_outcomes)
         except PoolClosed as exc:
-            return [
-                ServeOutcome(503, error_body("shutting_down", str(exc), d),
-                             d)
+            shard_outcomes.update({
+                d: ServeOutcome(
+                    503, error_body("shutting_down", str(exc), d), d,
+                    retry_after=RETRY_AFTER_DRAINING,
+                )
                 for d in digests
-            ]
+            })
+            return _fill(shard_outcomes)
         try:
             replies = await asyncio.wrap_future(pool_future)
         except AnalysisTimeout as exc:
             self.counters.timeouts += 1
-            return [
-                ServeOutcome(
+            for d in digests:
+                self._note_infra_failure(d, "analysis_timeout")
+            shard_outcomes.update({
+                d: ServeOutcome(
                     504, error_body("analysis_timeout", str(exc), d), d
                 )
                 for d in digests
-            ]
+            })
+            return _fill(shard_outcomes)
         except WorkerCrashed as exc:
             self.counters.crashes += 1
-            return [
-                ServeOutcome(
+            for d in digests:
+                self._note_infra_failure(d, "worker_crashed")
+            shard_outcomes.update({
+                d: ServeOutcome(
                     500, error_body("worker_crashed", str(exc), d), d
                 )
                 for d in digests
-            ]
-        return [self._absorb(digest, reply)
-                for digest, reply in zip(digests, replies)]
+            })
+            return _fill(shard_outcomes)
+        shard_outcomes.update({
+            digest: self._absorb(digest, reply)
+            for digest, reply in zip(digests, replies)
+        })
+        return _fill(shard_outcomes)
 
     # ------------------------------------------------------------------
     # Introspection / lifecycle
@@ -456,6 +579,8 @@ class AnalysisService:
             "inflight": len(self._inflight),
             "memory_entries": len(self._memory),
             "service": self.counters.to_dict(),
+            "quarantined_digests": len(self._quarantined),
+            "degraded_rungs": dict(self._degraded_rungs),
             "pool": self.pool.stats(),
             "store": self.store.stats() if self.store is not None else None,
         }

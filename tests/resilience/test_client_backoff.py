@@ -1,0 +1,149 @@
+"""Client-side resilience: transient classification, exponential
+backoff with deterministic jitter, and the Retry-After floor."""
+
+import pytest
+
+from repro.serve.client import ServeClient, ServeError, _retry_after
+
+
+class TestTransientClassification:
+    @pytest.mark.parametrize("status,error_type,expected", [
+        (429, "queue_full", True),
+        (503, "shutting_down", True),
+        (500, "worker_crashed", True),
+        (500, "analysis_error", False),   # deterministic: retry is futile
+        (500, "quarantined", False),      # the breaker said stop
+        (504, "analysis_timeout", False),  # slow is slow on retry too
+        (400, "invalid_request", False),
+        (404, "not_found", False),
+    ])
+    def test_matrix(self, status, error_type, expected):
+        error = ServeError(
+            status, {"error": {"type": error_type, "message": "m"}}
+        )
+        assert error.transient is expected
+
+    def test_retry_after_is_carried(self):
+        error = ServeError(429, {"error": {"type": "queue_full",
+                                           "message": "m"}},
+                           retry_after=2.0)
+        assert error.retry_after == 2.0
+
+
+class TestBackoffSchedule:
+    def test_exponential_growth_within_jitter_band(self):
+        client = ServeClient(backoff_base=0.1, backoff_cap=5.0,
+                             jitter_seed=7)
+        for attempt in range(6):
+            delay = client._retry_delay(attempt, None)
+            ideal = min(5.0, 0.1 * (2.0 ** attempt))
+            assert 0.5 * ideal <= delay <= 1.5 * ideal
+
+    def test_cap_bounds_the_delay(self):
+        client = ServeClient(backoff_base=1.0, backoff_cap=2.0,
+                             jitter_seed=0)
+        assert client._retry_delay(30, None) <= 2.0 * 1.5
+
+    def test_jitter_is_deterministic_per_seed(self):
+        a = ServeClient(jitter_seed=42)
+        b = ServeClient(jitter_seed=42)
+        c = ServeClient(jitter_seed=43)
+        seq_a = [a._retry_delay(i, None) for i in range(8)]
+        seq_b = [b._retry_delay(i, None) for i in range(8)]
+        seq_c = [c._retry_delay(i, None) for i in range(8)]
+        assert seq_a == seq_b
+        assert seq_a != seq_c
+
+    def test_retry_after_floors_the_delay(self):
+        client = ServeClient(backoff_base=0.01, backoff_cap=0.1,
+                             jitter_seed=1)
+        assert client._retry_delay(0, 3.0) >= 3.0
+        # ... but a tiny hint does not cancel a larger backoff.
+        big = ServeClient(backoff_base=10.0, backoff_cap=10.0,
+                          jitter_seed=1)
+        assert big._retry_delay(0, 0.001) >= 5.0
+
+
+class TestRetryAfterHeader:
+    def test_parses_integer_seconds(self):
+        assert _retry_after({"Retry-After": "5"}) == 5.0
+
+    def test_parses_float_seconds(self):
+        assert _retry_after({"Retry-After": "0.5"}) == 0.5
+
+    def test_missing_header(self):
+        assert _retry_after({}) is None
+
+    def test_garbage_is_ignored(self):
+        assert _retry_after({"Retry-After": "Thu, 01 Jan"}) is None
+
+    def test_negative_clamped_to_zero(self):
+        assert _retry_after({"Retry-After": "-3"}) == 0.0
+
+
+class TestRetryLoop:
+    """Drive _exchange against a stubbed _exchange_once — no sockets."""
+
+    def _client(self, script, retries=3):
+        client = ServeClient(retries=retries, backoff_base=0.0,
+                             backoff_cap=0.0, jitter_seed=0)
+        calls = []
+
+        def fake_exchange_once(method, path, body=None):
+            calls.append(path)
+            action = script[min(len(calls) - 1, len(script) - 1)]
+            if isinstance(action, Exception):
+                raise action
+            return action
+
+        client._exchange_once = fake_exchange_once
+        return client, calls
+
+    def test_transient_errors_are_retried_to_success(self):
+        reply = object()
+        client, calls = self._client([
+            ServeError(429, {"error": {"type": "queue_full",
+                                       "message": "m"}}),
+            ServeError(500, {"error": {"type": "worker_crashed",
+                                       "message": "m"}}),
+            reply,
+        ])
+        assert client._exchange("GET", "/v1/health") is reply
+        assert len(calls) == 3
+
+    def test_non_transient_error_raises_immediately(self):
+        client, calls = self._client([
+            ServeError(400, {"error": {"type": "invalid_request",
+                                       "message": "m"}}),
+        ])
+        with pytest.raises(ServeError):
+            client._exchange("GET", "/v1/health")
+        assert len(calls) == 1
+
+    def test_budget_exhaustion_raises_the_last_error(self):
+        client, calls = self._client([
+            ServeError(503, {"error": {"type": "shutting_down",
+                                       "message": "m"}}),
+        ], retries=2)
+        with pytest.raises(ServeError) as info:
+            client._exchange("GET", "/v1/health")
+        assert info.value.status == 503
+        assert len(calls) == 3  # initial + 2 retries
+
+    def test_transport_errors_are_retried(self):
+        reply = object()
+        client, calls = self._client([
+            ConnectionResetError("reset"),
+            reply,
+        ])
+        assert client._exchange("GET", "/v1/health") is reply
+        assert len(calls) == 2
+
+    def test_zero_retries_preserves_legacy_behavior(self):
+        client, calls = self._client([
+            ServeError(429, {"error": {"type": "queue_full",
+                                       "message": "m"}}),
+        ], retries=0)
+        with pytest.raises(ServeError):
+            client._exchange("GET", "/v1/health")
+        assert len(calls) == 1

@@ -1,0 +1,138 @@
+"""The deterministic fault-injection registry: spec grammar, firing
+schedules, arming state, and corruption helpers."""
+
+import os
+
+import pytest
+
+from repro.resilience import faults
+from repro.resilience.errors import DegradableError, FaultInjected, KernelFault
+
+
+class TestSpecGrammar:
+    def test_bare_site(self):
+        plan = faults.parse_spec("kernel.raise")
+        rule = plan.rules["kernel.raise"]
+        assert (rule.skip, rule.times, rule.p, rule.seed) == (0, None, 1.0, 0)
+
+    def test_full_clause(self):
+        plan = faults.parse_spec(
+            "worker.exit:skip=2,times=3,p=0.5,seed=7"
+        )
+        rule = plan.rules["worker.exit"]
+        assert (rule.skip, rule.times, rule.p, rule.seed) == (2, 3, 0.5, 7)
+
+    def test_multiple_clauses(self):
+        plan = faults.parse_spec(
+            "kernel.raise:times=1; store.write.truncate:skip=1 ;"
+        )
+        assert set(plan.rules) == {"kernel.raise", "store.write.truncate"}
+
+    @pytest.mark.parametrize("bad", [
+        ":times=1",              # empty seam name
+        "site:times",            # missing '='
+        "site:times=x",          # non-integer
+        "site:p=1.5",            # out of range
+        "site:skip=-1",          # negative
+        "site:frobnicate=1",     # unknown parameter
+    ])
+    def test_malformed_specs_raise(self, bad):
+        with pytest.raises(faults.FaultSpecError):
+            faults.parse_spec(bad)
+
+
+class TestFiringSchedules:
+    def test_skip_then_times(self):
+        plan = faults.parse_spec("s:skip=2,times=2")
+        fires = [plan.fire("s") for _ in range(6)]
+        assert fires == [False, False, True, True, False, False]
+
+    def test_unknown_site_never_fires(self):
+        plan = faults.parse_spec("s")
+        assert not plan.fire("other")
+        assert plan.fire("s")
+
+    def test_probabilistic_stream_is_deterministic(self):
+        plan_b = faults.parse_spec("s:p=0.5,seed=3")
+        plan_c = faults.parse_spec("s:p=0.5,seed=3")
+        draws_b = [plan_b.fire("s") for _ in range(64)]
+        draws_c = [plan_c.fire("s") for _ in range(64)]
+        assert draws_b == draws_c
+        assert True in draws_b and False in draws_b
+
+    def test_streams_keyed_per_site(self):
+        plan = faults.parse_spec("a:p=0.5,seed=3;b:p=0.5,seed=3")
+        draws_a = [plan.fire("a") for _ in range(64)]
+        draws_b = [plan.fire("b") for _ in range(64)]
+        assert draws_a != draws_b  # independent (seed, site) streams
+
+
+class TestModuleState:
+    def test_dormant_by_default(self):
+        faults.uninstall()
+        assert not faults.active()
+        assert not faults.fire("anything")
+        assert faults.snapshot() == {}
+
+    def test_injected_restores_previous_plan_and_env(self):
+        faults.uninstall()
+        with faults.injected("outer.site:times=1"):
+            assert faults.armed("outer.site")
+            assert os.environ[faults.ENV_VAR] == "outer.site:times=1"
+            with faults.injected("inner.site"):
+                assert faults.armed("inner.site")
+                assert not faults.armed("outer.site")
+            assert faults.armed("outer.site")
+            assert os.environ[faults.ENV_VAR] == "outer.site:times=1"
+        assert not faults.active()
+        assert faults.ENV_VAR not in os.environ
+
+    def test_env_var_loads_lazily(self, monkeypatch):
+        faults.uninstall()
+        monkeypatch.setenv(faults.ENV_VAR, "env.site:times=1")
+        # uninstall marked the env as consumed; force a re-load the way
+        # a fresh worker process would see it.
+        faults._env_loaded = False
+        faults._plan = None
+        assert faults.active()
+        assert faults.armed("env.site")
+        faults.uninstall()
+
+    def test_trip_raises_typed_error_with_seam(self):
+        with faults.injected("k.raise:times=1"):
+            with pytest.raises(KernelFault) as info:
+                faults.trip("k.raise", KernelFault)
+            assert info.value.seam == "k.raise"
+            assert isinstance(info.value, DegradableError)
+            faults.trip("k.raise", KernelFault)  # exhausted: no raise
+
+    def test_fired_counter(self):
+        with faults.injected("s:times=2"):
+            assert faults.fired("s") == 0
+            faults.fire("s")
+            faults.fire("s")
+            faults.fire("s")
+            assert faults.fired("s") == 2
+
+
+class TestCorruptText:
+    def test_truncate_halves(self):
+        with faults.injected("store.write.truncate:times=1"):
+            text = '{"key": "value"}'
+            assert faults.corrupt_text("store.write", text) == \
+                text[: len(text) // 2]
+            # Exhausted: passthrough.
+            assert faults.corrupt_text("store.write", text) == text
+
+    def test_empty_empties(self):
+        with faults.injected("store.read.empty:times=1"):
+            assert faults.corrupt_text("store.read", "{}") == ""
+
+    def test_dormant_passthrough(self):
+        faults.uninstall()
+        assert faults.corrupt_text("store.write", "{}") == "{}"
+
+    def test_default_exception_type(self):
+        with faults.injected("s"):
+            with pytest.raises(FaultInjected):
+                faults.trip("s")

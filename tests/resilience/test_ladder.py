@@ -1,0 +1,187 @@
+"""The degradation ladder: classification, rung planning, and the
+retry driver — unit-level, with stub executors."""
+
+import pytest
+
+from repro.api import AnalysisSession
+from repro.core import AnalysisConfig
+from repro.machine.interpreter import MachineError
+from repro.resilience.errors import (
+    EngineFault,
+    KernelFault,
+    OpBudgetExceeded,
+)
+from repro.resilience.ladder import (
+    RUNG_FIXED_POLICY,
+    RUNG_PYTHON_SUBSTRATE,
+    RUNG_REFERENCE,
+    RUNG_SEQUENTIAL,
+    DegradationLadder,
+    classify,
+    degradation_enabled,
+    run_with_ladder,
+)
+
+CORE = "(FPCore (x) :name \"t\" :pre (<= 1 x 2) (+ x 1))"
+
+
+def _request(**config_fields):
+    config = AnalysisConfig(shadow_precision=96, **config_fields)
+    return AnalysisSession(config=config, num_points=2).request(CORE)
+
+
+class TestClassify:
+    def test_degradable_errors(self):
+        assert classify(KernelFault("k")) == "KernelFault"
+        assert classify(EngineFault("e")) == "EngineFault"
+        assert classify(OpBudgetExceeded("b")) == "OpBudgetExceeded"
+        assert classify(MachineError("m")) == "MachineError"
+
+    def test_foreign_errors_are_not_ours(self):
+        assert classify(ValueError("v")) is None
+        assert classify(KeyboardInterrupt()) is None
+
+
+class TestPlanning:
+    def test_full_ladder_from_the_top(self):
+        request = _request(engine="compiled", substrate="native",
+                           precision_policy="adaptive")
+        plan = DegradationLadder(enabled=True).plan(request)
+        names = [name for name, _ in plan]
+        assert names == [RUNG_SEQUENTIAL, RUNG_REFERENCE,
+                         RUNG_PYTHON_SUBSTRATE, RUNG_FIXED_POLICY]
+        bottom = plan[-1][1]
+        assert bottom.config.engine == "reference"
+        assert bottom.config.substrate == "python"
+        assert bottom.config.precision_policy == "fixed"
+
+    def test_rungs_are_cumulative(self):
+        request = _request(engine="compiled", substrate="native")
+        plan = dict(DegradationLadder(enabled=True).plan(request))
+        assert plan[RUNG_PYTHON_SUBSTRATE].config.engine == "reference"
+
+    def test_sequential_rung_only_disables_batching(self):
+        request = _request(engine="compiled")
+        plan = dict(DegradationLadder(enabled=True).plan(request))
+        sequential = plan[RUNG_SEQUENTIAL]
+        assert sequential.config == request.config
+        assert sequential.features is not None
+        assert sequential.features.batched is False
+
+    def test_bottom_configuration_has_no_ladder(self):
+        request = _request(engine="reference", substrate="python",
+                           precision_policy="fixed")
+        assert DegradationLadder(enabled=True).plan(request) == []
+
+    def test_requests_keep_identity_fields(self):
+        request = _request(engine="compiled", substrate="native")
+        for _, degraded in DegradationLadder(enabled=True).plan(request):
+            assert degraded.name == request.name
+            assert degraded.seed == request.seed
+            assert degraded.num_points == request.num_points
+
+
+class _Recorder:
+    """An executor stub that fails per-script and records the configs."""
+
+    def __init__(self, failures):
+        self.failures = dict(failures)
+        self.calls = []
+
+    def __call__(self, request):
+        key = self._key(request)
+        self.calls.append(key)
+        exc = self.failures.get(key)
+        if exc is not None:
+            raise exc
+        from repro.api.results import AnalysisResult
+
+        return AnalysisResult(benchmark="stub", backend="stub",
+                              seed=0, num_points=1)
+
+    @staticmethod
+    def _key(request):
+        if request.features is not None and not request.features.batched:
+            return RUNG_SEQUENTIAL
+        config = request.config
+        if config.engine == "compiled":
+            return "initial"
+        if config.substrate != "python":
+            return RUNG_REFERENCE
+        if config.precision_policy != "fixed":
+            return RUNG_PYTHON_SUBSTRATE
+        return RUNG_FIXED_POLICY
+
+
+class TestDriver:
+    def test_success_needs_no_ladder(self):
+        execute = _Recorder({})
+        result = run_with_ladder(_request(engine="compiled"), execute,
+                                 enabled=True)
+        assert execute.calls == ["initial"]
+        assert "degradation" not in result.extra
+
+    def test_walks_down_until_success(self):
+        request = _request(engine="compiled", substrate="native",
+                           precision_policy="adaptive")
+        execute = _Recorder({
+            "initial": EngineFault("boom"),
+            RUNG_SEQUENTIAL: EngineFault("still boom"),
+            RUNG_REFERENCE: KernelFault("kernel boom"),
+        })
+        result = run_with_ladder(request, execute, enabled=True)
+        record = result.extra["degradation"]
+        assert record["degraded"] is True
+        assert record["rung"] == RUNG_PYTHON_SUBSTRATE
+        assert [a["rung"] for a in record["attempts"]] == \
+            ["initial", RUNG_SEQUENTIAL, RUNG_REFERENCE]
+        assert record["attempts"][2]["error"]["kind"] == "KernelFault"
+
+    def test_non_degradable_error_propagates_immediately(self):
+        execute = _Recorder({"initial": ValueError("not ours")})
+        with pytest.raises(ValueError):
+            run_with_ladder(_request(engine="compiled"), execute,
+                            enabled=True)
+        assert execute.calls == ["initial"]
+
+    def test_dry_ladder_reraises_last_failure(self):
+        request = _request(engine="compiled", substrate="native",
+                           precision_policy="adaptive")
+        execute = _Recorder({
+            "initial": EngineFault("a"),
+            RUNG_SEQUENTIAL: EngineFault("b"),
+            RUNG_REFERENCE: EngineFault("c"),
+            RUNG_PYTHON_SUBSTRATE: EngineFault("d"),
+            RUNG_FIXED_POLICY: EngineFault("e"),
+        })
+        with pytest.raises(EngineFault, match="e"):
+            run_with_ladder(request, execute, enabled=True)
+        assert execute.calls == ["initial", RUNG_SEQUENTIAL,
+                                 RUNG_REFERENCE, RUNG_PYTHON_SUBSTRATE,
+                                 RUNG_FIXED_POLICY]
+
+    def test_disabled_ladder_propagates_first_failure(self):
+        execute = _Recorder({"initial": EngineFault("boom")})
+        with pytest.raises(EngineFault):
+            run_with_ladder(_request(engine="compiled"), execute,
+                            enabled=False)
+        assert execute.calls == ["initial"]
+
+
+class TestSwitch:
+    def test_explicit_override_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEGRADE", "0")
+        assert degradation_enabled(True) is True
+        assert degradation_enabled(None) is False
+
+    @pytest.mark.parametrize("value,expected", [
+        ("1", True), ("", True), ("0", False), ("false", False),
+        ("OFF", False), ("yes", True),
+    ])
+    def test_env_values(self, monkeypatch, value, expected):
+        monkeypatch.setenv("REPRO_DEGRADE", value)
+        assert degradation_enabled(None) is expected
+
+    def test_default_is_on(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DEGRADE", raising=False)
+        assert degradation_enabled(None) is True

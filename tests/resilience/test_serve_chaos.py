@@ -1,0 +1,213 @@
+"""Serving-stack chaos: workers dying mid-task, poison requests,
+reset sockets, and degradation surfacing in ``/v1/stats`` — all over
+real sockets and real worker processes."""
+
+import http.client
+
+import pytest
+
+from repro.api import AnalysisSession, request_digest
+from repro.core import AnalysisConfig
+from repro.resilience import faults
+from repro.serve import ServeError
+
+CORE = "(FPCore (x) :name \"t\" :pre (<= 1e16 x 1e17) (- (+ x 1) x))"
+FAST = AnalysisConfig(shadow_precision=96)
+
+
+def _request(**overrides):
+    session = AnalysisSession(config=FAST, num_points=3)
+    return session.request(CORE, **overrides)
+
+
+def _expected_json(request):
+    return AnalysisSession(config=FAST, num_points=3).analyze(
+        request
+    ).to_json()
+
+
+class TestWorkerExit:
+    def test_killed_worker_then_recovery(self, harness_factory):
+        # skip=1,times=1 with per-process counters: every worker
+        # process survives its first task and dies on its second — a
+        # deterministic crash/recover alternation.  The plan crosses
+        # the fork via REPRO_FAULTS.
+        warmup = _request(seed=20)
+        request = _request(seed=21)
+        expected = _expected_json(request)
+        with faults.injected("worker.exit:skip=1,times=1"):
+            harness = harness_factory(workers=1, timeout=60.0)
+            with harness.client() as client:
+                assert client.analyze(warmup).status == 200
+                with pytest.raises(ServeError) as info:
+                    client.analyze(request)
+                assert info.value.status == 500
+                assert info.value.error_type == "worker_crashed"
+                # The pool respawned the worker; the same request now
+                # computes, byte-identical to the clean run.
+                reply = client.analyze(request)
+        assert reply.status == 200
+        assert reply.text == expected
+        stats = harness.service.stats()
+        assert stats["pool"]["crashes"] >= 1
+        assert stats["pool"]["restarts"] >= 1
+
+    def test_client_retries_ride_out_worker_deaths(self, harness_factory):
+        warmup = _request(seed=22)
+        request = _request(seed=23)
+        expected = _expected_json(request)
+        with faults.injected("worker.exit:skip=1,times=1"):
+            harness = harness_factory(workers=1, timeout=60.0)
+            with harness.client() as client:
+                client.retries = 3
+                client.backoff_base = 0.01
+                assert client.analyze(warmup).status == 200
+                # This one crashes its worker; the client absorbs the
+                # structured 500 and retries against the respawn.
+                reply = client.analyze(request)
+        assert reply.status == 200
+        assert reply.text == expected  # byte-identical despite the chaos
+        stats = harness.service.stats()
+        assert stats["pool"]["crashes"] >= 1
+        assert stats["pool"]["restarts"] >= 1
+
+
+class TestPoisonQuarantine:
+    def test_repeat_killer_digest_is_quarantined(self, harness_factory):
+        request = _request(seed=33)
+        digest = request_digest(request)
+        # Unbounded worker.exit: this request kills every worker that
+        # picks it up, forever — the poison-request shape.
+        with faults.injected("worker.exit"):
+            harness = harness_factory(
+                workers=1, timeout=60.0, poison_threshold=2
+            )
+            with harness.client() as client:
+                for _ in range(2):
+                    with pytest.raises(ServeError) as info:
+                        client.analyze(request)
+                    assert info.value.error_type == "worker_crashed"
+                # Threshold reached: the breaker answers without
+                # touching the pool, so no further respawn loop.
+                crashes_before = harness.service.pool.stats()["crashes"]
+                with pytest.raises(ServeError) as info:
+                    client.analyze(request)
+                assert info.value.error_type == "quarantined"
+                assert info.value.digest == digest
+                assert harness.service.pool.stats()["crashes"] == \
+                    crashes_before
+                stats = harness.service.stats()
+                assert stats["quarantined_digests"] == 1
+                assert stats["service"]["quarantined"] == 1
+
+    def test_success_resets_the_failure_count(self, harness_factory):
+        warmup = _request(seed=35)
+        request = _request(seed=34)
+        # One crash, then a success on the retry: the consecutive
+        # counter must reset, so the digest is never quarantined even
+        # at the lowest meaningful threshold.
+        with faults.injected("worker.exit:skip=1,times=1"):
+            harness = harness_factory(
+                workers=1, timeout=60.0, poison_threshold=2
+            )
+            with harness.client() as client:
+                client.retries = 3
+                client.backoff_base = 0.01
+                assert client.analyze(warmup).status == 200
+                reply = client.analyze(request)  # crash, retry, success
+                assert reply.status == 200
+                stats = harness.service.stats()
+                assert stats["pool"]["crashes"] >= 1
+                assert stats["quarantined_digests"] == 0
+
+
+class TestDegradationSurfacing:
+    def test_degraded_result_is_byte_identical_and_counted(
+        self, harness_factory
+    ):
+        request = _request(seed=55)
+        expected = _expected_json(request)
+        # backend.flaky trips once per worker process on the compiled
+        # engine; the in-worker ladder absorbs it and the reply carries
+        # the degradation sidecar.
+        with faults.injected("backend.flaky:times=1"):
+            harness = harness_factory(workers=1, timeout=60.0)
+            with harness.client() as client:
+                reply = client.analyze(request)
+        assert reply.status == 200
+        assert reply.text == expected
+        stats = harness.service.stats()
+        assert stats["service"]["degraded"] == 1
+        assert sum(stats["degraded_rungs"].values()) == 1
+        assert set(stats["degraded_rungs"]) <= {
+            "sequential", "reference-engine",
+        }
+
+    def test_clean_requests_report_no_degradation(self, harness_factory):
+        harness = harness_factory(workers=1, timeout=60.0)
+        with harness.client() as client:
+            reply = client.analyze(_request(seed=56))
+        assert reply.status == 200
+        stats = harness.service.stats()
+        assert stats["service"]["degraded"] == 0
+        assert stats["degraded_rungs"] == {}
+
+
+class TestSocketReset:
+    def test_reset_connection_is_retried_transparently(
+        self, harness_factory
+    ):
+        request = _request(seed=77)
+        expected = _expected_json(request)
+        harness = harness_factory(workers=1, timeout=60.0)
+        # Arm only the parent (server) process — no env export, so the
+        # already-forked workers are unaffected.  times=2 defeats the
+        # client's built-in single stale-connection re-send, so the
+        # outer retry loop is what saves the exchange.
+        with faults.injected("socket.reset:times=2", export_env=False):
+            with harness.client() as client:
+                client.retries = 2
+                client.backoff_base = 0.01
+                reply = client.analyze(request)
+        assert reply.status == 200
+        assert reply.text == expected
+
+    def test_without_retries_the_reset_is_visible(self, harness_factory):
+        harness = harness_factory(workers=1, timeout=60.0)
+        with faults.injected("socket.reset:times=2", export_env=False):
+            with harness.client() as client:
+                with pytest.raises(
+                    (ConnectionError, OSError, http.client.HTTPException)
+                ):
+                    client.analyze(_request(seed=78))
+
+
+class TestStoreQuarantineThroughService:
+    def test_corrupt_store_entry_recomputes_not_crashes(
+        self, harness_factory, tmp_path
+    ):
+        from repro.api.store import ShardedResultStore
+
+        request = _request(seed=99)
+        expected = _expected_json(request)
+        digest = request_digest(request)
+        # Plant a torn entry where the service's store will look.
+        store = ShardedResultStore(str(tmp_path))
+        with faults.injected("store.write.truncate:times=1"):
+            store.put_text(digest, expected)
+        harness = harness_factory(
+            store=ShardedResultStore(str(tmp_path)), workers=1,
+            timeout=60.0,
+        )
+        with harness.client() as client:
+            reply = client.analyze(request)
+            assert reply.status == 200
+            assert reply.text == expected
+            assert reply.source == "computed"  # recomputed, not served
+            # The rewrite healed the entry: now it is a store hit.
+            again = harness.client()
+            with again:
+                warm = again.result_text(digest)
+            assert warm.text == expected
+        stats = harness.service.stats()
+        assert stats["store"]["quarantined"] == 1

@@ -56,9 +56,9 @@ class TestLayout:
     def test_overwrite_is_atomic_last_wins(self, tmp_path):
         store = ShardedResultStore(str(tmp_path))
         digest = _digest("a")
-        store.put_text(digest, "first")
-        store.put_text(digest, "second")
-        assert store.get_text(digest) == "second"
+        store.put_text(digest, '{"v": "first"}')
+        store.put_text(digest, '{"v": "second"}')
+        assert store.get_text(digest) == '{"v": "second"}'
         assert len(_json_files(tmp_path)) == 1
 
     def test_iter_and_len(self, tmp_path):
@@ -158,3 +158,24 @@ class TestConcurrentMultiProcess:
             if name.endswith(".tmp")
         ]
         assert leftovers == []
+
+
+class TestTruncatedWriteRegression:
+    """A killed writer's partial entry must read as a miss, not a
+    crash or a served half-result (regression for the read-side
+    hardening; the full corruption matrix lives in
+    ``tests/resilience/test_store_corruption.py``)."""
+
+    def test_injected_truncated_write_is_quarantined(self, tmp_path):
+        from repro.resilience import faults
+
+        store = ShardedResultStore(str(tmp_path))
+        digest = _digest("torn")
+        payload = json.dumps({"value": 42})
+        with faults.injected("store.write.truncate:times=1"):
+            store.put_text(digest, payload)
+        assert store.get_text(digest) is None          # never served
+        assert os.path.exists(store.path(digest) + ".quarantine")
+        assert store.stats()["quarantined"] == 1
+        store.put_text(digest, payload)                # recompute path
+        assert store.get_text(digest) == payload
