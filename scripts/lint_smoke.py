@@ -1,0 +1,83 @@
+"""CI smoke for the static analyzer: `repro lint --json` vs snapshot.
+
+Runs the real CLI (``python -m repro.cli lint --json``) over the whole
+bundled corpus and diffs the output against the checked-in snapshot at
+``tests/staticanalysis/expected_lint.json``.  The static pass is pure
+deterministic double arithmetic, so the JSON must be byte-identical on
+every machine; any diff means the analyzer's verdicts changed and the
+snapshot must be regenerated *deliberately*::
+
+    PYTHONPATH=src python scripts/lint_smoke.py --update
+
+Exit status: 0 on match (or after --update), 1 on drift.
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SNAPSHOT = os.path.join(
+    REPO_ROOT, "tests", "staticanalysis", "expected_lint.json"
+)
+
+
+def current_lint_output() -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "lint", "--json"],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        check=True,
+    )
+    return completed.stdout
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the snapshot from the current analyzer output",
+    )
+    args = parser.parse_args(argv)
+
+    output = current_lint_output()
+    if args.update:
+        with open(SNAPSHOT, "w", encoding="utf-8") as handle:
+            handle.write(output)
+        print(f"snapshot updated: {SNAPSHOT}")
+        return 0
+
+    if not os.path.exists(SNAPSHOT):
+        print(f"missing snapshot {SNAPSHOT}; run with --update", file=sys.stderr)
+        return 1
+    with open(SNAPSHOT, "r", encoding="utf-8") as handle:
+        expected = handle.read()
+    if output == expected:
+        print("lint smoke: corpus diagnostics match the snapshot")
+        return 0
+    diff = difflib.unified_diff(
+        expected.splitlines(keepends=True),
+        output.splitlines(keepends=True),
+        fromfile="expected_lint.json",
+        tofile="current",
+    )
+    sys.stderr.writelines(diff)
+    print(
+        "lint smoke: drift against the snapshot "
+        "(regenerate with --update if intended)",
+        file=sys.stderr,
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

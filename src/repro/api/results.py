@@ -109,6 +109,23 @@ class SpotResult:
         return cls(**data)
 
 
+#: ``extra`` keys that never leave the process: the degradation trail
+#: (repro.resilience.ladder) and the static report (repro.staticanalysis).
+#: Stripping them from serialization keeps corpus JSON *byte-identical*
+#: across feature stacks — a degraded run matches the clean run, and a
+#: run with the static layer on (the default) matches ``REPRO_STATIC=0``.
+#: Both stay on the object for in-process callers.
+_LOCAL_EXTRA_KEYS = ("degradation", "static")
+
+
+def _portable_extra(extra: Dict[str, Any]) -> Dict[str, Any]:
+    if any(key in extra for key in _LOCAL_EXTRA_KEYS):
+        return {
+            k: v for k, v in extra.items() if k not in _LOCAL_EXTRA_KEYS
+        }
+    return extra
+
+
 @dataclass
 class AnalysisResult:
     """The outcome of one :class:`~repro.api.requests.AnalysisRequest`.
@@ -143,15 +160,26 @@ class AnalysisResult:
             reached.update(spot.root_cause_sites)
         return [c for c in self.root_causes if c.site_id in reached]
 
+    def __eq__(self, other: Any) -> bool:
+        # Process-local extras are invisible to equality for the same
+        # reason ``raw`` is compare-excluded: a result that crossed a
+        # process boundary must compare equal to its in-process twin.
+        if not isinstance(other, AnalysisResult):
+            return NotImplemented
+        return (
+            self.benchmark == other.benchmark
+            and self.backend == other.backend
+            and self.seed == other.seed
+            and self.num_points == other.num_points
+            and self.max_output_error == other.max_output_error
+            and self.root_causes == other.root_causes
+            and self.spots == other.spots
+            and self.schema_version == other.schema_version
+            and _portable_extra(self.extra) == _portable_extra(other.extra)
+        )
+
     def to_dict(self) -> Dict[str, Any]:
-        extra = self.extra
-        if "degradation" in extra:
-            # The degradation path (repro.resilience.ladder) is
-            # process-local metadata: stripping it here is what keeps a
-            # degraded result *byte-identical* to the clean run — the
-            # ladder's contract.  It stays on the object for in-process
-            # callers and is surfaced out-of-band by /v1/stats.
-            extra = {k: v for k, v in extra.items() if k != "degradation"}
+        extra = _portable_extra(self.extra)
         return {
             "schema_version": self.schema_version,
             "benchmark": self.benchmark,

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.fpcore.ast import FPCore, Num, Op, Var
 from repro.fpcore.evaluator import eval_double
@@ -26,6 +26,10 @@ LOG_SPAN_RATIO = 1e3
 
 #: Default sampling box for arguments without a :pre range.
 DEFAULT_RANGE = (-1e9, 1e9)
+
+#: Fraction of draws steered into static hotspot bands when a
+#: ``hotspots`` map is supplied (the rest keep baseline coverage).
+HOTSPOT_MIX = 0.5
 
 
 def precondition_box(core: FPCore) -> Dict[str, Tuple[float, float]]:
@@ -98,11 +102,41 @@ def sample_range(
     return rng.uniform(low, high)
 
 
+def _sample_hotspot(
+    rng: random.Random,
+    low: float,
+    high: float,
+    bands: Sequence[Tuple[float, float, float]],
+) -> float:
+    """One draw honoring a variable's static hotspot bands.
+
+    With probability :data:`HOTSPOT_MIX` a band is chosen by weight and
+    sampled (clamped to the precondition range so guidance can never
+    step outside the :pre box); otherwise the draw falls through to the
+    baseline :func:`sample_range` behavior.
+    """
+    if bands and rng.random() < HOTSPOT_MIX:
+        pick = rng.random()
+        cumulative = 0.0
+        for band_low, band_high, weight in bands:
+            cumulative += weight
+            if pick <= cumulative:
+                clamped_low = max(band_low, low)
+                clamped_high = min(band_high, high)
+                if clamped_low <= clamped_high:
+                    return sample_range(rng, clamped_low, clamped_high)
+                break
+    return sample_range(rng, low, high)
+
+
 def sample_inputs(
     core: FPCore,
     count: int,
     seed: int = 0,
     max_rejections: int = 1000,
+    hotspots: Optional[
+        Dict[str, Sequence[Tuple[float, float, float]]]
+    ] = None,
 ) -> List[List[float]]:
     """Sample ``count`` input tuples satisfying the :pre.
 
@@ -111,15 +145,35 @@ def sample_inputs(
     precondition; exceeding ``max_rejections`` consecutive failures
     raises ``ValueError`` (the precondition is presumed unsatisfiable
     by box sampling).
+
+    ``hotspots`` optionally maps variable names to weighted bands
+    ``(lo, hi, weight)`` from the static analysis
+    (:func:`repro.staticanalysis.input_hotspots`): a
+    :data:`HOTSPOT_MIX` fraction of each such variable's draws is
+    steered into its bands.  When ``hotspots`` is ``None`` (the
+    default) the code path — including the RNG draw sequence — is
+    identical to the unguided sampler, so existing seeds reproduce
+    bit-identical points.
     """
     rng = random.Random(seed)
     box = precondition_box(core)
     points: List[List[float]] = []
     rejections = 0
     while len(points) < count:
-        point = [
-            sample_range(rng, *box[argument]) for argument in core.arguments
-        ]
+        if hotspots:
+            point = [
+                _sample_hotspot(
+                    rng, *box[argument], hotspots[argument]
+                )
+                if argument in hotspots
+                else sample_range(rng, *box[argument])
+                for argument in core.arguments
+            ]
+        else:
+            point = [
+                sample_range(rng, *box[argument])
+                for argument in core.arguments
+            ]
         if core.pre is not None:
             env = dict(zip(core.arguments, point))
             try:

@@ -209,7 +209,9 @@ class AnalysisSession:
         #: memory layer: a corpus swept at many (count, seed)
         #: combinations would otherwise grow this without limit.
         self.point_cache_size = point_cache_size
-        self._points: "collections.OrderedDict[Tuple[str, int, int], List[List[float]]]" = (
+        self._points: (
+            "collections.OrderedDict[Tuple[str, int, int], List[List[float]]]"
+        ) = (
             collections.OrderedDict()
         )
         self._cores: Dict[str, FPCore] = {}

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core import AnalysisConfig, HerbgrindAnalysis, analyze_program
-from repro.machine import FunctionBuilder, Interpreter, Program
+from repro.machine import FunctionBuilder, Program
 
 Vec3 = Tuple[float, float, float]
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional
 
 from repro.core import AnalysisConfig, HerbgrindAnalysis, SPOT_BRANCH, analyze_program
 from repro.machine import FunctionBuilder, Program

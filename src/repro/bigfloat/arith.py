@@ -85,7 +85,9 @@ def add(a: BigFloat, b: BigFloat, context: Optional[Context] = None) -> BigFloat
     special = _add_special(a, b, context)
     if special is not None:
         return special
-    sign, man, exp = _add_magnitudes(a.sign, a.man, a.exp, b.sign, b.man, b.exp, context)
+    sign, man, exp = _add_magnitudes(
+        a.sign, a.man, a.exp, b.sign, b.man, b.exp, context
+    )
     if man == 0:
         return _cancellation_zero(context)
     return _round(sign, man, exp, context)

@@ -118,7 +118,9 @@ class BigFloat:
         denominator = value.denominator
         # Produce precision + 2 quotient bits, then fold the remainder in
         # as a sticky bit so round_mantissa sees the true direction.
-        shift = max(0, precision + 2 - numerator.bit_length() + denominator.bit_length())
+        shift = max(
+            0, precision + 2 - numerator.bit_length() + denominator.bit_length()
+        )
         quotient, remainder = divmod(numerator << shift, denominator)
         exp = -shift
         if remainder:
@@ -316,11 +318,15 @@ class BigFloat:
         result = value * scale
         return -result if self.sign else result
 
-    def round_to(self, precision: int, rounding: str = ROUND_NEAREST_EVEN) -> "BigFloat":
+    def round_to(
+        self, precision: int, rounding: str = ROUND_NEAREST_EVEN
+    ) -> "BigFloat":
         """This value rounded to ``precision`` significand bits."""
         if self.kind != K_FINITE or self.man == 0:
             return self
-        man, exp, __ = round_mantissa(self.sign, self.man, self.exp, precision, rounding)
+        man, exp, __ = round_mantissa(
+            self.sign, self.man, self.exp, precision, rounding
+        )
         return BigFloat(self.sign, man, exp)
 
     # ------------------------------------------------------------------

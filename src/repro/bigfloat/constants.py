@@ -36,7 +36,8 @@ def _atan_reciprocal_fixed(k: int, wp: int) -> int:
 def pi_fixed(wp: int) -> int:
     """π * 2^wp, via Machin: π = 16 atan(1/5) − 4 atan(1/239)."""
     inner = wp + _GUARD
-    value = 16 * _atan_reciprocal_fixed(5, inner) - 4 * _atan_reciprocal_fixed(239, inner)
+    value = 16 * _atan_reciprocal_fixed(5, inner)
+    value -= 4 * _atan_reciprocal_fixed(239, inner)
     return value >> _GUARD
 
 
@@ -63,7 +64,8 @@ def pi(context: Context) -> BigFloat:
 def pi_over_2(context: Context) -> BigFloat:
     """π/2 rounded to the context precision."""
     wp = context.precision + _GUARD
-    return from_fixed(pi_fixed(wp), wp + 1).round_to(context.precision, context.rounding)
+    half_pi = from_fixed(pi_fixed(wp), wp + 1)
+    return half_pi.round_to(context.precision, context.rounding)
 
 
 def ln2(context: Context) -> BigFloat:

@@ -6,6 +6,9 @@ Sub-commands:
   inputs and print the Herbgrind-style report (or ``--json``).
 * ``improve <expr>`` — run the mini-Herbie on a bare expression.
 * ``corpus`` — list or analyse the bundled 86-benchmark suite.
+* ``lint`` — rank error-prone sites *without running anything*: the
+  interval/condition-number static analysis
+  (:mod:`repro.staticanalysis`) over one program or the whole corpus.
 * ``backends`` — list the registered analysis backends.
 * ``serve`` — run the analysis-as-a-service HTTP server
   (:mod:`repro.serve`): warm answers from the sharded result store,
@@ -169,6 +172,47 @@ def _command_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    from repro.staticanalysis import lint_core
+
+    if args.source is not None:
+        cores = [parse_fpcore(_read_source(args.source))]
+    else:
+        corpus = load_corpus()
+        cores = [c for c in corpus if args.name is None or c.name == args.name]
+        if not cores:
+            print(f"no benchmark named {args.name!r}", file=sys.stderr)
+            return 1
+    reports = [
+        (core, lint_core(core, min_severity=args.min_severity))
+        for core in cores
+    ]
+    if args.json:
+        import json
+
+        payload = {
+            "programs": [
+                {
+                    "program": core.name or "<anonymous>",
+                    "diagnostics": [d.to_dict() for d in diagnostics],
+                }
+                for core, diagnostics in reports
+            ]
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    flagged = 0
+    for core, diagnostics in reports:
+        if not diagnostics:
+            continue
+        flagged += 1
+        print(f"{core.name or '<anonymous>'}:")
+        for diagnostic in diagnostics:
+            print("  " + diagnostic.format().replace("\n", "\n  "))
+    print(f"{flagged}/{len(reports)} programs flagged")
+    return 0
+
+
 def _command_backends(args: argparse.Namespace) -> int:
     for name in available_backends():
         print(name)
@@ -306,6 +350,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="arm deterministic fault injection "
                              "(docs/robustness.md)")
     corpus.set_defaults(func=_command_corpus)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static analysis: rank error-prone sites without running",
+    )
+    lint.add_argument("source", nargs="?",
+                      help="FPCore text or path to a .fpcore file "
+                           "(default: the bundled corpus)")
+    lint.add_argument("--name", help="lint one corpus benchmark by name")
+    lint.add_argument("--min-severity", default="info",
+                      choices=("info", "warning", "error"),
+                      help="suppress diagnostics below this severity")
+    lint.add_argument("--json", action="store_true",
+                      help="emit machine-readable diagnostics")
+    lint.set_defaults(func=_command_lint)
 
     backends = sub.add_parser("backends", help="list analysis backends")
     backends.set_defaults(func=_command_backends)

@@ -14,7 +14,7 @@ shadow reals, and no input characterization.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set
 
 from repro.ieee import double_exponent

@@ -13,7 +13,7 @@ against its shadow.  Compared with Herbgrind (paper Table 1):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.bigfloat import BigFloat, Context, apply

@@ -26,7 +26,6 @@ study's prose describes).
 
 from __future__ import annotations
 
-import math
 import operator
 import os
 import time

@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from repro.core.trace import KIND_OP, TraceNode
-from repro.fpcore.ast import Expr, Op, Var
+from repro.fpcore.ast import Expr, Op
 
 Path = Tuple[int, ...]
 

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.analysis import HerbgrindAnalysis
-from repro.core.records import OpRecord, SpotRecord, SPOT_BRANCH, SPOT_CONVERSION
+from repro.core.records import OpRecord, SPOT_BRANCH, SPOT_CONVERSION
 from repro.fpcore.ast import Expr, free_variables
 from repro.fpcore.printer import format_expr
 

@@ -10,12 +10,11 @@ straight to Herbie.  Herbgrind is then judged by how often its
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional
 
 from repro.api.sampling import sample_inputs
-from repro.fpcore.ast import FPCore, While, free_variables
+from repro.fpcore.ast import FPCore, While
 from repro.improve import (
     ErrorEvaluator,
     ImprovementResult,

@@ -19,11 +19,11 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.api.sampling import sample_range
 from repro.api.session import AnalysisSession
-from repro.core import AnalysisConfig, HerbgrindAnalysis
+from repro.core import AnalysisConfig
 from repro.core.config import (
     CHARACTERISTICS_NONE,
     CHARACTERISTICS_RANGE,
@@ -37,7 +37,7 @@ from repro.core.inputs import (
     SignSplitRangeSummary,
 )
 from repro.core.records import OpRecord
-from repro.eval.oracle import SIGNIFICANT_BITS, OracleVerdict, oracle_judge
+from repro.eval.oracle import OracleVerdict, oracle_judge
 from repro.fpcore.ast import FPCore, free_variables
 from repro.improve import ImprovementResult, SearchSettings, improve_expression
 

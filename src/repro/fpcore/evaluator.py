@@ -179,7 +179,10 @@ def eval_double(expr: Expr, env: Mapping[str, DoubleValue]) -> DoubleValue:
             for name, value in expr.bindings:
                 scope[name] = eval_double(value, scope)
         else:
-            evaluated = [(name, eval_double(value, env)) for name, value in expr.bindings]
+            evaluated = [
+                (name, eval_double(value, env))
+                for name, value in expr.bindings
+            ]
             scope.update(evaluated)
         return eval_double(expr.body, scope)
     if isinstance(expr, While):

@@ -46,7 +46,8 @@ def format_expr(expr: Expr) -> str:
             f"[{name} {format_expr(init)} {format_expr(update)}]"
             for name, init, update in expr.bindings
         )
-        return f"({keyword} {format_expr(expr.cond)} ({bindings}) {format_expr(expr.body)})"
+        condition = format_expr(expr.cond)
+        return f"({keyword} {condition} ({bindings}) {format_expr(expr.body)})"
     raise TypeError(f"cannot format {type(expr).__name__}")
 
 

@@ -30,7 +30,9 @@ def double_fits_single(value: float) -> bool:
     if math.isnan(value):
         return True
     return to_single(value) == value and not (
-        value == 0.0 and math.copysign(1.0, value) != math.copysign(1.0, to_single(value))
+        value == 0.0
+        and math.copysign(1.0, value)
+        != math.copysign(1.0, to_single(value))
     )
 
 

@@ -11,10 +11,10 @@ sign or a threshold) — the mechanism that produces the paper's
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
 
-from repro.fpcore.ast import Expr, If, Op, Var, free_variables, num
+from repro.fpcore.ast import Expr, If, Op, Var, num
 from repro.fpcore.printer import format_expr
 from repro.improve.evaluate import ErrorEvaluator
 from repro.improve.patterns import rewrite_everywhere

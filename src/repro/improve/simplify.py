@@ -11,7 +11,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Optional
 
-from repro.fpcore.ast import Expr, If, Num, Op, Var, num
+from repro.fpcore.ast import Expr, If, Num, Op, num
 
 _ZERO = Fraction(0)
 _ONE = Fraction(1)

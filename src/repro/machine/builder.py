@@ -19,7 +19,7 @@ Example::
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Optional, Sequence, Tuple, Union
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.machine import isa
 

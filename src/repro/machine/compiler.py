@@ -127,7 +127,10 @@ class _ExprCompiler:
                 cells[name] = cell
                 scope[name] = cell
         else:
-            initial = [(name, self.compile(init, env)) for name, init, __ in expr.bindings]
+            initial = [
+                (name, self.compile(init, env))
+                for name, init, __ in expr.bindings
+            ]
             for name, value in initial:
                 cell = builder.fresh(f"loop_{name}")
                 builder.mov_to(cell, value, loc=self._loc())

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.bigfloat.functions import DOUBLE_HANDLERS, LIBRARY_OPERATIONS
 from repro.ieee.float32 import to_single
@@ -134,7 +134,9 @@ class Tracer:
     def on_int_to_float(self, instr: isa.IntToFloat, value: int, box: FloatBox) -> None:
         """An integer was converted to floating point."""
 
-    def on_float_to_int(self, instr: isa.FloatToInt, box: FloatBox, result: int) -> None:
+    def on_float_to_int(
+        self, instr: isa.FloatToInt, box: FloatBox, result: int
+    ) -> None:
         """A float→int conversion executed (a conversion spot)."""
 
     def on_branch(

@@ -1,0 +1,418 @@
+"""Per-operation relative condition numbers over intervals.
+
+For an operation ``f`` the relative condition number with respect to
+argument ``i`` is ``|x_i * ∂f/∂x_i / f|`` — the factor by which a
+relative error in the argument is amplified into the result.  The
+static analysis needs the *supremum* of that factor over the abstract
+argument intervals, plus a **witness**: a concrete argument value at
+(or near) which the supremum is attained, whose binade names the
+dangerous input regime in lint diagnostics.
+
+The interesting structure is where a condition number diverges:
+
+========== ======================================== ==================
+op         condition number                         singular at
+========== ======================================== ==================
+``+``/``-`` ``|x| / |x ± y|``                       result = 0
+``*``,``/`` 1                                       (never)
+``sqrt``    1/2; ``cbrt`` 1/3                       (never)
+``exp``     ``|x|``                                 x -> ±inf
+``log``     ``1 / |ln u|`` (any base)               u = 1
+``log1p``   ``|x / ((1+x) ln(1+x))|``               x = -1
+``expm1``   ``|x e^x / (e^x - 1)|``                 x -> +inf
+``sin``     ``|x cot x|``                           x = kπ, k ≠ 0
+``cos``     ``|x tan x|``                           x = π/2 + kπ
+``tan``     ``|x / (sin x cos x)|``                 x = kπ/2, k ≠ 0
+``asin``    ``|x / (√(1-x²) asin x)|``              x = ±1
+``acos``    ``|x / (√(1-x²) acos x)|``              x = ±1
+``acosh``   ``|x / (√(x²-1) acosh x)|``             x = 1
+``atanh``   ``|x / ((1-x²) atanh x)|``              x = ±1
+``pow``     ``|y|`` in x; ``|y ln x|`` in y         x = 0 / x -> inf
+``fmod``    like subtraction                        result = 0
+========== ======================================== ==================
+
+Exact operations (``neg``, ``fabs``, ``copysign``, ``fmin``/``fmax``,
+``trunc``-family, ``Mov``) introduce no rounding of their own
+(``rho = 0``); every other operation contributes one half-ulp rounding,
+which the dataflow accounts as ``rho = 1`` ulp of fresh relative error.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.staticanalysis.intervals import Interval
+
+_INF = math.inf
+
+#: Operations whose double result is exact (no fresh rounding).
+EXACT_OPS = frozenset(
+    {
+        "neg",
+        "fabs",
+        "copysign",
+        "fmin",
+        "fmax",
+        "trunc",
+        "floor",
+        "ceil",
+        "round",
+        "nearbyint",
+    }
+)
+
+#: Structurally benign operations: condition number exactly 1 per
+#: argument regardless of ranges.
+_UNIT_OPS = frozenset(
+    {"*", "/", "neg", "fabs", "copysign", "fmin", "fmax", "atan2", "hypot"}
+)
+
+
+@dataclass(frozen=True)
+class Conditioning:
+    """Condition-number suprema of one operation instance.
+
+    ``sups[i]`` bounds the relative-error amplification from argument
+    ``i`` into the result; ``witnesses[i]`` is a concrete argument
+    value near which the bound is attained (``nan`` when no meaningful
+    witness exists).  ``rho`` is the operation's own rounding
+    contribution in ulps.
+    """
+
+    sups: Tuple[float, ...]
+    witnesses: Tuple[float, ...]
+    rho: float
+
+    @property
+    def max_sup(self) -> float:
+        return max(self.sups, default=0.0)
+
+
+def _unit(n: int, rho: float) -> Conditioning:
+    return Conditioning((1.0,) * n, (math.nan,) * n, rho)
+
+
+def _nearest_in(interval: Interval, target: float) -> float:
+    """The point of ``interval`` closest to ``target``."""
+    return min(max(target, interval.lo), interval.hi)
+
+
+def _largest_magnitude(interval: Interval) -> float:
+    return interval.lo if abs(interval.lo) >= abs(interval.hi) else interval.hi
+
+
+def _cancellation(
+    args: Sequence[Interval], result: Interval
+) -> Tuple[List[float], List[float]]:
+    """Condition sups/witnesses for additive ops: |x_i| / |result|.
+
+    When the result interval spans zero the supremum is infinite —
+    total cancellation is (abstractly) reachable.
+    """
+    result_floor = result.abs_lo()
+    sups, witnesses = [], []
+    for arg in args:
+        numerator = arg.abs_hi()
+        if numerator == 0.0:
+            sups.append(0.0)
+            witnesses.append(0.0)
+            continue
+        if result_floor == 0.0:
+            sups.append(_INF)
+        elif math.isinf(numerator):
+            # inf/inf would be NaN; a saturated argument interval means
+            # the true ratio is unbounded from this abstraction's view.
+            sups.append(_INF)
+        else:
+            sups.append(numerator / result_floor)
+        witnesses.append(_largest_magnitude(arg))
+    return sups, witnesses
+
+
+def _log_cond(u: Interval) -> Tuple[float, float]:
+    """sup of 1/|ln u| over the (positive part of) ``u``."""
+    domain = u.meet(lo=5e-324)
+    if domain is None:
+        return 0.0, math.nan
+    if domain.contains(1.0):
+        return _INF, 1.0
+    # Monotone toward u = 1 on each side: the endpoint nearer 1 wins.
+    witness = _nearest_in(domain, 1.0)
+    if witness <= 0.0 or math.isinf(witness):
+        return 0.0, math.nan
+    log_witness = math.log(witness)
+    if log_witness == 0.0:
+        return _INF, 1.0
+    return 1.0 / abs(log_witness), witness
+
+
+def _log1p_cond(x: Interval) -> Tuple[float, float]:
+    """sup of |x / ((1+x) ln(1+x))| — singular only at x = -1."""
+    domain = x.meet(lo=-1.0 + 1e-300)
+    if domain is None:
+        return 0.0, math.nan
+
+    def at(v: float) -> float:
+        if v == 0.0:
+            return 1.0  # removable singularity: the limit is 1
+        if v <= -1.0 or math.isinf(v):
+            return _INF
+        denominator = (1.0 + v) * math.log1p(v)
+        if denominator == 0.0:
+            return _INF
+        return abs(v / denominator)
+
+    candidates = [(at(domain.lo), domain.lo), (at(domain.hi), domain.hi)]
+    if domain.contains(0.0):
+        candidates.append((1.0, 0.0))
+    return max(candidates, key=lambda pair: pair[0])
+
+
+def _expm1_cond(x: Interval) -> Tuple[float, float]:
+    """sup of |x e^x / (e^x - 1)|: ~1 near 0, ~|x| for large |x|>0."""
+
+    def at(v: float) -> float:
+        if v == 0.0:
+            return 1.0
+        if v > 700.0 or math.isinf(v):
+            return abs(v) if v > 0 else 0.0
+        em1 = math.expm1(v)
+        if em1 == 0.0:
+            return 1.0
+        return abs(v * math.exp(min(v, 700.0)) / em1)
+
+    candidates = [(at(x.lo), x.lo), (at(x.hi), x.hi)]
+    return max(candidates, key=lambda pair: pair[0])
+
+
+def _trig_cond(
+    x: Interval, numerator_zero_offset: float, kind: str
+) -> Tuple[float, float]:
+    """sup of the sin/cos/tan condition numbers.
+
+    ``numerator_zero_offset`` positions the singular lattice:
+    ``sin`` -> kπ (k ≠ 0), ``cos`` -> π/2 + kπ, ``tan`` -> kπ/2 (k ≠ 0).
+    """
+    step = math.pi / 2.0 if kind == "tan" else math.pi
+
+    def singular_points() -> List[float]:
+        """A bounded list of in-range singularities (k-index math —
+        never proportional to the interval's width)."""
+        if math.isinf(x.lo) or math.isinf(x.hi):
+            return [math.nan]  # unbounded: some singularity is inside
+        k_lo = math.ceil((x.lo - numerator_zero_offset) / step)
+        k_hi = math.floor((x.hi - numerator_zero_offset) / step)
+        if k_hi < k_lo:
+            return []
+        # Candidate lattice indices: the extremes plus the ones nearest
+        # the origin (where a k = 0 point may be removable).
+        candidate_ks = {k_lo, k_hi, min(max(0, k_lo), k_hi)}
+        if k_lo <= -1 <= k_hi:
+            candidate_ks.add(-1)
+        if k_lo <= 1 <= k_hi:
+            candidate_ks.add(1)
+        points = []
+        for k in sorted(candidate_ks):
+            candidate = k * step + numerator_zero_offset
+            if kind in ("sin", "tan") and candidate == 0.0:
+                continue  # removable at the origin
+            if x.lo <= candidate <= x.hi:
+                points.append(candidate)
+        return points
+
+    singular = singular_points()
+    if singular:
+        witness = singular[0]
+        if math.isnan(witness):
+            witness = _largest_magnitude(x)
+        return _INF, witness
+
+    def at(v: float) -> float:
+        if math.isinf(v):
+            return _INF
+        try:
+            if kind == "sin":
+                s = math.sin(v)
+                return abs(v * math.cos(v) / s) if s != 0.0 else (
+                    1.0 if v == 0.0 else _INF
+                )
+            if kind == "cos":
+                c = math.cos(v)
+                return abs(v * math.sin(v) / c) if c != 0.0 else _INF
+            s, c = math.sin(v), math.cos(v)
+            if s == 0.0:
+                return 1.0 if v == 0.0 else _INF
+            if c == 0.0:
+                return _INF
+            return abs(v / (s * c))
+        except (OverflowError, ValueError):
+            return _INF
+
+    candidates = [(at(x.lo), x.lo), (at(x.hi), x.hi)]
+    if x.contains(0.0):
+        candidates.append((1.0, 0.0))
+    return max(candidates, key=lambda pair: pair[0])
+
+
+def _inverse_trig_cond(x: Interval, op: str) -> Tuple[float, float]:
+    """asin/acos/atanh/acosh: singular where the derivative blows up."""
+    if op == "acosh":
+        edges = [1.0]
+        domain = x.meet(lo=1.0)
+    elif op == "acos":
+        edges = [-1.0, 1.0]
+        domain = x.meet(lo=-1.0, hi=1.0)
+    elif op == "asin":
+        edges = [-1.0, 1.0]
+        domain = x.meet(lo=-1.0, hi=1.0)
+    else:  # atanh
+        edges = [-1.0, 1.0]
+        domain = x.meet(lo=-1.0, hi=1.0)
+    if domain is None:
+        return 0.0, math.nan
+    edge_hits = [e for e in edges if domain.contains(e)]
+    if edge_hits:
+        # asin is actually finite at -1 (asin(-1) = -π/2, and the
+        # |x/asin| numerator tames nothing: cond -> inf there too since
+        # sqrt(1-x²) -> 0).  All listed edges are genuine singularities.
+        return _INF, edge_hits[0]
+
+    def at(v: float) -> float:
+        try:
+            if op == "asin":
+                a = math.asin(v)
+                if a == 0.0:
+                    return 1.0
+                return abs(v / (math.sqrt(1.0 - v * v) * a))
+            if op == "acos":
+                a = math.acos(v)
+                if a == 0.0:
+                    return _INF
+                return abs(v / (math.sqrt(1.0 - v * v) * a))
+            if op == "acosh":
+                if math.isinf(v):
+                    return 1.0
+                a = math.acosh(v)
+                if a == 0.0:
+                    return _INF
+                return abs(v / (math.sqrt(v * v - 1.0) * a))
+            a = math.atanh(v)
+            if a == 0.0:
+                return 1.0
+            return abs(v / ((1.0 - v * v) * a))
+        except (ValueError, ZeroDivisionError, OverflowError):
+            return _INF
+
+    candidates = [(at(domain.lo), domain.lo), (at(domain.hi), domain.hi)]
+    if op in ("asin", "atanh") and domain.contains(0.0):
+        candidates.append((1.0, 0.0))
+    return max(candidates, key=lambda pair: pair[0])
+
+
+def _pow_cond(x: Interval, y: Interval) -> Conditioning:
+    cond_x = y.abs_hi()
+    # |y ln x|: sup over the corner products of |y| and |ln x|.
+    if x.lo <= 0.0:
+        ln_sup = _INF
+        ln_witness = x.lo
+    else:
+        ln_lo = math.log(x.lo)
+        ln_hi = math.log(x.hi) if not math.isinf(x.hi) else _INF
+        ln_sup = max(abs(ln_lo), abs(ln_hi))
+        ln_witness = x.lo if abs(ln_lo) >= abs(ln_hi) else x.hi
+    cond_y = y.abs_hi() * ln_sup if y.abs_hi() > 0.0 else 0.0
+    return Conditioning(
+        (cond_x, cond_y),
+        (ln_witness, _largest_magnitude(y)),
+        1.0,
+    )
+
+
+def condition(
+    op: str, args: Sequence[Interval], result: Interval
+) -> Conditioning:
+    """Condition-number suprema of ``op`` over abstract arguments.
+
+    Unknown operations get a unit conditioning (plus rounding): the
+    analysis stays sound for ranking purposes because the unknown op's
+    *arguments* still carry their accumulated error forward.
+    """
+    n = len(args)
+    rho = 0.0 if op in EXACT_OPS else 1.0
+    if op in ("+", "-", "fdim"):
+        sups, witnesses = _cancellation(args, result)
+        return Conditioning(tuple(sups), tuple(witnesses), rho)
+    if op == "fma":
+        # a*b + c: the additive cancellation structure dominates; the
+        # product's unit conds fold into the a/b entries.
+        from repro.staticanalysis.intervals import transfer
+
+        product = transfer("*", [args[0], args[1]])
+        sums, witnesses = _cancellation([product, args[2]], result)
+        return Conditioning(
+            (sums[0], sums[0], sums[1]),
+            (
+                _largest_magnitude(args[0]),
+                _largest_magnitude(args[1]),
+                witnesses[1],
+            ),
+            rho,
+        )
+    if op in ("fmod", "remainder"):
+        sups, witnesses = _cancellation(args, result)
+        return Conditioning(tuple(sups), tuple(witnesses), rho)
+    if op in _UNIT_OPS:
+        return _unit(n, rho)
+    if op == "sqrt":
+        return Conditioning((0.5,), (math.nan,), rho)
+    if op == "cbrt":
+        return Conditioning((1.0 / 3.0,), (math.nan,), rho)
+    if op in ("exp", "exp2"):
+        scale = 1.0 if op == "exp" else math.log(2.0)
+        witness = _largest_magnitude(args[0])
+        return Conditioning((args[0].abs_hi() * scale,), (witness,), rho)
+    if op == "expm1":
+        sup, witness = _expm1_cond(args[0])
+        return Conditioning((sup,), (witness,), rho)
+    if op in ("log", "log2", "log10"):
+        sup, witness = _log_cond(args[0])
+        return Conditioning((sup,), (witness,), rho)
+    if op == "log1p":
+        sup, witness = _log1p_cond(args[0])
+        return Conditioning((sup,), (witness,), rho)
+    if op == "sin":
+        sup, witness = _trig_cond(args[0], 0.0, "sin")
+        return Conditioning((sup,), (witness,), rho)
+    if op == "cos":
+        sup, witness = _trig_cond(args[0], math.pi / 2.0, "cos")
+        return Conditioning((sup,), (witness,), rho)
+    if op == "tan":
+        sup, witness = _trig_cond(args[0], 0.0, "tan")
+        return Conditioning((sup,), (witness,), rho)
+    if op in ("asin", "acos", "acosh", "atanh"):
+        sup, witness = _inverse_trig_cond(args[0], op)
+        return Conditioning((sup,), (witness,), rho)
+    if op == "atan":
+        return _unit(n, rho)
+    if op == "sinh":
+        # |x coth x| <= max(1, |x| + 1) — tight enough for ranking.
+        return Conditioning(
+            (max(1.0, args[0].abs_hi()),),
+            (_largest_magnitude(args[0]),),
+            rho,
+        )
+    if op == "cosh":
+        return Conditioning(
+            (args[0].abs_hi(),), (_largest_magnitude(args[0]),), rho
+        )
+    if op in ("tanh", "asinh"):
+        return _unit(n, rho)
+    if op == "pow":
+        return _pow_cond(args[0], args[1])
+    if op in ("trunc", "floor", "ceil", "round", "nearbyint"):
+        # Discontinuous, but exact in double; local conditioning is
+        # meaningless and the branch/conversion spots carry the risk.
+        return _unit(n, 0.0)
+    return _unit(n, rho)

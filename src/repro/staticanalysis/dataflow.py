@@ -1,0 +1,921 @@
+"""Abstract interpretation over machine programs.
+
+A worklist fixpoint over each function's instruction list computes, at
+every program point, an abstract state mapping
+
+* float registers to :class:`AbstractValue` — a value :class:`Interval`
+  plus ``err``, a bound (in ulps) on the accumulated relative rounding
+  error of the concrete double versus the shadow-real execution,
+* integer registers to plain intervals (exact below 2^53),
+* the untyped heap to abstract cells (strong updates at singleton
+  addresses, weak smearing otherwise).
+
+Loops terminate through widening: after :data:`WIDEN_AFTER` joins at a
+merge point, moving interval endpoints jump to ±inf and a still-growing
+``err`` jumps to :data:`ERR_CAP`.  Branch edges refine operand
+intervals (the taken edge of ``x < y`` meets ``x`` with ``(-inf, hi y]``
+and proves both operands non-NaN).
+
+**The error model** mirrors Herbgrind's *local* error, which is what
+dynamic flagging thresholds on.  Local error at an operation compares
+``F(round(s₁), …)`` against ``round(f(s₁, …))`` where ``sᵢ`` are exact
+shadow reals — so the only error sources visible at a site are (a) the
+half-ulp from rounding each *non-representable* shadow argument,
+amplified by the argument's condition number, and (b) the operation's
+own rounding.  Statically:
+
+* ``round_i = 1`` ulp if the argument's accumulated ``err > 0`` (its
+  real value may be non-representable), else ``0`` — inputs, compile-
+  time constants, and chains of exact operations stay at ``0``,
+* ``amp = Σ condᵢ_sup · round_i  (+ 1 own-rounding ulp when any
+  round_i > 0 and the op rounds)``,
+* ``score_bits = log₂(1 + amp)`` — the static mirror of a site's
+  maximum local error in bits.
+
+This is exactly why ``(x+y)*(x-y)`` is *not* flagged while
+``x*x - y*y`` is: the stable form subtracts representable inputs
+(``round_i = 0`` → amp 0), the naive form subtracts two rounded
+products through an unbounded cancellation condition number.
+
+Accumulated ``err`` additionally flows forward (``err_out =
+Σ condᵢ·errᵢ + ρ``) so output/conversion/branch *spots* can report
+total-error magnitudes, mirroring the dynamic output-error spots.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.bigfloat.functions import LIBRARY_OPERATIONS
+from repro.machine import isa
+from repro.staticanalysis.condition import (
+    EXACT_OPS,
+    Conditioning,
+    condition,
+)
+from repro.staticanalysis.intervals import (
+    REALS,
+    Interval,
+    binade,
+    int_transfer,
+    transfer,
+)
+
+#: Joins at one merge point before widening kicks in.
+WIDEN_AFTER = 8
+
+#: Ceiling for accumulated error (ulps); also the widening target.
+ERR_CAP = 2.0 ** 200
+
+#: Ceiling for a site score in bits (an infinite condition number
+#: means "total cancellation reachable", not "infinitely wrong").
+SCORE_CAP = 200.0
+
+#: Instruction-visit budget per analysis — a backstop, not the normal
+#: termination mechanism (widening is).
+DEFAULT_MAX_VISITS = 200_000
+
+#: Recursion depth for interprocedural calls.
+CALL_DEPTH_LIMIT = 8
+
+#: Default range for Read instructions beyond the provided input box
+#: (matches repro.api.sampling.DEFAULT_RANGE).
+DEFAULT_READ_RANGE = (-1e9, 1e9)
+
+#: Condition-number supremum above which an additive op counts as a
+#: cancellation candidate (2^5: at least 5 bits can cancel).
+CANCEL_COND = 32.0
+
+#: Condition-number supremum above which a unary library op counts as
+#: operating at a domain edge.
+DOMAIN_EDGE_COND = 32.0
+
+#: Local-error amplification charged to an op that can overflow to
+#: ±inf while the shadow real stays finite.  ``bits_of_error`` between
+#: inf and a finite double is ~61 bits, which is what the dynamic
+#: analysis reports at such sites — condition numbers alone are blind
+#: to it (the relative derivative of ``x*x`` is a tame 1).
+OVERFLOW_AMP = 2.0 ** 61
+
+#: Ops with a singular domain edge worth a dedicated diagnostic.
+DOMAIN_EDGE_OPS = frozenset(
+    {
+        "log", "log2", "log10", "log1p", "expm1",
+        "asin", "acos", "acosh", "atanh",
+        "sin", "cos", "tan", "pow", "sqrt",
+    }
+)
+
+_ADDITIVE_OPS = frozenset({"+", "-", "fma", "fdim", "fmod", "remainder"})
+
+#: Selection ops propagate one argument unchanged: err is max, not sum.
+_SELECTION_OPS = frozenset({"fmin", "fmax", "copysign"})
+
+_NEGATED_PREDICATE = {
+    "lt": "ge", "le": "gt", "gt": "le", "ge": "lt", "eq": "ne", "ne": "eq",
+}
+
+
+@dataclass(frozen=True)
+class AbstractValue:
+    """One float register: value interval + accumulated error (ulps)."""
+
+    interval: Interval
+    err: float = 0.0
+
+    def join(self, other: "AbstractValue") -> "AbstractValue":
+        return AbstractValue(
+            self.interval.hull(other.interval), max(self.err, other.err)
+        )
+
+    def widen(self, newer: "AbstractValue") -> "AbstractValue":
+        err = self.err if newer.err <= self.err else ERR_CAP
+        return AbstractValue(self.interval.widen(newer.interval), err)
+
+
+TOP_VALUE = AbstractValue(REALS, 0.0)
+
+
+@dataclass
+class SiteSummary:
+    """Fixpoint facts about one instruction site.
+
+    ``score_bits`` mirrors the dynamic analysis' *maximum local error*
+    at the site; ``total_err_bits`` mirrors the accumulated error a
+    spot would report.  ``flags`` collects the structural hazards the
+    lint pass turns into diagnostics.
+    """
+
+    site_id: int
+    loc: Optional[str]
+    op: str
+    kind: str  # "op" | "branch" | "output" | "conversion"
+    function: str
+    index: int
+    score_bits: float = 0.0
+    amp: float = 0.0
+    total_err_bits: float = 0.0
+    conds: Tuple[float, ...] = ()
+    arg_errs: Tuple[float, ...] = ()
+    result_lo: float = -math.inf
+    result_hi: float = math.inf
+    witness: float = math.nan
+    witness_binade: Optional[int] = None
+    flags: set = field(default_factory=set)
+    visits: int = 0
+
+    def observe(
+        self,
+        amp: float,
+        total_err: float,
+        conds: Sequence[float],
+        arg_errs: Sequence[float],
+        result: Interval,
+        witness: float,
+        flags: Sequence[str],
+    ) -> None:
+        self.visits += 1
+        score = _score_bits(amp)
+        if score >= self.score_bits:
+            self.score_bits = score
+            self.amp = min(amp, ERR_CAP)
+            self.conds = tuple(min(c, ERR_CAP) for c in conds)
+            self.arg_errs = tuple(min(e, ERR_CAP) for e in arg_errs)
+            if not math.isnan(witness):
+                self.witness = witness
+                self.witness_binade = binade(witness)
+        self.total_err_bits = max(self.total_err_bits, _score_bits(total_err))
+        self.result_lo = result.lo
+        self.result_hi = result.hi
+        self.flags.update(flags)
+
+
+def _score_bits(amp: float) -> float:
+    if amp <= 0.0:
+        return 0.0
+    if math.isinf(amp) or amp >= ERR_CAP:
+        return SCORE_CAP
+    return min(math.log2(1.0 + amp), SCORE_CAP)
+
+
+class _State:
+    """Mutable abstract machine state at one program point."""
+
+    __slots__ = ("fregs", "iregs", "heap", "heap_summary", "reads")
+
+    def __init__(
+        self,
+        fregs: Optional[Dict[str, AbstractValue]] = None,
+        iregs: Optional[Dict[str, Interval]] = None,
+        heap: Optional[Dict[float, AbstractValue]] = None,
+        heap_summary: Optional[AbstractValue] = None,
+        reads: int = 0,
+    ) -> None:
+        self.fregs = fregs if fregs is not None else {}
+        self.iregs = iregs if iregs is not None else {}
+        self.heap = heap if heap is not None else {}
+        self.heap_summary = heap_summary
+        self.reads = reads
+
+    def copy(self) -> "_State":
+        return _State(
+            dict(self.fregs),
+            dict(self.iregs),
+            dict(self.heap),
+            self.heap_summary,
+            self.reads,
+        )
+
+    def join_from(self, other: "_State", widen: bool) -> bool:
+        """Merge ``other`` into self; True when anything changed."""
+        changed = False
+        for name, value in other.fregs.items():
+            mine = self.fregs.get(name)
+            if mine is None:
+                self.fregs[name] = value
+                changed = True
+                continue
+            merged = mine.widen(value) if widen else mine.join(value)
+            if merged != mine:
+                self.fregs[name] = merged
+                changed = True
+        for name, interval in other.iregs.items():
+            mine_i = self.iregs.get(name)
+            if mine_i is None:
+                self.iregs[name] = interval
+                changed = True
+                continue
+            merged_i = mine_i.widen(interval) if widen else mine_i.hull(interval)
+            if merged_i != mine_i:
+                self.iregs[name] = merged_i
+                changed = True
+        for addr, value in other.heap.items():
+            mine = self.heap.get(addr)
+            if mine is None:
+                self.heap[addr] = value
+                changed = True
+                continue
+            merged = mine.widen(value) if widen else mine.join(value)
+            if merged != mine:
+                self.heap[addr] = merged
+                changed = True
+        if other.heap_summary is not None:
+            if self.heap_summary is None:
+                self.heap_summary = other.heap_summary
+                changed = True
+            else:
+                merged = (
+                    self.heap_summary.widen(other.heap_summary)
+                    if widen
+                    else self.heap_summary.join(other.heap_summary)
+                )
+                if merged != self.heap_summary:
+                    self.heap_summary = merged
+                    changed = True
+        if other.reads > self.reads:
+            self.reads = other.reads
+            changed = True
+        return changed
+
+    def digest(self) -> Tuple:
+        """A hashable snapshot, for call memoization."""
+        return (
+            tuple(sorted(
+                (n, v.interval.lo, v.interval.hi, v.interval.may_nan, v.err)
+                for n, v in self.fregs.items()
+            )),
+            tuple(sorted(
+                (n, i.lo, i.hi) for n, i in self.iregs.items()
+            )),
+            tuple(sorted(
+                (a, v.interval.lo, v.interval.hi, v.interval.may_nan, v.err)
+                for a, v in self.heap.items()
+            )),
+            None
+            if self.heap_summary is None
+            else (
+                self.heap_summary.interval.lo,
+                self.heap_summary.interval.hi,
+                self.heap_summary.interval.may_nan,
+                self.heap_summary.err,
+            ),
+            self.reads,
+        )
+
+
+#: Tagged return value of an abstract call: ("f", AbstractValue) or
+#: ("i", Interval) or None (no value returned on any path).
+_TaggedValue = Optional[Tuple[str, Any]]
+
+
+class StaticAnalysis:
+    """One static analysis run over a machine program.
+
+    ``sites`` lists every float-op / branch / conversion / output site
+    in discovery order; :meth:`ranked` orders them by descending score
+    (the static analogue of ``HerbgrindAnalysis.candidate_records``).
+    """
+
+    def __init__(
+        self,
+        program: isa.Program,
+        input_box: Sequence[Tuple[float, float]] = (),
+        max_visits: int = DEFAULT_MAX_VISITS,
+    ) -> None:
+        self.program = program
+        self.input_box = [
+            (float(lo), float(hi)) for lo, hi in input_box
+        ]
+        self.max_visits = max_visits
+        self.visits = 0
+        self.converged = True
+        self.sites: List[SiteSummary] = []
+        self._site_index: Dict[int, SiteSummary] = {}
+        self._call_memo: Dict[Tuple, Tuple[_TaggedValue, _State]] = {}
+        self._budget_exhausted = False
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run(self) -> "StaticAnalysis":
+        entry = self.program.function(self.program.entry)
+        self._run_function(entry, _State(), depth=0)
+        return self
+
+    def ranked(
+        self, threshold: Optional[float] = None, kinds: Optional[set] = None
+    ) -> List[SiteSummary]:
+        """Sites ordered by (-score, site_id), optionally thresholded."""
+        selected = [
+            site
+            for site in self.sites
+            if (threshold is None or site.score_bits > threshold)
+            and (kinds is None or site.kind in kinds)
+        ]
+        return sorted(selected, key=lambda s: (-s.score_bits, s.site_id))
+
+    def by_loc(self) -> Dict[str, SiteSummary]:
+        """Best-scored site per source location."""
+        best: Dict[str, SiteSummary] = {}
+        for site in self.sites:
+            if site.loc is None:
+                continue
+            current = best.get(site.loc)
+            if current is None or site.score_bits > current.score_bits:
+                best[site.loc] = site
+        return best
+
+    # ------------------------------------------------------------------
+    # Fixpoint driver
+    # ------------------------------------------------------------------
+
+    def _run_function(
+        self, fn: isa.Function, entry: _State, depth: int
+    ) -> Tuple[_TaggedValue, _State]:
+        in_states: Dict[int, _State] = {0: entry}
+        join_counts: Dict[int, int] = {}
+        worklist: List[int] = [0]
+        ret_value: _TaggedValue = None
+        exit_state = _State()
+        saw_exit = False
+
+        while worklist:
+            if self.visits >= self.max_visits:
+                self.converged = False
+                self._budget_exhausted = True
+                break
+            index = worklist.pop()
+            if index >= len(fn.instrs):
+                continue
+            state = in_states[index].copy()
+            self.visits += 1
+            outcome = self._execute(fn, index, state, depth)
+            if outcome.returned is not None or outcome.halted:
+                saw_exit = True
+                if outcome.returned is not None:
+                    ret_value = _join_tagged(ret_value, outcome.returned)
+                exit_state.join_from(outcome.state, widen=False)
+                continue
+            for successor, succ_state in outcome.successors:
+                if successor >= len(fn.instrs):
+                    saw_exit = True
+                    exit_state.join_from(succ_state, widen=False)
+                    continue
+                existing = in_states.get(successor)
+                if existing is None:
+                    in_states[successor] = succ_state.copy()
+                    worklist.append(successor)
+                    continue
+                count = join_counts.get(successor, 0) + 1
+                join_counts[successor] = count
+                if existing.join_from(succ_state, widen=count > WIDEN_AFTER):
+                    worklist.append(successor)
+        if not saw_exit:
+            # Budget exhaustion or an (abstractly) non-terminating
+            # function: expose a conservative exit state.
+            exit_state = entry
+        return ret_value, exit_state
+
+    # ------------------------------------------------------------------
+    # Instruction transfer
+    # ------------------------------------------------------------------
+
+    def _execute(
+        self, fn: isa.Function, index: int, state: _State, depth: int
+    ) -> "_Outcome":
+        instr = fn.instrs[index]
+        next_index = index + 1
+
+        if isinstance(instr, isa.Const):
+            state.fregs[instr.dst] = AbstractValue(
+                Interval.point(float(instr.value)), 0.0
+            )
+        elif isinstance(instr, isa.ConstInt):
+            state.iregs[instr.dst] = Interval.point(float(instr.value))
+        elif isinstance(instr, isa.Read):
+            if state.reads < len(self.input_box):
+                lo, hi = self.input_box[state.reads]
+            else:
+                lo, hi = DEFAULT_READ_RANGE
+            state.fregs[instr.dst] = AbstractValue(Interval(lo, hi), 0.0)
+            state.reads += 1
+        elif isinstance(instr, isa.FloatOp):
+            self._float_op(fn, index, instr, instr.op, instr.dst,
+                           instr.srcs, state)
+        elif isinstance(instr, isa.PackedOp):
+            for dst, lane in zip(instr.dsts, instr.lanes):
+                self._float_op(fn, index, instr, instr.op, dst, lane, state)
+        elif isinstance(instr, isa.FloatBitOp):
+            source = state.fregs.get(instr.src, TOP_VALUE)
+            if instr.op == "xor" and instr.mask == isa.SIGN_BIT_MASK:
+                state.fregs[instr.dst] = AbstractValue(
+                    transfer("neg", [source.interval]), source.err
+                )
+            elif instr.op == "and" and instr.mask == isa.ABS_MASK:
+                state.fregs[instr.dst] = AbstractValue(
+                    transfer("fabs", [source.interval]), source.err
+                )
+            else:
+                state.fregs[instr.dst] = AbstractValue(REALS, source.err)
+        elif isinstance(instr, isa.IntOp):
+            lhs = state.iregs.get(instr.lhs, REALS)
+            rhs = state.iregs.get(instr.rhs, REALS)
+            state.iregs[instr.dst] = int_transfer(instr.op, lhs, rhs)
+        elif isinstance(instr, isa.Mov):
+            if instr.src in state.fregs:
+                state.fregs[instr.dst] = state.fregs[instr.src]
+            elif instr.src in state.iregs:
+                state.iregs[instr.dst] = state.iregs[instr.src]
+            else:
+                state.fregs[instr.dst] = TOP_VALUE
+        elif isinstance(instr, isa.Load):
+            state.fregs[instr.dst] = self._load(state, instr.addr)
+        elif isinstance(instr, isa.Store):
+            self._store(state, instr.addr, instr.src)
+        elif isinstance(instr, isa.BitcastToInt):
+            state.iregs[instr.dst] = REALS
+        elif isinstance(instr, isa.BitcastToFloat):
+            state.fregs[instr.dst] = AbstractValue(
+                Interval(-math.inf, math.inf, may_nan=True), 0.0
+            )
+        elif isinstance(instr, isa.FloatToInt):
+            source = state.fregs.get(instr.src, TOP_VALUE)
+            result = transfer("trunc", [source.interval])
+            self._site(fn, index, instr, "trunc", "conversion").observe(
+                amp=source.err if source.err > 0 else 0.0,
+                total_err=source.err,
+                conds=(1.0,),
+                arg_errs=(source.err,),
+                result=result,
+                witness=math.nan,
+                flags=_value_flags(result, ()),
+            )
+            state.iregs[instr.dst] = result
+        elif isinstance(instr, isa.IntToFloat):
+            source_i = state.iregs.get(instr.src, REALS)
+            state.fregs[instr.dst] = AbstractValue(source_i, 0.0)
+        elif isinstance(instr, isa.Branch):
+            return self._branch(fn, index, instr, state, floats=True)
+        elif isinstance(instr, isa.IntBranch):
+            return self._branch(fn, index, instr, state, floats=False)
+        elif isinstance(instr, isa.Jump):
+            return _Outcome(
+                successors=[(fn.label_index(instr.target), state)],
+                state=state,
+            )
+        elif isinstance(instr, isa.Call):
+            self._call(fn, index, instr, state, depth)
+        elif isinstance(instr, isa.Ret):
+            returned: _TaggedValue = ("f", AbstractValue(REALS, 0.0))
+            if instr.src is None:
+                returned = ("none", None)
+            elif instr.src in state.fregs:
+                returned = ("f", state.fregs[instr.src])
+            elif instr.src in state.iregs:
+                returned = ("i", state.iregs[instr.src])
+            return _Outcome(returned=returned, state=state)
+        elif isinstance(instr, isa.Out):
+            value = state.fregs.get(instr.src, TOP_VALUE)
+            self._site(fn, index, instr, "out", "output").observe(
+                amp=value.err,
+                total_err=value.err,
+                conds=(1.0,),
+                arg_errs=(value.err,),
+                result=value.interval,
+                witness=math.nan,
+                flags=_value_flags(value.interval, ()),
+            )
+        elif isinstance(instr, isa.Halt):
+            return _Outcome(halted=True, state=state)
+        return _Outcome(successors=[(next_index, state)], state=state)
+
+    # ------------------------------------------------------------------
+    # Float operations (the site-scoring core)
+    # ------------------------------------------------------------------
+
+    def _float_op(
+        self,
+        fn: isa.Function,
+        index: int,
+        instr: isa.Instr,
+        op: str,
+        dst: str,
+        srcs: Sequence[str],
+        state: _State,
+    ) -> None:
+        args = [state.fregs.get(src, TOP_VALUE) for src in srcs]
+        intervals = [a.interval for a in args]
+        result = transfer(op, intervals)
+        conds = condition(op, intervals, result)
+        amp, total = _amplification(conds, args)
+        if op in _SELECTION_OPS:
+            total = max((a.err for a in args), default=0.0)
+        witness = _pick_witness(conds, args)
+        flags = _op_flags(op, conds, args, result, amp)
+        arg_overflow = any(a.interval.may_overflow() for a in args)
+        if "overflow" in flags or (arg_overflow and op not in EXACT_OPS):
+            # Overflow shows up as local error where a rounded shadow
+            # argument is ±inf (or the double result saturates) while
+            # the real value is finite: a fixed ~61-bit error,
+            # independent of conditioning.  Dynamically this lands on
+            # the *consumer* of the overflowed value (sqrt/log/… pull
+            # the real result back into range), so the taint is charged
+            # to every rounded op downstream of a may-overflow range.
+            amp = max(amp, OVERFLOW_AMP)
+            total = max(total, OVERFLOW_AMP)
+            if arg_overflow and op not in EXACT_OPS:
+                flags = list(flags) + ["inf-propagation"]
+        state.fregs[dst] = AbstractValue(result, min(total, ERR_CAP))
+        self._site(fn, index, instr, op, "op").observe(
+            amp=amp,
+            total_err=total,
+            conds=conds.sups,
+            arg_errs=tuple(a.err for a in args),
+            result=result,
+            witness=witness,
+            flags=flags,
+        )
+
+    def _call(
+        self,
+        fn: isa.Function,
+        index: int,
+        instr: isa.Call,
+        state: _State,
+        depth: int,
+    ) -> None:
+        name = instr.function
+        if name in self.program.functions and name not in LIBRARY_OPERATIONS:
+            self._user_call(fn, index, instr, state, depth)
+            return
+        # Math-library (or unknown external) call: one atomic operation
+        # site, exactly how the dynamic analysis treats a wrapped call.
+        self._float_op(fn, index, instr, name, instr.dst, instr.args, state)
+
+    def _user_call(
+        self,
+        fn: isa.Function,
+        index: int,
+        instr: isa.Call,
+        state: _State,
+        depth: int,
+    ) -> None:
+        callee = self.program.function(instr.function)
+        if depth >= CALL_DEPTH_LIMIT:
+            state.fregs[instr.dst] = TOP_VALUE
+            return
+        entry = _State(heap=dict(state.heap),
+                       heap_summary=state.heap_summary,
+                       reads=state.reads)
+        for param, arg in zip(callee.params, instr.args):
+            if arg in state.fregs:
+                entry.fregs[param] = state.fregs[arg]
+            elif arg in state.iregs:
+                entry.iregs[param] = state.iregs[arg]
+            else:
+                entry.fregs[param] = TOP_VALUE
+        memo_key = (instr.function, entry.digest())
+        memoized = self._call_memo.get(memo_key)
+        if memoized is not None:
+            returned, exit_state = memoized
+        else:
+            returned, exit_state = self._run_function(
+                callee, entry, depth + 1
+            )
+            self._call_memo[memo_key] = (returned, exit_state)
+        state.heap = dict(exit_state.heap)
+        state.heap_summary = exit_state.heap_summary
+        state.reads = max(state.reads, exit_state.reads)
+        if returned is None or returned[0] == "none":
+            state.fregs[instr.dst] = TOP_VALUE
+        elif returned[0] == "f":
+            state.fregs[instr.dst] = returned[1]
+        else:
+            state.iregs[instr.dst] = returned[1]
+
+    # ------------------------------------------------------------------
+    # Branches (control spots) with edge refinement
+    # ------------------------------------------------------------------
+
+    def _branch(
+        self,
+        fn: isa.Function,
+        index: int,
+        instr,
+        state: _State,
+        floats: bool,
+    ) -> "_Outcome":
+        if floats:
+            lhs = state.fregs.get(instr.lhs, TOP_VALUE)
+            rhs = state.fregs.get(instr.rhs, TOP_VALUE)
+            lv, rv = lhs.interval, rhs.interval
+            diff = transfer("-", [lv, rv])
+            conds = condition("-", [lv, rv], diff)
+            amp, total = _amplification(conds, [lhs, rhs])
+            flags = []
+            if diff.contains_zero() and (lhs.err > 0 or rhs.err > 0):
+                flags.append("unstable-branch")
+            self._site(fn, index, instr, instr.pred, "branch").observe(
+                amp=amp,
+                total_err=total,
+                conds=conds.sups,
+                arg_errs=(lhs.err, rhs.err),
+                result=diff,
+                witness=_pick_witness(conds, [lhs, rhs]),
+                flags=flags,
+            )
+        else:
+            lv = state.iregs.get(instr.lhs, REALS)
+            rv = state.iregs.get(instr.rhs, REALS)
+
+        target = fn.label_index(instr.target)
+        successors = []
+
+        taken = self._refine(instr.pred, lv, rv)
+        if taken is not None:
+            taken_state = state.copy()
+            _apply_refinement(taken_state, instr, taken, floats)
+            successors.append((target, taken_state))
+
+        may_nan = lv.may_nan or rv.may_nan
+        negated = _NEGATED_PREDICATE[instr.pred]
+        fallthrough = self._refine(negated, lv, rv)
+        if fallthrough is not None or may_nan:
+            fall_state = state.copy()
+            if fallthrough is not None and not may_nan:
+                _apply_refinement(fall_state, instr, fallthrough, floats)
+            successors.append((index + 1, fall_state))
+        return _Outcome(successors=successors, state=state)
+
+    @staticmethod
+    def _refine(
+        pred: str, lv: Interval, rv: Interval
+    ) -> Optional[Tuple[Interval, Interval]]:
+        """Operand intervals assuming ``pred`` holds; None = infeasible.
+
+        Strict predicates are treated as their non-strict closures
+        (sound for a closed-interval domain).
+        """
+        if pred in ("lt", "le"):
+            new_l = lv.meet(hi=rv.hi)
+            new_r = rv.meet(lo=lv.lo)
+        elif pred in ("gt", "ge"):
+            new_l = lv.meet(lo=rv.lo)
+            new_r = rv.meet(hi=lv.hi)
+        elif pred == "eq":
+            new_l = lv.meet(lo=rv.lo, hi=rv.hi)
+            new_r = rv.meet(lo=lv.lo, hi=lv.hi)
+        else:  # ne: no refinement expressible in intervals
+            return lv, rv
+        if new_l is None or new_r is None:
+            return None
+        # A comparison that held proves both operands are not NaN.
+        return (
+            Interval(new_l.lo, new_l.hi, False),
+            Interval(new_r.lo, new_r.hi, False),
+        )
+
+    # ------------------------------------------------------------------
+    # Heap
+    # ------------------------------------------------------------------
+
+    def _load(self, state: _State, addr_reg: str) -> AbstractValue:
+        addr = state.iregs.get(addr_reg, REALS)
+        if addr.is_point:
+            cell = state.heap.get(addr.lo)
+            if cell is not None:
+                if state.heap_summary is not None:
+                    return cell.join(state.heap_summary)
+                return cell
+        else:
+            cells = [
+                cell for a, cell in state.heap.items() if addr.contains(a)
+            ]
+            if state.heap_summary is not None:
+                cells.append(state.heap_summary)
+            if cells:
+                merged = cells[0]
+                for cell in cells[1:]:
+                    merged = merged.join(cell)
+                return merged
+        if state.heap_summary is not None:
+            return state.heap_summary
+        return TOP_VALUE
+
+    @staticmethod
+    def _store(state: _State, addr_reg: str, src: str) -> None:
+        addr = state.iregs.get(addr_reg, REALS)
+        value = state.fregs.get(src, TOP_VALUE)
+        if addr.is_point:
+            state.heap[addr.lo] = value  # strong update
+            return
+        # Weak update: smear into every possibly-aliased cell and the
+        # summary (future strong loads must still see this value).
+        for cell_addr in list(state.heap):
+            if addr.contains(cell_addr):
+                state.heap[cell_addr] = state.heap[cell_addr].join(value)
+        state.heap_summary = (
+            value
+            if state.heap_summary is None
+            else state.heap_summary.join(value)
+        )
+
+    # ------------------------------------------------------------------
+    # Site bookkeeping
+    # ------------------------------------------------------------------
+
+    def _site(
+        self, fn: isa.Function, index: int, instr, op: str, kind: str
+    ) -> SiteSummary:
+        summary = self._site_index.get(id(instr))
+        if summary is None:
+            summary = SiteSummary(
+                site_id=len(self.sites) + 1,
+                loc=getattr(instr, "loc", None),
+                op=op,
+                kind=kind,
+                function=fn.name,
+                index=index,
+            )
+            self.sites.append(summary)
+            self._site_index[id(instr)] = summary
+        return summary
+
+
+@dataclass
+class _Outcome:
+    """Result of abstractly executing one instruction."""
+
+    successors: List[Tuple[int, _State]] = field(default_factory=list)
+    state: _State = field(default_factory=_State)
+    returned: _TaggedValue = None
+    halted: bool = False
+
+
+def _join_tagged(current: _TaggedValue, new: _TaggedValue) -> _TaggedValue:
+    if current is None:
+        return new
+    if new is None or current[0] != new[0]:
+        return current
+    if current[0] == "f":
+        return ("f", current[1].join(new[1]))
+    if current[0] == "i":
+        return ("i", current[1].hull(new[1]))
+    return current
+
+
+def _apply_refinement(
+    state: _State, instr, refined: Tuple[Interval, Interval], floats: bool
+) -> None:
+    new_l, new_r = refined
+    if floats:
+        for reg, interval in ((instr.lhs, new_l), (instr.rhs, new_r)):
+            old = state.fregs.get(reg)
+            if old is not None:
+                state.fregs[reg] = AbstractValue(interval, old.err)
+    else:
+        state.iregs[instr.lhs] = new_l
+        state.iregs[instr.rhs] = new_r
+
+
+def _amplification(
+    conds: Conditioning, args: Sequence[AbstractValue]
+) -> Tuple[float, float]:
+    """(local amp in ulps, accumulated err out in ulps)."""
+    amp = 0.0
+    total = 0.0
+    rounded_arg = False
+    for sup, value in zip(conds.sups, args):
+        if value.err > 0.0:
+            # Zero-err args contribute nothing — and must be skipped
+            # explicitly, since an infinite condition number times a
+            # zero error would otherwise poison the sums with NaN.
+            rounded_arg = True
+            amp += sup  # one ulp of argument rounding, amplified
+            total += sup * value.err
+        if math.isinf(amp) or amp > ERR_CAP:
+            amp = ERR_CAP
+        if math.isinf(total) or total > ERR_CAP:
+            total = ERR_CAP
+    if rounded_arg and conds.rho > 0.0:
+        amp += conds.rho
+    total += conds.rho
+    return min(amp, ERR_CAP), min(total, ERR_CAP)
+
+
+def _pick_witness(
+    conds: Conditioning, args: Sequence[AbstractValue]
+) -> float:
+    """Witness of the dominant *error-carrying* argument."""
+    best = math.nan
+    best_sup = -1.0
+    for sup, witness, value in zip(conds.sups, conds.witnesses, args):
+        if value.err <= 0.0:
+            continue
+        if sup > best_sup and not math.isnan(witness):
+            best_sup = sup
+            best = witness
+    if math.isnan(best):
+        for sup, witness in zip(conds.sups, conds.witnesses):
+            if sup > best_sup and not math.isnan(witness):
+                best_sup = sup
+                best = witness
+    return best
+
+
+def _value_flags(result: Interval, base: Sequence[str]) -> List[str]:
+    flags = list(base)
+    if result.may_overflow():
+        flags.append("overflow")
+    if result.may_nan:
+        flags.append("maybe-nan")
+    return flags
+
+
+def _op_flags(
+    op: str,
+    conds: Conditioning,
+    args: Sequence[AbstractValue],
+    result: Interval,
+    amp: float,
+) -> List[str]:
+    flags: List[str] = []
+    max_sup = conds.max_sup
+    if op in _ADDITIVE_OPS and max_sup >= CANCEL_COND:
+        flags.append("cancellation")
+    if op in DOMAIN_EDGE_OPS:
+        if max_sup >= DOMAIN_EDGE_COND:
+            flags.append("domain-edge")
+        if result.may_nan and not any(
+            a.interval.may_nan for a in args
+        ):
+            # This op itself can step outside its domain.
+            flags.append("domain-violation")
+    if result.may_overflow() and not any(
+        a.interval.may_overflow() for a in args
+    ):
+        flags.append("overflow")
+    if (
+        op in ("*", "/", "exp", "exp2", "expm1", "pow")
+        and result.may_underflow()
+        and not any(a.interval.contains_zero() for a in args)
+    ):
+        flags.append("underflow")
+    return flags
+
+
+def analyze_program_static(
+    program: isa.Program,
+    input_box: Sequence[Tuple[float, float]] = (),
+    max_visits: int = DEFAULT_MAX_VISITS,
+) -> StaticAnalysis:
+    """Run the abstract interpretation; returns the finished analysis.
+
+    ``input_box`` gives one ``(lo, hi)`` range per ``Read`` in entry
+    order (an FPCore program reads one input per argument, in argument
+    order); missing entries default to the sampler's default box.
+    """
+    return StaticAnalysis(program, input_box, max_visits=max_visits).run()

@@ -1,0 +1,169 @@
+"""Static sampling guidance: per-input high-condition-number binades.
+
+ROADMAP's "error-maximizing input search" item starts here: the
+log-uniform sampler demonstrably misses narrow cancellation regimes
+(``log1p``-style benchmarks only misbehave when ``x`` sits many
+binades below the range midpoint).  :func:`input_hotspots` finds those
+regimes *without executing anything*: it slices each input's
+precondition range into log-spaced magnitude bands, re-runs the cheap
+interval/condition dataflow with that one input restricted to each
+band (the other inputs keep their full ranges), and weights each band
+by the worst site score it induces.
+
+:func:`guided_sample_inputs` (and ``sample_inputs(...,
+hotspots=...)``) then mix hotspot-directed draws with the baseline
+sampler — :data:`repro.api.sampling.HOTSPOT_MIX` of the points chase
+the statically dangerous binades, the rest preserve baseline coverage.
+With ``hotspots=None`` the sampler's code path (and RNG draw sequence)
+is bit-identical to the unguided one.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.fpcore.ast import FPCore
+from repro.machine import isa
+from repro.machine.compiler import compile_fpcore
+from repro.staticanalysis.dataflow import analyze_program_static
+
+#: Maximum magnitude bands scored per input variable.
+DEFAULT_SLICES = 16
+
+#: How many binades below a side's extreme magnitude the bands reach
+#: (deep enough to cover the cancellation regimes of every corpus
+#: benchmark while keeping the band count small).
+SPAN_BINADES = 60.0
+
+#: Minimum spread (bits) between the best and worst band score before
+#: the variable gets any guidance at all — below this the static pass
+#: has nothing useful to say and baseline sampling is kept untouched.
+MIN_SPREAD_BITS = 1.0
+
+#: Hotspot weights below this fraction of the total are dropped.
+MIN_WEIGHT = 1e-3
+
+#: A hotspot band: (lo, hi, weight); weights sum to 1 per variable.
+Hotspot = Tuple[float, float, float]
+
+
+def _magnitude_bands(
+    lo: float, hi: float, slices: int
+) -> List[Tuple[float, float]]:
+    """Log-spaced sub-ranges of [lo, hi] (possibly zero-spanning)."""
+    bands: List[Tuple[float, float]] = []
+
+    def one_sided(low: float, high: float, sign: float) -> None:
+        # low/high are positive magnitudes, low < high.
+        if high <= 0.0 or math.isinf(high):
+            high = 1e308 if math.isinf(high) else high
+            if high <= 0.0:
+                return
+        floor = max(low, high * 2.0 ** -SPAN_BINADES, 5e-324)
+        if floor >= high:
+            bands.append(
+                (min(sign * floor, sign * high), max(sign * floor, sign * high))
+            )
+            return
+        count = max(1, min(slices, int(math.log2(high / floor)) or 1))
+        ratio = (high / floor) ** (1.0 / count)
+        edges = [floor * ratio ** k for k in range(count)] + [high]
+        for band_lo, band_hi in zip(edges, edges[1:]):
+            a, b = sign * band_lo, sign * band_hi
+            bands.append((min(a, b), max(a, b)))
+
+    if lo >= 0.0:
+        one_sided(max(lo, 0.0), hi, 1.0)
+    elif hi <= 0.0:
+        one_sided(max(-hi, 0.0), -lo, -1.0)
+    else:
+        one_sided(0.0, -lo, -1.0)
+        one_sided(0.0, hi, 1.0)
+    return bands
+
+
+def _band_score(
+    program: isa.Program,
+    box: List[Tuple[float, float]],
+    var_index: int,
+    band: Tuple[float, float],
+) -> float:
+    restricted = list(box)
+    restricted[var_index] = band
+    analysis = analyze_program_static(program, restricted)
+    return max((site.score_bits for site in analysis.sites), default=0.0)
+
+
+def input_hotspots(
+    core: FPCore,
+    slices: int = DEFAULT_SLICES,
+    program: Optional[isa.Program] = None,
+) -> Dict[str, List[Hotspot]]:
+    """Per-variable hotspot bands weighted by induced static score.
+
+    Variables whose bands all score alike (spread below
+    :data:`MIN_SPREAD_BITS`) are omitted — guidance that cannot
+    discriminate is worse than baseline coverage.
+    """
+    from repro.api.sampling import precondition_box
+
+    if program is None:
+        program = compile_fpcore(core)
+    ranges = precondition_box(core)
+    box = [ranges[argument] for argument in core.arguments]
+    hotspots: Dict[str, List[Hotspot]] = {}
+    for var_index, argument in enumerate(core.arguments):
+        lo, hi = box[var_index]
+        if not (lo < hi):
+            continue
+        bands = _magnitude_bands(lo, hi, slices)
+        if len(bands) < 2:
+            continue
+        scored = [
+            (band, _band_score(program, box, var_index, band))
+            for band in bands
+        ]
+        scores = [score for __, score in scored]
+        spread = max(scores) - min(scores)
+        if spread < MIN_SPREAD_BITS:
+            continue
+        floor_score = min(scores)
+        raw = [
+            (band, score - floor_score) for band, score in scored
+        ]
+        total = sum(weight for __, weight in raw)
+        if total <= 0.0:
+            continue
+        weighted = [
+            (band[0], band[1], weight / total)
+            for band, weight in raw
+            if weight / total >= MIN_WEIGHT
+        ]
+        if not weighted:
+            continue
+        renorm = sum(w for __, __, w in weighted)
+        hotspots[argument] = [
+            (band_lo, band_hi, weight / renorm)
+            for band_lo, band_hi, weight in weighted
+        ]
+    return hotspots
+
+
+def guided_sample_inputs(
+    core: FPCore,
+    count: int,
+    seed: int = 0,
+    max_rejections: int = 1000,
+    slices: int = DEFAULT_SLICES,
+) -> List[List[float]]:
+    """Sample inputs with static hotspot bias (one-call convenience)."""
+    from repro.api.sampling import sample_inputs
+
+    return sample_inputs(
+        core,
+        count,
+        seed=seed,
+        max_rejections=max_rejections,
+        hotspots=input_hotspots(core, slices=slices),
+    )

@@ -1,0 +1,296 @@
+"""Ranked lint diagnostics from the static dataflow.
+
+``repro lint`` (and the ``StaticReport`` attached to analysis results)
+turn :class:`~repro.staticanalysis.dataflow.SiteSummary` facts into a
+flat, deterministic list of :class:`Diagnostic` records.  Codes:
+
+========  ========================================== ==================
+code      hazard                                     default severity
+========  ========================================== ==================
+``S001``  catastrophic-cancellation candidate        by score
+``S002``  domain-edge operation (log near 1, …)      by score
+``S003``  possible domain violation (NaN source)     warning
+``S004``  overflow-prone intermediate                warning
+``S005``  underflow/subnormal-prone intermediate     info
+``S006``  ill-conditioned comparison / branch        by score
+``S007``  rounding-sensitive conversion              by score
+========  ========================================== ==================
+
+Score-derived severity: ``error`` at ≥ :data:`SEVERITY_ERROR_BITS`
+(the cancellation is catastrophic — half the mantissa or worse can be
+garbage), ``warning`` at ≥ :data:`SEVERITY_WARNING_BITS` (the dynamic
+analysis' default Tℓ: a site the shadow execution would plausibly
+flag), ``info`` below.  Sorting is ``(-score, loc, code)`` — fully
+deterministic, which the CI ``lint-smoke`` snapshot diff relies on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.fpcore.ast import FPCore
+from repro.machine import isa
+from repro.machine.compiler import compile_fpcore
+from repro.staticanalysis.dataflow import (
+    SCORE_CAP,
+    SiteSummary,
+    StaticAnalysis,
+    analyze_program_static,
+)
+
+#: Score (bits) at and above which a diagnostic is an ``error``.
+SEVERITY_ERROR_BITS = 40.0
+
+#: Score (bits) at and above which a diagnostic is a ``warning`` —
+#: aligned with the dynamic analysis' default local-error threshold.
+SEVERITY_WARNING_BITS = 5.0
+
+#: Severity order for sorting/filtering.
+SEVERITIES = ("error", "warning", "info")
+
+#: The diagnostic catalog: code -> (title, description).
+DIAGNOSTIC_CATALOG: Dict[str, Tuple[str, str]] = {
+    "S001": (
+        "catastrophic cancellation",
+        "an additive operation whose operands can nearly cancel: the "
+        "condition number |x|/|x±y| is unbounded (or very large) over "
+        "the inferred ranges, so rounding error in the operands is "
+        "amplified into the leading digits of the result",
+    ),
+    "S002": (
+        "domain-edge operation",
+        "a library operation evaluated near a singularity of its "
+        "condition number (log near 1, asin/acos/atanh near ±1, "
+        "acosh near 1, trig near its poles/zeros): tiny relative "
+        "perturbations of the argument move the result by many ulps",
+    ),
+    "S003": (
+        "possible domain violation",
+        "the inferred argument range extends outside the operation's "
+        "mathematical domain, so the operation can produce NaN at "
+        "runtime (e.g. sqrt of a possibly-negative value)",
+    ),
+    "S004": (
+        "overflow-prone intermediate",
+        "the inferred result range exceeds the largest finite double "
+        "(~1.8e308) even though the operands are finite: the "
+        "operation can overflow to ±inf",
+    ),
+    "S005": (
+        "underflow-prone intermediate",
+        "the inferred result range enters the subnormal regime "
+        "(below ~2.2e-308) from strictly nonzero operands: gradual "
+        "underflow silently discards mantissa bits",
+    ),
+    "S006": (
+        "ill-conditioned comparison",
+        "a floating-point branch whose operands can be almost equal "
+        "while carrying rounding error: the comparison's outcome (and "
+        "the control flow) can differ from the real-valued execution",
+    ),
+    "S007": (
+        "rounding-sensitive conversion",
+        "a float-to-integer conversion fed by a value carrying "
+        "accumulated rounding error: truncation can land on the wrong "
+        "integer",
+    ),
+    "S008": (
+        "overflow propagation",
+        "an operand of this operation can already be ±inf from an "
+        "upstream overflow while the exact real value is finite: the "
+        "~61-bit inf-vs-finite discrepancy flows through this site "
+        "(this is where range-compressing consumers like sqrt or log "
+        "turn a saturated intermediate into a finitely wrong result)",
+    ),
+}
+
+
+@dataclass
+class Diagnostic:
+    """One ranked finding of the static pass."""
+
+    code: str
+    severity: str
+    loc: Optional[str]
+    op: str
+    kind: str
+    score_bits: float
+    message: str
+    witness: Optional[float] = None
+    witness_binade: Optional[int] = None
+    condition_sup: Optional[float] = None
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "loc": self.loc,
+            "op": self.op,
+            "kind": self.kind,
+            "score_bits": _json_number(self.score_bits),
+            "message": self.message,
+            "witness": _json_number(self.witness),
+            "witness_binade": self.witness_binade,
+            "condition_sup": _json_number(self.condition_sup),
+            "details": self.details,
+        }
+
+    def format(self) -> str:
+        place = self.loc or "<unknown>"
+        parts = [
+            f"{place}: {self.severity}: [{self.code}] "
+            f"{DIAGNOSTIC_CATALOG[self.code][0]} at `{self.op}` "
+            f"(score {self.score_bits:.1f} bits)"
+        ]
+        if self.witness_binade is not None:
+            parts.append(f"  witness binade 2^{self.witness_binade}")
+        return "\n".join(parts)
+
+
+def _json_number(value: Optional[float]) -> Optional[float]:
+    """JSON has no inf/nan: cap to the score scale, drop nan."""
+    if value is None:
+        return None
+    if math.isnan(value):
+        return None
+    if math.isinf(value) or abs(value) > 1e308:
+        return math.copysign(1e308, value)
+    return float(value)
+
+
+def severity_for(score_bits: float) -> str:
+    if score_bits >= SEVERITY_ERROR_BITS:
+        return "error"
+    if score_bits >= SEVERITY_WARNING_BITS:
+        return "warning"
+    return "info"
+
+
+def _site_diagnostics(site: SiteSummary) -> List[Diagnostic]:
+    """Diagnostics contributed by one site (possibly several codes)."""
+    found: List[Diagnostic] = []
+    sup = max(site.conds, default=0.0) if site.conds else None
+
+    def emit(code: str, severity: str, message: str) -> None:
+        found.append(
+            Diagnostic(
+                code=code,
+                severity=severity,
+                loc=site.loc,
+                op=site.op,
+                kind=site.kind,
+                score_bits=round(min(site.score_bits, SCORE_CAP), 3),
+                message=message,
+                witness=site.witness
+                if not math.isnan(site.witness)
+                else None,
+                witness_binade=site.witness_binade,
+                condition_sup=sup,
+                details={
+                    "function": site.function,
+                    "site_id": site.site_id,
+                },
+            )
+        )
+
+    score_severity = severity_for(site.score_bits)
+    if "cancellation" in site.flags and site.score_bits > 0.0:
+        emit(
+            "S001",
+            score_severity,
+            f"operands of `{site.op}` can cancel: up to "
+            f"{site.score_bits:.1f} bits of the result may be rounding "
+            "noise",
+        )
+    if "domain-edge" in site.flags and site.score_bits > 0.0:
+        emit(
+            "S002",
+            score_severity,
+            f"`{site.op}` is evaluated near a condition-number "
+            f"singularity (amplification ~2^{site.score_bits:.0f})",
+        )
+    if "domain-violation" in site.flags:
+        emit(
+            "S003",
+            "warning",
+            f"argument range of `{site.op}` extends outside its "
+            "mathematical domain: NaN is reachable",
+        )
+    if "overflow" in site.flags:
+        emit(
+            "S004",
+            "warning",
+            f"`{site.op}` can overflow the double range",
+        )
+    if "inf-propagation" in site.flags:
+        emit(
+            "S008",
+            "warning",
+            f"`{site.op}` consumes a value that may have overflowed "
+            "to ±inf upstream",
+        )
+    if "underflow" in site.flags:
+        emit(
+            "S005",
+            "info",
+            f"`{site.op}` can produce subnormal intermediates",
+        )
+    if "unstable-branch" in site.flags and site.score_bits > 0.0:
+        emit(
+            "S006",
+            score_severity,
+            f"branch `{site.op}` compares values that can be almost "
+            "equal while carrying rounding error: the decision can "
+            "flip",
+        )
+    if site.kind == "conversion" and site.score_bits > 0.0:
+        emit(
+            "S007",
+            severity_for(site.score_bits),
+            "float→int conversion of a rounding-carrying value",
+        )
+    return found
+
+
+def lint_program(
+    program: isa.Program,
+    input_box: Sequence[Tuple[float, float]] = (),
+    min_severity: str = "info",
+    analysis: Optional[StaticAnalysis] = None,
+) -> List[Diagnostic]:
+    """Run the static pass over a machine program; ranked diagnostics.
+
+    ``analysis`` reuses an existing fixpoint (the backend attach path
+    computes the analysis once and feeds both the report and the lint).
+    """
+    if analysis is None:
+        analysis = analyze_program_static(program, input_box)
+    allowed = set(SEVERITIES[: SEVERITIES.index(min_severity) + 1])
+    diagnostics: List[Diagnostic] = []
+    for site in analysis.sites:
+        diagnostics.extend(
+            d for d in _site_diagnostics(site) if d.severity in allowed
+        )
+    diagnostics.sort(key=lambda d: (-d.score_bits, d.loc or "", d.code))
+    return diagnostics
+
+
+def lint_core(
+    core: FPCore,
+    min_severity: str = "info",
+) -> List[Diagnostic]:
+    """Compile an FPCore benchmark and lint it.
+
+    The input box comes from the benchmark's :pre ranges via the same
+    extraction the dynamic sampler uses, so static and dynamic runs
+    reason about the same input regimes.
+    """
+    from repro.api.sampling import precondition_box
+
+    program = compile_fpcore(core)
+    box = precondition_box(core)
+    input_box = [box[argument] for argument in core.arguments]
+    return lint_program(program, input_box, min_severity=min_severity)

@@ -1,0 +1,127 @@
+"""Condition-number suprema: formulas, singularities, witnesses."""
+
+import math
+
+from repro.staticanalysis.condition import EXACT_OPS, condition
+from repro.staticanalysis.intervals import Interval, transfer
+
+
+def _cond(op, *boxes):
+    args = [Interval(lo, hi) for lo, hi in boxes]
+    return condition(op, args, transfer(op, args))
+
+
+class TestCancellation:
+    def test_subtraction_spanning_zero_is_unbounded(self):
+        conds = _cond("-", (1.0, 2.0), (1.0, 2.0))
+        assert conds.sups == (math.inf, math.inf)
+
+    def test_subtraction_well_separated_is_modest(self):
+        conds = _cond("-", (10.0, 11.0), (1.0, 2.0))
+        # |x| / |x - y| <= 11 / 8
+        assert 1.0 <= conds.max_sup <= 11.0 / 8.0 + 1e-12
+
+    def test_addition_same_sign_is_benign(self):
+        conds = _cond("+", (1.0, 2.0), (1.0, 2.0))
+        assert conds.max_sup <= 1.0
+
+    def test_witness_is_largest_magnitude_endpoint(self):
+        conds = _cond("-", (1.0, 2.0), (1.0, 2.0))
+        assert conds.witnesses[0] == 2.0
+
+    def test_fma_cancellation_over_product(self):
+        # a*b in [1, 4], c in [-4, -1]: the add can cancel totally.
+        conds = _cond("fma", (1.0, 2.0), (1.0, 2.0), (-4.0, -1.0))
+        assert math.isinf(conds.max_sup)
+
+
+class TestMultiplicative:
+    def test_mul_div_are_unit(self):
+        assert _cond("*", (1e-5, 1e5), (-3.0, 7.0)).max_sup == 1.0
+        assert _cond("/", (1.0, 2.0), (3.0, 4.0)).max_sup == 1.0
+
+    def test_sqrt_is_half(self):
+        assert _cond("sqrt", (1.0, 100.0)).max_sup == 0.5
+
+    def test_exp_grows_with_argument(self):
+        assert _cond("exp", (0.0, 700.0)).max_sup == 700.0
+
+
+class TestLogFamily:
+    def test_log_singular_at_one(self):
+        conds = _cond("log", (0.5, 2.0))
+        assert math.isinf(conds.max_sup)
+        assert conds.witnesses[0] == 1.0
+
+    def test_log_away_from_one_is_finite(self):
+        conds = _cond("log", (math.e, math.e**2))
+        assert conds.max_sup <= 1.0 + 1e-12
+
+    def test_log_approaching_one_blows_up(self):
+        near = _cond("log", (1.0 + 1e-12, 2.0))
+        far = _cond("log", (1.5, 2.0))
+        assert near.max_sup > 1e10 > far.max_sup
+
+    def test_log1p_singular_at_minus_one(self):
+        conds = _cond("log1p", (-0.999999, 1.0))
+        assert conds.max_sup > 1e4
+
+
+class TestTrig:
+    def test_sin_near_pi_is_singular(self):
+        conds = _cond("sin", (3.0, 3.3))
+        assert conds.max_sup > 1e10
+
+    def test_sin_near_zero_is_benign(self):
+        # x cot x -> 1 as x -> 0: the zero at the origin is removable.
+        conds = _cond("sin", (-0.5, 0.5))
+        assert conds.max_sup < 10.0
+
+    def test_sin_huge_range_terminates_fast(self):
+        # Regression: pole enumeration over wide ranges must use
+        # k-index arithmetic, not iterate over every period.
+        conds = _cond("sin", (-1e9, 1e9))
+        assert math.isinf(conds.max_sup) or conds.max_sup > 1e8
+
+    def test_cos_near_half_pi(self):
+        conds = _cond("cos", (1.5, 1.6))
+        assert conds.max_sup > 1e10
+
+
+class TestInverse:
+    def test_asin_near_one(self):
+        conds = _cond("asin", (0.9999999, 1.0))
+        assert conds.max_sup > 1e3
+
+    def test_atanh_near_one(self):
+        conds = _cond("atanh", (0.99, 1.0))
+        assert conds.max_sup > 1e2
+
+
+class TestPow:
+    def test_pow_cond_in_x_is_exponent(self):
+        conds = _cond("pow", (2.0, 3.0), (10.0, 10.0))
+        assert conds.sups[0] == 10.0
+
+    def test_pow_cond_in_y_involves_log(self):
+        conds = _cond("pow", (math.e, math.e), (1.0, 5.0))
+        # |y ln x| = |y| at x = e
+        assert abs(conds.sups[1] - 5.0) < 1e-9
+
+
+class TestRho:
+    def test_exact_ops_contribute_no_rounding(self):
+        for op in ("neg", "fabs", "fmin", "fmax", "copysign"):
+            boxes = [(1.0, 2.0)] * (1 if op in ("neg", "fabs") else 2)
+            assert _cond(op, *boxes).rho == 0.0
+            assert op in EXACT_OPS
+
+    def test_rounding_ops_contribute_one_ulp(self):
+        assert _cond("+", (1.0, 2.0), (1.0, 2.0)).rho == 1.0
+        assert _cond("sqrt", (1.0, 4.0)).rho == 1.0
+
+    def test_inf_over_inf_guard(self):
+        # Saturated argument intervals must not produce NaN sups.
+        conds = _cond("+", (1e308, math.inf), (1e308, math.inf))
+        for sup in conds.sups:
+            assert not math.isnan(sup)

@@ -1,0 +1,231 @@
+"""The abstract-interpretation fixpoint: scoring, loops, calls, memory."""
+
+import math
+
+from repro.fpcore import parse_fpcore
+from repro.machine import FunctionBuilder, Program
+from repro.machine.compiler import compile_fpcore
+from repro.staticanalysis.dataflow import (
+    OVERFLOW_AMP,
+    SCORE_CAP,
+    analyze_program_static,
+)
+
+
+def _analyze(source, box=None):
+    core = parse_fpcore(source)
+    program = compile_fpcore(core)
+    if box is None:
+        from repro.api.sampling import precondition_box
+
+        ranges = precondition_box(core)
+        box = [ranges[a] for a in core.arguments]
+    return analyze_program_static(program, box)
+
+
+def _score_at(analysis, loc):
+    site = analysis.by_loc().get(loc)
+    return 0.0 if site is None else site.score_bits
+
+
+class TestLocalErrorModel:
+    """The site score mirrors the paper's *local error*: rounding
+    introduced at this operation, with exactly-representable inputs
+    contributing none."""
+
+    def test_naive_difference_of_squares_flagged(self):
+        analysis = _analyze(
+            "(FPCore (x y) :name \"dsq\" "
+            ":pre (and (<= 1e6 x 1e8) (<= 1e6 y 1e8)) "
+            "(- (* x x) (* y y)))"
+        )
+        # The subtraction consumes rounded products and can cancel.
+        assert _score_at(analysis, "dsq.c:3") == SCORE_CAP
+
+    def test_stable_difference_of_squares_clean(self):
+        analysis = _analyze(
+            "(FPCore (x y) :name \"dsqs\" "
+            ":pre (and (<= 1e6 x 1e8) (<= 1e6 y 1e8)) "
+            "(* (- x y) (+ x y)))"
+        )
+        # x - y cancels, but both operands are exact reads: the shadow
+        # arguments round to themselves, so the site's local error is
+        # zero — exactly why the dynamic analysis never flags it.
+        assert max((s.score_bits for s in analysis.sites), default=0.0) < 5.0
+
+    def test_cancellation_needs_rounded_operands(self):
+        # x + 1 - x: the outer subtraction cancels AND its left operand
+        # carries the addition's rounding -> flagged.
+        analysis = _analyze(
+            "(FPCore (x) :name \"p1\" :pre (<= 1e15 x 1e16) "
+            "(- (+ x 1) x))"
+        )
+        assert _score_at(analysis, "p1.c:3") == SCORE_CAP
+
+    def test_domain_edge_log(self):
+        analysis = _analyze(
+            "(FPCore (x) :name \"lg\" :pre (<= 1e-18 x 1e-15) "
+            "(log (+ 1 x)))"
+        )
+        site = analysis.by_loc()["lg.c:3"]
+        assert site.op == "log"
+        assert site.score_bits == SCORE_CAP
+        assert "domain-edge" in site.flags
+
+
+class TestOverflow:
+    def test_overflow_charged_at_producer_and_consumer(self):
+        analysis = _analyze(
+            "(FPCore (x y) :name \"hn\" "
+            ":pre (and (<= 1e160 x 1e170) (<= 1e160 y 1e170)) "
+            "(sqrt (+ (* x x) (* y y))))"
+        )
+        by_loc = analysis.by_loc()
+        # Producer: x*x can saturate to inf from finite inputs.
+        producer = by_loc["hn.c:1"]
+        assert "overflow" in producer.flags
+        assert producer.amp >= OVERFLOW_AMP
+        # Consumer: sqrt of a may-inf value is where the dynamic run
+        # observes the ~61-bit inf-vs-finite local error.
+        consumer = by_loc["hn.c:4"]
+        assert "inf-propagation" in consumer.flags
+        assert consumer.score_bits >= 60.0
+
+    def test_no_overflow_taint_in_modest_ranges(self):
+        analysis = _analyze(
+            "(FPCore (x) :name \"sq\" :pre (<= 1.0 x 1e3) (sqrt (* x x)))"
+        )
+        for site in analysis.sites:
+            assert "overflow" not in site.flags
+            assert "inf-propagation" not in site.flags
+
+
+class TestBranches:
+    def test_close_comparison_is_a_branch_site(self):
+        analysis = _analyze(
+            "(FPCore (x y) :name \"br\" "
+            ":pre (and (<= 0 x 1) (<= 0 y 1)) "
+            "(if (< (- (+ x y) y) x) 1 0))"
+        )
+        branches = [s for s in analysis.sites if s.kind == "branch"]
+        assert branches
+        assert any("unstable-branch" in s.flags for s in branches)
+
+    def test_branch_refinement_narrows_taken_edge(self):
+        # if x < 1 then sqrt(1 - x): refinement on the taken edge must
+        # prove 1 - x > 0, so sqrt cannot be a domain violation.
+        analysis = _analyze(
+            "(FPCore (x) :name \"rf\" :pre (<= 0 x 10) "
+            "(if (< x 1) (sqrt (- 1 x)) 0))"
+        )
+        sqrt_sites = [s for s in analysis.sites if s.op == "sqrt"]
+        assert sqrt_sites
+        assert all(
+            "domain-violation" not in s.flags for s in sqrt_sites
+        )
+
+
+class TestLoops:
+    def test_widening_terminates_loop(self):
+        analysis = _analyze(
+            "(FPCore (n) :name \"acc\" :pre (<= 1 n 1000) "
+            "(while (< i n) ((i 0 (+ i 1)) (s 0 (+ s 0.1))) s))"
+        )
+        assert analysis.converged
+        assert analysis.visits < 10_000
+
+    def test_accumulated_loop_error_flagged(self):
+        analysis = _analyze(
+            "(FPCore (n) :name \"acc2\" :pre (<= 1 n 1000) "
+            "(while (< i n) ((i 0 (+ i 1)) (s 0 (+ s 0.1))) s))"
+        )
+        adds = [s for s in analysis.sites if s.op == "+"]
+        assert any(s.score_bits > 5.0 for s in adds)
+
+
+class TestInterprocedural:
+    def _program_with_call(self):
+        helper = FunctionBuilder("square", params=("a",))
+        result = helper.op("*", "a", "a", loc="helper:1")
+        helper.ret(result)
+
+        main = FunctionBuilder("main")
+        x = main.read(loc="main:arg-x")
+        squared = main.call("square", x, loc="main:1")
+        y = main.read(loc="main:arg-y")
+        ysq = main.call("square", y, loc="main:2")
+        diff = main.op("-", squared, ysq, loc="main:3")
+        main.out(diff, loc="main:out")
+        main.halt()
+
+        program = Program()
+        program.add(helper.build())
+        program.add(main.build())
+        return program
+
+    def test_user_calls_are_analyzed_through(self):
+        analysis = analyze_program_static(
+            self._program_with_call(), [(1e6, 1e8), (1e6, 1e8)]
+        )
+        assert analysis.converged
+        # The subtraction of two rounded call results can cancel.
+        site = analysis.by_loc().get("main:3")
+        assert site is not None and site.score_bits > 5.0
+
+    def test_recursion_terminates(self):
+        fn = FunctionBuilder("loop", params=("a",))
+        bumped = fn.op("+", "a", fn.const(1.0), loc="rec:1")
+        result = fn.call("loop", bumped, loc="rec:2")
+        fn.ret(result)
+
+        main = FunctionBuilder("main")
+        x = main.read(loc="rec:arg")
+        out = main.call("loop", x, loc="rec:3")
+        main.out(out, loc="rec:out")
+        main.halt()
+
+        program = Program()
+        program.add(fn.build())
+        program.add(main.build())
+        analysis = analyze_program_static(program, [(0.0, 1.0)])
+        assert analysis.visits < 100_000  # bounded by CALL_DEPTH_LIMIT
+
+
+class TestMemory:
+    def test_store_load_roundtrip_strong_update(self):
+        main = FunctionBuilder("main")
+        x = main.read(loc="m:arg")
+        addr = main.const_int(16)
+        main.store(addr, x, loc="m:1")
+        loaded = main.load(addr, loc="m:2")
+        doubled = main.op("+", loaded, loaded, loc="m:3")
+        main.out(doubled, loc="m:out")
+        main.halt()
+        program = Program()
+        program.add(main.build())
+        analysis = analyze_program_static(program, [(1.0, 2.0)])
+        site = analysis.by_loc()["m:3"]
+        # The loaded value kept its [1,2] range: x + x stays in [2,4],
+        # far from cancellation.
+        assert site.result_lo >= 2.0 - 1e-9
+        assert site.result_hi <= 4.0 + 1e-9
+
+
+class TestRankedOutput:
+    def test_ranked_sorts_by_score(self):
+        analysis = _analyze(
+            "(FPCore (x y) :name \"dsq\" "
+            ":pre (and (<= 1e6 x 1e8) (<= 1e6 y 1e8)) "
+            "(- (* x x) (* y y)))"
+        )
+        ranked = analysis.ranked(threshold=0.0)
+        scores = [s.score_bits for s in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_scores_are_finite_and_capped(self):
+        analysis = _analyze(
+            "(FPCore (x) :name \"lgx\" :pre (<= 0.5 x 2) (log x))"
+        )
+        for site in analysis.sites:
+            assert not math.isnan(site.score_bits)
+            assert site.score_bits <= SCORE_CAP

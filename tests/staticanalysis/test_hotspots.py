@@ -1,0 +1,107 @@
+"""Hotspot-guided sampling: edge cases and the disabled-path identity."""
+
+import math
+
+import pytest
+
+from repro.api.sampling import precondition_box, sample_inputs
+from repro.fpcore import parse_fpcore
+from repro.staticanalysis import guided_sample_inputs, input_hotspots
+
+LOG1P_NAIVE = (
+    "(FPCore (x) :name \"log1p-naive\" :pre (<= 1e-18 x 1) "
+    "(log (+ 1 x)))"
+)
+
+
+class TestInputHotspots:
+    def test_log1p_hotspots_favor_tiny_magnitudes(self):
+        core = parse_fpcore(LOG1P_NAIVE)
+        hotspots = input_hotspots(core)
+        assert "x" in hotspots
+        bands = hotspots["x"]
+        weights = [w for __, __, w in bands]
+        assert abs(sum(weights) - 1.0) < 1e-9
+        # The statically dangerous regime is x << 1 (log near 1):
+        # most of the weight must sit below the range midpoint.
+        low_weight = sum(w for lo, hi, w in bands if hi <= 1e-3)
+        assert low_weight > 0.5
+
+    def test_benign_program_gets_no_guidance(self):
+        core = parse_fpcore(
+            "(FPCore (x) :name \"benign\" :pre (<= 1 x 2) (* x x))"
+        )
+        assert input_hotspots(core) == {}
+
+    def test_zero_spanning_range(self):
+        core = parse_fpcore(
+            "(FPCore (x) :name \"zs\" :pre (<= -1 x 1) "
+            "(log (+ 1 x)))"
+        )
+        hotspots = input_hotspots(core)
+        if "x" in hotspots:
+            for lo, hi, weight in hotspots["x"]:
+                assert -1.0 <= lo <= hi <= 1.0
+                assert weight > 0.0
+
+    def test_point_range_skipped(self):
+        core = parse_fpcore(
+            "(FPCore (x) :name \"pt\" :pre (<= 2 x 2) (log x))"
+        )
+        assert "x" not in input_hotspots(core)
+
+
+class TestGuidedSampling:
+    def test_disabled_path_is_rng_identical(self):
+        """hotspots=None must reproduce the unguided sampler's draws
+        bit for bit — seeds committed in experiments stay valid."""
+        core = parse_fpcore(LOG1P_NAIVE)
+        baseline = sample_inputs(core, 64, seed=17)
+        explicit_none = sample_inputs(core, 64, seed=17, hotspots=None)
+        empty_map = sample_inputs(core, 64, seed=17, hotspots={})
+        assert baseline == explicit_none == empty_map
+
+    def test_guided_points_respect_precondition(self):
+        core = parse_fpcore(LOG1P_NAIVE)
+        box = precondition_box(core)
+        for point in guided_sample_inputs(core, 128, seed=3):
+            (x,) = point
+            lo, hi = box["x"]
+            assert lo <= x <= hi
+
+    def test_guided_hits_the_dangerous_binades_more(self):
+        core = parse_fpcore(LOG1P_NAIVE)
+        unguided = sample_inputs(core, 256, seed=5)
+        guided = guided_sample_inputs(core, 256, seed=5)
+        def tiny(points):
+            return sum(1 for (x,) in points if x < 1e-6)
+
+        assert tiny(guided) > tiny(unguided)
+
+    def test_guided_respects_rejection_clauses(self):
+        # A :pre with a non-range clause: sampling must keep rejecting
+        # against the full precondition, guidance or not.
+        core = parse_fpcore(
+            "(FPCore (x y) :name \"rej\" "
+            ":pre (and (<= 1e-12 x 1) (<= 1e-12 y 1) (< y x)) "
+            "(log (/ x y)))"
+        )
+        for x, y in guided_sample_inputs(core, 32, seed=9):
+            assert y < x
+
+    def test_zero_spanning_guided_sampling(self):
+        core = parse_fpcore(
+            "(FPCore (x) :name \"zs2\" :pre (<= -1 x 1) (log (+ 1 x)))"
+        )
+        points = guided_sample_inputs(core, 64, seed=11)
+        assert len(points) == 64
+        for (x,) in points:
+            assert -1.0 <= x <= 1.0 and not math.isnan(x)
+
+    def test_unsatisfiable_precondition_still_raises(self):
+        core = parse_fpcore(
+            "(FPCore (x) :name \"unsat\" "
+            ":pre (and (<= 0 x 1) (< x -1)) (log x))"
+        )
+        with pytest.raises(ValueError):
+            guided_sample_inputs(core, 4, seed=0, max_rejections=50)

@@ -1,0 +1,209 @@
+"""Interval domain: soundness (randomized containment) and lattice laws."""
+
+import math
+import random
+
+import pytest
+
+from repro.staticanalysis.intervals import (
+    TOP,
+    Interval,
+    binade,
+    int_transfer,
+    transfer,
+)
+
+#: Concrete double semantics per op (arity, fn), mirroring the
+#: machine engine.
+_CONCRETE = {
+    "+": (2, lambda a, b: a + b),
+    "-": (2, lambda a, b: a - b),
+    "*": (2, lambda a, b: a * b),
+    "/": (2, lambda a, b: a / b),
+    "neg": (1, lambda a: -a),
+    "fabs": (1, abs),
+    "sqrt": (1, math.sqrt),
+    "cbrt": (1, lambda a: math.copysign(abs(a) ** (1.0 / 3.0), a)),
+    "exp": (1, math.exp),
+    "log": (1, math.log),
+    "log2": (1, math.log2),
+    "log1p": (1, math.log1p),
+    "expm1": (1, math.expm1),
+    "sin": (1, math.sin),
+    "cos": (1, math.cos),
+    "tan": (1, math.tan),
+    "asin": (1, math.asin),
+    "acos": (1, math.acos),
+    "atan": (1, math.atan),
+    "atan2": (2, math.atan2),
+    "sinh": (1, math.sinh),
+    "cosh": (1, math.cosh),
+    "tanh": (1, math.tanh),
+    "asinh": (1, math.asinh),
+    "atanh": (1, math.atanh),
+    "hypot": (2, math.hypot),
+    "pow": (2, math.pow),
+    "fmin": (2, min),
+    "fmax": (2, max),
+    "copysign": (2, math.copysign),
+    "fdim": (2, lambda a, b: max(a - b, 0.0)),
+    "fmod": (2, math.fmod),
+    "remainder": (2, math.remainder),
+    "trunc": (1, lambda a: float(math.trunc(a))),
+    "floor": (1, lambda a: float(math.floor(a))),
+    "ceil": (1, lambda a: float(math.ceil(a))),
+    "fma": (3, lambda a, b, c: a * b + c),
+}
+
+#: Boxes exercising sign changes, zero crossings, wide magnitudes,
+#: singular points (1.0 for log, ±1 for atanh), and huge ranges.
+_BOXES = [
+    (0.5, 2.0),
+    (-2.0, 2.0),
+    (1e-12, 1e12),
+    (-1e9, -1e-9),
+    (0.9, 1.1),
+    (-0.99, 0.99),
+    (1.0, 1e300),
+    (-5e-324, 5e-324),
+]
+
+
+def _sample(rng, lo, hi):
+    if lo == hi:
+        return lo
+    if lo > 0 and hi / lo > 1e6:
+        return math.exp(rng.uniform(math.log(lo), math.log(hi)))
+    return rng.uniform(lo, hi)
+
+
+class TestContainment:
+    """For random concrete args inside the abstract box, the concrete
+    double result must lie inside (or NaN must be admitted by) the
+    transfer result."""
+
+    @pytest.mark.parametrize("op", sorted(_CONCRETE))
+    def test_transfer_contains_concrete(self, op):
+        arity, fn = _CONCRETE[op]
+        rng = random.Random(hash(op) & 0xFFFF)
+        checked = 0
+        for trial in range(400):
+            boxes = [
+                _BOXES[rng.randrange(len(_BOXES))] for __ in range(arity)
+            ]
+            args = [Interval(lo, hi) for lo, hi in boxes]
+            abstract = transfer(op, args)
+            concrete_args = [_sample(rng, lo, hi) for lo, hi in boxes]
+            try:
+                value = fn(*concrete_args)
+            except (ValueError, OverflowError, ZeroDivisionError):
+                # A domain/range error concretely maps to NaN or ±inf
+                # in IEEE semantics; either is admitted by TOP-ish
+                # results and may_nan covers the NaN cases.  The
+                # containment claim is only about finite evaluations.
+                continue
+            if isinstance(value, complex):
+                continue
+            if math.isnan(value):
+                assert abstract.may_nan, (
+                    f"{op}{concrete_args} is NaN but {abstract} denies it"
+                )
+                continue
+            checked += 1
+            assert abstract.lo <= value <= abstract.hi or (
+                math.isinf(value)
+                and (abstract.lo == value or abstract.hi == value)
+            ), f"{op}{concrete_args} = {value} outside {abstract}"
+        assert checked > 0
+
+    def test_unknown_op_is_top(self):
+        result = transfer("mystery-op", [Interval(1.0, 2.0)])
+        assert result.lo == -math.inf and result.hi == math.inf
+
+    def test_int_transfer_contains(self):
+        rng = random.Random(7)
+        for op, fn in [
+            ("iadd", lambda a, b: a + b),
+            ("isub", lambda a, b: a - b),
+            ("imul", lambda a, b: a * b),
+        ]:
+            x, y = Interval(-9.0, 7.0), Interval(2.0, 5.0)
+            abstract = int_transfer(op, x, y)
+            for __ in range(100):
+                a = rng.randint(-9, 7)
+                b = rng.randint(2, 5)
+                assert abstract.lo <= fn(a, b) <= abstract.hi
+
+
+class TestNaNTracking:
+    def test_inf_minus_inf(self):
+        result = transfer("-", [TOP, TOP])
+        assert result.may_nan
+
+    def test_sqrt_of_mixed_sign(self):
+        result = transfer("sqrt", [Interval(-1.0, 4.0)])
+        assert result.may_nan
+        assert result.hi == 2.0
+
+    def test_sqrt_of_positive_is_clean(self):
+        result = transfer("sqrt", [Interval(1.0, 4.0)])
+        assert not result.may_nan
+        assert (result.lo, result.hi) == (1.0, 2.0)
+
+    def test_log_of_possibly_nonpositive(self):
+        assert transfer("log", [Interval(-1.0, 2.0)]).may_nan
+        assert not transfer("log", [Interval(0.5, 2.0)]).may_nan
+
+    def test_nan_endpoint_becomes_top(self):
+        v = Interval(math.nan, 1.0)
+        assert v.may_nan
+        assert v.lo == -math.inf
+
+
+class TestLattice:
+    def test_hull_is_commutative_and_contains(self):
+        a, b = Interval(0.0, 2.0), Interval(1.0, 5.0, may_nan=True)
+        h = a.hull(b)
+        assert h.lo == 0.0 and h.hi == 5.0 and h.may_nan
+        h2 = b.hull(a)
+        assert (h2.lo, h2.hi, h2.may_nan) == (h.lo, h.hi, h.may_nan)
+
+    def test_widen_jumps_growing_endpoints(self):
+        older = Interval(0.0, 1.0)
+        newer = Interval(-0.5, 2.0)
+        widened = older.widen(newer)
+        assert widened.lo == -math.inf and widened.hi == math.inf
+
+    def test_widen_keeps_stable_endpoints(self):
+        older = Interval(0.0, 1.0)
+        newer = Interval(0.0, 2.0)
+        widened = older.widen(newer)
+        assert widened.lo == 0.0
+        assert widened.hi == math.inf
+
+    def test_meet_refines(self):
+        refined = Interval(0.0, 10.0).meet(hi=3.0)
+        assert (refined.lo, refined.hi) == (0.0, 3.0)
+
+    def test_meet_empty_is_none(self):
+        assert Interval(0.0, 1.0).meet(lo=2.0) is None
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(2.0, 1.0)
+
+
+class TestQueries:
+    def test_overflow_underflow_flags(self):
+        assert Interval(1e308, math.inf).may_overflow()
+        assert not Interval(0.0, 1e300).may_overflow()
+        assert Interval(1e-320, 1.0).may_underflow()
+        assert not Interval(1e-300, 1.0).may_underflow()
+
+    def test_binade(self):
+        assert binade(1.0) == 0
+        assert binade(1.5) == 0
+        assert binade(2.0) == 1
+        assert binade(0.25) == -2
+        assert binade(0.0) is None
+        assert binade(math.inf) is None

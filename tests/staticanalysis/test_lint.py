@@ -1,0 +1,164 @@
+"""The lint layer: catalog, severities, known-unstable programs, apps."""
+
+import json
+import math
+
+import pytest
+
+from repro.fpcore import load_corpus, parse_fpcore
+from repro.staticanalysis import DIAGNOSTIC_CATALOG, lint_core, lint_program
+from repro.staticanalysis.lint import (
+    SEVERITY_ERROR_BITS,
+    SEVERITY_WARNING_BITS,
+    severity_for,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus_diagnostics():
+    return {core.name: lint_core(core) for core in load_corpus()}
+
+
+class TestCatalog:
+    def test_codes_are_documented(self):
+        for code, (title, description) in DIAGNOSTIC_CATALOG.items():
+            assert code.startswith("S") and len(code) == 4
+            assert title and description
+
+    def test_every_emitted_code_is_in_the_catalog(self, corpus_diagnostics):
+        for diagnostics in corpus_diagnostics.values():
+            for diagnostic in diagnostics:
+                assert diagnostic.code in DIAGNOSTIC_CATALOG
+
+    def test_severity_thresholds(self):
+        assert severity_for(SEVERITY_ERROR_BITS) == "error"
+        assert severity_for(SEVERITY_WARNING_BITS) == "warning"
+        assert severity_for(SEVERITY_WARNING_BITS - 0.1) == "info"
+
+
+class TestKnownUnstable:
+    """The acceptance list: programs the paper (and the dynamic
+    analysis) identifies as unstable must be statically flagged."""
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "paper-csqrt-imag",     # the paper's csqrt case study
+            "nmse-ex-3-1",          # sqrt(x+1) - sqrt(x)
+            "quadp",                # quadratic formula family
+            "quadm",
+            "quad-discriminant",
+            "heron-area",           # triangle area, naive Heron
+            "log1p-naive",
+            "diff-squares-naive",
+            "hypot-naive",
+            "paper-x-plus-1-minus-x",
+        ],
+    )
+    def test_flagged(self, corpus_diagnostics, name):
+        severities = {d.severity for d in corpus_diagnostics[name]}
+        assert "error" in severities or "warning" in severities, (
+            f"{name} should be statically flagged"
+        )
+
+    def test_stable_sibling_clean(self, corpus_diagnostics):
+        assert corpus_diagnostics["diff-squares-stable"] == []
+
+    def test_cancellation_has_witness_binade(self, corpus_diagnostics):
+        cancellations = [
+            d
+            for d in corpus_diagnostics["diff-squares-naive"]
+            if d.code == "S001"
+        ]
+        assert cancellations
+        assert any(d.witness_binade is not None for d in cancellations)
+
+
+class TestAppKernels:
+    def test_pid_kernel_flagged(self):
+        from repro.apps.pid import build_pid_program
+        from repro.staticanalysis import analyze_program_static
+
+        program = build_pid_program()
+        analysis = analyze_program_static(program, [])
+        assert analysis.converged
+        diagnostics = lint_program(program, analysis=analysis)
+        assert any(d.severity in ("error", "warning") for d in diagnostics)
+
+    def test_plotter_kernel_flagged(self):
+        from repro.apps.plotter import build_plotter_program
+        from repro.staticanalysis import analyze_program_static
+
+        program = build_plotter_program(4, 4)
+        analysis = analyze_program_static(program, [])
+        assert analysis.converged
+        diagnostics = lint_program(program, analysis=analysis)
+        assert any(d.severity in ("error", "warning") for d in diagnostics)
+
+    def test_triangle_orient2d_flagged(self):
+        from repro.apps.triangle import build_orient2d_program
+        from repro.staticanalysis import analyze_program_static
+
+        program = build_orient2d_program()
+        analysis = analyze_program_static(program, [])
+        assert analysis.converged
+        diagnostics = lint_program(program, analysis=analysis)
+        assert any(d.code == "S001" for d in diagnostics)
+
+
+class TestOutputContracts:
+    def test_sorted_by_score_desc(self, corpus_diagnostics):
+        for diagnostics in corpus_diagnostics.values():
+            scores = [d.score_bits for d in diagnostics]
+            assert scores == sorted(scores, reverse=True)
+
+    def test_json_safe(self, corpus_diagnostics):
+        for diagnostics in corpus_diagnostics.values():
+            for diagnostic in diagnostics:
+                payload = json.dumps(diagnostic.to_dict())
+                decoded = json.loads(payload)
+                for key in ("score_bits", "condition_sup", "witness"):
+                    value = decoded.get(key)
+                    if isinstance(value, float):
+                        assert math.isfinite(value)
+
+    def test_min_severity_filters(self):
+        core = parse_fpcore(
+            "(FPCore (x y) :name \"dsq\" "
+            ":pre (and (<= 1e6 x 1e8) (<= 1e6 y 1e8)) "
+            "(- (* x x) (* y y)))"
+        )
+        everything = lint_core(core, min_severity="info")
+        errors_only = lint_core(core, min_severity="error")
+        assert len(errors_only) <= len(everything)
+        assert all(d.severity == "error" for d in errors_only)
+
+    def test_format_mentions_code_and_loc(self):
+        core = parse_fpcore(
+            "(FPCore (x y) :name \"dsq\" "
+            ":pre (and (<= 1e6 x 1e8) (<= 1e6 y 1e8)) "
+            "(- (* x x) (* y y)))"
+        )
+        text = lint_core(core)[0].format()
+        assert "S001" in text and "dsq.c:" in text
+
+    def test_snapshot_matches_current_output(self):
+        # The CI smoke (scripts/lint_smoke.py) diffs the CLI output
+        # against this snapshot; keep the in-process view in sync so a
+        # drift is caught by plain pytest too.
+        import os
+
+        snapshot_path = os.path.join(
+            os.path.dirname(__file__), "expected_lint.json"
+        )
+        with open(snapshot_path, "r", encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+        current = {
+            core.name: [d.to_dict() for d in lint_core(core)]
+            for core in load_corpus()
+        }
+        expected = {
+            entry["program"]: entry["diagnostics"]
+            for entry in snapshot["programs"]
+        }
+        assert current == expected
