@@ -25,6 +25,11 @@ the compiled fast path that attacks all three layers and emits
     compiled engine; loop benchmarks fall back per-point, so the
     batched gain concentrates in the straight-line suite).
 
+* **Hardware shadow tier** (``hw_tier``) — adaptive-policy per-op cost
+  with the double-double hardware tier on vs off, measured on a
+  synthetic kernel-bound straight-line core where shadow arithmetic
+  dominates tracing, with per-tier residency counters and
+  promotion/escalation rates from the hw-on run.
 * **Parity gate** — byte-identical ``AnalysisResult`` JSON between
   every configuration and the reference engine, under both precision
   policies.  Any mismatch fails the run.
@@ -65,6 +70,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.api import AnalysisSession, results_to_json
 from repro.core import AnalysisConfig, EngineFeatures, analyze_program
 from repro.fpcore import load_corpus
+from repro.fpcore.parser import parse_fpcore
 from repro.fpcore.printer import format_fpcore
 from repro.machine import CompiledProgram, Interpreter, compile_fpcore
 from repro.api.sampling import sample_inputs
@@ -277,6 +283,92 @@ def bench_batched_per_op(suite, points: int, seed: int, repeat: int) -> Dict:
     return out
 
 
+def _kernel_bound_core():
+    """A deep straight-line arithmetic core for the hw-tier headline.
+
+    The corpus straight-line benchmarks are shallow enough that
+    sampling, tracing, and reporting dilute the shadow-kernel cost this
+    measurement targets, so the hw-tier row uses a synthetic core:
+    well-conditioned rational arithmetic nested three deep, which keeps
+    every operation on the double-double fast path (no transcendental
+    promotes) while still exercising +, -, *, and /.
+    """
+    expr = "(* (+ x y) (/ (- x y) (+ (* x x) (* y y))))"
+    for __ in range(3):
+        expr = f"(+ (* {expr} x) (/ {expr} y))"
+    return parse_fpcore(
+        '(FPCore (x y) :name "hw-kernel-bound" '
+        ":pre (and (<= 1 x 2) (<= 1 y 2)) " + expr + ")"
+    )
+
+
+def bench_hw_tier(points: int, seed: int, repeat: int) -> Dict:
+    """Adaptive per-op cost, hardware shadow tier on vs off.
+
+    Both configurations run the full compiled/batched stack; only
+    ``hw_tier`` is toggled, so the ratio isolates the double-double
+    bottom rung.  Repetitions are interleaved (hw-on and hw-off timed
+    once per round, best-of-rounds reported) so machine drift hits both
+    configurations equally.  The hw-on run's tier residency counters
+    are reported alongside, with the promotion and escalation rates
+    that explain how much work stayed on the hardware tier.
+    """
+    core = _kernel_bound_core()
+    program = compile_fpcore(core)
+    sampled = sample_inputs(core, points, seed=seed)
+    compiled = CompiledProgram(program)
+    total_ops = 0
+    for point in sampled:
+        compiled.run(point)
+        total_ops += compiled.stats.float_ops + compiled.stats.library_calls
+    configs = (
+        ("hw_on", AnalysisConfig(precision_policy="adaptive", hw_tier=True)),
+        ("hw_off", AnalysisConfig(precision_policy="adaptive",
+                                  hw_tier=False)),
+    )
+    residency = {}
+    signatures = {}
+    for label, config in configs:  # warm caches outside the timed region
+        analysis, __ = analyze_program(program, sampled, config=config)
+        signatures[label] = _signature_json(analysis)
+        if label == "hw_on":
+            residency = analysis.tier_residency()
+    best: Dict[str, float] = {}
+    for __ in range(max(1, repeat)):
+        for label, config in configs:
+            start = time.perf_counter()
+            analyze_program(program, sampled, config=config)
+            elapsed = time.perf_counter() - start
+            if label not in best or elapsed < best[label]:
+                best[label] = elapsed
+    out = {
+        "benchmark": core.name,
+        "points": points,
+        "executed_float_ops": total_ops,
+        "parity_identical": signatures["hw_on"] == signatures["hw_off"],
+    }
+    for label, seconds in best.items():
+        out[label + "_us_per_op"] = round(
+            seconds / max(total_ops, 1) * 1e6, 3
+        )
+        out[label + "_seconds"] = round(seconds, 4)
+    out["hw_speedup"] = round(best["hw_off"] / max(best["hw_on"], 1e-9), 3)
+    kernel_ops = residency.get("hw_kernel_ops", 0)
+    promotions = residency.get("hw_promotions", 0)
+    out["tier_residency"] = residency
+    #: Fraction of hardware-tier kernel attempts the kernels declined
+    #: (returned None), sending the operation to the working tier.
+    out["hw_promotion_rate"] = round(
+        promotions / max(kernel_ops + promotions, 1), 6
+    )
+    #: Escalations (rounding ties, comparisons, integer conversions,
+    #: drift-bound violations) per accepted hardware kernel result.
+    out["escalation_rate"] = round(
+        residency.get("escalations", 0) / max(kernel_ops, 1), 6
+    )
+    return out
+
+
 def bench_parity(suite, points: int, seed: int) -> Dict:
     """Byte-identical JSON across every layer stack and both policies."""
     failures = []
@@ -460,6 +552,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="fail unless the suite's median speedup vs "
                              "the live baseline (or, without git, the "
                              "reference engine) reaches this factor")
+    parser.add_argument("--hw-points", type=int, default=32,
+                        help="input points for the hw-tier row (enough "
+                             "lanes to engage vectorized batch columns)")
+    parser.add_argument("--require-hw-speedup", type=float, default=None,
+                        metavar="FACTOR",
+                        help="fail unless the kernel-bound hw-tier "
+                             "speedup reaches this factor")
     parser.add_argument("--baseline-rev", default="7ba76a9",
                         help="git revision of the live baseline "
                              "(default: the PR-4 commit)")
@@ -547,6 +646,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
           f"{b['unbatched_us_per_op']}us/op unbatched "
           f"({b['batched_speedup']}x)")
 
+    # The hw-tier row times a ~tens-of-ms workload, so best-of needs
+    # more rounds than the big suites to converge; five rounds still
+    # cost well under a second.
+    report["hw_tier"] = bench_hw_tier(
+        args.hw_points, args.seed, max(args.repeat, 5)
+    )
+    h = report["hw_tier"]
+    print(f"hw tier: kernel-bound {h['hw_on_us_per_op']}us/op vs "
+          f"{h['hw_off_us_per_op']}us/op without the hardware tier "
+          f"({h['hw_speedup']}x); promotion rate "
+          f"{h['hw_promotion_rate']}, escalation rate "
+          f"{h['escalation_rate']}, parity={h['parity_identical']}")
+
     report["parity"] = bench_parity(
         everything, args.parity_points, args.seed
     )
@@ -611,6 +723,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         failures.append(
             f"median speedup {report['speedup']}x below required "
             f"{args.require_speedup}x"
+        )
+    if not report["hw_tier"]["parity_identical"]:
+        failures.append(
+            "hw_tier: analysis signatures diverge between hw on and off"
+        )
+    if args.require_hw_speedup is not None and (
+        report["hw_tier"]["hw_speedup"] < args.require_hw_speedup
+    ):
+        failures.append(
+            f"hw-tier speedup {report['hw_tier']['hw_speedup']}x below "
+            f"required {args.require_hw_speedup}x"
         )
     report["failures"] = failures
 

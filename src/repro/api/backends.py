@@ -169,10 +169,15 @@ class HerbgrindBackend(AnalysisBackend):
                 )
             )
         extra = {"runs": analysis.runs}
+        # Process-local (stripped by to_dict, like "degradation"): which
+        # precision tier shadow ops ran at and why escalations fired —
+        # surfaced by --profile and aggregated into /v1/stats.
+        extra["tier_residency"] = analysis.tier_residency()
         if request.profile:
             profile = analysis.stage_counters.to_dict()
             profile["kernel_cache_hits"] = analysis.kernel_cache_hits
             profile["kernel_cache_misses"] = analysis.kernel_cache_misses
+            profile["tier_residency"] = analysis.tier_residency()
             extra["pipeline_profile"] = profile
         static = _static_report(program, request, analysis)
         if static is not None:

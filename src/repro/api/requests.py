@@ -32,14 +32,18 @@ def coerce_core(core: CoreLike) -> FPCore:
 def config_to_dict(config: AnalysisConfig) -> Dict[str, Any]:
     """A plain-dict form of an :class:`AnalysisConfig`.
 
-    Resource-guard fields are emitted only when set: default requests
-    keep their historical digests (the same rule ``profile`` follows on
-    the request itself).
+    Resource-guard fields — and the tri-state ``hw_tier`` override —
+    are emitted only when set: default requests keep their historical
+    digests (the same rule ``profile`` follows on the request itself).
+    An unset ``hw_tier`` *must* stay out of the digest for a second
+    reason: the hardware tier is result-invisible, so the ambient
+    ``REPRO_HWTIER`` default may differ between client and worker
+    without splitting the cache.
     """
     data = dataclasses.asdict(config)
-    for guard_field in ("deadline_seconds", "op_budget"):
-        if data.get(guard_field) is None:
-            data.pop(guard_field, None)
+    for optional_field in ("deadline_seconds", "op_budget", "hw_tier"):
+        if data.get(optional_field) is None:
+            data.pop(optional_field, None)
     return data
 
 

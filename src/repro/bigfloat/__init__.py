@@ -12,6 +12,9 @@ package provides that capability from scratch:
   built on integer fixed-point series with Ziv-style reduction retries.
 * :func:`apply` / :func:`apply_double` — name-based dispatch used by the
   shadow executor for the ⟦f⟧_R and ⟦f⟧_F semantics of Figure 4.
+* :mod:`repro.bigfloat.doubledouble` — the compensated two-double
+  hardware tier (:class:`DoubleDouble`) the adaptive policy runs below
+  the working tier, with escalation-certified error bounds.
 """
 
 from repro.bigfloat.bigfloat import BigFloat, HALF, ONE, TWO
@@ -39,6 +42,7 @@ from repro.bigfloat.rounding import (
     ROUND_UP,
 )
 from repro.bigfloat import arith, constants, transcendental
+from repro.bigfloat.doubledouble import DD_KERNELS, DoubleDouble
 from repro.bigfloat.backend import (
     ALL_SUBSTRATES,
     KERNEL_CACHE_OPERATIONS,
@@ -69,6 +73,8 @@ __all__ = [
     "AdaptivePrecisionPolicy",
     "BigFloat",
     "Context",
+    "DD_KERNELS",
+    "DoubleDouble",
     "EXACT",
     "FixedPrecisionPolicy",
     "PrecisionPolicy",

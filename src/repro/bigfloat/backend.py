@@ -30,6 +30,12 @@ metric can observe.
 Operations whose python kernels are already exact integer algorithms
 (sqrt, fmod, remainder, the integer roundings, fmin/fmax/fdim/copysign)
 are served by the python implementations under every substrate.
+
+The hardware double-double tier (:mod:`repro.bigfloat.doubledouble`)
+sits *below* every substrate: its kernels are plain IEEE-754 hardware
+operations and never route through a :class:`KernelBackend`, so the
+substrate choice is irrelevant while a shadow stays on the hardware
+tier and takes effect only after promotion to BigFloat.
 """
 
 from __future__ import annotations

@@ -238,16 +238,24 @@ class BigFloat:
         return comparison is None or comparison != 0
 
     def __lt__(self, other: "BigFloat") -> bool:
+        if not isinstance(other, BigFloat):
+            return NotImplemented
         return self._compare(other) == -1
 
     def __le__(self, other: "BigFloat") -> bool:
+        if not isinstance(other, BigFloat):
+            return NotImplemented
         comparison = self._compare(other)
         return comparison is not None and comparison <= 0
 
     def __gt__(self, other: "BigFloat") -> bool:
+        if not isinstance(other, BigFloat):
+            return NotImplemented
         return self._compare(other) == 1
 
     def __ge__(self, other: "BigFloat") -> bool:
+        if not isinstance(other, BigFloat):
+            return NotImplemented
         comparison = self._compare(other)
         return comparison is not None and comparison >= 0
 

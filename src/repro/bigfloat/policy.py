@@ -57,6 +57,12 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence
 from repro.bigfloat import arith
 from repro.bigfloat.bigfloat import BigFloat, K_FINITE as _K_FINITE
 from repro.bigfloat.context import Context
+from repro.bigfloat.doubledouble import (
+    DD_REL_ERR_LOG2,
+    DoubleDouble,
+    dd_sub,
+    fits_precision,
+)
 from repro.bigfloat.rounding import ROUND_NEAREST_EVEN
 
 #: Drift of a value that is exactly representable at the working tier
@@ -220,6 +226,13 @@ class AdaptivePrecisionPolicy(PrecisionPolicy):
         self._ulps_limit = math.ldexp(
             1.0, self.working_context.precision - 4
         )
+        #: Per-operation drift charge of the hardware (double-double)
+        #: tier, in working-tier ulps: every kernel's relative error is
+        #: at most 2**DD_REL_ERR_LOG2, and one working ulp is 2**(1-p)
+        #: relative, so the conversion is a pure exponent shift.
+        self._hw_op_ulps = math.ldexp(
+            1.0, self.working_context.precision + DD_REL_ERR_LOG2
+        )
         super().__init__(full_precision, rounding)
 
     def _base_context(self) -> Context:
@@ -283,6 +296,12 @@ class AdaptivePrecisionPolicy(PrecisionPolicy):
 
     def propagate(self, op: str, args: Sequence[BigFloat],
                   drifts: Sequence[float], result: BigFloat) -> float:
+        if type(result) is DoubleDouble:
+            # Hardware-tier results normally arrive via propagate_hw
+            # (the kernel knows whether it was error-free); reaching
+            # this generic entry point means the caller lost that flag,
+            # so charge the op as rounded.
+            return self.propagate_hw(op, args, drifts, result, False)
         if (op == "+" or op == "-" or op == "*" or op == "/") \
                 and result.kind == _K_FINITE and result.man != 0:
             # Inlined fast path for the four binary arithmetic ops —
@@ -410,11 +429,192 @@ class AdaptivePrecisionPolicy(PrecisionPolicy):
         return a.man.bit_length() + b.man.bit_length() <= precision
 
     # ------------------------------------------------------------------
+    # Hardware (double-double) tier
+    # ------------------------------------------------------------------
+
+    def propagate_hw(self, op: str, args: Sequence[DoubleDouble],
+                     drifts: Sequence[float], result: DoubleDouble,
+                     exact_op: bool) -> float:
+        """Drift bound for a hardware-tier result.
+
+        ``exact_op`` is the kernel's proven error-free flag; when set,
+        the operation itself contributes nothing and only the amplified
+        argument drifts remain.  Drift stays in working-tier ulps so
+        hardware and working values share one band algebra.
+        """
+        if op == "neg" or op == "fabs":
+            return drifts[0]
+        if op not in ("+", "-", "*", "/", "sqrt", "fma"):
+            # No proven bound for anything else at this tier.
+            return UNTRUSTED
+        if result.hi == 0.0:
+            if exact_op and all(d == EXACT for d in drifts):
+                return EXACT
+            if op == "*" and any(
+                a.is_zero() and d == EXACT for a, d in zip(args, drifts)
+            ):
+                return EXACT  # an exact zero factor forces a true zero
+            if op == "/" and args[0].is_zero() and drifts[0] == EXACT:
+                return EXACT
+            return UNTRUSTED
+        all_exact = True
+        for d in drifts:
+            if d != EXACT:
+                all_exact = False
+                break
+        if all_exact:
+            if exact_op:
+                if fits_precision(result.hi, result.lo,
+                                  self.full_context.precision):
+                    return EXACT
+                # Exactly computed, but wider than the full tier: the
+                # oracle would round where we did not.  The gap is at
+                # most half a full-tier ulp — under half a working ulp.
+                return 1.0
+            if op != "fma":
+                # Fresh rounding only; the per-op charge is far below
+                # the trust limit by construction.
+                return self._hw_op_ulps
+        limit = self._ulps_limit
+        total = EXACT if exact_op else self._hw_op_ulps
+        if op == "*" or op == "/" or op == "sqrt":
+            # Relative amplification is a fixed factor of two; no
+            # magnitudes needed (exact doubling, overflow saturates).
+            for arg, drift in zip(args, drifts):
+                if drift == EXACT:
+                    continue
+                if drift >= limit or arg.is_zero():
+                    return UNTRUSTED
+                total += drift + drift
+            return total if total < limit else UNTRUSTED
+        out_msb = result.msb_exponent
+        if op == "fma":
+            if args[0].is_zero() or args[1].is_zero():
+                product_msb = None
+            else:
+                product_msb = (args[0].msb_exponent
+                               + args[1].msb_exponent)
+            if not exact_op and product_msb is not None:
+                # The product stage's rounding is committed before the
+                # addition and amplified by any cancellation in it.
+                try:
+                    total += math.ldexp(
+                        self._hw_op_ulps,
+                        max(0, product_msb - out_msb + 1),
+                    )
+                except OverflowError:
+                    return UNTRUSTED
+        for index, (arg, drift) in enumerate(zip(args, drifts)):
+            if drift == EXACT:
+                continue
+            if drift >= self._ulps_limit:
+                return UNTRUSTED
+            if arg.is_zero():
+                return UNTRUSTED
+            if op == "+" or op == "-":
+                amp = arg.msb_exponent - out_msb
+            elif op == "fma":
+                if index < 2:
+                    if product_msb is None:
+                        return UNTRUSTED
+                    amp = product_msb - out_msb + 1
+                else:
+                    amp = arg.msb_exponent - out_msb
+            else:
+                amp = 1
+            try:
+                total += math.ldexp(drift, amp)
+            except OverflowError:
+                return UNTRUSTED
+        if total >= self._ulps_limit:
+            return UNTRUSTED
+        return total
+
+    def _hw_rounding_unsafe(self, value: DoubleDouble, drift: float,
+                            mant_bits: int, emin: int) -> bool:
+        if drift == EXACT:
+            return False
+        if drift >= self._ulps_limit:
+            return True
+        if value.hi == 0.0:
+            return True  # a drifted zero is never certifiable
+        if mant_bits != 53 or emin != -1022:
+            # Narrower targets put the ties on a lattice the hardware
+            # pair does not expose cheaply; decide exactly instead.
+            return self.rounding_unsafe(value.to_bigfloat(), drift,
+                                        mant_bits, emin)
+        mantissa, exponent = math.frexp(value.hi)
+        if exponent - 1 < emin:
+            return True  # subnormal target lattice: always confirm
+        # hi sits on the binary64 lattice, so the nearest round-to-
+        # double ties sit half an ulp above and below it (a quarter ulp
+        # below at a binade edge), and lo is the value's exact offset.
+        half_ulp = math.ldexp(1.0, exponent - 54)
+        if value.hi < 0.0:
+            offset = -value.lo
+        else:
+            offset = value.lo
+        up_gap = half_ulp - offset
+        down_gap = offset + (
+            math.ldexp(1.0, exponent - 55) if abs(mantissa) == 0.5
+            else half_ulp
+        )
+        distance = up_gap if up_gap < down_gap else down_gap
+        if distance <= 0.0:
+            return True
+        # value.msb_exponent, reusing the frexp above: hi overshoots
+        # the value's binade only when it rounded up to a power of two.
+        msb = exponent - 1
+        if value.lo != 0.0 and abs(mantissa) == 0.5 and \
+                (value.hi > 0.0) == (value.lo < 0.0):
+            msb = exponent - 2
+        band = (msb - self.working_context.precision + 1
+                + math.frexp(drift)[1] + self.guard_bits)
+        try:
+            # One extra doubling absorbs the float rounding in the gap
+            # arithmetic above.
+            return math.ldexp(1.0, band + 1) >= distance
+        except OverflowError:
+            return True
+
+    def _hw_comparison_unsafe(self, a, drift_a: float,
+                              b, drift_b: float) -> bool:
+        if drift_a >= self._ulps_limit or drift_b >= self._ulps_limit:
+            return True
+        precision = self.working_context.precision
+        slack = None
+        for value, drift in ((a, drift_a), (b, drift_b)):
+            if drift == EXACT:
+                continue
+            if value.is_zero():
+                return True
+            band = value.msb_exponent - precision + 1 + math.frexp(drift)[1]
+            if slack is None or band > slack:
+                slack = band
+        if type(a) is DoubleDouble and type(b) is DoubleDouble:
+            diff = dd_sub(a.hi, a.lo, b.hi, b.lo)
+            if diff is None or diff[0] == 0.0:
+                return True
+            diff_msb = DoubleDouble(diff[0], diff[1]).msb_exponent
+        else:
+            big_a = a.to_bigfloat() if type(a) is DoubleDouble else a
+            big_b = b.to_bigfloat() if type(b) is DoubleDouble else b
+            if not big_a.is_finite() or not big_b.is_finite():
+                return True
+            difference = arith.sub(big_a, big_b, self.working_context)
+            if difference.is_zero():
+                return True
+            diff_msb = difference.msb_exponent
+        return diff_msb <= slack + self.guard_bits
+
+    # ------------------------------------------------------------------
     # Escalation checks
     # ------------------------------------------------------------------
 
     def rounding_unsafe(self, value: BigFloat, drift: float,
                         mant_bits: int = 53, emin: int = -1022) -> bool:
+        if type(value) is DoubleDouble:
+            return self._hw_rounding_unsafe(value, drift, mant_bits, emin)
         if drift == EXACT:
             return False
         if drift >= self._ulps_limit:
@@ -452,6 +652,8 @@ class AdaptivePrecisionPolicy(PrecisionPolicy):
                           b: BigFloat, drift_b: float) -> bool:
         if drift_a == EXACT and drift_b == EXACT:
             return False
+        if type(a) is DoubleDouble or type(b) is DoubleDouble:
+            return self._hw_comparison_unsafe(a, drift_a, b, drift_b)
         if drift_a >= self._ulps_limit or drift_b >= self._ulps_limit:
             return True
         if not a.is_finite() or not b.is_finite():
@@ -503,6 +705,11 @@ class AdaptivePrecisionPolicy(PrecisionPolicy):
     def integer_unsafe(self, value: BigFloat, drift: float) -> bool:
         if drift == EXACT:
             return False
+        if type(value) is DoubleDouble:
+            # Integer-boundary checks are rare; decide on the exact
+            # BigFloat promotion rather than duplicating the lattice
+            # walk on component pairs.
+            return self.integer_unsafe(value.to_bigfloat(), drift)
         if drift >= self._ulps_limit:
             return True
         if not value.is_finite() or value.is_zero():

@@ -46,6 +46,14 @@ def _read_source(argument: str) -> str:
     return argument
 
 
+def _hw_tier_override(args: argparse.Namespace):
+    """``--hw-tier on/off`` as the config's tri-state override."""
+    choice = getattr(args, "hw_tier", None)
+    if choice is None:
+        return None
+    return choice == "on"
+
+
 def _session(args: argparse.Namespace, **config_fields) -> AnalysisSession:
     config = AnalysisConfig(
         shadow_precision=args.precision,
@@ -55,6 +63,7 @@ def _session(args: argparse.Namespace, **config_fields) -> AnalysisSession:
         substrate=getattr(args, "substrate", "python"),
         deadline_seconds=getattr(args, "deadline", None),
         op_budget=getattr(args, "op_budget", None),
+        hw_tier=_hw_tier_override(args),
         **config_fields,
     )
     return AnalysisSession(
@@ -265,6 +274,11 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--working-precision", type=int, default=144,
                          help="working-tier bits for --precision-policy "
                               "adaptive")
+    analyze.add_argument("--hw-tier", choices=("on", "off"), default=None,
+                         help="hardware double-double shadow tier below "
+                              "the working tier (adaptive policy only; "
+                              "default: on, or the REPRO_HWTIER env; "
+                              "reports are identical either way)")
     analyze.add_argument("--cache-dir", metavar="DIR",
                          help="persist analysis results as JSON under DIR "
                               "and reuse them across runs")
@@ -327,6 +341,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="shadow precision tiering")
     corpus.add_argument("--working-precision", type=int, default=144,
                         help="working-tier bits for adaptive tiering")
+    corpus.add_argument("--hw-tier", choices=("on", "off"), default=None,
+                        help="hardware double-double shadow tier "
+                             "(adaptive policy only; reports are "
+                             "identical either way)")
     corpus.add_argument("--cache-dir", metavar="DIR",
                         help="persist analysis results as JSON under DIR "
                              "and reuse them across runs")

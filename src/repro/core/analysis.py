@@ -35,13 +35,23 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.bigfloat import BigFloat, make_policy
 from repro.bigfloat import arith
 from repro.bigfloat.backend import KERNEL_CACHE_OPERATIONS, get_backend
+from repro.bigfloat.doubledouble import (
+    DD_KERNELS,
+    DoubleDouble,
+    dd_abs,
+    dd_fma,
+    dd_neg,
+    dd_sqrt,
+)
 from repro.bigfloat.functions import DOUBLE_HANDLERS
 from repro.bigfloat.policy import EXACT
-from repro.core.config import ENGINE_COMPILED, AnalysisConfig
+from repro.bigfloat.rounding import ROUND_NEAREST_EVEN
+from repro.core.config import ENGINE_COMPILED, AnalysisConfig, resolve_hw_tier
 from repro.core.localerror import rounded_local_error, rounded_total_error
 from repro.ieee.error import bits_of_error_fast
 from repro.ieee.float32 import to_single
 from repro.ieee.float64 import double_to_bits as _double_bits
+from repro.machine import lanes
 from repro.core.records import (
     OpRecord,
     SpotRecord,
@@ -75,6 +85,16 @@ def _batched_default() -> bool:
 #: would dominate the per-op floor, so the guard samples the clock
 #: every 256 ticks (a power of two — the check is one AND).
 _DEADLINE_CHECK_MASK = 255
+
+
+#: Double-double kernels by operation (the generic analysis path);
+#: the fused/batched closures resolve from the same tables per site.
+_DD_UNARY = {"sqrt": dd_sqrt, "neg": dd_neg, "fabs": dd_abs}
+_DD_GENERIC = dict(DD_KERNELS)
+_DD_GENERIC.update(_DD_UNARY)
+_DD_GENERIC["fma"] = dd_fma
+_DD_ARITY = {"+": 2, "-": 2, "*": 2, "/": 2,
+             "sqrt": 1, "neg": 1, "fabs": 1, "fma": 3}
 
 
 class ResourceGuard:
@@ -207,7 +227,8 @@ class PipelineStageCounters:
     __slots__ = ("fused_ops", "generic_ops", "kernel_evals",
                  "trace_interned", "error_fast", "error_exact",
                  "antiunify_fast", "antiunify_merge",
-                 "characteristic_updates", "compensation_checks")
+                 "characteristic_updates", "compensation_checks",
+                 "hw_tier_ops", "working_tier_ops")
 
     def __init__(self) -> None:
         self.reset()
@@ -223,6 +244,11 @@ class PipelineStageCounters:
         self.antiunify_merge = 0
         self.characteristic_updates = 0
         self.compensation_checks = 0
+        #: Tier residency (hardware tier on only): operations whose
+        #: shadow was served by the double-double kernels vs. by the
+        #: BigFloat working tier.
+        self.hw_tier_ops = 0
+        self.working_tier_ops = 0
 
     def to_dict(self) -> Dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -261,6 +287,27 @@ class HerbgrindAnalysis(Tracer):
             # Chaos seam: an adaptive-tier failure at analysis setup.
             # The ladder's fixed-policy rung never reaches this.
             _faults.trip("policy.adaptive.raise", EngineFault)
+        #: Hardware (double-double) shadow tier enabled: adaptive policy
+        #: only, round-to-nearest only (the pair kernels' IEEE tie and
+        #: signed-zero behaviour assumes it), and not switched off by
+        #: config/``REPRO_HWTIER``.  Reports are byte-identical either
+        #: way — the tier only changes which rung certifies a decision.
+        self._hw = bool(
+            self._escalates
+            and resolve_hw_tier(self.config)
+            and self.context.rounding == ROUND_NEAREST_EVEN
+        )
+        self._working_precision = self.context.precision
+        if self._hw and _faults.active():
+            # Chaos seam: a hardware-tier failure at analysis setup.
+            # The ladder's hw-off (working tier) rung never reaches it.
+            _faults.trip("policy.hwtier.raise", EngineFault)
+        #: Always-on tier-residency counters (serving stats surface
+        #: them): operations served by the double-double kernels, and
+        #: operations that had to promote their pair arguments to the
+        #: BigFloat working tier (kernel bail-out or uncovered op).
+        self.hw_kernel_ops = 0
+        self.hw_promotions = 0
         #: Per-analysis resource budgets, or None (the common case —
         #: the per-op tick must cost nothing when no budget is set).
         self._guard: Optional[ResourceGuard] = (
@@ -373,6 +420,62 @@ class HerbgrindAnalysis(Tracer):
     # Shadow access (lazy creation, paper Section 6)
     # ------------------------------------------------------------------
 
+    def _leaf_real(self, value: float):
+        """The shadow real of a fresh leaf: a hardware pair under the
+        hardware tier (finite values only — NaN/inf semantics stay with
+        BigFloat), the exact BigFloat otherwise."""
+        if self._hw and value - value == 0.0:
+            return DoubleDouble(value, 0.0)
+        return BigFloat.from_float(value)
+
+    def _promote_shadow(self, shadow: ShadowValue) -> None:
+        """Promote a hardware-pair shadow to the BigFloat working tier
+        in place (uncovered operation or kernel bail-out).  The pair
+        converts exactly; rounding it into the working precision — only
+        possible when the pair carries more than ``working_precision``
+        bits — charges one ulp of drift."""
+        real = shadow.real
+        if type(real) is not DoubleDouble:
+            return
+        exact = real.to_bigfloat()
+        rounded = exact.round_to(self._working_precision)
+        if not (rounded == exact):
+            shadow.drift = shadow.drift + 1.0
+        shadow.real = rounded
+
+    def _hw_apply(self, op: str, shadows) -> tuple:
+        """Try the double-double kernel for ``op`` over pair shadows.
+
+        Returns ``(result, exact_op)`` on success; on any bail-out —
+        uncovered operation, non-pair argument, or a kernel refusing
+        its preconditions — promotes every pair argument to the
+        working tier and returns ``(None, False)`` so the BigFloat
+        kernels take over with consistent argument types.
+        """
+        kernel = _DD_GENERIC.get(op)
+        if kernel is not None and len(shadows) == _DD_ARITY[op]:
+            parts = []
+            for s in shadows:
+                r = s.real
+                if type(r) is not DoubleDouble:
+                    parts = None
+                    break
+                parts.append(r.hi)
+                parts.append(r.lo)
+            if parts is not None:
+                dd = kernel(*parts)
+                if dd is not None:
+                    self.hw_kernel_ops += 1
+                    return DoubleDouble(dd[0], dd[1]), dd[2]
+        promoted = False
+        for s in shadows:
+            if type(s.real) is DoubleDouble:
+                self._promote_shadow(s)
+                promoted = True
+        if promoted:
+            self.hw_promotions += 1
+        return None, False
+
     def _shadow(self, box: FloatBox) -> ShadowValue:
         shadow = box.shadow
         if shadow is None:
@@ -382,7 +485,7 @@ class HerbgrindAnalysis(Tracer):
                 else trace_mod.opaque_leaf(box.value)
             )
             shadow = ShadowValue(
-                BigFloat.from_float(box.value), leaf, EMPTY_INFLUENCES
+                self._leaf_real(box.value), leaf, EMPTY_INFLUENCES
             )
             box.shadow = shadow
         return shadow
@@ -397,7 +500,7 @@ class HerbgrindAnalysis(Tracer):
             pool.opaque_ident(value) if pool is not None
             else trace_mod.opaque_leaf(value)
         )
-        return ShadowValue(BigFloat.from_float(value), leaf, EMPTY_INFLUENCES)
+        return ShadowValue(self._leaf_real(value), leaf, EMPTY_INFLUENCES)
 
     # ------------------------------------------------------------------
     # Tier-checked views of shadow reals
@@ -517,7 +620,7 @@ class HerbgrindAnalysis(Tracer):
         pool = self.pool
         if pool is None:
             box.shadow = ShadowValue(
-                BigFloat.from_float(box.value),
+                self._leaf_real(box.value),
                 trace_mod.const_leaf(box.value, getattr(instr, "loc", None)),
                 EMPTY_INFLUENCES,
             )
@@ -546,7 +649,7 @@ class HerbgrindAnalysis(Tracer):
             shadow.total_error = old.total_error
         else:
             shadow = ShadowValue(
-                BigFloat.from_float(box.value), leaf, EMPTY_INFLUENCES
+                self._leaf_real(box.value), leaf, EMPTY_INFLUENCES
             )
         self._leaf_shadows[id(instr)] = (epoch, bits, shadow)
         box.shadow = shadow
@@ -562,7 +665,7 @@ class HerbgrindAnalysis(Tracer):
         else:
             leaf = trace_mod.input_leaf(box.value, index, instr.loc)
         box.shadow = ShadowValue(
-            BigFloat.from_float(box.value), leaf, EMPTY_INFLUENCES
+            self._leaf_real(box.value), leaf, EMPTY_INFLUENCES
         )
 
     def on_int_to_float(self, instr: isa.IntToFloat, value: int, box: FloatBox) -> None:
@@ -585,6 +688,11 @@ class HerbgrindAnalysis(Tracer):
                 drift = 1.0
             if not (exact == BigFloat.from_float(box.value)):
                 self.escalator.register_leaf(leaf, exact)
+            elif self._hw and box.value - box.value == 0.0:
+                # The double carries the integer exactly, so the
+                # hardware pair is the exact value (no leaf override).
+                real = DoubleDouble(box.value, 0.0)
+                drift = EXACT
         box.shadow = ShadowValue(real, leaf, EMPTY_INFLUENCES, drift)
 
     def on_op(
@@ -617,7 +725,7 @@ class HerbgrindAnalysis(Tracer):
             else trace_mod.opaque_leaf(result.value, instr.loc)
         )
         result.shadow = ShadowValue(
-            BigFloat.from_float(result.value), leaf, shadow.influences,
+            self._leaf_real(result.value), leaf, shadow.influences,
         )
 
     # ------------------------------------------------------------------
@@ -637,9 +745,18 @@ class HerbgrindAnalysis(Tracer):
         # `box.shadow or ...` inlines the warm case of _shadow: every
         # argument of every traced operation passes through here.
         shadows = [a.shadow or self._shadow(a) for a in args]
+        real_result = None
+        exact_op = False
+        if self._hw:
+            # Hardware-tier fast path; bail-outs promote the pair
+            # arguments in place, so the BigFloat code below always
+            # sees uniform argument types.
+            real_result, exact_op = self._hw_apply(op, shadows)
         real_args = [s.real for s in shadows]
         cache = self._kernel_cache
-        if cache is not None and op in KERNEL_CACHE_OPERATIONS:
+        if real_result is not None:
+            pass
+        elif cache is not None and op in KERNEL_CACHE_OPERATIONS:
             # Transcendental kernels are memoized per (op, operand
             # idents): the pool interns traces, so identical idents
             # imply identical shadow reals, and a loop-invariant
@@ -668,7 +785,7 @@ class HerbgrindAnalysis(Tracer):
                     )
                 )
                 result.shadow = ShadowValue(
-                    BigFloat.from_float(result.value),
+                    self._leaf_real(result.value),
                     leaf,
                     frozenset().union(*[s.influences for s in shadows])
                     if shadows else EMPTY_INFLUENCES,
@@ -676,6 +793,11 @@ class HerbgrindAnalysis(Tracer):
                 return
         if profile:
             self.stage_counters.kernel_evals += 1
+            if self._hw:
+                if type(real_result) is DoubleDouble:
+                    self.stage_counters.hw_tier_ops += 1
+                else:
+                    self.stage_counters.working_tier_ops += 1
         record = self._op_record(instr, op)
         if pool is not None:
             node = pool.op_ident(
@@ -708,6 +830,11 @@ class HerbgrindAnalysis(Tracer):
             # every tier; without this the working tier must treat the
             # cancelled zero as untrusted.
             drift = EXACT
+        elif type(real_result) is DoubleDouble:
+            drift = self.policy.propagate_hw(
+                op, real_args, [s.drift for s in shadows], real_result,
+                exact_op,
+            )
         else:
             drift = self.policy.propagate(
                 op, real_args, [s.drift for s in shadows], real_result
@@ -855,6 +982,11 @@ class HerbgrindAnalysis(Tracer):
         threshold = config.local_error_threshold
         track = config.track_influences
         counters = self.stage_counters if self._profile else None
+        hw = self._hw
+        dd_kernel = DD_KERNELS.get(op) if hw else None
+        propagate_hw = policy.propagate_hw if hw else None
+        promote = self._promote_shadow
+        DD = DoubleDouble
         # ⟦f⟧_F on rounded shadow args equals the machine's own result
         # when the rounded args are bit-identical to the machine args —
         # valid only when the site isn't single-rounded and the machine
@@ -890,7 +1022,29 @@ class HerbgrindAnalysis(Tracer):
             ta = sa.trace
             tb = sb.trace
             # --- kernel stage -----------------------------------------
-            if cache is not None:
+            real = None
+            exact_op = False
+            if hw:
+                xa = sa.real
+                xb = sb.real
+                if type(xa) is DD and type(xb) is DD:
+                    if dd_kernel is not None:
+                        dd = dd_kernel(xa.hi, xa.lo, xb.hi, xb.lo)
+                        if dd is not None:
+                            real = DD(dd[0], dd[1])
+                            exact_op = dd[2]
+                            self.hw_kernel_ops += 1
+                    if real is None:
+                        promote(sa)
+                        promote(sb)
+                        self.hw_promotions += 1
+                elif type(xa) is DD or type(xb) is DD:
+                    promote(sa)
+                    promote(sb)
+                    self.hw_promotions += 1
+            if real is not None:
+                pass
+            elif cache is not None:
                 key = (op, ta, tb)
                 real = cache.get(key)
                 if real is None:
@@ -925,6 +1079,11 @@ class HerbgrindAnalysis(Tracer):
                 # x - x over the same shadowed value is exactly zero at
                 # every tier (see _analyse_operation).
                 drift = EXACT
+            elif type(real) is DD:
+                drift = propagate_hw(
+                    op, (sa.real, sb.real), (sa.drift, sb.drift), real,
+                    exact_op,
+                )
             else:
                 drift = policy.propagate(
                     op, [sa.real, sb.real], [sa.drift, sb.drift], real
@@ -1038,6 +1197,11 @@ class HerbgrindAnalysis(Tracer):
                 if compensating:
                     counters.compensation_checks += 1
                 counters.characteristic_updates += len(bindings)
+                if hw:
+                    if type(real) is DD:
+                        counters.hw_tier_ops += 1
+                    else:
+                        counters.working_tier_ops += 1
             shadow.influences = influences
             result.shadow = shadow
         return run
@@ -1059,6 +1223,11 @@ class HerbgrindAnalysis(Tracer):
         threshold = config.local_error_threshold
         track = config.track_influences
         counters = self.stage_counters if self._profile else None
+        hw = self._hw
+        dd_kernel = _DD_UNARY.get(op) if hw else None
+        propagate_hw = policy.propagate_hw if hw else None
+        promote = self._promote_shadow
+        DD = DoubleDouble
         shortcut = (
             not single
             and self.backend.double_handlers.get(op) is fn_double
@@ -1084,7 +1253,23 @@ class HerbgrindAnalysis(Tracer):
                 sa = shadow_of(a)
             ta = sa.trace
             # --- kernel stage -----------------------------------------
-            if cache is not None:
+            real = None
+            exact_op = False
+            if hw:
+                xa = sa.real
+                if type(xa) is DD:
+                    if dd_kernel is not None:
+                        dd = dd_kernel(xa.hi, xa.lo)
+                        if dd is not None:
+                            real = DD(dd[0], dd[1])
+                            exact_op = dd[2]
+                            self.hw_kernel_ops += 1
+                    if real is None:
+                        promote(sa)
+                        self.hw_promotions += 1
+            if real is not None:
+                pass
+            elif cache is not None:
                 key = (op, ta)
                 real = cache.get(key)
                 if real is None:
@@ -1115,6 +1300,10 @@ class HerbgrindAnalysis(Tracer):
                 node = new_op(node_key, op, (ta,), value, loc)
             if not escalates:
                 drift = EXACT
+            elif type(real) is DD:
+                drift = propagate_hw(
+                    op, (sa.real,), (sa.drift,), real, exact_op
+                )
             else:
                 drift = policy.propagate(
                     op, [sa.real], [sa.drift], real
@@ -1170,6 +1359,11 @@ class HerbgrindAnalysis(Tracer):
                 else:
                     counters.error_exact += 1
                 counters.characteristic_updates += len(bindings)
+                if hw:
+                    if type(real) is DD:
+                        counters.hw_tier_ops += 1
+                    else:
+                        counters.working_tier_ops += 1
             shadow.influences = influences
             result.shadow = shadow
         return run
@@ -1215,7 +1409,7 @@ class HerbgrindAnalysis(Tracer):
                 shadow.total_error = old.total_error
             else:
                 shadow = ShadowValue(
-                    BigFloat.from_float(value), leaf, empty
+                    self._leaf_real(value), leaf, empty
                 )
             cached_epoch = pool.epoch
             cached_bits = bits
@@ -1326,10 +1520,20 @@ class HerbgrindAnalysis(Tracer):
         threshold = config.local_error_threshold
         track = config.track_influences
         counters = self.stage_counters if self._profile else None
+        hw = self._hw
+        dd_kernel = DD_KERNELS.get(op) if hw else None
+        propagate_hw = policy.propagate_hw if hw else None
+        promote = self._promote_shadow
+        DD = DoubleDouble
         shortcut = (
             not single
             and self.backend.double_handlers.get(op) is fn_double
         )
+        vec_machine = (
+            not single and machine_fn is fn_double
+            and lanes.HAVE_NUMPY and op in lanes.MACHINE_BINARY_OPS
+        )
+        vec_dd = hw and lanes.HAVE_NUMPY and op in lanes.DD_BINARY_OPS
         ops_table = pool._ops_table
         new_op = pool.new_op
         raw = kernel2 is not None
@@ -1357,6 +1561,20 @@ class HerbgrindAnalysis(Tracer):
             n = len(avals)
             rvals = [0.0] * n
             rshads = [None] * n
+            # Vectorized pre-passes over the whole column (see
+            # repro.machine.lanes): per-lane consumption below is
+            # bit-identical either way, so these are pure speed.
+            mcol = (
+                lanes.machine_binary(op, avals, bvals, machine_fn)
+                if vec_machine else None
+            )
+            vec_ok = None
+            if vec_dd:
+                dd_cols = lanes.dd_binary_columns(
+                    op, avals, ashads, bvals, bshads
+                )
+                if dd_cols is not None:
+                    vec_hi, vec_lo, vec_exact, vec_ok = dd_cols
             for i in range(n):
                 av = avals[i]
                 bv = bvals[i]
@@ -1369,14 +1587,43 @@ class HerbgrindAnalysis(Tracer):
                 sb = bshads[i]
                 if sb is None:
                     sb = bshads[i] = opaque_of(bv)
-                value = machine_fn(av, bv)
-                if single:
-                    value = narrow(value)
+                if mcol is not None:
+                    value = mcol[i]
+                else:
+                    value = machine_fn(av, bv)
+                    if single:
+                        value = narrow(value)
                 rvals[i] = value
                 ta = sa.trace
                 tb = sb.trace
                 # --- kernel stage -------------------------------------
-                if cache is not None:
+                real = None
+                exact_op = False
+                if vec_ok is not None and vec_ok[i]:
+                    real = DD(vec_hi[i], vec_lo[i])
+                    exact_op = vec_exact[i]
+                    self.hw_kernel_ops += 1
+                elif hw:
+                    xa = sa.real
+                    xb = sb.real
+                    if type(xa) is DD and type(xb) is DD:
+                        if dd_kernel is not None:
+                            dd = dd_kernel(xa.hi, xa.lo, xb.hi, xb.lo)
+                            if dd is not None:
+                                real = DD(dd[0], dd[1])
+                                exact_op = dd[2]
+                                self.hw_kernel_ops += 1
+                        if real is None:
+                            promote(sa)
+                            promote(sb)
+                            self.hw_promotions += 1
+                    elif type(xa) is DD or type(xb) is DD:
+                        promote(sa)
+                        promote(sb)
+                        self.hw_promotions += 1
+                if real is not None:
+                    pass
+                elif cache is not None:
                     key = (op, ta, tb)
                     real = cache.get(key)
                     if real is None:
@@ -1401,6 +1648,11 @@ class HerbgrindAnalysis(Tracer):
                     drift = EXACT
                 elif is_sub and ta == tb:
                     drift = EXACT
+                elif type(real) is DD:
+                    drift = propagate_hw(
+                        op, (sa.real, sb.real), (sa.drift, sb.drift),
+                        real, exact_op,
+                    )
                 else:
                     drift = policy.propagate(
                         op, [sa.real, sb.real], [sa.drift, sb.drift], real
@@ -1509,6 +1761,11 @@ class HerbgrindAnalysis(Tracer):
                     if compensating:
                         counters.compensation_checks += 1
                     counters.characteristic_updates += len(bindings)
+                    if hw:
+                        if type(real) is DD:
+                            counters.hw_tier_ops += 1
+                        else:
+                            counters.working_tier_ops += 1
                 shadow.influences = influences
                 rshads[i] = shadow
             return rvals, rshads
@@ -1531,6 +1788,11 @@ class HerbgrindAnalysis(Tracer):
         threshold = config.local_error_threshold
         track = config.track_influences
         counters = self.stage_counters if self._profile else None
+        hw = self._hw
+        dd_kernel = _DD_UNARY.get(op) if hw else None
+        propagate_hw = policy.propagate_hw if hw else None
+        promote = self._promote_shadow
+        DD = DoubleDouble
         shortcut = (
             not single
             and self.backend.double_handlers.get(op) is fn_double
@@ -1550,6 +1812,12 @@ class HerbgrindAnalysis(Tracer):
         total_record = None
         prob_record = None
 
+        vec_machine = (
+            not single and machine_fn is fn_double
+            and lanes.HAVE_NUMPY and op in lanes.MACHINE_UNARY_OPS
+        )
+        vec_dd = hw and lanes.HAVE_NUMPY and op in lanes.DD_UNARY_OPS
+
         def run(avals, ashads):
             nonlocal record, fast_walk, bail_walk, total_record, prob_record
             if record is None:
@@ -1562,18 +1830,50 @@ class HerbgrindAnalysis(Tracer):
             n = len(avals)
             rvals = [0.0] * n
             rshads = [None] * n
+            mcol = (
+                lanes.machine_unary(op, avals, machine_fn)
+                if vec_machine else None
+            )
+            vec_ok = None
+            if vec_dd:
+                dd_cols = lanes.dd_unary_columns(op, avals, ashads)
+                if dd_cols is not None:
+                    vec_hi, vec_lo, vec_exact, vec_ok = dd_cols
             for i in range(n):
                 av = avals[i]
                 sa = ashads[i]
                 if sa is None:
                     sa = ashads[i] = opaque_of(av)
-                value = machine_fn(av)
-                if single:
-                    value = narrow(value)
+                if mcol is not None:
+                    value = mcol[i]
+                else:
+                    value = machine_fn(av)
+                    if single:
+                        value = narrow(value)
                 rvals[i] = value
                 ta = sa.trace
                 # --- kernel stage -------------------------------------
-                if cache is not None:
+                real = None
+                exact_op = False
+                if vec_ok is not None and vec_ok[i]:
+                    real = DD(vec_hi[i], vec_lo[i])
+                    exact_op = vec_exact[i]
+                    self.hw_kernel_ops += 1
+                elif hw:
+                    xa = sa.real
+                    if type(xa) is DD:
+                        if dd_kernel is not None:
+                            dd = dd_kernel(xa.hi, xa.lo)
+                            if dd is not None:
+                                real = DD(dd[0], dd[1])
+                                exact_op = dd[2]
+                                self.hw_kernel_ops += 1
+                        if real is None:
+                            promote(sa)
+                            self.hw_promotions += 1
+                if real is not None:
+                    pass
+                elif cache is not None:
                     key = (op, ta)
                     real = cache.get(key)
                     if real is None:
@@ -1596,6 +1896,10 @@ class HerbgrindAnalysis(Tracer):
                     node = new_op(node_key, op, (ta,), value, loc)
                 if not escalates:
                     drift = EXACT
+                elif type(real) is DD:
+                    drift = propagate_hw(
+                        op, (sa.real,), (sa.drift,), real, exact_op
+                    )
                 else:
                     drift = policy.propagate(
                         op, [sa.real], [sa.drift], real
@@ -1651,6 +1955,11 @@ class HerbgrindAnalysis(Tracer):
                     else:
                         counters.error_exact += 1
                     counters.characteristic_updates += len(bindings)
+                    if hw:
+                        if type(real) is DD:
+                            counters.hw_tier_ops += 1
+                        else:
+                            counters.working_tier_ops += 1
                 shadow.influences = influences
                 rshads[i] = shadow
             return rvals, rshads
@@ -1810,6 +2119,10 @@ class HerbgrindAnalysis(Tracer):
         if self.policy.integer_unsafe(real, shadow.drift):
             self.policy.note_escalation("integer")
             real = self.escalator.exact_real(shadow)
+        if type(real) is DoubleDouble:
+            # Certified safe above; truncation runs on the exact
+            # BigFloat promotion of the pair.
+            real = real.to_bigfloat()
         if real.is_nan():
             diverged = True
         elif real.is_inf():
@@ -1837,6 +2150,29 @@ class HerbgrindAnalysis(Tracer):
     # ------------------------------------------------------------------
     # Result queries
     # ------------------------------------------------------------------
+
+    def tier_residency(self) -> Dict[str, int]:
+        """Always-on tier residency and escalation accounting.
+
+        Unlike the profile-gated stage counters, these aggregate at
+        negligible cost, so serving stats and ``--profile`` output can
+        show where shadow work actually ran: ops served by the hardware
+        pair kernels, pair arguments promoted to the working tier, and
+        roundings certified by each escalation rung.
+        """
+        stats = self.policy.stats
+        return {
+            "hw_tier": int(self._hw),
+            "hw_kernel_ops": self.hw_kernel_ops,
+            "hw_promotions": self.hw_promotions,
+            "working_certified": self.escalator.working_certified,
+            "confirm_certified": self.escalator.confirm_certified,
+            "full_recomputed_nodes": self.escalator.recomputed_nodes,
+            "escalations": stats.get("escalations", 0),
+            "escalation_rounding": stats.get("rounding", 0),
+            "escalation_comparison": stats.get("comparison", 0),
+            "escalation_integer": stats.get("integer", 0),
+        }
 
     def candidate_records(self) -> List[OpRecord]:
         """Operation sites flagged as candidate root causes, worst first."""

@@ -110,6 +110,18 @@ class AnalysisConfig:
     #: Turning this off reduces Herbgrind to per-op error detection.
     track_influences: bool = True
 
+    #: Hardware shadow tier of the adaptive policy: run shadow
+    #: arithmetic as compensated double-double pairs
+    #: (:mod:`repro.bigfloat.doubledouble`) and escalate to the
+    #: BigFloat working tier on any decision the hardware pair cannot
+    #: certify.  ``None`` (the default) resolves from the
+    #: ``REPRO_HWTIER`` environment variable (on unless it is "0"); the
+    #: field is serialized only when explicitly set, so default request
+    #: digests are unchanged.  Ignored by the "fixed" policy and by
+    #: non-round-to-nearest roundings, and reports are byte-identical
+    #: either way (the hw-tier parity suite enforces it).
+    hw_tier: Optional[bool] = None
+
     #: Wall-clock budget of one analysis, in seconds; ``None`` (the
     #: default) is unlimited.  When set, a :class:`ResourceGuard`
     #: (:mod:`repro.core.analysis`) raises
@@ -176,3 +188,19 @@ class AnalysisConfig:
     def with_(self, **changes) -> "AnalysisConfig":
         """A copy with the given fields replaced."""
         return replace(self, **changes)
+
+
+def resolve_hw_tier(config: AnalysisConfig) -> bool:
+    """Effective hardware-tier switch for ``config``.
+
+    The tier only exists under the adaptive policy; an unset field
+    defers to the ``REPRO_HWTIER`` environment variable (the CI
+    kill-switch), defaulting to on.
+    """
+    import os
+
+    if config.precision_policy != "adaptive":
+        return False
+    if config.hw_tier is not None:
+        return bool(config.hw_tier)
+    return os.environ.get("REPRO_HWTIER", "1") != "0"

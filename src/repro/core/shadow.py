@@ -29,6 +29,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Optional, Tuple
 
 from repro.bigfloat import BigFloat, apply
+from repro.bigfloat.doubledouble import DoubleDouble
 from repro.bigfloat.policy import EXACT, UNTRUSTED, PrecisionPolicy
 from repro.core.records import OpRecord
 from repro.core.trace import KIND_OP, P_OP, TraceNode
@@ -113,6 +114,12 @@ class ShadowEscalator:
         self._confirm_policy: Optional[PrecisionPolicy] = None
         self._confirm_memo: Dict[int, "Tuple[BigFloat, float]"] = {}
         self.confirm_certified = 0
+        #: Hardware-tier rung: when the shadow real is a double-double
+        #: pair, an uncertifiable rounding first re-executes at the
+        #: plain working tier (the rung the hardware tier replaced)
+        #: before touching the confirm tier.
+        self._working_memo: Dict[int, "Tuple[BigFloat, float]"] = {}
+        self.working_certified = 0
         if policy.escalates:
             full = policy.full_context.precision
             working = policy.context.precision
@@ -138,6 +145,7 @@ class ShadowEscalator:
         workloads.)  Counters survive, they aggregate across runs."""
         self._memo.clear()
         self._confirm_memo.clear()
+        self._working_memo.clear()
         self._leaves.clear()
 
     def begin_batch(self, lanes: int) -> None:
@@ -155,7 +163,13 @@ class ShadowEscalator:
     def exact_real(self, shadow: ShadowValue) -> BigFloat:
         """The full-tier value of ``shadow`` (its real, if already exact)."""
         if not self.policy.escalates or shadow.drift == EXACT:
-            return shadow.real
+            real = shadow.real
+            if type(real) is DoubleDouble:
+                # An EXACT hardware pair is the true value and fits the
+                # full tier (propagate_hw requires it), so the exact
+                # promotion is bit-identical to full re-execution.
+                return real.to_bigfloat()
+            return real
         if self._pool is not None:
             return self.exact_ident(shadow.trace)
         return self.exact_node(shadow.trace)
@@ -163,17 +177,36 @@ class ShadowEscalator:
     def certified_rounded(self, shadow: ShadowValue,
                           mant_bits: int = 53,
                           emin: int = -1022) -> Optional[float]:
-        """The hardware rounding of the full-tier value, via the cheap
-        confirm tier when it can certify the decision (None when it
-        cannot; the caller then pays for :meth:`exact_real`)."""
-        confirm = self._confirm_policy
-        if confirm is None:
-            return None
-        if shadow.drift == UNTRUSTED:
+        """The hardware rounding of the full-tier value, via the
+        cheapest tier that can certify the decision (None when none
+        can; the caller then pays for :meth:`exact_real`).
+
+        Hardware-tier shadows climb one extra rung: first a working-tier
+        re-execution (whose band is a few dozen bits tighter than the
+        double-double bound), then the confirm tier, then the full tier.
+        """
+        if type(shadow.real) is DoubleDouble:
+            if self._pool is not None:
+                value, drift = self._working_ident(shadow.trace)
+            else:
+                value, drift = self._working_node(shadow.trace)
+            if not self.policy.rounding_unsafe(value, drift, mant_bits,
+                                               emin):
+                self.working_certified += 1
+                return (
+                    value.to_float() if mant_bits == 53
+                    else value.to_single()
+                )
+            if drift == UNTRUSTED:
+                return None
+        elif shadow.drift == UNTRUSTED:
             # Cancellation burned through the whole working tier: the
             # value is rounding noise at every intermediate tier too
             # (sin^2+cos^2-1 style), so attempting the confirm tier
             # would just triple-pay.  Go straight to the full tier.
+            return None
+        confirm = self._confirm_policy
+        if confirm is None:
             return None
         if self._pool is not None:
             value, drift = self._confirm_ident(shadow.trace)
@@ -186,13 +219,28 @@ class ShadowEscalator:
             value.to_float() if mant_bits == 53 else value.to_single()
         )
 
+    def _working_node(self, node: TraceNode) -> "Tuple[BigFloat, float]":
+        return self._tier_node(node, self.policy, self._working_memo)
+
+    def _working_ident(self, ident: int) -> "Tuple[BigFloat, float]":
+        return self._tier_ident(ident, self.policy, self._working_memo)
+
     def _confirm_node(self, node: TraceNode) -> "Tuple[BigFloat, float]":
-        """(value, drift) of ``node`` re-executed at the confirm tier."""
-        memo = self._confirm_memo
+        return self._tier_node(node, self._confirm_policy,
+                               self._confirm_memo)
+
+    def _confirm_ident(self, ident: int) -> "Tuple[BigFloat, float]":
+        return self._tier_ident(ident, self._confirm_policy,
+                                self._confirm_memo)
+
+    def _tier_node(self, node: TraceNode, confirm: PrecisionPolicy,
+                   memo: Dict[int, "Tuple[BigFloat, float]"],
+                   ) -> "Tuple[BigFloat, float]":
+        """(value, drift) of ``node`` re-executed at ``confirm``'s base
+        tier with BigFloat values and that policy's drift bookkeeping."""
         cached = memo.get(node.ident)
         if cached is not None:
             return cached
-        confirm = self._confirm_policy
         context = confirm.context
         precision = context.precision
         stack = [node]
@@ -233,10 +281,11 @@ class ShadowEscalator:
             stack.pop()
         return memo[node.ident]
 
-    def _confirm_ident(self, ident: int) -> "Tuple[BigFloat, float]":
-        """(value, drift) of a pool ident re-executed at the confirm
-        tier — the flat-array mirror of :meth:`_confirm_node`."""
-        memo = self._confirm_memo
+    def _tier_ident(self, ident: int, confirm: PrecisionPolicy,
+                    memo: Dict[int, "Tuple[BigFloat, float]"],
+                    ) -> "Tuple[BigFloat, float]":
+        """(value, drift) of a pool ident re-executed at ``confirm``'s
+        base tier — the flat-array mirror of :meth:`_tier_node`."""
         cached = memo.get(ident)
         if cached is not None:
             return cached
@@ -246,7 +295,6 @@ class ShadowEscalator:
         argsA = pool.args
         valsA = pool.values
         leaves = self._leaves
-        confirm = self._confirm_policy
         context = confirm.context
         precision = context.precision
         stack = [ident]

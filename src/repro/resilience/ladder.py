@@ -10,6 +10,7 @@ invariant into availability.  On a classified failure
 analysis down the stack, one rung at a time, cumulatively::
 
     initial        the request as given
+    working-tier   hardware double-double shadow tier off
     sequential     batched lockstep off (compiled engine kept)
     reference      compiled engine -> reference interpreter
     python-substrate   native kernels -> the pure-python reference
@@ -37,7 +38,11 @@ import logging
 import os
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.core.config import ENGINE_COMPILED, ENGINE_REFERENCE
+from repro.core.config import (
+    ENGINE_COMPILED,
+    ENGINE_REFERENCE,
+    resolve_hw_tier,
+)
 from repro.machine.interpreter import MachineError
 from repro.resilience.errors import DegradableError
 
@@ -48,12 +53,14 @@ ENV_VAR = "REPRO_DEGRADE"
 
 #: Rung names, in ladder order.
 RUNG_INITIAL = "initial"
+RUNG_WORKING_TIER = "working-tier"
 RUNG_SEQUENTIAL = "sequential"
 RUNG_REFERENCE = "reference-engine"
 RUNG_PYTHON_SUBSTRATE = "python-substrate"
 RUNG_FIXED_POLICY = "fixed-policy"
 
 LADDER_ORDER = (
+    RUNG_WORKING_TIER,
     RUNG_SEQUENTIAL,
     RUNG_REFERENCE,
     RUNG_PYTHON_SUBSTRATE,
@@ -109,10 +116,18 @@ class DegradationLadder:
         rungs: List[Tuple[str, Any]] = []
         config = request.config
         changes: Dict[str, Any] = {}
+        base = request
+        if resolve_hw_tier(config):
+            # The hardware shadow tier sits below the working tier; a
+            # fault there degrades to BigFloat working-tier shadows
+            # first, keeping every layer above intact.
+            changes["hw_tier"] = False
+            base = self._working_tier_request(request)
+            rungs.append((RUNG_WORKING_TIER, base))
         if config.engine == ENGINE_COMPILED:
             if _batched_possible(request):
                 rungs.append((RUNG_SEQUENTIAL,
-                              self._sequential_request(request)))
+                              self._sequential_request(base)))
             changes["engine"] = ENGINE_REFERENCE
             rungs.append((RUNG_REFERENCE,
                           self._derived(request, dict(changes))))
@@ -135,6 +150,18 @@ class DegradationLadder:
         # was built for; a degraded rung re-derives its default stack.
         derived.features = None
         return derived
+
+    @staticmethod
+    def _working_tier_request(request):
+        """The same request with only the hardware tier turned off.
+
+        Unlike :meth:`_derived` this keeps an explicit feature override:
+        the hardware tier is pure shadow policy, orthogonal to the
+        engine feature stack.
+        """
+        return dataclasses.replace(
+            request, config=request.config.with_(hw_tier=False)
+        )
 
     @staticmethod
     def _sequential_request(request):

@@ -76,10 +76,11 @@ def _analysis_worker_main(conn) -> None:
     becomes an ``("error", type, message)`` reply; only process death
     is a crash.
 
-    A result the degradation ladder rescued gains a third reply
-    element with the JSON degradation record — the body bytes stay
-    identical to the clean run (``to_json()`` strips the record), and
-    the service feeds the sidecar into ``/v1/stats``.
+    A result with process-local metadata — a degradation record the
+    ladder produced, or precision-tier residency counters — gains a
+    third reply element with a JSON sidecar object holding them.  The
+    body bytes stay identical to the clean run (``to_json()`` strips
+    both), and the service feeds the sidecar into ``/v1/stats``.
 
     The ``worker.exit`` fault seam (:mod:`repro.resilience.faults`,
     inherited through the fork via ``REPRO_FAULTS``) kills the process
@@ -106,11 +107,17 @@ def _analysis_worker_main(conn) -> None:
             try:
                 request = AnalysisRequest.from_dict(data)
                 result = _execute(request)
+                sidecar = {}
                 degradation = result.extra.get("degradation")
                 if degradation is not None:
+                    sidecar["degradation"] = degradation
+                residency = result.extra.get("tier_residency")
+                if residency is not None:
+                    sidecar["tier_residency"] = residency
+                if sidecar:
                     replies.append((
                         "ok", result.to_json(),
-                        _json.dumps(degradation, sort_keys=True),
+                        _json.dumps(sidecar, sort_keys=True),
                     ))
                 else:
                     replies.append(("ok", result.to_json()))

@@ -166,6 +166,10 @@ class AnalysisService:
         self._quarantined: Dict[str, str] = {}
         self._degraded_rungs: "collections.Counter[str]" = \
             collections.Counter()
+        #: Aggregated precision-tier residency across computed results
+        #: (hardware / working / full tier ops, escalation causes).
+        self._tier_residency: "collections.Counter[str]" = \
+            collections.Counter()
         self._draining = False
         self._started = time.monotonic()
 
@@ -365,9 +369,10 @@ class AnalysisService:
             self.counters.computed += 1
             self._infra_failures.pop(digest, None)
             if len(reply) > 2:
-                # Degradation sidecar from the worker: the body is
-                # byte-identical to a clean run; only the stats move.
-                self._note_degraded(digest, reply[2])
+                # Metadata sidecar from the worker (degradation trail,
+                # tier residency): the body is byte-identical to a
+                # clean run; only the stats move.
+                self._note_sidecar(digest, reply[2])
             self._memory_put(digest, text)
             if self.store is not None:
                 self.store.put_text(digest, text)
@@ -380,12 +385,27 @@ class AnalysisService:
             digest,
         )
 
-    def _note_degraded(self, digest: str, meta_text: str) -> None:
+    def _note_sidecar(self, digest: str, meta_text: str) -> None:
         try:
-            meta = json.loads(meta_text)
+            sidecar = json.loads(meta_text)
+        except ValueError:
+            sidecar = None
+        if not isinstance(sidecar, dict):
+            return
+        degradation = sidecar.get("degradation")
+        if isinstance(degradation, dict):
+            self._note_degraded(digest, degradation)
+        residency = sidecar.get("tier_residency")
+        if isinstance(residency, dict):
+            for key, value in residency.items():
+                if isinstance(value, int):
+                    self._tier_residency[str(key)] += value
+
+    def _note_degraded(self, digest: str, meta: Dict[str, Any]) -> None:
+        try:
             rung = str(meta.get("rung", "unknown"))
             attempts = len(meta.get("attempts", []))
-        except (ValueError, AttributeError, TypeError):
+        except (AttributeError, TypeError):
             rung, attempts = "unknown", 0
         self.counters.degraded += 1
         self._degraded_rungs[rung] += 1
@@ -581,6 +601,7 @@ class AnalysisService:
             "service": self.counters.to_dict(),
             "quarantined_digests": len(self._quarantined),
             "degraded_rungs": dict(self._degraded_rungs),
+            "tier_residency": dict(self._tier_residency),
             "pool": self.pool.stats(),
             "store": self.store.stats() if self.store is not None else None,
         }

@@ -140,6 +140,52 @@ class TestBatchedParity:
         assert batched == sequential
 
 
+class TestHwTierParity:
+    """The hardware double-double tier must be invisible in the bytes:
+    every decision it takes either provably matches the full-precision
+    oracle or escalates, so corpus reports are byte-identical with the
+    tier on or off — under both engines, through the batched layer, and
+    with the NumPy lane vectorization on or off."""
+
+    @staticmethod
+    def sweep(hw_tier, engine="compiled"):
+        config = AnalysisConfig(
+            precision_policy="adaptive", engine=engine, hw_tier=hw_tier,
+        )
+        session = AnalysisSession(
+            config=config, num_points=2, seed=13, result_cache_size=0,
+        )
+        return results_to_json(
+            session.analyze_batch(load_corpus(), workers=1)
+        )
+
+    @pytest.mark.parametrize("engine", ["compiled", "reference"])
+    def test_corpus_byte_identical_with_hw_tier_off(self, engine):
+        assert self.sweep(True, engine) == self.sweep(False, engine)
+
+    def test_env_default_matches_explicit(self, monkeypatch):
+        monkeypatch.delenv("REPRO_HWTIER", raising=False)
+        ambient = self.sweep(None)
+        monkeypatch.setenv("REPRO_HWTIER", "0")
+        assert self.sweep(None) == ambient
+        assert ambient == self.sweep(True)
+
+    def test_byte_identical_without_lane_vectorization(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NUMPY", raising=False)
+        vectorized = self.sweep(True)
+        monkeypatch.setenv("REPRO_NUMPY", "0")
+        # A fresh import-time decision is not possible mid-process, so
+        # force the runtime flag the callbacks consult at build time.
+        from repro.machine import lanes
+
+        monkeypatch.setattr(lanes, "HAVE_NUMPY", False)
+        assert self.sweep(True) == vectorized
+
+    def test_sequential_engine_ignores_hw_vectorization(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCHED", "0")
+        assert self.sweep(True) == self.sweep(False)
+
+
 class TestAppsParity:
     def test_pid_app_signature(self):
         from repro.apps.pid import build_pid_program

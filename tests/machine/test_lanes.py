@@ -1,0 +1,262 @@
+"""Vectorized lane kernels vs their scalar namesakes, bit for bit.
+
+The contract of :mod:`repro.machine.lanes` is exact: every lane the
+vector pass accepts (``ok``) must carry *precisely* the bits the scalar
+path would have produced — the machine value against
+``DOUBLE_HANDLERS``, the double-double components and exactness flag
+against the kernels in :mod:`repro.bigfloat.doubledouble`.  A single
+mismatched bit would break the batched engine's byte-identity
+guarantee, so the comparison here is on the raw IEEE encodings
+(``struct.pack``), which distinguishes ``-0.0`` from ``0.0`` and NaN
+payloads from each other.
+
+The operand pool concentrates on the adversarial geography: subnormals,
+signed zeros, infinities, NaN, near-overflow magnitudes, the Dekker
+splitting limit, the deep-underflow guard band, exact cancellations,
+and wide double-double pairs.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import struct
+
+import pytest
+
+from repro.bigfloat.doubledouble import (
+    DD_KERNELS,
+    DoubleDouble,
+    dd_sqrt,
+    two_sum,
+)
+from repro.bigfloat.functions import DOUBLE_HANDLERS
+from repro.machine import lanes
+
+if not lanes.HAVE_NUMPY:  # pragma: no cover - the pure CI leg
+    pytest.skip("numpy unavailable; vectorized lanes are off",
+                allow_module_level=True)
+
+
+def bits(value: float) -> bytes:
+    return struct.pack("<d", value)
+
+
+class _Shadow:
+    """The minimal shadow shape split_column consumes."""
+
+    def __init__(self, real):
+        self.real = real
+
+
+SPECIALS = [
+    0.0, -0.0, 1.0, -1.0, 1.5, -2.0, math.inf, -math.inf, math.nan,
+    5e-324, -5e-324, 2.2250738585072014e-308, 1.7976931348623157e308,
+    math.ldexp(1.0, 970), math.ldexp(1.0, -960), math.ldexp(1.0, -970),
+    math.ldexp(1.0, 1023), math.ldexp(1.0, -1060), 1e16, 1.0 + 2 ** -52,
+]
+
+
+def operand_pool(rng: random.Random, n: int):
+    """(value, shadow) lanes mixing specials, wide pairs, and leaves."""
+    vals, shads = [], []
+    for _ in range(n):
+        shape = rng.randrange(6)
+        if shape == 0:
+            hi = rng.choice(SPECIALS)
+            lo = 0.0
+        elif shape == 1:
+            hi = math.ldexp(rng.random() + 0.5, rng.randint(-1074, 1023))
+            hi = -hi if rng.random() < 0.5 else hi
+            lo = 0.0
+        else:
+            hi = math.ldexp(rng.random() + 0.5, rng.randint(-340, 340))
+            hi = -hi if rng.random() < 0.5 else hi
+            lo = math.ldexp(rng.random() - 0.5,
+                            math.frexp(hi)[1] - 54)
+            hi, lo = two_sum(hi, lo)
+        if shape == 5:
+            # An unfilled opaque lane: shadow None, machine value only.
+            vals.append(hi)
+            shads.append(None)
+        else:
+            vals.append(hi)
+            shads.append(_Shadow(DoubleDouble(hi, lo)))
+    return vals, shads
+
+
+def scalar_components(shadow, value):
+    if shadow is None:
+        return value, 0.0
+    return shadow.real.hi, shadow.real.lo
+
+
+class TestDDBinaryBitIdentity:
+    @pytest.mark.parametrize("op", sorted(lanes.DD_BINARY_OPS))
+    def test_fuzz_matches_scalar_kernels(self, op):
+        rng = random.Random(0x1A0E5 + ord(op[0]))
+        checked = 0
+        for _ in range(25):
+            avals, ashads = operand_pool(rng, 80)
+            bvals, bshads = operand_pool(rng, 80)
+            cols = lanes.dd_binary_columns(op, avals, ashads,
+                                           bvals, bshads)
+            if cols is None:
+                continue
+            zh, zl, exact, ok = cols
+            for i in range(80):
+                if not ok[i]:
+                    continue
+                xh, xl = scalar_components(ashads[i], avals[i])
+                yh, yl = scalar_components(bshads[i], bvals[i])
+                outcome = DD_KERNELS[op](xh, xl, yh, yl)
+                assert outcome is not None, \
+                    (op, xh, xl, yh, yl, "vector accepted a promote lane")
+                sh, sl, sexact = outcome
+                assert bits(zh[i]) == bits(sh), (op, xh, xl, yh, yl)
+                assert bits(zl[i]) == bits(sl), (op, xh, xl, yh, yl)
+                assert bool(exact[i]) == sexact, (op, xh, xl, yh, yl)
+                checked += 1
+        assert checked > 500, f"too few accepted lanes exercised: {checked}"
+
+    def test_cancellation_lanes(self):
+        # x + (-x) and near-cancellations: the scalar kernel's exact
+        # path must be reproduced (or the lane rejected), never changed.
+        rng = random.Random(0x1A0F0)
+        avals, ashads, bvals, bshads = [], [], [], []
+        for _ in range(64):
+            hi = math.ldexp(rng.random() + 0.5, rng.randint(-40, 40))
+            lo = math.ldexp(rng.random() - 0.5, math.frexp(hi)[1] - 54)
+            hi, lo = two_sum(hi, lo)
+            avals.append(hi)
+            ashads.append(_Shadow(DoubleDouble(hi, lo)))
+            flip = rng.random() < 0.5
+            bvals.append(-hi)
+            bshads.append(_Shadow(
+                DoubleDouble(-hi, -lo if flip else 0.0)))
+        cols = lanes.dd_binary_columns("+", avals, ashads, bvals, bshads)
+        assert cols is not None
+        zh, zl, exact, ok = cols
+        for i in range(64):
+            if not ok[i]:
+                continue
+            outcome = DD_KERNELS["+"](
+                avals[i], ashads[i].real.lo, bvals[i], bshads[i].real.lo
+            )
+            assert outcome is not None
+            assert bits(zh[i]) == bits(outcome[0])
+            assert bits(zl[i]) == bits(outcome[1])
+
+
+class TestDDUnaryBitIdentity:
+    def test_sqrt_fuzz_matches_scalar_kernel(self):
+        rng = random.Random(0x1A100)
+        checked = 0
+        for _ in range(40):
+            avals, ashads = operand_pool(rng, 80)
+            cols = lanes.dd_unary_columns("sqrt", avals, ashads)
+            if cols is None:
+                continue
+            zh, zl, exact, ok = cols
+            for i in range(80):
+                if not ok[i]:
+                    continue
+                xh, xl = scalar_components(ashads[i], avals[i])
+                outcome = dd_sqrt(xh, xl)
+                assert outcome is not None, (xh, xl)
+                assert bits(zh[i]) == bits(outcome[0]), (xh, xl)
+                assert bits(zl[i]) == bits(outcome[1]), (xh, xl)
+                assert bool(exact[i]) == outcome[2], (xh, xl)
+                checked += 1
+        assert checked > 300
+
+
+class TestMachineColumns:
+    @pytest.mark.parametrize("op", sorted(lanes.MACHINE_BINARY_OPS))
+    def test_binary_matches_double_handlers(self, op):
+        rng = random.Random(0x1A110 + ord(op[0]))
+        handler = DOUBLE_HANDLERS[op]
+        for _ in range(30):
+            n = 64
+            avals = [rng.choice(SPECIALS) if rng.random() < 0.4
+                     else math.ldexp(rng.random() + 0.5,
+                                     rng.randint(-1074, 1023))
+                     for _ in range(n)]
+            bvals = [rng.choice(SPECIALS) if rng.random() < 0.4
+                     else math.ldexp(rng.random() + 0.5,
+                                     rng.randint(-1074, 1023))
+                     for _ in range(n)]
+            col = lanes.machine_binary(op, avals, bvals, handler)
+            assert col is not None
+            for i in range(n):
+                assert bits(col[i]) == bits(handler(avals[i], bvals[i])), \
+                    (op, avals[i], bvals[i])
+
+    @pytest.mark.parametrize("op", sorted(lanes.MACHINE_UNARY_OPS))
+    def test_unary_matches_double_handlers(self, op):
+        rng = random.Random(0x1A120 + ord(op[0]))
+        handler = DOUBLE_HANDLERS[op]
+        for _ in range(30):
+            n = 64
+            avals = [rng.choice(SPECIALS) if rng.random() < 0.5
+                     else math.ldexp(rng.random() + 0.5,
+                                     rng.randint(-1074, 1023))
+                     for _ in range(n)]
+            col = lanes.machine_unary(op, avals, handler)
+            assert col is not None
+            for i in range(n):
+                assert bits(col[i]) == bits(handler(avals[i])), \
+                    (op, avals[i])
+
+    def test_division_by_zero_lanes_use_scalar_glue(self):
+        handler = DOUBLE_HANDLERS["/"]
+        avals = [1.0, -1.0, 0.0, -0.0, math.nan, math.inf, 2.0, 3.0]
+        bvals = [0.0, -0.0, 0.0, -0.0, 0.0, 0.0, -0.0, 1.0]
+        col = lanes.machine_binary("/", avals, bvals, handler)
+        assert col is not None
+        for i, (a, b) in enumerate(zip(avals, bvals)):
+            assert bits(col[i]) == bits(handler(a, b)), (a, b)
+
+    def test_negative_sqrt_lanes_use_scalar_glue(self):
+        handler = DOUBLE_HANDLERS["sqrt"]
+        avals = [-1.0, 4.0, -0.0, 0.0, -math.inf, math.inf, 2.0, -4.0]
+        col = lanes.machine_unary("sqrt", avals, handler)
+        assert col is not None
+        for i, a in enumerate(avals):
+            assert bits(col[i]) == bits(handler(a)), a
+
+
+class TestGates:
+    def test_short_columns_fall_back(self):
+        handler = DOUBLE_HANDLERS["+"]
+        short = [1.0] * (lanes.MIN_LANES - 1)
+        assert lanes.machine_binary("+", short, short, handler) is None
+        shads = [_Shadow(DoubleDouble(1.0))] * (lanes.MIN_LANES - 1)
+        assert lanes.dd_binary_columns("+", short, shads, short, shads) \
+            is None
+
+    def test_uncovered_ops_fall_back(self):
+        vals = [1.0] * 16
+        shads = [_Shadow(DoubleDouble(1.0))] * 16
+        assert lanes.machine_binary("fmod", vals, vals, min) is None
+        assert lanes.dd_binary_columns("fmod", vals, shads, vals, shads) \
+            is None
+        assert lanes.dd_unary_columns("neg", vals, shads) is None
+
+    def test_split_column_masks_non_hardware_lanes(self):
+        vals = [1.0, 2.0, math.nan, 4.0]
+        shads = [
+            _Shadow(DoubleDouble(1.0)),
+            _Shadow(object()),   # a BigFloat-tier lane
+            None,                # opaque lane with a NaN machine value
+            None,                # opaque lane with a finite value
+        ]
+        hi, lo, ok = lanes.split_column(vals, shads)
+        assert ok == [True, False, False, True]
+        assert (hi[0], lo[0]) == (1.0, 0.0)
+        assert (hi[3], lo[3]) == (4.0, 0.0)
+
+    def test_split_column_without_hardware_lanes_returns_none(self):
+        vals = [1.0, 2.0]
+        shads = [_Shadow(object()), _Shadow(object())]
+        assert lanes.split_column(vals, shads) is None

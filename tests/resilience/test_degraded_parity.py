@@ -19,6 +19,7 @@ from repro.resilience.ladder import (
     RUNG_PYTHON_SUBSTRATE,
     RUNG_REFERENCE,
     RUNG_SEQUENTIAL,
+    RUNG_WORKING_TIER,
 )
 
 #: A cross-family slice of the corpus — enough shapes to exercise the
@@ -73,6 +74,24 @@ class TestKernelFaultParity:
 
 
 class TestPolicyFaultParity:
+    def test_hw_tier_fault_lands_on_working_tier_rung(self):
+        clean, __ = _corpus_json(
+            engine="compiled", precision_policy="adaptive"
+        )
+        with faults.injected("policy.hwtier.raise"):
+            degraded, results = _corpus_json(
+                engine="compiled", precision_policy="adaptive"
+            )
+        assert degraded == clean
+        # The seam trips at analysis setup whenever the hardware tier
+        # is armed, so every benchmark degrades — and each one must
+        # stop at the first rung: BigFloat working-tier shadows with
+        # the rest of the stack (batching, engine, substrate) intact.
+        for result in results:
+            record = result.extra["degradation"]
+            assert record["rung"] == RUNG_WORKING_TIER
+            assert [a["rung"] for a in record["attempts"]] == ["initial"]
+
     def test_adaptive_fault_falls_back_to_fixed_policy(self):
         clean, __ = _corpus_json(
             engine="compiled", precision_policy="adaptive"

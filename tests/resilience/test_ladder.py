@@ -16,6 +16,7 @@ from repro.resilience.ladder import (
     RUNG_PYTHON_SUBSTRATE,
     RUNG_REFERENCE,
     RUNG_SEQUENTIAL,
+    RUNG_WORKING_TIER,
     DegradationLadder,
     classify,
     degradation_enabled,
@@ -48,17 +49,42 @@ class TestPlanning:
                            precision_policy="adaptive")
         plan = DegradationLadder(enabled=True).plan(request)
         names = [name for name, _ in plan]
-        assert names == [RUNG_SEQUENTIAL, RUNG_REFERENCE,
-                         RUNG_PYTHON_SUBSTRATE, RUNG_FIXED_POLICY]
+        assert names == [RUNG_WORKING_TIER, RUNG_SEQUENTIAL,
+                         RUNG_REFERENCE, RUNG_PYTHON_SUBSTRATE,
+                         RUNG_FIXED_POLICY]
         bottom = plan[-1][1]
         assert bottom.config.engine == "reference"
         assert bottom.config.substrate == "python"
         assert bottom.config.precision_policy == "fixed"
+        assert bottom.config.hw_tier is False
 
     def test_rungs_are_cumulative(self):
         request = _request(engine="compiled", substrate="native")
         plan = dict(DegradationLadder(enabled=True).plan(request))
         assert plan[RUNG_PYTHON_SUBSTRATE].config.engine == "reference"
+
+    def test_working_tier_rung_only_disables_hw_tier(self):
+        request = _request(engine="compiled",
+                           precision_policy="adaptive")
+        plan = dict(DegradationLadder(enabled=True).plan(request))
+        working = plan[RUNG_WORKING_TIER]
+        assert working.config.hw_tier is False
+        assert working.config == request.config.with_(hw_tier=False)
+        assert working.features is request.features
+        # Every rung below it keeps the hardware tier off (cumulative).
+        assert plan[RUNG_SEQUENTIAL].config.hw_tier is False
+        assert plan[RUNG_REFERENCE].config.hw_tier is False
+
+    def test_fixed_policy_has_no_working_tier_rung(self):
+        request = _request(engine="compiled")
+        plan = dict(DegradationLadder(enabled=True).plan(request))
+        assert RUNG_WORKING_TIER not in plan
+
+    def test_hw_tier_off_skips_the_working_tier_rung(self):
+        request = _request(engine="compiled",
+                           precision_policy="adaptive", hw_tier=False)
+        plan = dict(DegradationLadder(enabled=True).plan(request))
+        assert RUNG_WORKING_TIER not in plan
 
     def test_sequential_rung_only_disables_batching(self):
         request = _request(engine="compiled")
@@ -105,6 +131,8 @@ class _Recorder:
             return RUNG_SEQUENTIAL
         config = request.config
         if config.engine == "compiled":
+            if config.hw_tier is False:
+                return RUNG_WORKING_TIER
             return "initial"
         if config.substrate != "python":
             return RUNG_REFERENCE
@@ -126,6 +154,7 @@ class TestDriver:
                            precision_policy="adaptive")
         execute = _Recorder({
             "initial": EngineFault("boom"),
+            RUNG_WORKING_TIER: EngineFault("hw boom"),
             RUNG_SEQUENTIAL: EngineFault("still boom"),
             RUNG_REFERENCE: KernelFault("kernel boom"),
         })
@@ -134,8 +163,9 @@ class TestDriver:
         assert record["degraded"] is True
         assert record["rung"] == RUNG_PYTHON_SUBSTRATE
         assert [a["rung"] for a in record["attempts"]] == \
-            ["initial", RUNG_SEQUENTIAL, RUNG_REFERENCE]
-        assert record["attempts"][2]["error"]["kind"] == "KernelFault"
+            ["initial", RUNG_WORKING_TIER, RUNG_SEQUENTIAL,
+             RUNG_REFERENCE]
+        assert record["attempts"][3]["error"]["kind"] == "KernelFault"
 
     def test_non_degradable_error_propagates_immediately(self):
         execute = _Recorder({"initial": ValueError("not ours")})
@@ -149,6 +179,7 @@ class TestDriver:
                            precision_policy="adaptive")
         execute = _Recorder({
             "initial": EngineFault("a"),
+            RUNG_WORKING_TIER: EngineFault("a2"),
             RUNG_SEQUENTIAL: EngineFault("b"),
             RUNG_REFERENCE: EngineFault("c"),
             RUNG_PYTHON_SUBSTRATE: EngineFault("d"),
@@ -156,8 +187,9 @@ class TestDriver:
         })
         with pytest.raises(EngineFault, match="e"):
             run_with_ladder(request, execute, enabled=True)
-        assert execute.calls == ["initial", RUNG_SEQUENTIAL,
-                                 RUNG_REFERENCE, RUNG_PYTHON_SUBSTRATE,
+        assert execute.calls == ["initial", RUNG_WORKING_TIER,
+                                 RUNG_SEQUENTIAL, RUNG_REFERENCE,
+                                 RUNG_PYTHON_SUBSTRATE,
                                  RUNG_FIXED_POLICY]
 
     def test_disabled_ladder_propagates_first_failure(self):

@@ -240,3 +240,25 @@ class TestStats:
         assert stats["store"]["writes"] == 1
         assert stats["inflight"] == 0
         assert stats["draining"] is False
+        # Every computed result ships a residency sidecar; the fixed
+        # policy runs everything at the full tier.
+        assert stats["tier_residency"]["hw_kernel_ops"] == 0
+
+    def test_stats_aggregate_hw_tier_residency(self):
+        config = AnalysisConfig(
+            shadow_precision=96, precision_policy="adaptive"
+        )
+        session = AnalysisSession(config=config, num_points=3)
+        request = session.request(CLEAN)
+
+        async def scenario():
+            service = AnalysisService(workers=1)
+            await service.analyze_payload(request.to_dict())
+            stats = service.stats()
+            await service.close()
+            return stats
+
+        stats = asyncio.run(scenario())
+        residency = stats["tier_residency"]
+        assert residency["hw_tier"] == 1
+        assert residency["hw_kernel_ops"] > 0
